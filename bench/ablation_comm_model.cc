@@ -1,0 +1,82 @@
+// Ablation: closed-form vs mechanistic communication simulation.
+//
+// The tuner interpolates the analytic cost model; the engine can charge
+// either that model or a per-step ring transport. If the two disagreed,
+// the predictor would be validated against the wrong machine. This bench
+// quantifies the agreement across primitives, cluster sizes and payloads,
+// and shows the end-to-end overlap result is invariant to the choice.
+#include <cmath>
+#include <cstdio>
+
+#include "src/comm/ring_transport.h"
+#include "src/core/overlap_engine.h"
+#include "src/util/table.h"
+
+namespace flo {
+namespace {
+
+void CollectiveAgreement() {
+  std::printf("collective latency: analytic vs stepwise ring (4x A800)\n");
+  const InterconnectSpec link = MakeNvlinkA800();
+  CommCostModel model(link, 4);
+  Table table({"primitive", "payload", "analytic_us", "stepwise_us", "delta"});
+  for (CommPrimitive primitive :
+       {CommPrimitive::kAllReduce, CommPrimitive::kReduceScatter, CommPrimitive::kAllGather,
+        CommPrimitive::kAllToAll}) {
+    for (double mib : {4.0, 64.0, 512.0}) {
+      const double bytes = mib * 1024 * 1024;
+      Simulator sim;
+      std::vector<std::unique_ptr<Device>> devices;
+      std::vector<std::unique_ptr<Stream>> streams;
+      std::vector<Device*> device_ptrs;
+      for (int r = 0; r < 4; ++r) {
+        devices.push_back(std::make_unique<Device>(r, 108));
+        streams.push_back(std::make_unique<Stream>(&sim, devices[r].get(),
+                                                   "c" + std::to_string(r)));
+        device_ptrs.push_back(devices[r].get());
+      }
+      RingCollectiveOp op("op", device_ptrs, link, primitive, bytes, nullptr);
+      for (int r = 0; r < 4; ++r) {
+        op.EnqueueOn(*streams[r], r);
+      }
+      sim.Run();
+      const double stepwise = op.end_time() - op.start_time();
+      const double analytic = model.LatencyUs(primitive, bytes);
+      table.AddRow({CommPrimitiveName(primitive), FormatBytes(bytes),
+                    FormatDouble(analytic, 1), FormatDouble(stepwise, 1),
+                    FormatDouble(100.0 * std::abs(stepwise - analytic) / analytic, 2) + "%"});
+    }
+  }
+  std::printf("%s\n", table.Render().c_str());
+}
+
+void EndToEndInvariance() {
+  std::printf("end-to-end overlap: closed-form vs mechanistic transport\n");
+  Table table({"cluster", "shape", "closed_us", "mechanistic_us", "delta"});
+  for (auto make_cluster : {Make4090Cluster, MakeA800Cluster}) {
+    EngineOptions closed;
+    closed.jitter = false;
+    EngineOptions detailed = closed;
+    detailed.detailed_comm = true;
+    OverlapEngine closed_engine(make_cluster(4), {}, closed);
+    OverlapEngine detailed_engine(make_cluster(4), {}, detailed);
+    for (const GemmShape& shape : {GemmShape{4096, 8192, 8192}, GemmShape{8192, 8192, 2048}}) {
+      const double a = closed_engine.RunOverlap(shape, CommPrimitive::kAllReduce).total_us;
+      const double b = detailed_engine.RunOverlap(shape, CommPrimitive::kAllReduce).total_us;
+      table.AddRow({closed_engine.cluster().Describe(), shape.ToString(), FormatDouble(a, 1),
+                    FormatDouble(b, 1),
+                    FormatDouble(100.0 * std::abs(a - b) / a, 2) + "%"});
+    }
+  }
+  std::printf("%s", table.Render().c_str());
+}
+
+}  // namespace
+}  // namespace flo
+
+int main() {
+  std::printf("Ablation — communication model fidelity\n\n");
+  flo::CollectiveAgreement();
+  flo::EndToEndInvariance();
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Ablation: the design-space pruning bounds S1 (first group) and SP (last
+// group) from Sec. 4.1.4. Sweeps both bounds and reports candidate count,
+// search cost proxy, and achieved latency — showing that the paper's
+// (S1=2, SP=4) keeps nearly all of the quality at a fraction of the space.
+#include <cstdio>
+
+#include "src/core/overlap_engine.h"
+#include "src/util/table.h"
+
+namespace flo {
+namespace {
+
+void RunPanel(const char* title, const ClusterSpec& cluster, const GemmShape& shape,
+              CommPrimitive primitive) {
+  std::printf("%s: GEMM %s + %s\n", title, shape.ToString().c_str(),
+              CommPrimitiveName(primitive));
+  Table table({"S1", "SP", "candidates", "predicted_us", "simulated_us", "vs exhaustive"});
+  // Exhaustive reference.
+  TunerConfig exhaustive_config;
+  exhaustive_config.exhaustive = true;
+  OverlapEngine exhaustive_engine(cluster, exhaustive_config, EngineOptions{.jitter = false});
+  const double exhaustive_us = exhaustive_engine.RunOverlap(shape, primitive).total_us;
+  for (int s1 : {1, 2, 4}) {
+    for (int sp : {1, 2, 4, 8}) {
+      TunerConfig config;
+      config.s1 = s1;
+      config.sp = sp;
+      OverlapEngine engine(cluster, config, EngineOptions{.jitter = false});
+      const TunedPlan& plan = engine.tuner().Tune(shape, primitive);
+      const OverlapRun run = engine.RunOverlap(shape, primitive);
+      table.AddRow({std::to_string(s1), std::to_string(sp),
+                    std::to_string(plan.candidates_evaluated),
+                    FormatDouble(plan.predicted_us, 1), FormatDouble(run.total_us, 1),
+                    FormatDouble(exhaustive_us / run.total_us, 4)});
+    }
+  }
+  std::printf("%sexhaustive-search simulated latency: %.1f us\n\n", table.Render().c_str(),
+              exhaustive_us);
+}
+
+void Run() {
+  std::printf("Ablation — design-space pruning bounds (paper Sec. 4.1.4 uses S1=2, SP=4)\n\n");
+  RunPanel("4x RTX 4090", Make4090Cluster(4), GemmShape{2048, 8192, 8192},
+           CommPrimitive::kAllReduce);
+  RunPanel("4x A800", MakeA800Cluster(4), GemmShape{4096, 8192, 4096},
+           CommPrimitive::kReduceScatter);
+}
+
+}  // namespace
+}  // namespace flo
+
+int main() {
+  flo::Run();
+  return 0;
+}

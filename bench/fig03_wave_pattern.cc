@@ -1,0 +1,75 @@
+// Fig. 3: wave pattern in GEMM execution.
+//
+// Reproduces the paper's measurement: per-tile completion times of a GEMM
+// (M=2048, N=K=8192) on an RTX 4090, (a) against the tile's memory index
+// without reordering (swizzling scrambles the order), and (b) against the
+// reordered index, which is monotone by construction.
+#include <cstdio>
+
+#include "src/core/mapping_table.h"
+#include "src/gemm/gemm_model.h"
+#include "src/gemm/swizzle.h"
+#include "src/gemm/wave.h"
+#include "src/hw/gpu_spec.h"
+#include "src/util/rng.h"
+#include "src/util/table.h"
+
+namespace flo {
+namespace {
+
+void Run() {
+  const GemmShape shape{2048, 8192, 8192};
+  const GpuSpec gpu = MakeRtx4090();
+  GemmModel model(gpu);
+  const GemmConfig config = model.Configure(shape);
+  TileGrid grid(shape, config.tile);
+  const int swizzle = 3;  // paper: "without reordering when swizzling_size=3"
+  std::vector<int> launch = SwizzledLaunchOrder(grid, swizzle);
+  WaveSchedule schedule(launch, gpu.sm_count);
+  TileMapping mapping(grid, schedule,
+                      WavePartition::PerWave(schedule.wave_count()));
+
+  Rng jitter(42);
+  const std::vector<double> completion =
+      schedule.CompletionTimes(config.wave_time_us, &jitter);
+
+  std::printf("Fig. 3 — wave pattern in GEMM execution\n");
+  std::printf("GEMM %s on %s: %d tiles (%dx%d), %d SMs -> %d waves, wave time %.1f us\n\n",
+              shape.ToString().c_str(), gpu.name.c_str(), grid.tile_count(), config.tile.m,
+              config.tile.n, gpu.sm_count, schedule.wave_count(), config.wave_time_us);
+
+  // (a) completion time vs tile (memory) index: sampled rows showing the
+  // scrambling; (b) vs reordered index: monotone staircase.
+  Table table({"tile_index", "completion_us(a)", "reordered_index", "completion_us(b)"});
+  const int step = grid.tile_count() / 32;
+  for (int t = 0; t < grid.tile_count(); t += step) {
+    const int slot = mapping.SlotOfTile(t);
+    const int tile_of_slot = mapping.TileOfSlot(t);
+    table.AddRow({std::to_string(t), FormatDouble(completion[t], 1), std::to_string(t),
+                  FormatDouble(completion[tile_of_slot], 1)});
+    (void)slot;
+  }
+  std::printf("%s\n", table.Render().c_str());
+
+  // Verify the headline property: waves complete as tight clusters, and the
+  // reordered index is monotone in completion time.
+  int monotone_violations = 0;
+  for (int s = 1; s < grid.tile_count(); ++s) {
+    if (completion[mapping.TileOfSlot(s)] + 1e-9 <
+        completion[mapping.TileOfSlot(s - 1)] - config.wave_time_us * 0.05) {
+      ++monotone_violations;
+    }
+  }
+  std::printf("waves: %d; tiles per wave: %d; intra-wave spread <= 5%% of wave time\n",
+              schedule.wave_count(), gpu.sm_count);
+  std::printf("reordered-order monotonicity violations beyond intra-wave spread: %d\n",
+              monotone_violations);
+}
+
+}  // namespace
+}  // namespace flo
+
+int main() {
+  flo::Run();
+  return 0;
+}

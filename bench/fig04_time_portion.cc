@@ -1,0 +1,39 @@
+// Fig. 4: typical time portion of "GEMM + X" in inference and training.
+//
+// For each workload, prints the fraction of non-overlapped end-to-end time
+// spent in each GEMM+collective pair and in "others" (attention, KV cache,
+// routing, optimizer), mirroring the paper's A800 profiles.
+#include <cstdio>
+
+#include "src/models/e2e.h"
+#include "src/models/workloads.h"
+#include "src/util/table.h"
+
+namespace flo {
+namespace {
+
+void Run() {
+  std::printf("Fig. 4 — time portion of GEMM + collective in end-to-end runs (A800)\n\n");
+  for (const Workload& workload : AllWorkloads()) {
+    const auto rows = TimePortion(workload);
+    Table table({"op", "portion"});
+    double gemm_x = 0.0;
+    for (const auto& row : rows) {
+      table.AddRow({row.name, FormatDouble(100.0 * row.fraction, 1) + "%"});
+      if (row.name != "others") {
+        gemm_x += row.fraction;
+      }
+    }
+    std::printf("%s\n%s", workload.name.c_str(), table.Render().c_str());
+    std::printf("GEMM+X total: %.1f%% (paper reports %.1f%%)\n\n", 100.0 * gemm_x,
+                100.0 * workload.gemm_x_fraction);
+  }
+}
+
+}  // namespace
+}  // namespace flo
+
+int main() {
+  flo::Run();
+  return 0;
+}

@@ -1,0 +1,42 @@
+// Fig. 8: bandwidth curve varying with data size, with the degradation
+// borderline (red markers in the paper).
+//
+// (a) AllReduce on 4x RTX 4090 (PCIe), tensor 8192x8192 half.
+// (b) AllReduce on 4x A800 (NVLink), tensor 1024x4096 half.
+#include <cstdio>
+
+#include "src/comm/cost_model.h"
+#include "src/hw/cluster.h"
+#include "src/util/table.h"
+
+namespace flo {
+namespace {
+
+void PrintCurve(const ClusterSpec& cluster, double max_mb) {
+  CommCostModel model(cluster.link, cluster.gpu_count);
+  std::printf("AllReduce on %s\n", cluster.Describe().c_str());
+  Table table({"data_size", "alg_bandwidth_GB/s", "latency_us"});
+  for (double mb = 0.125; mb <= max_mb; mb *= 2.0) {
+    const double bytes = mb * 1024 * 1024;
+    table.AddRow({FormatBytes(bytes),
+                  FormatDouble(model.AlgorithmBandwidth(CommPrimitive::kAllReduce, bytes), 2),
+                  FormatDouble(model.LatencyUs(CommPrimitive::kAllReduce, bytes), 1)});
+  }
+  std::printf("%s", table.Render().c_str());
+  const double knee = model.BandwidthKneeBytes(CommPrimitive::kAllReduce, 0.8);
+  std::printf("degradation borderline (80%% of peak): %s\n\n", FormatBytes(knee).c_str());
+}
+
+void Run() {
+  std::printf("Fig. 8 — bandwidth vs data size\n\n");
+  PrintCurve(Make4090Cluster(4), 128.0);
+  PrintCurve(MakeA800Cluster(4), 1024.0);
+}
+
+}  // namespace
+}  // namespace flo
+
+int main() {
+  flo::Run();
+  return 0;
+}

@@ -1,0 +1,87 @@
+// Fig. 10: operator-level speedups over the non-overlap baseline, averaged
+// across the Table 3 shape sweep, with min/max markers — for GEMM+AR,
+// GEMM+RS and GEMM+A2A on 2/4/8 GPUs of both testbeds, against the
+// baseline systems where they are supported.
+#include <cstdio>
+#include <vector>
+
+#include "src/baselines/baselines.h"
+#include "src/core/overlap_engine.h"
+#include "src/models/shapes.h"
+#include "src/util/stats.h"
+#include "src/util/table.h"
+
+namespace flo {
+namespace {
+
+struct Aggregate {
+  std::vector<double> speedups;
+
+  std::string Cell() const {
+    if (speedups.empty()) {
+      return "n/a";
+    }
+    const Summary s = Summarize(speedups);
+    return FormatDouble(s.mean, 2) + " (" + FormatDouble(s.min, 2) + ".." +
+           FormatDouble(s.max, 2) + ")";
+  }
+};
+
+void RunPanel(const char* title, bool a800, CommPrimitive primitive) {
+  std::printf("%s\n", title);
+  Table table({"GPUs", "FlashOverlap", "FLUX", "cuBLASMp", "Async-TP", "VanillaDecomp"});
+  for (int gpus : {2, 4, 8}) {
+    const ClusterSpec cluster = a800 ? MakeA800Cluster(gpus) : Make4090Cluster(gpus);
+    OverlapEngine engine(cluster);
+    Baselines baselines(cluster);
+    Aggregate ours;
+    Aggregate flux;
+    Aggregate cublasmp;
+    Aggregate async_tp;
+    Aggregate decomp;
+    for (const auto& shape : OperatorShapes(primitive, a800)) {
+      const double base = engine.RunNonOverlap(shape, primitive);
+      ours.speedups.push_back(base / engine.RunOverlap(shape, primitive).total_us);
+      const double base_model = baselines.NonOverlap(shape, primitive);
+      const auto f = baselines.Flux(shape, primitive);
+      if (f.supported) {
+        flux.speedups.push_back(base_model / f.latency_us);
+      }
+      const auto c = baselines.CublasMp(shape, primitive);
+      if (c.supported) {
+        cublasmp.speedups.push_back(base_model / c.latency_us);
+      }
+      const auto at = baselines.AsyncTp(shape, primitive);
+      if (at.supported) {
+        async_tp.speedups.push_back(base_model / at.latency_us);
+      }
+      const auto d = baselines.VanillaDecomposition(shape, primitive);
+      if (d.supported) {
+        decomp.speedups.push_back(base_model / d.latency_us);
+      }
+    }
+    table.AddRow({std::to_string(gpus), ours.Cell(), flux.Cell(), cublasmp.Cell(),
+                  async_tp.Cell(), decomp.Cell()});
+  }
+  std::printf("%s\n", table.Render().c_str());
+}
+
+void Run() {
+  std::printf(
+      "Fig. 10 — operator-level speedup vs non-overlap, mean (min..max) over the\n"
+      "Table 3 shape sweep\n\n");
+  RunPanel("(a) GEMM+AR on A800", true, CommPrimitive::kAllReduce);
+  RunPanel("(b) GEMM+RS on A800", true, CommPrimitive::kReduceScatter);
+  RunPanel("(c) GEMM+A2A on A800", true, CommPrimitive::kAllToAll);
+  RunPanel("(d) GEMM+AR on RTX 4090", false, CommPrimitive::kAllReduce);
+  RunPanel("(e) GEMM+RS on RTX 4090", false, CommPrimitive::kReduceScatter);
+  RunPanel("(f) GEMM+A2A on RTX 4090", false, CommPrimitive::kAllToAll);
+}
+
+}  // namespace
+}  // namespace flo
+
+int main() {
+  flo::Run();
+  return 0;
+}

@@ -1,0 +1,39 @@
+// Fig. 12 (+ Tab. 4): end-to-end speedups and the applied operator
+// speedups ("size 1"/"size 2") for LLM inference, MoE training, LLM
+// training and text-to-video generation on A800 servers.
+#include <cstdio>
+
+#include "src/models/e2e.h"
+#include "src/models/workloads.h"
+#include "src/util/table.h"
+
+namespace flo {
+namespace {
+
+void Run() {
+  std::printf("Fig. 12 — end-to-end and per-operator speedups (A800)\n\n");
+  for (const Workload& workload :
+       {MakeLlama3Inference(), MakeMixtralTraining(), MakeLlama3Training(),
+        MakeStepVideoGeneration()}) {
+    const E2eReport report = EvaluateWorkload(workload);
+    std::printf("%s\n", report.workload.c_str());
+    Table table({"op", "non-overlap_us", "overlap_us", "speedup"});
+    for (const auto& op : report.ops) {
+      table.AddRow({op.name, FormatDouble(op.non_overlap_us, 0),
+                    FormatDouble(op.overlap_us, 0), FormatDouble(op.speedup, 3)});
+    }
+    table.AddRow({"e2e (per layer)", FormatDouble(report.baseline_layer_us, 0),
+                  FormatDouble(report.overlap_layer_us, 0),
+                  FormatDouble(report.e2e_speedup, 3)});
+    std::printf("%s\n", table.Render().c_str());
+  }
+  std::printf("Paper band: operator speedups ~1.1-1.5x, e2e speedups 1.05-1.13x.\n");
+}
+
+}  // namespace
+}  // namespace flo
+
+int main() {
+  flo::Run();
+  return 0;
+}

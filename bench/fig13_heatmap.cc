@@ -1,0 +1,61 @@
+// Fig. 13: speedup heatmaps over (M*N, K) and the ratio to the theoretical
+// upper bound.
+//
+// (a)/(c): GEMM+RS, TP=2, RTX 4090.   (b)/(d): GEMM+AR, TP=4, A800.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/core/overlap_engine.h"
+#include "src/models/shapes.h"
+#include "src/util/table.h"
+
+namespace flo {
+namespace {
+
+void RunHeatmap(const char* title, const ClusterSpec& cluster, CommPrimitive primitive,
+                const HeatmapAxes& axes) {
+  OverlapEngine engine(cluster);
+  std::printf("%s\n", title);
+  std::vector<std::string> header{"K\\MxN(Mi)"};
+  for (int mn : axes.mn_mi) {
+    header.push_back(std::to_string(mn));
+  }
+  Table speedup_table(header);
+  Table ratio_table(header);
+  for (int k_ki : axes.k_ki) {
+    std::vector<std::string> speedup_row{std::to_string(k_ki) + "Ki"};
+    std::vector<std::string> ratio_row{std::to_string(k_ki) + "Ki"};
+    for (int mn : axes.mn_mi) {
+      const GemmShape shape{static_cast<int64_t>(mn) * 1024 * 1024 / axes.n, axes.n,
+                            static_cast<int64_t>(k_ki) * 1024};
+      const double base = engine.RunNonOverlap(shape, primitive);
+      const double ours = engine.RunOverlap(shape, primitive).total_us;
+      const double bound = engine.TheoreticalBest(shape, primitive);
+      const double speedup = base / ours;
+      const double theoretical = base / bound;
+      speedup_row.push_back(FormatDouble(speedup, 2));
+      ratio_row.push_back(FormatDouble(speedup / theoretical, 2));
+    }
+    speedup_table.AddRow(speedup_row);
+    ratio_table.AddRow(ratio_row);
+  }
+  std::printf("speedup over non-overlap:\n%s", speedup_table.Render().c_str());
+  std::printf("ratio of theoretical speedup:\n%s\n", ratio_table.Render().c_str());
+}
+
+void Run() {
+  std::printf("Fig. 13 — performance heatmaps on varying GEMM sizes\n\n");
+  RunHeatmap("(a)/(c) GEMM+RS, TP=2, RTX 4090", Make4090Cluster(2),
+             CommPrimitive::kReduceScatter, HeatmapAxes4090());
+  RunHeatmap("(b)/(d) GEMM+AR, TP=4, A800", MakeA800Cluster(4), CommPrimitive::kAllReduce,
+             HeatmapAxesA800());
+}
+
+}  // namespace
+}  // namespace flo
+
+int main() {
+  flo::Run();
+  return 0;
+}

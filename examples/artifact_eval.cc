@@ -1,0 +1,159 @@
+// Artifact-evaluation driver: reproduces the paper's AE appendix flows
+// (E1 correctness + speedup, E2 search accuracy, E3 reorder overhead) in
+// one binary, mirroring evaluation/e1_*.py .. e3_*.py of the original
+// artifact.
+//
+// Usage: artifact_eval [e1|e2|e3|all]
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+#include "src/core/flashoverlap.h"
+#include "src/models/shapes.h"
+#include "src/util/stats.h"
+#include "src/util/table.h"
+
+namespace flo {
+namespace {
+
+// E1 part 1: correctness — 10 randomly selected cases must be "all close"
+// against the non-overlap implementation (AE claim C1).
+bool RunE1Correctness() {
+  std::printf("[E1] correctness vs non-overlap reference\n");
+  Rng rng(2024);
+  bool all_ok = true;
+  for (int i = 0; i < 10; ++i) {
+    FunctionalOptions options;
+    options.gpu_count = 2 + static_cast<int>(rng.NextBelow(3));  // 2..4
+    options.wave_width = 2 + static_cast<int>(rng.NextBelow(6));
+    options.swizzle_size = 1 + static_cast<int>(rng.NextBelow(4));
+    FunctionalOverlap runner(options);
+    const GemmShape shape{128, 128, 32};
+    std::vector<std::vector<float>> a;
+    std::vector<std::vector<float>> b;
+    for (int r = 0; r < options.gpu_count; ++r) {
+      a.push_back(RandomMatrix(shape.m, shape.k, rng.NextU64()));
+      b.push_back(RandomMatrix(shape.k, shape.n, rng.NextU64()));
+    }
+    const auto overlap = runner.RunAllReduce(shape, WavePartition{}, a, b);
+    const auto reference = runner.ReferenceAllReduce(shape, a, b, false);
+    float worst = 0.0f;
+    for (const auto& result : overlap) {
+      worst = std::max(worst, MaxAbsDiff(result, reference));
+    }
+    const bool close = worst < 2e-3f;
+    all_ok = all_ok && close;
+    std::printf("  case %2d: gpus=%d width=%d swizzle=%d  max|diff|=%.2e  %s\n", i,
+                options.gpu_count, options.wave_width, options.swizzle_size, worst,
+                close ? "all close" : "MISMATCH");
+  }
+  return all_ok;
+}
+
+// E1 part 2: speedup table across GPUs and primitives.
+void RunE1Speedup() {
+  std::printf("\n[E1] overlap speedup (mean over the Table 3 sweep)\n");
+  Table table({"cluster", "primitive", "2 GPUs", "4 GPUs", "8 GPUs"});
+  for (bool a800 : {false, true}) {
+    for (CommPrimitive primitive :
+         {CommPrimitive::kAllReduce, CommPrimitive::kReduceScatter,
+          CommPrimitive::kAllToAll}) {
+      std::vector<std::string> row{a800 ? "A800" : "RTX4090", CommPrimitiveName(primitive)};
+      for (int gpus : {2, 4, 8}) {
+        OverlapEngine engine(a800 ? MakeA800Cluster(gpus) : Make4090Cluster(gpus));
+        std::vector<double> speedups;
+        for (const auto& shape : OperatorShapes(primitive, a800)) {
+          const double base = engine.RunNonOverlap(shape, primitive);
+          speedups.push_back(base / engine.RunOverlap(shape, primitive).total_us);
+        }
+        row.push_back(FormatDouble(Summarize(speedups).mean, 2) + "x");
+      }
+      table.AddRow(row);
+    }
+  }
+  std::printf("%s", table.Render().c_str());
+  std::printf("expected: up to ~1.30x on A800 and ~1.65x on RTX 4090 (paper AE E1)\n");
+}
+
+// E2: predictor accuracy + search quality (AE claim C2).
+void RunE2() {
+  std::printf("\n[E2] predictive search accuracy\n");
+  std::vector<double> errors;
+  double worst_ratio = 1.0;
+  for (auto make_cluster : {Make4090Cluster, MakeA800Cluster}) {
+    OverlapEngine engine(make_cluster(4));
+    // The search-quality comparison strips jitter so both sides rank by
+    // the same deterministic machine (as the paper's repeated-timing
+    // protocol averages it out).
+    OverlapEngine clean_engine(make_cluster(4), {}, EngineOptions{.jitter = false});
+    for (const GemmShape& shape :
+         {GemmShape{2048, 8192, 8192}, GemmShape{4096, 8192, 4096},
+          GemmShape{1024, 8192, 4096}}) {
+      const CommPrimitive primitive = CommPrimitive::kAllReduce;
+      PredictorSetup setup = engine.tuner().MakeSetup(shape, primitive);
+      const int waves = setup.EffectiveWaveCount();
+      for (const WavePartition& partition :
+           {WavePartition::EqualSized(waves, 1), WavePartition::EqualSized(waves, 2),
+            WavePartition::EqualSized(waves, 4), WavePartition::SingleGroup(waves)}) {
+        const double predicted = PredictOverlapLatency(setup, partition).latency_us;
+        const double actual = engine.RunOverlap(shape, primitive, &partition).total_us;
+        errors.push_back(std::abs(actual - predicted) / actual);
+      }
+      if (waves <= 14) {
+        const OverlapRun searched = clean_engine.RunOverlap(shape, primitive);
+        double best = searched.total_us;
+        for (const auto& partition : EnumerateAllPartitions(waves)) {
+          best = std::min(best,
+                          clean_engine.RunOverlap(shape, primitive, &partition).total_us);
+        }
+        worst_ratio = std::min(worst_ratio, best / searched.total_us);
+      }
+    }
+  }
+  std::printf("  predictor error: avg %.2f%% (paper: < 5%%), max %.2f%%\n",
+              100.0 * Summarize(errors).mean, 100.0 * Summarize(errors).max);
+  std::printf("  searched vs exhaustive-optimal: worst ratio %.1f%% (paper: > 99%%)\n",
+              100.0 * worst_ratio);
+}
+
+// E3: reorder overhead (AE claim C3) — modeled device-side traffic; the
+// measured host-kernel view lives in bench/table5_reorder_overhead.
+void RunE3() {
+  std::printf("\n[E3] reorder overhead (modeled device traffic)\n");
+  const GemmShape shape{4096, 8192, 4096};
+  TileGrid grid(shape, TileShape{128, 128});
+  WaveSchedule schedule(SwizzledLaunchOrder(grid, 3), 108);
+  TileMapping mapping(grid, schedule, WavePartition::EqualSized(schedule.wave_count(), 2));
+  const double payload = static_cast<double>(mapping.total_elems()) * 2.0;
+  const double table_bytes = ReorderMappingTableBytes(mapping);
+  std::printf("  GEMM epilogue scatter: mapping table %s vs payload %s -> %.3f%% (< 1%%)\n",
+              FormatBytes(table_bytes).c_str(), FormatBytes(payload).c_str(),
+              100.0 * table_bytes / payload);
+  // RMSNorm gather: fragment locality means the extra cost is bounded by
+  // one mapping-table read per tile fragment per row.
+  const double fragments_per_row = grid.cols();
+  const double extra_per_row = fragments_per_row * 4.0;
+  const double row_bytes = static_cast<double>(shape.n) * 2.0;
+  std::printf("  RMSNorm gather: %.0f fragment lookups/row -> %.2f%% extra traffic (< 10%%)\n",
+              fragments_per_row, 100.0 * extra_per_row / row_bytes);
+}
+
+}  // namespace
+}  // namespace flo
+
+int main(int argc, char** argv) {
+  const char* which = argc > 1 ? argv[1] : "all";
+  bool ok = true;
+  if (std::strcmp(which, "e1") == 0 || std::strcmp(which, "all") == 0) {
+    ok = flo::RunE1Correctness() && ok;
+    flo::RunE1Speedup();
+  }
+  if (std::strcmp(which, "e2") == 0 || std::strcmp(which, "all") == 0) {
+    flo::RunE2();
+  }
+  if (std::strcmp(which, "e3") == 0 || std::strcmp(which, "all") == 0) {
+    flo::RunE3();
+  }
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,73 @@
+// Autotune explorer: dissects the wave-grouping design space for one
+// GEMM+collective pair — every pruned candidate's predicted latency vs the
+// simulated actual, the exhaustive optimum, and the theoretical bound.
+//
+// Usage: autotune_explorer [M N K] [ar|rs|a2a] [4090|a800] [gpus]
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "src/core/flashoverlap.h"
+#include "src/util/table.h"
+
+int main(int argc, char** argv) {
+  flo::GemmShape shape{2048, 8192, 8192};
+  flo::CommPrimitive primitive = flo::CommPrimitive::kAllReduce;
+  std::string gpu = "4090";
+  int gpus = 4;
+  if (argc >= 4) {
+    shape.m = std::atoll(argv[1]);
+    shape.n = std::atoll(argv[2]);
+    shape.k = std::atoll(argv[3]);
+  }
+  if (argc >= 5) {
+    primitive = flo::CommPrimitiveFromName(argv[4]);
+  }
+  if (argc >= 6) {
+    gpu = argv[5];
+  }
+  if (argc >= 7) {
+    gpus = std::atoi(argv[6]);
+  }
+  const flo::ClusterSpec cluster =
+      gpu == "a800" ? flo::MakeA800Cluster(gpus)
+                    : (gpu == "ascend" ? flo::MakeAscendCluster(gpus)
+                                       : flo::Make4090Cluster(gpus));
+
+  flo::OverlapEngine engine(cluster, {}, flo::EngineOptions{.jitter = false});
+  flo::PredictorSetup setup = engine.tuner().MakeSetup(shape, primitive);
+  const int waves = setup.EffectiveWaveCount();
+  std::printf("%s, GEMM %s + %s\n", cluster.Describe().c_str(), shape.ToString().c_str(),
+              flo::CommPrimitiveName(primitive));
+  std::printf("tiles=%d, effective waves=%d (comm holds %d SMs), design space 2^%d\n\n",
+              setup.gemm.tile_count, waves, setup.comm_sm_count, waves - 1);
+
+  const double non_overlap = engine.RunNonOverlap(shape, primitive);
+  const double bound = engine.TheoreticalBest(shape, primitive);
+
+  flo::Table table({"partition", "predicted_us", "simulated_us", "speedup"});
+  const auto candidates = flo::EnumeratePruned(waves, 2, 4, 24);
+  double best_simulated = 1e300;
+  std::string best_partition;
+  for (const auto& partition : candidates) {
+    const double predicted = flo::PredictOverlapLatency(setup, partition).latency_us;
+    const double simulated = engine.RunOverlap(shape, primitive, &partition).total_us;
+    if (simulated < best_simulated) {
+      best_simulated = simulated;
+      best_partition = partition.ToString();
+    }
+    table.AddRow({partition.ToString(), flo::FormatDouble(predicted, 1),
+                  flo::FormatDouble(simulated, 1),
+                  flo::FormatDouble(non_overlap / simulated, 3)});
+  }
+  std::printf("%s\n", table.Render().c_str());
+
+  const flo::OverlapRun searched = engine.RunOverlap(shape, primitive);
+  std::printf("non-overlap:        %10.1f us\n", non_overlap);
+  std::printf("theoretical bound:  %10.1f us (speedup %.3fx)\n", bound, non_overlap / bound);
+  std::printf("predictive search:  %10.1f us via %s (speedup %.3fx)\n", searched.total_us,
+              searched.partition.ToString().c_str(), non_overlap / searched.total_us);
+  std::printf("best of %zu listed:  %10.1f us via %s\n", candidates.size(), best_simulated,
+              best_partition.c_str());
+  return 0;
+}

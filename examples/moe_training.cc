@@ -1,0 +1,63 @@
+// MoE training example: Mixtral-8x7B expert parallelism with an imbalanced
+// GEMM+All-to-All (the paper's Sec. 2.3.3 scenario).
+//
+// Shows the two faces of the library on the same pattern:
+//  * timed: imbalanced per-rank token loads, rendezvous collectives, and
+//    the multi-rank predictor extension;
+//  * functional: a small routed exchange verified against the vanilla
+//    All-to-All reference on real data.
+#include <cstdio>
+#include <vector>
+
+#include "src/core/flashoverlap.h"
+
+int main() {
+  // --- Timed: expert-parallel A2A with routing skew ---
+  const flo::ClusterSpec cluster = flo::MakeA800Cluster(4);
+  flo::OverlapEngine engine(cluster);
+  // Token counts per expert rank after top-2 routing with hot experts.
+  const std::vector<flo::GemmShape> shapes{
+      flo::GemmShape{12288, 4096, 7168}, flo::GemmShape{14336, 4096, 7168},
+      flo::GemmShape{16384, 4096, 7168}, flo::GemmShape{22528, 4096, 7168}};
+  const double sequential =
+      engine.RunNonOverlapImbalanced(shapes, flo::CommPrimitive::kAllToAll);
+  const flo::OverlapRun run =
+      engine.RunOverlapImbalanced(shapes, flo::CommPrimitive::kAllToAll);
+  std::printf("Mixtral-style expert A2A on %s\n", cluster.Describe().c_str());
+  std::printf("  per-rank tokens: 12288 / 14336 / 16384 / 22528 (hot expert skew)\n");
+  std::printf("  non-overlap:  %8.0f us\n", sequential);
+  std::printf("  FlashOverlap: %8.0f us  (%.2fx), grouping %s\n", run.total_us,
+              sequential / run.total_us, run.partition.ToString().c_str());
+
+  // --- Functional: routed exchange correctness ---
+  const int gpus = 4;
+  flo::FunctionalOptions options;
+  options.gpu_count = gpus;
+  options.wave_width = 4;
+  flo::FunctionalOverlap functional(options);
+  std::vector<flo::GemmShape> small_shapes(gpus, flo::GemmShape{64, 64, 32});
+  std::vector<std::vector<int>> routes(gpus);
+  std::vector<std::vector<float>> a;
+  std::vector<std::vector<float>> b;
+  flo::Rng rng(123);
+  for (int r = 0; r < gpus; ++r) {
+    routes[r].resize(64);
+    for (auto& dest : routes[r]) {
+      dest = static_cast<int>(rng.NextBelow(gpus));
+    }
+    a.push_back(flo::RandomMatrix(64, 32, 300 + r));
+    b.push_back(flo::RandomMatrix(32, 64, 400 + r));
+  }
+  const auto ours = functional.RunAllToAll(small_shapes, flo::WavePartition{}, routes, a, b);
+  const auto reference = functional.ReferenceAllToAll(small_shapes, routes, a, b);
+  float worst = 0.0f;
+  for (int r = 0; r < gpus; ++r) {
+    if (!ours[r].empty()) {
+      worst = std::max(worst, flo::MaxAbsDiff(ours[r], reference[r]));
+    }
+    std::printf("  rank %d received %zu tokens\n", r, ours[r].size() / 64);
+  }
+  std::printf("functional A2A check: max |diff| = %g -> %s\n", worst,
+              worst < 1e-3f ? "all close" : "MISMATCH");
+  return worst < 1e-3f ? 0 : 1;
+}

@@ -1,0 +1,178 @@
+#include "src/baselines/baselines.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "src/util/check.h"
+
+namespace flo {
+namespace {
+
+// Fusion-model constants, calibrated to the published behaviour: FLUX is a
+// highly tuned kernel with mild main-loop interference; cuBLASMp trades a
+// little more interference for generality. Fusing AllReduce costs more
+// than ReduceScatter: the epilogue must both send and apply remote
+// reductions in-kernel.
+constexpr double kFluxInterference = 1.10;
+constexpr double kCublasMpInterference = 1.13;
+constexpr double kAllReduceFusionExtra = 0.05;
+// Splitting one GEMM into chunks costs intra-kernel locality (L2 reuse of
+// B across the M extent) on top of wave quantization.
+constexpr double kDecompositionEfficiencyLoss = 1.03;
+// Fused kernels stream the payload from registers/SMEM into the transport,
+// skipping the collective kernel's read of the GEMM output (the result
+// itself must still be written once). One HBM trip saved.
+constexpr double kFusedHbmRoundTrips = 1.0;
+// Hand-written in-kernel transports do not reach the tuned NCCL ring
+// bandwidth (the adaptation cost the paper's Sec. 2.4 attributes to
+// fusion): effective bandwidth efficiency relative to the library.
+constexpr double kFusedCommEfficiency = 0.85;
+
+}  // namespace
+
+Baselines::Baselines(ClusterSpec cluster, int element_size)
+    : cluster_(cluster),
+      gemm_model_(cluster.gpu),
+      cost_model_(cluster.link, cluster.gpu_count),
+      element_size_(element_size) {}
+
+double Baselines::NonOverlap(const GemmShape& shape, CommPrimitive primitive) const {
+  const GemmConfig config = gemm_model_.Configure(shape);
+  const double bytes = shape.OutputBytes(element_size_);
+  return config.duration_us + cost_model_.LatencyUs(primitive, bytes);
+}
+
+double Baselines::DecompositionPipeline(const GemmShape& shape, CommPrimitive primitive,
+                                        int chunks, bool p2p_copy_engine) const {
+  FLO_CHECK_GE(chunks, 1);
+  // Chunks split M; the last chunk absorbs the remainder.
+  const int64_t chunk_m = std::max<int64_t>(1, shape.m / chunks);
+  double t_p_acc = 0.0;
+  double t_m_acc = 0.0;
+  int64_t remaining = shape.m;
+  while (remaining > 0) {
+    const int64_t this_m = std::min<int64_t>(chunk_m, remaining);
+    remaining -= this_m;
+    const GemmShape chunk_shape{this_m, shape.n, shape.k};
+    const GemmConfig chunk_config = gemm_model_.Configure(chunk_shape);
+    // The chunk GEMM competes with in-flight NCCL kernels for SMs (unless
+    // the copy engine does the transfer).
+    const int width = p2p_copy_engine
+                          ? cluster_.gpu.sm_count
+                          : cluster_.gpu.sm_count - cluster_.link.comm_sm_count;
+    const double t_p =
+        gemm_model_.Duration(chunk_config, std::max(1, width)) * kDecompositionEfficiencyLoss;
+    const double chunk_bytes = chunk_shape.OutputBytes(element_size_);
+    double t_m = cost_model_.LatencyUs(primitive, chunk_bytes);
+    if (p2p_copy_engine) {
+      // Copy-engine path: skips the kernel-launch part of the call
+      // overhead; ring latency and wire time remain. The output must be
+      // staged into the P2P-registered symmetric buffers first — one extra
+      // HBM round trip per chunk.
+      t_m -= 0.5 * cluster_.link.call_overhead_us;
+      t_m += 2.0 * chunk_bytes / (cluster_.gpu.hbm_gbps * 1e3);
+    }
+    t_p_acc += t_p;
+    t_m_acc = std::max(t_p_acc, t_m_acc) + t_m;
+  }
+  return t_m_acc;
+}
+
+BaselineResult Baselines::VanillaDecomposition(const GemmShape& shape, CommPrimitive primitive,
+                                               int chunks) const {
+  BaselineResult result;
+  result.name = "VanillaDecomposition";
+  result.supported = true;
+  if (chunks > 0) {
+    result.latency_us = DecompositionPipeline(shape, primitive, chunks, false);
+    return result;
+  }
+  double best = std::numeric_limits<double>::infinity();
+  for (int candidate : {2, 3, 4, 6, 8, 12, 16}) {
+    if (candidate >= shape.m) {
+      continue;
+    }
+    best = std::min(best, DecompositionPipeline(shape, primitive, candidate, false));
+  }
+  result.latency_us = best;
+  return result;
+}
+
+BaselineResult Baselines::AsyncTp(const GemmShape& shape, CommPrimitive primitive) const {
+  BaselineResult result;
+  result.name = "Async-TP";
+  // Async-TP requires NVLink P2P between all pairs and covers the TP
+  // patterns (AllReduce / ReduceScatter decomposition).
+  result.supported = cluster_.link.p2p_access && (primitive == CommPrimitive::kAllReduce ||
+                                                  primitive == CommPrimitive::kReduceScatter);
+  if (!result.supported) {
+    return result;
+  }
+  result.latency_us =
+      DecompositionPipeline(shape, primitive, cluster_.gpu_count, /*p2p_copy_engine=*/true);
+  return result;
+}
+
+namespace {
+
+double FusedLatency(const ClusterSpec& cluster, const GemmModel& gemm_model,
+                    const CommCostModel& cost_model, const GemmShape& shape,
+                    CommPrimitive primitive, double interference, int element_size) {
+  if (primitive == CommPrimitive::kAllReduce) {
+    interference += kAllReduceFusionExtra;
+  }
+  const GemmConfig config = gemm_model.Configure(shape);
+  const double bytes = shape.OutputBytes(element_size);
+  // Fused kernels move the whole payload at streaming granularity: they see
+  // the large-message end of the curve regardless of tile order — but at
+  // the hand-rolled transport's efficiency, not NCCL's.
+  const double comm = cost_model.LatencyUs(primitive, bytes) / kFusedCommEfficiency;
+  const double hbm_bytes_per_us = cluster.gpu.hbm_gbps * 1e3;
+  const double mem_saving = kFusedHbmRoundTrips * bytes / hbm_bytes_per_us;
+  const double gemm = std::max(config.wave_time_us,
+                               config.duration_us * interference - mem_saving);
+  // Tile-granular overlap: only the first wave (head) and the last tile's
+  // communication (tail) are exposed.
+  const double head = config.wave_time_us;
+  const double tail_bytes = std::max(
+      1.0, bytes * static_cast<double>(cluster.gpu.sm_count) / config.tile_count);
+  const double tail =
+      cost_model.LatencyUs(primitive, std::min(bytes, tail_bytes)) * 0.5;
+  return std::max(gemm + tail, head + comm);
+}
+
+}  // namespace
+
+BaselineResult Baselines::Flux(const GemmShape& shape, CommPrimitive primitive) const {
+  BaselineResult result;
+  result.name = "FLUX";
+  result.supported = cluster_.link.p2p_access && (primitive == CommPrimitive::kAllReduce ||
+                                                  primitive == CommPrimitive::kReduceScatter);
+  if (!result.supported) {
+    return result;
+  }
+  result.latency_us = FusedLatency(cluster_, gemm_model_, cost_model_, shape, primitive,
+                                   kFluxInterference, element_size_);
+  return result;
+}
+
+BaselineResult Baselines::CublasMp(const GemmShape& shape, CommPrimitive primitive) const {
+  BaselineResult result;
+  result.name = "cuBLASMp";
+  result.supported =
+      cluster_.link.p2p_access && primitive == CommPrimitive::kReduceScatter;
+  if (!result.supported) {
+    return result;
+  }
+  result.latency_us = FusedLatency(cluster_, gemm_model_, cost_model_, shape, primitive,
+                                   kCublasMpInterference, element_size_);
+  return result;
+}
+
+std::vector<BaselineResult> Baselines::All(const GemmShape& shape,
+                                           CommPrimitive primitive) const {
+  return {Flux(shape, primitive), CublasMp(shape, primitive), AsyncTp(shape, primitive),
+          VanillaDecomposition(shape, primitive)};
+}
+
+}  // namespace flo

@@ -1,0 +1,72 @@
+// Timing models of the baseline overlap systems the paper compares against
+// (Sec. 6.1.3): the non-overlap library path, decomposition-based methods
+// (a vanilla cuBLAS+NCCL pipeline and PyTorch Async-TP), and fusion-based
+// kernels (FLUX and cuBLASMp).
+//
+// Each baseline is modeled from its published mechanism:
+//  * Decomposition splits M into chunks; every chunk pays its own kernel
+//    launch and wave quantization (the fragmentation cost of Sec. 1), and
+//    chunk communication rides the small-message part of the bandwidth
+//    curve.
+//  * Async-TP additionally uses copy-engine P2P transfers (no SM footprint,
+//    lower call overhead) but is fixed to gpu_count chunks and requires
+//    peer-to-peer access.
+//  * Fusion overlaps at tile granularity almost perfectly and *saves* the
+//    staging round-trip through HBM (why it wins at small K), but inflates
+//    the GEMM main loop with communication instructions and requires P2P
+//    plus a hand-written kernel per primitive.
+#ifndef SRC_BASELINES_BASELINES_H_
+#define SRC_BASELINES_BASELINES_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/comm/cost_model.h"
+#include "src/gemm/gemm_model.h"
+#include "src/hw/cluster.h"
+
+namespace flo {
+
+struct BaselineResult {
+  std::string name;
+  bool supported = false;
+  double latency_us = 0.0;
+};
+
+class Baselines {
+ public:
+  explicit Baselines(ClusterSpec cluster, int element_size = 2);
+
+  const ClusterSpec& cluster() const { return cluster_; }
+
+  // Sequential cuBLAS + NCCL reference (denominator of every speedup).
+  double NonOverlap(const GemmShape& shape, CommPrimitive primitive) const;
+
+  // Decomposition into `chunks` pieces along M; pass 0 to sweep a chunk-
+  // count grid and keep the best (how the baseline would be tuned).
+  BaselineResult VanillaDecomposition(const GemmShape& shape, CommPrimitive primitive,
+                                      int chunks = 0) const;
+
+  BaselineResult AsyncTp(const GemmShape& shape, CommPrimitive primitive) const;
+
+  BaselineResult Flux(const GemmShape& shape, CommPrimitive primitive) const;
+
+  BaselineResult CublasMp(const GemmShape& shape, CommPrimitive primitive) const;
+
+  // All four, in presentation order.
+  std::vector<BaselineResult> All(const GemmShape& shape, CommPrimitive primitive) const;
+
+ private:
+  double DecompositionPipeline(const GemmShape& shape, CommPrimitive primitive, int chunks,
+                               bool p2p_copy_engine) const;
+
+  ClusterSpec cluster_;
+  GemmModel gemm_model_;
+  CommCostModel cost_model_;
+  int element_size_;
+};
+
+}  // namespace flo
+
+#endif  // SRC_BASELINES_BASELINES_H_

@@ -1,0 +1,68 @@
+#include "src/comm/collective_op.h"
+
+#include <utility>
+
+#include "src/util/check.h"
+
+namespace flo {
+
+CollectiveOp::CollectiveOp(std::string name, std::vector<Device*> devices, int sm_per_device,
+                           std::function<SimTime()> duration_fn, std::function<void()> apply)
+    : name_(std::move(name)),
+      devices_(std::move(devices)),
+      sm_per_device_(sm_per_device),
+      duration_fn_(std::move(duration_fn)),
+      apply_(std::move(apply)) {
+  FLO_CHECK(!devices_.empty());
+  FLO_CHECK_GE(sm_per_device_, 0);
+  arrived_.assign(devices_.size(), false);
+  done_callbacks_.resize(devices_.size());
+}
+
+void CollectiveOp::EnqueueOn(Stream& stream, int rank) {
+  FLO_CHECK_GE(rank, 0);
+  FLO_CHECK_LT(rank, static_cast<int>(devices_.size()));
+  stream.Enqueue(name_, [this, rank](Simulator& sim, Stream::DoneFn done) {
+    Arrive(sim, rank, std::move(done));
+  });
+}
+
+void CollectiveOp::Arrive(Simulator& sim, int rank, Stream::DoneFn done) {
+  FLO_CHECK(!arrived_[rank]) << name_ << ": rank " << rank << " arrived twice";
+  arrived_[rank] = true;
+  done_callbacks_[rank] = std::move(done);
+  ++arrived_count_;
+  if (arrived_count_ < static_cast<int>(devices_.size())) {
+    return;
+  }
+  // Last rank arrived: the transfer begins now on all devices.
+  FLO_CHECK(!started_);
+  started_ = true;
+  start_time_ = sim.Now();
+  for (Device* device : devices_) {
+    device->AcquireSms(sm_per_device_);
+  }
+  const SimTime duration = duration_fn_ ? duration_fn_() : 0.0;
+  FLO_CHECK_GE(duration, 0.0);
+  sim.Schedule(duration, [this, &sim]() {
+    end_time_ = sim.Now();
+    Complete();
+  });
+}
+
+void CollectiveOp::Complete() {
+  FLO_CHECK(!completed_);
+  completed_ = true;
+  for (Device* device : devices_) {
+    device->ReleaseSms(sm_per_device_);
+  }
+  if (apply_) {
+    apply_();
+  }
+  for (auto& done : done_callbacks_) {
+    FLO_CHECK(done != nullptr);
+    done();
+  }
+}
+
+}  // namespace flo

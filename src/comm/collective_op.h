@@ -1,0 +1,59 @@
+// Simulated synchronizing collective call.
+//
+// NCCL collectives are rendezvous operations: every rank must enqueue the
+// call, the transfer runs once all ranks arrive, and all ranks' streams
+// unblock on completion. While resident, the collective's kernel occupies
+// `sm_per_device` SMs on every participating device — which is exactly the
+// contention the paper's predictor accounts for (Alg. 1 line 3).
+#ifndef SRC_COMM_COLLECTIVE_OP_H_
+#define SRC_COMM_COLLECTIVE_OP_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/sim/device.h"
+#include "src/sim/stream.h"
+
+namespace flo {
+
+class CollectiveOp {
+ public:
+  // `duration_fn` is evaluated once, when the last rank arrives (so it can
+  // sample jitter); `apply` runs at completion and performs the functional
+  // data movement. Both may be null for timing-only simulations.
+  CollectiveOp(std::string name, std::vector<Device*> devices, int sm_per_device,
+               std::function<SimTime()> duration_fn, std::function<void()> apply);
+
+  // Enqueues this rank's share of the collective on its comm stream. Must
+  // be called exactly once per rank.
+  void EnqueueOn(Stream& stream, int rank);
+
+  bool completed() const { return completed_; }
+  SimTime start_time() const { return start_time_; }
+  SimTime end_time() const { return end_time_; }
+  const std::string& name() const { return name_; }
+
+ private:
+  void Arrive(Simulator& sim, int rank, Stream::DoneFn done);
+  void Complete();
+
+  std::string name_;
+  std::vector<Device*> devices_;
+  int sm_per_device_;
+  std::function<SimTime()> duration_fn_;
+  std::function<void()> apply_;
+
+  std::vector<bool> arrived_;
+  std::vector<Stream::DoneFn> done_callbacks_;
+  int arrived_count_ = 0;
+  bool started_ = false;
+  bool completed_ = false;
+  SimTime start_time_ = 0.0;
+  SimTime end_time_ = 0.0;
+};
+
+}  // namespace flo
+
+#endif  // SRC_COMM_COLLECTIVE_OP_H_

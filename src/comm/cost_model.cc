@@ -1,0 +1,70 @@
+#include "src/comm/cost_model.h"
+
+#include <cmath>
+
+#include "src/util/check.h"
+
+namespace flo {
+
+CommCostModel::CommCostModel(InterconnectSpec link, int gpu_count)
+    : link_(std::move(link)), gpu_count_(gpu_count) {
+  FLO_CHECK_GE(gpu_count_, 2);
+}
+
+double CommCostModel::LatencyUs(CommPrimitive primitive, double bytes) const {
+  FLO_CHECK_GT(bytes, 0.0);
+  const double factor = WireFactor(primitive, gpu_count_);
+  // The effective bandwidth is a function of the call's payload size: this
+  // is precisely the (data size -> bandwidth) curve the paper profiles in
+  // Fig. 8, cliff included.
+  const double busbw_gbps = link_.EffectiveBusBandwidth(bytes);
+  // GB/s == bytes/ns * 1 == 1e3 bytes/us.
+  const double bytes_per_us = busbw_gbps * 1e3;
+  const double wire_time = factor * bytes / bytes_per_us;
+  // Ring steps pay the per-hop latency serially.
+  const double steps = (primitive == CommPrimitive::kAllReduce)
+                           ? 2.0 * (gpu_count_ - 1)
+                           : static_cast<double>(gpu_count_ - 1);
+  return link_.call_overhead_us + steps * link_.base_latency_us + wire_time;
+}
+
+double CommCostModel::AlgorithmBandwidth(CommPrimitive primitive, double bytes) const {
+  const double latency_us = LatencyUs(primitive, bytes);
+  return bytes / latency_us / 1e3;  // bytes/us -> GB/s
+}
+
+Curve CommCostModel::SampleLatencyCurve(CommPrimitive primitive, double min_bytes,
+                                        double max_bytes, int points_per_decade) const {
+  FLO_CHECK_GT(min_bytes, 0.0);
+  FLO_CHECK_GT(max_bytes, min_bytes);
+  std::vector<std::pair<double, double>> points;
+  const double log_min = std::log10(min_bytes);
+  const double log_max = std::log10(max_bytes);
+  const int total =
+      static_cast<int>(std::ceil((log_max - log_min) * points_per_decade)) + 1;
+  for (int i = 0; i <= total; ++i) {
+    const double x =
+        std::pow(10.0, log_min + (log_max - log_min) * static_cast<double>(i) / total);
+    points.emplace_back(x, LatencyUs(primitive, x));
+  }
+  return Curve(std::move(points));
+}
+
+double CommCostModel::BandwidthKneeBytes(CommPrimitive primitive, double fraction) const {
+  FLO_CHECK_GT(fraction, 0.0);
+  FLO_CHECK_LT(fraction, 1.0);
+  const double reference = AlgorithmBandwidth(primitive, 1024.0 * 1024 * 1024);
+  double lo = 1024.0;
+  double hi = 1024.0 * 1024 * 1024;
+  for (int iter = 0; iter < 64; ++iter) {
+    const double mid = std::sqrt(lo * hi);
+    if (AlgorithmBandwidth(primitive, mid) < fraction * reference) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return hi;
+}
+
+}  // namespace flo

@@ -1,0 +1,47 @@
+// Latency model for collective calls on a cluster.
+//
+// The model combines the ring wire factor with the size-dependent effective
+// link bandwidth (Fig. 8) plus per-call and per-step fixed costs. This is
+// both what the simulated collectives charge and what the tuner samples
+// offline into its interpolation curve (Alg. 1).
+#ifndef SRC_COMM_COST_MODEL_H_
+#define SRC_COMM_COST_MODEL_H_
+
+#include "src/comm/primitive.h"
+#include "src/hw/interconnect.h"
+#include "src/util/interp.h"
+
+namespace flo {
+
+class CommCostModel {
+ public:
+  CommCostModel(InterconnectSpec link, int gpu_count);
+
+  const InterconnectSpec& link() const { return link_; }
+  int gpu_count() const { return gpu_count_; }
+
+  // Latency (us) of one collective call moving `bytes` of payload per GPU.
+  // `bytes` is the send-buffer size on each rank.
+  double LatencyUs(CommPrimitive primitive, double bytes) const;
+
+  // Effective algorithm bandwidth (payload bytes / time), GB/s, for
+  // plotting Fig. 8-style curves.
+  double AlgorithmBandwidth(CommPrimitive primitive, double bytes) const;
+
+  // Samples the (bytes -> latency us) relation for the tuner's predictive
+  // search. Dense log-spaced sampling stands in for offline profiling runs.
+  Curve SampleLatencyCurve(CommPrimitive primitive, double min_bytes, double max_bytes,
+                           int points_per_decade = 16) const;
+
+  // Smallest payload whose algorithm bandwidth reaches `fraction` of the
+  // large-message bandwidth — the "red marker" borderline in Fig. 8.
+  double BandwidthKneeBytes(CommPrimitive primitive, double fraction = 0.8) const;
+
+ private:
+  InterconnectSpec link_;
+  int gpu_count_;
+};
+
+}  // namespace flo
+
+#endif  // SRC_COMM_COST_MODEL_H_

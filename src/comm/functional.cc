@@ -1,0 +1,107 @@
+#include "src/comm/functional.h"
+
+#include "src/util/check.h"
+
+namespace flo {
+
+void FunctionalAllReduce(std::span<std::span<float>> rank_buffers) {
+  FLO_CHECK_GE(rank_buffers.size(), 2u);
+  const size_t elements = rank_buffers[0].size();
+  for (const auto& buffer : rank_buffers) {
+    FLO_CHECK_EQ(buffer.size(), elements);
+  }
+  for (size_t i = 0; i < elements; ++i) {
+    float sum = 0.0f;
+    for (const auto& buffer : rank_buffers) {
+      sum += buffer[i];
+    }
+    for (auto& buffer : rank_buffers) {
+      buffer[i] = sum;
+    }
+  }
+}
+
+void FunctionalReduceScatter(std::span<const std::span<const float>> rank_in,
+                             std::span<std::span<float>> rank_out) {
+  const size_t n = rank_in.size();
+  FLO_CHECK_GE(n, 2u);
+  FLO_CHECK_EQ(rank_out.size(), n);
+  const size_t total = rank_in[0].size();
+  FLO_CHECK_EQ(total % n, 0u) << "ReduceScatter input must divide evenly by rank count";
+  const size_t slice = total / n;
+  for (const auto& in : rank_in) {
+    FLO_CHECK_EQ(in.size(), total);
+  }
+  for (size_t r = 0; r < n; ++r) {
+    FLO_CHECK_EQ(rank_out[r].size(), slice);
+    for (size_t i = 0; i < slice; ++i) {
+      float sum = 0.0f;
+      for (const auto& in : rank_in) {
+        sum += in[r * slice + i];
+      }
+      rank_out[r][i] = sum;
+    }
+  }
+}
+
+void FunctionalAllGather(std::span<const std::span<const float>> rank_in,
+                         std::span<std::span<float>> rank_out) {
+  const size_t n = rank_in.size();
+  FLO_CHECK_GE(n, 2u);
+  FLO_CHECK_EQ(rank_out.size(), n);
+  size_t total = 0;
+  for (const auto& in : rank_in) {
+    total += in.size();
+  }
+  for (auto& out : rank_out) {
+    FLO_CHECK_EQ(out.size(), total);
+    size_t offset = 0;
+    for (const auto& in : rank_in) {
+      for (size_t i = 0; i < in.size(); ++i) {
+        out[offset + i] = in[i];
+      }
+      offset += in.size();
+    }
+  }
+}
+
+void FunctionalAllToAll(std::span<const std::span<const float>> rank_in,
+                        const std::vector<std::vector<int64_t>>& send_counts,
+                        std::span<std::span<float>> rank_out) {
+  const size_t n = rank_in.size();
+  FLO_CHECK_GE(n, 2u);
+  FLO_CHECK_EQ(rank_out.size(), n);
+  FLO_CHECK_EQ(send_counts.size(), n);
+  // Validate layout sizes.
+  for (size_t src = 0; src < n; ++src) {
+    FLO_CHECK_EQ(send_counts[src].size(), n);
+    int64_t total_send = 0;
+    for (size_t dst = 0; dst < n; ++dst) {
+      FLO_CHECK_GE(send_counts[src][dst], 0);
+      total_send += send_counts[src][dst];
+    }
+    FLO_CHECK_EQ(rank_in[src].size(), static_cast<size_t>(total_send));
+  }
+  for (size_t dst = 0; dst < n; ++dst) {
+    int64_t total_recv = 0;
+    for (size_t src = 0; src < n; ++src) {
+      total_recv += send_counts[src][dst];
+    }
+    FLO_CHECK_EQ(rank_out[dst].size(), static_cast<size_t>(total_recv));
+  }
+  // Exchange: walk each source's segments and copy into each destination.
+  std::vector<int64_t> recv_offset(n, 0);
+  for (size_t src = 0; src < n; ++src) {
+    int64_t send_offset = 0;
+    for (size_t dst = 0; dst < n; ++dst) {
+      const int64_t count = send_counts[src][dst];
+      for (int64_t i = 0; i < count; ++i) {
+        rank_out[dst][recv_offset[dst] + i] = rank_in[src][send_offset + i];
+      }
+      send_offset += count;
+      recv_offset[dst] += count;
+    }
+  }
+}
+
+}  // namespace flo

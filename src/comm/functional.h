@@ -1,0 +1,42 @@
+// Functional host implementations of the collectives.
+//
+// These operate on real per-rank buffers so that every reorder /
+// communication path in the engine is verified with actual data, not just
+// timed. Semantics match NCCL: buffers must be contiguous ranges (enforced
+// by taking spans), AllReduce sums element-wise, ReduceScatter splits the
+// reduced buffer evenly by rank, AllGather concatenates, AllToAll exchanges
+// per-destination segments described by send counts.
+#ifndef SRC_COMM_FUNCTIONAL_H_
+#define SRC_COMM_FUNCTIONAL_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace flo {
+
+// In-place: every rank ends with the element-wise sum over ranks. All spans
+// must be equally sized.
+void FunctionalAllReduce(std::span<std::span<float>> rank_buffers);
+
+// rank_out[r] = slice r of the element-wise sum of rank_in. Each input span
+// has n_ranks * slice elements; each output span has `slice` elements.
+void FunctionalReduceScatter(std::span<const std::span<const float>> rank_in,
+                             std::span<std::span<float>> rank_out);
+
+// rank_out[r] = concatenation of all rank_in slices, identical on every
+// rank.
+void FunctionalAllGather(std::span<const std::span<const float>> rank_in,
+                         std::span<std::span<float>> rank_out);
+
+// General All-to-All with per-pair element counts. send_counts[src][dst] is
+// the number of elements src sends to dst, laid out consecutively (by dst)
+// in rank_in[src]. Received segments are laid out (by src) in rank_out[dst].
+// Each output span must be exactly the total received size.
+void FunctionalAllToAll(std::span<const std::span<const float>> rank_in,
+                        const std::vector<std::vector<int64_t>>& send_counts,
+                        std::span<std::span<float>> rank_out);
+
+}  // namespace flo
+
+#endif  // SRC_COMM_FUNCTIONAL_H_

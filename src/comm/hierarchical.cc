@@ -1,0 +1,65 @@
+#include "src/comm/hierarchical.h"
+
+#include "src/util/check.h"
+
+namespace flo {
+
+InterconnectSpec MakeInfiniBandHdr() {
+  InterconnectSpec spec;
+  spec.kind = LinkKind::kPcie;  // host-mediated path; closest existing kind
+  spec.name = "IB-HDR200";
+  // HDR200 NIC shared per GPU pair: ~20 GB/s effective per GPU.
+  spec.peak_busbw_gbps = 20.0;
+  spec.base_latency_us = 10.0;
+  spec.half_saturation_bytes = 4.0 * 1024 * 1024;
+  spec.cliff_bytes = 8.0 * 1024 * 1024;
+  spec.comm_sm_count = 2;
+  spec.call_overhead_us = 25.0;
+  spec.p2p_access = false;
+  return spec;
+}
+
+HierarchicalCostModel::HierarchicalCostModel(InterconnectSpec intra, InterconnectSpec inter,
+                                             int nodes, int gpus_per_node)
+    : intra_(std::move(intra), std::max(gpus_per_node, 2)),
+      inter_(std::move(inter), std::max(nodes, 2)),
+      nodes_(nodes),
+      gpus_per_node_(gpus_per_node) {
+  FLO_CHECK_GE(nodes_, 1);
+  FLO_CHECK_GE(gpus_per_node_, 2);
+}
+
+double HierarchicalCostModel::LatencyUs(CommPrimitive primitive, double bytes) const {
+  FLO_CHECK_GT(bytes, 0.0);
+  if (nodes_ <= 1) {
+    return intra_.LatencyUs(primitive, bytes);
+  }
+  // After the intra-node phase each GPU owns a 1/gpus_per_node shard that
+  // the inter-node phase operates on.
+  const double shard = bytes / gpus_per_node_;
+  switch (primitive) {
+    case CommPrimitive::kAllReduce:
+      return intra_.LatencyUs(CommPrimitive::kReduceScatter, bytes) +
+             inter_.LatencyUs(CommPrimitive::kAllReduce, shard) +
+             intra_.LatencyUs(CommPrimitive::kAllGather, bytes);
+    case CommPrimitive::kReduceScatter:
+      return intra_.LatencyUs(CommPrimitive::kReduceScatter, bytes) +
+             inter_.LatencyUs(CommPrimitive::kReduceScatter, shard);
+    case CommPrimitive::kAllGather:
+      return inter_.LatencyUs(CommPrimitive::kAllGather, shard) +
+             intra_.LatencyUs(CommPrimitive::kAllGather, bytes);
+    case CommPrimitive::kAllToAll: {
+      // Fraction staying on-node: (gpus_per_node - 1) / world; crossing:
+      // the rest, serialized through the NIC.
+      const double world = static_cast<double>(world_size());
+      const double local_fraction = (gpus_per_node_ - 1) / world;
+      const double cross_fraction = (world - gpus_per_node_) / world;
+      return intra_.LatencyUs(CommPrimitive::kAllToAll, bytes * local_fraction +
+                                                             1.0) +
+             inter_.LatencyUs(CommPrimitive::kAllToAll, bytes * cross_fraction + 1.0);
+    }
+  }
+  return intra_.LatencyUs(primitive, bytes);
+}
+
+}  // namespace flo

@@ -1,0 +1,49 @@
+// Two-level collective cost model for multi-node deployments.
+//
+// The paper's current implementation is intra-node (A.6.2 notes that
+// inter-node support only swaps the communication backend). This model
+// covers that extension: a collective over (nodes x gpus_per_node) executes
+// as the standard hierarchical algorithm —
+//   AllReduce     = intra RS -> inter AR (per shard) -> intra AG
+//   ReduceScatter = intra RS -> inter RS
+//   AllGather     = inter AG -> intra AG
+//   AllToAll      = intra exchange + inter exchange of the cross slices
+// with each phase priced by the corresponding link's cost model.
+#ifndef SRC_COMM_HIERARCHICAL_H_
+#define SRC_COMM_HIERARCHICAL_H_
+
+#include "src/comm/cost_model.h"
+#include "src/hw/interconnect.h"
+
+namespace flo {
+
+// An InfiniBand-style inter-node fabric preset (per-GPU NIC share).
+InterconnectSpec MakeInfiniBandHdr();
+
+class HierarchicalCostModel {
+ public:
+  HierarchicalCostModel(InterconnectSpec intra, InterconnectSpec inter, int nodes,
+                        int gpus_per_node);
+
+  int nodes() const { return nodes_; }
+  int gpus_per_node() const { return gpus_per_node_; }
+  int world_size() const { return nodes_ * gpus_per_node_; }
+
+  // Latency (us) of one hierarchical collective moving `bytes` per GPU.
+  double LatencyUs(CommPrimitive primitive, double bytes) const;
+
+  // Single-node degenerate case must match the flat model; exposed for
+  // verification.
+  const CommCostModel& intra() const { return intra_; }
+  const CommCostModel& inter() const { return inter_; }
+
+ private:
+  CommCostModel intra_;
+  CommCostModel inter_;
+  int nodes_;
+  int gpus_per_node_;
+};
+
+}  // namespace flo
+
+#endif  // SRC_COMM_HIERARCHICAL_H_

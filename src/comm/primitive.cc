@@ -1,0 +1,60 @@
+#include "src/comm/primitive.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "src/util/check.h"
+
+namespace flo {
+
+const char* CommPrimitiveName(CommPrimitive primitive) {
+  switch (primitive) {
+    case CommPrimitive::kAllReduce:
+      return "AllReduce";
+    case CommPrimitive::kReduceScatter:
+      return "ReduceScatter";
+    case CommPrimitive::kAllGather:
+      return "AllGather";
+    case CommPrimitive::kAllToAll:
+      return "AllToAll";
+  }
+  return "?";
+}
+
+double WireFactor(CommPrimitive primitive, int gpu_count) {
+  FLO_CHECK_GE(gpu_count, 2);
+  const double n = static_cast<double>(gpu_count);
+  switch (primitive) {
+    case CommPrimitive::kAllReduce:
+      // Ring AllReduce: reduce-scatter + all-gather phases.
+      return 2.0 * (n - 1.0) / n;
+    case CommPrimitive::kReduceScatter:
+    case CommPrimitive::kAllGather:
+      return (n - 1.0) / n;
+    case CommPrimitive::kAllToAll:
+      // Each rank keeps 1/n of its data locally and sends the rest.
+      return (n - 1.0) / n;
+  }
+  return 1.0;
+}
+
+CommPrimitive CommPrimitiveFromName(const std::string& name) {
+  std::string lower = name;
+  std::transform(lower.begin(), lower.end(), lower.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  if (lower == "ar" || lower == "allreduce") {
+    return CommPrimitive::kAllReduce;
+  }
+  if (lower == "rs" || lower == "reducescatter") {
+    return CommPrimitive::kReduceScatter;
+  }
+  if (lower == "ag" || lower == "allgather") {
+    return CommPrimitive::kAllGather;
+  }
+  if (lower == "a2a" || lower == "alltoall") {
+    return CommPrimitive::kAllToAll;
+  }
+  FLO_CHECK(false) << "unknown primitive: " << name;
+}
+
+}  // namespace flo

@@ -1,0 +1,29 @@
+// Collective communication primitives supported by the MCL library (the
+// NCCL stand-in). FlashOverlap is agnostic to the primitive by design; the
+// engine only ever calls these through the generic interface.
+#ifndef SRC_COMM_PRIMITIVE_H_
+#define SRC_COMM_PRIMITIVE_H_
+
+#include <string>
+
+namespace flo {
+
+enum class CommPrimitive {
+  kAllReduce,
+  kReduceScatter,
+  kAllGather,
+  kAllToAll,
+};
+
+const char* CommPrimitiveName(CommPrimitive primitive);
+
+// Bytes crossing each GPU's link per payload byte under a ring algorithm
+// with `gpu_count` participants (the classical busbw factors).
+double WireFactor(CommPrimitive primitive, int gpu_count);
+
+// Parses "ar"/"allreduce", "rs"/"reducescatter", "ag", "a2a"/"alltoall".
+CommPrimitive CommPrimitiveFromName(const std::string& name);
+
+}  // namespace flo
+
+#endif  // SRC_COMM_PRIMITIVE_H_

@@ -1,0 +1,79 @@
+#include "src/core/counting_table.h"
+
+#include <utility>
+
+#include "src/util/check.h"
+
+namespace flo {
+
+CountingTable::CountingTable(std::vector<int> group_targets)
+    : targets_(std::move(group_targets)) {
+  FLO_CHECK(!targets_.empty());
+  counts_.reserve(targets_.size());
+  callbacks_.resize(targets_.size());
+  for (int target : targets_) {
+    FLO_CHECK_GT(target, 0);
+    counts_.push_back(std::make_unique<std::atomic<int>>(0));
+  }
+}
+
+int CountingTable::target(int group) const {
+  FLO_CHECK_GE(group, 0);
+  FLO_CHECK_LT(group, group_count());
+  return targets_[group];
+}
+
+int CountingTable::count(int group) const {
+  FLO_CHECK_GE(group, 0);
+  FLO_CHECK_LT(group, group_count());
+  return counts_[group]->load(std::memory_order_acquire);
+}
+
+void CountingTable::OnGroupComplete(int group, std::function<void()> callback) {
+  FLO_CHECK_GE(group, 0);
+  FLO_CHECK_LT(group, group_count());
+  FLO_CHECK(callback != nullptr);
+  if (GroupComplete(group)) {
+    callback();
+    return;
+  }
+  callbacks_[group].push_back(std::move(callback));
+}
+
+bool CountingTable::RecordTile(int group) {
+  FLO_CHECK_GE(group, 0);
+  FLO_CHECK_LT(group, group_count());
+  const int new_count = counts_[group]->fetch_add(1, std::memory_order_acq_rel) + 1;
+  FLO_CHECK_LE(new_count, targets_[group]) << "group over-counted";
+  if (new_count != targets_[group]) {
+    return false;
+  }
+  auto callbacks = std::move(callbacks_[group]);
+  callbacks_[group].clear();
+  for (auto& callback : callbacks) {
+    callback();
+  }
+  return true;
+}
+
+bool CountingTable::GroupComplete(int group) const { return count(group) >= target(group); }
+
+bool CountingTable::AllComplete() const {
+  for (int g = 0; g < group_count(); ++g) {
+    if (!GroupComplete(g)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void CountingTable::Reset() {
+  for (auto& count : counts_) {
+    count->store(0, std::memory_order_release);
+  }
+  for (auto& callbacks : callbacks_) {
+    callbacks.clear();
+  }
+}
+
+}  // namespace flo

@@ -1,0 +1,50 @@
+// The signaling mechanism's counting table (paper Sec. 3.2.4).
+//
+// The table holds one counter per wave group. The GEMM epilogue atomically
+// bumps the counter of the finished tile's group; when a counter reaches
+// the group's tile count, the group's communication may start. Counters are
+// std::atomic because on the real device epilogue threads race; the
+// simulator drives it single-threaded but through the same interface.
+#ifndef SRC_CORE_COUNTING_TABLE_H_
+#define SRC_CORE_COUNTING_TABLE_H_
+
+#include <atomic>
+#include <functional>
+#include <memory>
+#include <vector>
+
+namespace flo {
+
+class CountingTable {
+ public:
+  // `group_targets[j]` = |G_j| in tiles.
+  explicit CountingTable(std::vector<int> group_targets);
+
+  int group_count() const { return static_cast<int>(targets_.size()); }
+  int target(int group) const;
+  int count(int group) const;
+
+  // Registers a callback fired exactly once, when `group` completes. If the
+  // group already completed the callback fires immediately.
+  void OnGroupComplete(int group, std::function<void()> callback);
+
+  // Records one finished tile of `group`; returns true if this tile
+  // completed the group (the "signal"). Over-counting is a caller bug.
+  bool RecordTile(int group);
+
+  bool GroupComplete(int group) const;
+  bool AllComplete() const;
+
+  // Resets all counters (keeps targets and drops callbacks); lets one
+  // table be reused across iterations like the persistent device buffer.
+  void Reset();
+
+ private:
+  std::vector<int> targets_;
+  std::vector<std::unique_ptr<std::atomic<int>>> counts_;
+  std::vector<std::vector<std::function<void()>>> callbacks_;
+};
+
+}  // namespace flo
+
+#endif  // SRC_CORE_COUNTING_TABLE_H_

@@ -1,0 +1,34 @@
+// Umbrella header: the FlashOverlap public API.
+//
+// Typical use:
+//   flo::ClusterSpec cluster = flo::Make4090Cluster(4);
+//   flo::OverlapEngine engine(cluster);
+//   flo::OverlapRun run = engine.RunOverlap({4096, 8192, 7168},
+//                                           flo::CommPrimitive::kAllReduce);
+//   double speedup = engine.RunNonOverlap(...) / run.total_us;
+//
+// For numerically verified execution on real buffers, use
+// flo::FunctionalOverlap.
+#ifndef SRC_CORE_FLASHOVERLAP_H_
+#define SRC_CORE_FLASHOVERLAP_H_
+
+#include "src/comm/cost_model.h"
+#include "src/comm/functional.h"
+#include "src/comm/primitive.h"
+#include "src/core/counting_table.h"
+#include "src/core/functional_overlap.h"
+#include "src/core/mapping_table.h"
+#include "src/core/overlap_engine.h"
+#include "src/core/predictor.h"
+#include "src/core/reorder.h"
+#include "src/core/rmsnorm.h"
+#include "src/core/tuner.h"
+#include "src/core/wave_partition.h"
+#include "src/gemm/gemm_model.h"
+#include "src/gemm/host_gemm.h"
+#include "src/gemm/swizzle.h"
+#include "src/gemm/tile.h"
+#include "src/gemm/wave.h"
+#include "src/hw/cluster.h"
+
+#endif  // SRC_CORE_FLASHOVERLAP_H_

@@ -1,0 +1,422 @@
+#include "src/core/functional_overlap.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "src/comm/functional.h"
+#include "src/core/counting_table.h"
+#include "src/core/reorder.h"
+#include "src/core/rmsnorm.h"
+#include "src/gemm/host_gemm.h"
+#include "src/gemm/swizzle.h"
+#include "src/gemm/wave.h"
+#include "src/util/check.h"
+
+namespace flo {
+namespace {
+
+// Builds (grid, schedule, mapping) for one shape/partition under the
+// functional options. The partition must match the schedule's wave count.
+struct Plan {
+  TileGrid grid;
+  std::vector<int> launch_order;
+  WaveSchedule schedule;
+  TileMapping mapping;
+};
+
+// Largest power-of-two tile edge (<= 64) dividing the dimension, so the
+// functional path always works on full uniform tiles as the device staging
+// layout requires.
+int DivisibleTileEdge(int64_t dim) {
+  for (int edge : {64, 32, 16, 8, 4, 2}) {
+    if (dim % edge == 0) {
+      return edge;
+    }
+  }
+  return 1;
+}
+
+TileShape SelectFunctionalTile(const GemmShape& shape) {
+  return TileShape{DivisibleTileEdge(shape.m), DivisibleTileEdge(shape.n)};
+}
+
+Plan MakePlan(const GemmShape& shape, const FunctionalOptions& options,
+              const WavePartition& partition) {
+  const TileShape tile = SelectFunctionalTile(shape);
+  TileGrid grid(shape, tile);
+  std::vector<int> launch_order = SwizzledLaunchOrder(grid, options.swizzle_size);
+  WaveSchedule schedule(launch_order, options.wave_width);
+  WavePartition scaled;
+  if (partition.group_count() == 0) {
+    // Unspecified partition: a reasonable default grouping.
+    scaled = WavePartition::EqualSized(schedule.wave_count(), 2);
+  } else if (partition.TotalWaves() == schedule.wave_count()) {
+    scaled = partition;
+  } else if (partition.group_count() > schedule.wave_count()) {
+    // More groups requested than waves exist: the finest legal grouping.
+    scaled = WavePartition::PerWave(schedule.wave_count());
+  } else {
+    scaled = ScalePartitionExact(partition, schedule.wave_count());
+  }
+  TileMapping mapping(grid, schedule, scaled);
+  return Plan{grid, std::move(launch_order), std::move(schedule), std::move(mapping)};
+}
+
+}  // namespace
+
+FunctionalOverlap::FunctionalOverlap(FunctionalOptions options) : options_(options) {
+  FLO_CHECK_GE(options_.gpu_count, 2);
+  FLO_CHECK_GE(options_.wave_width, 1);
+  FLO_CHECK_GE(options_.swizzle_size, 1);
+}
+
+void FunctionalOverlap::RunSignalingGemms(
+    const TileGrid& grid, const TileMapping& mapping,
+    const std::vector<std::vector<float>>& rank_a, const std::vector<std::vector<float>>& rank_b,
+    const std::function<void(int rank, int tile, std::span<const float>)>& scatter,
+    const std::function<void(int group)>& on_group_ready) const {
+  const int n = options_.gpu_count;
+  FLO_CHECK_EQ(rank_a.size(), static_cast<size_t>(n));
+  FLO_CHECK_EQ(rank_b.size(), static_cast<size_t>(n));
+  HostGemm gemm(grid.shape(), grid.tile());
+  const std::vector<int> launch_order =
+      SwizzledLaunchOrder(grid, options_.swizzle_size);
+
+  // One counting table per rank plus a cross-rank arrival count per group:
+  // a group's communication may start only when every rank signalled it.
+  std::vector<CountingTable> tables;
+  tables.reserve(n);
+  for (int r = 0; r < n; ++r) {
+    tables.emplace_back(mapping.GroupTileTargets());
+  }
+  std::vector<int> arrivals(mapping.group_count(), 0);
+
+  for (int r = 0; r < n; ++r) {
+    gemm.ComputeWithSink(rank_a[r], rank_b[r], options_.epilogue, {}, launch_order,
+                         [&](int tile, std::span<const float> values) {
+                           scatter(r, tile, values);
+                           const int group = mapping.GroupOfTile(tile);
+                           if (tables[r].RecordTile(group)) {
+                             if (++arrivals[group] == n) {
+                               on_group_ready(group);
+                             }
+                           }
+                         });
+  }
+  for (int g = 0; g < mapping.group_count(); ++g) {
+    FLO_CHECK_EQ(arrivals[g], n) << "group " << g << " never became ready";
+  }
+}
+
+std::vector<std::vector<float>> FunctionalOverlap::RunAllReduce(
+    const GemmShape& shape, const WavePartition& partition,
+    const std::vector<std::vector<float>>& rank_a, const std::vector<std::vector<float>>& rank_b) {
+  const int n = options_.gpu_count;
+  Plan plan = MakePlan(shape, options_, partition);
+  std::vector<std::vector<float>> staging(
+      n, std::vector<float>(plan.mapping.total_elems(), 0.0f));
+
+  RunSignalingGemms(
+      plan.grid, plan.mapping, rank_a, rank_b,
+      [&](int rank, int tile, std::span<const float> values) {
+        ScatterTileToStaging(plan.mapping, tile, values, staging[rank]);
+      },
+      [&](int group) {
+        // Communication of exactly the group's contiguous range — the only
+        // thing a library API needs.
+        const GroupInfo& info = plan.mapping.group(group);
+        std::vector<std::span<float>> spans;
+        spans.reserve(n);
+        for (int r = 0; r < n; ++r) {
+          spans.emplace_back(staging[r].data() + info.elem_begin,
+                             static_cast<size_t>(info.elem_count));
+        }
+        FunctionalAllReduce(spans);
+      });
+
+  std::vector<std::vector<float>> result(
+      n, std::vector<float>(static_cast<size_t>(shape.m * shape.n), 0.0f));
+  for (int r = 0; r < n; ++r) {
+    GatherStagingToMatrix(plan.mapping, staging[r], result[r]);
+  }
+  return result;
+}
+
+std::vector<std::vector<float>> FunctionalOverlap::RunAllReduceRmsNorm(
+    const GemmShape& shape, const WavePartition& partition,
+    const std::vector<std::vector<float>>& rank_a, const std::vector<std::vector<float>>& rank_b) {
+  const int n = options_.gpu_count;
+  Plan plan = MakePlan(shape, options_, partition);
+  std::vector<std::vector<float>> staging(
+      n, std::vector<float>(plan.mapping.total_elems(), 0.0f));
+  RunSignalingGemms(
+      plan.grid, plan.mapping, rank_a, rank_b,
+      [&](int rank, int tile, std::span<const float> values) {
+        ScatterTileToStaging(plan.mapping, tile, values, staging[rank]);
+      },
+      [&](int group) {
+        const GroupInfo& info = plan.mapping.group(group);
+        std::vector<std::span<float>> spans;
+        spans.reserve(n);
+        for (int r = 0; r < n; ++r) {
+          spans.emplace_back(staging[r].data() + info.elem_begin,
+                             static_cast<size_t>(info.elem_count));
+        }
+        FunctionalAllReduce(spans);
+      });
+  std::vector<std::vector<float>> result(
+      n, std::vector<float>(static_cast<size_t>(shape.m * shape.n), 0.0f));
+  for (int r = 0; r < n; ++r) {
+    // Post-communication reorder fused into the element-wise kernel.
+    RmsNormFromStaging(plan.mapping, staging[r], options_.rmsnorm_eps, result[r]);
+  }
+  return result;
+}
+
+std::vector<std::vector<float>> FunctionalOverlap::RunReduceScatterAllGather(
+    const GemmShape& shape, const WavePartition& partition,
+    const std::vector<std::vector<float>>& rank_a, const std::vector<std::vector<float>>& rank_b,
+    bool rmsnorm) {
+  const int n = options_.gpu_count;
+  Plan plan = MakePlan(shape, options_, partition);
+  FLO_CHECK_EQ(shape.m % (static_cast<int64_t>(plan.grid.tile().m)), 0);
+  std::vector<std::vector<float>> staging(
+      n, std::vector<float>(plan.mapping.total_elems(), 0.0f));
+  std::vector<std::vector<float>> recv(
+      n, std::vector<float>(plan.mapping.total_elems() / n, 0.0f));
+
+  RunSignalingGemms(
+      plan.grid, plan.mapping, rank_a, rank_b,
+      [&](int rank, int tile, std::span<const float> values) {
+        ScatterTileSubtiles(plan.mapping, n, tile, values, staging[rank]);
+      },
+      [&](int group) {
+        const GroupInfo& info = plan.mapping.group(group);
+        std::vector<std::span<const float>> in;
+        std::vector<std::span<float>> out;
+        in.reserve(n);
+        out.reserve(n);
+        for (int r = 0; r < n; ++r) {
+          in.emplace_back(staging[r].data() + info.elem_begin,
+                          static_cast<size_t>(info.elem_count));
+          out.emplace_back(recv[r].data() + info.elem_begin / n,
+                           static_cast<size_t>(info.elem_count / n));
+        }
+        FunctionalReduceScatter(in, out);
+      });
+
+  // Each rank materializes its complete rows, applies the element-wise op,
+  // then the group AllGather + row exchange restores the full matrix.
+  const int64_t rows_per_rank = shape.m / n;
+  std::vector<std::vector<float>> rank_rows(
+      n, std::vector<float>(static_cast<size_t>(rows_per_rank * shape.n), 0.0f));
+  for (int r = 0; r < n; ++r) {
+    RsGatherRows(plan.mapping, n, r, recv[r], rank_rows[r]);
+    if (rmsnorm) {
+      std::vector<float> normalized(rank_rows[r].size());
+      RmsNorm(rank_rows[r], rows_per_rank, shape.n, options_.rmsnorm_eps, normalized);
+      rank_rows[r] = std::move(normalized);
+    }
+  }
+  std::vector<std::span<const float>> gather_in;
+  gather_in.reserve(n);
+  for (int r = 0; r < n; ++r) {
+    gather_in.emplace_back(rank_rows[r].data(), rank_rows[r].size());
+  }
+  std::vector<std::vector<float>> gathered(
+      n, std::vector<float>(static_cast<size_t>(shape.m * shape.n), 0.0f));
+  std::vector<std::span<float>> gather_out;
+  gather_out.reserve(n);
+  for (int r = 0; r < n; ++r) {
+    gather_out.emplace_back(gathered[r].data(), gathered[r].size());
+  }
+  FunctionalAllGather(gather_in, gather_out);
+
+  std::vector<std::vector<float>> result(
+      n, std::vector<float>(static_cast<size_t>(shape.m * shape.n), 0.0f));
+  for (int r = 0; r < n; ++r) {
+    RsRowExchange(plan.mapping, n, gathered[r], result[r]);
+  }
+  return result;
+}
+
+std::vector<std::vector<float>> FunctionalOverlap::RunAllToAll(
+    const std::vector<GemmShape>& shapes, const WavePartition& base_partition,
+    const std::vector<std::vector<int>>& routes, const std::vector<std::vector<float>>& rank_a,
+    const std::vector<std::vector<float>>& rank_b) {
+  const int n = options_.gpu_count;
+  FLO_CHECK_EQ(shapes.size(), static_cast<size_t>(n));
+  FLO_CHECK_EQ(routes.size(), static_cast<size_t>(n));
+
+  // Per-rank plans; every rank rescales the base partition to its own wave
+  // count while keeping the group count identical (collectives rendezvous).
+  // The base must therefore fit the lightest rank's wave count.
+  int min_waves = INT32_MAX;
+  for (int r = 0; r < n; ++r) {
+    TileGrid grid(shapes[r], SelectFunctionalTile(shapes[r]));
+    min_waves = std::min(
+        min_waves, (grid.tile_count() + options_.wave_width - 1) / options_.wave_width);
+  }
+  WavePartition base = base_partition;
+  if (base.group_count() == 0) {
+    base = WavePartition::EqualSized(min_waves, 2);
+  } else if (base.group_count() > min_waves) {
+    base = ScalePartition(base, min_waves);
+  }
+  std::vector<Plan> plans;
+  std::vector<SubtokenLayout> layouts;
+  plans.reserve(n);
+  layouts.reserve(n);
+  for (int r = 0; r < n; ++r) {
+    plans.push_back(MakePlan(shapes[r], options_, base));
+    FLO_CHECK_EQ(plans[r].mapping.group_count(), plans[0].mapping.group_count());
+    layouts.emplace_back(plans[r].mapping, routes[r], n);
+  }
+  const int groups = plans[0].mapping.group_count();
+
+  std::vector<std::vector<float>> staging(n);
+  for (int r = 0; r < n; ++r) {
+    staging[r].assign(static_cast<size_t>(layouts[r].total_elems()), 0.0f);
+  }
+
+  // Destination-side bookkeeping: local row of each (src, global row).
+  std::vector<std::vector<std::vector<int64_t>>> local_row(
+      n, std::vector<std::vector<int64_t>>(n));
+  std::vector<int64_t> dest_rows(n, 0);
+  for (int dest = 0; dest < n; ++dest) {
+    int64_t next = 0;
+    for (int src = 0; src < n; ++src) {
+      local_row[dest][src].assign(static_cast<size_t>(shapes[src].m), -1);
+      for (int64_t row = 0; row < shapes[src].m; ++row) {
+        if (routes[src][row] == dest) {
+          local_row[dest][src][row] = next++;
+        }
+      }
+    }
+    dest_rows[dest] = next;
+  }
+  std::vector<std::vector<float>> result(n);
+  for (int dest = 0; dest < n; ++dest) {
+    result[dest].assign(static_cast<size_t>(dest_rows[dest] * shapes[dest].n), 0.0f);
+  }
+
+  // Run the signaling GEMM on each rank independently (shapes differ), then
+  // exchange group-by-group once all ranks reached the group.
+  std::vector<CountingTable> tables;
+  std::vector<int> arrivals(groups, 0);
+  tables.reserve(n);
+  for (int r = 0; r < n; ++r) {
+    tables.emplace_back(plans[r].mapping.GroupTileTargets());
+  }
+  auto exchange_group = [&](int g) {
+    // Assemble send segments (contiguous per source: the group's pools) and
+    // run the library All-to-All.
+    std::vector<std::span<const float>> in;
+    std::vector<std::vector<int64_t>> send_counts(n, std::vector<int64_t>(n, 0));
+    in.reserve(n);
+    for (int src = 0; src < n; ++src) {
+      in.emplace_back(staging[src].data() + layouts[src].GroupElemBegin(g),
+                      static_cast<size_t>(layouts[src].GroupElemCount(g)));
+      for (int dest = 0; dest < n; ++dest) {
+        send_counts[src][dest] = layouts[src].SendElems(g, dest);
+      }
+    }
+    std::vector<std::vector<float>> recv(n);
+    std::vector<std::span<float>> out;
+    out.reserve(n);
+    for (int dest = 0; dest < n; ++dest) {
+      int64_t total = 0;
+      for (int src = 0; src < n; ++src) {
+        total += send_counts[src][dest];
+      }
+      recv[dest].assign(static_cast<size_t>(total), 0.0f);
+      out.emplace_back(recv[dest].data(), recv[dest].size());
+    }
+    FunctionalAllToAll(in, send_counts, out);
+    // Post-communication reorder on each destination.
+    for (int dest = 0; dest < n; ++dest) {
+      int64_t cursor = 0;
+      for (int src = 0; src < n; ++src) {
+        const int64_t elems = send_counts[src][dest];
+        A2aScatterReceived(layouts[src], g, dest,
+                           std::span<const float>(recv[dest].data() + cursor,
+                                                  static_cast<size_t>(elems)),
+                           local_row[dest][src], result[dest], shapes[dest].n);
+        cursor += elems;
+      }
+    }
+  };
+
+  HostGemm* unused = nullptr;
+  (void)unused;
+  for (int r = 0; r < n; ++r) {
+    HostGemm gemm(shapes[r], plans[r].grid.tile());
+    gemm.ComputeWithSink(rank_a[r], rank_b[r], options_.epilogue, {},
+                         plans[r].launch_order,
+                         [&](int tile, std::span<const float> values) {
+                           ScatterTileSubtokens(layouts[r], tile, values, staging[r]);
+                           const int group = plans[r].mapping.GroupOfTile(tile);
+                           if (tables[r].RecordTile(group)) {
+                             if (++arrivals[group] == n) {
+                               exchange_group(group);
+                             }
+                           }
+                         });
+  }
+  for (int g = 0; g < groups; ++g) {
+    FLO_CHECK_EQ(arrivals[g], n);
+  }
+  return result;
+}
+
+std::vector<float> FunctionalOverlap::ReferenceAllReduce(
+    const GemmShape& shape, const std::vector<std::vector<float>>& rank_a,
+    const std::vector<std::vector<float>>& rank_b, bool rmsnorm) const {
+  const int n = options_.gpu_count;
+  const TileShape tile = SelectTileShape(shape);
+  HostGemm gemm(shape, tile);
+  std::vector<float> sum(static_cast<size_t>(shape.m * shape.n), 0.0f);
+  std::vector<float> c(sum.size());
+  for (int r = 0; r < n; ++r) {
+    gemm.ComputeRowMajor(rank_a[r], rank_b[r], options_.epilogue, {}, c);
+    for (size_t i = 0; i < sum.size(); ++i) {
+      sum[i] += c[i];
+    }
+  }
+  if (rmsnorm) {
+    std::vector<float> normalized(sum.size());
+    RmsNorm(sum, shape.m, shape.n, options_.rmsnorm_eps, normalized);
+    return normalized;
+  }
+  return sum;
+}
+
+std::vector<std::vector<float>> FunctionalOverlap::ReferenceAllToAll(
+    const std::vector<GemmShape>& shapes, const std::vector<std::vector<int>>& routes,
+    const std::vector<std::vector<float>>& rank_a,
+    const std::vector<std::vector<float>>& rank_b) const {
+  const int n = options_.gpu_count;
+  // Vanilla path: full GEMM per rank, then rows delivered to destinations
+  // ordered by (source rank, source row).
+  std::vector<std::vector<float>> outputs(n);
+  for (int r = 0; r < n; ++r) {
+    const TileShape tile = SelectTileShape(shapes[r]);
+    HostGemm gemm(shapes[r], tile);
+    outputs[r].assign(static_cast<size_t>(shapes[r].m * shapes[r].n), 0.0f);
+    gemm.ComputeRowMajor(rank_a[r], rank_b[r], options_.epilogue, {}, outputs[r]);
+  }
+  std::vector<std::vector<float>> result(n);
+  for (int dest = 0; dest < n; ++dest) {
+    for (int src = 0; src < n; ++src) {
+      for (int64_t row = 0; row < shapes[src].m; ++row) {
+        if (routes[src][row] == dest) {
+          const float* begin = outputs[src].data() + row * shapes[src].n;
+          result[dest].insert(result[dest].end(), begin, begin + shapes[src].n);
+        }
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace flo

@@ -1,0 +1,222 @@
+#include "src/core/mapping_table.h"
+
+#include <functional>
+#include <sstream>
+#include <utility>
+
+#include "src/util/check.h"
+
+namespace flo {
+
+TileMapping::TileMapping(const TileGrid& grid, const WaveSchedule& schedule,
+                         const WavePartition& partition)
+    : grid_(grid), partition_(partition) {
+  FLO_CHECK(partition.Valid(schedule.wave_count()))
+      << "partition " << partition.ToString() << " does not cover " << schedule.wave_count()
+      << " waves";
+  FLO_CHECK_EQ(schedule.tile_count(), grid.tile_count());
+  FLO_CHECK_EQ(grid.shape().m % grid.tile().m, 0)
+      << "overlap path requires M divisible by tile_m";
+  FLO_CHECK_EQ(grid.shape().n % grid.tile().n, 0)
+      << "overlap path requires N divisible by tile_n";
+  tile_elems_ = grid.tile().Elements();
+
+  slot_of_tile_.assign(grid.tile_count(), -1);
+  tile_of_slot_.assign(grid.tile_count(), -1);
+  group_of_tile_.assign(grid.tile_count(), -1);
+
+  int wave = 0;
+  int slot = 0;
+  for (int g = 0; g < partition.group_count(); ++g) {
+    GroupInfo info;
+    info.first_wave = wave;
+    info.wave_count = partition.group_sizes[g];
+    info.slot_begin = slot;
+    info.elem_begin = static_cast<int64_t>(slot) * tile_elems_;
+    for (int w = 0; w < info.wave_count; ++w, ++wave) {
+      for (int tile : schedule.WaveTiles(wave)) {
+        info.tiles.push_back(tile);
+        slot_of_tile_[tile] = slot;
+        tile_of_slot_[slot] = tile;
+        group_of_tile_[tile] = g;
+        ++slot;
+      }
+    }
+    info.elem_count = static_cast<int64_t>(info.tile_count()) * tile_elems_;
+    FLO_CHECK_GT(info.tile_count(), 0) << "empty wave group";
+    groups_.push_back(std::move(info));
+  }
+  FLO_CHECK_EQ(wave, schedule.wave_count());
+  FLO_CHECK_EQ(slot, grid.tile_count());
+}
+
+const GroupInfo& TileMapping::group(int g) const {
+  FLO_CHECK_GE(g, 0);
+  FLO_CHECK_LT(g, group_count());
+  return groups_[g];
+}
+
+int TileMapping::SlotOfTile(int tile) const {
+  FLO_CHECK_GE(tile, 0);
+  FLO_CHECK_LT(tile, tile_count());
+  return slot_of_tile_[tile];
+}
+
+int TileMapping::TileOfSlot(int slot) const {
+  FLO_CHECK_GE(slot, 0);
+  FLO_CHECK_LT(slot, tile_count());
+  return tile_of_slot_[slot];
+}
+
+int TileMapping::GroupOfTile(int tile) const {
+  FLO_CHECK_GE(tile, 0);
+  FLO_CHECK_LT(tile, tile_count());
+  return group_of_tile_[tile];
+}
+
+int64_t TileMapping::TileElemOffset(int tile) const {
+  return static_cast<int64_t>(SlotOfTile(tile)) * tile_elems_;
+}
+
+int64_t TileMapping::SubtileElems(int gpu_count) const {
+  FLO_CHECK_GE(gpu_count, 2);
+  FLO_CHECK_EQ(grid_.tile().m % gpu_count, 0)
+      << "ReduceScatter layout requires tile_m divisible by GPU count";
+  return tile_elems_ / gpu_count;
+}
+
+int64_t TileMapping::SubtileElemOffset(int tile, int part, int gpu_count) const {
+  FLO_CHECK_GE(part, 0);
+  FLO_CHECK_LT(part, gpu_count);
+  const int64_t sub_elems = SubtileElems(gpu_count);
+  const int group_index = GroupOfTile(tile);
+  const GroupInfo& info = groups_[group_index];
+  const int local_slot = SlotOfTile(tile) - info.slot_begin;
+  // Group range = gpu_count equal parts; part k holds the k-th subtile of
+  // every tile in the group, in local slot order. A plain ReduceScatter of
+  // the range then delivers part k to GPU k.
+  return info.elem_begin + static_cast<int64_t>(part) * info.tile_count() * sub_elems +
+         static_cast<int64_t>(local_slot) * sub_elems;
+}
+
+std::vector<int> TileMapping::GroupTileTargets() const {
+  std::vector<int> targets;
+  targets.reserve(groups_.size());
+  for (const auto& info : groups_) {
+    targets.push_back(info.tile_count());
+  }
+  return targets;
+}
+
+std::string TileMapping::ToString() const {
+  std::ostringstream out;
+  out << "TileMapping{" << grid_.shape().ToString() << ", partition "
+      << partition_.ToString() << ", groups:";
+  for (const auto& info : groups_) {
+    out << " [slots " << info.slot_begin << ".." << info.slot_begin + info.tile_count() - 1
+        << "]";
+  }
+  out << "}";
+  return out.str();
+}
+
+SubtokenLayout::SubtokenLayout(const TileMapping& mapping, std::vector<int> route, int gpu_count)
+    : mapping_(&mapping), route_(std::move(route)), gpu_count_(gpu_count) {
+  FLO_CHECK_GE(gpu_count_, 2);
+  const TileGrid& grid = mapping.grid();
+  FLO_CHECK_EQ(route_.size(), static_cast<size_t>(grid.shape().m))
+      << "route table must cover every output row";
+  for (int dest : route_) {
+    FLO_CHECK_GE(dest, 0);
+    FLO_CHECK_LT(dest, gpu_count_);
+  }
+  subtoken_elems_ = grid.tile().n;
+  const int tile_m = grid.tile().m;
+
+  // Pass 1: per-(group, dest) subtoken counts.
+  const int groups = mapping.group_count();
+  std::vector<std::vector<int64_t>> counts(groups, std::vector<int64_t>(gpu_count_, 0));
+  for (int g = 0; g < groups; ++g) {
+    for (int tile : mapping.group(g).tiles) {
+      const int64_t row0 = grid.RowStart(tile);
+      for (int r = 0; r < tile_m; ++r) {
+        ++counts[g][route_[row0 + r]];
+      }
+    }
+  }
+  // Pass 2: pool offsets (group-major, then destination).
+  pool_offset_.assign(groups, std::vector<int64_t>(gpu_count_, 0));
+  pool_elems_.assign(groups, std::vector<int64_t>(gpu_count_, 0));
+  int64_t offset = 0;
+  for (int g = 0; g < groups; ++g) {
+    for (int d = 0; d < gpu_count_; ++d) {
+      pool_offset_[g][d] = offset;
+      pool_elems_[g][d] = counts[g][d] * subtoken_elems_;
+      offset += pool_elems_[g][d];
+    }
+  }
+  // Pass 3: per-row scatter offsets, appending within each pool in
+  // (launch-order, row) order.
+  row_offset_.assign(static_cast<size_t>(grid.tile_count()) * tile_m, -1);
+  std::vector<std::vector<int64_t>> cursor = pool_offset_;
+  for (int g = 0; g < groups; ++g) {
+    for (int tile : mapping.group(g).tiles) {
+      const int64_t row0 = grid.RowStart(tile);
+      for (int r = 0; r < tile_m; ++r) {
+        const int dest = route_[row0 + r];
+        row_offset_[static_cast<size_t>(tile) * tile_m + r] = cursor[g][dest];
+        cursor[g][dest] += subtoken_elems_;
+      }
+    }
+  }
+}
+
+int64_t SubtokenLayout::total_elems() const {
+  const auto& last = pool_offset_.back();
+  return last.back() + pool_elems_.back().back();
+}
+
+int64_t SubtokenLayout::GroupElemBegin(int group) const {
+  FLO_CHECK_GE(group, 0);
+  FLO_CHECK_LT(group, static_cast<int>(pool_offset_.size()));
+  return pool_offset_[group][0];
+}
+
+int64_t SubtokenLayout::GroupElemCount(int group) const {
+  int64_t total = 0;
+  for (int d = 0; d < gpu_count_; ++d) {
+    total += pool_elems_[group][d];
+  }
+  return total;
+}
+
+int64_t SubtokenLayout::SendElems(int group, int dest) const {
+  FLO_CHECK_GE(dest, 0);
+  FLO_CHECK_LT(dest, gpu_count_);
+  return pool_elems_[group][dest];
+}
+
+int64_t SubtokenLayout::SubtokenElemOffset(int tile, int row_in_tile) const {
+  const int tile_m = mapping_->grid().tile().m;
+  FLO_CHECK_GE(row_in_tile, 0);
+  FLO_CHECK_LT(row_in_tile, tile_m);
+  const int64_t offset = row_offset_[static_cast<size_t>(tile) * tile_m + row_in_tile];
+  FLO_CHECK_GE(offset, 0);
+  return offset;
+}
+
+void SubtokenLayout::ForEachSubtoken(
+    int group, int dest, const std::function<void(int tile, int row_in_tile)>& fn) const {
+  const TileGrid& grid = mapping_->grid();
+  const int tile_m = grid.tile().m;
+  for (int tile : mapping_->group(group).tiles) {
+    const int64_t row0 = grid.RowStart(tile);
+    for (int r = 0; r < tile_m; ++r) {
+      if (route_[row0 + r] == dest) {
+        fn(tile, r);
+      }
+    }
+  }
+}
+
+}  // namespace flo

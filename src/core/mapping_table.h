@@ -1,0 +1,139 @@
+// Mapping tables for the pre/post-communication reorderings (Sec. 3.3).
+//
+// The pre-communication reorder writes each finished tile into a contiguous
+// *slot* of a staging buffer. Slots are ordered by wave group, then by
+// launch order inside the group — so when a group's last tile lands, the
+// group occupies one contiguous address range and a plain NCCL call on that
+// range is legal. The mapping table records tile <-> slot and is all the
+// post-communication reorder needs to restore logical order.
+//
+// Three granularities (Fig. 7):
+//  * tile      — AllReduce: any consistent order works across ranks.
+//  * subtile   — ReduceScatter: each tile splits into gpu_count row-chunks;
+//                the k-th chunk of every tile must land on GPU k, so each
+//                group's range is laid out as gpu_count equal parts.
+//  * subtoken  — All-to-All: each tile row (token fragment) has a routed
+//                destination GPU; per-destination memory pools inside each
+//                group keep destinations contiguous.
+#ifndef SRC_CORE_MAPPING_TABLE_H_
+#define SRC_CORE_MAPPING_TABLE_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/core/wave_partition.h"
+#include "src/gemm/tile.h"
+#include "src/gemm/wave.h"
+
+namespace flo {
+
+struct GroupInfo {
+  int first_wave = 0;
+  int wave_count = 0;
+  // Tiles in launch order; local slot of tiles[i] is slot_begin + i.
+  std::vector<int> tiles;
+  int slot_begin = 0;
+  int64_t elem_begin = 0;
+  int64_t elem_count = 0;
+
+  int tile_count() const { return static_cast<int>(tiles.size()); }
+};
+
+class TileMapping {
+ public:
+  // Requires full uniform tiles (shape divisible by the tile shape): the
+  // staging buffer is slot-addressed with a single tile stride, exactly as
+  // the CUDA implementation requires.
+  TileMapping(const TileGrid& grid, const WaveSchedule& schedule,
+              const WavePartition& partition);
+
+  const TileGrid& grid() const { return grid_; }
+  const WavePartition& partition() const { return partition_; }
+  int tile_count() const { return grid_.tile_count(); }
+  int64_t tile_elems() const { return tile_elems_; }
+  int64_t total_elems() const { return tile_elems_ * tile_count(); }
+  int group_count() const { return static_cast<int>(groups_.size()); }
+  const std::vector<GroupInfo>& groups() const { return groups_; }
+  const GroupInfo& group(int g) const;
+
+  int SlotOfTile(int tile) const;
+  int TileOfSlot(int slot) const;
+  int GroupOfTile(int tile) const;
+
+  // Element offset of a tile's slot in the staging buffer (tile
+  // granularity, used for AllReduce).
+  int64_t TileElemOffset(int tile) const;
+
+  // Element offset of subtile `part` (0..gpu_count-1) of `tile` under the
+  // ReduceScatter layout. Requires tile.m divisible by gpu_count.
+  int64_t SubtileElemOffset(int tile, int part, int gpu_count) const;
+  int64_t SubtileElems(int gpu_count) const;
+
+  // Per-group tile counts — the counting-table targets.
+  std::vector<int> GroupTileTargets() const;
+
+  std::string ToString() const;
+
+ private:
+  TileGrid grid_;
+  WavePartition partition_;
+  int64_t tile_elems_ = 0;
+  std::vector<GroupInfo> groups_;
+  std::vector<int> slot_of_tile_;
+  std::vector<int> tile_of_slot_;
+  std::vector<int> group_of_tile_;
+};
+
+// Subtoken (All-to-All) staging layout for one source rank.
+//
+// Staging order: group-major, then destination pool, then (tile launch
+// order, row within tile). `route[global_row]` gives the destination rank
+// of each output row (token).
+//
+// Lifetime: the layout keeps a pointer to `mapping`; the mapping must
+// outlive the layout and must not be moved/relocated after construction.
+class SubtokenLayout {
+ public:
+  SubtokenLayout(const TileMapping& mapping, std::vector<int> route, int gpu_count);
+
+  int gpu_count() const { return gpu_count_; }
+  const TileMapping& mapping() const { return *mapping_; }
+  const std::vector<int>& route() const { return route_; }
+  // Elements of one subtoken (a tile-row fragment): tile_n.
+  int64_t subtoken_elems() const { return subtoken_elems_; }
+  int64_t total_elems() const;
+
+  // Contiguous staging range of a group: [GroupElemBegin, +GroupElemCount).
+  int64_t GroupElemBegin(int group) const;
+  int64_t GroupElemCount(int group) const;
+
+  // Subtokens this rank sends to `dest` within `group`, in elements.
+  int64_t SendElems(int group, int dest) const;
+
+  // Scatter offset for tile row `row_in_tile` of `tile` in the staging
+  // buffer (pre-communication reorder target).
+  int64_t SubtokenElemOffset(int tile, int row_in_tile) const;
+
+  // Iterates the subtokens of `group` destined to `dest` in staging order,
+  // invoking fn(tile, row_in_tile). This is the provenance order in which
+  // a receiver sees the segment from this source rank.
+  void ForEachSubtoken(int group, int dest,
+                       const std::function<void(int tile, int row_in_tile)>& fn) const;
+
+ private:
+  const TileMapping* mapping_;
+  std::vector<int> route_;
+  int gpu_count_;
+  int64_t subtoken_elems_ = 0;
+  // offset_[g][d] = element offset of pool (g, d); pools are contiguous.
+  std::vector<std::vector<int64_t>> pool_offset_;
+  std::vector<std::vector<int64_t>> pool_elems_;
+  // Per-tile-row offsets, indexed by tile * tile_m + row_in_tile.
+  std::vector<int64_t> row_offset_;
+};
+
+}  // namespace flo
+
+#endif  // SRC_CORE_MAPPING_TABLE_H_

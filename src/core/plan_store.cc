@@ -1,0 +1,117 @@
+#include "src/core/plan_store.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "src/util/check.h"
+
+namespace flo {
+namespace {
+
+std::string PartitionToCsv(const WavePartition& partition) {
+  std::string out;
+  for (size_t i = 0; i < partition.group_sizes.size(); ++i) {
+    if (i != 0) {
+      out += ',';
+    }
+    out += std::to_string(partition.group_sizes[i]);
+  }
+  return out;
+}
+
+std::optional<WavePartition> PartitionFromCsv(const std::string& text) {
+  WavePartition partition;
+  std::stringstream stream(text);
+  std::string token;
+  while (std::getline(stream, token, ',')) {
+    try {
+      const int value = std::stoi(token);
+      if (value <= 0) {
+        return std::nullopt;
+      }
+      partition.group_sizes.push_back(value);
+    } catch (...) {
+      return std::nullopt;
+    }
+  }
+  if (partition.group_sizes.empty()) {
+    return std::nullopt;
+  }
+  return partition;
+}
+
+}  // namespace
+
+std::string SerializePlans(const std::vector<StoredPlan>& plans) {
+  std::ostringstream out;
+  out << "# FlashOverlap tuned plans: m n k primitive partition predicted_us"
+         " non_overlap_us\n";
+  for (const auto& plan : plans) {
+    char line[256];
+    std::snprintf(line, sizeof(line), "%lld %lld %lld %s %s %.6f %.6f\n",
+                  static_cast<long long>(plan.shape.m), static_cast<long long>(plan.shape.n),
+                  static_cast<long long>(plan.shape.k), CommPrimitiveName(plan.primitive),
+                  PartitionToCsv(plan.partition).c_str(), plan.predicted_us,
+                  plan.predicted_non_overlap_us);
+    out << line;
+  }
+  return out.str();
+}
+
+std::optional<std::vector<StoredPlan>> ParsePlans(const std::string& text) {
+  std::vector<StoredPlan> plans;
+  std::stringstream stream(text);
+  std::string line;
+  while (std::getline(stream, line)) {
+    if (line.empty() || line[0] == '#') {
+      continue;
+    }
+    std::stringstream fields(line);
+    StoredPlan plan;
+    std::string primitive;
+    std::string partition;
+    if (!(fields >> plan.shape.m >> plan.shape.n >> plan.shape.k >> primitive >> partition >>
+          plan.predicted_us >> plan.predicted_non_overlap_us)) {
+      return std::nullopt;
+    }
+    if (plan.shape.m <= 0 || plan.shape.n <= 0 || plan.shape.k <= 0) {
+      return std::nullopt;
+    }
+    // CommPrimitiveFromName aborts on unknown names; pre-validate here so a
+    // corrupt file degrades to a parse error instead.
+    if (primitive != "AllReduce" && primitive != "ReduceScatter" && primitive != "AllGather" &&
+        primitive != "AllToAll") {
+      return std::nullopt;
+    }
+    plan.primitive = CommPrimitiveFromName(primitive);
+    auto parsed = PartitionFromCsv(partition);
+    if (!parsed.has_value()) {
+      return std::nullopt;
+    }
+    plan.partition = std::move(*parsed);
+    plans.push_back(std::move(plan));
+  }
+  return plans;
+}
+
+bool SavePlansToFile(const std::vector<StoredPlan>& plans, const std::string& path) {
+  std::ofstream file(path);
+  if (!file) {
+    return false;
+  }
+  file << SerializePlans(plans);
+  return static_cast<bool>(file);
+}
+
+std::optional<std::vector<StoredPlan>> LoadPlansFromFile(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) {
+    return std::nullopt;
+  }
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  return ParsePlans(buffer.str());
+}
+
+}  // namespace flo

@@ -1,0 +1,47 @@
+// Persistence for tuned plans.
+//
+// The paper's deployment flow runs the tuning "before runtime" and reuses
+// the results (Sec. 4.2.2); the artifact ships a preparation script that
+// materializes configurations on disk. PlanStore is that artifact: a
+// line-oriented text format that serializes the tuner's plan cache so a
+// serving process can start with every representative size pre-searched.
+//
+// Format (one record per line, '#' comments allowed):
+//   m n k primitive partition predicted_us non_overlap_us
+//   4096 8192 7168 AllReduce 1,2,4,4 1234.5 1670.2
+#ifndef SRC_CORE_PLAN_STORE_H_
+#define SRC_CORE_PLAN_STORE_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/comm/primitive.h"
+#include "src/core/wave_partition.h"
+#include "src/gemm/tile.h"
+
+namespace flo {
+
+struct StoredPlan {
+  GemmShape shape;
+  CommPrimitive primitive = CommPrimitive::kAllReduce;
+  WavePartition partition;
+  double predicted_us = 0.0;
+  double predicted_non_overlap_us = 0.0;
+
+  bool operator==(const StoredPlan&) const = default;
+};
+
+// Serializes records to the text format above.
+std::string SerializePlans(const std::vector<StoredPlan>& plans);
+
+// Parses the text format; returns std::nullopt on any malformed line.
+std::optional<std::vector<StoredPlan>> ParsePlans(const std::string& text);
+
+// File helpers; return false on I/O failure.
+bool SavePlansToFile(const std::vector<StoredPlan>& plans, const std::string& path);
+std::optional<std::vector<StoredPlan>> LoadPlansFromFile(const std::string& path);
+
+}  // namespace flo
+
+#endif  // SRC_CORE_PLAN_STORE_H_

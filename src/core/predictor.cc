@@ -1,0 +1,147 @@
+#include "src/core/predictor.h"
+
+#include <algorithm>
+
+#include "src/util/check.h"
+
+namespace flo {
+
+int PredictorSetup::EffectiveWaveCount() const {
+  const int width = std::max(1, gpu.sm_count - comm_sm_count);
+  return static_cast<int>((gemm.tile_count + width - 1) / width);
+}
+
+std::vector<int> PredictorSetup::GroupTiles(const WavePartition& partition) const {
+  const int width = std::max(1, gpu.sm_count - comm_sm_count);
+  std::vector<int> tiles;
+  tiles.reserve(partition.group_count());
+  int assigned = 0;
+  int wave = 0;
+  for (int size : partition.group_sizes) {
+    int group_tiles = 0;
+    for (int w = 0; w < size; ++w, ++wave) {
+      const int remaining = gemm.tile_count - assigned - group_tiles;
+      group_tiles += std::min(width, std::max(0, remaining));
+    }
+    tiles.push_back(group_tiles);
+    assigned += group_tiles;
+  }
+  FLO_CHECK_EQ(assigned, gemm.tile_count);
+  return tiles;
+}
+
+double PredictorSetup::GroupBytes(int tiles) const {
+  return static_cast<double>(tiles) * static_cast<double>(gemm.tile.Elements()) * element_size;
+}
+
+Prediction PredictOverlapLatency(const PredictorSetup& setup, const WavePartition& partition) {
+  FLO_CHECK_EQ(partition.TotalWaves(), setup.EffectiveWaveCount())
+      << "partition must cover the effective wave count";
+  if (partition.group_count() == 1) {
+    // The "don't overlap" fallback: no concurrent collective, so nothing
+    // reserves SMs and the GEMM runs at full width — identical to
+    // sequential execution.
+    Prediction prediction;
+    const double comm =
+        setup.latency_curve.Eval(setup.GroupBytes(setup.gemm.tile_count));
+    prediction.group_comp_us.push_back(setup.gemm.duration_us);
+    prediction.group_comm_us.push_back(comm);
+    prediction.latency_us = setup.gemm.duration_us + comm;
+    return prediction;
+  }
+  const std::vector<int> group_tiles = setup.GroupTiles(partition);
+  Prediction prediction;
+  double t_p_acc = setup.gpu.kernel_launch_overhead_us;
+  double t_m_acc = 0.0;
+  for (int i = 0; i < partition.group_count(); ++i) {
+    // Communication of the previous group overlaps this group's compute
+    // (Alg. 1 lines 12-18).
+    if (i > 0 && group_tiles[i - 1] > 0) {
+      const double t_m = setup.latency_curve.Eval(setup.GroupBytes(group_tiles[i - 1]));
+      t_m_acc = std::max(t_p_acc, t_m_acc) + t_m;
+      prediction.group_comm_us.push_back(t_m);
+    } else if (i > 0) {
+      prediction.group_comm_us.push_back(0.0);
+    }
+    const double t_p = partition.group_sizes[i] * setup.gemm.wave_time_us;
+    prediction.group_comp_us.push_back(t_p);
+    t_p_acc += t_p;
+  }
+  // Final group's communication cannot overlap anything (Alg. 1 lines
+  // 20-22).
+  const double t_last = group_tiles.back() > 0
+                            ? setup.latency_curve.Eval(setup.GroupBytes(group_tiles.back()))
+                            : 0.0;
+  t_m_acc = std::max(t_p_acc, t_m_acc) + t_last;
+  prediction.group_comm_us.push_back(t_last);
+  prediction.latency_us = t_m_acc;
+  return prediction;
+}
+
+Prediction PredictOverlapLatencyMultiRank(const std::vector<PredictorSetup>& setups,
+                                          const std::vector<WavePartition>& partitions) {
+  FLO_CHECK(!setups.empty());
+  FLO_CHECK_EQ(setups.size(), partitions.size());
+  const int groups = partitions[0].group_count();
+  for (const auto& partition : partitions) {
+    FLO_CHECK_EQ(partition.group_count(), groups)
+        << "all ranks must agree on the number of collective calls";
+  }
+  std::vector<std::vector<int>> tiles;
+  tiles.reserve(setups.size());
+  for (size_t r = 0; r < setups.size(); ++r) {
+    tiles.push_back(setups[r].GroupTiles(partitions[r]));
+  }
+  Prediction prediction;
+  std::vector<double> t_p_acc(setups.size());
+  for (size_t r = 0; r < setups.size(); ++r) {
+    t_p_acc[r] = setups[r].gpu.kernel_launch_overhead_us;
+  }
+  double t_m_acc = 0.0;
+  auto comm_time = [&](int group) {
+    // The collective is a rendezvous: its cost follows the largest payload.
+    double worst = 0.0;
+    for (size_t r = 0; r < setups.size(); ++r) {
+      if (tiles[r][group] > 0) {
+        worst = std::max(
+            worst, setups[r].latency_curve.Eval(setups[r].GroupBytes(tiles[r][group])));
+      }
+    }
+    return worst;
+  };
+  for (int i = 0; i < groups; ++i) {
+    if (i > 0) {
+      const double ready = *std::max_element(t_p_acc.begin(), t_p_acc.end());
+      t_m_acc = std::max(ready, t_m_acc) + comm_time(i - 1);
+    }
+    for (size_t r = 0; r < setups.size(); ++r) {
+      t_p_acc[r] += partitions[r].group_sizes[i] * setups[r].gemm.wave_time_us;
+    }
+  }
+  const double ready = *std::max_element(t_p_acc.begin(), t_p_acc.end());
+  t_m_acc = std::max(ready, t_m_acc) + comm_time(groups - 1);
+  prediction.latency_us = t_m_acc;
+  return prediction;
+}
+
+double PredictNonOverlapLatency(const PredictorSetup& setup) {
+  const double total_bytes = setup.GroupBytes(setup.gemm.tile_count);
+  return setup.gemm.duration_us + setup.latency_curve.Eval(total_bytes);
+}
+
+double TheoreticalOverlapLatency(const PredictorSetup& setup) {
+  const double total_bytes = setup.GroupBytes(setup.gemm.tile_count);
+  const double comm_total = setup.latency_curve.Eval(total_bytes);
+  const double gemm_total = setup.gemm.duration_us;
+  const int width = std::max(1, setup.gpu.sm_count - setup.comm_sm_count);
+  const int last_wave_tiles =
+      setup.gemm.tile_count - (setup.EffectiveWaveCount() - 1) * width;
+  const double comm_last_wave = setup.latency_curve.Eval(
+      setup.GroupBytes(std::max(1, std::min(width, last_wave_tiles))));
+  if (gemm_total >= comm_total) {
+    return gemm_total + comm_last_wave;
+  }
+  return setup.gemm.wave_time_us + setup.gpu.kernel_launch_overhead_us + comm_total;
+}
+
+}  // namespace flo

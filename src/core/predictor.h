@@ -1,0 +1,65 @@
+// Latency predictor for the predictive search (paper Alg. 1).
+//
+// Inputs are exactly the offline artifacts the paper's tuner prepares: the
+// tuned GEMM configuration, the sampled (data size -> latency) curve of the
+// communication primitive, and the SM footprint of the communication
+// kernel. The predictor replays the overlap timeline group by group:
+// communication of group i-1 overlaps computation of group i; accumulated
+// communication can never start before the matching computation finishes.
+#ifndef SRC_CORE_PREDICTOR_H_
+#define SRC_CORE_PREDICTOR_H_
+
+#include <vector>
+
+#include "src/comm/primitive.h"
+#include "src/core/wave_partition.h"
+#include "src/gemm/gemm_model.h"
+#include "src/util/interp.h"
+
+namespace flo {
+
+struct PredictorSetup {
+  GemmConfig gemm;
+  GpuSpec gpu;
+  CommPrimitive primitive = CommPrimitive::kAllReduce;
+  // Sampled offline: per-call collective latency as a function of payload
+  // bytes per rank (already includes call overhead and ring latency).
+  Curve latency_curve;
+  // SMs the collective holds while resident (Alg. 1 line 3 contention).
+  int comm_sm_count = 0;
+  // Device element size (half = 2 bytes).
+  int element_size = 2;
+
+  // Waves of the GEMM when the collective's SMs are reserved.
+  int EffectiveWaveCount() const;
+  // Tiles in each group of `partition` under the effective wave width.
+  std::vector<int> GroupTiles(const WavePartition& partition) const;
+  // Payload bytes of a group holding `tiles` tiles.
+  double GroupBytes(int tiles) const;
+};
+
+struct Prediction {
+  double latency_us = 0.0;
+  // Per-group computation / communication components (diagnostics).
+  std::vector<double> group_comp_us;
+  std::vector<double> group_comm_us;
+};
+
+// Alg. 1 core: predicted latency of the overlapped execution.
+Prediction PredictOverlapLatency(const PredictorSetup& setup, const WavePartition& partition);
+
+// Multi-rank extension for imbalanced All-to-All (Sec. 4.2.2): accumulated
+// latencies take the max across ranks at every synchronization point.
+Prediction PredictOverlapLatencyMultiRank(const std::vector<PredictorSetup>& setups,
+                                          const std::vector<WavePartition>& partitions);
+
+// Sequential (non-overlap) latency using the same artifacts.
+double PredictNonOverlapLatency(const PredictorSetup& setup);
+
+// Perfect-overlap bound (paper Sec. 6.4): max(GEMM + comm-of-last-wave,
+// first-wave + full comm).
+double TheoreticalOverlapLatency(const PredictorSetup& setup);
+
+}  // namespace flo
+
+#endif  // SRC_CORE_PREDICTOR_H_

@@ -1,0 +1,156 @@
+#include "src/core/reorder.h"
+
+#include <algorithm>
+
+#include "src/gemm/epilogue.h"
+#include "src/util/check.h"
+
+namespace flo {
+
+void ScatterTileToStaging(const TileMapping& mapping, int tile,
+                          std::span<const float> tile_values, std::span<float> staging) {
+  FLO_CHECK_EQ(tile_values.size(), static_cast<size_t>(mapping.tile_elems()));
+  FLO_CHECK_EQ(staging.size(), static_cast<size_t>(mapping.total_elems()));
+  const int64_t offset = mapping.TileElemOffset(tile);
+  std::copy(tile_values.begin(), tile_values.end(), staging.begin() + offset);
+}
+
+void ScatterTileSubtiles(const TileMapping& mapping, int gpu_count, int tile,
+                         std::span<const float> tile_values, std::span<float> staging) {
+  FLO_CHECK_EQ(tile_values.size(), static_cast<size_t>(mapping.tile_elems()));
+  FLO_CHECK_EQ(staging.size(), static_cast<size_t>(mapping.total_elems()));
+  const int64_t sub_elems = mapping.SubtileElems(gpu_count);
+  for (int part = 0; part < gpu_count; ++part) {
+    const int64_t src = static_cast<int64_t>(part) * sub_elems;
+    const int64_t dst = mapping.SubtileElemOffset(tile, part, gpu_count);
+    std::copy(tile_values.begin() + src, tile_values.begin() + src + sub_elems,
+              staging.begin() + dst);
+  }
+}
+
+void ScatterTileSubtokens(const SubtokenLayout& layout, int tile,
+                          std::span<const float> tile_values, std::span<float> staging) {
+  const int64_t sub = layout.subtoken_elems();
+  const int tile_m = static_cast<int>(tile_values.size() / sub);
+  FLO_CHECK_EQ(tile_values.size(), static_cast<size_t>(tile_m) * sub);
+  for (int r = 0; r < tile_m; ++r) {
+    const int64_t dst = layout.SubtokenElemOffset(tile, r);
+    FLO_CHECK_LE(static_cast<size_t>(dst + sub), staging.size());
+    std::copy(tile_values.begin() + static_cast<int64_t>(r) * sub,
+              tile_values.begin() + static_cast<int64_t>(r + 1) * sub, staging.begin() + dst);
+  }
+}
+
+void GatherStagingToMatrix(const TileMapping& mapping, std::span<const float> staging,
+                           std::span<float> c) {
+  const TileGrid& grid = mapping.grid();
+  FLO_CHECK_EQ(staging.size(), static_cast<size_t>(mapping.total_elems()));
+  FLO_CHECK_EQ(c.size(), static_cast<size_t>(grid.shape().m * grid.shape().n));
+  for (int tile = 0; tile < mapping.tile_count(); ++tile) {
+    LoadTileFromSlot(staging, mapping.TileElemOffset(tile), c, grid.shape().n,
+                     grid.RowStart(tile), grid.ColStart(tile), grid.tile().m, grid.tile().n);
+  }
+}
+
+std::vector<int64_t> RsOwnedRows(const TileMapping& mapping, int gpu_count, int rank) {
+  FLO_CHECK_GE(rank, 0);
+  FLO_CHECK_LT(rank, gpu_count);
+  const TileGrid& grid = mapping.grid();
+  const int tile_m = grid.tile().m;
+  FLO_CHECK_EQ(tile_m % gpu_count, 0);
+  const int sub_m = tile_m / gpu_count;
+  std::vector<int64_t> rows;
+  rows.reserve(static_cast<size_t>(grid.shape().m / gpu_count));
+  for (int tile_row = 0; tile_row < grid.rows(); ++tile_row) {
+    const int64_t base = static_cast<int64_t>(tile_row) * tile_m + rank * sub_m;
+    for (int j = 0; j < sub_m; ++j) {
+      rows.push_back(base + j);
+    }
+  }
+  return rows;
+}
+
+void RsGatherRows(const TileMapping& mapping, int gpu_count, int rank,
+                  std::span<const float> recv, std::span<float> rows_out) {
+  // The subtile layout makes the receive buffer rank-agnostic (slot-major
+  // k-th subtiles); `rank` is kept in the signature because the device
+  // kernel binds per-rank buffers, and validated here.
+  FLO_CHECK_GE(rank, 0);
+  FLO_CHECK_LT(rank, gpu_count);
+  const TileGrid& grid = mapping.grid();
+  const int64_t n = grid.shape().n;
+  const int tile_m = grid.tile().m;
+  const int tile_n = grid.tile().n;
+  const int sub_m = tile_m / gpu_count;
+  const int64_t sub_elems = mapping.SubtileElems(gpu_count);
+  FLO_CHECK_EQ(recv.size(), static_cast<size_t>(mapping.total_elems() / gpu_count));
+  FLO_CHECK_EQ(rows_out.size(), static_cast<size_t>(grid.shape().m / gpu_count * n));
+  for (int tile_row = 0; tile_row < grid.rows(); ++tile_row) {
+    for (int col_tile = 0; col_tile < grid.cols(); ++col_tile) {
+      const int tile = tile_row * grid.cols() + col_tile;
+      const int slot = mapping.SlotOfTile(tile);
+      const int64_t base = static_cast<int64_t>(slot) * sub_elems;
+      const int64_t col0 = static_cast<int64_t>(col_tile) * tile_n;
+      for (int j = 0; j < sub_m; ++j) {
+        const int64_t local_row = static_cast<int64_t>(tile_row) * sub_m + j;
+        const float* src = recv.data() + base + static_cast<int64_t>(j) * tile_n;
+        float* dst = rows_out.data() + local_row * n + col0;
+        std::copy(src, src + tile_n, dst);
+      }
+    }
+  }
+}
+
+void RsRowExchange(const TileMapping& mapping, int gpu_count, std::span<const float> gathered,
+                   std::span<float> c) {
+  const TileGrid& grid = mapping.grid();
+  const int64_t m = grid.shape().m;
+  const int64_t n = grid.shape().n;
+  const int tile_m = grid.tile().m;
+  const int sub_m = tile_m / gpu_count;
+  const int64_t rows_per_rank = m / gpu_count;
+  FLO_CHECK_EQ(gathered.size(), static_cast<size_t>(m * n));
+  FLO_CHECK_EQ(c.size(), static_cast<size_t>(m * n));
+  for (int rank = 0; rank < gpu_count; ++rank) {
+    for (int tile_row = 0; tile_row < grid.rows(); ++tile_row) {
+      for (int j = 0; j < sub_m; ++j) {
+        const int64_t local_row = static_cast<int64_t>(tile_row) * sub_m + j;
+        const int64_t gathered_row = rank * rows_per_rank + local_row;
+        const int64_t global_row = static_cast<int64_t>(tile_row) * tile_m + rank * sub_m + j;
+        std::copy(gathered.begin() + gathered_row * n, gathered.begin() + (gathered_row + 1) * n,
+                  c.begin() + global_row * n);
+      }
+    }
+  }
+}
+
+void A2aScatterReceived(const SubtokenLayout& src_layout, int group, int dest,
+                        std::span<const float> recv_segment,
+                        const std::vector<int64_t>& local_row_of_global,
+                        std::span<float> dst_matrix, int64_t dst_cols) {
+  const TileGrid& grid = src_layout.mapping().grid();
+  const int64_t sub = src_layout.subtoken_elems();
+  int64_t cursor = 0;
+  // The receiver sees subtokens in the source's pool order; replaying the
+  // same deterministic walk recovers each fragment's provenance (global
+  // row + column range) without any metadata on the wire.
+  src_layout.ForEachSubtoken(group, dest, [&](int tile, int row_in_tile) {
+    FLO_CHECK_LE(static_cast<size_t>(cursor + sub), recv_segment.size());
+    const int64_t global_row = grid.RowStart(tile) + row_in_tile;
+    const int64_t local_row = local_row_of_global[global_row];
+    FLO_CHECK_GE(local_row, 0) << "token routed to wrong rank";
+    const int64_t col0 = grid.ColStart(tile);
+    FLO_CHECK_LE(static_cast<size_t>(local_row * dst_cols + col0 + sub), dst_matrix.size());
+    std::copy(recv_segment.begin() + cursor, recv_segment.begin() + cursor + sub,
+              dst_matrix.begin() + local_row * dst_cols + col0);
+    cursor += sub;
+  });
+  FLO_CHECK_EQ(static_cast<size_t>(cursor), recv_segment.size());
+}
+
+double ReorderMappingTableBytes(const TileMapping& mapping) {
+  // One 4-byte slot entry per tile plus the group table.
+  return 4.0 * mapping.tile_count() + 8.0 * mapping.group_count();
+}
+
+}  // namespace flo

@@ -1,0 +1,77 @@
+// Pre- and post-communication reordering (paper Sec. 3.3).
+//
+// Pre-communication: finished tiles scatter into contiguous staging slots
+// (fused into the GEMM epilogue — here, the GEMM sink callback).
+// Post-communication: the mapping table is replayed to restore logical
+// order (fused into the next element-wise kernel; see rmsnorm.h for the
+// fused variant).
+#ifndef SRC_CORE_REORDER_H_
+#define SRC_CORE_REORDER_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/core/mapping_table.h"
+
+namespace flo {
+
+// --- Pre-communication scatter (one finished tile -> staging) ---
+
+// Tile granularity (AllReduce): dense copy into the tile's slot.
+void ScatterTileToStaging(const TileMapping& mapping, int tile,
+                          std::span<const float> tile_values, std::span<float> staging);
+
+// Subtile granularity (ReduceScatter): the tile's gpu_count row-chunks go
+// to the gpu_count parts of the group range.
+void ScatterTileSubtiles(const TileMapping& mapping, int gpu_count, int tile,
+                         std::span<const float> tile_values, std::span<float> staging);
+
+// Subtoken granularity (All-to-All): each tile row goes to its destination
+// pool.
+void ScatterTileSubtokens(const SubtokenLayout& layout, int tile,
+                          std::span<const float> tile_values, std::span<float> staging);
+
+// --- Post-communication reorder ---
+
+// AllReduce: staging (slot order) -> logical row-major C.
+void GatherStagingToMatrix(const TileMapping& mapping, std::span<const float> staging,
+                           std::span<float> c);
+
+// ReduceScatter receive side. `recv` is this rank's buffer (total/gpu_count
+// elements): per group, the rank's part lands at elem_begin/gpu_count, so
+// globally recv is slot-major subtiles.
+//
+// Global rows owned by `rank`, ascending: for each tile-row R the chunk
+// [R*tile_m + rank*sub_m, +sub_m).
+std::vector<int64_t> RsOwnedRows(const TileMapping& mapping, int gpu_count, int rank);
+
+// Materializes the rank's owned rows (ascending) as a dense
+// (m/gpu_count) x n matrix — rows are complete, so element-wise ops
+// (normalization) can run before AllGather.
+void RsGatherRows(const TileMapping& mapping, int gpu_count, int rank,
+                  std::span<const float> recv, std::span<float> rows_out);
+
+// After AllGather of the per-rank row blocks, restores logical row order —
+// the block-cyclic "row exchange" of Fig. 7(e).
+void RsRowExchange(const TileMapping& mapping, int gpu_count, std::span<const float> gathered,
+                   std::span<float> c);
+
+// All-to-All receive side: consumes the segment received from one source
+// rank for one group (subtokens in the source's pool order) and scatters
+// each fragment to its token's row. `local_row_of_global[r]` maps the
+// source's global row index to the receiver's local token row (or -1 if the
+// token is not routed here — a caller bug).
+void A2aScatterReceived(const SubtokenLayout& src_layout, int group, int dest,
+                        std::span<const float> recv_segment,
+                        const std::vector<int64_t>& local_row_of_global,
+                        std::span<float> dst_matrix, int64_t dst_cols);
+
+// Modeled overhead of a reorder: extra bytes touched for the mapping table
+// relative to the payload (paper Sec. 6.6 puts the table at ~1.6-12.5% of
+// the output and the fused cost under 1% / 10%).
+double ReorderMappingTableBytes(const TileMapping& mapping);
+
+}  // namespace flo
+
+#endif  // SRC_CORE_REORDER_H_

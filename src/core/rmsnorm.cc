@@ -1,0 +1,66 @@
+#include "src/core/rmsnorm.h"
+
+#include <cmath>
+
+#include "src/util/check.h"
+
+namespace flo {
+
+void RmsNorm(std::span<const float> in, int64_t rows, int64_t cols, float eps,
+             std::span<float> out) {
+  FLO_CHECK_EQ(in.size(), static_cast<size_t>(rows * cols));
+  FLO_CHECK_EQ(out.size(), in.size());
+  for (int64_t r = 0; r < rows; ++r) {
+    const float* row = in.data() + r * cols;
+    double sq = 0.0;
+    for (int64_t c = 0; c < cols; ++c) {
+      sq += static_cast<double>(row[c]) * row[c];
+    }
+    const float scale =
+        1.0f / std::sqrt(static_cast<float>(sq / static_cast<double>(cols)) + eps);
+    float* dst = out.data() + r * cols;
+    for (int64_t c = 0; c < cols; ++c) {
+      dst[c] = row[c] * scale;
+    }
+  }
+}
+
+void RmsNormFromStaging(const TileMapping& mapping, std::span<const float> staging, float eps,
+                        std::span<float> out) {
+  const TileGrid& grid = mapping.grid();
+  const int64_t m = grid.shape().m;
+  const int64_t n = grid.shape().n;
+  const int tile_m = grid.tile().m;
+  const int tile_n = grid.tile().n;
+  FLO_CHECK_EQ(staging.size(), static_cast<size_t>(mapping.total_elems()));
+  FLO_CHECK_EQ(out.size(), static_cast<size_t>(m * n));
+  // Walk logical rows; each row's data lives in grid.cols() tile slots at
+  // mapping-table-directed offsets. Locality within a fragment (tile_n
+  // contiguous elements) is what keeps the fused kernel cheap on device.
+  for (int64_t row = 0; row < m; ++row) {
+    const int tile_row = static_cast<int>(row / tile_m);
+    const int r_in_tile = static_cast<int>(row % tile_m);
+    double sq = 0.0;
+    for (int col_tile = 0; col_tile < grid.cols(); ++col_tile) {
+      const int tile = tile_row * grid.cols() + col_tile;
+      const float* fragment = staging.data() + mapping.TileElemOffset(tile) +
+                              static_cast<int64_t>(r_in_tile) * tile_n;
+      for (int c = 0; c < tile_n; ++c) {
+        sq += static_cast<double>(fragment[c]) * fragment[c];
+      }
+    }
+    const float scale =
+        1.0f / std::sqrt(static_cast<float>(sq / static_cast<double>(n)) + eps);
+    for (int col_tile = 0; col_tile < grid.cols(); ++col_tile) {
+      const int tile = tile_row * grid.cols() + col_tile;
+      const float* fragment = staging.data() + mapping.TileElemOffset(tile) +
+                              static_cast<int64_t>(r_in_tile) * tile_n;
+      float* dst = out.data() + row * n + static_cast<int64_t>(col_tile) * tile_n;
+      for (int c = 0; c < tile_n; ++c) {
+        dst[c] = fragment[c] * scale;
+      }
+    }
+  }
+}
+
+}  // namespace flo

@@ -1,0 +1,26 @@
+// RMSNorm element-wise kernel, plain and fused with the post-communication
+// reorder (the paper's Sec. 6.6 overhead subject).
+#ifndef SRC_CORE_RMSNORM_H_
+#define SRC_CORE_RMSNORM_H_
+
+#include <cstdint>
+#include <span>
+
+#include "src/core/mapping_table.h"
+
+namespace flo {
+
+// out[r, :] = in[r, :] / rms(in[r, :]), row-major (rows x cols).
+void RmsNorm(std::span<const float> in, int64_t rows, int64_t cols, float eps,
+             std::span<float> out);
+
+// Fused variant: reads the AllReduce result directly from the tile-slot
+// staging buffer via the mapping table (gather) and writes the normalized
+// matrix in logical order — equivalent to GatherStagingToMatrix followed by
+// RmsNorm but with a single pass over the data.
+void RmsNormFromStaging(const TileMapping& mapping, std::span<const float> staging, float eps,
+                        std::span<float> out);
+
+}  // namespace flo
+
+#endif  // SRC_CORE_RMSNORM_H_

@@ -1,0 +1,177 @@
+#include "src/core/tuner.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "src/gemm/gemm_model.h"
+#include "src/util/check.h"
+#include "src/util/logging.h"
+
+namespace flo {
+
+Tuner::Tuner(ClusterSpec cluster, TunerConfig config)
+    : cluster_(std::move(cluster)),
+      config_(config),
+      cost_model_(cluster_.link, cluster_.gpu_count) {
+  FLO_CHECK_GE(config_.s1, 1);
+  FLO_CHECK_GE(config_.sp, 1);
+}
+
+const GemmConfig& Tuner::GemmConfigFor(const GemmShape& shape) {
+  const std::string key = shape.ToString();
+  auto it = gemm_cache_.find(key);
+  if (it == gemm_cache_.end()) {
+    GemmModel model(cluster_.gpu);
+    it = gemm_cache_.emplace(key, model.Configure(shape)).first;
+  }
+  return it->second;
+}
+
+const Curve& Tuner::LatencyCurveFor(CommPrimitive primitive) {
+  const int key = static_cast<int>(primitive);
+  auto it = curve_cache_.find(key);
+  if (it == curve_cache_.end()) {
+    // Dense log-spaced sampling from 64 KiB to 4 GiB covers every group
+    // size the engine can produce; 64 points per decade keeps the
+    // interpolation error well under the jitter floor even across the
+    // bandwidth cliff's curvature.
+    Curve curve = cost_model_.SampleLatencyCurve(primitive, 64.0 * 1024,
+                                                 4.0 * 1024 * 1024 * 1024, 64);
+    it = curve_cache_.emplace(key, std::move(curve)).first;
+  }
+  return it->second;
+}
+
+PredictorSetup Tuner::MakeSetup(const GemmShape& shape, CommPrimitive primitive) {
+  PredictorSetup setup;
+  setup.gemm = GemmConfigFor(shape);
+  setup.gpu = cluster_.gpu;
+  setup.primitive = primitive;
+  setup.latency_curve = LatencyCurveFor(primitive);
+  setup.comm_sm_count = CommSmCount();
+  setup.element_size = config_.element_size;
+  return setup;
+}
+
+const TunedPlan& Tuner::Tune(const GemmShape& shape, CommPrimitive primitive) {
+  const Key key{shape.m, shape.n, shape.k, static_cast<int>(primitive)};
+  auto it = plan_cache_.find(key);
+  if (it == plan_cache_.end()) {
+    it = plan_cache_.emplace(key, Search(shape, primitive)).first;
+  }
+  return it->second;
+}
+
+TunedPlan Tuner::Search(const GemmShape& shape, CommPrimitive primitive) {
+  PredictorSetup setup = MakeSetup(shape, primitive);
+  const int waves = setup.EffectiveWaveCount();
+  std::vector<WavePartition> candidates;
+  if (config_.exhaustive && waves <= 20) {
+    candidates = EnumerateAllPartitions(waves);
+  } else {
+    candidates = EnumeratePruned(waves, config_.s1, config_.sp, config_.max_candidates);
+  }
+  FLO_CHECK(!candidates.empty());
+
+  TunedPlan plan;
+  plan.gemm = setup.gemm;
+  plan.effective_waves = waves;
+  plan.predicted_non_overlap_us = PredictNonOverlapLatency(setup);
+  double best = std::numeric_limits<double>::infinity();
+  for (const auto& candidate : candidates) {
+    const Prediction prediction = PredictOverlapLatency(setup, candidate);
+    if (prediction.latency_us < best) {
+      best = prediction.latency_us;
+      plan.partition = candidate;
+      plan.predicted_us = prediction.latency_us;
+    }
+  }
+  plan.candidates_evaluated = static_cast<int>(candidates.size());
+  FLO_LOG(kDebug) << "tuned " << shape.ToString() << " + " << CommPrimitiveName(primitive)
+                  << ": partition " << plan.partition.ToString() << ", predicted "
+                  << plan.predicted_us << " us over " << plan.candidates_evaluated
+                  << " candidates";
+  return plan;
+}
+
+std::vector<StoredPlan> Tuner::ExportPlans() const {
+  std::vector<StoredPlan> plans;
+  plans.reserve(plan_cache_.size());
+  for (const auto& [key, plan] : plan_cache_) {
+    StoredPlan stored;
+    stored.shape = GemmShape{std::get<0>(key), std::get<1>(key), std::get<2>(key)};
+    stored.primitive = static_cast<CommPrimitive>(std::get<3>(key));
+    stored.partition = plan.partition;
+    stored.predicted_us = plan.predicted_us;
+    stored.predicted_non_overlap_us = plan.predicted_non_overlap_us;
+    plans.push_back(std::move(stored));
+  }
+  return plans;
+}
+
+int Tuner::ImportPlans(const std::vector<StoredPlan>& plans) {
+  int accepted = 0;
+  for (const auto& stored : plans) {
+    PredictorSetup setup = MakeSetup(stored.shape, stored.primitive);
+    const int waves = setup.EffectiveWaveCount();
+    TunedPlan plan;
+    plan.gemm = setup.gemm;
+    plan.effective_waves = waves;
+    if (stored.partition.TotalWaves() == waves) {
+      plan.partition = stored.partition;
+    } else if (stored.partition.group_count() <= waves) {
+      // The plan came from a different hardware generation or SM budget:
+      // rescale rather than discard.
+      plan.partition = ScalePartitionExact(stored.partition, waves);
+    } else {
+      continue;
+    }
+    plan.predicted_us = PredictOverlapLatency(setup, plan.partition).latency_us;
+    plan.predicted_non_overlap_us = PredictNonOverlapLatency(setup);
+    plan.candidates_evaluated = 1;
+    const Key key{stored.shape.m, stored.shape.n, stored.shape.k,
+                  static_cast<int>(stored.primitive)};
+    plan_cache_[key] = std::move(plan);
+    ++accepted;
+  }
+  return accepted;
+}
+
+TunedPlan Tuner::TuneNearest(const GemmShape& shape, CommPrimitive primitive) {
+  // Only consider cached plans for the same primitive.
+  const TunedPlan* nearest = nullptr;
+  double best_distance = std::numeric_limits<double>::infinity();
+  for (const auto& [key, plan] : plan_cache_) {
+    if (std::get<3>(key) != static_cast<int>(primitive)) {
+      continue;
+    }
+    const double dm = std::log2(static_cast<double>(shape.m)) -
+                      std::log2(static_cast<double>(std::get<0>(key)));
+    const double dn = std::log2(static_cast<double>(shape.n)) -
+                      std::log2(static_cast<double>(std::get<1>(key)));
+    const double dk = std::log2(static_cast<double>(shape.k)) -
+                      std::log2(static_cast<double>(std::get<2>(key)));
+    const double distance = dm * dm + dn * dn + dk * dk;
+    if (distance < best_distance) {
+      best_distance = distance;
+      nearest = &plan;
+    }
+  }
+  if (nearest == nullptr) {
+    return Tune(shape, primitive);
+  }
+  // Rescale the neighbour's partition to this shape's wave count and
+  // re-predict (cheap: a single candidate).
+  PredictorSetup setup = MakeSetup(shape, primitive);
+  TunedPlan plan;
+  plan.gemm = setup.gemm;
+  plan.effective_waves = setup.EffectiveWaveCount();
+  plan.partition = ScalePartition(nearest->partition, plan.effective_waves);
+  plan.predicted_us = PredictOverlapLatency(setup, plan.partition).latency_us;
+  plan.predicted_non_overlap_us = PredictNonOverlapLatency(setup);
+  plan.candidates_evaluated = 1;
+  return plan;
+}
+
+}  // namespace flo

@@ -1,0 +1,94 @@
+// Real-time tuner: offline profiling + online predictive search (Sec. 4.2).
+//
+// Offline (once per deployment): derive GEMM configurations, sample the
+// communication latency curve, determine the collective's SM footprint.
+// Online (once per new GEMM size): enumerate the pruned wave-group design
+// space and pick the candidate with the lowest predicted latency. Results
+// are cached; unseen sizes can be served by nearest-neighbour matching so
+// dynamic workloads (LLM inference) never pay search latency in-band.
+#ifndef SRC_CORE_TUNER_H_
+#define SRC_CORE_TUNER_H_
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/comm/cost_model.h"
+#include "src/core/plan_store.h"
+#include "src/core/predictor.h"
+#include "src/core/wave_partition.h"
+#include "src/hw/cluster.h"
+
+namespace flo {
+
+struct TunerConfig {
+  // Pruning bounds on the first/last group sizes (paper uses S1=2, SP=4).
+  int s1 = 2;
+  int sp = 4;
+  int max_candidates = 65536;
+  // If true, search the full 2^(T-1) space (the accuracy baseline of
+  // Sec. 6.5); only viable for modest T.
+  bool exhaustive = false;
+  int element_size = 2;
+};
+
+struct TunedPlan {
+  WavePartition partition;
+  double predicted_us = 0.0;
+  double predicted_non_overlap_us = 0.0;
+  GemmConfig gemm;
+  int effective_waves = 0;
+  int candidates_evaluated = 0;
+};
+
+class Tuner {
+ public:
+  explicit Tuner(ClusterSpec cluster, TunerConfig config = {});
+
+  const ClusterSpec& cluster() const { return cluster_; }
+  const TunerConfig& config() const { return config_; }
+  const CommCostModel& cost_model() const { return cost_model_; }
+
+  // --- Offline stage artifacts (computed lazily, cached) ---
+  const GemmConfig& GemmConfigFor(const GemmShape& shape);
+  const Curve& LatencyCurveFor(CommPrimitive primitive);
+  int CommSmCount() const { return cluster_.link.comm_sm_count; }
+  PredictorSetup MakeSetup(const GemmShape& shape, CommPrimitive primitive);
+
+  // --- Online stage ---
+  // Searches the (pruned or exhaustive) space for `shape` and caches the
+  // result.
+  const TunedPlan& Tune(const GemmShape& shape, CommPrimitive primitive);
+
+  // Serves an unseen size from the cache by nearest-neighbour matching on
+  // log-scale (M, N, K) distance; falls back to Tune when the cache is
+  // empty. The returned plan is rescaled to the query's wave count.
+  TunedPlan TuneNearest(const GemmShape& shape, CommPrimitive primitive);
+
+  size_t cache_size() const { return plan_cache_.size(); }
+
+  // Snapshot of the plan cache, for persistence via src/core/plan_store.h.
+  std::vector<StoredPlan> ExportPlans() const;
+
+  // Installs pre-searched plans into the cache (deployment warm start);
+  // returns the number of plans accepted. Plans whose partition does not
+  // cover the shape's effective wave count on this cluster are rescaled.
+  int ImportPlans(const std::vector<StoredPlan>& plans);
+
+ private:
+  using Key = std::tuple<int64_t, int64_t, int64_t, int>;
+
+  TunedPlan Search(const GemmShape& shape, CommPrimitive primitive);
+
+  ClusterSpec cluster_;
+  TunerConfig config_;
+  CommCostModel cost_model_;
+  std::map<std::string, GemmConfig> gemm_cache_;
+  std::map<int, Curve> curve_cache_;
+  std::map<Key, TunedPlan> plan_cache_;
+};
+
+}  // namespace flo
+
+#endif  // SRC_CORE_TUNER_H_

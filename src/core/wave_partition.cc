@@ -1,0 +1,255 @@
+#include "src/core/wave_partition.h"
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+#include <sstream>
+
+#include "src/util/check.h"
+
+namespace flo {
+
+int WavePartition::TotalWaves() const {
+  return std::accumulate(group_sizes.begin(), group_sizes.end(), 0);
+}
+
+bool WavePartition::Valid(int wave_count) const {
+  if (group_sizes.empty()) {
+    return false;
+  }
+  for (int size : group_sizes) {
+    if (size <= 0) {
+      return false;
+    }
+  }
+  return TotalWaves() == wave_count;
+}
+
+std::string WavePartition::ToString() const {
+  std::ostringstream out;
+  out << "(";
+  for (size_t i = 0; i < group_sizes.size(); ++i) {
+    out << (i == 0 ? "" : ",") << group_sizes[i];
+  }
+  out << ")";
+  return out.str();
+}
+
+WavePartition WavePartition::PerWave(int wave_count) {
+  FLO_CHECK_GE(wave_count, 1);
+  return WavePartition{std::vector<int>(wave_count, 1)};
+}
+
+WavePartition WavePartition::SingleGroup(int wave_count) {
+  FLO_CHECK_GE(wave_count, 1);
+  return WavePartition{{wave_count}};
+}
+
+WavePartition WavePartition::EqualSized(int wave_count, int group_waves) {
+  FLO_CHECK_GE(wave_count, 1);
+  FLO_CHECK_GE(group_waves, 1);
+  WavePartition partition;
+  int remaining = wave_count;
+  while (remaining > 0) {
+    const int take = std::min(group_waves, remaining);
+    partition.group_sizes.push_back(take);
+    remaining -= take;
+  }
+  return partition;
+}
+
+std::vector<WavePartition> EnumerateAllPartitions(int wave_count) {
+  FLO_CHECK_GE(wave_count, 1);
+  FLO_CHECK_LE(wave_count, 20) << "design space 2^(T-1) too large; use EnumeratePruned";
+  std::vector<WavePartition> result;
+  // Each bitmask over the first T-1 wave boundaries decides "communicate
+  // here" (1) or not (0); the final boundary is forced.
+  const uint32_t combos = 1u << (wave_count - 1);
+  result.reserve(combos);
+  for (uint32_t mask = 0; mask < combos; ++mask) {
+    WavePartition partition;
+    int current = 1;
+    for (int boundary = 0; boundary < wave_count - 1; ++boundary) {
+      if ((mask >> boundary) & 1u) {
+        partition.group_sizes.push_back(current);
+        current = 1;
+      } else {
+        ++current;
+      }
+    }
+    partition.group_sizes.push_back(current);
+    result.push_back(std::move(partition));
+  }
+  return result;
+}
+
+namespace {
+
+void EnumeratePrunedRecursive(int remaining, int s1, int sp, bool is_first,
+                              std::vector<int>* current, std::vector<WavePartition>* out,
+                              int max_candidates) {
+  if (static_cast<int>(out->size()) >= max_candidates) {
+    return;
+  }
+  const int limit = is_first ? s1 : remaining;
+  for (int take = 1; take <= std::min(limit, remaining); ++take) {
+    if (take == remaining) {
+      // Closing group: enforce the last-group bound unless it is also the
+      // first group (single-group partition is always admissible).
+      if (!is_first && take > sp) {
+        continue;
+      }
+      current->push_back(take);
+      out->push_back(WavePartition{*current});
+      current->pop_back();
+      continue;
+    }
+    current->push_back(take);
+    EnumeratePrunedRecursive(remaining - take, s1, sp, /*is_first=*/false, current, out,
+                             max_candidates);
+    current->pop_back();
+  }
+}
+
+}  // namespace
+
+std::vector<WavePartition> EnumeratePruned(int wave_count, int s1, int sp, int max_candidates) {
+  FLO_CHECK_GE(wave_count, 1);
+  FLO_CHECK_GE(s1, 1);
+  FLO_CHECK_GE(sp, 1);
+  FLO_CHECK_GE(max_candidates, 1);
+  std::set<std::vector<int>> unique;
+  // The single-group partition (communicate everything at the end) is
+  // always admissible: it is the graceful "don't overlap" fallback that
+  // guarantees the tuned plan never predicts worse than sequential
+  // execution, even on links where any segmentation loses.
+  unique.insert(WavePartition::SingleGroup(wave_count).group_sizes);
+  // Equal-sized partitions for every group size: cheap insurance for
+  // cliff-heavy links where the head bound would otherwise exclude the
+  // few-large-groups optima.
+  for (int body = 1; body <= wave_count; ++body) {
+    unique.insert(WavePartition::EqualSized(wave_count, body).group_sizes);
+  }
+  if (wave_count <= 22) {
+    std::vector<WavePartition> pruned;
+    std::vector<int> current;
+    EnumeratePrunedRecursive(wave_count, s1, sp, /*is_first=*/true, &current, &pruned,
+                             max_candidates);
+    for (const auto& p : pruned) {
+      unique.insert(p.group_sizes);
+    }
+  } else {
+    // Structured fallback for very deep GEMMs: equal-sized bodies with a
+    // bounded head and tail. Covers the shapes the full space's optima
+    // take in practice (small head, monotone body, bounded tail).
+    for (int head = 1; head <= s1; ++head) {
+      for (int body = 1; body <= std::max(1, wave_count / 2); body *= 2) {
+        for (int tail = 1; tail <= sp; ++tail) {
+          const int middle = wave_count - head - tail;
+          if (middle < 0) {
+            continue;
+          }
+          std::vector<int> sizes{head};
+          int remaining = middle;
+          while (remaining > 0) {
+            const int take = std::min(body, remaining);
+            sizes.push_back(take);
+            remaining -= take;
+          }
+          sizes.push_back(tail);
+          unique.insert(std::move(sizes));
+        }
+      }
+    }
+  }
+  std::vector<WavePartition> result;
+  for (const auto& sizes : unique) {
+    if (static_cast<int>(result.size()) >= max_candidates) {
+      break;
+    }
+    result.push_back(WavePartition{sizes});
+  }
+  return result;
+}
+
+WavePartition ScalePartitionExact(const WavePartition& partition, int to_waves) {
+  const int groups = partition.group_count();
+  FLO_CHECK_GE(to_waves, groups);
+  const int from_waves = partition.TotalWaves();
+  WavePartition scaled;
+  scaled.group_sizes.resize(groups);
+  int previous_boundary = 0;
+  int cumulative = 0;
+  for (int g = 0; g < groups; ++g) {
+    cumulative += partition.group_sizes[g];
+    int boundary = static_cast<int>(
+        static_cast<double>(cumulative) * to_waves / from_waves + 0.5);
+    // Leave room so every remaining group still gets >= 1 wave.
+    const int min_boundary = previous_boundary + 1;
+    const int max_boundary = to_waves - (groups - 1 - g);
+    boundary = std::clamp(boundary, min_boundary, max_boundary);
+    if (g == groups - 1) {
+      boundary = to_waves;
+    }
+    scaled.group_sizes[g] = boundary - previous_boundary;
+    previous_boundary = boundary;
+  }
+  FLO_CHECK(scaled.Valid(to_waves));
+  return scaled;
+}
+
+std::vector<int> SplitTilesByFractions(int total, const std::vector<double>& fractions) {
+  const int groups = static_cast<int>(fractions.size());
+  FLO_CHECK_GE(groups, 1);
+  FLO_CHECK_GE(total, groups);
+  std::vector<int> counts(groups);
+  int previous_boundary = 0;
+  double cumulative = 0.0;
+  for (int g = 0; g < groups; ++g) {
+    cumulative += fractions[g];
+    int boundary = static_cast<int>(cumulative * total + 0.5);
+    const int min_boundary = previous_boundary + 1;
+    const int max_boundary = total - (groups - 1 - g);
+    boundary = std::clamp(boundary, min_boundary, max_boundary);
+    if (g == groups - 1) {
+      boundary = total;
+    }
+    counts[g] = boundary - previous_boundary;
+    previous_boundary = boundary;
+  }
+  return counts;
+}
+
+WavePartition ScalePartition(const WavePartition& partition, int to_waves) {
+  FLO_CHECK_GE(to_waves, 1);
+  const int from_waves = partition.TotalWaves();
+  FLO_CHECK_GE(from_waves, 1);
+  if (from_waves == to_waves) {
+    return partition;
+  }
+  WavePartition scaled;
+  int assigned = 0;
+  int cumulative = 0;
+  for (int size : partition.group_sizes) {
+    cumulative += size;
+    // Proportional prefix sums, rounded; guarantees monotone boundaries.
+    int boundary = static_cast<int>(
+        static_cast<double>(cumulative) * to_waves / from_waves + 0.5);
+    boundary = std::clamp(boundary, assigned, to_waves);
+    if (boundary > assigned) {
+      scaled.group_sizes.push_back(boundary - assigned);
+      assigned = boundary;
+    }
+  }
+  if (assigned < to_waves) {
+    if (scaled.group_sizes.empty()) {
+      scaled.group_sizes.push_back(to_waves - assigned);
+    } else {
+      scaled.group_sizes.back() += to_waves - assigned;
+    }
+  }
+  FLO_CHECK(scaled.Valid(to_waves));
+  return scaled;
+}
+
+}  // namespace flo

@@ -1,0 +1,55 @@
+#include "src/gemm/epilogue.h"
+
+#include <algorithm>
+
+#include "src/util/check.h"
+
+namespace flo {
+
+float ApplyEpilogue(EpilogueOp op, float value, int64_t col, std::span<const float> bias) {
+  switch (op) {
+    case EpilogueOp::kIdentity:
+      return value;
+    case EpilogueOp::kBias:
+      FLO_CHECK_LT(static_cast<size_t>(col), bias.size());
+      return value + bias[col];
+    case EpilogueOp::kRelu:
+      return std::max(0.0f, value);
+  }
+  return value;
+}
+
+void StoreTileRowMajor(std::span<float> c, int64_t n, int64_t row_start, int64_t col_start,
+                       int tile_rows, int tile_cols, std::span<const float> tile_values) {
+  FLO_CHECK_EQ(tile_values.size(), static_cast<size_t>(tile_rows) * tile_cols);
+  for (int r = 0; r < tile_rows; ++r) {
+    for (int col = 0; col < tile_cols; ++col) {
+      const int64_t dst = (row_start + r) * n + (col_start + col);
+      FLO_CHECK_LT(static_cast<size_t>(dst), c.size());
+      c[dst] = tile_values[static_cast<size_t>(r) * tile_cols + col];
+    }
+  }
+}
+
+void StoreTileToSlot(std::span<float> staging, int64_t slot_offset, int tile_rows, int tile_cols,
+                     std::span<const float> tile_values) {
+  FLO_CHECK_EQ(tile_values.size(), static_cast<size_t>(tile_rows) * tile_cols);
+  FLO_CHECK_LE(static_cast<size_t>(slot_offset) + tile_values.size(), staging.size());
+  std::copy(tile_values.begin(), tile_values.end(), staging.begin() + slot_offset);
+}
+
+void LoadTileFromSlot(std::span<const float> staging, int64_t slot_offset, std::span<float> c,
+                      int64_t n, int64_t row_start, int64_t col_start, int tile_rows,
+                      int tile_cols) {
+  FLO_CHECK_LE(static_cast<size_t>(slot_offset) + static_cast<size_t>(tile_rows) * tile_cols,
+               staging.size());
+  for (int r = 0; r < tile_rows; ++r) {
+    for (int col = 0; col < tile_cols; ++col) {
+      const int64_t dst = (row_start + r) * n + (col_start + col);
+      FLO_CHECK_LT(static_cast<size_t>(dst), c.size());
+      c[dst] = staging[slot_offset + static_cast<int64_t>(r) * tile_cols + col];
+    }
+  }
+}
+
+}  // namespace flo

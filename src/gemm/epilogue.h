@@ -1,0 +1,43 @@
+// GEMM epilogue: element-wise post-ops and the scatter-store hook that the
+// pre-communication reorder fuses into (paper Sec. 3.3.4 / Sec. 5, EVT).
+#ifndef SRC_GEMM_EPILOGUE_H_
+#define SRC_GEMM_EPILOGUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+namespace flo {
+
+enum class EpilogueOp {
+  kIdentity,
+  kBias,  // adds a per-column bias vector
+  kRelu,
+};
+
+// Applies the element-wise op to a value at output column `col`.
+float ApplyEpilogue(EpilogueOp op, float value, int64_t col, std::span<const float> bias);
+
+// Destination of a tile's output: either the logical row-major C matrix or
+// a scatter slot inside the contiguous staging buffer.
+//
+// `StoreTileRowMajor` writes the tile where a vanilla GEMM would.
+// `StoreTileToSlot` implements the fused pre-communication reorder: tile
+// (tile_rows x tile_cols) is written densely (row-major within the tile)
+// starting at `slot_offset` elements of `staging`.
+void StoreTileRowMajor(std::span<float> c, int64_t n, int64_t row_start, int64_t col_start,
+                       int tile_rows, int tile_cols, std::span<const float> tile_values);
+
+void StoreTileToSlot(std::span<float> staging, int64_t slot_offset, int tile_rows, int tile_cols,
+                     std::span<const float> tile_values);
+
+// Reads a dense tile back out of a staging slot into the row-major matrix —
+// the inverse of StoreTileToSlot, used by the post-communication reorder.
+void LoadTileFromSlot(std::span<const float> staging, int64_t slot_offset, std::span<float> c,
+                      int64_t n, int64_t row_start, int64_t col_start, int tile_rows,
+                      int tile_cols);
+
+}  // namespace flo
+
+#endif  // SRC_GEMM_EPILOGUE_H_

@@ -1,0 +1,51 @@
+#include "src/gemm/gemm_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/check.h"
+
+namespace flo {
+
+GemmModel::GemmModel(GpuSpec gpu) : gpu_(std::move(gpu)) {}
+
+double GemmModel::WaveTime(const GemmShape& shape, const TileShape& tile) const {
+  // One wave = one tile per SM. Per-SM sustained FLOPS comes from the
+  // chip-wide effective rate divided across SMs; a tile's work is
+  // 2 * tm * tn * K flops.
+  const double tile_flops = 2.0 * static_cast<double>(tile.m) * static_cast<double>(tile.n) *
+                            static_cast<double>(shape.k);
+  const double chip_flops_per_us = gpu_.EffectiveTflops(static_cast<double>(shape.k)) * 1e6;
+  const double sm_flops_per_us = chip_flops_per_us / gpu_.sm_count;
+  FLO_CHECK_GT(sm_flops_per_us, 0.0);
+  return tile_flops / sm_flops_per_us;
+}
+
+GemmConfig GemmModel::Configure(const GemmShape& shape) const {
+  GemmConfig config;
+  config.shape = shape;
+  config.tile = SelectTileShape(shape);
+  TileGrid grid(shape, config.tile);
+  config.tile_count = grid.tile_count();
+  // Swizzle follows the tile-row extent: enough rows to cover an L2-friendly
+  // square-ish footprint, mirroring CUTLASS's log-tile swizzle.
+  config.swizzle_size = std::clamp(grid.rows() / 2, 1, 8);
+  config.wave_time_us = WaveTime(shape, config.tile);
+  config.full_sm_waves =
+      static_cast<int>((config.tile_count + gpu_.sm_count - 1) / gpu_.sm_count);
+  config.duration_us =
+      config.full_sm_waves * config.wave_time_us + gpu_.kernel_launch_overhead_us;
+  return config;
+}
+
+int GemmModel::WaveCount(const GemmConfig& config, int available_sms) const {
+  const int width = std::max(1, available_sms);
+  return static_cast<int>((config.tile_count + width - 1) / width);
+}
+
+double GemmModel::Duration(const GemmConfig& config, int available_sms) const {
+  return WaveCount(config, available_sms) * config.wave_time_us +
+         gpu_.kernel_launch_overhead_us;
+}
+
+}  // namespace flo

@@ -1,0 +1,58 @@
+// Analytic GEMM timing: wave-quantized duration on a given GPU.
+//
+// This is the "GEMM configuration" the tuner derives offline (Sec. 4.2.1
+// (1)): tile shape, swizzle pattern, tile count, wave time, duration. The
+// model is deliberately wave-quantized — partial waves cost a full wave —
+// because that quantization is exactly why decomposition-based baselines
+// lose on fragmented GEMMs.
+#ifndef SRC_GEMM_GEMM_MODEL_H_
+#define SRC_GEMM_GEMM_MODEL_H_
+
+#include "src/gemm/tile.h"
+#include "src/gemm/wave.h"
+#include "src/hw/gpu_spec.h"
+
+namespace flo {
+
+struct GemmConfig {
+  GemmShape shape;
+  TileShape tile;
+  int swizzle_size = 1;
+  int tile_count = 0;
+  // Time for one full wave using all SMs of the GPU.
+  double wave_time_us = 0.0;
+  // Waves using all SMs.
+  int full_sm_waves = 0;
+  // Total duration using all SMs (wave-quantized) + launch overhead.
+  double duration_us = 0.0;
+};
+
+class GemmModel {
+ public:
+  explicit GemmModel(GpuSpec gpu);
+
+  const GpuSpec& gpu() const { return gpu_; }
+
+  // Derives the tuned configuration for a problem size, as the CUTLASS
+  // profiler would offline.
+  GemmConfig Configure(const GemmShape& shape) const;
+
+  // Time of one wave when `concurrent_tiles` tiles run at once (one per
+  // SM). Fewer available SMs do not change the per-wave time, only how many
+  // tiles fit in a wave.
+  double WaveTime(const GemmShape& shape, const TileShape& tile) const;
+
+  // Wave-quantized duration when only `available_sms` SMs are usable (the
+  // rest are held by communication kernels). Includes launch overhead.
+  double Duration(const GemmConfig& config, int available_sms) const;
+
+  // Number of waves with `available_sms` usable SMs (Alg. 1 line 3).
+  int WaveCount(const GemmConfig& config, int available_sms) const;
+
+ private:
+  GpuSpec gpu_;
+};
+
+}  // namespace flo
+
+#endif  // SRC_GEMM_GEMM_MODEL_H_

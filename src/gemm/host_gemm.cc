@@ -1,0 +1,81 @@
+#include "src/gemm/host_gemm.h"
+
+#include <cmath>
+
+#include "src/util/check.h"
+#include "src/util/rng.h"
+
+namespace flo {
+
+HostGemm::HostGemm(GemmShape shape, TileShape tile) : grid_(shape, tile) {}
+
+void HostGemm::ComputeTile(std::span<const float> a, std::span<const float> b, int tile_index,
+                           EpilogueOp op, std::span<const float> bias,
+                           std::vector<float>* tile_out) const {
+  const GemmShape& shape = grid_.shape();
+  FLO_CHECK_EQ(a.size(), static_cast<size_t>(shape.m * shape.k));
+  FLO_CHECK_EQ(b.size(), static_cast<size_t>(shape.k * shape.n));
+  const int rows = grid_.TileRowsAt(tile_index);
+  const int cols = grid_.TileColsAt(tile_index);
+  const int64_t row0 = grid_.RowStart(tile_index);
+  const int64_t col0 = grid_.ColStart(tile_index);
+  tile_out->assign(static_cast<size_t>(rows) * cols, 0.0f);
+  for (int r = 0; r < rows; ++r) {
+    const float* a_row = a.data() + (row0 + r) * shape.k;
+    for (int c = 0; c < cols; ++c) {
+      // Accumulate in double to keep the reference numerically tight.
+      double acc = 0.0;
+      const int64_t col = col0 + c;
+      for (int64_t kk = 0; kk < shape.k; ++kk) {
+        acc += static_cast<double>(a_row[kk]) * static_cast<double>(b[kk * shape.n + col]);
+      }
+      const float value = ApplyEpilogue(op, static_cast<float>(acc), col, bias);
+      (*tile_out)[static_cast<size_t>(r) * cols + c] = value;
+    }
+  }
+}
+
+void HostGemm::ComputeRowMajor(std::span<const float> a, std::span<const float> b, EpilogueOp op,
+                               std::span<const float> bias, std::span<float> c) const {
+  const GemmShape& shape = grid_.shape();
+  FLO_CHECK_EQ(c.size(), static_cast<size_t>(shape.m * shape.n));
+  std::vector<float> tile;
+  for (int t = 0; t < grid_.tile_count(); ++t) {
+    ComputeTile(a, b, t, op, bias, &tile);
+    StoreTileRowMajor(c, shape.n, grid_.RowStart(t), grid_.ColStart(t), grid_.TileRowsAt(t),
+                      grid_.TileColsAt(t), tile);
+  }
+}
+
+void HostGemm::ComputeWithSink(std::span<const float> a, std::span<const float> b, EpilogueOp op,
+                               std::span<const float> bias, std::span<const int> launch_order,
+                               const std::function<void(int, std::span<const float>)>& sink) const {
+  FLO_CHECK_EQ(launch_order.size(), static_cast<size_t>(grid_.tile_count()));
+  std::vector<float> tile;
+  for (int tile_index : launch_order) {
+    ComputeTile(a, b, tile_index, op, bias, &tile);
+    sink(tile_index, tile);
+  }
+}
+
+std::vector<float> RandomMatrix(int64_t rows, int64_t cols, uint64_t seed) {
+  FLO_CHECK_GT(rows, 0);
+  FLO_CHECK_GT(cols, 0);
+  Rng rng(seed);
+  std::vector<float> data(static_cast<size_t>(rows) * cols);
+  for (auto& v : data) {
+    v = static_cast<float>(rng.NextDouble(-1.0, 1.0));
+  }
+  return data;
+}
+
+float MaxAbsDiff(std::span<const float> a, std::span<const float> b) {
+  FLO_CHECK_EQ(a.size(), b.size());
+  float max_diff = 0.0f;
+  for (size_t i = 0; i < a.size(); ++i) {
+    max_diff = std::max(max_diff, std::fabs(a[i] - b[i]));
+  }
+  return max_diff;
+}
+
+}  // namespace flo

@@ -1,0 +1,56 @@
+// Reference host GEMM operating tile-by-tile.
+//
+// This is the functional stand-in for the CUTLASS kernel: it computes the
+// same tile partition the timing model schedules, can emit tiles in any
+// launch order, and supports the fused epilogue (element-wise op + scatter
+// store). Correctness of FlashOverlap's reorder pipeline is validated
+// against it end-to-end with real numbers.
+#ifndef SRC_GEMM_HOST_GEMM_H_
+#define SRC_GEMM_HOST_GEMM_H_
+
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "src/gemm/epilogue.h"
+#include "src/gemm/tile.h"
+
+namespace flo {
+
+class HostGemm {
+ public:
+  HostGemm(GemmShape shape, TileShape tile);
+
+  const TileGrid& grid() const { return grid_; }
+
+  // Computes one output tile of C = A * B into `tile_out` (dense row-major,
+  // TileRowsAt x TileColsAt elements). A is M x K row-major, B is K x N
+  // row-major.
+  void ComputeTile(std::span<const float> a, std::span<const float> b, int tile_index,
+                   EpilogueOp op, std::span<const float> bias, std::vector<float>* tile_out) const;
+
+  // Vanilla full GEMM into row-major C (the non-overlap reference path).
+  void ComputeRowMajor(std::span<const float> a, std::span<const float> b, EpilogueOp op,
+                       std::span<const float> bias, std::span<float> c) const;
+
+  // Computes tiles in `launch_order`, invoking `sink(tile_index, values)`
+  // per finished tile. The overlap engine plugs the scatter-store reorder
+  // and the counting-table bump into the sink — exactly the epilogue fusion
+  // of the real system.
+  void ComputeWithSink(std::span<const float> a, std::span<const float> b, EpilogueOp op,
+                       std::span<const float> bias, std::span<const int> launch_order,
+                       const std::function<void(int, std::span<const float>)>& sink) const;
+
+ private:
+  TileGrid grid_;
+};
+
+// Convenience: deterministic pseudo-random matrix fill.
+std::vector<float> RandomMatrix(int64_t rows, int64_t cols, uint64_t seed);
+
+// Max absolute difference between two equal-sized buffers.
+float MaxAbsDiff(std::span<const float> a, std::span<const float> b);
+
+}  // namespace flo
+
+#endif  // SRC_GEMM_HOST_GEMM_H_

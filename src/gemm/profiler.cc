@@ -1,0 +1,73 @@
+#include "src/gemm/profiler.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "src/util/check.h"
+
+namespace flo {
+
+GemmProfiler::GemmProfiler(GpuSpec gpu) : gpu_(gpu), model_(std::move(gpu)) {}
+
+std::vector<TileShape> GemmProfiler::CandidateTiles() {
+  return {TileShape{128, 256}, TileShape{256, 128}, TileShape{128, 128}, TileShape{64, 256},
+          TileShape{128, 64},  TileShape{64, 128},  TileShape{64, 64}};
+}
+
+std::vector<ProfiledCandidate> GemmProfiler::Profile(const GemmShape& shape) const {
+  std::vector<ProfiledCandidate> results;
+  for (const TileShape& tile : CandidateTiles()) {
+    if (shape.m % tile.m != 0 || shape.n % tile.n != 0) {
+      continue;
+    }
+    TileGrid grid(shape, tile);
+    ProfiledCandidate candidate;
+    candidate.tile = tile;
+    candidate.tile_count = grid.tile_count();
+    candidate.waves = (grid.tile_count() + gpu_.sm_count - 1) / gpu_.sm_count;
+    const int last_wave_tiles = grid.tile_count() - (candidate.waves - 1) * gpu_.sm_count;
+    candidate.last_wave_occupancy =
+        static_cast<double>(last_wave_tiles) / std::min(gpu_.sm_count, grid.tile_count());
+    // Duration = wave-quantized main loop + epilogue writeback. Smaller
+    // tiles pay more per-tile overhead, folded in as a fixed cost per tile
+    // launch on the SM.
+    const double wave_time = model_.WaveTime(shape, tile);
+    const double per_tile_overhead_us = 0.4;
+    const double sm_rounds = static_cast<double>(candidate.waves);
+    candidate.duration_us = candidate.waves * wave_time +
+                            sm_rounds * per_tile_overhead_us +
+                            gpu_.kernel_launch_overhead_us;
+    results.push_back(candidate);
+  }
+  return results;
+}
+
+GemmConfig GemmProfiler::ProfileBest(const GemmShape& shape) const {
+  const auto candidates = Profile(shape);
+  if (candidates.empty()) {
+    // Nothing divides evenly: defer to the heuristic (the overlap path will
+    // reject it anyway if tiles are partial).
+    return model_.Configure(shape);
+  }
+  const ProfiledCandidate* best = nullptr;
+  double best_duration = std::numeric_limits<double>::infinity();
+  for (const auto& candidate : candidates) {
+    if (candidate.duration_us < best_duration) {
+      best_duration = candidate.duration_us;
+      best = &candidate;
+    }
+  }
+  FLO_CHECK(best != nullptr);
+  GemmConfig config;
+  config.shape = shape;
+  config.tile = best->tile;
+  TileGrid grid(shape, config.tile);
+  config.tile_count = grid.tile_count();
+  config.swizzle_size = std::clamp(grid.rows() / 2, 1, 8);
+  config.wave_time_us = model_.WaveTime(shape, config.tile);
+  config.full_sm_waves = best->waves;
+  config.duration_us = best->waves * config.wave_time_us + gpu_.kernel_launch_overhead_us;
+  return config;
+}
+
+}  // namespace flo

@@ -1,0 +1,51 @@
+// GEMM configuration profiler.
+//
+// The real system runs the CUTLASS profiler offline to pick the tile shape
+// and swizzle for each problem size (Sec. 5 / Sec. 4.2.1(1)). This is the
+// model-driven equivalent: it scores a candidate family of tile shapes by
+// wave-quantized duration plus epilogue memory traffic and returns the
+// winner. Compared to the single-heuristic SelectTileShape, the profiler
+// adapts to quantization effects (e.g. a skinny M prefers shallow tiles so
+// the last wave is not mostly idle).
+#ifndef SRC_GEMM_PROFILER_H_
+#define SRC_GEMM_PROFILER_H_
+
+#include <vector>
+
+#include "src/gemm/gemm_model.h"
+
+namespace flo {
+
+struct ProfiledCandidate {
+  TileShape tile;
+  double duration_us = 0.0;
+  int tile_count = 0;
+  int waves = 0;
+  // Fraction of the last wave's slots actually used (1.0 = perfectly
+  // quantized).
+  double last_wave_occupancy = 0.0;
+};
+
+class GemmProfiler {
+ public:
+  explicit GemmProfiler(GpuSpec gpu);
+
+  // Candidate tile family (the shapes a CUTLASS build typically ships).
+  static std::vector<TileShape> CandidateTiles();
+
+  // Scores every candidate that divides the problem (full uniform tiles,
+  // as the overlap path requires); falls back to SelectTileShape when none
+  // divides.
+  std::vector<ProfiledCandidate> Profile(const GemmShape& shape) const;
+
+  // Best configuration by modeled duration.
+  GemmConfig ProfileBest(const GemmShape& shape) const;
+
+ private:
+  GpuSpec gpu_;
+  GemmModel model_;
+};
+
+}  // namespace flo
+
+#endif  // SRC_GEMM_PROFILER_H_

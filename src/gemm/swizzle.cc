@@ -1,0 +1,53 @@
+#include "src/gemm/swizzle.h"
+
+#include <algorithm>
+
+#include "src/util/check.h"
+
+namespace flo {
+
+std::vector<int> SwizzledLaunchOrder(const TileGrid& grid, int swizzle_size) {
+  FLO_CHECK_GE(swizzle_size, 1);
+  std::vector<int> order;
+  order.reserve(grid.tile_count());
+  const int rows = grid.rows();
+  const int cols = grid.cols();
+  for (int group_start = 0; group_start < rows; group_start += swizzle_size) {
+    const int group_rows = std::min(swizzle_size, rows - group_start);
+    for (int col = 0; col < cols; ++col) {
+      for (int r = 0; r < group_rows; ++r) {
+        order.push_back(grid.TileIndex(group_start + r, col));
+      }
+    }
+  }
+  FLO_CHECK_EQ(static_cast<int>(order.size()), grid.tile_count());
+  return order;
+}
+
+std::vector<int> LaunchSlotOfTile(const std::vector<int>& launch_order) {
+  std::vector<int> slot(launch_order.size(), -1);
+  for (size_t i = 0; i < launch_order.size(); ++i) {
+    const int tile = launch_order[i];
+    FLO_CHECK_GE(tile, 0);
+    FLO_CHECK_LT(tile, static_cast<int>(launch_order.size()));
+    FLO_CHECK_EQ(slot[tile], -1) << "duplicate tile in launch order";
+    slot[tile] = static_cast<int>(i);
+  }
+  return slot;
+}
+
+bool IsPermutation(const std::vector<int>& order, int n) {
+  if (static_cast<int>(order.size()) != n) {
+    return false;
+  }
+  std::vector<bool> seen(n, false);
+  for (int v : order) {
+    if (v < 0 || v >= n || seen[v]) {
+      return false;
+    }
+    seen[v] = true;
+  }
+  return true;
+}
+
+}  // namespace flo

@@ -1,0 +1,32 @@
+// Block swizzling: the launch order of output tiles.
+//
+// GEMMs launch thread blocks in a swizzled order for L2 locality (paper
+// Sec. 2.1.2, Fig. 2(b)). The consequence FlashOverlap cares about: the
+// completion order of tiles does not match their memory-address order, so a
+// finished wave is non-contiguous — which is what the reordering fixes.
+#ifndef SRC_GEMM_SWIZZLE_H_
+#define SRC_GEMM_SWIZZLE_H_
+
+#include <vector>
+
+#include "src/gemm/tile.h"
+
+namespace flo {
+
+// Returns the launch order as a permutation of tile indices:
+// result[launch_slot] = tile_index.
+//
+// swizzle_size S groups S consecutive tile-rows; within a group, blocks
+// walk down the rows of one column before advancing to the next column.
+// S = 1 degenerates to plain row-major launch order.
+std::vector<int> SwizzledLaunchOrder(const TileGrid& grid, int swizzle_size);
+
+// Inverse permutation: result[tile_index] = launch_slot.
+std::vector<int> LaunchSlotOfTile(const std::vector<int>& launch_order);
+
+// True if `order` is a permutation of [0, n).
+bool IsPermutation(const std::vector<int>& order, int n);
+
+}  // namespace flo
+
+#endif  // SRC_GEMM_SWIZZLE_H_

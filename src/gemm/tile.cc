@@ -1,0 +1,79 @@
+#include "src/gemm/tile.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "src/util/check.h"
+
+namespace flo {
+
+std::string GemmShape::ToString() const {
+  std::ostringstream out;
+  out << "M" << m << "xN" << n << "xK" << k;
+  return out.str();
+}
+
+TileGrid::TileGrid(GemmShape shape, TileShape tile) : shape_(shape), tile_(tile) {
+  FLO_CHECK_GT(shape.m, 0);
+  FLO_CHECK_GT(shape.n, 0);
+  FLO_CHECK_GT(shape.k, 0);
+  FLO_CHECK_GT(tile.m, 0);
+  FLO_CHECK_GT(tile.n, 0);
+  rows_ = static_cast<int>((shape.m + tile.m - 1) / tile.m);
+  cols_ = static_cast<int>((shape.n + tile.n - 1) / tile.n);
+}
+
+int TileGrid::TileIndex(int row, int col) const {
+  FLO_CHECK_GE(row, 0);
+  FLO_CHECK_LT(row, rows_);
+  FLO_CHECK_GE(col, 0);
+  FLO_CHECK_LT(col, cols_);
+  return row * cols_ + col;
+}
+
+int TileGrid::TileRow(int index) const {
+  FLO_CHECK_GE(index, 0);
+  FLO_CHECK_LT(index, tile_count());
+  return index / cols_;
+}
+
+int TileGrid::TileCol(int index) const {
+  FLO_CHECK_GE(index, 0);
+  FLO_CHECK_LT(index, tile_count());
+  return index % cols_;
+}
+
+int TileGrid::TileRowsAt(int index) const {
+  const int64_t start = RowStart(index);
+  return static_cast<int>(std::min<int64_t>(tile_.m, shape_.m - start));
+}
+
+int TileGrid::TileColsAt(int index) const {
+  const int64_t start = ColStart(index);
+  return static_cast<int>(std::min<int64_t>(tile_.n, shape_.n - start));
+}
+
+int64_t TileGrid::RowStart(int index) const {
+  return static_cast<int64_t>(TileRow(index)) * tile_.m;
+}
+
+int64_t TileGrid::ColStart(int index) const {
+  return static_cast<int64_t>(TileCol(index)) * tile_.n;
+}
+
+TileShape SelectTileShape(const GemmShape& shape) {
+  // Heuristic stand-in for the CUTLASS profiler pick (Sec. 5): favor
+  // 128x256 for wide outputs, fall back to square / small tiles so tiny
+  // problems still produce multiple tiles.
+  if (shape.m >= 1024 && shape.n >= 2048) {
+    return TileShape{128, 256};
+  }
+  if (shape.m >= 256 && shape.n >= 256) {
+    return TileShape{128, 128};
+  }
+  const int tm = static_cast<int>(std::min<int64_t>(shape.m, 64));
+  const int tn = static_cast<int>(std::min<int64_t>(shape.n, 64));
+  return TileShape{std::max(tm, 1), std::max(tn, 1)};
+}
+
+}  // namespace flo

@@ -1,0 +1,78 @@
+// GEMM problem and output-tile geometry.
+//
+// The output matrix C (M x N, row-major) is partitioned into tiles of
+// tile_m x tile_n; a tile is the minimum parallel unit dispatched to an SM
+// (paper Sec. 2.1.1) and the natural overlap granularity.
+#ifndef SRC_GEMM_TILE_H_
+#define SRC_GEMM_TILE_H_
+
+#include <cstdint>
+#include <string>
+
+namespace flo {
+
+struct GemmShape {
+  int64_t m = 0;
+  int64_t n = 0;
+  int64_t k = 0;
+
+  double Flops() const { return 2.0 * static_cast<double>(m) * static_cast<double>(n) *
+                                static_cast<double>(k); }
+  // Output bytes at the given element size (half precision on device).
+  double OutputBytes(int element_size = 2) const {
+    return static_cast<double>(m) * static_cast<double>(n) * element_size;
+  }
+  std::string ToString() const;
+
+  bool operator==(const GemmShape&) const = default;
+};
+
+struct TileShape {
+  int m = 0;
+  int n = 0;
+
+  int64_t Elements() const { return static_cast<int64_t>(m) * n; }
+  bool operator==(const TileShape&) const = default;
+};
+
+// Row-major grid of output tiles. Tile index = row * cols + rows' col, i.e.
+// indices increase along N first — which is exactly why a tile is
+// non-contiguous in C (stride N) and why a wave of swizzled tiles is
+// non-contiguous across tiles.
+class TileGrid {
+ public:
+  TileGrid() = default;
+  TileGrid(GemmShape shape, TileShape tile);
+
+  const GemmShape& shape() const { return shape_; }
+  const TileShape& tile() const { return tile_; }
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+  int tile_count() const { return rows_ * cols_; }
+
+  int TileIndex(int row, int col) const;
+  int TileRow(int index) const;
+  int TileCol(int index) const;
+
+  // Actual extent of a tile (edge tiles may be partial).
+  int TileRowsAt(int index) const;
+  int TileColsAt(int index) const;
+
+  // First output row / column covered by the tile.
+  int64_t RowStart(int index) const;
+  int64_t ColStart(int index) const;
+
+ private:
+  GemmShape shape_;
+  TileShape tile_;
+  int rows_ = 0;
+  int cols_ = 0;
+};
+
+// Picks a tile shape the way a CUTLASS profile would: large tiles for large
+// N, smaller for skinny outputs.
+TileShape SelectTileShape(const GemmShape& shape);
+
+}  // namespace flo
+
+#endif  // SRC_GEMM_TILE_H_

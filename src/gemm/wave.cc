@@ -1,0 +1,60 @@
+#include "src/gemm/wave.h"
+
+#include <utility>
+
+#include "src/util/check.h"
+
+namespace flo {
+
+WaveSchedule::WaveSchedule(std::vector<int> launch_order, int width)
+    : launch_order_(std::move(launch_order)), width_(width) {
+  FLO_CHECK_GT(width_, 0);
+  FLO_CHECK(!launch_order_.empty());
+  const int tiles = static_cast<int>(launch_order_.size());
+  wave_of_tile_.assign(tiles, -1);
+  for (int slot = 0; slot < tiles; ++slot) {
+    const int wave = slot / width_;
+    if (wave >= static_cast<int>(waves_.size())) {
+      waves_.emplace_back();
+    }
+    const int tile = launch_order_[slot];
+    FLO_CHECK_GE(tile, 0);
+    FLO_CHECK_LT(tile, tiles);
+    FLO_CHECK_EQ(wave_of_tile_[tile], -1) << "tile appears twice in launch order";
+    waves_[wave].push_back(tile);
+    wave_of_tile_[tile] = wave;
+  }
+}
+
+const std::vector<int>& WaveSchedule::WaveTiles(int wave) const {
+  FLO_CHECK_GE(wave, 0);
+  FLO_CHECK_LT(wave, wave_count());
+  return waves_[wave];
+}
+
+int WaveSchedule::WaveOfTile(int tile) const {
+  FLO_CHECK_GE(tile, 0);
+  FLO_CHECK_LT(tile, tile_count());
+  return wave_of_tile_[tile];
+}
+
+std::vector<double> WaveSchedule::CompletionTimes(double wave_us, Rng* jitter,
+                                                  double intra_wave_spread) const {
+  FLO_CHECK_GT(wave_us, 0.0);
+  FLO_CHECK_GE(intra_wave_spread, 0.0);
+  FLO_CHECK_LT(intra_wave_spread, 1.0);
+  std::vector<double> times(tile_count(), 0.0);
+  for (int tile = 0; tile < tile_count(); ++tile) {
+    const int wave = wave_of_tile_[tile];
+    double t = (wave + 1) * wave_us;
+    if (jitter != nullptr) {
+      // Completion spreads backwards from the wave boundary: tiles finish
+      // within the last `intra_wave_spread` fraction of the wave.
+      t -= jitter->NextDouble() * intra_wave_spread * wave_us;
+    }
+    times[tile] = t;
+  }
+  return times;
+}
+
+}  // namespace flo

@@ -1,0 +1,51 @@
+// Wave schedule: which tiles execute concurrently.
+//
+// With more tiles than SMs, tile execution proceeds in waves of (roughly)
+// SM-count tiles that complete nearly simultaneously (paper Sec. 2.1.1,
+// Fig. 3). FlashOverlap signals at wave granularity instead of tile
+// granularity because a wave is the natural batch of simultaneously-ready
+// data.
+#ifndef SRC_GEMM_WAVE_H_
+#define SRC_GEMM_WAVE_H_
+
+#include <vector>
+
+#include "src/gemm/tile.h"
+#include "src/util/rng.h"
+
+namespace flo {
+
+class WaveSchedule {
+ public:
+  // `launch_order[slot] = tile`; `width` = concurrently executing tiles
+  // (available SMs). Wave w contains launch slots [w*width, (w+1)*width).
+  WaveSchedule(std::vector<int> launch_order, int width);
+
+  int wave_count() const { return static_cast<int>(waves_.size()); }
+  int width() const { return width_; }
+  int tile_count() const { return static_cast<int>(launch_order_.size()); }
+
+  const std::vector<int>& launch_order() const { return launch_order_; }
+
+  // Tiles of wave w, in launch order.
+  const std::vector<int>& WaveTiles(int wave) const;
+
+  // Wave index of a tile.
+  int WaveOfTile(int tile) const;
+
+  // Per-tile completion times for a uniform wave duration `wave_us`.
+  // If `jitter` is non-null, tiles within a wave spread over the last
+  // `intra_wave_spread` fraction of the wave (paper: within ~5%).
+  std::vector<double> CompletionTimes(double wave_us, Rng* jitter = nullptr,
+                                      double intra_wave_spread = 0.05) const;
+
+ private:
+  std::vector<int> launch_order_;
+  int width_ = 0;
+  std::vector<std::vector<int>> waves_;
+  std::vector<int> wave_of_tile_;
+};
+
+}  // namespace flo
+
+#endif  // SRC_GEMM_WAVE_H_

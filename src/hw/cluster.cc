@@ -1,0 +1,50 @@
+#include "src/hw/cluster.h"
+
+#include <sstream>
+
+#include "src/util/check.h"
+
+namespace flo {
+
+std::string ClusterSpec::Describe() const {
+  std::ostringstream out;
+  out << gpu_count << "x " << gpu.name << " (" << LinkKindName(link.kind) << ")";
+  return out.str();
+}
+
+ClusterSpec Make4090Cluster(int gpu_count) {
+  FLO_CHECK_GE(gpu_count, 2);
+  return ClusterSpec{MakeRtx4090(), MakePcie4090(), gpu_count};
+}
+
+ClusterSpec MakeA800Cluster(int gpu_count) {
+  FLO_CHECK_GE(gpu_count, 2);
+  return ClusterSpec{MakeA800(), MakeNvlinkA800(), gpu_count};
+}
+
+ClusterSpec MakeAscendCluster(int gpu_count) {
+  FLO_CHECK_GE(gpu_count, 2);
+  return ClusterSpec{MakeAscend910B(), MakeHccsAscend(), gpu_count};
+}
+
+Cluster::Cluster(ClusterSpec spec) : spec_(std::move(spec)) {
+  FLO_CHECK_GE(spec_.gpu_count, 1);
+  devices_.reserve(spec_.gpu_count);
+  for (int rank = 0; rank < spec_.gpu_count; ++rank) {
+    devices_.push_back(std::make_unique<Device>(rank, spec_.gpu.sm_count));
+  }
+}
+
+Device& Cluster::device(int rank) {
+  FLO_CHECK_GE(rank, 0);
+  FLO_CHECK_LT(rank, static_cast<int>(devices_.size()));
+  return *devices_[rank];
+}
+
+const Device& Cluster::device(int rank) const {
+  FLO_CHECK_GE(rank, 0);
+  FLO_CHECK_LT(rank, static_cast<int>(devices_.size()));
+  return *devices_[rank];
+}
+
+}  // namespace flo

@@ -1,0 +1,101 @@
+#include "src/hw/interconnect.h"
+
+#include <cmath>
+
+#include "src/util/check.h"
+
+namespace flo {
+
+const char* LinkKindName(LinkKind kind) {
+  switch (kind) {
+    case LinkKind::kPcie:
+      return "PCIe";
+    case LinkKind::kNvlink:
+      return "NVLink";
+    case LinkKind::kHccs:
+      return "HCCS";
+  }
+  return "?";
+}
+
+double InterconnectSpec::EffectiveBusBandwidth(double bytes) const {
+  FLO_CHECK_GT(bytes, 0.0);
+  // Effective bandwidth = bytes / wire-time with
+  //   wire-time ∝ bytes + half_saturation + cliff_penalty(bytes).
+  // The saturation term models protocol pipelining filling up; the penalty
+  // term models the sharp utilization drop below the cliff size (the red
+  // borderline of Fig. 8). The penalty's slope is bounded by 1 so the
+  // implied transfer time is strictly monotone in size — segmenting a
+  // message can never make it cheaper.
+  double penalty = 0.0;
+  if (bytes < cliff_bytes) {
+    const double shortfall = 1.0 - bytes / cliff_bytes;
+    penalty = 0.5 * cliff_bytes * shortfall * shortfall;
+  }
+  return peak_busbw_gbps * bytes / (bytes + half_saturation_bytes + penalty);
+}
+
+Curve InterconnectSpec::SampleBandwidthCurve(double min_bytes, double max_bytes,
+                                             int points_per_decade) const {
+  FLO_CHECK_GT(min_bytes, 0.0);
+  FLO_CHECK_GT(max_bytes, min_bytes);
+  FLO_CHECK_GT(points_per_decade, 1);
+  std::vector<std::pair<double, double>> points;
+  const double log_min = std::log10(min_bytes);
+  const double log_max = std::log10(max_bytes);
+  const int total = static_cast<int>((log_max - log_min) * points_per_decade) + 1;
+  for (int i = 0; i <= total; ++i) {
+    const double x =
+        std::pow(10.0, log_min + (log_max - log_min) * static_cast<double>(i) / total);
+    points.emplace_back(x, EffectiveBusBandwidth(x));
+  }
+  return Curve(std::move(points));
+}
+
+InterconnectSpec MakePcie4090() {
+  InterconnectSpec spec;
+  spec.kind = LinkKind::kPcie;
+  spec.name = "PCIe-4090";
+  // PCIe 4.0 x16 across NUMA: ~20 GB/s effective bus bandwidth per GPU.
+  spec.peak_busbw_gbps = 20.0;
+  spec.base_latency_us = 6.0;
+  spec.half_saturation_bytes = 2.0 * 1024 * 1024;
+  spec.cliff_bytes = 4.0 * 1024 * 1024;
+  spec.comm_sm_count = 4;
+  spec.call_overhead_us = 20.0;
+  spec.p2p_access = false;
+  return spec;
+}
+
+InterconnectSpec MakeNvlinkA800() {
+  InterconnectSpec spec;
+  spec.kind = LinkKind::kNvlink;
+  spec.name = "NVLink-A800";
+  // Pairwise NVLink (400 GB/s links); NCCL ring reaches ~190 GB/s busbw.
+  spec.peak_busbw_gbps = 190.0;
+  spec.base_latency_us = 2.0;
+  spec.half_saturation_bytes = 8.0 * 1024 * 1024;
+  spec.cliff_bytes = 16.0 * 1024 * 1024;
+  spec.comm_sm_count = 4;
+  spec.call_overhead_us = 12.0;
+  spec.p2p_access = true;
+  return spec;
+}
+
+InterconnectSpec MakeHccsAscend() {
+  InterconnectSpec spec;
+  spec.kind = LinkKind::kHccs;
+  spec.name = "HCCS-910B";
+  // 910B HCCS full-mesh: 7 links x 56 GB/s; collectives sustain ~140 GB/s
+  // of bus bandwidth per NPU.
+  spec.peak_busbw_gbps = 140.0;
+  spec.base_latency_us = 4.0;
+  spec.half_saturation_bytes = 4.0 * 1024 * 1024;
+  spec.cliff_bytes = 8.0 * 1024 * 1024;
+  spec.comm_sm_count = 2;
+  spec.call_overhead_us = 18.0;
+  spec.p2p_access = true;
+  return spec;
+}
+
+}  // namespace flo

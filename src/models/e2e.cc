@@ -1,0 +1,85 @@
+#include "src/models/e2e.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/check.h"
+
+namespace flo {
+namespace {
+
+// Imbalanced A2A: spread per-rank token counts around the mean with the
+// requested max/mean factor (deterministic ramp).
+std::vector<GemmShape> ImbalancedShapes(const GemmShape& shape, int gpu_count,
+                                        double imbalance) {
+  std::vector<GemmShape> shapes;
+  shapes.reserve(gpu_count);
+  for (int r = 0; r < gpu_count; ++r) {
+    const double t = gpu_count > 1 ? static_cast<double>(r) / (gpu_count - 1) : 0.0;
+    // Linear ramp from (2 - imbalance) to imbalance around mean 1.
+    const double factor = (2.0 - imbalance) + (2.0 * imbalance - 2.0) * t;
+    int64_t m = static_cast<int64_t>(static_cast<double>(shape.m) * factor);
+    m = std::max<int64_t>(m, 256);
+    // Keep tile alignment so the overlap path stays uniform.
+    m = (m + 127) / 128 * 128;
+    shapes.push_back(GemmShape{m, shape.n, shape.k});
+  }
+  return shapes;
+}
+
+}  // namespace
+
+E2eReport EvaluateWorkload(const Workload& workload) {
+  OverlapEngine engine(workload.cluster);
+  E2eReport report;
+  report.workload = workload.name;
+  double ops_non_overlap = 0.0;
+  double ops_overlap = 0.0;
+  for (const auto& op : workload.ops) {
+    OpSpeedup row;
+    row.name = op.name;
+    if (op.primitive == CommPrimitive::kAllToAll && op.imbalance > 1.0) {
+      const auto shapes = ImbalancedShapes(op.shape, workload.cluster.gpu_count, op.imbalance);
+      row.non_overlap_us = engine.RunNonOverlapImbalanced(shapes, op.primitive);
+      row.overlap_us = engine.RunOverlapImbalanced(shapes, op.primitive).total_us;
+    } else {
+      row.non_overlap_us = engine.RunNonOverlap(op.shape, op.primitive);
+      row.overlap_us = engine.RunOverlap(op.shape, op.primitive).total_us;
+    }
+    row.speedup = row.non_overlap_us / row.overlap_us;
+    ops_non_overlap += row.non_overlap_us * op.count;
+    ops_overlap += row.overlap_us * op.count;
+    report.ops.push_back(row);
+  }
+  FLO_CHECK_GT(workload.gemm_x_fraction, 0.0);
+  FLO_CHECK_LT(workload.gemm_x_fraction, 1.0);
+  const double others = ops_non_overlap * (1.0 - workload.gemm_x_fraction) /
+                        workload.gemm_x_fraction;
+  report.baseline_layer_us = ops_non_overlap + others;
+  report.overlap_layer_us = ops_overlap + others;
+  report.e2e_speedup = report.baseline_layer_us / report.overlap_layer_us;
+  return report;
+}
+
+std::vector<PortionRow> TimePortion(const Workload& workload) {
+  OverlapEngine engine(workload.cluster);
+  std::vector<PortionRow> rows;
+  double ops_total = 0.0;
+  for (const auto& op : workload.ops) {
+    PortionRow row;
+    row.name = op.name;
+    row.fraction = engine.RunNonOverlap(op.shape, op.primitive) * op.count;
+    ops_total += row.fraction;
+    rows.push_back(row);
+  }
+  const double others = ops_total * (1.0 - workload.gemm_x_fraction) /
+                        workload.gemm_x_fraction;
+  const double total = ops_total + others;
+  for (auto& row : rows) {
+    row.fraction /= total;
+  }
+  rows.push_back(PortionRow{"others", others / total});
+  return rows;
+}
+
+}  // namespace flo

@@ -1,0 +1,44 @@
+// End-to-end composition: turns per-op overlap gains into workload-level
+// speedups (paper Fig. 12) and time-portion breakdowns (Fig. 4).
+#ifndef SRC_MODELS_E2E_H_
+#define SRC_MODELS_E2E_H_
+
+#include <string>
+#include <vector>
+
+#include "src/core/overlap_engine.h"
+#include "src/models/workloads.h"
+
+namespace flo {
+
+struct OpSpeedup {
+  std::string name;
+  double non_overlap_us = 0.0;
+  double overlap_us = 0.0;
+  double speedup = 1.0;
+};
+
+struct E2eReport {
+  std::string workload;
+  std::vector<OpSpeedup> ops;
+  // Non-overlap end-to-end time per layer (us), including "others".
+  double baseline_layer_us = 0.0;
+  double overlap_layer_us = 0.0;
+  double e2e_speedup = 1.0;
+};
+
+// Runs every op of the workload through the engine (overlap vs non-overlap)
+// and composes the end-to-end speedup using the workload's GEMM+X fraction.
+E2eReport EvaluateWorkload(const Workload& workload);
+
+// Fig. 4-style breakdown: fraction of non-overlap end-to-end time spent in
+// each op and in "others".
+struct PortionRow {
+  std::string name;
+  double fraction = 0.0;
+};
+std::vector<PortionRow> TimePortion(const Workload& workload);
+
+}  // namespace flo
+
+#endif  // SRC_MODELS_E2E_H_

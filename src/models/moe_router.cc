@@ -1,0 +1,109 @@
+#include "src/models/moe_router.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/check.h"
+#include "src/util/rng.h"
+
+namespace flo {
+
+double MoeRouting::ImbalanceFactor() const {
+  const auto loads = GpuLoads();
+  FLO_CHECK(!loads.empty());
+  int64_t max_load = 0;
+  int64_t total = 0;
+  for (int64_t load : loads) {
+    max_load = std::max(max_load, load);
+    total += load;
+  }
+  const double mean = static_cast<double>(total) / static_cast<double>(loads.size());
+  return mean > 0.0 ? static_cast<double>(max_load) / mean : 1.0;
+}
+
+std::vector<int64_t> MoeRouting::GpuLoads() const {
+  std::vector<int64_t> loads;
+  loads.reserve(tokens_of_gpu.size());
+  for (const auto& tokens : tokens_of_gpu) {
+    loads.push_back(static_cast<int64_t>(tokens.size()));
+  }
+  return loads;
+}
+
+int GpuOfExpert(const MoeRouterConfig& config, int expert) {
+  FLO_CHECK_GE(expert, 0);
+  FLO_CHECK_LT(expert, config.experts);
+  FLO_CHECK_EQ(config.experts % config.gpus, 0)
+      << "experts must split evenly across the EP group";
+  const int experts_per_gpu = config.experts / config.gpus;
+  return expert / experts_per_gpu;
+}
+
+MoeRouting RouteTokens(const MoeRouterConfig& config, int64_t tokens) {
+  FLO_CHECK_GE(config.experts, 1);
+  FLO_CHECK_GE(config.gpus, 1);
+  FLO_CHECK_GE(config.top_k, 1);
+  FLO_CHECK_LE(config.top_k, config.experts);
+  FLO_CHECK_GE(config.hot_bias, 0.0);
+  FLO_CHECK_LE(config.hot_bias, 1.0);
+  FLO_CHECK_GT(tokens, 0);
+
+  // Expert sampling weights: geometric decay controlled by hot_bias.
+  std::vector<double> cumulative(config.experts);
+  double total = 0.0;
+  for (int e = 0; e < config.experts; ++e) {
+    const double weight = std::pow(1.0 - 0.7 * config.hot_bias, e);
+    total += weight;
+    cumulative[e] = total;
+  }
+
+  Rng rng(config.seed);
+  MoeRouting routing;
+  routing.expert_of_token.resize(tokens);
+  routing.tokens_of_expert.resize(config.experts);
+  routing.tokens_of_gpu.resize(config.gpus);
+  for (int64_t token = 0; token < tokens; ++token) {
+    auto& picks = routing.expert_of_token[token];
+    for (int k = 0; k < config.top_k; ++k) {
+      int expert = 0;
+      // Rejection-free: invert the cumulative weight table; re-draw on a
+      // duplicate pick (top-k experts are distinct).
+      for (int attempt = 0; attempt < 64; ++attempt) {
+        const double u = rng.NextDouble() * total;
+        expert = static_cast<int>(
+            std::lower_bound(cumulative.begin(), cumulative.end(), u) - cumulative.begin());
+        expert = std::min(expert, config.experts - 1);
+        if (std::find(picks.begin(), picks.end(), expert) == picks.end()) {
+          break;
+        }
+        // Fall back to a linear probe if sampling keeps colliding.
+        if (attempt == 63) {
+          while (std::find(picks.begin(), picks.end(), expert) != picks.end()) {
+            expert = (expert + 1) % config.experts;
+          }
+        }
+      }
+      picks.push_back(expert);
+      routing.tokens_of_expert[expert].push_back(token);
+      routing.tokens_of_gpu[GpuOfExpert(config, expert)].push_back(token);
+    }
+  }
+  return routing;
+}
+
+std::vector<int> ReturnRouteForGpu(const MoeRouterConfig& config, const MoeRouting& routing,
+                                   int gpu) {
+  FLO_CHECK_GE(gpu, 0);
+  FLO_CHECK_LT(gpu, config.gpus);
+  const auto& held = routing.tokens_of_gpu[gpu];
+  std::vector<int> route;
+  route.reserve(held.size());
+  for (int64_t token : held) {
+    // Tokens are owned round-robin by original index (the data-parallel
+    // shard that produced them).
+    route.push_back(static_cast<int>(token % config.gpus));
+  }
+  return route;
+}
+
+}  // namespace flo

@@ -1,0 +1,54 @@
+// MoE routing substrate: generates the token -> expert -> GPU assignments
+// that drive the GEMM+All-to-All pattern (paper Sec. 2.3.3).
+//
+// Routing skew is the reason A2A workloads are imbalanced; the router
+// produces deterministic, seedable assignments with a controllable hot
+// expert bias so benchmarks and tests can dial the imbalance the paper
+// profiles (>40% of Mixtral training time).
+#ifndef SRC_MODELS_MOE_ROUTER_H_
+#define SRC_MODELS_MOE_ROUTER_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace flo {
+
+struct MoeRouterConfig {
+  int experts = 8;
+  int gpus = 4;           // expert parallelism degree; experts split evenly
+  int top_k = 2;          // experts per token
+  double hot_bias = 0.0;  // 0 = uniform; 1 = strongly skewed to expert 0
+  uint64_t seed = 1;
+};
+
+struct MoeRouting {
+  // For each (token, k) pick: the expert index.
+  std::vector<std::vector<int>> expert_of_token;
+  // Tokens routed to each expert (expert-major, token order preserved).
+  std::vector<std::vector<int64_t>> tokens_of_expert;
+  // Tokens routed to each GPU (= union of its experts' tokens).
+  std::vector<std::vector<int64_t>> tokens_of_gpu;
+
+  // Max / mean of per-GPU token counts — the imbalance factor of the
+  // engine's A2A path.
+  double ImbalanceFactor() const;
+  // Per-GPU token counts.
+  std::vector<int64_t> GpuLoads() const;
+};
+
+// Which GPU hosts `expert` under an even split.
+int GpuOfExpert(const MoeRouterConfig& config, int expert);
+
+// Routes `tokens` tokens. Deterministic for a fixed config.
+MoeRouting RouteTokens(const MoeRouterConfig& config, int64_t tokens);
+
+// The return-path route table for one source GPU: after expert computation,
+// every processed token row goes back to the GPU that owns the token
+// (tokens are owned round-robin by original index). Entry i is the
+// destination GPU of the i-th row held by `gpu`.
+std::vector<int> ReturnRouteForGpu(const MoeRouterConfig& config, const MoeRouting& routing,
+                                   int gpu);
+
+}  // namespace flo
+
+#endif  // SRC_MODELS_MOE_ROUTER_H_

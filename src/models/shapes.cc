@@ -1,0 +1,100 @@
+#include "src/models/shapes.h"
+
+#include "src/util/check.h"
+
+namespace flo {
+
+std::vector<GemmShape> OperatorShapes(CommPrimitive primitive, bool a800) {
+  // Table 3 ranges, per GPU (on-GPU shapes). M*N in Mi^2 units; K in Ki.
+  int mn_lo = 0;
+  int mn_hi = 0;
+  int k_lo = 0;
+  int k_hi = 0;
+  if (a800) {
+    if (primitive == CommPrimitive::kAllToAll) {
+      mn_lo = 16;
+      mn_hi = 400;
+      k_lo = 4;
+      k_hi = 8;
+    } else {
+      mn_lo = 64;
+      mn_hi = 256;
+      k_lo = 2;
+      k_hi = 8;
+    }
+  } else {
+    if (primitive == CommPrimitive::kAllToAll) {
+      mn_lo = 4;
+      mn_hi = 68;
+      k_lo = 8;
+      k_hi = 16;
+    } else {
+      mn_lo = 16;
+      mn_hi = 64;
+      k_lo = 8;
+      k_hi = 16;
+    }
+  }
+  const int64_t n = 8192;
+  std::vector<GemmShape> shapes;
+  // ~5 M*N points x ~4 K points + a denser diagonal => 50+ shapes overall
+  // across the sweep used in Fig. 10.
+  const int mn_steps = 5;
+  const int k_steps = 4;
+  for (int i = 0; i < mn_steps; ++i) {
+    const int mn = mn_lo + (mn_hi - mn_lo) * i / (mn_steps - 1);
+    const int64_t m = static_cast<int64_t>(mn) * 1024 * 1024 / n;
+    for (int j = 0; j < k_steps; ++j) {
+      const int k_ki = k_lo + (k_hi - k_lo) * j / (k_steps - 1);
+      shapes.push_back(GemmShape{std::max<int64_t>(m, 128), n,
+                                 static_cast<int64_t>(k_ki) * 1024});
+    }
+  }
+  // Denser diagonal fill.
+  for (int i = 0; i < mn_steps - 1; ++i) {
+    const int mn = mn_lo + (mn_hi - mn_lo) * (2 * i + 1) / (2 * (mn_steps - 1));
+    const int64_t m = static_cast<int64_t>(mn) * 1024 * 1024 / n;
+    const int k_ki = k_lo + (k_hi - k_lo) * (i % k_steps) / (k_steps - 1);
+    shapes.push_back(
+        GemmShape{std::max<int64_t>(m, 128), n, static_cast<int64_t>(k_ki) * 1024});
+  }
+  return shapes;
+}
+
+std::vector<GemmShape> TypicalRsShapes() {
+  std::vector<GemmShape> shapes;
+  for (int64_t m : {16384, 32768, 49152}) {
+    for (int64_t k : {2048, 4096, 8192}) {
+      shapes.push_back(GemmShape{m, 8192, k});
+    }
+  }
+  return shapes;
+}
+
+HeatmapAxes HeatmapAxes4090() {
+  HeatmapAxes axes;
+  axes.mn_mi = {16, 24, 32, 40, 48, 56, 64};
+  axes.k_ki = {4, 6, 8, 10, 12, 14, 16};
+  axes.n = 8192;
+  return axes;
+}
+
+HeatmapAxes HeatmapAxesA800() {
+  HeatmapAxes axes;
+  axes.mn_mi = {64, 96, 128, 160, 192, 224, 256};
+  axes.k_ki = {2, 3, 4, 5, 6, 7, 8};
+  axes.n = 8192;
+  return axes;
+}
+
+std::vector<GemmShape> AscendShapes() {
+  // Fig. 16 shape table: typical LLM layer GEMMs.
+  return {
+      GemmShape{2048, 5120, 2560},  GemmShape{4096, 2048, 8192},
+      GemmShape{4096, 4096, 2048},  GemmShape{5120, 6912, 4096},
+      GemmShape{2048, 8192, 12288}, GemmShape{4096, 5120, 2560},
+      GemmShape{4096, 4096, 2048},  GemmShape{5120, 6912, 4096},
+  };
+}
+
+}  // namespace flo

@@ -1,0 +1,40 @@
+// GEMM shape sets used by the paper's evaluation (Table 3, Fig. 11,
+// Fig. 13, Fig. 16).
+#ifndef SRC_MODELS_SHAPES_H_
+#define SRC_MODELS_SHAPES_H_
+
+#include <vector>
+
+#include "src/comm/primitive.h"
+#include "src/gemm/tile.h"
+
+namespace flo {
+
+// Operator-evaluation grid (Table 3): ~50+ shapes per (primitive, GPU).
+// M*N spans the listed Mi^2 range, K the listed Ki range; N is fixed at a
+// typical model width so M*N sweeps via M.
+std::vector<GemmShape> OperatorShapes(CommPrimitive primitive, bool a800);
+
+// Fig. 11 typical GEMM+RS shapes on A800: M in {16384, 32768, 49152},
+// N = 8192, K in {2048, 4096, 8192}.
+std::vector<GemmShape> TypicalRsShapes();
+
+// Fig. 13 heatmap axes.
+struct HeatmapAxes {
+  // Values of M*N in units of 1024^2 (the x axis).
+  std::vector<int> mn_mi;
+  // Values of K in units of 1024 (the y axis).
+  std::vector<int> k_ki;
+  // N used to factor M*N into (M, N).
+  int64_t n = 8192;
+};
+
+HeatmapAxes HeatmapAxes4090();
+HeatmapAxes HeatmapAxesA800();
+
+// Fig. 16 Ascend LLM shapes: (M, N, K) triples from typical LLM layers.
+std::vector<GemmShape> AscendShapes();
+
+}  // namespace flo
+
+#endif  // SRC_MODELS_SHAPES_H_

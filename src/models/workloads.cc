@@ -1,0 +1,103 @@
+#include "src/models/workloads.h"
+
+namespace flo {
+
+Workload MakeLlama3Inference() {
+  // Llama3-70B: hidden 8192, FFN 28672, TP=8. Per layer the TP row-parallel
+  // GEMMs end in AllReduce: attention output projection (K = 8192/8) and
+  // MLP down projection (K = 28672/8). Prefill chunk of 16384 tokens.
+  Workload w;
+  w.name = "Llama3-70B inference (TP=8)";
+  w.cluster = MakeA800Cluster(8);
+  w.layers = 80;
+  const int64_t tokens = 16384;
+  w.ops = {
+      {"attn_out+AR", GemmShape{tokens, 8192, 1024}, CommPrimitive::kAllReduce, 1},
+      {"mlp_down+AR", GemmShape{tokens, 8192, 3584}, CommPrimitive::kAllReduce, 1},
+  };
+  // Fig. 4 row 1 (prefill): GEMM+AR ~35.8% + 8.8% of end-to-end time.
+  w.gemm_x_fraction = 0.446;
+  return w;
+}
+
+Workload MakeLlama3Training() {
+  // Training with TP=8 decomposes AllReduce into ReduceScatter+AllGather;
+  // the GEMM+RS pairs are what FlashOverlap optimizes. 8 layers fit a node.
+  Workload w;
+  w.name = "Llama3-70B training (TP=8)";
+  w.cluster = MakeA800Cluster(8);
+  w.layers = 8;
+  const int64_t tokens = 16384;
+  w.ops = {
+      {"attn_out+RS", GemmShape{tokens, 8192, 1024}, CommPrimitive::kReduceScatter, 1},
+      {"mlp_down+RS", GemmShape{tokens, 8192, 3584}, CommPrimitive::kReduceScatter, 1},
+      // Backward data-gradient GEMMs mirror the forward pair.
+      {"bwd_attn+RS", GemmShape{tokens, 8192, 1024}, CommPrimitive::kReduceScatter, 1},
+      {"bwd_mlp+RS", GemmShape{tokens, 8192, 3584}, CommPrimitive::kReduceScatter, 1},
+  };
+  // Fig. 4 row 4: GEMM+RS ~15.7% + 14.3% forward/backward.
+  w.gemm_x_fraction = 0.30;
+  return w;
+}
+
+Workload MakeMixtralTraining() {
+  // Mixtral-8x7B: hidden 4096, FFN 14336, 8 experts, EP=4 x TP=2; expert
+  // outputs return to their source GPUs via All-to-All. 32768 input tokens,
+  // top-2 routing => 2x token volume through experts; routing skew makes
+  // the per-rank load imbalanced.
+  Workload w;
+  w.name = "Mixtral-8x7B training (EP=4, TP=2)";
+  w.cluster = MakeA800Cluster(8);
+  w.layers = 4;
+  const int64_t tokens_per_rank = 32768 * 2 / 4;
+  w.ops = {
+      {"expert_down+A2A", GemmShape{tokens_per_rank, 4096, 7168}, CommPrimitive::kAllToAll, 1,
+       /*imbalance=*/1.4},
+      {"bwd_expert+A2A", GemmShape{tokens_per_rank, 4096, 7168}, CommPrimitive::kAllToAll, 1,
+       /*imbalance=*/1.4},
+  };
+  // Fig. 4 row 2: GEMM+A2A > 40% of overall latency.
+  w.gemm_x_fraction = 0.42;
+  return w;
+}
+
+Workload MakeStepVideoGeneration() {
+  // Step-Video-T2V DiT: hidden 6144, FFN 24576, TP=4, 33792 tokens.
+  Workload w;
+  w.name = "Step-Video-T2V generation (TP=4)";
+  w.cluster = MakeA800Cluster(4);
+  w.layers = 48;
+  const int64_t tokens = 33792;
+  w.ops = {
+      {"attn_out+AR", GemmShape{tokens, 6144, 1536}, CommPrimitive::kAllReduce, 1},
+      {"mlp_down+AR", GemmShape{tokens, 6144, 6144}, CommPrimitive::kAllReduce, 1},
+  };
+  // Fig. 4 row 3: GEMM+AR ~31.6%.
+  w.gemm_x_fraction = 0.316;
+  return w;
+}
+
+Workload MakeLlama2Training() {
+  // Llama2-7B: hidden 4096, FFN 11008, TP=4 (PP=2 outside scope of the
+  // per-op view).
+  Workload w;
+  w.name = "Llama2-7B training (TP=4, PP=2)";
+  w.cluster = MakeA800Cluster(4);
+  w.layers = 32;
+  const int64_t tokens = 8192;
+  w.ops = {
+      {"attn_out+RS", GemmShape{tokens, 4096, 1024}, CommPrimitive::kReduceScatter, 1},
+      {"mlp_down+RS", GemmShape{tokens, 4096, 2752}, CommPrimitive::kReduceScatter, 1},
+      {"bwd_attn+RS", GemmShape{tokens, 4096, 1024}, CommPrimitive::kReduceScatter, 1},
+      {"bwd_mlp+RS", GemmShape{tokens, 4096, 2752}, CommPrimitive::kReduceScatter, 1},
+  };
+  w.gemm_x_fraction = 0.30;
+  return w;
+}
+
+std::vector<Workload> AllWorkloads() {
+  return {MakeLlama3Inference(), MakeMixtralTraining(), MakeLlama3Training(),
+          MakeStepVideoGeneration(), MakeLlama2Training()};
+}
+
+}  // namespace flo

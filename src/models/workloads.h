@@ -1,0 +1,54 @@
+// End-to-end workload descriptions (paper Tab. 4, Fig. 4, Fig. 12).
+//
+// A workload is a transformer-ish model under a parallelism setting,
+// reduced to the list of "GEMM + collective" ops per layer that FlashOverlap
+// optimizes plus the fraction of time spent elsewhere (attention, KV cache,
+// optimizer, routing). The "others" fraction is lifted from the paper's own
+// profile (Fig. 4) so the end-to-end composition has the published shape.
+#ifndef SRC_MODELS_WORKLOADS_H_
+#define SRC_MODELS_WORKLOADS_H_
+
+#include <string>
+#include <vector>
+
+#include "src/comm/primitive.h"
+#include "src/gemm/tile.h"
+#include "src/hw/cluster.h"
+
+namespace flo {
+
+struct WorkloadOp {
+  std::string name;
+  GemmShape shape;
+  CommPrimitive primitive = CommPrimitive::kAllReduce;
+  // Instances per layer.
+  int count = 1;
+  // For All-to-All ops: per-rank token imbalance factor (max/mean); 1 means
+  // balanced.
+  double imbalance = 1.0;
+};
+
+struct Workload {
+  std::string name;
+  ClusterSpec cluster;
+  int layers = 1;
+  std::vector<WorkloadOp> ops;
+  // Fraction of end-to-end time occupied by the GEMM+X ops above in the
+  // non-overlapped baseline (from Fig. 4); the rest is "others".
+  double gemm_x_fraction = 0.4;
+};
+
+// Tab. 4 settings (A800 server).
+Workload MakeLlama3Inference();      // Llama3-70B, TP=8, chunk 16384
+Workload MakeLlama3Training();       // Llama3-70B (8 layers), TP=8
+Workload MakeMixtralTraining();      // Mixtral-8x7B (4 layers), EP=4, TP=2
+Workload MakeStepVideoGeneration();  // Step-Video-T2V, TP=4
+
+// Fig. 4 profiling set additionally includes Llama2-7B training.
+Workload MakeLlama2Training();  // Llama2-7B, TP=4, PP=2
+
+std::vector<Workload> AllWorkloads();
+
+}  // namespace flo
+
+#endif  // SRC_MODELS_WORKLOADS_H_

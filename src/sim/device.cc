@@ -1,0 +1,27 @@
+#include "src/sim/device.h"
+
+#include <algorithm>
+
+#include "src/util/check.h"
+
+namespace flo {
+
+Device::Device(int id, int sm_total) : id_(id), sm_total_(sm_total) {
+  FLO_CHECK_GE(id, 0);
+  FLO_CHECK_GT(sm_total, 0);
+}
+
+void Device::AcquireSms(int count) {
+  FLO_CHECK_GE(count, 0);
+  sm_busy_ += count;
+}
+
+void Device::ReleaseSms(int count) {
+  FLO_CHECK_GE(count, 0);
+  FLO_CHECK_GE(sm_busy_, count) << "releasing more SMs than acquired on device " << id_;
+  sm_busy_ -= count;
+}
+
+int Device::ComputeSms() const { return std::max(1, sm_total_ - sm_busy_); }
+
+}  // namespace flo

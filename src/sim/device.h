@@ -1,0 +1,40 @@
+// Simulated GPU device: an SM pool shared by concurrently resident kernels.
+//
+// FlashOverlap's communication kernels occupy a fixed number of SMs (NCCL
+// channels) with higher priority; the GEMM runs its waves on whatever is
+// left (paper Sec. 4.2.1 (3), Alg. 1 line 3). The device tracks that
+// contention.
+#ifndef SRC_SIM_DEVICE_H_
+#define SRC_SIM_DEVICE_H_
+
+#include <string>
+
+namespace flo {
+
+class Device {
+ public:
+  Device(int id, int sm_total);
+
+  int id() const { return id_; }
+  int sm_total() const { return sm_total_; }
+  int sm_busy() const { return sm_busy_; }
+  int sm_available() const { return sm_total_ - sm_busy_; }
+
+  // Reserves `count` SMs; over-subscription is allowed (NCCL channels are
+  // scheduled with priority and simply crowd out GEMM blocks) but available
+  // SM count is floored at a minimum of 1 for forward progress.
+  void AcquireSms(int count);
+  void ReleaseSms(int count);
+
+  // SMs a compute kernel can use right now, never below 1.
+  int ComputeSms() const;
+
+ private:
+  int id_;
+  int sm_total_;
+  int sm_busy_ = 0;
+};
+
+}  // namespace flo
+
+#endif  // SRC_SIM_DEVICE_H_

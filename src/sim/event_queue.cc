@@ -1,0 +1,30 @@
+#include "src/sim/event_queue.h"
+
+#include <utility>
+
+#include "src/util/check.h"
+
+namespace flo {
+
+void EventQueue::Push(SimTime time, std::function<void()> callback) {
+  FLO_CHECK(callback != nullptr);
+  heap_.push(Entry{time, next_sequence_++, std::move(callback)});
+}
+
+SimTime EventQueue::NextTime() const {
+  FLO_CHECK(!heap_.empty());
+  return heap_.top().time;
+}
+
+std::function<void()> EventQueue::Pop(SimTime* time) {
+  FLO_CHECK(!heap_.empty());
+  // priority_queue::top() is const; the callback is moved out via const_cast
+  // which is safe because the entry is popped immediately after.
+  auto& top = const_cast<Entry&>(heap_.top());
+  *time = top.time;
+  std::function<void()> callback = std::move(top.callback);
+  heap_.pop();
+  return callback;
+}
+
+}  // namespace flo

@@ -1,0 +1,53 @@
+// Time-ordered event queue: the heart of the discrete-event simulator.
+#ifndef SRC_SIM_EVENT_QUEUE_H_
+#define SRC_SIM_EVENT_QUEUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace flo {
+
+// Simulated time in microseconds. Microseconds are the natural unit here:
+// kernel launch overheads are ~5 us and end-to-end runs are ~1e6 us, so
+// doubles keep full precision across the whole range.
+using SimTime = double;
+
+// FIFO-stable priority queue of (time, callback). Events scheduled for the
+// same time fire in insertion order, which makes simulations deterministic.
+class EventQueue {
+ public:
+  void Push(SimTime time, std::function<void()> callback);
+
+  bool empty() const { return heap_.empty(); }
+  size_t size() const { return heap_.size(); }
+
+  // Time of the earliest pending event. Requires !empty().
+  SimTime NextTime() const;
+
+  // Pops and returns the earliest event's callback. Requires !empty().
+  std::function<void()> Pop(SimTime* time);
+
+ private:
+  struct Entry {
+    SimTime time;
+    uint64_t sequence;
+    std::function<void()> callback;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.time != b.time) {
+        return a.time > b.time;
+      }
+      return a.sequence > b.sequence;
+    }
+  };
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  uint64_t next_sequence_ = 0;
+};
+
+}  // namespace flo
+
+#endif  // SRC_SIM_EVENT_QUEUE_H_

@@ -1,0 +1,42 @@
+#include "src/sim/sim_event.h"
+
+#include <utility>
+
+#include "src/util/check.h"
+
+namespace flo {
+
+void SimEvent::Fire(Simulator& sim) {
+  FLO_CHECK(!fired_) << "SimEvent fired twice";
+  fired_ = true;
+  fire_time_ = sim.Now();
+  std::vector<std::function<void()>> waiters = std::move(waiters_);
+  waiters_.clear();
+  for (auto& fn : waiters) {
+    fn();
+  }
+}
+
+void SimEvent::OnFired(std::function<void()> fn) {
+  FLO_CHECK(fn != nullptr);
+  if (fired_) {
+    fn();
+    return;
+  }
+  waiters_.push_back(std::move(fn));
+}
+
+void SimEvent::RecordOn(Stream& stream) {
+  stream.Enqueue("event_record", [this](Simulator& sim, Stream::DoneFn done) {
+    Fire(sim);
+    done();
+  });
+}
+
+void SimEvent::WaitOn(Stream& stream) {
+  stream.Enqueue("event_wait", [this](Simulator&, Stream::DoneFn done) {
+    OnFired([done = std::move(done)]() { done(); });
+  });
+}
+
+}  // namespace flo

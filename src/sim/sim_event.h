@@ -1,0 +1,46 @@
+// cudaEvent-like synchronization primitive for cross-stream dependencies.
+#ifndef SRC_SIM_SIM_EVENT_H_
+#define SRC_SIM_SIM_EVENT_H_
+
+#include <functional>
+#include <vector>
+
+#include "src/sim/simulator.h"
+#include "src/sim/stream.h"
+
+namespace flo {
+
+// One-shot event. Record it on a producing stream; Wait on consuming
+// streams. A stream waiting on an unfired event stalls until Fire().
+class SimEvent {
+ public:
+  SimEvent() = default;
+  SimEvent(const SimEvent&) = delete;
+  SimEvent& operator=(const SimEvent&) = delete;
+
+  bool fired() const { return fired_; }
+  SimTime fire_time() const { return fire_time_; }
+
+  // Marks the event fired at the simulator's current time and releases all
+  // waiters. Firing twice is a programming error.
+  void Fire(Simulator& sim);
+
+  // Invokes `fn` immediately if already fired, otherwise when fired.
+  void OnFired(std::function<void()> fn);
+
+  // Enqueues a record task: the event fires once all prior work on `stream`
+  // has completed.
+  void RecordOn(Stream& stream);
+
+  // Enqueues a wait task: subsequent work on `stream` holds until fired.
+  void WaitOn(Stream& stream);
+
+ private:
+  bool fired_ = false;
+  SimTime fire_time_ = 0.0;
+  std::vector<std::function<void()>> waiters_;
+};
+
+}  // namespace flo
+
+#endif  // SRC_SIM_SIM_EVENT_H_

@@ -1,0 +1,37 @@
+#include "src/sim/simulator.h"
+
+#include <utility>
+
+#include "src/util/check.h"
+
+namespace flo {
+
+void Simulator::Schedule(SimTime delay, std::function<void()> fn) {
+  FLO_CHECK_GE(delay, 0.0) << "events cannot be scheduled in the past";
+  queue_.Push(now_ + delay, std::move(fn));
+}
+
+void Simulator::ScheduleAt(SimTime t, std::function<void()> fn) {
+  FLO_CHECK_GE(t, now_) << "events cannot be scheduled in the past";
+  queue_.Push(t, std::move(fn));
+}
+
+SimTime Simulator::Run() {
+  while (Step()) {
+  }
+  return now_;
+}
+
+bool Simulator::Step() {
+  if (queue_.empty()) {
+    return false;
+  }
+  SimTime t = 0.0;
+  std::function<void()> fn = queue_.Pop(&t);
+  FLO_CHECK_GE(t, now_);
+  now_ = t;
+  fn();
+  return true;
+}
+
+}  // namespace flo

@@ -1,0 +1,42 @@
+// Single-threaded discrete-event simulator with a monotonically advancing
+// clock. Devices, streams and kernels are layered on top (see stream.h).
+#ifndef SRC_SIM_SIMULATOR_H_
+#define SRC_SIM_SIMULATOR_H_
+
+#include <functional>
+
+#include "src/sim/event_queue.h"
+
+namespace flo {
+
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  SimTime Now() const { return now_; }
+
+  // Schedules `fn` to run `delay` microseconds from now. Negative delays are
+  // a programming error.
+  void Schedule(SimTime delay, std::function<void()> fn);
+
+  // Schedules `fn` at absolute time `t >= Now()`.
+  void ScheduleAt(SimTime t, std::function<void()> fn);
+
+  // Runs events until the queue drains. Returns the final clock value.
+  SimTime Run();
+
+  // Executes the single earliest event; returns false if none are pending.
+  bool Step();
+
+  size_t pending_events() const { return queue_.size(); }
+
+ private:
+  EventQueue queue_;
+  SimTime now_ = 0.0;
+};
+
+}  // namespace flo
+
+#endif  // SRC_SIM_SIMULATOR_H_

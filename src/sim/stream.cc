@@ -1,0 +1,81 @@
+#include "src/sim/stream.h"
+
+#include <utility>
+
+#include "src/util/check.h"
+
+namespace flo {
+
+Stream::Stream(Simulator* sim, Device* device, std::string name)
+    : sim_(sim), device_(device), name_(std::move(name)) {
+  FLO_CHECK(sim != nullptr);
+  FLO_CHECK(device != nullptr);
+}
+
+void Stream::Enqueue(std::string name, StartFn start) {
+  FLO_CHECK(start != nullptr);
+  pending_.push_back(Pending{std::move(name), std::move(start)});
+  MaybeStartNext();
+}
+
+void Stream::EnqueueTimed(std::string name, SimTime duration) {
+  EnqueueTimed(std::move(name), duration, nullptr);
+}
+
+void Stream::EnqueueTimed(std::string name, SimTime duration, std::function<void()> on_complete) {
+  FLO_CHECK_GE(duration, 0.0);
+  Enqueue(std::move(name),
+          [duration, on_complete = std::move(on_complete)](Simulator& sim, DoneFn done) {
+            sim.Schedule(duration, [done = std::move(done), on_complete]() {
+              if (on_complete) {
+                on_complete();
+              }
+              done();
+            });
+          });
+}
+
+void Stream::EnqueueDeferred(std::string name, std::function<SimTime()> duration_fn,
+                             std::function<void()> on_start, std::function<void()> on_complete) {
+  FLO_CHECK(duration_fn != nullptr);
+  Enqueue(std::move(name), [duration_fn = std::move(duration_fn), on_start = std::move(on_start),
+                            on_complete = std::move(on_complete)](Simulator& sim, DoneFn done) {
+    if (on_start) {
+      on_start();
+    }
+    const SimTime duration = duration_fn();
+    FLO_CHECK_GE(duration, 0.0);
+    sim.Schedule(duration, [done = std::move(done), on_complete]() {
+      if (on_complete) {
+        on_complete();
+      }
+      done();
+    });
+  });
+}
+
+void Stream::MaybeStartNext() {
+  if (running_ || pending_.empty()) {
+    return;
+  }
+  running_ = true;
+  Pending task = std::move(pending_.front());
+  pending_.pop_front();
+  const SimTime start_time = sim_->Now();
+  // The task body runs as a fresh event so that enqueueing from within a
+  // completion callback cannot recurse arbitrarily deep.
+  sim_->Schedule(0.0, [this, task = std::move(task), start_time]() mutable {
+    DoneFn done = [this, name = task.name, start_time]() { FinishCurrent(name, start_time); };
+    task.start(*sim_, std::move(done));
+  });
+}
+
+void Stream::FinishCurrent(const std::string& name, SimTime start_time) {
+  FLO_CHECK(running_) << "task '" << name << "' completed twice on stream " << name_;
+  running_ = false;
+  last_completion_ = sim_->Now();
+  timeline_.Add(name, start_time, last_completion_);
+  MaybeStartNext();
+}
+
+}  // namespace flo

@@ -1,0 +1,79 @@
+// CUDA-stream-like FIFO work queue on a simulated device.
+//
+// Tasks start in enqueue order; a task occupies the stream head until its
+// completion callback fires (possibly asynchronously, e.g. a signal kernel
+// waiting on the counting table). This mirrors the two-stream orchestration
+// in the paper's implementation (Sec. 5): GEMM on stream 0, signal + comm
+// kernels on stream 1.
+#ifndef SRC_SIM_STREAM_H_
+#define SRC_SIM_STREAM_H_
+
+#include <deque>
+#include <functional>
+#include <string>
+
+#include "src/sim/device.h"
+#include "src/sim/simulator.h"
+#include "src/sim/timeline.h"
+
+namespace flo {
+
+class Stream {
+ public:
+  // Called exactly once when the task finishes; finishing unblocks the next
+  // task in the stream.
+  using DoneFn = std::function<void()>;
+  // Invoked when the task reaches the stream head. Implementations must
+  // eventually invoke `done` (at the then-current simulated time).
+  using StartFn = std::function<void(Simulator&, DoneFn)>;
+
+  Stream(Simulator* sim, Device* device, std::string name);
+  Stream(const Stream&) = delete;
+  Stream& operator=(const Stream&) = delete;
+
+  // Fully general asynchronous task.
+  void Enqueue(std::string name, StartFn start);
+
+  // Task with a fixed duration known at enqueue time (launch overhead is the
+  // caller's business; fold it into `duration` if desired).
+  void EnqueueTimed(std::string name, SimTime duration);
+
+  // Timed task with a completion hook (runs at completion time).
+  void EnqueueTimed(std::string name, SimTime duration, std::function<void()> on_complete);
+
+  // Timed task whose duration is computed when it starts (so it can observe
+  // current device occupancy).
+  void EnqueueDeferred(std::string name, std::function<SimTime()> duration_fn,
+                       std::function<void()> on_start, std::function<void()> on_complete);
+
+  Device* device() const { return device_; }
+  const std::string& name() const { return name_; }
+  bool idle() const { return !running_ && pending_.empty(); }
+
+  // Time the most recent task completed (0 if none yet).
+  SimTime last_completion_time() const { return last_completion_; }
+
+  // Recorded spans of every completed task, in completion order.
+  const Timeline& timeline() const { return timeline_; }
+
+ private:
+  struct Pending {
+    std::string name;
+    StartFn start;
+  };
+
+  void MaybeStartNext();
+  void FinishCurrent(const std::string& name, SimTime start_time);
+
+  Simulator* sim_;
+  Device* device_;
+  std::string name_;
+  std::deque<Pending> pending_;
+  bool running_ = false;
+  SimTime last_completion_ = 0.0;
+  Timeline timeline_;
+};
+
+}  // namespace flo
+
+#endif  // SRC_SIM_STREAM_H_

@@ -1,0 +1,39 @@
+#include "src/sim/timeline.h"
+
+#include <algorithm>
+
+#include "src/util/check.h"
+
+namespace flo {
+
+void Timeline::Add(std::string name, SimTime start, SimTime end) {
+  FLO_CHECK_LE(start, end);
+  spans_.push_back(TaskSpan{std::move(name), start, end});
+}
+
+SimTime Timeline::BusyTime() const {
+  SimTime busy = 0.0;
+  for (const auto& span : spans_) {
+    busy += span.end - span.start;
+  }
+  return busy;
+}
+
+SimTime Timeline::EndTime() const {
+  SimTime end = 0.0;
+  for (const auto& span : spans_) {
+    end = std::max(end, span.end);
+  }
+  return end;
+}
+
+const TaskSpan* Timeline::FindFirst(const std::string& substr) const {
+  for (const auto& span : spans_) {
+    if (span.name.find(substr) != std::string::npos) {
+      return &span;
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace flo

@@ -1,0 +1,65 @@
+#include "src/sim/trace_export.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "src/util/check.h"
+
+namespace flo {
+namespace {
+
+std::string EscapeJson(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string ChromeTraceJson(const std::vector<TraceTrack>& tracks) {
+  std::ostringstream out;
+  out << "{\"traceEvents\":[";
+  bool first = true;
+  for (size_t track = 0; track < tracks.size(); ++track) {
+    FLO_CHECK(tracks[track].timeline != nullptr);
+    // Thread-name metadata so the viewer labels each track.
+    if (!first) {
+      out << ",";
+    }
+    first = false;
+    out << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":" << track
+        << ",\"args\":{\"name\":\"" << EscapeJson(tracks[track].name) << "\"}}";
+    for (const TaskSpan& span : tracks[track].timeline->spans()) {
+      out << ",{\"name\":\"" << EscapeJson(span.name) << "\",\"ph\":\"X\",\"pid\":0,\"tid\":"
+          << track << ",\"ts\":" << span.start << ",\"dur\":" << (span.end - span.start) << "}";
+    }
+  }
+  out << "]}";
+  return out.str();
+}
+
+bool WriteChromeTrace(const std::vector<TraceTrack>& tracks, const std::string& path) {
+  std::ofstream file(path);
+  if (!file) {
+    return false;
+  }
+  file << ChromeTraceJson(tracks);
+  return static_cast<bool>(file);
+}
+
+}  // namespace flo

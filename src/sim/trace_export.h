@@ -1,0 +1,32 @@
+// Chrome-trace (about://tracing, Perfetto) export of simulated timelines.
+//
+// Every span becomes a complete ("X") event; tracks are (pid=0,
+// tid=track index). Load the emitted JSON in Perfetto to see the GEMM
+// waves, signal kernels and collectives interleave exactly as in the
+// paper's Fig. 5 timeline.
+#ifndef SRC_SIM_TRACE_EXPORT_H_
+#define SRC_SIM_TRACE_EXPORT_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/sim/timeline.h"
+
+namespace flo {
+
+struct TraceTrack {
+  std::string name;
+  const Timeline* timeline = nullptr;
+};
+
+// Serializes tracks into Chrome trace-event JSON (the "traceEvents" array
+// format). Timestamps are microseconds, matching SimTime.
+std::string ChromeTraceJson(const std::vector<TraceTrack>& tracks);
+
+// Writes the JSON to a file; returns false on I/O failure.
+bool WriteChromeTrace(const std::vector<TraceTrack>& tracks, const std::string& path);
+
+}  // namespace flo
+
+#endif  // SRC_SIM_TRACE_EXPORT_H_

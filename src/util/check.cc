@@ -1,0 +1,14 @@
+#include "src/util/check.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace flo {
+
+void CheckFailed(const char* file, int line, const char* expr, const std::string& message) {
+  std::fprintf(stderr, "FLO_CHECK failed at %s:%d: %s %s\n", file, line, expr, message.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace flo

@@ -1,0 +1,56 @@
+// Assertion macros for invariant checking.
+//
+// FLO_CHECK aborts on violation in all build types; these guard programmer
+// errors and internal invariants, never recoverable runtime conditions.
+#ifndef SRC_UTIL_CHECK_H_
+#define SRC_UTIL_CHECK_H_
+
+#include <sstream>
+#include <string>
+
+namespace flo {
+
+// Aborts the process with a formatted message. Never returns.
+[[noreturn]] void CheckFailed(const char* file, int line, const char* expr,
+                              const std::string& message);
+
+namespace check_internal {
+
+// Stream-collector so call sites can write FLO_CHECK(x) << "context".
+class CheckMessage {
+ public:
+  CheckMessage(const char* file, int line, const char* expr)
+      : file_(file), line_(line), expr_(expr) {}
+
+  [[noreturn]] ~CheckMessage() { CheckFailed(file_, line_, expr_, stream_.str()); }
+
+  template <typename T>
+  CheckMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  const char* file_;
+  int line_;
+  const char* expr_;
+  std::ostringstream stream_;
+};
+
+}  // namespace check_internal
+}  // namespace flo
+
+#define FLO_CHECK(cond)                                                 \
+  if (cond) {                                                           \
+  } else /* NOLINT */                                                   \
+    ::flo::check_internal::CheckMessage(__FILE__, __LINE__, #cond)
+
+#define FLO_CHECK_OP(a, op, b) FLO_CHECK((a)op(b)) << " (" << (a) << " vs " << (b) << ") "
+#define FLO_CHECK_EQ(a, b) FLO_CHECK_OP(a, ==, b)
+#define FLO_CHECK_NE(a, b) FLO_CHECK_OP(a, !=, b)
+#define FLO_CHECK_LT(a, b) FLO_CHECK_OP(a, <, b)
+#define FLO_CHECK_LE(a, b) FLO_CHECK_OP(a, <=, b)
+#define FLO_CHECK_GT(a, b) FLO_CHECK_OP(a, >, b)
+#define FLO_CHECK_GE(a, b) FLO_CHECK_OP(a, >=, b)
+
+#endif  // SRC_UTIL_CHECK_H_

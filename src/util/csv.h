@@ -1,0 +1,30 @@
+// Minimal CSV writer used by bench binaries to dump figure series for
+// external plotting.
+#ifndef SRC_UTIL_CSV_H_
+#define SRC_UTIL_CSV_H_
+
+#include <string>
+#include <vector>
+
+namespace flo {
+
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::vector<std::string> header);
+
+  void AddRow(std::vector<std::string> cells);
+
+  // Serializes header + rows; fields containing commas/quotes are quoted.
+  std::string Render() const;
+
+  // Writes Render() to the given path; returns false on I/O failure.
+  bool WriteFile(const std::string& path) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace flo
+
+#endif  // SRC_UTIL_CSV_H_

@@ -1,0 +1,45 @@
+#include "src/util/interp.h"
+
+#include <algorithm>
+
+#include "src/util/check.h"
+
+namespace flo {
+
+Curve::Curve(std::vector<std::pair<double, double>> points) : points_(std::move(points)) {
+  FLO_CHECK(!points_.empty()) << "a curve needs at least one sample";
+  for (size_t i = 1; i < points_.size(); ++i) {
+    FLO_CHECK_LT(points_[i - 1].first, points_[i].first) << "curve x must be strictly increasing";
+  }
+}
+
+double Curve::Eval(double x) const {
+  FLO_CHECK(!points_.empty());
+  if (x <= points_.front().first) {
+    return points_.front().second;
+  }
+  if (x >= points_.back().first) {
+    return points_.back().second;
+  }
+  // First sample with x_i >= x; the predecessor exists because of the
+  // boundary checks above.
+  auto it = std::lower_bound(points_.begin(), points_.end(), x,
+                             [](const std::pair<double, double>& p, double v) {
+                               return p.first < v;
+                             });
+  auto prev = it - 1;
+  const double t = (x - prev->first) / (it->first - prev->first);
+  return prev->second + t * (it->second - prev->second);
+}
+
+double Curve::min_x() const {
+  FLO_CHECK(!points_.empty());
+  return points_.front().first;
+}
+
+double Curve::max_x() const {
+  FLO_CHECK(!points_.empty());
+  return points_.back().first;
+}
+
+}  // namespace flo

@@ -1,0 +1,40 @@
+// Piecewise-linear interpolation over sampled (x, y) curves.
+//
+// The tuner samples (data size, bandwidth) points offline (paper Sec. 4.2.1)
+// and interpolates them at search time (Alg. 1, line 14). This is the shared
+// curve type used for that purpose.
+#ifndef SRC_UTIL_INTERP_H_
+#define SRC_UTIL_INTERP_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace flo {
+
+// A sampled curve y = f(x) with x strictly increasing. Queries outside the
+// sampled range clamp to the boundary values (flat extrapolation), matching
+// how a profiled bandwidth table is used in practice.
+class Curve {
+ public:
+  Curve() = default;
+
+  // `points` must be non-empty with strictly increasing x.
+  explicit Curve(std::vector<std::pair<double, double>> points);
+
+  // Linear interpolation at x; clamps outside the sampled range.
+  double Eval(double x) const;
+
+  bool empty() const { return points_.empty(); }
+  size_t size() const { return points_.size(); }
+  const std::vector<std::pair<double, double>>& points() const { return points_; }
+
+  double min_x() const;
+  double max_x() const;
+
+ private:
+  std::vector<std::pair<double, double>> points_;
+};
+
+}  // namespace flo
+
+#endif  // SRC_UTIL_INTERP_H_

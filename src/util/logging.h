@@ -1,0 +1,58 @@
+// Minimal leveled logger used by the library and tools.
+//
+// Logging is off by default at DEBUG level; tools flip the level from the
+// command line. Not thread-safe by design: the simulator is single-threaded
+// and tools log from the main thread only.
+#ifndef SRC_UTIL_LOGGING_H_
+#define SRC_UTIL_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace flo {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+};
+
+// Global minimum level; messages below it are dropped.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+// Emits one formatted line to stderr.
+void LogMessage(LogLevel level, const char* file, int line, const std::string& message);
+
+namespace log_internal {
+
+class LogStream {
+ public:
+  LogStream(LogLevel level, const char* file, int line)
+      : level_(level), file_(file), line_(line) {}
+  ~LogStream() {
+    if (level_ >= GetLogLevel()) {
+      LogMessage(level_, file_, line_, stream_.str());
+    }
+  }
+
+  template <typename T>
+  LogStream& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+}  // namespace log_internal
+}  // namespace flo
+
+#define FLO_LOG(level) ::flo::log_internal::LogStream(::flo::LogLevel::level, __FILE__, __LINE__)
+
+#endif  // SRC_UTIL_LOGGING_H_

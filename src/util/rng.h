@@ -1,0 +1,74 @@
+// Deterministic pseudo-random utilities.
+//
+// All stochastic behaviour in the simulator (launch-overhead jitter,
+// bandwidth-efficiency jitter) must be reproducible: seeds are derived from
+// stable hashes of the case configuration so every binary prints identical
+// numbers on re-run.
+#ifndef SRC_UTIL_RNG_H_
+#define SRC_UTIL_RNG_H_
+
+#include <cstdint>
+#include <type_traits>
+
+namespace flo {
+
+// SplitMix64: tiny, well-distributed, and fully deterministic across
+// platforms (unlike std::mt19937 seeded via seed_seq).
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : state_(seed) {}
+
+  uint64_t NextU64() {
+    state_ += 0x9E3779B97f4A7C15ull;
+    uint64_t z = state_;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+  }
+
+  // Uniform double in [0, 1).
+  double NextDouble() { return static_cast<double>(NextU64() >> 11) * 0x1.0p-53; }
+
+  // Uniform double in [lo, hi).
+  double NextDouble(double lo, double hi) { return lo + (hi - lo) * NextDouble(); }
+
+  // Uniform integer in [0, n).
+  uint64_t NextBelow(uint64_t n) { return n == 0 ? 0 : NextU64() % n; }
+
+ private:
+  uint64_t state_;
+};
+
+// FNV-1a hash for deriving stable seeds from configuration tuples.
+class StableHash {
+ public:
+  StableHash() = default;
+
+  template <typename T>
+    requires std::is_integral_v<T>
+  StableHash& Mix(T value) {
+    const uint64_t v = static_cast<uint64_t>(static_cast<int64_t>(value));
+    for (int i = 0; i < 8; ++i) {
+      hash_ ^= (v >> (8 * i)) & 0xFFu;
+      hash_ *= 0x100000001B3ull;
+    }
+    return *this;
+  }
+
+  StableHash& Mix(const char* text) {
+    for (const char* p = text; *p != '\0'; ++p) {
+      hash_ ^= static_cast<uint8_t>(*p);
+      hash_ *= 0x100000001B3ull;
+    }
+    return *this;
+  }
+
+  uint64_t value() const { return hash_; }
+
+ private:
+  uint64_t hash_ = 0xCBF29CE484222325ull;
+};
+
+}  // namespace flo
+
+#endif  // SRC_UTIL_RNG_H_

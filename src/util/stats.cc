@@ -1,0 +1,71 @@
+#include "src/util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/check.h"
+
+namespace flo {
+
+Summary Summarize(const std::vector<double>& values) {
+  FLO_CHECK(!values.empty());
+  Summary s;
+  s.count = values.size();
+  s.min = values.front();
+  s.max = values.front();
+  double sum = 0.0;
+  for (double v : values) {
+    sum += v;
+    s.min = std::min(s.min, v);
+    s.max = std::max(s.max, v);
+  }
+  s.mean = sum / static_cast<double>(values.size());
+  double sq = 0.0;
+  for (double v : values) {
+    sq += (v - s.mean) * (v - s.mean);
+  }
+  s.stddev = values.size() > 1 ? std::sqrt(sq / static_cast<double>(values.size() - 1)) : 0.0;
+  s.median = Percentile(values, 50.0);
+  return s;
+}
+
+double GeoMean(const std::vector<double>& values) {
+  FLO_CHECK(!values.empty());
+  double log_sum = 0.0;
+  for (double v : values) {
+    FLO_CHECK_GT(v, 0.0);
+    log_sum += std::log(v);
+  }
+  return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+double Percentile(std::vector<double> values, double p) {
+  FLO_CHECK(!values.empty());
+  FLO_CHECK_GE(p, 0.0);
+  FLO_CHECK_LE(p, 100.0);
+  std::sort(values.begin(), values.end());
+  if (values.size() == 1) {
+    return values[0];
+  }
+  const double rank = p / 100.0 * static_cast<double>(values.size() - 1);
+  const size_t lo = static_cast<size_t>(rank);
+  const size_t hi = std::min(lo + 1, values.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return values[lo] + frac * (values[hi] - values[lo]);
+}
+
+std::vector<double> EmpiricalCdf(const std::vector<double>& samples,
+                                 const std::vector<double>& thresholds) {
+  FLO_CHECK(!samples.empty());
+  std::vector<double> sorted = samples;
+  std::sort(sorted.begin(), sorted.end());
+  std::vector<double> cdf;
+  cdf.reserve(thresholds.size());
+  for (double t : thresholds) {
+    auto it = std::upper_bound(sorted.begin(), sorted.end(), t);
+    cdf.push_back(static_cast<double>(it - sorted.begin()) / static_cast<double>(sorted.size()));
+  }
+  return cdf;
+}
+
+}  // namespace flo

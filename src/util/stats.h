@@ -1,0 +1,34 @@
+// Summary statistics and empirical CDFs for benchmark reporting.
+#ifndef SRC_UTIL_STATS_H_
+#define SRC_UTIL_STATS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace flo {
+
+struct Summary {
+  size_t count = 0;
+  double mean = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double median = 0.0;
+  double stddev = 0.0;
+};
+
+// Computes the summary of a non-empty sample set.
+Summary Summarize(const std::vector<double>& values);
+
+// Geometric mean of strictly positive values.
+double GeoMean(const std::vector<double>& values);
+
+// p in [0, 100]; linear interpolation between order statistics.
+double Percentile(std::vector<double> values, double p);
+
+// Empirical CDF evaluated at the given thresholds: fraction of samples <= t.
+std::vector<double> EmpiricalCdf(const std::vector<double>& samples,
+                                 const std::vector<double>& thresholds);
+
+}  // namespace flo
+
+#endif  // SRC_UTIL_STATS_H_

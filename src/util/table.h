@@ -1,0 +1,39 @@
+// ASCII table rendering so every bench binary prints the same rows/series
+// the paper's tables and figures report.
+#ifndef SRC_UTIL_TABLE_H_
+#define SRC_UTIL_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace flo {
+
+// Column-aligned ASCII table. Usage:
+//   Table t({"M", "N", "K", "speedup"});
+//   t.AddRow({"4096", "8192", "7168", "1.42"});
+//   std::cout << t.Render();
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  void AddRow(std::vector<std::string> cells);
+
+  // Renders with a header underline; every cell padded to column width.
+  std::string Render() const;
+
+  size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Formats a double with the given number of decimals (locale-independent).
+std::string FormatDouble(double value, int decimals);
+
+// Formats a byte count with binary units ("1.5 MiB").
+std::string FormatBytes(double bytes);
+
+}  // namespace flo
+
+#endif  // SRC_UTIL_TABLE_H_

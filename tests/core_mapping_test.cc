@@ -1,0 +1,221 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "src/core/mapping_table.h"
+#include "src/gemm/swizzle.h"
+#include "src/util/rng.h"
+
+namespace flo {
+namespace {
+
+struct MappingCase {
+  int64_t m, n;
+  int tile_m, tile_n;
+  int swizzle;
+  int width;
+  std::vector<int> partition;
+};
+
+TileMapping MakeMapping(const MappingCase& c) {
+  TileGrid grid(GemmShape{c.m, c.n, 64}, TileShape{c.tile_m, c.tile_n});
+  WaveSchedule schedule(SwizzledLaunchOrder(grid, c.swizzle), c.width);
+  WavePartition partition{c.partition};
+  if (!partition.Valid(schedule.wave_count())) {
+    partition = WavePartition::EqualSized(schedule.wave_count(), 2);
+  }
+  return TileMapping(grid, schedule, partition);
+}
+
+class MappingSweepTest : public ::testing::TestWithParam<MappingCase> {};
+
+TEST_P(MappingSweepTest, SlotAssignmentIsABijection) {
+  const TileMapping mapping = MakeMapping(GetParam());
+  std::set<int> slots;
+  for (int t = 0; t < mapping.tile_count(); ++t) {
+    const int slot = mapping.SlotOfTile(t);
+    EXPECT_GE(slot, 0);
+    EXPECT_LT(slot, mapping.tile_count());
+    EXPECT_EQ(mapping.TileOfSlot(slot), t);
+    slots.insert(slot);
+  }
+  EXPECT_EQ(static_cast<int>(slots.size()), mapping.tile_count());
+}
+
+TEST_P(MappingSweepTest, GroupsAreContiguousAndOrdered) {
+  const TileMapping mapping = MakeMapping(GetParam());
+  int expected_slot = 0;
+  int64_t expected_elem = 0;
+  for (const auto& group : mapping.groups()) {
+    EXPECT_EQ(group.slot_begin, expected_slot);
+    EXPECT_EQ(group.elem_begin, expected_elem);
+    // Tiles of the group occupy exactly [slot_begin, slot_begin+count).
+    for (int i = 0; i < group.tile_count(); ++i) {
+      EXPECT_EQ(mapping.SlotOfTile(group.tiles[i]), group.slot_begin + i);
+    }
+    expected_slot += group.tile_count();
+    expected_elem += group.elem_count;
+  }
+  EXPECT_EQ(expected_slot, mapping.tile_count());
+  EXPECT_EQ(expected_elem, mapping.total_elems());
+}
+
+TEST_P(MappingSweepTest, GroupOfTileMatchesGroupMembership) {
+  const TileMapping mapping = MakeMapping(GetParam());
+  for (int g = 0; g < mapping.group_count(); ++g) {
+    for (int tile : mapping.group(g).tiles) {
+      EXPECT_EQ(mapping.GroupOfTile(tile), g);
+    }
+  }
+}
+
+TEST_P(MappingSweepTest, GroupTargetsSumToTileCount) {
+  const TileMapping mapping = MakeMapping(GetParam());
+  int total = 0;
+  for (int t : mapping.GroupTileTargets()) {
+    EXPECT_GT(t, 0);
+    total += t;
+  }
+  EXPECT_EQ(total, mapping.tile_count());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, MappingSweepTest,
+    ::testing::Values(MappingCase{128, 128, 32, 32, 1, 4, {1, 1, 1, 1}},
+                      MappingCase{256, 256, 32, 32, 2, 8, {2, 3, 3}},
+                      MappingCase{256, 512, 64, 64, 3, 5, {}},
+                      MappingCase{512, 256, 64, 64, 2, 16, {1}},
+                      MappingCase{384, 384, 32, 64, 4, 7, {}},
+                      MappingCase{640, 256, 64, 64, 8, 10, {1, 2, 1}}));
+
+TEST(TileMappingDeathTest, RejectsPartialTiles) {
+  TileGrid grid(GemmShape{100, 128, 64}, TileShape{32, 32});
+  WaveSchedule schedule(SwizzledLaunchOrder(grid, 1), 4);
+  EXPECT_DEATH(TileMapping(grid, schedule, WavePartition::SingleGroup(schedule.wave_count())),
+               "divisible");
+}
+
+TEST(TileMappingDeathTest, RejectsMismatchedPartition) {
+  TileGrid grid(GemmShape{128, 128, 64}, TileShape{32, 32});
+  WaveSchedule schedule(SwizzledLaunchOrder(grid, 1), 4);
+  EXPECT_DEATH(TileMapping(grid, schedule, WavePartition{{1, 1}}), "does not cover");
+}
+
+TEST(SubtileTest, GroupRangeSplitsIntoEqualParts) {
+  // 4 GPUs, tile 32x32 -> subtile 8x32.
+  const int gpus = 4;
+  TileGrid grid(GemmShape{256, 256, 64}, TileShape{32, 32});
+  WaveSchedule schedule(SwizzledLaunchOrder(grid, 2), 8);
+  TileMapping mapping(grid, schedule, WavePartition::EqualSized(schedule.wave_count(), 2));
+  const int64_t sub = mapping.SubtileElems(gpus);
+  EXPECT_EQ(sub, 32 * 32 / 4);
+  for (const auto& group : mapping.groups()) {
+    std::set<int64_t> offsets;
+    for (int part = 0; part < gpus; ++part) {
+      for (int tile : group.tiles) {
+        const int64_t offset = mapping.SubtileElemOffset(tile, part, gpus);
+        // Within the group range.
+        EXPECT_GE(offset, group.elem_begin);
+        EXPECT_LE(offset + sub, group.elem_begin + group.elem_count);
+        // Part k lives in the k-th quarter of the range.
+        const int64_t part_begin = group.elem_begin + part * group.elem_count / gpus;
+        EXPECT_GE(offset, part_begin);
+        EXPECT_LT(offset, part_begin + group.elem_count / gpus);
+        EXPECT_TRUE(offsets.insert(offset).second) << "overlapping subtile slots";
+      }
+    }
+    EXPECT_EQ(offsets.size(), static_cast<size_t>(group.tile_count()) * gpus);
+  }
+}
+
+TEST(SubtileDeathTest, TileRowsMustDivideByGpuCount) {
+  TileGrid grid(GemmShape{96, 96, 64}, TileShape{32, 32});
+  WaveSchedule schedule(SwizzledLaunchOrder(grid, 1), 3);
+  TileMapping mapping(grid, schedule, WavePartition::SingleGroup(schedule.wave_count()));
+  EXPECT_DEATH(mapping.SubtileElems(5), "divisible");
+}
+
+std::vector<int> RandomRoute(int64_t rows, int gpus, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<int> route(rows);
+  for (auto& r : route) {
+    r = static_cast<int>(rng.NextBelow(gpus));
+  }
+  return route;
+}
+
+class SubtokenTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SubtokenTest, LayoutCoversEverySubtokenExactlyOnce) {
+  const int gpus = GetParam();
+  TileGrid grid(GemmShape{128, 192, 64}, TileShape{32, 32});
+  WaveSchedule schedule(SwizzledLaunchOrder(grid, 2), 6);
+  TileMapping mapping(grid, schedule, WavePartition::EqualSized(schedule.wave_count(), 2));
+  SubtokenLayout layout(mapping, RandomRoute(128, gpus, 99 + gpus), gpus);
+
+  EXPECT_EQ(layout.subtoken_elems(), 32);
+  EXPECT_EQ(layout.total_elems(), mapping.total_elems());
+
+  std::set<int64_t> offsets;
+  for (int tile = 0; tile < mapping.tile_count(); ++tile) {
+    for (int r = 0; r < 32; ++r) {
+      const int64_t offset = layout.SubtokenElemOffset(tile, r);
+      EXPECT_EQ(offset % 32, 0);
+      EXPECT_TRUE(offsets.insert(offset).second);
+    }
+  }
+  EXPECT_EQ(static_cast<int64_t>(offsets.size()) * 32, layout.total_elems());
+}
+
+TEST_P(SubtokenTest, GroupRegionsAreContiguousAndDisjoint) {
+  const int gpus = GetParam();
+  TileGrid grid(GemmShape{128, 128, 64}, TileShape{32, 32});
+  WaveSchedule schedule(SwizzledLaunchOrder(grid, 1), 4);
+  TileMapping mapping(grid, schedule, WavePartition::EqualSized(schedule.wave_count(), 1));
+  SubtokenLayout layout(mapping, RandomRoute(128, gpus, 7), gpus);
+  int64_t cursor = 0;
+  for (int g = 0; g < mapping.group_count(); ++g) {
+    EXPECT_EQ(layout.GroupElemBegin(g), cursor);
+    int64_t send_total = 0;
+    for (int d = 0; d < gpus; ++d) {
+      send_total += layout.SendElems(g, d);
+    }
+    EXPECT_EQ(send_total, layout.GroupElemCount(g));
+    cursor += layout.GroupElemCount(g);
+    // Every subtoken offset of this group's tiles falls inside the region.
+    for (int tile : mapping.group(g).tiles) {
+      for (int r = 0; r < 32; ++r) {
+        const int64_t offset = layout.SubtokenElemOffset(tile, r);
+        EXPECT_GE(offset, layout.GroupElemBegin(g));
+        EXPECT_LT(offset, cursor);
+      }
+    }
+  }
+  EXPECT_EQ(cursor, layout.total_elems());
+}
+
+TEST_P(SubtokenTest, ForEachVisitsInStagingOrder) {
+  const int gpus = GetParam();
+  TileGrid grid(GemmShape{96, 96, 64}, TileShape{32, 32});
+  WaveSchedule schedule(SwizzledLaunchOrder(grid, 3), 3);
+  TileMapping mapping(grid, schedule, WavePartition::SingleGroup(schedule.wave_count()));
+  const auto route = RandomRoute(96, gpus, 31);
+  SubtokenLayout layout(mapping, route, gpus);
+  for (int d = 0; d < gpus; ++d) {
+    int64_t previous = -1;
+    int64_t count = 0;
+    layout.ForEachSubtoken(0, d, [&](int tile, int row) {
+      const int64_t offset = layout.SubtokenElemOffset(tile, row);
+      EXPECT_GT(offset, previous) << "pool order must be strictly increasing";
+      previous = offset;
+      count += layout.subtoken_elems();
+    });
+    EXPECT_EQ(count, layout.SendElems(0, d));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Gpus, SubtokenTest, ::testing::Values(2, 3, 4));
+
+}  // namespace
+}  // namespace flo

@@ -1,0 +1,148 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/core/wave_partition.h"
+
+namespace flo {
+namespace {
+
+TEST(WavePartitionTest, FactoriesProduceValidPartitions) {
+  EXPECT_TRUE(WavePartition::PerWave(5).Valid(5));
+  EXPECT_EQ(WavePartition::PerWave(5).group_count(), 5);
+  EXPECT_TRUE(WavePartition::SingleGroup(7).Valid(7));
+  EXPECT_EQ(WavePartition::SingleGroup(7).group_count(), 1);
+}
+
+TEST(WavePartitionTest, EqualSizedCoversRemainder) {
+  const WavePartition p = WavePartition::EqualSized(10, 4);
+  EXPECT_EQ(p.group_sizes, (std::vector<int>{4, 4, 2}));
+  EXPECT_TRUE(p.Valid(10));
+}
+
+TEST(WavePartitionTest, ValidityChecks) {
+  EXPECT_FALSE(WavePartition{}.Valid(3));
+  EXPECT_FALSE((WavePartition{{1, 2}}).Valid(4));
+  EXPECT_FALSE((WavePartition{{0, 3}}).Valid(3));
+  EXPECT_TRUE((WavePartition{{1, 2}}).Valid(3));
+}
+
+TEST(WavePartitionTest, ToStringFormat) {
+  EXPECT_EQ((WavePartition{{1, 2, 2}}).ToString(), "(1,2,2)");
+}
+
+// Paper Sec. 3.4: the design space has exactly 2^(T-1) members.
+class EnumerationTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(EnumerationTest, FullSpaceHasTwoToTheTMinusOne) {
+  const int waves = GetParam();
+  const auto all = EnumerateAllPartitions(waves);
+  EXPECT_EQ(all.size(), 1u << (waves - 1));
+  std::set<std::vector<int>> unique;
+  for (const auto& p : all) {
+    EXPECT_TRUE(p.Valid(waves)) << p.ToString();
+    unique.insert(p.group_sizes);
+  }
+  EXPECT_EQ(unique.size(), all.size()) << "partitions must be distinct";
+}
+
+INSTANTIATE_TEST_SUITE_P(Waves, EnumerationTest, ::testing::Values(1, 2, 3, 5, 8, 12));
+
+TEST(EnumeratePrunedTest, IsSubsetOfFullSpace) {
+  const int waves = 8;
+  const auto pruned = EnumeratePruned(waves, 2, 4);
+  const auto all = EnumerateAllPartitions(waves);
+  std::set<std::vector<int>> full_set;
+  for (const auto& p : all) {
+    full_set.insert(p.group_sizes);
+  }
+  EXPECT_LT(pruned.size(), all.size());
+  for (const auto& p : pruned) {
+    EXPECT_TRUE(full_set.count(p.group_sizes)) << p.ToString();
+    // Besides the (s1, sp)-bounded compositions, the set carries two safety
+    // families: the single-group fallback and the equal-sized partitions.
+    const bool is_single = p.group_count() == 1;
+    bool is_equal_sized =
+        p.group_sizes == WavePartition::EqualSized(waves, p.group_sizes.front()).group_sizes;
+    if (is_single || is_equal_sized) {
+      continue;
+    }
+    EXPECT_LE(p.group_sizes.front(), 2) << p.ToString();
+    EXPECT_LE(p.group_sizes.back(), 4) << p.ToString();
+  }
+}
+
+TEST(EnumeratePrunedTest, ContainsEveryAdmissiblePartition) {
+  const int waves = 7;
+  const int s1 = 2;
+  const int sp = 4;
+  const auto pruned = EnumeratePruned(waves, s1, sp);
+  std::set<std::vector<int>> pruned_set;
+  for (const auto& p : pruned) {
+    pruned_set.insert(p.group_sizes);
+  }
+  for (const auto& p : EnumerateAllPartitions(waves)) {
+    const bool head_ok = p.group_sizes.front() <= s1;
+    const bool tail_ok = p.group_count() == 1 || p.group_sizes.back() <= sp;
+    if (head_ok && tail_ok) {
+      EXPECT_TRUE(pruned_set.count(p.group_sizes)) << "missing " << p.ToString();
+    }
+  }
+}
+
+TEST(EnumeratePrunedTest, LargeWaveCountsFallBackToStructuredFamily) {
+  const auto candidates = EnumeratePruned(64, 2, 4, 512);
+  EXPECT_FALSE(candidates.empty());
+  EXPECT_LE(candidates.size(), 512u);
+  for (const auto& p : candidates) {
+    EXPECT_TRUE(p.Valid(64)) << p.ToString();
+  }
+}
+
+TEST(ScalePartitionTest, IdentityWhenWaveCountMatches) {
+  const WavePartition p{{1, 3, 2}};
+  EXPECT_EQ(ScalePartition(p, 6).group_sizes, p.group_sizes);
+}
+
+TEST(ScalePartitionTest, ScalesProportionally) {
+  const WavePartition p{{2, 2}};
+  const WavePartition scaled = ScalePartition(p, 8);
+  EXPECT_TRUE(scaled.Valid(8));
+  EXPECT_EQ(scaled.group_sizes, (std::vector<int>{4, 4}));
+}
+
+TEST(ScalePartitionExactTest, PreservesGroupCount) {
+  const WavePartition p{{1, 2, 2, 3}};
+  for (int waves : {4, 5, 9, 16, 40}) {
+    const WavePartition scaled = ScalePartitionExact(p, waves);
+    EXPECT_TRUE(scaled.Valid(waves)) << waves;
+    EXPECT_EQ(scaled.group_count(), p.group_count()) << waves;
+  }
+}
+
+TEST(ScalePartitionExactTest, MinimumWavesGivesAllOnes) {
+  const WavePartition p{{2, 4, 2}};
+  const WavePartition scaled = ScalePartitionExact(p, 3);
+  EXPECT_EQ(scaled.group_sizes, (std::vector<int>{1, 1, 1}));
+}
+
+TEST(SplitTilesByFractionsTest, ProportionalAndPositive) {
+  const auto counts = SplitTilesByFractions(100, {0.1, 0.4, 0.5});
+  EXPECT_EQ(counts.size(), 3u);
+  EXPECT_EQ(counts[0] + counts[1] + counts[2], 100);
+  EXPECT_EQ(counts[0], 10);
+  EXPECT_EQ(counts[1], 40);
+  EXPECT_EQ(counts[2], 50);
+}
+
+TEST(SplitTilesByFractionsTest, TinyTotalsStillPositive) {
+  const auto counts = SplitTilesByFractions(3, {0.9, 0.05, 0.05});
+  EXPECT_EQ(counts.size(), 3u);
+  for (int c : counts) {
+    EXPECT_GE(c, 1);
+  }
+  EXPECT_EQ(counts[0] + counts[1] + counts[2], 3);
+}
+
+}  // namespace
+}  // namespace flo

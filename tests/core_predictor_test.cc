@@ -1,0 +1,153 @@
+#include <gtest/gtest.h>
+
+#include "src/comm/cost_model.h"
+#include "src/core/predictor.h"
+#include "src/gemm/gemm_model.h"
+#include "src/hw/cluster.h"
+
+namespace flo {
+namespace {
+
+PredictorSetup MakeTestSetup(ClusterSpec cluster, const GemmShape& shape,
+                             CommPrimitive primitive) {
+  PredictorSetup setup;
+  setup.gpu = cluster.gpu;
+  GemmModel model(cluster.gpu);
+  setup.gemm = model.Configure(shape);
+  setup.primitive = primitive;
+  CommCostModel cost(cluster.link, cluster.gpu_count);
+  setup.latency_curve = cost.SampleLatencyCurve(primitive, 64.0 * 1024, 4e9);
+  setup.comm_sm_count = cluster.link.comm_sm_count;
+  return setup;
+}
+
+TEST(PredictorSetupTest, EffectiveWavesGrowWhenCommHoldsSms) {
+  const auto setup = MakeTestSetup(MakeA800Cluster(4), GemmShape{8192, 8192, 4096},
+                                   CommPrimitive::kAllReduce);
+  GemmModel model(setup.gpu);
+  EXPECT_GE(setup.EffectiveWaveCount(), setup.gemm.full_sm_waves);
+}
+
+TEST(PredictorSetupTest, GroupTilesSumToTileCount) {
+  const auto setup = MakeTestSetup(Make4090Cluster(4), GemmShape{4096, 8192, 8192},
+                                   CommPrimitive::kAllReduce);
+  const int waves = setup.EffectiveWaveCount();
+  for (const auto& partition :
+       {WavePartition::PerWave(waves), WavePartition::SingleGroup(waves),
+        WavePartition::EqualSized(waves, 3)}) {
+    const auto tiles = setup.GroupTiles(partition);
+    int total = 0;
+    for (int t : tiles) {
+      total += t;
+    }
+    EXPECT_EQ(total, setup.gemm.tile_count);
+  }
+}
+
+TEST(PredictorTest, SingleGroupEqualsSequentialExecution) {
+  // One group = no overlap: nothing holds comm SMs, so the prediction is
+  // the full-width GEMM followed by the full collective — exactly the
+  // non-overlap model.
+  const auto setup = MakeTestSetup(Make4090Cluster(4), GemmShape{2048, 8192, 8192},
+                                   CommPrimitive::kAllReduce);
+  const int waves = setup.EffectiveWaveCount();
+  const auto prediction = PredictOverlapLatency(setup, WavePartition::SingleGroup(waves));
+  EXPECT_NEAR(prediction.latency_us, PredictNonOverlapLatency(setup), 1e-6);
+}
+
+TEST(PredictorTest, OverlapNeverBeatsTheoreticalBound) {
+  const auto setup = MakeTestSetup(Make4090Cluster(4), GemmShape{4096, 8192, 8192},
+                                   CommPrimitive::kAllReduce);
+  const int waves = setup.EffectiveWaveCount();
+  const double bound = TheoreticalOverlapLatency(setup);
+  for (const auto& partition : EnumeratePruned(waves, 2, 4)) {
+    const auto prediction = PredictOverlapLatency(setup, partition);
+    EXPECT_GE(prediction.latency_us, bound * 0.999) << partition.ToString();
+  }
+}
+
+TEST(PredictorTest, GoodPartitionBeatsNoOverlap) {
+  const auto setup = MakeTestSetup(Make4090Cluster(4), GemmShape{4096, 8192, 8192},
+                                   CommPrimitive::kAllReduce);
+  const int waves = setup.EffectiveWaveCount();
+  const double non_overlap = PredictNonOverlapLatency(setup);
+  double best = non_overlap;
+  for (const auto& partition : EnumeratePruned(waves, 2, 4)) {
+    best = std::min(best, PredictOverlapLatency(setup, partition).latency_us);
+  }
+  EXPECT_LT(best, non_overlap);
+}
+
+TEST(PredictorTest, PerTilePartitionSuffersFragmentation) {
+  // The paper's observation (Sec. 4.1.1): finest-grained signaling is
+  // rarely optimal because segmented communication under-utilizes
+  // bandwidth. On PCIe the per-wave partition must lose to the best pruned
+  // candidate for a comm-heavy shape.
+  const auto setup = MakeTestSetup(Make4090Cluster(8), GemmShape{8192, 8192, 2048},
+                                   CommPrimitive::kAllReduce);
+  const int waves = setup.EffectiveWaveCount();
+  const double per_wave =
+      PredictOverlapLatency(setup, WavePartition::PerWave(waves)).latency_us;
+  double best = per_wave;
+  for (const auto& partition : EnumeratePruned(waves, 2, 4)) {
+    best = std::min(best, PredictOverlapLatency(setup, partition).latency_us);
+  }
+  EXPECT_LT(best, per_wave);
+}
+
+TEST(PredictorTest, DiagnosticsShapeMatchesPartition) {
+  const auto setup = MakeTestSetup(MakeA800Cluster(4), GemmShape{4096, 8192, 4096},
+                                   CommPrimitive::kReduceScatter);
+  const int waves = setup.EffectiveWaveCount();
+  const WavePartition partition = WavePartition::EqualSized(waves, 2);
+  const auto prediction = PredictOverlapLatency(setup, partition);
+  EXPECT_EQ(static_cast<int>(prediction.group_comp_us.size()), partition.group_count());
+  EXPECT_EQ(static_cast<int>(prediction.group_comm_us.size()), partition.group_count());
+}
+
+TEST(PredictorTest, MultiRankReducesToSingleRankWhenBalanced) {
+  const auto setup = MakeTestSetup(MakeA800Cluster(4), GemmShape{4096, 8192, 4096},
+                                   CommPrimitive::kAllToAll);
+  const int waves = setup.EffectiveWaveCount();
+  const WavePartition partition = WavePartition::EqualSized(waves, 2);
+  const auto single = PredictOverlapLatency(setup, partition);
+  const auto multi = PredictOverlapLatencyMultiRank({setup, setup, setup, setup},
+                                                    {partition, partition, partition, partition});
+  EXPECT_NEAR(multi.latency_us, single.latency_us, 1e-6);
+}
+
+TEST(PredictorTest, MultiRankFollowsTheSlowestRank) {
+  const auto cluster = MakeA800Cluster(4);
+  const auto small = MakeTestSetup(cluster, GemmShape{2048, 8192, 4096},
+                                   CommPrimitive::kAllToAll);
+  const auto large = MakeTestSetup(cluster, GemmShape{8192, 8192, 4096},
+                                   CommPrimitive::kAllToAll);
+  const WavePartition small_p = WavePartition::EqualSized(small.EffectiveWaveCount(), 2);
+  const WavePartition large_p =
+      ScalePartitionExact(small_p, large.EffectiveWaveCount());
+  // Degenerate "imbalance": group counts must match for the rendezvous.
+  ASSERT_EQ(small_p.group_count(), large_p.group_count());
+  const auto multi = PredictOverlapLatencyMultiRank({small, large}, {small_p, large_p});
+  const auto large_only = PredictOverlapLatency(large, large_p);
+  EXPECT_GE(multi.latency_us, large_only.latency_us * 0.999);
+}
+
+TEST(PredictorTest, TheoreticalBoundPicksTheDominantSide) {
+  // Comm-heavy: bound is first wave + full comm. Compute-heavy: GEMM + last
+  // wave comm.
+  const auto comm_heavy = MakeTestSetup(Make4090Cluster(8), GemmShape{2048, 8192, 2048},
+                                        CommPrimitive::kAllReduce);
+  const double bound_comm = TheoreticalOverlapLatency(comm_heavy);
+  const double full_comm =
+      comm_heavy.latency_curve.Eval(comm_heavy.GroupBytes(comm_heavy.gemm.tile_count));
+  EXPECT_GT(bound_comm, full_comm);
+
+  const auto compute_heavy = MakeTestSetup(MakeA800Cluster(2), GemmShape{8192, 8192, 16384},
+                                           CommPrimitive::kReduceScatter);
+  const double bound_compute = TheoreticalOverlapLatency(compute_heavy);
+  EXPECT_GT(bound_compute, compute_heavy.gemm.duration_us);
+  EXPECT_LT(bound_compute, PredictNonOverlapLatency(compute_heavy));
+}
+
+}  // namespace
+}  // namespace flo

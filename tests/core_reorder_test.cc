@@ -1,0 +1,211 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "src/core/mapping_table.h"
+#include "src/core/reorder.h"
+#include "src/core/rmsnorm.h"
+#include "src/gemm/host_gemm.h"
+#include "src/gemm/swizzle.h"
+#include "src/util/rng.h"
+
+namespace flo {
+namespace {
+
+TileMapping SmallMapping(int swizzle = 2, int width = 4,
+                         WavePartition partition = WavePartition{}) {
+  TileGrid grid(GemmShape{128, 128, 32}, TileShape{32, 32});
+  WaveSchedule schedule(SwizzledLaunchOrder(grid, swizzle), width);
+  if (!partition.Valid(schedule.wave_count())) {
+    partition = WavePartition::EqualSized(schedule.wave_count(), 2);
+  }
+  return TileMapping(grid, schedule, partition);
+}
+
+TEST(ReorderTest, ScatterGatherRoundTripsLogicalMatrix) {
+  const TileMapping mapping = SmallMapping();
+  const TileGrid& grid = mapping.grid();
+  const auto c_ref = RandomMatrix(grid.shape().m, grid.shape().n, 11);
+  std::vector<float> staging(mapping.total_elems(), 0.0f);
+  std::vector<float> tile(mapping.tile_elems());
+  // Scatter every tile by reading it out of the logical matrix...
+  for (int t = 0; t < mapping.tile_count(); ++t) {
+    for (int r = 0; r < grid.tile().m; ++r) {
+      for (int col = 0; col < grid.tile().n; ++col) {
+        tile[static_cast<size_t>(r) * grid.tile().n + col] =
+            c_ref[(grid.RowStart(t) + r) * grid.shape().n + grid.ColStart(t) + col];
+      }
+    }
+    ScatterTileToStaging(mapping, t, tile, staging);
+  }
+  // ...then gather back: must be the identity.
+  std::vector<float> c(c_ref.size(), 0.0f);
+  GatherStagingToMatrix(mapping, staging, c);
+  EXPECT_FLOAT_EQ(MaxAbsDiff(c, c_ref), 0.0f);
+}
+
+TEST(ReorderTest, StagingGroupsHoldExactlyTheirTiles) {
+  const TileMapping mapping = SmallMapping(3, 5);
+  std::vector<float> staging(mapping.total_elems(), -1.0f);
+  std::vector<float> tile(mapping.tile_elems());
+  for (int g = 0; g < mapping.group_count(); ++g) {
+    for (int t : mapping.group(g).tiles) {
+      std::fill(tile.begin(), tile.end(), static_cast<float>(g));
+      ScatterTileToStaging(mapping, t, tile, staging);
+    }
+  }
+  for (int g = 0; g < mapping.group_count(); ++g) {
+    const GroupInfo& info = mapping.group(g);
+    for (int64_t i = info.elem_begin; i < info.elem_begin + info.elem_count; ++i) {
+      EXPECT_FLOAT_EQ(staging[i], static_cast<float>(g));
+    }
+  }
+}
+
+TEST(RsOwnedRowsTest, RowsPartitionTheMatrixAcrossRanks) {
+  const TileMapping mapping = SmallMapping();
+  const int gpus = 4;
+  std::vector<bool> covered(mapping.grid().shape().m, false);
+  for (int rank = 0; rank < gpus; ++rank) {
+    const auto rows = RsOwnedRows(mapping, gpus, rank);
+    EXPECT_EQ(rows.size(), static_cast<size_t>(mapping.grid().shape().m / gpus));
+    // Ascending.
+    for (size_t i = 1; i < rows.size(); ++i) {
+      EXPECT_LT(rows[i - 1], rows[i]);
+    }
+    for (int64_t row : rows) {
+      EXPECT_FALSE(covered[row]);
+      covered[row] = true;
+    }
+  }
+  for (bool b : covered) {
+    EXPECT_TRUE(b);
+  }
+}
+
+TEST(RsGatherTest, GatherThenExchangeRestoresLogicalOrder) {
+  // Build a staging buffer whose subtile contents encode (row, col), run
+  // the receive-side pipeline by hand, and check the final matrix.
+  const int gpus = 2;
+  const TileMapping mapping = SmallMapping(2, 4);
+  const TileGrid& grid = mapping.grid();
+  const int64_t m = grid.shape().m;
+  const int64_t n = grid.shape().n;
+  const auto reference = RandomMatrix(m, n, 21);
+
+  // Fill each rank's recv buffer with what a ReduceScatter of the encoded
+  // staging would deliver: subtile (tile, rank) contents of `reference`.
+  const int sub_m = grid.tile().m / gpus;
+  std::vector<std::vector<float>> recv(
+      gpus, std::vector<float>(mapping.total_elems() / gpus, 0.0f));
+  for (int rank = 0; rank < gpus; ++rank) {
+    for (int t = 0; t < mapping.tile_count(); ++t) {
+      const int slot = mapping.SlotOfTile(t);
+      const int64_t base = static_cast<int64_t>(slot) * mapping.SubtileElems(gpus);
+      for (int j = 0; j < sub_m; ++j) {
+        for (int col = 0; col < grid.tile().n; ++col) {
+          const int64_t row = grid.RowStart(t) + rank * sub_m + j;
+          recv[rank][base + static_cast<int64_t>(j) * grid.tile().n + col] =
+              reference[row * n + grid.ColStart(t) + col];
+        }
+      }
+    }
+  }
+  // Gather rows per rank, then concatenate (AllGather) and row-exchange.
+  std::vector<float> gathered(m * n, 0.0f);
+  for (int rank = 0; rank < gpus; ++rank) {
+    std::vector<float> rows(m / gpus * n, 0.0f);
+    RsGatherRows(mapping, gpus, rank, recv[rank], rows);
+    std::copy(rows.begin(), rows.end(), gathered.begin() + rank * (m / gpus) * n);
+    // Each gathered row must equal the matching reference row.
+    const auto owned = RsOwnedRows(mapping, gpus, rank);
+    for (size_t i = 0; i < owned.size(); ++i) {
+      for (int64_t col = 0; col < n; ++col) {
+        EXPECT_FLOAT_EQ(rows[i * n + col], reference[owned[i] * n + col]);
+      }
+    }
+  }
+  std::vector<float> final(m * n, 0.0f);
+  RsRowExchange(mapping, gpus, gathered, final);
+  EXPECT_FLOAT_EQ(MaxAbsDiff(final, reference), 0.0f);
+}
+
+TEST(RmsNormTest, NormalizesRowsToUnitRms) {
+  const int64_t rows = 8;
+  const int64_t cols = 64;
+  const auto in = RandomMatrix(rows, cols, 33);
+  std::vector<float> out(in.size());
+  RmsNorm(in, rows, cols, 0.0f, out);
+  for (int64_t r = 0; r < rows; ++r) {
+    double sq = 0.0;
+    for (int64_t c = 0; c < cols; ++c) {
+      sq += static_cast<double>(out[r * cols + c]) * out[r * cols + c];
+    }
+    EXPECT_NEAR(sq / cols, 1.0, 1e-4);
+  }
+}
+
+TEST(RmsNormTest, FusedStagingVariantMatchesGatherThenNorm) {
+  const TileMapping mapping = SmallMapping(3, 6);
+  const TileGrid& grid = mapping.grid();
+  // Random staging contents (as left by AllReduce).
+  auto staging = RandomMatrix(1, mapping.total_elems(), 44);
+  // Reference: gather then norm.
+  std::vector<float> c(grid.shape().m * grid.shape().n);
+  GatherStagingToMatrix(mapping, staging, c);
+  std::vector<float> want(c.size());
+  RmsNorm(c, grid.shape().m, grid.shape().n, 1e-5f, want);
+  // Fused.
+  std::vector<float> got(c.size());
+  RmsNormFromStaging(mapping, staging, 1e-5f, got);
+  EXPECT_LT(MaxAbsDiff(got, want), 1e-5f);
+}
+
+TEST(ReorderOverheadTest, MappingTableIsTinyRelativeToPayload) {
+  const TileMapping mapping = SmallMapping();
+  const double table_bytes = ReorderMappingTableBytes(mapping);
+  const double payload = static_cast<double>(mapping.total_elems()) * 2.0;
+  EXPECT_LT(table_bytes / payload, 0.01);
+}
+
+// Property sweep: the scatter/gather pair is the identity for any swizzle,
+// width and partition combination.
+struct RoundTripCase {
+  int swizzle;
+  int width;
+  int equal_group;
+};
+
+class RoundTripTest : public ::testing::TestWithParam<RoundTripCase> {};
+
+TEST_P(RoundTripTest, ScatterGatherIdentity) {
+  const RoundTripCase& c = GetParam();
+  TileGrid grid(GemmShape{192, 160, 32}, TileShape{32, 32});
+  WaveSchedule schedule(SwizzledLaunchOrder(grid, c.swizzle), c.width);
+  TileMapping mapping(grid, schedule,
+                      WavePartition::EqualSized(schedule.wave_count(), c.equal_group));
+  const auto c_ref = RandomMatrix(grid.shape().m, grid.shape().n, 100 + c.swizzle);
+  std::vector<float> staging(mapping.total_elems());
+  std::vector<float> tile(mapping.tile_elems());
+  for (int t = 0; t < mapping.tile_count(); ++t) {
+    for (int r = 0; r < grid.tile().m; ++r) {
+      for (int col = 0; col < grid.tile().n; ++col) {
+        tile[static_cast<size_t>(r) * grid.tile().n + col] =
+            c_ref[(grid.RowStart(t) + r) * grid.shape().n + grid.ColStart(t) + col];
+      }
+    }
+    ScatterTileToStaging(mapping, t, tile, staging);
+  }
+  std::vector<float> round_trip(c_ref.size());
+  GatherStagingToMatrix(mapping, staging, round_trip);
+  EXPECT_FLOAT_EQ(MaxAbsDiff(round_trip, c_ref), 0.0f);
+}
+
+INSTANTIATE_TEST_SUITE_P(Combos, RoundTripTest,
+                         ::testing::Values(RoundTripCase{1, 3, 1}, RoundTripCase{2, 5, 2},
+                                           RoundTripCase{4, 7, 3}, RoundTripCase{6, 11, 4},
+                                           RoundTripCase{3, 30, 1}));
+
+}  // namespace
+}  // namespace flo

@@ -1,0 +1,117 @@
+#include <gtest/gtest.h>
+
+#include "src/core/tuner.h"
+
+namespace flo {
+namespace {
+
+TEST(TunerTest, OfflineArtifactsAreCached) {
+  Tuner tuner(MakeA800Cluster(4));
+  const GemmShape shape{4096, 8192, 4096};
+  const GemmConfig& a = tuner.GemmConfigFor(shape);
+  const GemmConfig& b = tuner.GemmConfigFor(shape);
+  EXPECT_EQ(&a, &b) << "same shape must hit the cache";
+  const Curve& c1 = tuner.LatencyCurveFor(CommPrimitive::kAllReduce);
+  const Curve& c2 = tuner.LatencyCurveFor(CommPrimitive::kAllReduce);
+  EXPECT_EQ(&c1, &c2);
+}
+
+TEST(TunerTest, TunedPartitionCoversEffectiveWaves) {
+  Tuner tuner(Make4090Cluster(4));
+  const TunedPlan& plan = tuner.Tune(GemmShape{4096, 8192, 8192},
+                                     CommPrimitive::kAllReduce);
+  EXPECT_TRUE(plan.partition.Valid(plan.effective_waves));
+  EXPECT_GT(plan.candidates_evaluated, 1);
+  EXPECT_GT(plan.predicted_us, 0.0);
+}
+
+TEST(TunerTest, TunedPlanBeatsSingleGroupAndPerWave) {
+  Tuner tuner(Make4090Cluster(4));
+  const GemmShape shape{4096, 8192, 8192};
+  const TunedPlan& plan = tuner.Tune(shape, CommPrimitive::kAllReduce);
+  PredictorSetup setup = tuner.MakeSetup(shape, CommPrimitive::kAllReduce);
+  const double single =
+      PredictOverlapLatency(setup, WavePartition::SingleGroup(plan.effective_waves)).latency_us;
+  const double per_wave =
+      PredictOverlapLatency(setup, WavePartition::PerWave(plan.effective_waves)).latency_us;
+  EXPECT_LE(plan.predicted_us, single);
+  EXPECT_LE(plan.predicted_us, per_wave);
+}
+
+TEST(TunerTest, PrunedSearchIsNearOptimalOnSmallSpaces) {
+  // Paper claim (Sec. 6.5 / AE C2): pruned predictive search reaches >99%
+  // of the exhaustive optimum.
+  TunerConfig pruned_config;
+  TunerConfig exhaustive_config;
+  exhaustive_config.exhaustive = true;
+  const GemmShape shape{2048, 8192, 8192};
+  for (auto make_cluster : {Make4090Cluster, MakeA800Cluster}) {
+    Tuner pruned(make_cluster(4), pruned_config);
+    Tuner exhaustive(make_cluster(4), exhaustive_config);
+    const TunedPlan& p = pruned.Tune(shape, CommPrimitive::kAllReduce);
+    const TunedPlan& e = exhaustive.Tune(shape, CommPrimitive::kAllReduce);
+    if (p.effective_waves <= 20) {
+      EXPECT_LE(p.predicted_us, e.predicted_us / 0.99)
+          << "pruned search must be within 1% of exhaustive";
+    }
+  }
+}
+
+TEST(TunerTest, PlanCacheGrowsOncePerShape) {
+  Tuner tuner(MakeA800Cluster(4));
+  EXPECT_EQ(tuner.cache_size(), 0u);
+  tuner.Tune(GemmShape{2048, 8192, 4096}, CommPrimitive::kAllReduce);
+  EXPECT_EQ(tuner.cache_size(), 1u);
+  tuner.Tune(GemmShape{2048, 8192, 4096}, CommPrimitive::kAllReduce);
+  EXPECT_EQ(tuner.cache_size(), 1u);
+  tuner.Tune(GemmShape{2048, 8192, 4096}, CommPrimitive::kReduceScatter);
+  EXPECT_EQ(tuner.cache_size(), 2u);
+}
+
+TEST(TunerTest, NearestNeighbourServesUnseenShapes) {
+  Tuner tuner(MakeA800Cluster(4));
+  // Pre-search representative sizes (the paper's strategy for dynamic
+  // workloads).
+  tuner.Tune(GemmShape{2048, 8192, 4096}, CommPrimitive::kAllReduce);
+  tuner.Tune(GemmShape{8192, 8192, 4096}, CommPrimitive::kAllReduce);
+  const size_t cached = tuner.cache_size();
+  const TunedPlan plan =
+      tuner.TuneNearest(GemmShape{2304, 8192, 4096}, CommPrimitive::kAllReduce);
+  EXPECT_EQ(tuner.cache_size(), cached) << "nearest-neighbour must not search";
+  EXPECT_TRUE(plan.partition.Valid(plan.effective_waves));
+  EXPECT_EQ(plan.candidates_evaluated, 1);
+  // The matched plan should not be catastrophically worse than a real
+  // search on the same shape.
+  Tuner fresh(MakeA800Cluster(4));
+  const TunedPlan& searched =
+      fresh.Tune(GemmShape{2304, 8192, 4096}, CommPrimitive::kAllReduce);
+  EXPECT_LT(plan.predicted_us, 1.25 * searched.predicted_us);
+}
+
+TEST(TunerTest, NearestNeighbourFallsBackToSearchOnEmptyCache) {
+  Tuner tuner(MakeA800Cluster(4));
+  const TunedPlan plan =
+      tuner.TuneNearest(GemmShape{4096, 8192, 4096}, CommPrimitive::kAllReduce);
+  EXPECT_GT(plan.candidates_evaluated, 1);
+}
+
+TEST(TunerTest, FirstAndLastGroupBoundsHold) {
+  Tuner tuner(Make4090Cluster(4));
+  for (int64_t m : {1024, 2048, 4096, 8192}) {
+    const TunedPlan& plan = tuner.Tune(GemmShape{m, 8192, 8192},
+                                       CommPrimitive::kAllReduce);
+    const auto& sizes = plan.partition.group_sizes;
+    const bool is_single = plan.partition.group_count() == 1;
+    const bool is_equal_sized =
+        sizes == WavePartition::EqualSized(plan.partition.TotalWaves(), sizes.front())
+                     .group_sizes;
+    if (is_single || is_equal_sized) {
+      continue;  // safety families outside the (s1, sp) bounds
+    }
+    EXPECT_LE(sizes.front(), tuner.config().s1) << "m=" << m;
+    EXPECT_LE(sizes.back(), tuner.config().sp) << "m=" << m;
+  }
+}
+
+}  // namespace
+}  // namespace flo

@@ -1,0 +1,222 @@
+// End-to-end functional correctness: the paper's AE experiment E1
+// ("all close" against the non-overlap implementation), on real data.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/core/functional_overlap.h"
+#include "src/gemm/host_gemm.h"
+#include "src/util/rng.h"
+
+namespace flo {
+namespace {
+
+constexpr float kTolerance = 2e-3f;
+
+std::vector<std::vector<float>> RankMatrices(int ranks, int64_t rows, int64_t cols,
+                                             uint64_t seed) {
+  std::vector<std::vector<float>> out;
+  out.reserve(ranks);
+  for (int r = 0; r < ranks; ++r) {
+    out.push_back(RandomMatrix(rows, cols, seed + r));
+  }
+  return out;
+}
+
+struct FunctionalCase {
+  int gpus;
+  int wave_width;
+  int swizzle;
+  std::vector<int> partition;  // empty = equal-sized 2
+};
+
+class AllReduceFunctionalTest : public ::testing::TestWithParam<FunctionalCase> {};
+
+TEST_P(AllReduceFunctionalTest, MatchesNonOverlapReference) {
+  const FunctionalCase& c = GetParam();
+  FunctionalOptions options;
+  options.gpu_count = c.gpus;
+  options.wave_width = c.wave_width;
+  options.swizzle_size = c.swizzle;
+  FunctionalOverlap runner(options);
+  const GemmShape shape{128, 128, 32};
+  const auto a = RankMatrices(c.gpus, shape.m, shape.k, 1000);
+  const auto b = RankMatrices(c.gpus, shape.k, shape.n, 2000);
+  WavePartition partition{c.partition};
+  const auto results = runner.RunAllReduce(shape, partition, a, b);
+  const auto reference = runner.ReferenceAllReduce(shape, a, b, /*rmsnorm=*/false);
+  ASSERT_EQ(results.size(), static_cast<size_t>(c.gpus));
+  for (int r = 0; r < c.gpus; ++r) {
+    EXPECT_LT(MaxAbsDiff(results[r], reference), kTolerance) << "rank " << r;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, AllReduceFunctionalTest,
+    ::testing::Values(FunctionalCase{2, 4, 2, {}}, FunctionalCase{4, 3, 3, {}},
+                      FunctionalCase{2, 16, 1, {1}}, FunctionalCase{8, 5, 4, {}},
+                      FunctionalCase{2, 2, 2, {1, 1, 1, 1, 1, 1, 1, 1}},
+                      FunctionalCase{4, 7, 6, {1, 2}}));
+
+TEST(AllReduceRmsNormTest, FusedPostReorderMatchesReference) {
+  FunctionalOptions options;
+  options.gpu_count = 4;
+  options.wave_width = 5;
+  options.swizzle_size = 2;
+  FunctionalOverlap runner(options);
+  const GemmShape shape{128, 128, 32};
+  const auto a = RankMatrices(4, shape.m, shape.k, 3000);
+  const auto b = RankMatrices(4, shape.k, shape.n, 4000);
+  const auto results = runner.RunAllReduceRmsNorm(shape, WavePartition{}, a, b);
+  const auto reference = runner.ReferenceAllReduce(shape, a, b, /*rmsnorm=*/true);
+  for (const auto& result : results) {
+    EXPECT_LT(MaxAbsDiff(result, reference), kTolerance);
+  }
+}
+
+class ReduceScatterFunctionalTest : public ::testing::TestWithParam<FunctionalCase> {};
+
+TEST_P(ReduceScatterFunctionalTest, FullPipelineRestoresTheSum) {
+  const FunctionalCase& c = GetParam();
+  FunctionalOptions options;
+  options.gpu_count = c.gpus;
+  options.wave_width = c.wave_width;
+  options.swizzle_size = c.swizzle;
+  FunctionalOverlap runner(options);
+  const GemmShape shape{128, 128, 32};
+  const auto a = RankMatrices(c.gpus, shape.m, shape.k, 5000);
+  const auto b = RankMatrices(c.gpus, shape.k, shape.n, 6000);
+  const auto results = runner.RunReduceScatterAllGather(shape, WavePartition{c.partition}, a, b,
+                                                        /*rmsnorm=*/false);
+  // RS + AG (+ row exchange) must reproduce the plain AllReduce sum.
+  const auto reference = runner.ReferenceAllReduce(shape, a, b, /*rmsnorm=*/false);
+  for (const auto& result : results) {
+    EXPECT_LT(MaxAbsDiff(result, reference), kTolerance);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Cases, ReduceScatterFunctionalTest,
+                         ::testing::Values(FunctionalCase{2, 4, 2, {}},
+                                           FunctionalCase{4, 6, 3, {}},
+                                           FunctionalCase{2, 3, 5, {1, 2}},
+                                           FunctionalCase{4, 16, 2, {1}}));
+
+TEST(ReduceScatterRmsNormTest, PerRowNormBeforeAllGatherIsCorrect) {
+  // The reason ReduceScatter needs subtile granularity at all: each row
+  // must be complete on one GPU so the row-wise op is computable before
+  // AllGather (Sec. 3.3.3 (2)).
+  FunctionalOptions options;
+  options.gpu_count = 4;
+  options.wave_width = 5;
+  options.swizzle_size = 3;
+  FunctionalOverlap runner(options);
+  const GemmShape shape{128, 128, 32};
+  const auto a = RankMatrices(4, shape.m, shape.k, 7000);
+  const auto b = RankMatrices(4, shape.k, shape.n, 8000);
+  const auto results =
+      runner.RunReduceScatterAllGather(shape, WavePartition{}, a, b, /*rmsnorm=*/true);
+  const auto reference = runner.ReferenceAllReduce(shape, a, b, /*rmsnorm=*/true);
+  for (const auto& result : results) {
+    EXPECT_LT(MaxAbsDiff(result, reference), kTolerance);
+  }
+}
+
+std::vector<int> MakeRoute(int64_t rows, int gpus, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<int> route(rows);
+  for (auto& r : route) {
+    r = static_cast<int>(rng.NextBelow(gpus));
+  }
+  return route;
+}
+
+class AllToAllFunctionalTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(AllToAllFunctionalTest, BalancedExchangeMatchesReference) {
+  const int gpus = GetParam();
+  FunctionalOptions options;
+  options.gpu_count = gpus;
+  options.wave_width = 4;
+  options.swizzle_size = 2;
+  FunctionalOverlap runner(options);
+  const std::vector<GemmShape> shapes(gpus, GemmShape{96, 96, 32});
+  std::vector<std::vector<int>> routes;
+  std::vector<std::vector<float>> a;
+  std::vector<std::vector<float>> bmat;
+  for (int r = 0; r < gpus; ++r) {
+    routes.push_back(MakeRoute(96, gpus, 9000 + r));
+    a.push_back(RandomMatrix(96, 32, 10000 + r));
+    bmat.push_back(RandomMatrix(32, 96, 11000 + r));
+  }
+  const auto results = runner.RunAllToAll(shapes, WavePartition{}, routes, a, bmat);
+  const auto reference = runner.ReferenceAllToAll(shapes, routes, a, bmat);
+  ASSERT_EQ(results.size(), reference.size());
+  for (int r = 0; r < gpus; ++r) {
+    ASSERT_EQ(results[r].size(), reference[r].size()) << "rank " << r;
+    if (!results[r].empty()) {
+      EXPECT_LT(MaxAbsDiff(results[r], reference[r]), kTolerance) << "rank " << r;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Gpus, AllToAllFunctionalTest, ::testing::Values(2, 3, 4));
+
+TEST(AllToAllImbalancedTest, UnevenRowCountsExchangeCorrectly) {
+  const int gpus = 2;
+  FunctionalOptions options;
+  options.gpu_count = gpus;
+  options.wave_width = 3;
+  options.swizzle_size = 2;
+  FunctionalOverlap runner(options);
+  const std::vector<GemmShape> shapes{GemmShape{64, 96, 32}, GemmShape{128, 96, 32}};
+  std::vector<std::vector<int>> routes{MakeRoute(64, gpus, 70), MakeRoute(128, gpus, 71)};
+  std::vector<std::vector<float>> a{RandomMatrix(64, 32, 80), RandomMatrix(128, 32, 81)};
+  std::vector<std::vector<float>> b{RandomMatrix(32, 96, 90), RandomMatrix(32, 96, 91)};
+  const auto results = runner.RunAllToAll(shapes, WavePartition{}, routes, a, b);
+  const auto reference = runner.ReferenceAllToAll(shapes, routes, a, b);
+  for (int r = 0; r < gpus; ++r) {
+    ASSERT_EQ(results[r].size(), reference[r].size());
+    if (!results[r].empty()) {
+      EXPECT_LT(MaxAbsDiff(results[r], reference[r]), kTolerance);
+    }
+  }
+}
+
+TEST(AllToAllSkewedRouteTest, AllTokensToOneGpu) {
+  // Degenerate routing (all tokens to GPU 0) exercises empty pools.
+  const int gpus = 2;
+  FunctionalOptions options;
+  options.gpu_count = gpus;
+  options.wave_width = 4;
+  options.swizzle_size = 1;
+  FunctionalOverlap runner(options);
+  const std::vector<GemmShape> shapes(gpus, GemmShape{64, 64, 16});
+  std::vector<std::vector<int>> routes(gpus, std::vector<int>(64, 0));
+  std::vector<std::vector<float>> a{RandomMatrix(64, 16, 1), RandomMatrix(64, 16, 2)};
+  std::vector<std::vector<float>> b{RandomMatrix(16, 64, 3), RandomMatrix(16, 64, 4)};
+  const auto results = runner.RunAllToAll(shapes, WavePartition{}, routes, a, b);
+  const auto reference = runner.ReferenceAllToAll(shapes, routes, a, b);
+  EXPECT_EQ(results[1].size(), 0u);
+  ASSERT_EQ(results[0].size(), reference[0].size());
+  EXPECT_LT(MaxAbsDiff(results[0], reference[0]), kTolerance);
+}
+
+TEST(FunctionalEpilogueTest, ReluSurvivesTheOverlapPipeline) {
+  FunctionalOptions options;
+  options.gpu_count = 2;
+  options.wave_width = 4;
+  options.swizzle_size = 2;
+  options.epilogue = EpilogueOp::kRelu;
+  FunctionalOverlap runner(options);
+  const GemmShape shape{64, 64, 16};
+  const auto a = RankMatrices(2, shape.m, shape.k, 42);
+  const auto b = RankMatrices(2, shape.k, shape.n, 43);
+  const auto results = runner.RunAllReduce(shape, WavePartition{}, a, b);
+  const auto reference = runner.ReferenceAllReduce(shape, a, b, false);
+  for (const auto& result : results) {
+    EXPECT_LT(MaxAbsDiff(result, reference), kTolerance);
+  }
+}
+
+}  // namespace
+}  // namespace flo

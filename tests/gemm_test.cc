@@ -1,0 +1,260 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "src/gemm/epilogue.h"
+#include "src/gemm/gemm_model.h"
+#include "src/gemm/host_gemm.h"
+#include "src/gemm/swizzle.h"
+#include "src/gemm/tile.h"
+#include "src/gemm/wave.h"
+#include "src/hw/gpu_spec.h"
+#include "src/util/rng.h"
+
+namespace flo {
+namespace {
+
+TEST(TileGridTest, PartitionsExactDivisions) {
+  TileGrid grid(GemmShape{256, 512, 64}, TileShape{64, 128});
+  EXPECT_EQ(grid.rows(), 4);
+  EXPECT_EQ(grid.cols(), 4);
+  EXPECT_EQ(grid.tile_count(), 16);
+  EXPECT_EQ(grid.TileRowsAt(0), 64);
+  EXPECT_EQ(grid.TileColsAt(0), 128);
+}
+
+TEST(TileGridTest, EdgeTilesArePartial) {
+  TileGrid grid(GemmShape{100, 200, 32}, TileShape{64, 128});
+  EXPECT_EQ(grid.rows(), 2);
+  EXPECT_EQ(grid.cols(), 2);
+  EXPECT_EQ(grid.TileRowsAt(grid.TileIndex(1, 0)), 36);
+  EXPECT_EQ(grid.TileColsAt(grid.TileIndex(0, 1)), 72);
+}
+
+TEST(TileGridTest, IndexRoundTrips) {
+  TileGrid grid(GemmShape{512, 512, 64}, TileShape{64, 64});
+  for (int t = 0; t < grid.tile_count(); ++t) {
+    EXPECT_EQ(grid.TileIndex(grid.TileRow(t), grid.TileCol(t)), t);
+  }
+}
+
+TEST(TileGridTest, RowColStartsMatchTileShape) {
+  TileGrid grid(GemmShape{256, 256, 64}, TileShape{64, 128});
+  const int t = grid.TileIndex(2, 1);
+  EXPECT_EQ(grid.RowStart(t), 128);
+  EXPECT_EQ(grid.ColStart(t), 128);
+}
+
+TEST(SelectTileShapeTest, LargeShapesGetBigTiles) {
+  EXPECT_EQ(SelectTileShape(GemmShape{4096, 8192, 4096}), (TileShape{128, 256}));
+  EXPECT_EQ(SelectTileShape(GemmShape{512, 512, 512}), (TileShape{128, 128}));
+  EXPECT_EQ(SelectTileShape(GemmShape{64, 64, 64}), (TileShape{64, 64}));
+}
+
+// Swizzle property sweep: the launch order is a permutation and S=1 is
+// plain row-major.
+struct SwizzleCase {
+  int64_t m, n;
+  int tile_m, tile_n;
+  int swizzle;
+};
+
+class SwizzleTest : public ::testing::TestWithParam<SwizzleCase> {};
+
+TEST_P(SwizzleTest, LaunchOrderIsPermutation) {
+  const SwizzleCase& c = GetParam();
+  TileGrid grid(GemmShape{c.m, c.n, 64}, TileShape{c.tile_m, c.tile_n});
+  const auto order = SwizzledLaunchOrder(grid, c.swizzle);
+  EXPECT_TRUE(IsPermutation(order, grid.tile_count()));
+  const auto slots = LaunchSlotOfTile(order);
+  for (int t = 0; t < grid.tile_count(); ++t) {
+    EXPECT_EQ(order[slots[t]], t);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, SwizzleTest,
+    ::testing::Values(SwizzleCase{128, 128, 64, 64, 1}, SwizzleCase{256, 512, 64, 64, 2},
+                      SwizzleCase{512, 256, 64, 64, 3}, SwizzleCase{448, 320, 64, 64, 5},
+                      SwizzleCase{1024, 1024, 128, 128, 4},
+                      SwizzleCase{192, 640, 64, 128, 8}));
+
+TEST(SwizzleTest, SizeOneIsRowMajor) {
+  TileGrid grid(GemmShape{256, 256, 64}, TileShape{64, 64});
+  const auto order = SwizzledLaunchOrder(grid, 1);
+  for (int i = 0; i < grid.tile_count(); ++i) {
+    EXPECT_EQ(order[i], i);
+  }
+}
+
+TEST(SwizzleTest, SwizzledOrderWalksRowsFirst) {
+  // 4x2 grid, swizzle 2: the first group covers tile-rows {0,1}; launches
+  // go (0,0),(1,0),(0,1),(1,1) = indices 0,2,1,3.
+  TileGrid grid(GemmShape{256, 128, 64}, TileShape{64, 64});
+  const auto order = SwizzledLaunchOrder(grid, 2);
+  EXPECT_EQ(order[0], 0);
+  EXPECT_EQ(order[1], 2);
+  EXPECT_EQ(order[2], 1);
+  EXPECT_EQ(order[3], 3);
+}
+
+TEST(WaveScheduleTest, WaveCountIsCeilDivision) {
+  TileGrid grid(GemmShape{512, 512, 64}, TileShape{64, 64});  // 64 tiles
+  WaveSchedule schedule(SwizzledLaunchOrder(grid, 2), 10);
+  EXPECT_EQ(schedule.wave_count(), 7);  // ceil(64/10)
+  EXPECT_EQ(static_cast<int>(schedule.WaveTiles(0).size()), 10);
+  EXPECT_EQ(static_cast<int>(schedule.WaveTiles(6).size()), 4);
+}
+
+TEST(WaveScheduleTest, EveryTileInExactlyOneWave) {
+  TileGrid grid(GemmShape{512, 256, 64}, TileShape{64, 64});
+  WaveSchedule schedule(SwizzledLaunchOrder(grid, 3), 7);
+  std::vector<int> seen(grid.tile_count(), 0);
+  for (int w = 0; w < schedule.wave_count(); ++w) {
+    for (int t : schedule.WaveTiles(w)) {
+      ++seen[t];
+      EXPECT_EQ(schedule.WaveOfTile(t), w);
+    }
+  }
+  for (int count : seen) {
+    EXPECT_EQ(count, 1);
+  }
+}
+
+TEST(WaveScheduleTest, CompletionTimesClusterWithinWave) {
+  // The paper's Fig. 3 wave pattern: tiles of one wave complete within ~5%
+  // of the wave duration.
+  TileGrid grid(GemmShape{512, 512, 64}, TileShape{64, 64});
+  WaveSchedule schedule(SwizzledLaunchOrder(grid, 2), 16);
+  Rng rng(1);
+  const auto times = schedule.CompletionTimes(100.0, &rng, 0.05);
+  for (int t = 0; t < grid.tile_count(); ++t) {
+    const int wave = schedule.WaveOfTile(t);
+    EXPECT_LE(times[t], (wave + 1) * 100.0);
+    EXPECT_GT(times[t], (wave + 1) * 100.0 - 5.0 - 1e-9);
+  }
+}
+
+TEST(GemmModelTest, DurationScalesWithWork) {
+  GemmModel model(MakeA800());
+  const GemmConfig small = model.Configure(GemmShape{1024, 8192, 2048});
+  const GemmConfig large = model.Configure(GemmShape{4096, 8192, 2048});
+  EXPECT_LT(small.duration_us, large.duration_us);
+}
+
+TEST(GemmModelTest, FewerSmsMeansMoreWavesAndTime) {
+  GemmModel model(MakeA800());
+  const GemmConfig config = model.Configure(GemmShape{8192, 8192, 4096});
+  EXPECT_GT(model.WaveCount(config, 64), model.WaveCount(config, 108));
+  EXPECT_GT(model.Duration(config, 64), model.Duration(config, 108));
+}
+
+TEST(GemmModelTest, WaveQuantizationPenalizesFragments) {
+  // 8 chunks of M/8 cost at least as much as the whole GEMM in wave time.
+  GemmModel model(MakeRtx4090());
+  const GemmShape whole{4096, 8192, 8192};
+  const GemmConfig whole_config = model.Configure(whole);
+  double chunk_total = 0.0;
+  for (int i = 0; i < 8; ++i) {
+    const GemmConfig chunk = model.Configure(GemmShape{512, 8192, 8192});
+    chunk_total += chunk.duration_us;
+  }
+  EXPECT_GT(chunk_total, whole_config.duration_us);
+}
+
+TEST(GemmModelTest, ConfigureIsWaveConsistent) {
+  GemmModel model(MakeRtx4090());
+  const GemmConfig config = model.Configure(GemmShape{2048, 8192, 8192});
+  TileGrid grid(config.shape, config.tile);
+  EXPECT_EQ(config.tile_count, grid.tile_count());
+  EXPECT_EQ(config.full_sm_waves,
+            (config.tile_count + model.gpu().sm_count - 1) / model.gpu().sm_count);
+}
+
+TEST(HostGemmTest, MatchesNaiveReference) {
+  const GemmShape shape{32, 48, 24};
+  const TileShape tile{16, 16};
+  const auto a = RandomMatrix(shape.m, shape.k, 1);
+  const auto b = RandomMatrix(shape.k, shape.n, 2);
+  HostGemm gemm(shape, tile);
+  std::vector<float> c(shape.m * shape.n, 0.0f);
+  gemm.ComputeRowMajor(a, b, EpilogueOp::kIdentity, {}, c);
+  for (int64_t i = 0; i < shape.m; ++i) {
+    for (int64_t j = 0; j < shape.n; ++j) {
+      double acc = 0.0;
+      for (int64_t k = 0; k < shape.k; ++k) {
+        acc += static_cast<double>(a[i * shape.k + k]) * b[k * shape.n + j];
+      }
+      EXPECT_NEAR(c[i * shape.n + j], acc, 1e-4);
+    }
+  }
+}
+
+TEST(HostGemmTest, SinkVisitsTilesInLaunchOrder) {
+  const GemmShape shape{64, 64, 8};
+  const TileShape tile{16, 16};
+  HostGemm gemm(shape, tile);
+  const auto a = RandomMatrix(shape.m, shape.k, 3);
+  const auto b = RandomMatrix(shape.k, shape.n, 4);
+  const auto order = SwizzledLaunchOrder(gemm.grid(), 2);
+  std::vector<int> visited;
+  gemm.ComputeWithSink(a, b, EpilogueOp::kIdentity, {}, order,
+                       [&](int t, std::span<const float>) { visited.push_back(t); });
+  EXPECT_EQ(visited, order);
+}
+
+TEST(HostGemmTest, ReluEpilogueClampsNegatives) {
+  const GemmShape shape{16, 16, 8};
+  HostGemm gemm(shape, TileShape{16, 16});
+  const auto a = RandomMatrix(shape.m, shape.k, 5);
+  const auto b = RandomMatrix(shape.k, shape.n, 6);
+  std::vector<float> c(shape.m * shape.n);
+  gemm.ComputeRowMajor(a, b, EpilogueOp::kRelu, {}, c);
+  for (float v : c) {
+    EXPECT_GE(v, 0.0f);
+  }
+}
+
+TEST(HostGemmTest, BiasEpilogueAddsPerColumn) {
+  const GemmShape shape{8, 8, 4};
+  HostGemm gemm(shape, TileShape{8, 8});
+  const auto a = RandomMatrix(shape.m, shape.k, 7);
+  const auto b = RandomMatrix(shape.k, shape.n, 8);
+  std::vector<float> bias(shape.n);
+  std::iota(bias.begin(), bias.end(), 0.0f);
+  std::vector<float> plain(shape.m * shape.n);
+  std::vector<float> biased(shape.m * shape.n);
+  gemm.ComputeRowMajor(a, b, EpilogueOp::kIdentity, {}, plain);
+  gemm.ComputeRowMajor(a, b, EpilogueOp::kBias, bias, biased);
+  for (int64_t i = 0; i < shape.m; ++i) {
+    for (int64_t j = 0; j < shape.n; ++j) {
+      EXPECT_NEAR(biased[i * shape.n + j], plain[i * shape.n + j] + bias[j], 1e-5);
+    }
+  }
+}
+
+TEST(EpilogueTest, StoreLoadTileRoundTrip) {
+  const int64_t n = 32;
+  std::vector<float> c(16 * n, 0.0f);
+  std::vector<float> staging(8 * 16, 0.0f);
+  std::vector<float> tile(8 * 16);
+  std::iota(tile.begin(), tile.end(), 0.0f);
+  StoreTileToSlot(staging, 0, 8, 16, tile);
+  LoadTileFromSlot(staging, 0, c, n, 4, 16, 8, 16);
+  for (int r = 0; r < 8; ++r) {
+    for (int col = 0; col < 16; ++col) {
+      EXPECT_EQ(c[(4 + r) * n + 16 + col], tile[r * 16 + col]);
+    }
+  }
+}
+
+TEST(MaxAbsDiffTest, DetectsDifference) {
+  std::vector<float> a{1.0f, 2.0f};
+  std::vector<float> b{1.0f, 2.5f};
+  EXPECT_FLOAT_EQ(MaxAbsDiff(a, b), 0.5f);
+  EXPECT_FLOAT_EQ(MaxAbsDiff(a, a), 0.0f);
+}
+
+}  // namespace
+}  // namespace flo

@@ -1,0 +1,68 @@
+#include <gtest/gtest.h>
+
+#include "src/comm/hierarchical.h"
+#include "src/hw/interconnect.h"
+
+namespace flo {
+namespace {
+
+TEST(HierarchicalTest, SingleNodeDegeneratesToFlatModel) {
+  HierarchicalCostModel model(MakeNvlinkA800(), MakeInfiniBandHdr(), 1, 8);
+  CommCostModel flat(MakeNvlinkA800(), 8);
+  for (double bytes : {1e6, 1e7, 1e8}) {
+    EXPECT_DOUBLE_EQ(model.LatencyUs(CommPrimitive::kAllReduce, bytes),
+                     flat.LatencyUs(CommPrimitive::kAllReduce, bytes));
+  }
+}
+
+TEST(HierarchicalTest, CrossNodeCostsMoreThanIntraNode) {
+  HierarchicalCostModel multi(MakeNvlinkA800(), MakeInfiniBandHdr(), 4, 8);
+  CommCostModel intra(MakeNvlinkA800(), 8);
+  const double bytes = 64.0 * 1024 * 1024;
+  for (CommPrimitive primitive :
+       {CommPrimitive::kAllReduce, CommPrimitive::kReduceScatter, CommPrimitive::kAllGather,
+        CommPrimitive::kAllToAll}) {
+    EXPECT_GT(multi.LatencyUs(primitive, bytes), intra.LatencyUs(primitive, bytes))
+        << CommPrimitiveName(primitive);
+  }
+}
+
+TEST(HierarchicalTest, LatencyMonotoneInBytes) {
+  HierarchicalCostModel model(MakeNvlinkA800(), MakeInfiniBandHdr(), 2, 8);
+  double previous = 0.0;
+  for (double bytes = 1 << 20; bytes < 2e9; bytes *= 2) {
+    const double latency = model.LatencyUs(CommPrimitive::kAllReduce, bytes);
+    EXPECT_GT(latency, previous);
+    previous = latency;
+  }
+}
+
+TEST(HierarchicalTest, AllReduceDecompositionStructure) {
+  // Hierarchical AR = intra RS + inter AR(shard) + intra AG; each phase
+  // must be bounded by the whole.
+  HierarchicalCostModel model(MakeNvlinkA800(), MakeInfiniBandHdr(), 4, 8);
+  const double bytes = 128.0 * 1024 * 1024;
+  const double total = model.LatencyUs(CommPrimitive::kAllReduce, bytes);
+  const double intra_rs = model.intra().LatencyUs(CommPrimitive::kReduceScatter, bytes);
+  const double inter_ar = model.inter().LatencyUs(CommPrimitive::kAllReduce, bytes / 8);
+  const double intra_ag = model.intra().LatencyUs(CommPrimitive::kAllGather, bytes);
+  EXPECT_NEAR(total, intra_rs + inter_ar + intra_ag, 1e-9);
+}
+
+TEST(HierarchicalTest, MoreNodesMoreInterNodeTime) {
+  HierarchicalCostModel two(MakeNvlinkA800(), MakeInfiniBandHdr(), 2, 8);
+  HierarchicalCostModel eight(MakeNvlinkA800(), MakeInfiniBandHdr(), 8, 8);
+  const double bytes = 64.0 * 1024 * 1024;
+  EXPECT_LT(two.LatencyUs(CommPrimitive::kAllReduce, bytes),
+            eight.LatencyUs(CommPrimitive::kAllReduce, bytes));
+}
+
+TEST(HierarchicalTest, InfiniBandPresetSane) {
+  const InterconnectSpec ib = MakeInfiniBandHdr();
+  EXPECT_GT(ib.peak_busbw_gbps, 0.0);
+  EXPECT_LT(ib.peak_busbw_gbps, MakeNvlinkA800().peak_busbw_gbps);
+  EXPECT_FALSE(ib.p2p_access);
+}
+
+}  // namespace
+}  // namespace flo

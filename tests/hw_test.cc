@@ -1,0 +1,125 @@
+#include <gtest/gtest.h>
+
+#include "src/hw/cluster.h"
+#include "src/hw/gpu_spec.h"
+#include "src/hw/interconnect.h"
+
+namespace flo {
+namespace {
+
+TEST(GpuSpecTest, PresetsHavePublishedHeadlineNumbers) {
+  const GpuSpec rtx = MakeRtx4090();
+  EXPECT_EQ(rtx.sm_count, 128);
+  EXPECT_DOUBLE_EQ(rtx.fp16_tflops, 330.0);
+  EXPECT_DOUBLE_EQ(rtx.hbm_gbps, 1008.0);
+
+  const GpuSpec a800 = MakeA800();
+  EXPECT_EQ(a800.sm_count, 108);
+  EXPECT_DOUBLE_EQ(a800.fp16_tflops, 312.0);
+  EXPECT_DOUBLE_EQ(a800.hbm_gbps, 1935.0);
+}
+
+TEST(GpuSpecTest, EffectiveTflopsIncreasesWithK) {
+  const GpuSpec gpu = MakeA800();
+  EXPECT_LT(gpu.EffectiveTflops(128), gpu.EffectiveTflops(1024));
+  EXPECT_LT(gpu.EffectiveTflops(1024), gpu.EffectiveTflops(16384));
+  // Never exceeds tuned peak.
+  EXPECT_LE(gpu.EffectiveTflops(1 << 20), gpu.fp16_tflops * gpu.gemm_peak_efficiency);
+}
+
+TEST(GpuSpecTest, LookupByNameIsCaseInsensitive) {
+  EXPECT_EQ(GpuSpecByName("RTX4090").name, "RTX4090");
+  EXPECT_EQ(GpuSpecByName("a800").name, "A800");
+  EXPECT_EQ(GpuSpecByName("Ascend910B").name, "Ascend910B");
+}
+
+TEST(GpuSpecDeathTest, UnknownNameAborts) {
+  EXPECT_DEATH(GpuSpecByName("H100"), "unknown GPU preset");
+}
+
+TEST(InterconnectTest, BandwidthMonotoneInSize) {
+  const InterconnectSpec link = MakePcie4090();
+  double previous = 0.0;
+  for (double bytes = 4096; bytes < 1e9; bytes *= 2) {
+    const double bw = link.EffectiveBusBandwidth(bytes);
+    EXPECT_GE(bw, previous);
+    previous = bw;
+  }
+}
+
+TEST(InterconnectTest, LargeTransfersApproachPeak) {
+  const InterconnectSpec link = MakeNvlinkA800();
+  const double bw = link.EffectiveBusBandwidth(4.0 * 1024 * 1024 * 1024);
+  EXPECT_GT(bw, 0.95 * link.peak_busbw_gbps);
+  EXPECT_LE(bw, link.peak_busbw_gbps);
+}
+
+TEST(InterconnectTest, CliffDegradesSmallTransfers) {
+  const InterconnectSpec link = MakePcie4090();
+  // A 192 KiB tile (the paper's example) only reaches a small fraction of
+  // peak on PCIe: the sharp degradation FlashOverlap's wave grouping avoids.
+  const double tile_bw = link.EffectiveBusBandwidth(192.0 * 1024);
+  EXPECT_LT(tile_bw, 0.25 * link.peak_busbw_gbps);
+}
+
+TEST(InterconnectTest, NvlinkFasterThanPcieEverywhere) {
+  const InterconnectSpec pcie = MakePcie4090();
+  const InterconnectSpec nvlink = MakeNvlinkA800();
+  for (double bytes = 1 << 16; bytes < 1e9; bytes *= 4) {
+    EXPECT_GT(nvlink.EffectiveBusBandwidth(bytes), pcie.EffectiveBusBandwidth(bytes));
+  }
+}
+
+TEST(InterconnectTest, SampledCurveMatchesModel) {
+  const InterconnectSpec link = MakeNvlinkA800();
+  const Curve curve = link.SampleBandwidthCurve(1 << 16, 1 << 30);
+  for (double bytes : {1e5, 1e6, 1e7, 1e8}) {
+    EXPECT_NEAR(curve.Eval(bytes), link.EffectiveBusBandwidth(bytes),
+                0.02 * link.peak_busbw_gbps);
+  }
+}
+
+TEST(InterconnectTest, P2pFlagsMatchTestbeds) {
+  EXPECT_FALSE(MakePcie4090().p2p_access);  // 4090 server: no P2P (Sec. 6.1.3)
+  EXPECT_TRUE(MakeNvlinkA800().p2p_access);
+  EXPECT_TRUE(MakeHccsAscend().p2p_access);
+}
+
+TEST(ClusterTest, FactoriesBuildRequestedSize) {
+  const ClusterSpec spec = Make4090Cluster(4);
+  EXPECT_EQ(spec.gpu_count, 4);
+  EXPECT_EQ(spec.gpu.name, "RTX4090");
+  EXPECT_EQ(spec.link.kind, LinkKind::kPcie);
+  EXPECT_EQ(spec.Describe(), "4x RTX4090 (PCIe)");
+}
+
+TEST(ClusterTest, DevicesAreIndependent) {
+  Cluster cluster(MakeA800Cluster(2));
+  cluster.device(0).AcquireSms(10);
+  EXPECT_EQ(cluster.device(0).sm_available(), 98);
+  EXPECT_EQ(cluster.device(1).sm_available(), 108);
+  cluster.device(0).ReleaseSms(10);
+}
+
+TEST(ClusterDeathTest, OutOfRangeRankAborts) {
+  Cluster cluster(MakeA800Cluster(2));
+  EXPECT_DEATH(cluster.device(2), "");
+}
+
+// Property: the bandwidth curve shape holds across all link presets.
+class LinkPresetTest : public ::testing::TestWithParam<InterconnectSpec> {};
+
+TEST_P(LinkPresetTest, SaturatesAndDegradesConsistently) {
+  const InterconnectSpec& link = GetParam();
+  EXPECT_GT(link.peak_busbw_gbps, 0.0);
+  EXPECT_GT(link.comm_sm_count, 0);
+  EXPECT_LT(link.EffectiveBusBandwidth(64 * 1024),
+            0.6 * link.EffectiveBusBandwidth(1 << 30));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllLinks, LinkPresetTest,
+                         ::testing::Values(MakePcie4090(), MakeNvlinkA800(),
+                                           MakeHccsAscend()));
+
+}  // namespace
+}  // namespace flo

@@ -1,0 +1,164 @@
+// Cross-module integration: the paper's headline claims checked end to end
+// on the simulated testbeds.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "src/baselines/baselines.h"
+#include "src/core/flashoverlap.h"
+#include "src/models/shapes.h"
+#include "src/util/stats.h"
+
+namespace flo {
+namespace {
+
+TEST(IntegrationTest, OperatorSweepSpeedupsInPaperBand4090) {
+  // Fig. 10 (4090): FlashOverlap achieves 1.02-1.65x over non-overlap.
+  OverlapEngine engine(Make4090Cluster(4));
+  std::vector<double> speedups;
+  for (const auto& shape : OperatorShapes(CommPrimitive::kAllReduce, false)) {
+    const double overlap = engine.RunOverlap(shape, CommPrimitive::kAllReduce).total_us;
+    const double base = engine.RunNonOverlap(shape, CommPrimitive::kAllReduce);
+    speedups.push_back(base / overlap);
+  }
+  const Summary summary = Summarize(speedups);
+  EXPECT_GT(summary.mean, 1.1);
+  EXPECT_GT(summary.min, 0.95);
+  EXPECT_LT(summary.max, 1.9);
+}
+
+TEST(IntegrationTest, A800SpeedupLowerThanPcieSpeedup) {
+  // Sec. 6.2: NVLink shrinks the communication share, so the overlap gain
+  // on A800 is smaller than on 4090 for comparable shapes.
+  OverlapEngine pcie(Make4090Cluster(4));
+  OverlapEngine nvlink(MakeA800Cluster(4));
+  const GemmShape pcie_shape{4096, 8192, 16384};
+  const GemmShape nvlink_shape{16384, 8192, 4096};
+  const double pcie_speedup =
+      pcie.RunNonOverlap(pcie_shape, CommPrimitive::kAllReduce) /
+      pcie.RunOverlap(pcie_shape, CommPrimitive::kAllReduce).total_us;
+  const double nvlink_speedup =
+      nvlink.RunNonOverlap(nvlink_shape, CommPrimitive::kAllReduce) /
+      nvlink.RunOverlap(nvlink_shape, CommPrimitive::kAllReduce).total_us;
+  EXPECT_GT(pcie_speedup, nvlink_speedup);
+}
+
+TEST(IntegrationTest, AchievesMostOfTheTheoreticalSpeedup) {
+  // Fig. 13(c)/(d): FlashOverlap reaches >~70% of the theoretical speedup
+  // across the heatmap, >80% in most cells.
+  OverlapEngine engine(Make4090Cluster(2));
+  int cells = 0;
+  int above_70 = 0;
+  const HeatmapAxes axes = HeatmapAxes4090();
+  for (int mn : axes.mn_mi) {
+    for (int k : axes.k_ki) {
+      const GemmShape shape{static_cast<int64_t>(mn) * 1024 * 1024 / axes.n, axes.n,
+                            static_cast<int64_t>(k) * 1024};
+      const double base = engine.RunNonOverlap(shape, CommPrimitive::kReduceScatter);
+      const double actual =
+          engine.RunOverlap(shape, CommPrimitive::kReduceScatter).total_us;
+      const double bound = engine.TheoreticalBest(shape, CommPrimitive::kReduceScatter);
+      const double ratio = (base / actual) / (base / bound);
+      ++cells;
+      if (ratio > 0.70) {
+        ++above_70;
+      }
+    }
+  }
+  EXPECT_GT(static_cast<double>(above_70) / cells, 0.9);
+}
+
+TEST(IntegrationTest, PredictionErrorAveragesSingleDigits) {
+  // Fig. 15: average prediction error ~3.4%; we assert < 8% across a
+  // mixed sweep on both testbeds.
+  std::vector<double> errors;
+  for (auto make_cluster : {Make4090Cluster, MakeA800Cluster}) {
+    OverlapEngine engine(make_cluster(4));
+    for (const auto& shape :
+         {GemmShape{2048, 8192, 4096}, GemmShape{4096, 8192, 8192},
+          GemmShape{8192, 8192, 2048}, GemmShape{4096, 4096, 8192}}) {
+      for (CommPrimitive primitive :
+           {CommPrimitive::kAllReduce, CommPrimitive::kReduceScatter}) {
+        const OverlapRun run = engine.RunOverlap(shape, primitive);
+        ASSERT_GT(run.predicted_us, 0.0);
+        errors.push_back(std::abs(run.total_us - run.predicted_us) / run.total_us);
+      }
+    }
+  }
+  EXPECT_LT(Summarize(errors).mean, 0.08);
+}
+
+TEST(IntegrationTest, SearchedPartitionNearExhaustiveOptimumInSimulation) {
+  // AE claim C2: predictive search achieves > 99% of the performance of
+  // exhaustive search. We verify in the simulator (not just the
+  // predictor): run the engine with the searched partition and with every
+  // partition of the exhaustive space, compare totals.
+  OverlapEngine engine(Make4090Cluster(4), {}, EngineOptions{.jitter = false});
+  const GemmShape shape{2048, 8192, 8192};
+  const CommPrimitive primitive = CommPrimitive::kAllReduce;
+  const OverlapRun searched = engine.RunOverlap(shape, primitive);
+  PredictorSetup setup = engine.tuner().MakeSetup(shape, primitive);
+  const int waves = setup.EffectiveWaveCount();
+  ASSERT_LE(waves, 16) << "test shape must keep the exhaustive space tractable";
+  double best = searched.total_us;
+  for (const auto& partition : EnumerateAllPartitions(waves)) {
+    const OverlapRun run = engine.RunOverlap(shape, primitive, &partition);
+    best = std::min(best, run.total_us);
+  }
+  EXPECT_GE(best / searched.total_us, 0.96);
+}
+
+TEST(IntegrationTest, FlashOverlapCompetitiveWithBaselinesOnA800Rs) {
+  // Fig. 11: on GEMM+RS A800, FlashOverlap outperforms baselines except
+  // some K=2048 cases where FLUX's fused memory saving wins.
+  OverlapEngine engine(MakeA800Cluster(4), {}, EngineOptions{.jitter = false});
+  Baselines baselines(MakeA800Cluster(4));
+  int wins = 0;
+  int cases = 0;
+  for (const auto& shape : TypicalRsShapes()) {
+    const double ours = engine.RunOverlap(shape, CommPrimitive::kReduceScatter).total_us;
+    const auto all = baselines.All(shape, CommPrimitive::kReduceScatter);
+    double best_baseline = baselines.NonOverlap(shape, CommPrimitive::kReduceScatter);
+    for (const auto& b : all) {
+      if (b.supported) {
+        best_baseline = std::min(best_baseline, b.latency_us);
+      }
+    }
+    ++cases;
+    if (ours <= best_baseline * 1.001) {
+      ++wins;
+    } else {
+      EXPECT_EQ(shape.k, 2048) << "only small-K fusion wins are expected, got "
+                               << shape.ToString();
+    }
+  }
+  EXPECT_GE(wins * 2, cases) << "FlashOverlap should win at least half the shapes";
+}
+
+TEST(IntegrationTest, AscendPortShowsConsistentGains) {
+  // Fig. 16: on Ascend 910B, GEMM+AR gains on all tested shapes, up to
+  // ~1.37x.
+  OverlapEngine engine(MakeAscendCluster(4));
+  for (const auto& shape : AscendShapes()) {
+    const double base = engine.RunNonOverlap(shape, CommPrimitive::kAllReduce);
+    const double ours = engine.RunOverlap(shape, CommPrimitive::kAllReduce).total_us;
+    EXPECT_LT(ours, base * 1.001) << shape.ToString();
+    EXPECT_LT(base / ours, 1.6) << shape.ToString();
+  }
+}
+
+TEST(IntegrationTest, TileWiseSignalingLosesToTunedGrouping) {
+  // Sec. 4.1.1: forcing the per-wave ("baseline") partition degrades
+  // performance vs the tuned grouping on PCIe.
+  OverlapEngine engine(Make4090Cluster(4), {}, EngineOptions{.jitter = false});
+  const GemmShape shape{8192, 8192, 2048};
+  PredictorSetup setup = engine.tuner().MakeSetup(shape, CommPrimitive::kAllReduce);
+  const WavePartition per_wave = WavePartition::PerWave(setup.EffectiveWaveCount());
+  const double fine = engine.RunOverlap(shape, CommPrimitive::kAllReduce, &per_wave).total_us;
+  const double tuned = engine.RunOverlap(shape, CommPrimitive::kAllReduce).total_us;
+  EXPECT_LT(tuned, fine);
+}
+
+}  // namespace
+}  // namespace flo

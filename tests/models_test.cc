@@ -1,0 +1,124 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/models/e2e.h"
+#include "src/models/shapes.h"
+#include "src/models/workloads.h"
+
+namespace flo {
+namespace {
+
+TEST(ShapesTest, OperatorGridsMatchTableThreeRanges) {
+  for (bool a800 : {false, true}) {
+    for (CommPrimitive primitive :
+         {CommPrimitive::kAllReduce, CommPrimitive::kReduceScatter, CommPrimitive::kAllToAll}) {
+      const auto shapes = OperatorShapes(primitive, a800);
+      EXPECT_GE(shapes.size(), 20u);
+      std::set<std::tuple<int64_t, int64_t, int64_t>> unique;
+      for (const auto& shape : shapes) {
+        EXPECT_GT(shape.m, 0);
+        EXPECT_GT(shape.k, 0);
+        unique.insert({shape.m, shape.n, shape.k});
+      }
+      EXPECT_GE(unique.size(), 15u) << "shapes should be mostly distinct";
+    }
+  }
+}
+
+TEST(ShapesTest, CombinedSweepHasOverFiftySizes) {
+  // The paper evaluates "over 50 GEMM sizes" per primitive across both
+  // testbeds.
+  for (CommPrimitive primitive :
+       {CommPrimitive::kAllReduce, CommPrimitive::kReduceScatter, CommPrimitive::kAllToAll}) {
+    const auto rtx = OperatorShapes(primitive, false);
+    const auto a800 = OperatorShapes(primitive, true);
+    EXPECT_GE(rtx.size() + a800.size(), 40u);
+  }
+}
+
+TEST(ShapesTest, TypicalRsShapesAreTheFigureEleven15) {
+  const auto shapes = TypicalRsShapes();
+  EXPECT_EQ(shapes.size(), 9u);
+  for (const auto& shape : shapes) {
+    EXPECT_EQ(shape.n, 8192);
+  }
+}
+
+TEST(ShapesTest, HeatmapAxesAre7x7) {
+  for (const auto& axes : {HeatmapAxes4090(), HeatmapAxesA800()}) {
+    EXPECT_EQ(axes.mn_mi.size(), 7u);
+    EXPECT_EQ(axes.k_ki.size(), 7u);
+  }
+}
+
+TEST(ShapesTest, AscendShapesNonEmpty) {
+  EXPECT_EQ(AscendShapes().size(), 8u);
+}
+
+TEST(WorkloadsTest, TableFourSettings) {
+  const Workload inference = MakeLlama3Inference();
+  EXPECT_EQ(inference.cluster.gpu_count, 8);
+  EXPECT_EQ(inference.ops.size(), 2u);
+  for (const auto& op : inference.ops) {
+    EXPECT_EQ(op.primitive, CommPrimitive::kAllReduce);
+    EXPECT_EQ(op.shape.m, 16384);
+  }
+
+  const Workload mixtral = MakeMixtralTraining();
+  for (const auto& op : mixtral.ops) {
+    EXPECT_EQ(op.primitive, CommPrimitive::kAllToAll);
+    EXPECT_GT(op.imbalance, 1.0);
+  }
+
+  const Workload t2v = MakeStepVideoGeneration();
+  EXPECT_EQ(t2v.cluster.gpu_count, 4);
+  EXPECT_EQ(t2v.ops[0].shape.m, 33792);
+}
+
+TEST(WorkloadsTest, FractionsAreSane) {
+  for (const auto& workload : AllWorkloads()) {
+    EXPECT_GT(workload.gemm_x_fraction, 0.1) << workload.name;
+    EXPECT_LT(workload.gemm_x_fraction, 0.6) << workload.name;
+    EXPECT_FALSE(workload.ops.empty()) << workload.name;
+  }
+}
+
+TEST(E2eTest, TimePortionSumsToOne) {
+  const auto rows = TimePortion(MakeStepVideoGeneration());
+  double total = 0.0;
+  for (const auto& row : rows) {
+    EXPECT_GE(row.fraction, 0.0);
+    total += row.fraction;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+  EXPECT_EQ(rows.back().name, "others");
+}
+
+TEST(E2eTest, WorkloadSpeedupsLandInThePaperBand) {
+  // Paper Fig. 12: end-to-end speedups of 1.05-1.13x.
+  const E2eReport report = EvaluateWorkload(MakeStepVideoGeneration());
+  EXPECT_GT(report.e2e_speedup, 1.0);
+  EXPECT_LT(report.e2e_speedup, 1.3);
+  for (const auto& op : report.ops) {
+    EXPECT_GT(op.speedup, 1.0) << op.name;
+    EXPECT_LT(op.speedup, 1.8) << op.name;
+  }
+  // E2E gain is diluted by "others": strictly below the op-level gain.
+  double max_op = 0.0;
+  for (const auto& op : report.ops) {
+    max_op = std::max(max_op, op.speedup);
+  }
+  EXPECT_LT(report.e2e_speedup, max_op);
+}
+
+TEST(E2eTest, MoEWorkloadUsesImbalancedPath) {
+  const E2eReport report = EvaluateWorkload(MakeMixtralTraining());
+  EXPECT_GT(report.e2e_speedup, 1.0);
+  for (const auto& op : report.ops) {
+    EXPECT_GT(op.non_overlap_us, op.overlap_us) << op.name;
+  }
+}
+
+}  // namespace
+}  // namespace flo

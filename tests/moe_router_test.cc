@@ -1,0 +1,107 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/models/moe_router.h"
+
+namespace flo {
+namespace {
+
+TEST(MoeRouterTest, EveryTokenGetsTopKDistinctExperts) {
+  MoeRouterConfig config;
+  config.experts = 8;
+  config.gpus = 4;
+  config.top_k = 2;
+  const MoeRouting routing = RouteTokens(config, 256);
+  ASSERT_EQ(routing.expert_of_token.size(), 256u);
+  for (const auto& picks : routing.expert_of_token) {
+    ASSERT_EQ(picks.size(), 2u);
+    EXPECT_NE(picks[0], picks[1]);
+    for (int e : picks) {
+      EXPECT_GE(e, 0);
+      EXPECT_LT(e, 8);
+    }
+  }
+}
+
+TEST(MoeRouterTest, LoadsAccountForEveryAssignment) {
+  MoeRouterConfig config;
+  config.experts = 8;
+  config.gpus = 4;
+  config.top_k = 2;
+  const MoeRouting routing = RouteTokens(config, 512);
+  int64_t expert_total = 0;
+  for (const auto& tokens : routing.tokens_of_expert) {
+    expert_total += static_cast<int64_t>(tokens.size());
+  }
+  EXPECT_EQ(expert_total, 512 * 2);
+  int64_t gpu_total = 0;
+  for (int64_t load : routing.GpuLoads()) {
+    gpu_total += load;
+  }
+  EXPECT_EQ(gpu_total, 512 * 2);
+}
+
+TEST(MoeRouterTest, UniformRoutingIsNearlyBalanced) {
+  MoeRouterConfig config;
+  config.experts = 8;
+  config.gpus = 4;
+  config.top_k = 2;
+  config.hot_bias = 0.0;
+  const MoeRouting routing = RouteTokens(config, 16384);
+  EXPECT_LT(routing.ImbalanceFactor(), 1.1);
+}
+
+TEST(MoeRouterTest, HotBiasSkewsLoad) {
+  MoeRouterConfig uniform;
+  uniform.experts = 8;
+  uniform.gpus = 4;
+  uniform.top_k = 2;
+  MoeRouterConfig hot = uniform;
+  hot.hot_bias = 0.9;
+  const double balanced = RouteTokens(uniform, 8192).ImbalanceFactor();
+  const double skewed = RouteTokens(hot, 8192).ImbalanceFactor();
+  EXPECT_GT(skewed, balanced + 0.15);
+  EXPECT_GT(skewed, 1.3) << "paper-level imbalance should be reachable";
+}
+
+TEST(MoeRouterTest, DeterministicForFixedSeed) {
+  MoeRouterConfig config;
+  config.experts = 8;
+  config.gpus = 2;
+  config.seed = 77;
+  const MoeRouting a = RouteTokens(config, 128);
+  const MoeRouting b = RouteTokens(config, 128);
+  EXPECT_EQ(a.expert_of_token, b.expert_of_token);
+  config.seed = 78;
+  const MoeRouting c = RouteTokens(config, 128);
+  EXPECT_NE(a.expert_of_token, c.expert_of_token);
+}
+
+TEST(MoeRouterTest, GpuOfExpertSplitsEvenly) {
+  MoeRouterConfig config;
+  config.experts = 8;
+  config.gpus = 4;
+  EXPECT_EQ(GpuOfExpert(config, 0), 0);
+  EXPECT_EQ(GpuOfExpert(config, 1), 0);
+  EXPECT_EQ(GpuOfExpert(config, 2), 1);
+  EXPECT_EQ(GpuOfExpert(config, 7), 3);
+}
+
+TEST(MoeRouterTest, ReturnRouteCoversHeldTokens) {
+  MoeRouterConfig config;
+  config.experts = 4;
+  config.gpus = 2;
+  config.top_k = 1;
+  const MoeRouting routing = RouteTokens(config, 64);
+  for (int gpu = 0; gpu < config.gpus; ++gpu) {
+    const auto route = ReturnRouteForGpu(config, routing, gpu);
+    EXPECT_EQ(route.size(), routing.tokens_of_gpu[gpu].size());
+    for (size_t i = 0; i < route.size(); ++i) {
+      EXPECT_EQ(route[i], routing.tokens_of_gpu[gpu][i] % config.gpus);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace flo

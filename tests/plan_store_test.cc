@@ -1,0 +1,104 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "src/core/plan_store.h"
+#include "src/core/tuner.h"
+
+namespace flo {
+namespace {
+
+std::vector<StoredPlan> SamplePlans() {
+  return {
+      StoredPlan{GemmShape{4096, 8192, 7168}, CommPrimitive::kAllReduce,
+                 WavePartition{{1, 2, 4}}, 1234.5, 1670.25},
+      StoredPlan{GemmShape{2048, 4096, 1024}, CommPrimitive::kAllToAll,
+                 WavePartition{{2, 2}}, 99.125, 140.5},
+  };
+}
+
+TEST(PlanStoreTest, SerializeParseRoundTrip) {
+  const auto plans = SamplePlans();
+  const std::string text = SerializePlans(plans);
+  const auto parsed = ParsePlans(text);
+  ASSERT_TRUE(parsed.has_value());
+  ASSERT_EQ(parsed->size(), plans.size());
+  for (size_t i = 0; i < plans.size(); ++i) {
+    EXPECT_EQ((*parsed)[i].shape, plans[i].shape);
+    EXPECT_EQ((*parsed)[i].primitive, plans[i].primitive);
+    EXPECT_EQ((*parsed)[i].partition, plans[i].partition);
+    EXPECT_NEAR((*parsed)[i].predicted_us, plans[i].predicted_us, 1e-6);
+  }
+}
+
+TEST(PlanStoreTest, CommentsAndBlankLinesIgnored) {
+  const auto parsed = ParsePlans("# header\n\n4096 8192 7168 AllReduce 1,2 10.0 20.0\n");
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->size(), 1u);
+}
+
+TEST(PlanStoreTest, MalformedLinesRejected) {
+  EXPECT_FALSE(ParsePlans("4096 8192 AllReduce 1,2 10 20\n").has_value());
+  EXPECT_FALSE(ParsePlans("4096 8192 7168 Broadcast 1,2 10 20\n").has_value());
+  EXPECT_FALSE(ParsePlans("4096 8192 7168 AllReduce 1,0 10 20\n").has_value());
+  EXPECT_FALSE(ParsePlans("4096 8192 7168 AllReduce abc 10 20\n").has_value());
+  EXPECT_FALSE(ParsePlans("-1 8192 7168 AllReduce 1 10 20\n").has_value());
+}
+
+TEST(PlanStoreTest, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/plans.txt";
+  ASSERT_TRUE(SavePlansToFile(SamplePlans(), path));
+  const auto loaded = LoadPlansFromFile(path);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->size(), 2u);
+  std::remove(path.c_str());
+}
+
+TEST(PlanStoreTest, LoadFromMissingFileFails) {
+  EXPECT_FALSE(LoadPlansFromFile("/nonexistent/flo_plans.txt").has_value());
+}
+
+TEST(TunerPersistenceTest, ExportImportRestoresCache) {
+  Tuner source(MakeA800Cluster(4));
+  source.Tune(GemmShape{4096, 8192, 4096}, CommPrimitive::kAllReduce);
+  source.Tune(GemmShape{8192, 8192, 2048}, CommPrimitive::kReduceScatter);
+  const auto exported = source.ExportPlans();
+  EXPECT_EQ(exported.size(), 2u);
+
+  Tuner target(MakeA800Cluster(4));
+  EXPECT_EQ(target.ImportPlans(exported), 2);
+  EXPECT_EQ(target.cache_size(), 2u);
+  // The imported plan answers without searching (candidates_evaluated
+  // stays at the import value of 1 inside the cache) and matches the
+  // original partition.
+  const TunedPlan& restored = target.Tune(GemmShape{4096, 8192, 4096},
+                                          CommPrimitive::kAllReduce);
+  const TunedPlan& original = source.Tune(GemmShape{4096, 8192, 4096},
+                                          CommPrimitive::kAllReduce);
+  EXPECT_EQ(restored.partition.group_sizes, original.partition.group_sizes);
+  EXPECT_EQ(restored.candidates_evaluated, 1);
+}
+
+TEST(TunerPersistenceTest, ImportRescalesAcrossHardware) {
+  // Plans tuned on one SM budget transfer to another by rescaling.
+  Tuner source(MakeA800Cluster(4));
+  source.Tune(GemmShape{4096, 8192, 4096}, CommPrimitive::kAllReduce);
+  Tuner target(Make4090Cluster(4));
+  EXPECT_EQ(target.ImportPlans(source.ExportPlans()), 1);
+  const TunedPlan& plan = target.Tune(GemmShape{4096, 8192, 4096},
+                                      CommPrimitive::kAllReduce);
+  EXPECT_TRUE(plan.partition.Valid(plan.effective_waves));
+}
+
+TEST(TunerPersistenceTest, SerializedCacheSurvivesTheTextFormat) {
+  Tuner source(Make4090Cluster(4));
+  source.Tune(GemmShape{2048, 8192, 8192}, CommPrimitive::kAllReduce);
+  const std::string text = SerializePlans(source.ExportPlans());
+  const auto parsed = ParsePlans(text);
+  ASSERT_TRUE(parsed.has_value());
+  Tuner target(Make4090Cluster(4));
+  EXPECT_EQ(target.ImportPlans(*parsed), 1);
+}
+
+}  // namespace
+}  // namespace flo

@@ -1,0 +1,116 @@
+#include <gtest/gtest.h>
+
+#include "src/comm/cost_model.h"
+#include "src/comm/ring_transport.h"
+#include "src/hw/cluster.h"
+#include "src/sim/simulator.h"
+
+namespace flo {
+namespace {
+
+TEST(RingStepCountTest, MatchesRingAlgebra) {
+  EXPECT_EQ(RingStepCount(CommPrimitive::kAllReduce, 4), 6);
+  EXPECT_EQ(RingStepCount(CommPrimitive::kReduceScatter, 4), 3);
+  EXPECT_EQ(RingStepCount(CommPrimitive::kAllGather, 8), 7);
+  EXPECT_EQ(RingStepCount(CommPrimitive::kAllToAll, 2), 1);
+}
+
+TEST(RingStepTimeTest, ScalesWithChunkSize) {
+  const InterconnectSpec link = MakeNvlinkA800();
+  const double msg = 64.0 * 1024 * 1024;
+  EXPECT_LT(RingStepTime(link, msg, msg / 8), RingStepTime(link, msg, msg / 2));
+  EXPECT_GE(RingStepTime(link, msg, 1024.0), link.base_latency_us);
+}
+
+class RingFixture {
+ public:
+  explicit RingFixture(int gpus) {
+    for (int r = 0; r < gpus; ++r) {
+      devices_.push_back(std::make_unique<Device>(r, 108));
+      streams_.push_back(std::make_unique<Stream>(&sim_, devices_[r].get(),
+                                                  "c" + std::to_string(r)));
+    }
+  }
+
+  std::vector<Device*> DevicePtrs() {
+    std::vector<Device*> out;
+    for (auto& d : devices_) {
+      out.push_back(d.get());
+    }
+    return out;
+  }
+
+  Simulator sim_;
+  std::vector<std::unique_ptr<Device>> devices_;
+  std::vector<std::unique_ptr<Stream>> streams_;
+};
+
+TEST(RingCollectiveOpTest, RunsAllStepsAndCompletes) {
+  RingFixture fixture(4);
+  const InterconnectSpec link = MakeNvlinkA800();
+  bool applied = false;
+  RingCollectiveOp op("ar", fixture.DevicePtrs(), link, CommPrimitive::kAllReduce,
+                      64.0 * 1024 * 1024, [&] { applied = true; });
+  for (int r = 0; r < 4; ++r) {
+    op.EnqueueOn(*fixture.streams_[r], r);
+  }
+  fixture.sim_.Run();
+  EXPECT_TRUE(op.completed());
+  EXPECT_TRUE(applied);
+  EXPECT_EQ(op.steps().size(), 6u);
+  // Steps are back to back.
+  for (size_t s = 1; s < op.steps().size(); ++s) {
+    EXPECT_DOUBLE_EQ(op.steps()[s].start, op.steps()[s - 1].end);
+  }
+}
+
+class RingVsAnalyticTest
+    : public ::testing::TestWithParam<std::tuple<CommPrimitive, int, double>> {};
+
+TEST_P(RingVsAnalyticTest, StepwiseSumMatchesClosedForm) {
+  // The mechanistic transport must reproduce the analytic cost model the
+  // tuner interpolates — otherwise the predictor would be validated
+  // against a different machine than the one it predicts.
+  const auto [primitive, gpus, mib] = GetParam();
+  const InterconnectSpec link = MakePcie4090();
+  const double bytes = mib * 1024 * 1024;
+
+  RingFixture fixture(gpus);
+  RingCollectiveOp op("op", fixture.DevicePtrs(), link, primitive, bytes, nullptr);
+  for (int r = 0; r < gpus; ++r) {
+    op.EnqueueOn(*fixture.streams_[r], r);
+  }
+  fixture.sim_.Run();
+
+  CommCostModel model(link, gpus);
+  const double analytic = model.LatencyUs(primitive, bytes);
+  const double stepwise = op.end_time() - op.start_time();
+  EXPECT_NEAR(stepwise, analytic, 0.02 * analytic)
+      << CommPrimitiveName(primitive) << " " << gpus << " GPUs " << mib << " MiB";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, RingVsAnalyticTest,
+    ::testing::Combine(::testing::Values(CommPrimitive::kAllReduce,
+                                         CommPrimitive::kReduceScatter,
+                                         CommPrimitive::kAllGather,
+                                         CommPrimitive::kAllToAll),
+                       ::testing::Values(2, 4, 8), ::testing::Values(1.0, 16.0, 256.0)));
+
+TEST(RingCollectiveOpTest, HoldsSmFootprintDuringTransfer) {
+  RingFixture fixture(2);
+  InterconnectSpec link = MakeNvlinkA800();
+  RingCollectiveOp op("rs", fixture.DevicePtrs(), link, CommPrimitive::kReduceScatter,
+                      8.0 * 1024 * 1024, nullptr);
+  op.EnqueueOn(*fixture.streams_[0], 0);
+  op.EnqueueOn(*fixture.streams_[1], 1);
+  int observed = -1;
+  fixture.sim_.Schedule(link.call_overhead_us + 1.0,
+                        [&] { observed = fixture.devices_[0]->sm_available(); });
+  fixture.sim_.Run();
+  EXPECT_EQ(observed, 108 - link.comm_sm_count);
+  EXPECT_EQ(fixture.devices_[0]->sm_available(), 108);
+}
+
+}  // namespace
+}  // namespace flo

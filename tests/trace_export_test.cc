@@ -1,0 +1,68 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "src/core/overlap_engine.h"
+#include "src/sim/trace_export.h"
+
+namespace flo {
+namespace {
+
+TEST(ChromeTraceTest, EmitsWellFormedEvents) {
+  Timeline timeline;
+  timeline.Add("gemm", 0.0, 100.0);
+  timeline.Add("epilogue", 100.0, 110.0);
+  const std::string json = ChromeTraceJson({{"stream0", &timeline}});
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"gemm\""), std::string::npos);
+  EXPECT_NE(json.find("\"dur\":100"), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"stream0\""), std::string::npos);
+  // Balanced braces/brackets as a cheap well-formedness check.
+  int braces = 0;
+  int brackets = 0;
+  for (char c : json) {
+    braces += (c == '{') - (c == '}');
+    brackets += (c == '[') - (c == ']');
+  }
+  EXPECT_EQ(braces, 0);
+  EXPECT_EQ(brackets, 0);
+}
+
+TEST(ChromeTraceTest, EscapesSpecialCharacters) {
+  Timeline timeline;
+  timeline.Add("task \"quoted\"\\slash", 0.0, 1.0);
+  const std::string json = ChromeTraceJson({{"t", &timeline}});
+  EXPECT_NE(json.find("\\\"quoted\\\""), std::string::npos);
+  EXPECT_NE(json.find("\\\\slash"), std::string::npos);
+}
+
+TEST(ChromeTraceTest, MultipleTracksGetDistinctTids) {
+  Timeline a;
+  a.Add("x", 0.0, 1.0);
+  Timeline b;
+  b.Add("y", 0.0, 2.0);
+  const std::string json = ChromeTraceJson({{"gemm", &a}, {"comm", &b}});
+  EXPECT_NE(json.find("\"tid\":0"), std::string::npos);
+  EXPECT_NE(json.find("\"tid\":1"), std::string::npos);
+}
+
+TEST(ChromeTraceTest, EngineRunExportsToFile) {
+  EngineOptions options;
+  options.jitter = false;
+  OverlapEngine engine(Make4090Cluster(2), {}, options);
+  const OverlapRun run = engine.RunOverlap(GemmShape{2048, 8192, 8192},
+                                           CommPrimitive::kAllReduce);
+  const std::string path = ::testing::TempDir() + "/overlap_trace.json";
+  ASSERT_TRUE(WriteChromeTrace(
+      {{"gemm_stream", &run.gemm_timeline}, {"comm_stream", &run.comm_timeline}}, path));
+  std::ifstream file(path);
+  ASSERT_TRUE(file.good());
+  std::string content((std::istreambuf_iterator<char>(file)),
+                      std::istreambuf_iterator<char>());
+  EXPECT_NE(content.find("comm_g0"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace flo

@@ -1,0 +1,179 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/util/check.h"
+#include "src/util/csv.h"
+#include "src/util/interp.h"
+#include "src/util/rng.h"
+#include "src/util/stats.h"
+#include "src/util/table.h"
+
+namespace flo {
+namespace {
+
+TEST(CheckTest, PassingCheckDoesNothing) {
+  FLO_CHECK(true);
+  FLO_CHECK_EQ(1, 1);
+  FLO_CHECK_LT(1, 2);
+}
+
+TEST(CheckDeathTest, FailingCheckAborts) {
+  EXPECT_DEATH(FLO_CHECK(false) << "boom", "boom");
+  EXPECT_DEATH(FLO_CHECK_EQ(1, 2), "1 vs 2");
+}
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextU64(), b.NextU64());
+  }
+}
+
+TEST(RngTest, DoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.NextDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(RngTest, RangedDoubleRespectsBounds) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.NextDouble(2.0, 5.0);
+    EXPECT_GE(v, 2.0);
+    EXPECT_LT(v, 5.0);
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.NextU64() == b.NextU64()) {
+      ++same;
+    }
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(StableHashTest, OrderSensitive) {
+  StableHash a;
+  a.Mix(1).Mix(2);
+  StableHash b;
+  b.Mix(2).Mix(1);
+  EXPECT_NE(a.value(), b.value());
+}
+
+TEST(StableHashTest, StringAndIntMix) {
+  StableHash a;
+  a.Mix("A800").Mix(4096);
+  StableHash b;
+  b.Mix("A800").Mix(4096);
+  EXPECT_EQ(a.value(), b.value());
+  StableHash c;
+  c.Mix("RTX4090").Mix(4096);
+  EXPECT_NE(a.value(), c.value());
+}
+
+TEST(CurveTest, InterpolatesLinearly) {
+  Curve curve({{0.0, 0.0}, {10.0, 100.0}});
+  EXPECT_DOUBLE_EQ(curve.Eval(5.0), 50.0);
+  EXPECT_DOUBLE_EQ(curve.Eval(2.5), 25.0);
+}
+
+TEST(CurveTest, ClampsOutsideRange) {
+  Curve curve({{1.0, 10.0}, {2.0, 20.0}});
+  EXPECT_DOUBLE_EQ(curve.Eval(0.5), 10.0);
+  EXPECT_DOUBLE_EQ(curve.Eval(3.0), 20.0);
+}
+
+TEST(CurveTest, ExactAtSamplePoints) {
+  Curve curve({{1.0, 3.0}, {2.0, 7.0}, {4.0, 1.0}});
+  EXPECT_DOUBLE_EQ(curve.Eval(1.0), 3.0);
+  EXPECT_DOUBLE_EQ(curve.Eval(2.0), 7.0);
+  EXPECT_DOUBLE_EQ(curve.Eval(4.0), 1.0);
+}
+
+TEST(CurveDeathTest, RejectsUnsortedPoints) {
+  EXPECT_DEATH(Curve({{2.0, 1.0}, {1.0, 2.0}}), "strictly increasing");
+}
+
+TEST(StatsTest, SummaryBasics) {
+  const Summary s = Summarize({1.0, 2.0, 3.0, 4.0});
+  EXPECT_EQ(s.count, 4u);
+  EXPECT_DOUBLE_EQ(s.mean, 2.5);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 4.0);
+  EXPECT_DOUBLE_EQ(s.median, 2.5);
+}
+
+TEST(StatsTest, GeoMeanOfEqualValues) {
+  EXPECT_NEAR(GeoMean({2.0, 2.0, 2.0}), 2.0, 1e-12);
+}
+
+TEST(StatsTest, GeoMeanMixed) {
+  EXPECT_NEAR(GeoMean({1.0, 4.0}), 2.0, 1e-12);
+}
+
+TEST(StatsTest, PercentileEndpoints) {
+  std::vector<double> v{5.0, 1.0, 3.0};
+  EXPECT_DOUBLE_EQ(Percentile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 100.0), 5.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 50.0), 3.0);
+}
+
+TEST(StatsTest, EmpiricalCdfMonotone) {
+  const auto cdf = EmpiricalCdf({1.0, 2.0, 3.0, 4.0}, {0.5, 1.5, 2.5, 4.5});
+  ASSERT_EQ(cdf.size(), 4u);
+  EXPECT_DOUBLE_EQ(cdf[0], 0.0);
+  EXPECT_DOUBLE_EQ(cdf[1], 0.25);
+  EXPECT_DOUBLE_EQ(cdf[2], 0.5);
+  EXPECT_DOUBLE_EQ(cdf[3], 1.0);
+}
+
+TEST(TableTest, RendersAlignedColumns) {
+  Table t({"a", "bb"});
+  t.AddRow({"xxx", "y"});
+  const std::string rendered = t.Render();
+  EXPECT_NE(rendered.find("a  "), std::string::npos);
+  EXPECT_NE(rendered.find("xxx"), std::string::npos);
+  EXPECT_EQ(t.row_count(), 1u);
+}
+
+TEST(TableDeathTest, RowWidthMismatchAborts) {
+  Table t({"a", "b"});
+  EXPECT_DEATH(t.AddRow({"only one"}), "");
+}
+
+TEST(TableTest, FormatDouble) {
+  EXPECT_EQ(FormatDouble(1.23456, 2), "1.23");
+  EXPECT_EQ(FormatDouble(2.0, 0), "2");
+}
+
+TEST(TableTest, FormatBytes) {
+  EXPECT_EQ(FormatBytes(512), "512 B");
+  EXPECT_EQ(FormatBytes(2048), "2.00 KiB");
+  EXPECT_EQ(FormatBytes(3.5 * 1024 * 1024), "3.50 MiB");
+}
+
+TEST(CsvTest, EscapesSpecialCharacters) {
+  CsvWriter csv({"name", "value"});
+  csv.AddRow({"a,b", "he said \"hi\""});
+  const std::string out = csv.Render();
+  EXPECT_NE(out.find("\"a,b\""), std::string::npos);
+  EXPECT_NE(out.find("\"he said \"\"hi\"\"\""), std::string::npos);
+}
+
+TEST(CsvTest, PlainFieldsUnquoted) {
+  CsvWriter csv({"x"});
+  csv.AddRow({"42"});
+  EXPECT_EQ(csv.Render(), "x\n42\n");
+}
+
+}  // namespace
+}  // namespace flo
