@@ -61,8 +61,8 @@ void EndToEndInvariance() {
     OverlapEngine closed_engine(make_cluster(4), {}, closed);
     OverlapEngine detailed_engine(make_cluster(4), {}, detailed);
     for (const GemmShape& shape : {GemmShape{4096, 8192, 8192}, GemmShape{8192, 8192, 2048}}) {
-      const double a = closed_engine.RunOverlap(shape, CommPrimitive::kAllReduce).total_us;
-      const double b = detailed_engine.RunOverlap(shape, CommPrimitive::kAllReduce).total_us;
+      const double a = closed_engine.Execute(ScenarioSpec::Overlap(shape, CommPrimitive::kAllReduce)).total_us;
+      const double b = detailed_engine.Execute(ScenarioSpec::Overlap(shape, CommPrimitive::kAllReduce)).total_us;
       table.AddRow({closed_engine.cluster().Describe(), shape.ToString(), FormatDouble(a, 1),
                     FormatDouble(b, 1),
                     FormatDouble(100.0 * std::abs(a - b) / a, 2) + "%"});

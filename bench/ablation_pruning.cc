@@ -19,7 +19,7 @@ void RunPanel(const char* title, const ClusterSpec& cluster, const GemmShape& sh
   TunerConfig exhaustive_config;
   exhaustive_config.exhaustive = true;
   OverlapEngine exhaustive_engine(cluster, exhaustive_config, EngineOptions{.jitter = false});
-  const double exhaustive_us = exhaustive_engine.RunOverlap(shape, primitive).total_us;
+  const double exhaustive_us = exhaustive_engine.Execute(ScenarioSpec::Overlap(shape, primitive)).total_us;
   for (int s1 : {1, 2, 4}) {
     for (int sp : {1, 2, 4, 8}) {
       TunerConfig config;
@@ -27,7 +27,7 @@ void RunPanel(const char* title, const ClusterSpec& cluster, const GemmShape& sh
       config.sp = sp;
       OverlapEngine engine(cluster, config, EngineOptions{.jitter = false});
       const TunedPlan& plan = engine.tuner().Tune(shape, primitive);
-      const OverlapRun run = engine.RunOverlap(shape, primitive);
+      const OverlapRun run = engine.Execute(ScenarioSpec::Overlap(shape, primitive));
       table.AddRow({std::to_string(s1), std::to_string(sp),
                     std::to_string(plan.candidates_evaluated),
                     FormatDouble(plan.predicted_us, 1), FormatDouble(run.total_us, 1),

@@ -40,8 +40,8 @@ void RunPanel(const char* title, bool a800, CommPrimitive primitive) {
     Aggregate async_tp;
     Aggregate decomp;
     for (const auto& shape : OperatorShapes(primitive, a800)) {
-      const double base = engine.RunNonOverlap(shape, primitive);
-      ours.speedups.push_back(base / engine.RunOverlap(shape, primitive).total_us);
+      const double base = engine.Execute(ScenarioSpec::NonOverlap(shape, primitive)).total_us;
+      ours.speedups.push_back(base / engine.Execute(ScenarioSpec::Overlap(shape, primitive)).total_us);
       const double base_model = baselines.NonOverlap(shape, primitive);
       const auto f = baselines.Flux(shape, primitive);
       if (f.supported) {

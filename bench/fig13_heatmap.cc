@@ -29,8 +29,8 @@ void RunHeatmap(const char* title, const ClusterSpec& cluster, CommPrimitive pri
     for (int mn : axes.mn_mi) {
       const GemmShape shape{static_cast<int64_t>(mn) * 1024 * 1024 / axes.n, axes.n,
                             static_cast<int64_t>(k_ki) * 1024};
-      const double base = engine.RunNonOverlap(shape, primitive);
-      const double ours = engine.RunOverlap(shape, primitive).total_us;
+      const double base = engine.Execute(ScenarioSpec::NonOverlap(shape, primitive)).total_us;
+      const double ours = engine.Execute(ScenarioSpec::Overlap(shape, primitive)).total_us;
       const double bound = engine.TheoreticalBest(shape, primitive);
       const double speedup = base / ours;
       const double theoretical = base / bound;

@@ -24,7 +24,7 @@ void RunPanel(const char* title, const ClusterSpec& cluster, CommPrimitive primi
   header.push_back("FlashOverlap");
   Table table(header);
   for (const auto& shape : shapes) {
-    const double base = engine.RunNonOverlap(shape, primitive);
+    const double base = engine.Execute(ScenarioSpec::NonOverlap(shape, primitive)).total_us;
     std::vector<std::string> row{shape.ToString(), "1.000"};
     PredictorSetup setup = engine.tuner().MakeSetup(shape, primitive);
     const int waves = setup.EffectiveWaveCount();
@@ -32,15 +32,15 @@ void RunPanel(const char* title, const ClusterSpec& cluster, CommPrimitive primi
     // waits for 20 tiles of the following wave, delaying each group's
     // communication without changing what is communicated.
     {
-      const double t = engine.RunOverlapMisconfigured(shape, primitive, 20).total_us;
+      const double t = engine.Execute(ScenarioSpec::Misconfigured(shape, primitive, 20)).total_us;
       row.push_back(FormatDouble(base / t, 3));
     }
     for (int egs : equal_sizes) {
       const WavePartition partition = WavePartition::EqualSized(waves, egs);
-      const double t = engine.RunOverlap(shape, primitive, &partition).total_us;
+      const double t = engine.Execute(ScenarioSpec::Overlap(shape, primitive, &partition)).total_us;
       row.push_back(FormatDouble(base / t, 3));
     }
-    const double tuned = engine.RunOverlap(shape, primitive).total_us;
+    const double tuned = engine.Execute(ScenarioSpec::Overlap(shape, primitive)).total_us;
     row.push_back(FormatDouble(base / tuned, 3));
     table.AddRow(row);
   }

@@ -32,7 +32,7 @@ void RunPanel(const char* title, bool a800) {
             const double predicted =
                 PredictOverlapLatency(setup, partition).latency_us;
             const double actual =
-                engine.RunOverlap(shape, primitive, &partition).total_us;
+                engine.Execute(ScenarioSpec::Overlap(shape, primitive, &partition)).total_us;
             errors.push_back(std::abs(actual - predicted) / actual);
           }
         }
@@ -61,7 +61,7 @@ void SearchQuality() {
     OverlapEngine engine(make_cluster(4), {}, EngineOptions{.jitter = false});
     for (const GemmShape& shape : {GemmShape{2048, 8192, 8192}, GemmShape{1024, 8192, 4096}}) {
       const CommPrimitive primitive = CommPrimitive::kAllReduce;
-      const OverlapRun searched = engine.RunOverlap(shape, primitive);
+      const OverlapRun searched = engine.Execute(ScenarioSpec::Overlap(shape, primitive));
       PredictorSetup setup = engine.tuner().MakeSetup(shape, primitive);
       const int waves = setup.EffectiveWaveCount();
       if (waves > 16) {
@@ -69,7 +69,7 @@ void SearchQuality() {
       }
       double best = searched.total_us;
       for (const auto& partition : EnumerateAllPartitions(waves)) {
-        best = std::min(best, engine.RunOverlap(shape, primitive, &partition).total_us);
+        best = std::min(best, engine.Execute(ScenarioSpec::Overlap(shape, primitive, &partition)).total_us);
       }
       table.AddRow({engine.cluster().Describe(), shape.ToString(),
                     FormatDouble(searched.total_us, 1), FormatDouble(best, 1),

@@ -19,8 +19,8 @@ void Run() {
     Table table({"M", "N", "K", "non-overlap_us", "FlashOverlap_us", "speedup"});
     double max_speedup = 0.0;
     for (const auto& shape : AscendShapes()) {
-      const double base = engine.RunNonOverlap(shape, CommPrimitive::kAllReduce);
-      const double ours = engine.RunOverlap(shape, CommPrimitive::kAllReduce).total_us;
+      const double base = engine.Execute(ScenarioSpec::NonOverlap(shape, CommPrimitive::kAllReduce)).total_us;
+      const double ours = engine.Execute(ScenarioSpec::Overlap(shape, CommPrimitive::kAllReduce)).total_us;
       max_speedup = std::max(max_speedup, base / ours);
       table.AddRow({std::to_string(shape.m), std::to_string(shape.n),
                     std::to_string(shape.k), FormatDouble(base, 0), FormatDouble(ours, 0),

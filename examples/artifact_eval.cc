@@ -64,8 +64,8 @@ void RunE1Speedup() {
         OverlapEngine engine(a800 ? MakeA800Cluster(gpus) : Make4090Cluster(gpus));
         std::vector<double> speedups;
         for (const auto& shape : OperatorShapes(primitive, a800)) {
-          const double base = engine.RunNonOverlap(shape, primitive);
-          speedups.push_back(base / engine.RunOverlap(shape, primitive).total_us);
+          const double base = engine.Execute(ScenarioSpec::NonOverlap(shape, primitive)).total_us;
+          speedups.push_back(base / engine.Execute(ScenarioSpec::Overlap(shape, primitive)).total_us);
         }
         row.push_back(FormatDouble(Summarize(speedups).mean, 2) + "x");
       }
@@ -97,15 +97,15 @@ void RunE2() {
            {WavePartition::EqualSized(waves, 1), WavePartition::EqualSized(waves, 2),
             WavePartition::EqualSized(waves, 4), WavePartition::SingleGroup(waves)}) {
         const double predicted = PredictOverlapLatency(setup, partition).latency_us;
-        const double actual = engine.RunOverlap(shape, primitive, &partition).total_us;
+        const double actual = engine.Execute(ScenarioSpec::Overlap(shape, primitive, &partition)).total_us;
         errors.push_back(std::abs(actual - predicted) / actual);
       }
       if (waves <= 14) {
-        const OverlapRun searched = clean_engine.RunOverlap(shape, primitive);
+        const OverlapRun searched = clean_engine.Execute(ScenarioSpec::Overlap(shape, primitive));
         double best = searched.total_us;
         for (const auto& partition : EnumerateAllPartitions(waves)) {
           best = std::min(best,
-                          clean_engine.RunOverlap(shape, primitive, &partition).total_us);
+                          clean_engine.Execute(ScenarioSpec::Overlap(shape, primitive, &partition)).total_us);
         }
         worst_ratio = std::min(worst_ratio, best / searched.total_us);
       }

@@ -42,7 +42,7 @@ int main(int argc, char** argv) {
   std::printf("tiles=%d, effective waves=%d (comm holds %d SMs), design space 2^%d\n\n",
               setup.gemm.tile_count, waves, setup.comm_sm_count, waves - 1);
 
-  const double non_overlap = engine.RunNonOverlap(shape, primitive);
+  const double non_overlap = engine.Execute(flo::ScenarioSpec::NonOverlap(shape, primitive)).total_us;
   const double bound = engine.TheoreticalBest(shape, primitive);
 
   flo::Table table({"partition", "predicted_us", "simulated_us", "speedup"});
@@ -51,7 +51,7 @@ int main(int argc, char** argv) {
   std::string best_partition;
   for (const auto& partition : candidates) {
     const double predicted = flo::PredictOverlapLatency(setup, partition).latency_us;
-    const double simulated = engine.RunOverlap(shape, primitive, &partition).total_us;
+    const double simulated = engine.Execute(flo::ScenarioSpec::Overlap(shape, primitive, &partition)).total_us;
     if (simulated < best_simulated) {
       best_simulated = simulated;
       best_partition = partition.ToString();
@@ -62,7 +62,7 @@ int main(int argc, char** argv) {
   }
   std::printf("%s\n", table.Render().c_str());
 
-  const flo::OverlapRun searched = engine.RunOverlap(shape, primitive);
+  const flo::OverlapRun searched = engine.Execute(flo::ScenarioSpec::Overlap(shape, primitive));
   std::printf("non-overlap:        %10.1f us\n", non_overlap);
   std::printf("theoretical bound:  %10.1f us (speedup %.3fx)\n", bound, non_overlap / bound);
   std::printf("predictive search:  %10.1f us via %s (speedup %.3fx)\n", searched.total_us,

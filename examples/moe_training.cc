@@ -20,9 +20,9 @@ int main() {
       flo::GemmShape{12288, 4096, 7168}, flo::GemmShape{14336, 4096, 7168},
       flo::GemmShape{16384, 4096, 7168}, flo::GemmShape{22528, 4096, 7168}};
   const double sequential =
-      engine.RunNonOverlapImbalanced(shapes, flo::CommPrimitive::kAllToAll);
+      engine.Execute(flo::ScenarioSpec::NonOverlapImbalanced(shapes, flo::CommPrimitive::kAllToAll)).total_us;
   const flo::OverlapRun run =
-      engine.RunOverlapImbalanced(shapes, flo::CommPrimitive::kAllToAll);
+      engine.Execute(flo::ScenarioSpec::Imbalanced(shapes, flo::CommPrimitive::kAllToAll));
   std::printf("Mixtral-style expert A2A on %s\n", cluster.Describe().c_str());
   std::printf("  per-rank tokens: 12288 / 14336 / 16384 / 22528 (hot expert skew)\n");
   std::printf("  non-overlap:  %8.0f us\n", sequential);

@@ -20,8 +20,8 @@ int main() {
   const flo::GemmShape shape{4096, 8192, 7168};
   const flo::CommPrimitive primitive = flo::CommPrimitive::kAllReduce;
 
-  const double sequential_us = engine.RunNonOverlap(shape, primitive);
-  const flo::OverlapRun run = engine.RunOverlap(shape, primitive);
+  const double sequential_us = engine.Execute(flo::ScenarioSpec::NonOverlap(shape, primitive)).total_us;
+  const flo::OverlapRun run = engine.Execute(flo::ScenarioSpec::Overlap(shape, primitive));
 
   std::printf("GEMM %s + %s\n", shape.ToString().c_str(),
               flo::CommPrimitiveName(primitive));

@@ -26,9 +26,9 @@ int main() {
   std::printf("token-count sweep for the MLP down projection (N=6144, K=6144):\n");
   for (int64_t tokens : {4096, 8192, 16384, 33792, 65536}) {
     const flo::GemmShape shape{tokens, 6144, 6144};
-    const double base = engine.RunNonOverlap(shape, flo::CommPrimitive::kAllReduce);
+    const double base = engine.Execute(flo::ScenarioSpec::NonOverlap(shape, flo::CommPrimitive::kAllReduce)).total_us;
     const double ours =
-        engine.RunOverlap(shape, flo::CommPrimitive::kAllReduce).total_us;
+        engine.Execute(flo::ScenarioSpec::Overlap(shape, flo::CommPrimitive::kAllReduce)).total_us;
     std::printf("  tokens %6ld: %8.0f -> %8.0f us (%.2fx)\n", static_cast<long>(tokens),
                 base, ours, base / ours);
   }

@@ -38,7 +38,7 @@ double WireFactor(CommPrimitive primitive, int gpu_count) {
   return 1.0;
 }
 
-CommPrimitive CommPrimitiveFromName(const std::string& name) {
+std::optional<CommPrimitive> TryCommPrimitiveFromName(const std::string& name) {
   std::string lower = name;
   std::transform(lower.begin(), lower.end(), lower.begin(),
                  [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
@@ -54,7 +54,13 @@ CommPrimitive CommPrimitiveFromName(const std::string& name) {
   if (lower == "a2a" || lower == "alltoall") {
     return CommPrimitive::kAllToAll;
   }
-  FLO_CHECK(false) << "unknown primitive: " << name;
+  return std::nullopt;
+}
+
+CommPrimitive CommPrimitiveFromName(const std::string& name) {
+  const std::optional<CommPrimitive> parsed = TryCommPrimitiveFromName(name);
+  FLO_CHECK(parsed.has_value()) << "unknown primitive: " << name;
+  return *parsed;
 }
 
 }  // namespace flo

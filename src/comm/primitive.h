@@ -4,6 +4,7 @@
 #ifndef SRC_COMM_PRIMITIVE_H_
 #define SRC_COMM_PRIMITIVE_H_
 
+#include <optional>
 #include <string>
 
 namespace flo {
@@ -23,6 +24,10 @@ double WireFactor(CommPrimitive primitive, int gpu_count);
 
 // Parses "ar"/"allreduce", "rs"/"reducescatter", "ag", "a2a"/"alltoall".
 CommPrimitive CommPrimitiveFromName(const std::string& name);
+
+// Non-aborting variant for untrusted input (plan files): std::nullopt on an
+// unknown name instead of FLO_CHECK.
+std::optional<CommPrimitive> TryCommPrimitiveFromName(const std::string& name);
 
 }  // namespace flo
 

@@ -1,0 +1,53 @@
+// The reusable product of planning a scenario: wave grouping, per-rank
+// counting-table targets, and per-group communication segments.
+//
+// An ExecutionPlan is pure data — it holds no simulator state and no
+// pointers into the engine — so it can be memoized in a PlanStore, written
+// to disk, and replayed by the ScheduleExecutor under any EngineOptions
+// mix. Plans depend only on the scenario, the cluster, and the tuner
+// configuration (the planner's canonical cache key).
+#ifndef SRC_CORE_EXECUTION_PLAN_H_
+#define SRC_CORE_EXECUTION_PLAN_H_
+
+#include <vector>
+
+#include "src/core/scenario.h"
+#include "src/core/wave_partition.h"
+
+namespace flo {
+
+// One collective call of the plan: the rendezvous moves the heaviest
+// rank's payload and charges its closed-form latency (jitter is applied at
+// execution time).
+struct CommSegment {
+  int group = 0;
+  double max_bytes = 0.0;
+  double latency_us = 0.0;
+
+  bool operator==(const CommSegment&) const = default;
+};
+
+struct ExecutionPlan {
+  ScenarioKind kind = ScenarioKind::kOverlap;
+  CommPrimitive primitive = CommPrimitive::kAllReduce;
+  // The partition reported back to callers (tuned or forced).
+  WavePartition partition;
+  // group_tiles[r][g] = rank r's counting-table target for group g; all
+  // ranks agree on the group count (collectives are rendezvous calls).
+  std::vector<std::vector<int>> group_tiles;
+  // One segment per group, aligned with group_tiles columns.
+  std::vector<CommSegment> segments;
+  double predicted_us = 0.0;
+  double predicted_non_overlap_us = 0.0;
+
+  int rank_count() const { return static_cast<int>(group_tiles.size()); }
+  int group_count() const {
+    return group_tiles.empty() ? 0 : static_cast<int>(group_tiles[0].size());
+  }
+
+  bool operator==(const ExecutionPlan&) const = default;
+};
+
+}  // namespace flo
+
+#endif  // SRC_CORE_EXECUTION_PLAN_H_

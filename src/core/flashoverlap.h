@@ -1,11 +1,19 @@
 // Umbrella header: the FlashOverlap public API.
 //
-// Typical use:
+// Typical use — describe a scenario, let the engine plan and execute it:
 //   flo::ClusterSpec cluster = flo::Make4090Cluster(4);
 //   flo::OverlapEngine engine(cluster);
-//   flo::OverlapRun run = engine.RunOverlap({4096, 8192, 7168},
-//                                           flo::CommPrimitive::kAllReduce);
-//   double speedup = engine.RunNonOverlap(...) / run.total_us;
+//   flo::GemmShape shape{4096, 8192, 7168};
+//   flo::OverlapRun run = engine.Execute(
+//       flo::ScenarioSpec::Overlap(shape, flo::CommPrimitive::kAllReduce));
+//   flo::OverlapRun base = engine.Execute(
+//       flo::ScenarioSpec::NonOverlap(shape, flo::CommPrimitive::kAllReduce));
+//   double speedup = base.total_us / run.total_us;
+//
+// Many scenarios sweep through one call (plans are cached, a warm sweep
+// never searches):
+//   std::vector<flo::ScenarioSpec> specs = ...;
+//   std::vector<flo::OverlapRun> runs = engine.RunBatch(specs);
 //
 // For numerically verified execution on real buffers, use
 // flo::FunctionalOverlap.
@@ -16,12 +24,18 @@
 #include "src/comm/functional.h"
 #include "src/comm/primitive.h"
 #include "src/core/counting_table.h"
+#include "src/core/engine_options.h"
+#include "src/core/execution_plan.h"
 #include "src/core/functional_overlap.h"
 #include "src/core/mapping_table.h"
 #include "src/core/overlap_engine.h"
+#include "src/core/overlap_planner.h"
+#include "src/core/plan_store.h"
 #include "src/core/predictor.h"
 #include "src/core/reorder.h"
 #include "src/core/rmsnorm.h"
+#include "src/core/scenario.h"
+#include "src/core/schedule_executor.h"
 #include "src/core/tuner.h"
 #include "src/core/wave_partition.h"
 #include "src/gemm/gemm_model.h"

@@ -1,189 +1,50 @@
 #include "src/core/overlap_engine.h"
 
-#include <algorithm>
-#include <cmath>
-#include <memory>
+#include <utility>
 
-#include "src/comm/collective_op.h"
-#include "src/comm/ring_transport.h"
-#include "src/core/counting_table.h"
 #include "src/core/predictor.h"
-#include "src/sim/simulator.h"
-#include "src/sim/stream.h"
 #include "src/util/check.h"
-#include "src/util/rng.h"
 
 namespace flo {
 
 OverlapEngine::OverlapEngine(ClusterSpec cluster, TunerConfig tuner_config,
                              EngineOptions options)
-    : cluster_(cluster), options_(options), tuner_(std::move(cluster), tuner_config) {}
+    : cluster_(cluster),
+      options_(options),
+      tuner_(cluster, tuner_config),
+      planner_(&tuner_, &plan_store_),
+      executor_(std::move(cluster)) {}
 
-double OverlapEngine::JitterFactor(Rng* rng, double amplitude) const {
-  if (!options_.jitter || rng == nullptr) {
-    return 1.0;
+OverlapRun OverlapEngine::Execute(const ScenarioSpec& spec) {
+  const EngineOptions& effective = spec.options.has_value() ? *spec.options : options_;
+  const std::vector<GemmShape> shapes = spec.RankShapes(cluster_.gpu_count);
+  const ExecutionPlan& plan = planner_.Plan(spec);
+  std::vector<GemmConfig> configs;
+  configs.reserve(shapes.size());
+  for (const GemmShape& shape : shapes) {
+    configs.push_back(tuner_.GemmConfigFor(shape));
   }
-  // Real kernels only ever run at or below nominal speed: jitter stretches
-  // durations, never shrinks them.
-  return 1.0 + rng->NextDouble() * amplitude;
-}
-
-uint64_t OverlapEngine::CaseSeed(const GemmShape& shape, CommPrimitive primitive,
-                                 const WavePartition& partition) const {
-  StableHash hash;
-  hash.Mix(shape.m).Mix(shape.n).Mix(shape.k);
-  hash.Mix(static_cast<int>(primitive));
-  hash.Mix(cluster_.gpu_count);
-  hash.Mix(cluster_.gpu.name.c_str());
-  for (int size : partition.group_sizes) {
-    hash.Mix(size);
+  const uint64_t seed =
+      executor_.CaseSeed(shapes[0], spec.primitive, plan.partition, effective.seed_salt);
+  if (spec.kind == ScenarioKind::kNonOverlap) {
+    OverlapRun run;
+    run.partition = plan.partition;
+    run.total_us = executor_.ExecuteSequential(plan, configs, effective, seed);
+    run.predicted_us = plan.predicted_non_overlap_us;
+    return run;
   }
-  hash.Mix(options_.seed_salt);
-  return hash.value();
-}
-
-OverlapRun OverlapEngine::RunOverlap(const GemmShape& shape, CommPrimitive primitive,
-                                     const WavePartition* forced_partition) {
-  WavePartition partition;
-  double predicted = 0.0;
-  if (forced_partition != nullptr) {
-    partition = *forced_partition;
-    PredictorSetup setup = tuner_.MakeSetup(shape, primitive);
-    if (partition.TotalWaves() == setup.EffectiveWaveCount()) {
-      predicted = PredictOverlapLatency(setup, partition).latency_us;
-    }
-  } else {
-    const TunedPlan& plan = tuner_.Tune(shape, primitive);
-    partition = plan.partition;
-    predicted = plan.predicted_us;
-  }
-  const std::vector<GemmShape> shapes(cluster_.gpu_count, shape);
-  PredictorSetup setup = tuner_.MakeSetup(shape, primitive);
-  WavePartition effective = partition;
-  if (effective.TotalWaves() != setup.EffectiveWaveCount()) {
-    effective = partition.group_count() > setup.EffectiveWaveCount()
-                    ? WavePartition::PerWave(setup.EffectiveWaveCount())
-                    : ScalePartitionExact(partition, setup.EffectiveWaveCount());
-  }
-  const std::vector<std::vector<int>> group_tiles(cluster_.gpu_count,
-                                                  setup.GroupTiles(effective));
-  OverlapRun run = RunTimed(shapes, primitive, group_tiles, effective);
-  run.predicted_us = predicted;
+  OverlapRun run = executor_.ExecuteOverlap(plan, configs, effective, seed);
+  run.predicted_us = plan.predicted_us;
   return run;
 }
 
-OverlapRun OverlapEngine::RunOverlapMisconfigured(const GemmShape& shape,
-                                                  CommPrimitive primitive, int extra_tiles) {
-  FLO_CHECK_GE(extra_tiles, 0);
-  const TunedPlan& plan = tuner_.Tune(shape, primitive);
-  PredictorSetup setup = tuner_.MakeSetup(shape, primitive);
-  std::vector<int> tiles = setup.GroupTiles(plan.partition);
-  // Shift tiles forward: group g waits for `extra_tiles` tiles that really
-  // belong to group g+1. The final group keeps the remainder so the totals
-  // still cover the GEMM.
-  for (size_t g = 0; g + 1 < tiles.size(); ++g) {
-    const int moved = std::min(extra_tiles, tiles[g + 1] - 1);
-    tiles[g] += moved;
-    tiles[g + 1] -= moved;
+std::vector<OverlapRun> OverlapEngine::RunBatch(std::span<const ScenarioSpec> specs) {
+  std::vector<OverlapRun> runs;
+  runs.reserve(specs.size());
+  for (const ScenarioSpec& spec : specs) {
+    runs.push_back(Execute(spec));
   }
-  const std::vector<GemmShape> shapes(cluster_.gpu_count, shape);
-  const std::vector<std::vector<int>> group_tiles(cluster_.gpu_count, tiles);
-  return RunTimed(shapes, primitive, group_tiles, plan.partition);
-}
-
-OverlapRun OverlapEngine::RunOverlapImbalanced(const std::vector<GemmShape>& shapes,
-                                               CommPrimitive primitive,
-                                               const WavePartition* forced_partition) {
-  FLO_CHECK_EQ(shapes.size(), static_cast<size_t>(cluster_.gpu_count));
-  // Tune on the heaviest rank; every rank rescales to its own wave count.
-  const GemmShape& reference =
-      *std::max_element(shapes.begin(), shapes.end(),
-                        [](const GemmShape& a, const GemmShape& b) { return a.m < b.m; });
-  WavePartition base = forced_partition != nullptr ? *forced_partition
-                                                   : tuner_.Tune(reference, primitive).partition;
-  PredictorSetup reference_setup = tuner_.MakeSetup(reference, primitive);
-  // Every rank must be able to host one counting-table group per collective
-  // call: cap the group count at the lightest rank's wave count by
-  // coarsening, then restate the base over the reference's waves.
-  int min_waves = reference_setup.EffectiveWaveCount();
-  for (const auto& shape : shapes) {
-    PredictorSetup setup = tuner_.MakeSetup(shape, primitive);
-    min_waves = std::min(min_waves, setup.EffectiveWaveCount());
-  }
-  if (base.group_count() > min_waves) {
-    base = ScalePartitionExact(ScalePartition(base, min_waves),
-                               reference_setup.EffectiveWaveCount());
-  }
-  if (forced_partition == nullptr && base.group_count() > 1) {
-    // Multi-rank gating (Sec. 4.2.2 extension): if the rendezvous-aware
-    // prediction says the imbalance eats the overlap gain, fall back to
-    // the single-group (sequential) plan.
-    std::vector<PredictorSetup> setups;
-    std::vector<WavePartition> partitions;
-    double predicted_non_overlap = 0.0;
-    bool scalable = true;
-    for (const auto& shape : shapes) {
-      PredictorSetup setup = tuner_.MakeSetup(shape, primitive);
-      const int waves = setup.EffectiveWaveCount();
-      if (base.group_count() > waves) {
-        scalable = false;
-        break;
-      }
-      partitions.push_back(ScalePartitionExact(base, waves));
-      predicted_non_overlap = std::max(predicted_non_overlap, PredictNonOverlapLatency(setup));
-      setups.push_back(std::move(setup));
-    }
-    if (!scalable || PredictOverlapLatencyMultiRank(setups, partitions).latency_us >=
-                         predicted_non_overlap) {
-      base = WavePartition::SingleGroup(reference_setup.EffectiveWaveCount());
-    }
-  }
-  // Per-rank group tile counts proportional to the reference rank's
-  // grouping: every rank keeps the same group count (the collectives are
-  // rendezvous calls) but scales its tile boundaries to its own load.
-  const std::vector<int> reference_tiles = reference_setup.GroupTiles(base);
-  std::vector<double> fractions;
-  fractions.reserve(reference_tiles.size());
-  for (int tiles : reference_tiles) {
-    fractions.push_back(static_cast<double>(tiles) / reference_setup.gemm.tile_count);
-  }
-  std::vector<std::vector<int>> group_tiles;
-  group_tiles.reserve(shapes.size());
-  for (const auto& shape : shapes) {
-    const GemmConfig& config = tuner_.GemmConfigFor(shape);
-    FLO_CHECK_GE(config.tile_count, static_cast<int>(fractions.size()))
-        << "rank too small for the group count";
-    group_tiles.push_back(SplitTilesByFractions(config.tile_count, fractions));
-  }
-  return RunTimed(shapes, primitive, group_tiles, base);
-}
-
-SimTime OverlapEngine::RunNonOverlap(const GemmShape& shape, CommPrimitive primitive) {
-  return RunNonOverlapImbalanced(std::vector<GemmShape>(cluster_.gpu_count, shape), primitive);
-}
-
-SimTime OverlapEngine::RunNonOverlapImbalanced(const std::vector<GemmShape>& shapes,
-                                               CommPrimitive primitive) {
-  FLO_CHECK_EQ(shapes.size(), static_cast<size_t>(cluster_.gpu_count));
-  Rng rng(CaseSeed(shapes[0], primitive, WavePartition::SingleGroup(1)));
-  // Sequential: every rank's GEMM runs unconstrained; the collective starts
-  // when the slowest rank's GEMM finishes and moves the full payload.
-  double gemm_us = 0.0;
-  double worst_comm = 0.0;
-  for (const auto& shape : shapes) {
-    const GemmConfig& config = tuner_.GemmConfigFor(shape);
-    double duration = config.duration_us;
-    if (options_.reserved_sms > 0) {
-      // Co-located work shrinks the wave width even without overlap.
-      const int width = std::max(1, cluster_.gpu.sm_count - options_.reserved_sms);
-      const int waves = (config.tile_count + width - 1) / width;
-      duration = waves * config.wave_time_us + cluster_.gpu.kernel_launch_overhead_us;
-    }
-    gemm_us = std::max(gemm_us, duration * JitterFactor(&rng, options_.wave_jitter));
-    const double bytes = shape.OutputBytes(tuner_.config().element_size);
-    worst_comm = std::max(worst_comm, tuner_.cost_model().LatencyUs(primitive, bytes));
-  }
-  return gemm_us + worst_comm * JitterFactor(&rng, options_.comm_jitter);
+  return runs;
 }
 
 SimTime OverlapEngine::TheoreticalBest(const GemmShape& shape, CommPrimitive primitive) {
@@ -191,225 +52,31 @@ SimTime OverlapEngine::TheoreticalBest(const GemmShape& shape, CommPrimitive pri
   return TheoreticalOverlapLatency(setup);
 }
 
-OverlapRun OverlapEngine::RunTimed(const std::vector<GemmShape>& shapes,
-                                   CommPrimitive primitive,
-                                   const std::vector<std::vector<int>>& group_tiles_in,
-                                   const WavePartition& report_partition) {
-  const int n = cluster_.gpu_count;
-  FLO_CHECK_EQ(shapes.size(), static_cast<size_t>(n));
-  FLO_CHECK_EQ(group_tiles_in.size(), static_cast<size_t>(n));
-  const int group_count = static_cast<int>(group_tiles_in[0].size());
-  for (const auto& tiles : group_tiles_in) {
-    FLO_CHECK_EQ(static_cast<int>(tiles.size()), group_count);
-  }
-  const int element_size = tuner_.config().element_size;
+// --- DEPRECATED shims ---
 
-  Simulator sim;
-  Cluster devices(cluster_);
-  Rng rng(CaseSeed(shapes[0], primitive, report_partition));
-  if (options_.reserved_sms > 0) {
-    for (int r = 0; r < n; ++r) {
-      devices.device(r).AcquireSms(options_.reserved_sms);
-    }
-  }
-  // With persistent channels the signal/comm kernels occupy their SMs for
-  // the entire overlapped region, matching the predictor's wave-count
-  // adjustment; the per-collective acquisition is then disabled. A single
-  // group means no concurrency at all — the "don't overlap" fallback —
-  // so nothing is reserved and the run degenerates to sequential
-  // execution.
-  const bool persistent = options_.persistent_comm_sms && group_count > 1;
-  const int per_collective_sms = persistent ? 0 : cluster_.link.comm_sm_count;
-  if (persistent) {
-    for (int r = 0; r < n; ++r) {
-      devices.device(r).AcquireSms(cluster_.link.comm_sm_count);
-    }
-  }
+OverlapRun OverlapEngine::RunOverlap(const GemmShape& shape, CommPrimitive primitive,
+                                     const WavePartition* forced_partition) {
+  return Execute(ScenarioSpec::Overlap(shape, primitive, forced_partition));
+}
 
-  struct RankState {
-    GemmConfig config;
-    std::vector<int> group_tiles;      // counting-table targets
-    std::vector<int> group_of_slot;    // cumulative boundaries
-    std::unique_ptr<CountingTable> table;
-    std::unique_ptr<Stream> gemm_stream;
-    std::unique_ptr<Stream> comm_stream;
-    int tiles_done = 0;
-  };
-  std::vector<RankState> ranks(n);
-  for (int r = 0; r < n; ++r) {
-    RankState& state = ranks[r];
-    state.config = tuner_.GemmConfigFor(shapes[r]);
-    state.group_tiles = group_tiles_in[r];
-    state.group_of_slot.reserve(state.config.tile_count);
-    for (int g = 0; g < group_count; ++g) {
-      for (int i = 0; i < state.group_tiles[g]; ++i) {
-        state.group_of_slot.push_back(g);
-      }
-    }
-    FLO_CHECK_EQ(static_cast<int>(state.group_of_slot.size()), state.config.tile_count);
-    state.table = std::make_unique<CountingTable>(state.group_tiles);
-    state.gemm_stream =
-        std::make_unique<Stream>(&sim, &devices.device(r), "gemm" + std::to_string(r));
-    state.comm_stream =
-        std::make_unique<Stream>(&sim, &devices.device(r), "comm" + std::to_string(r));
-  }
+SimTime OverlapEngine::RunNonOverlap(const GemmShape& shape, CommPrimitive primitive) {
+  return Execute(ScenarioSpec::NonOverlap(shape, primitive)).total_us;
+}
 
-  OverlapRun run;
-  run.partition = report_partition;
-  run.groups.resize(group_count);
+OverlapRun OverlapEngine::RunOverlapMisconfigured(const GemmShape& shape,
+                                                  CommPrimitive primitive, int extra_tiles) {
+  return Execute(ScenarioSpec::Misconfigured(shape, primitive, extra_tiles));
+}
 
-  // Collectives: one rendezvous op per group, shared by all ranks. Two
-  // implementations: the closed-form CollectiveOp, or the mechanistic
-  // per-step ring transport.
-  std::vector<std::unique_ptr<CollectiveOp>> collectives;
-  std::vector<std::unique_ptr<RingCollectiveOp>> ring_collectives;
-  collectives.reserve(group_count);
-  ring_collectives.reserve(group_count);
-  for (int g = 0; g < group_count; ++g) {
-    std::vector<Device*> group_devices;
-    group_devices.reserve(n);
-    for (int r = 0; r < n; ++r) {
-      group_devices.push_back(&devices.device(r));
-    }
-    // Payload follows the heaviest rank (the call is synchronizing).
-    double worst_latency = 0.0;
-    double bytes = 0.0;
-    for (int r = 0; r < n; ++r) {
-      const double rank_bytes = static_cast<double>(ranks[r].group_tiles[g]) *
-                                ranks[r].config.tile.Elements() * element_size;
-      bytes = std::max(bytes, rank_bytes);
-      if (rank_bytes > 0) {
-        worst_latency =
-            std::max(worst_latency, tuner_.cost_model().LatencyUs(primitive, rank_bytes));
-      }
-    }
-    run.groups[g].group = g;
-    run.groups[g].tiles = ranks[0].group_tiles[g];
-    run.groups[g].bytes = bytes;
-    if (options_.detailed_comm) {
-      InterconnectSpec link = cluster_.link;
-      link.comm_sm_count = per_collective_sms;
-      ring_collectives.push_back(std::make_unique<RingCollectiveOp>(
-          "comm_g" + std::to_string(g), std::move(group_devices), link, primitive, bytes,
-          nullptr));
-      collectives.push_back(nullptr);
-    } else {
-      const double jitter = JitterFactor(&rng, options_.comm_jitter);
-      collectives.push_back(std::make_unique<CollectiveOp>(
-          "comm_g" + std::to_string(g), std::move(group_devices), per_collective_sms,
-          [worst_latency, jitter]() { return worst_latency * jitter; }, nullptr));
-      ring_collectives.push_back(nullptr);
-    }
-  }
+OverlapRun OverlapEngine::RunOverlapImbalanced(const std::vector<GemmShape>& shapes,
+                                               CommPrimitive primitive,
+                                               const WavePartition* forced_partition) {
+  return Execute(ScenarioSpec::Imbalanced(shapes, primitive, forced_partition));
+}
 
-  // Comm streams: per group, a signal kernel (waits for the local counting
-  // table, released on a poll boundary) followed by this rank's share of
-  // the collective.
-  const double poll = options_.signal_poll_interval_us;
-  for (int r = 0; r < n; ++r) {
-    RankState& state = ranks[r];
-    for (int g = 0; g < group_count; ++g) {
-      CountingTable* table = state.table.get();
-      state.comm_stream->Enqueue(
-          "signal_g" + std::to_string(g),
-          [table, g, poll, &sim, &run](Simulator&, Stream::DoneFn done) {
-            table->OnGroupComplete(g, [done = std::move(done), g, poll, &sim, &run]() {
-              // The signal time the paper cares about is when the *last*
-              // rank's tiles land; later ranks overwrite earlier ones.
-              run.groups[g].signal_time = std::max(run.groups[g].signal_time, sim.Now());
-              if (poll > 0.0) {
-                // The polling kernel only observes the table on its next
-                // query; release on the poll boundary.
-                const double remainder = std::fmod(sim.Now(), poll);
-                const double wait = remainder == 0.0 ? 0.0 : poll - remainder;
-                sim.Schedule(wait, [done = std::move(done)]() { done(); });
-              } else {
-                done();
-              }
-            });
-          });
-      if (options_.detailed_comm) {
-        ring_collectives[g]->EnqueueOn(*state.comm_stream, r);
-      } else {
-        collectives[g]->EnqueueOn(*state.comm_stream, r);
-      }
-    }
-  }
-
-  // GEMM kernels: wave loop with dynamic width = free SMs at wave start.
-  const double wave_jitter_amp = options_.wave_jitter;
-  for (int r = 0; r < n; ++r) {
-    RankState& state = ranks[r];
-    Device* device = &devices.device(r);
-    state.gemm_stream->Enqueue(
-        "gemm", [this, &sim, &rng, state_ptr = &state, device, wave_jitter_amp](
-                    Simulator&, Stream::DoneFn done) {
-          auto next_wave = std::make_shared<std::function<void()>>();
-          *next_wave = [this, &sim, &rng, state_ptr, device, wave_jitter_amp, next_wave,
-                        done = std::move(done)]() {
-            RankState& state = *state_ptr;
-            if (state.tiles_done >= state.config.tile_count) {
-              done();
-              return;
-            }
-            const int width = device->ComputeSms();
-            const int take = std::min(width, state.config.tile_count - state.tiles_done);
-            const double duration =
-                state.config.wave_time_us * JitterFactor(&rng, wave_jitter_amp);
-            sim.Schedule(duration, [state_ptr, take, next_wave]() {
-              RankState& state = *state_ptr;
-              for (int i = 0; i < take; ++i) {
-                const int slot = state.tiles_done + i;
-                state.table->RecordTile(state.group_of_slot[slot]);
-              }
-              state.tiles_done += take;
-              (*next_wave)();
-            });
-          };
-          // Kernel launch overhead precedes the first wave.
-          sim.Schedule(cluster_.gpu.kernel_launch_overhead_us, [next_wave]() { (*next_wave)(); });
-        });
-  }
-
-  sim.Run();
-
-  // Drain checks + trace extraction.
-  SimTime total = 0.0;
-  SimTime gemm_end = 0.0;
-  for (int r = 0; r < n; ++r) {
-    FLO_CHECK(ranks[r].gemm_stream->idle()) << "rank " << r << " GEMM never finished";
-    FLO_CHECK(ranks[r].comm_stream->idle()) << "rank " << r << " comm stream stalled";
-    FLO_CHECK(ranks[r].table->AllComplete());
-    total = std::max(total, ranks[r].comm_stream->last_completion_time());
-    total = std::max(total, ranks[r].gemm_stream->last_completion_time());
-    gemm_end = std::max(gemm_end, ranks[r].gemm_stream->last_completion_time());
-  }
-  for (int g = 0; g < group_count; ++g) {
-    if (options_.detailed_comm) {
-      FLO_CHECK(ring_collectives[g]->completed()) << "group " << g << " never ran";
-      run.groups[g].comm_start = ring_collectives[g]->start_time();
-      run.groups[g].comm_end = ring_collectives[g]->end_time();
-    } else {
-      FLO_CHECK(collectives[g]->completed()) << "group " << g << " collective never ran";
-      run.groups[g].comm_start = collectives[g]->start_time();
-      run.groups[g].comm_end = collectives[g]->end_time();
-    }
-  }
-  if (options_.reserved_sms > 0) {
-    for (int r = 0; r < n; ++r) {
-      devices.device(r).ReleaseSms(options_.reserved_sms);
-    }
-  }
-  if (persistent) {
-    for (int r = 0; r < n; ++r) {
-      devices.device(r).ReleaseSms(cluster_.link.comm_sm_count);
-    }
-  }
-  run.gemm_timeline = ranks[0].gemm_stream->timeline();
-  run.comm_timeline = ranks[0].comm_stream->timeline();
-  run.total_us = total;
-  run.gemm_end_us = gemm_end;
-  return run;
+SimTime OverlapEngine::RunNonOverlapImbalanced(const std::vector<GemmShape>& shapes,
+                                               CommPrimitive primitive) {
+  return Execute(ScenarioSpec::NonOverlapImbalanced(shapes, primitive)).total_us;
 }
 
 }  // namespace flo

@@ -1,19 +1,28 @@
-// Timed execution of FlashOverlap on the simulated cluster.
+// The FlashOverlap engine: a thin orchestration of the
+// ScenarioSpec -> OverlapPlanner -> ScheduleExecutor pipeline.
 //
-// Each rank gets a device and two streams (computation / signal+comm, as in
-// the paper's implementation, Sec. 5). The GEMM runs wave by wave; each
-// wave's width is whatever SM budget the resident collectives leave over.
-// Finished tiles bump the counting table; a completed group fires the
-// signal that releases that group's collective, which rendezvouses across
-// ranks, holds its SM footprint for its duration, and unblocks the comm
-// stream. The total latency is when every stream drains.
+// Describe what to run as a ScenarioSpec (declarative: per-rank shapes,
+// primitive, ablation knobs, optional forced partition and per-scenario
+// options); the planner turns it into a cached ExecutionPlan; the executor
+// replays the plan on the simulated cluster. RunBatch sweeps many specs
+// through one shared executor, reusing cached plans — a warm sweep
+// performs zero tuner searches.
+//
+// The legacy Run* entry points survive as one-line shims over
+// ScenarioSpec/Execute and are DEPRECATED: new call sites should build a
+// ScenarioSpec directly.
 #ifndef SRC_CORE_OVERLAP_ENGINE_H_
 #define SRC_CORE_OVERLAP_ENGINE_H_
 
-#include <optional>
+#include <span>
 #include <vector>
 
 #include "src/comm/cost_model.h"
+#include "src/core/engine_options.h"
+#include "src/core/overlap_planner.h"
+#include "src/core/plan_store.h"
+#include "src/core/scenario.h"
+#include "src/core/schedule_executor.h"
 #include "src/core/tuner.h"
 #include "src/core/wave_partition.h"
 #include "src/hw/cluster.h"
@@ -22,97 +31,54 @@
 
 namespace flo {
 
-struct EngineOptions {
-  // Deterministic jitter (per-case seeded) on wave and collective
-  // durations; gives the predictor a realistic error distribution.
-  bool jitter = true;
-  double wave_jitter = 0.02;
-  double comm_jitter = 0.05;
-  uint64_t seed_salt = 0;
-  // Simulate collectives mechanistically, ring step by ring step
-  // (src/comm/ring_transport.h) instead of charging the closed-form cost.
-  bool detailed_comm = false;
-  // The signal kernel polls the counting table periodically (Sec. 5);
-  // a group's communication can only be released on a poll boundary.
-  double signal_poll_interval_us = 0.0;
-  // SMs statically reserved by co-located work (the preset-SM-ratio
-  // scenario of Sec. 4.2.3); unavailable to both GEMM and collectives.
-  int reserved_sms = 0;
-  // Hold the collective's SM footprint for the whole overlapped region
-  // (polling signal kernels + NCCL channels stay resident), exactly the
-  // Alg. 1 line 3 assumption. Disable to model channels that release
-  // between groups.
-  bool persistent_comm_sms = true;
-};
-
-struct GroupTrace {
-  int group = 0;
-  int tiles = 0;
-  double bytes = 0.0;
-  SimTime signal_time = 0.0;
-  SimTime comm_start = 0.0;
-  SimTime comm_end = 0.0;
-};
-
-struct OverlapRun {
-  SimTime total_us = 0.0;
-  SimTime gemm_end_us = 0.0;
-  WavePartition partition;
-  std::vector<GroupTrace> groups;
-  double predicted_us = 0.0;
-  // Rank-0 stream timelines, for trace export (src/sim/trace_export.h).
-  Timeline gemm_timeline;
-  Timeline comm_timeline;
-};
-
 class OverlapEngine {
  public:
   explicit OverlapEngine(ClusterSpec cluster, TunerConfig tuner_config = {},
                          EngineOptions options = {});
 
   Tuner& tuner() { return tuner_; }
+  OverlapPlanner& planner() { return planner_; }
+  PlanStore& plan_store() { return plan_store_; }
+  ScheduleExecutor& executor() { return executor_; }
   const ClusterSpec& cluster() const { return cluster_; }
   const EngineOptions& options() const { return options_; }
 
-  // Overlapped execution. With a null `forced_partition` the tuner's
-  // predictive search picks the wave grouping.
-  OverlapRun RunOverlap(const GemmShape& shape, CommPrimitive primitive,
-                        const WavePartition* forced_partition = nullptr);
+  // Executes one scenario end to end: plan (cached) then schedule. For
+  // ScenarioKind::kNonOverlap only `total_us`, `predicted_us` and
+  // `partition` are populated.
+  OverlapRun Execute(const ScenarioSpec& spec);
 
-  // Sequential baseline: tuned GEMM, then one library collective call.
-  SimTime RunNonOverlap(const GemmShape& shape, CommPrimitive primitive);
+  // Sweeps many scenarios through the shared executor. Plans are reused
+  // across calls via the PlanStore, so repeating a sweep performs zero
+  // tuner searches; planner().stats() exposes the hit/miss counts.
+  std::vector<OverlapRun> RunBatch(std::span<const ScenarioSpec> specs);
 
   // Perfect-overlap bound (Sec. 6.4).
   SimTime TheoreticalBest(const GemmShape& shape, CommPrimitive primitive);
 
-  // Ablation: runs with a misconfigured wave size (paper Fig. 14) — every
-  // group's counting target is inflated by `extra_tiles` (borrowed from the
-  // following group), so each signal fires only after tiles of the next
-  // wave finish; the accumulated tiles wait, delaying every communication.
+  // --- DEPRECATED shims over ScenarioSpec/Execute ---
+
+  // DEPRECATED: use Execute(ScenarioSpec::Overlap(...)).
+  OverlapRun RunOverlap(const GemmShape& shape, CommPrimitive primitive,
+                        const WavePartition* forced_partition = nullptr);
+  // DEPRECATED: use Execute(ScenarioSpec::NonOverlap(...)).total_us.
+  SimTime RunNonOverlap(const GemmShape& shape, CommPrimitive primitive);
+  // DEPRECATED: use Execute(ScenarioSpec::Misconfigured(...)).
   OverlapRun RunOverlapMisconfigured(const GemmShape& shape, CommPrimitive primitive,
                                      int extra_tiles);
-
-  // Imbalanced variant (expert-parallel All-to-All): per-rank shapes; the
-  // base partition is derived from the largest rank and rescaled.
+  // DEPRECATED: use Execute(ScenarioSpec::Imbalanced(...)).
   OverlapRun RunOverlapImbalanced(const std::vector<GemmShape>& shapes, CommPrimitive primitive,
                                   const WavePartition* forced_partition = nullptr);
+  // DEPRECATED: use Execute(ScenarioSpec::NonOverlapImbalanced(...)).total_us.
   SimTime RunNonOverlapImbalanced(const std::vector<GemmShape>& shapes, CommPrimitive primitive);
 
  private:
-  // Jitter multipliers in [1, 1+amp) derived from a per-case stable seed.
-  double JitterFactor(Rng* rng, double amplitude) const;
-  uint64_t CaseSeed(const GemmShape& shape, CommPrimitive primitive,
-                    const WavePartition& partition) const;
-
-  // `group_tiles[r][g]` = rank r's counting-table target for group g; all
-  // ranks must agree on the group count (the collective rendezvous).
-  OverlapRun RunTimed(const std::vector<GemmShape>& shapes, CommPrimitive primitive,
-                      const std::vector<std::vector<int>>& group_tiles,
-                      const WavePartition& report_partition);
-
   ClusterSpec cluster_;
   EngineOptions options_;
   Tuner tuner_;
+  PlanStore plan_store_;
+  OverlapPlanner planner_;
+  ScheduleExecutor executor_;
 };
 
 }  // namespace flo

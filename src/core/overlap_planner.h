@@ -1,0 +1,59 @@
+// Turns a ScenarioSpec into an ExecutionPlan, memoized through a PlanStore.
+//
+// This is the planning layer of the ScenarioSpec -> OverlapPlanner ->
+// ScheduleExecutor pipeline: it owns every decision that the legacy Run*
+// methods made before touching the simulator — tuner search (or forced
+// partition), wave-count adjustment, misconfiguration tile shifting, and
+// the imbalanced multi-rank gating — and caches the result under a
+// canonical hash of (scenario, cluster, tuner config). Execution-only
+// knobs (jitter, polling, reserved SMs) are deliberately not part of the
+// key: one plan serves every EngineOptions mix.
+#ifndef SRC_CORE_OVERLAP_PLANNER_H_
+#define SRC_CORE_OVERLAP_PLANNER_H_
+
+#include <cstdint>
+
+#include "src/core/execution_plan.h"
+#include "src/core/plan_store.h"
+#include "src/core/scenario.h"
+#include "src/core/tuner.h"
+
+namespace flo {
+
+struct PlannerStats {
+  size_t cache_hits = 0;
+  size_t cache_misses = 0;
+};
+
+class OverlapPlanner {
+ public:
+  // Both pointers are borrowed and must outlive the planner.
+  OverlapPlanner(Tuner* tuner, PlanStore* store);
+
+  // The plan-cache key: scenario fingerprint x cluster identity x tuner
+  // configuration.
+  uint64_t CanonicalKey(const ScenarioSpec& spec) const;
+
+  // Returns the memoized plan, building (and caching) it on first use.
+  // The reference is stable for the PlanStore's lifetime.
+  const ExecutionPlan& Plan(const ScenarioSpec& spec);
+
+  const PlannerStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = PlannerStats{}; }
+
+ private:
+  ExecutionPlan Build(const ScenarioSpec& spec);
+  ExecutionPlan BuildNonOverlap(const ScenarioSpec& spec);
+  ExecutionPlan BuildBalancedOverlap(const ScenarioSpec& spec);
+  ExecutionPlan BuildImbalancedOverlap(const ScenarioSpec& spec);
+  // Fills plan->segments from group_tiles via the tuner's cost model.
+  void FillCommSegments(ExecutionPlan* plan, const std::vector<GemmShape>& rank_shapes);
+
+  Tuner* tuner_;
+  PlanStore* store_;
+  PlannerStats stats_;
+};
+
+}  // namespace flo
+
+#endif  // SRC_CORE_OVERLAP_PLANNER_H_

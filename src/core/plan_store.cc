@@ -78,13 +78,11 @@ std::optional<std::vector<StoredPlan>> ParsePlans(const std::string& text) {
     if (plan.shape.m <= 0 || plan.shape.n <= 0 || plan.shape.k <= 0) {
       return std::nullopt;
     }
-    // CommPrimitiveFromName aborts on unknown names; pre-validate here so a
-    // corrupt file degrades to a parse error instead.
-    if (primitive != "AllReduce" && primitive != "ReduceScatter" && primitive != "AllGather" &&
-        primitive != "AllToAll") {
+    const auto parsed_primitive = TryCommPrimitiveFromName(primitive);
+    if (!parsed_primitive.has_value()) {
       return std::nullopt;
     }
-    plan.primitive = CommPrimitiveFromName(primitive);
+    plan.primitive = *parsed_primitive;
     auto parsed = PartitionFromCsv(partition);
     if (!parsed.has_value()) {
       return std::nullopt;
@@ -93,6 +91,208 @@ std::optional<std::vector<StoredPlan>> ParsePlans(const std::string& text) {
     plans.push_back(std::move(plan));
   }
   return plans;
+}
+
+const ExecutionPlan* PlanStore::Find(uint64_t key) const {
+  auto it = plans_.find(key);
+  return it == plans_.end() ? nullptr : &it->second;
+}
+
+const ExecutionPlan& PlanStore::Put(uint64_t key, ExecutionPlan plan) {
+  return plans_.insert_or_assign(key, std::move(plan)).first->second;
+}
+
+namespace {
+
+std::optional<std::vector<int>> IntsFromCsv(const std::string& text) {
+  std::vector<int> values;
+  std::stringstream stream(text);
+  std::string token;
+  while (std::getline(stream, token, ',')) {
+    try {
+      values.push_back(std::stoi(token));
+    } catch (...) {
+      return std::nullopt;
+    }
+  }
+  if (values.empty()) {
+    return std::nullopt;
+  }
+  return values;
+}
+
+std::optional<ScenarioKind> KindFromName(const std::string& name) {
+  if (name == "Overlap") {
+    return ScenarioKind::kOverlap;
+  }
+  if (name == "NonOverlap") {
+    return ScenarioKind::kNonOverlap;
+  }
+  return std::nullopt;
+}
+
+// %.17g round-trips a double exactly through strtod.
+std::string DoubleToken(double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  return buffer;
+}
+
+std::string KeyToken(uint64_t key) {
+  char buffer[24];
+  std::snprintf(buffer, sizeof(buffer), "%016llx", static_cast<unsigned long long>(key));
+  return buffer;
+}
+
+// A loadable plan must be internally consistent, not just syntactically
+// valid: the executor FLO_CHECKs would otherwise abort the process on the
+// first Execute against a hand-edited or bit-rotted record.
+bool StructurallyValid(const ExecutionPlan& plan) {
+  if (plan.group_tiles.empty()) {
+    return false;
+  }
+  const size_t group_count = plan.group_tiles[0].size();
+  if (group_count == 0 || plan.segments.size() != group_count) {
+    return false;
+  }
+  for (const auto& tiles : plan.group_tiles) {
+    if (tiles.size() != group_count) {
+      return false;
+    }
+    for (int count : tiles) {
+      if (count <= 0) {
+        return false;
+      }
+    }
+  }
+  for (size_t g = 0; g < plan.segments.size(); ++g) {
+    const CommSegment& segment = plan.segments[g];
+    if (segment.group != static_cast<int>(g) || segment.max_bytes < 0.0 ||
+        segment.latency_us < 0.0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string PlanStore::Serialize() const {
+  std::ostringstream out;
+  out << "# FlashOverlap execution plans: keyed by canonical scenario hash\n";
+  for (const auto& [key, plan] : plans_) {
+    out << "plan " << KeyToken(key) << ' ' << ScenarioKindName(plan.kind) << ' '
+        << CommPrimitiveName(plan.primitive) << ' ' << PartitionToCsv(plan.partition) << ' '
+        << DoubleToken(plan.predicted_us) << ' ' << DoubleToken(plan.predicted_non_overlap_us)
+        << '\n';
+    for (const auto& tiles : plan.group_tiles) {
+      out << "tiles ";
+      for (size_t g = 0; g < tiles.size(); ++g) {
+        out << (g == 0 ? "" : ",") << tiles[g];
+      }
+      out << "\n";
+    }
+    for (const auto& segment : plan.segments) {
+      out << "seg " << segment.group << ' ' << DoubleToken(segment.max_bytes) << ' '
+          << DoubleToken(segment.latency_us) << '\n';
+    }
+    out << "end\n";
+  }
+  return out.str();
+}
+
+std::optional<PlanStore> PlanStore::Parse(const std::string& text) {
+  PlanStore store;
+  std::stringstream stream(text);
+  std::string line;
+  bool in_record = false;
+  uint64_t key = 0;
+  ExecutionPlan plan;
+  while (std::getline(stream, line)) {
+    if (line.empty() || line[0] == '#') {
+      continue;
+    }
+    std::stringstream fields(line);
+    std::string tag;
+    fields >> tag;
+    if (tag == "plan") {
+      if (in_record) {
+        return std::nullopt;  // previous record never closed
+      }
+      std::string key_hex;
+      std::string kind;
+      std::string primitive;
+      std::string partition;
+      if (!(fields >> key_hex >> kind >> primitive >> partition >> plan.predicted_us >>
+            plan.predicted_non_overlap_us)) {
+        return std::nullopt;
+      }
+      try {
+        key = std::stoull(key_hex, nullptr, 16);
+      } catch (...) {
+        return std::nullopt;
+      }
+      const auto parsed_kind = KindFromName(kind);
+      const auto parsed_primitive = TryCommPrimitiveFromName(primitive);
+      const auto parsed_partition = PartitionFromCsv(partition);
+      if (!parsed_kind || !parsed_primitive || !parsed_partition) {
+        return std::nullopt;
+      }
+      plan.kind = *parsed_kind;
+      plan.primitive = *parsed_primitive;
+      plan.partition = std::move(*parsed_partition);
+      in_record = true;
+    } else if (tag == "tiles") {
+      std::string csv;
+      if (!in_record || !(fields >> csv)) {
+        return std::nullopt;
+      }
+      auto tiles = IntsFromCsv(csv);
+      if (!tiles) {
+        return std::nullopt;
+      }
+      plan.group_tiles.push_back(std::move(*tiles));
+    } else if (tag == "seg") {
+      CommSegment segment;
+      if (!in_record ||
+          !(fields >> segment.group >> segment.max_bytes >> segment.latency_us)) {
+        return std::nullopt;
+      }
+      plan.segments.push_back(segment);
+    } else if (tag == "end") {
+      if (!in_record || !StructurallyValid(plan)) {
+        return std::nullopt;
+      }
+      store.Put(key, std::move(plan));
+      plan = ExecutionPlan{};
+      in_record = false;
+    } else {
+      return std::nullopt;
+    }
+  }
+  if (in_record) {
+    return std::nullopt;
+  }
+  return store;
+}
+
+bool PlanStore::SaveToFile(const std::string& path) const {
+  std::ofstream file(path);
+  if (!file) {
+    return false;
+  }
+  file << Serialize();
+  return static_cast<bool>(file);
+}
+
+std::optional<PlanStore> PlanStore::LoadFromFile(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) {
+    return std::nullopt;
+  }
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  return Parse(buffer.str());
 }
 
 bool SavePlansToFile(const std::vector<StoredPlan>& plans, const std::string& path) {

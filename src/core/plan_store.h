@@ -1,22 +1,30 @@
-// Persistence for tuned plans.
+// Persistence and memoization for plans.
 //
 // The paper's deployment flow runs the tuning "before runtime" and reuses
 // the results (Sec. 4.2.2); the artifact ships a preparation script that
-// materializes configurations on disk. PlanStore is that artifact: a
-// line-oriented text format that serializes the tuner's plan cache so a
-// serving process can start with every representative size pre-searched.
+// materializes configurations on disk. This header is that artifact, in
+// two tiers:
 //
-// Format (one record per line, '#' comments allowed):
-//   m n k primitive partition predicted_us non_overlap_us
-//   4096 8192 7168 AllReduce 1,2,4,4 1234.5 1670.2
+//  1. StoredPlan + free functions: the legacy line-oriented text format for
+//     the tuner's (shape, primitive) -> partition cache.
+//     Format (one record per line, '#' comments allowed):
+//       m n k primitive partition predicted_us non_overlap_us
+//       4096 8192 7168 AllReduce 1,2,4,4 1234.5 1670.2
+//
+//  2. PlanStore: the OverlapPlanner's memo of full ExecutionPlans keyed by
+//     the canonical scenario hash, with its own multi-line text format so a
+//     serving process can start with every scenario pre-planned.
 #ifndef SRC_CORE_PLAN_STORE_H_
 #define SRC_CORE_PLAN_STORE_H_
 
+#include <cstdint>
+#include <map>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "src/comm/primitive.h"
+#include "src/core/execution_plan.h"
 #include "src/core/wave_partition.h"
 #include "src/gemm/tile.h"
 
@@ -41,6 +49,38 @@ std::optional<std::vector<StoredPlan>> ParsePlans(const std::string& text);
 // File helpers; return false on I/O failure.
 bool SavePlansToFile(const std::vector<StoredPlan>& plans, const std::string& path);
 std::optional<std::vector<StoredPlan>> LoadPlansFromFile(const std::string& path);
+
+// Keyed store of full ExecutionPlans. The key is the OverlapPlanner's
+// canonical scenario hash (scenario fields x cluster x tuner config), so a
+// store survives process restarts only between identical deployments —
+// exactly the paper's "prepare once, serve many" contract.
+//
+// Text format (multi-line records):
+//   plan <key-hex> <kind> <primitive> <partition-csv> <predicted> <non_overlap>
+//   tiles <csv>          # one line per rank, group targets
+//   seg <group> <bytes> <latency_us>
+//   end
+class PlanStore {
+ public:
+  // nullptr when absent.
+  const ExecutionPlan* Find(uint64_t key) const;
+  // Inserts or overwrites; returns the stored plan.
+  const ExecutionPlan& Put(uint64_t key, ExecutionPlan plan);
+  bool Contains(uint64_t key) const { return plans_.count(key) != 0; }
+  size_t size() const { return plans_.size(); }
+  void Clear() { plans_.clear(); }
+
+  const std::map<uint64_t, ExecutionPlan>& plans() const { return plans_; }
+
+  std::string Serialize() const;
+  // Returns std::nullopt on any malformed record.
+  static std::optional<PlanStore> Parse(const std::string& text);
+  bool SaveToFile(const std::string& path) const;
+  static std::optional<PlanStore> LoadFromFile(const std::string& path);
+
+ private:
+  std::map<uint64_t, ExecutionPlan> plans_;
+};
 
 }  // namespace flo
 

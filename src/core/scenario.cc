@@ -1,0 +1,112 @@
+#include "src/core/scenario.h"
+
+#include <sstream>
+
+#include "src/util/check.h"
+
+namespace flo {
+
+const char* ScenarioKindName(ScenarioKind kind) {
+  switch (kind) {
+    case ScenarioKind::kOverlap:
+      return "Overlap";
+    case ScenarioKind::kNonOverlap:
+      return "NonOverlap";
+  }
+  return "Unknown";
+}
+
+std::vector<GemmShape> ScenarioSpec::RankShapes(int gpu_count) const {
+  FLO_CHECK(!shapes.empty()) << "scenario has no shapes";
+  if (shapes.size() == 1) {
+    return std::vector<GemmShape>(gpu_count, shapes[0]);
+  }
+  FLO_CHECK_EQ(shapes.size(), static_cast<size_t>(gpu_count))
+      << "per-rank shape count must match the cluster";
+  return shapes;
+}
+
+void ScenarioSpec::MixInto(StableHash& hash) const {
+  hash.Mix(static_cast<int>(kind));
+  hash.Mix(static_cast<int>(shapes.size()));
+  for (const GemmShape& shape : shapes) {
+    hash.Mix(shape.m).Mix(shape.n).Mix(shape.k);
+  }
+  hash.Mix(static_cast<int>(primitive));
+  hash.Mix(extra_tiles);
+  hash.Mix(forced_partition.has_value() ? 1 : 0);
+  if (forced_partition.has_value()) {
+    for (int size : forced_partition->group_sizes) {
+      hash.Mix(size);
+    }
+  }
+}
+
+std::string ScenarioSpec::Describe() const {
+  std::ostringstream out;
+  out << ScenarioKindName(kind) << " " << CommPrimitiveName(primitive);
+  for (const GemmShape& shape : shapes) {
+    out << " " << shape.ToString();
+  }
+  if (extra_tiles > 0) {
+    out << " extra_tiles=" << extra_tiles;
+  }
+  if (forced_partition.has_value()) {
+    out << " partition=" << forced_partition->ToString();
+  }
+  return out.str();
+}
+
+ScenarioSpec ScenarioSpec::Overlap(const GemmShape& shape, CommPrimitive primitive,
+                                   const WavePartition* forced_partition) {
+  ScenarioSpec spec;
+  spec.kind = ScenarioKind::kOverlap;
+  spec.shapes = {shape};
+  spec.primitive = primitive;
+  if (forced_partition != nullptr) {
+    spec.forced_partition = *forced_partition;
+  }
+  return spec;
+}
+
+ScenarioSpec ScenarioSpec::NonOverlap(const GemmShape& shape, CommPrimitive primitive) {
+  ScenarioSpec spec;
+  spec.kind = ScenarioKind::kNonOverlap;
+  spec.shapes = {shape};
+  spec.primitive = primitive;
+  return spec;
+}
+
+ScenarioSpec ScenarioSpec::Misconfigured(const GemmShape& shape, CommPrimitive primitive,
+                                         int extra_tiles) {
+  FLO_CHECK_GE(extra_tiles, 0);
+  ScenarioSpec spec;
+  spec.kind = ScenarioKind::kOverlap;
+  spec.shapes = {shape};
+  spec.primitive = primitive;
+  spec.extra_tiles = extra_tiles;
+  return spec;
+}
+
+ScenarioSpec ScenarioSpec::Imbalanced(std::vector<GemmShape> shapes, CommPrimitive primitive,
+                                      const WavePartition* forced_partition) {
+  ScenarioSpec spec;
+  spec.kind = ScenarioKind::kOverlap;
+  spec.shapes = std::move(shapes);
+  spec.primitive = primitive;
+  if (forced_partition != nullptr) {
+    spec.forced_partition = *forced_partition;
+  }
+  return spec;
+}
+
+ScenarioSpec ScenarioSpec::NonOverlapImbalanced(std::vector<GemmShape> shapes,
+                                                CommPrimitive primitive) {
+  ScenarioSpec spec;
+  spec.kind = ScenarioKind::kNonOverlap;
+  spec.shapes = std::move(shapes);
+  spec.primitive = primitive;
+  return spec;
+}
+
+}  // namespace flo

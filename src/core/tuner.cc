@@ -64,6 +64,7 @@ const TunedPlan& Tuner::Tune(const GemmShape& shape, CommPrimitive primitive) {
 }
 
 TunedPlan Tuner::Search(const GemmShape& shape, CommPrimitive primitive) {
+  ++search_count_;
   PredictorSetup setup = MakeSetup(shape, primitive);
   const int waves = setup.EffectiveWaveCount();
   std::vector<WavePartition> candidates;

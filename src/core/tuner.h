@@ -68,6 +68,10 @@ class Tuner {
 
   size_t cache_size() const { return plan_cache_.size(); }
 
+  // Number of predictive searches actually executed (cache misses). Batch
+  // callers use this to demonstrate that warm sweeps never search in-band.
+  size_t search_count() const { return search_count_; }
+
   // Snapshot of the plan cache, for persistence via src/core/plan_store.h.
   std::vector<StoredPlan> ExportPlans() const;
 
@@ -87,6 +91,7 @@ class Tuner {
   std::map<std::string, GemmConfig> gemm_cache_;
   std::map<int, Curve> curve_cache_;
   std::map<Key, TunedPlan> plan_cache_;
+  size_t search_count_ = 0;
 };
 
 }  // namespace flo

@@ -40,11 +40,11 @@ E2eReport EvaluateWorkload(const Workload& workload) {
     row.name = op.name;
     if (op.primitive == CommPrimitive::kAllToAll && op.imbalance > 1.0) {
       const auto shapes = ImbalancedShapes(op.shape, workload.cluster.gpu_count, op.imbalance);
-      row.non_overlap_us = engine.RunNonOverlapImbalanced(shapes, op.primitive);
-      row.overlap_us = engine.RunOverlapImbalanced(shapes, op.primitive).total_us;
+      row.non_overlap_us = engine.Execute(ScenarioSpec::NonOverlapImbalanced(shapes, op.primitive)).total_us;
+      row.overlap_us = engine.Execute(ScenarioSpec::Imbalanced(shapes, op.primitive)).total_us;
     } else {
-      row.non_overlap_us = engine.RunNonOverlap(op.shape, op.primitive);
-      row.overlap_us = engine.RunOverlap(op.shape, op.primitive).total_us;
+      row.non_overlap_us = engine.Execute(ScenarioSpec::NonOverlap(op.shape, op.primitive)).total_us;
+      row.overlap_us = engine.Execute(ScenarioSpec::Overlap(op.shape, op.primitive)).total_us;
     }
     row.speedup = row.non_overlap_us / row.overlap_us;
     ops_non_overlap += row.non_overlap_us * op.count;
@@ -68,7 +68,7 @@ std::vector<PortionRow> TimePortion(const Workload& workload) {
   for (const auto& op : workload.ops) {
     PortionRow row;
     row.name = op.name;
-    row.fraction = engine.RunNonOverlap(op.shape, op.primitive) * op.count;
+    row.fraction = engine.Execute(ScenarioSpec::NonOverlap(op.shape, op.primitive)).total_us * op.count;
     ops_total += row.fraction;
     rows.push_back(row);
   }

@@ -13,8 +13,8 @@ EngineOptions NoJitter() {
 
 TEST(OverlapEngineTest, RunsAndProducesOrderedGroupTraces) {
   OverlapEngine engine(Make4090Cluster(4), {}, NoJitter());
-  const OverlapRun run = engine.RunOverlap(GemmShape{4096, 8192, 8192},
-                                           CommPrimitive::kAllReduce);
+  const OverlapRun run = engine.Execute(ScenarioSpec::Overlap(GemmShape{4096, 8192, 8192},
+                                           CommPrimitive::kAllReduce));
   EXPECT_GT(run.total_us, 0.0);
   EXPECT_GE(run.total_us, run.gemm_end_us);
   ASSERT_FALSE(run.groups.empty());
@@ -35,8 +35,8 @@ TEST(OverlapEngineTest, RunsAndProducesOrderedGroupTraces) {
 TEST(OverlapEngineTest, OverlapBeatsNonOverlapOnBalancedShapes) {
   OverlapEngine engine(Make4090Cluster(4), {}, NoJitter());
   const GemmShape shape{4096, 8192, 8192};
-  const double overlap = engine.RunOverlap(shape, CommPrimitive::kAllReduce).total_us;
-  const double sequential = engine.RunNonOverlap(shape, CommPrimitive::kAllReduce);
+  const double overlap = engine.Execute(ScenarioSpec::Overlap(shape, CommPrimitive::kAllReduce)).total_us;
+  const double sequential = engine.Execute(ScenarioSpec::NonOverlap(shape, CommPrimitive::kAllReduce)).total_us;
   EXPECT_LT(overlap, sequential);
   // Paper range: up to 1.65x on 4090s; sanity-check we're in a plausible
   // band rather than wildly off.
@@ -49,7 +49,7 @@ TEST(OverlapEngineTest, NeverBeatsTheTheoreticalBound) {
   OverlapEngine engine(Make4090Cluster(4), {}, NoJitter());
   for (int64_t k : {2048, 4096, 8192, 16384}) {
     const GemmShape shape{4096, 8192, k};
-    const double actual = engine.RunOverlap(shape, CommPrimitive::kAllReduce).total_us;
+    const double actual = engine.Execute(ScenarioSpec::Overlap(shape, CommPrimitive::kAllReduce)).total_us;
     const double bound = engine.TheoreticalBest(shape, CommPrimitive::kAllReduce);
     EXPECT_GE(actual, 0.98 * bound) << "k=" << k;
   }
@@ -61,7 +61,7 @@ TEST(OverlapEngineTest, ForcedPartitionIsHonored) {
   PredictorSetup setup = engine.tuner().MakeSetup(shape, CommPrimitive::kReduceScatter);
   const WavePartition forced = WavePartition::EqualSized(setup.EffectiveWaveCount(), 2);
   const OverlapRun run =
-      engine.RunOverlap(shape, CommPrimitive::kReduceScatter, &forced);
+      engine.Execute(ScenarioSpec::Overlap(shape, CommPrimitive::kReduceScatter, &forced));
   EXPECT_EQ(run.partition.group_sizes, forced.group_sizes);
   EXPECT_EQ(run.groups.size(), static_cast<size_t>(forced.group_count()));
 }
@@ -70,8 +70,8 @@ TEST(OverlapEngineTest, DeterministicAcrossRuns) {
   OverlapEngine a(Make4090Cluster(4));
   OverlapEngine b(Make4090Cluster(4));
   const GemmShape shape{2048, 8192, 8192};
-  const double run_a = a.RunOverlap(shape, CommPrimitive::kAllReduce).total_us;
-  const double run_b = b.RunOverlap(shape, CommPrimitive::kAllReduce).total_us;
+  const double run_a = a.Execute(ScenarioSpec::Overlap(shape, CommPrimitive::kAllReduce)).total_us;
+  const double run_b = b.Execute(ScenarioSpec::Overlap(shape, CommPrimitive::kAllReduce)).total_us;
   EXPECT_DOUBLE_EQ(run_a, run_b);
 }
 
@@ -80,15 +80,15 @@ TEST(OverlapEngineTest, JitterOnlyEverSlowsThingsDown) {
   OverlapEngine jittered(Make4090Cluster(4), {}, with_jitter);
   OverlapEngine clean(Make4090Cluster(4), {}, NoJitter());
   const GemmShape shape{4096, 8192, 8192};
-  EXPECT_GE(jittered.RunOverlap(shape, CommPrimitive::kAllReduce).total_us,
-            clean.RunOverlap(shape, CommPrimitive::kAllReduce).total_us);
+  EXPECT_GE(jittered.Execute(ScenarioSpec::Overlap(shape, CommPrimitive::kAllReduce)).total_us,
+            clean.Execute(ScenarioSpec::Overlap(shape, CommPrimitive::kAllReduce)).total_us);
 }
 
 TEST(OverlapEngineTest, PredictionIsCloseToSimulatedActual) {
   // The core of the paper's Fig. 15 claim: single-digit average error.
   OverlapEngine engine(Make4090Cluster(4));
   const GemmShape shape{4096, 8192, 8192};
-  const OverlapRun run = engine.RunOverlap(shape, CommPrimitive::kAllReduce);
+  const OverlapRun run = engine.Execute(ScenarioSpec::Overlap(shape, CommPrimitive::kAllReduce));
   ASSERT_GT(run.predicted_us, 0.0);
   const double error = std::abs(run.total_us - run.predicted_us) / run.total_us;
   EXPECT_LT(error, 0.15);
@@ -102,10 +102,10 @@ TEST(OverlapEngineTest, ImbalancedRunNeverLosesToSequential) {
   const std::vector<GemmShape> shapes{
       GemmShape{2048, 4096, 7168}, GemmShape{3072, 4096, 7168},
       GemmShape{4096, 4096, 7168}, GemmShape{5120, 4096, 7168}};
-  const OverlapRun run = engine.RunOverlapImbalanced(shapes, CommPrimitive::kAllToAll);
+  const OverlapRun run = engine.Execute(ScenarioSpec::Imbalanced(shapes, CommPrimitive::kAllToAll));
   EXPECT_GT(run.total_us, 0.0);
   const double sequential =
-      engine.RunNonOverlapImbalanced(shapes, CommPrimitive::kAllToAll);
+      engine.Execute(ScenarioSpec::NonOverlapImbalanced(shapes, CommPrimitive::kAllToAll)).total_us;
   EXPECT_LE(run.total_us, sequential * 1.0001);
 }
 
@@ -116,9 +116,9 @@ TEST(OverlapEngineTest, ImbalancedRunWinsOnCommHeavyShapes) {
   const std::vector<GemmShape> shapes{
       GemmShape{8192, 8192, 1024}, GemmShape{10240, 8192, 1024},
       GemmShape{12288, 8192, 1024}, GemmShape{16384, 8192, 1024}};
-  const OverlapRun run = engine.RunOverlapImbalanced(shapes, CommPrimitive::kAllToAll);
+  const OverlapRun run = engine.Execute(ScenarioSpec::Imbalanced(shapes, CommPrimitive::kAllToAll));
   const double sequential =
-      engine.RunNonOverlapImbalanced(shapes, CommPrimitive::kAllToAll);
+      engine.Execute(ScenarioSpec::NonOverlapImbalanced(shapes, CommPrimitive::kAllToAll)).total_us;
   EXPECT_LT(run.total_us, sequential);
   EXPECT_GT(run.groups.size(), 1u) << "the tuned plan should actually overlap here";
 }
@@ -127,9 +127,9 @@ TEST(OverlapEngineTest, ImbalancedSlowestRankDominates) {
   OverlapEngine engine(MakeA800Cluster(2), {}, NoJitter());
   const std::vector<GemmShape> shapes{GemmShape{1024, 4096, 7168},
                                       GemmShape{8192, 4096, 7168}};
-  const OverlapRun imbalanced = engine.RunOverlapImbalanced(shapes, CommPrimitive::kAllToAll);
-  const OverlapRun heavy_only = engine.RunOverlap(GemmShape{8192, 4096, 7168},
-                                                  CommPrimitive::kAllToAll);
+  const OverlapRun imbalanced = engine.Execute(ScenarioSpec::Imbalanced(shapes, CommPrimitive::kAllToAll));
+  const OverlapRun heavy_only = engine.Execute(ScenarioSpec::Overlap(GemmShape{8192, 4096, 7168},
+                                                  CommPrimitive::kAllToAll));
   EXPECT_GE(imbalanced.total_us, 0.9 * heavy_only.total_us);
 }
 
@@ -138,8 +138,8 @@ TEST(OverlapEngineTest, GemmKeepsRunningWhileCommIsInFlight) {
   // the last group's comm end (comm tail), and at least one group's comm
   // must start before the GEMM ends (true overlap).
   OverlapEngine engine(Make4090Cluster(4), {}, NoJitter());
-  const OverlapRun run = engine.RunOverlap(GemmShape{4096, 8192, 8192},
-                                           CommPrimitive::kAllReduce);
+  const OverlapRun run = engine.Execute(ScenarioSpec::Overlap(GemmShape{4096, 8192, 8192},
+                                           CommPrimitive::kAllReduce));
   EXPECT_LT(run.gemm_end_us, run.groups.back().comm_end);
   if (run.groups.size() > 1) {
     EXPECT_LT(run.groups.front().comm_start, run.gemm_end_us);
@@ -153,9 +153,9 @@ TEST_P(EnginePrimitiveTest, AllPrimitivesRunThroughTheSameEngine) {
   // primitive beyond the cost lookup.
   OverlapEngine engine(MakeA800Cluster(4), {}, NoJitter());
   const GemmShape shape{4096, 8192, 4096};
-  const OverlapRun run = engine.RunOverlap(shape, GetParam());
+  const OverlapRun run = engine.Execute(ScenarioSpec::Overlap(shape, GetParam()));
   EXPECT_GT(run.total_us, 0.0);
-  EXPECT_LE(run.total_us, engine.RunNonOverlap(shape, GetParam()) * 1.02);
+  EXPECT_LE(run.total_us, engine.Execute(ScenarioSpec::NonOverlap(shape, GetParam())).total_us * 1.02);
 }
 
 INSTANTIATE_TEST_SUITE_P(Primitives, EnginePrimitiveTest,

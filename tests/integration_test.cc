@@ -18,8 +18,8 @@ TEST(IntegrationTest, OperatorSweepSpeedupsInPaperBand4090) {
   OverlapEngine engine(Make4090Cluster(4));
   std::vector<double> speedups;
   for (const auto& shape : OperatorShapes(CommPrimitive::kAllReduce, false)) {
-    const double overlap = engine.RunOverlap(shape, CommPrimitive::kAllReduce).total_us;
-    const double base = engine.RunNonOverlap(shape, CommPrimitive::kAllReduce);
+    const double overlap = engine.Execute(ScenarioSpec::Overlap(shape, CommPrimitive::kAllReduce)).total_us;
+    const double base = engine.Execute(ScenarioSpec::NonOverlap(shape, CommPrimitive::kAllReduce)).total_us;
     speedups.push_back(base / overlap);
   }
   const Summary summary = Summarize(speedups);
@@ -36,11 +36,11 @@ TEST(IntegrationTest, A800SpeedupLowerThanPcieSpeedup) {
   const GemmShape pcie_shape{4096, 8192, 16384};
   const GemmShape nvlink_shape{16384, 8192, 4096};
   const double pcie_speedup =
-      pcie.RunNonOverlap(pcie_shape, CommPrimitive::kAllReduce) /
-      pcie.RunOverlap(pcie_shape, CommPrimitive::kAllReduce).total_us;
+      pcie.Execute(ScenarioSpec::NonOverlap(pcie_shape, CommPrimitive::kAllReduce)).total_us /
+      pcie.Execute(ScenarioSpec::Overlap(pcie_shape, CommPrimitive::kAllReduce)).total_us;
   const double nvlink_speedup =
-      nvlink.RunNonOverlap(nvlink_shape, CommPrimitive::kAllReduce) /
-      nvlink.RunOverlap(nvlink_shape, CommPrimitive::kAllReduce).total_us;
+      nvlink.Execute(ScenarioSpec::NonOverlap(nvlink_shape, CommPrimitive::kAllReduce)).total_us /
+      nvlink.Execute(ScenarioSpec::Overlap(nvlink_shape, CommPrimitive::kAllReduce)).total_us;
   EXPECT_GT(pcie_speedup, nvlink_speedup);
 }
 
@@ -55,9 +55,9 @@ TEST(IntegrationTest, AchievesMostOfTheTheoreticalSpeedup) {
     for (int k : axes.k_ki) {
       const GemmShape shape{static_cast<int64_t>(mn) * 1024 * 1024 / axes.n, axes.n,
                             static_cast<int64_t>(k) * 1024};
-      const double base = engine.RunNonOverlap(shape, CommPrimitive::kReduceScatter);
+      const double base = engine.Execute(ScenarioSpec::NonOverlap(shape, CommPrimitive::kReduceScatter)).total_us;
       const double actual =
-          engine.RunOverlap(shape, CommPrimitive::kReduceScatter).total_us;
+          engine.Execute(ScenarioSpec::Overlap(shape, CommPrimitive::kReduceScatter)).total_us;
       const double bound = engine.TheoreticalBest(shape, CommPrimitive::kReduceScatter);
       const double ratio = (base / actual) / (base / bound);
       ++cells;
@@ -80,7 +80,7 @@ TEST(IntegrationTest, PredictionErrorAveragesSingleDigits) {
           GemmShape{8192, 8192, 2048}, GemmShape{4096, 4096, 8192}}) {
       for (CommPrimitive primitive :
            {CommPrimitive::kAllReduce, CommPrimitive::kReduceScatter}) {
-        const OverlapRun run = engine.RunOverlap(shape, primitive);
+        const OverlapRun run = engine.Execute(ScenarioSpec::Overlap(shape, primitive));
         ASSERT_GT(run.predicted_us, 0.0);
         errors.push_back(std::abs(run.total_us - run.predicted_us) / run.total_us);
       }
@@ -97,13 +97,13 @@ TEST(IntegrationTest, SearchedPartitionNearExhaustiveOptimumInSimulation) {
   OverlapEngine engine(Make4090Cluster(4), {}, EngineOptions{.jitter = false});
   const GemmShape shape{2048, 8192, 8192};
   const CommPrimitive primitive = CommPrimitive::kAllReduce;
-  const OverlapRun searched = engine.RunOverlap(shape, primitive);
+  const OverlapRun searched = engine.Execute(ScenarioSpec::Overlap(shape, primitive));
   PredictorSetup setup = engine.tuner().MakeSetup(shape, primitive);
   const int waves = setup.EffectiveWaveCount();
   ASSERT_LE(waves, 16) << "test shape must keep the exhaustive space tractable";
   double best = searched.total_us;
   for (const auto& partition : EnumerateAllPartitions(waves)) {
-    const OverlapRun run = engine.RunOverlap(shape, primitive, &partition);
+    const OverlapRun run = engine.Execute(ScenarioSpec::Overlap(shape, primitive, &partition));
     best = std::min(best, run.total_us);
   }
   EXPECT_GE(best / searched.total_us, 0.96);
@@ -117,7 +117,7 @@ TEST(IntegrationTest, FlashOverlapCompetitiveWithBaselinesOnA800Rs) {
   int wins = 0;
   int cases = 0;
   for (const auto& shape : TypicalRsShapes()) {
-    const double ours = engine.RunOverlap(shape, CommPrimitive::kReduceScatter).total_us;
+    const double ours = engine.Execute(ScenarioSpec::Overlap(shape, CommPrimitive::kReduceScatter)).total_us;
     const auto all = baselines.All(shape, CommPrimitive::kReduceScatter);
     double best_baseline = baselines.NonOverlap(shape, CommPrimitive::kReduceScatter);
     for (const auto& b : all) {
@@ -141,8 +141,8 @@ TEST(IntegrationTest, AscendPortShowsConsistentGains) {
   // ~1.37x.
   OverlapEngine engine(MakeAscendCluster(4));
   for (const auto& shape : AscendShapes()) {
-    const double base = engine.RunNonOverlap(shape, CommPrimitive::kAllReduce);
-    const double ours = engine.RunOverlap(shape, CommPrimitive::kAllReduce).total_us;
+    const double base = engine.Execute(ScenarioSpec::NonOverlap(shape, CommPrimitive::kAllReduce)).total_us;
+    const double ours = engine.Execute(ScenarioSpec::Overlap(shape, CommPrimitive::kAllReduce)).total_us;
     EXPECT_LT(ours, base * 1.001) << shape.ToString();
     EXPECT_LT(base / ours, 1.6) << shape.ToString();
   }
@@ -155,8 +155,8 @@ TEST(IntegrationTest, TileWiseSignalingLosesToTunedGrouping) {
   const GemmShape shape{8192, 8192, 2048};
   PredictorSetup setup = engine.tuner().MakeSetup(shape, CommPrimitive::kAllReduce);
   const WavePartition per_wave = WavePartition::PerWave(setup.EffectiveWaveCount());
-  const double fine = engine.RunOverlap(shape, CommPrimitive::kAllReduce, &per_wave).total_us;
-  const double tuned = engine.RunOverlap(shape, CommPrimitive::kAllReduce).total_us;
+  const double fine = engine.Execute(ScenarioSpec::Overlap(shape, CommPrimitive::kAllReduce, &per_wave)).total_us;
+  const double tuned = engine.Execute(ScenarioSpec::Overlap(shape, CommPrimitive::kAllReduce)).total_us;
   EXPECT_LT(tuned, fine);
 }
 

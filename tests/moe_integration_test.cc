@@ -74,8 +74,8 @@ TEST(MoeIntegrationTest, RouterImbalanceDrivesTheTimedEngine) {
   }
   OverlapEngine engine(MakeA800Cluster(config.gpus), {}, EngineOptions{.jitter = false});
   const double sequential =
-      engine.RunNonOverlapImbalanced(shapes, CommPrimitive::kAllToAll);
-  const OverlapRun run = engine.RunOverlapImbalanced(shapes, CommPrimitive::kAllToAll);
+      engine.Execute(ScenarioSpec::NonOverlapImbalanced(shapes, CommPrimitive::kAllToAll)).total_us;
+  const OverlapRun run = engine.Execute(ScenarioSpec::Imbalanced(shapes, CommPrimitive::kAllToAll));
   EXPECT_LE(run.total_us, sequential * 1.0001);
   // Comm-heavy shapes (K=1024): the gating should keep the overlap on.
   EXPECT_GT(run.groups.size(), 1u);
@@ -99,8 +99,8 @@ TEST(MoeIntegrationTest, HotterRoutingLowersOverlapGain) {
       shapes.push_back(GemmShape{std::max<int64_t>(256, (load + 127) / 128 * 128), 8192, 1024});
     }
     OverlapEngine engine(MakeA800Cluster(4), {}, EngineOptions{.jitter = false});
-    return engine.RunNonOverlapImbalanced(shapes, CommPrimitive::kAllToAll) /
-           engine.RunOverlapImbalanced(shapes, CommPrimitive::kAllToAll).total_us;
+    return engine.Execute(ScenarioSpec::NonOverlapImbalanced(shapes, CommPrimitive::kAllToAll)).total_us /
+           engine.Execute(ScenarioSpec::Imbalanced(shapes, CommPrimitive::kAllToAll)).total_us;
   };
   const double balanced_gain = gain_for(0.0);
   const double skewed_gain = gain_for(0.9);

@@ -51,8 +51,8 @@ TEST(ChromeTraceTest, EngineRunExportsToFile) {
   EngineOptions options;
   options.jitter = false;
   OverlapEngine engine(Make4090Cluster(2), {}, options);
-  const OverlapRun run = engine.RunOverlap(GemmShape{2048, 8192, 8192},
-                                           CommPrimitive::kAllReduce);
+  const OverlapRun run = engine.Execute(ScenarioSpec::Overlap(GemmShape{2048, 8192, 8192},
+                                           CommPrimitive::kAllReduce));
   const std::string path = ::testing::TempDir() + "/overlap_trace.json";
   ASSERT_TRUE(WriteChromeTrace(
       {{"gemm_stream", &run.gemm_timeline}, {"comm_stream", &run.comm_timeline}}, path));
