@@ -1,0 +1,93 @@
+// Serving quickstart: trace-driven request streams over a shared
+// executor, with plans reused across serving loops through one shared,
+// capacity-bounded PlanStore.
+//
+// Walkthrough:
+//   1. build a two-tenant trace (Poisson "chat" + bursty "batch") and
+//      round-trip it through the CSV trace format;
+//   2. serve it on engine A — every distinct plan is tuned once on the
+//      side lane while warm batches keep the executor busy;
+//   3. serve the same trace on a *fresh* engine B sharing A's PlanStore —
+//      zero tuner searches, every plan a cache hit: the paper's "prepare
+//      once, serve many" contract, as a serving system.
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+
+#include "src/core/flashoverlap.h"
+#include "src/util/table.h"
+
+namespace flo {
+namespace {
+
+void PrintSummary(const char* label, const ServeReport& report) {
+  Table table({"tenant", "reqs", "p50 us", "p95 us", "p99 us", "queue us", "hit%"});
+  for (const TenantSummary& s : report.stats.SummarizeAll()) {
+    table.AddRow({s.tenant, std::to_string(s.requests), FormatDouble(s.latency.p50, 1),
+                  FormatDouble(s.latency.p95, 1), FormatDouble(s.latency.p99, 1),
+                  FormatDouble(s.mean_queue_us, 1), FormatDouble(100.0 * s.cache_hit_rate, 1)});
+  }
+  std::printf("%s: %zu requests, %.1f req/s, %zu cold batches\n%s\n", label,
+              report.stats.count(), report.ThroughputPerSec(), report.cold_batches,
+              table.Render().c_str());
+}
+
+void Run() {
+  const ClusterSpec cluster = Make4090Cluster(4);
+  const CommPrimitive prim = CommPrimitive::kAllReduce;
+
+  // Two tenants with different request vocabularies and arrival shapes.
+  const std::vector<ScenarioSpec> chat_specs = {
+      ScenarioSpec::Overlap(GemmShape{2048, 4096, 1024}, prim),
+      ScenarioSpec::Overlap(GemmShape{4096, 4096, 1024}, prim),
+  };
+  const std::vector<ScenarioSpec> batch_specs = {
+      ScenarioSpec::Overlap(GemmShape{8192, 4096, 2048}, prim),
+      ScenarioSpec::Overlap(GemmShape{8192, 8192, 2048}, prim),
+  };
+  auto trace = MergeStreams(
+      {MakeRequestStream("chat", chat_specs, PoissonArrivals(9000.0, 60, 7), 0),
+       MakeRequestStream("batch", batch_specs, BurstyArrivals(18000.0, 4.0, 6, 30, 11), 1000)});
+
+  // Traces are replayable CSV artifacts.
+  const std::string csv = SerializeTrace(trace);
+  const auto reloaded = ParseTrace(csv);
+  if (!reloaded || reloaded->size() != trace.size()) {
+    std::printf("trace CSV round-trip FAILED\n");
+    std::exit(1);
+  }
+  std::printf("trace: %zu requests, CSV round-trip ok\n\n", trace.size());
+
+  // One bounded PlanStore shared by every serving loop.
+  auto store = std::make_shared<PlanStore>(/*capacity=*/16);
+
+  OverlapEngine engine_a(cluster, {}, EngineOptions{.jitter = false});
+  engine_a.UseSharedPlanStore(store);
+  ServeLoop loop_a(&engine_a);
+  PrintSummary("engine A (cold store)", loop_a.Run(*reloaded));
+
+  // A fresh engine — same deployment, so the canonical plan keys match —
+  // serves entirely from A's plans.
+  OverlapEngine engine_b(cluster, {}, EngineOptions{.jitter = false});
+  engine_b.UseSharedPlanStore(store);
+  ServeLoop loop_b(&engine_b);
+  PrintSummary("engine B (shared warm store)", loop_b.Run(*reloaded));
+
+  const PlanStoreStats stats = store->stats();
+  std::printf("shared store: %zu plans resident, %zu hits / %zu misses / %zu evictions\n",
+              store->size(), stats.hits, stats.misses, stats.evictions);
+  std::printf("engine B tuner searches: %zu (served from engine A's plans)\n",
+              engine_b.tuner().search_count());
+  if (engine_b.tuner().search_count() != 0) {
+    std::printf("FAILED: cross-engine plan reuse is broken\n");
+    std::exit(1);
+  }
+}
+
+}  // namespace
+}  // namespace flo
+
+int main() {
+  flo::Run();
+  return 0;
+}

@@ -17,6 +17,13 @@
 //
 // For numerically verified execution on real buffers, use
 // flo::FunctionalOverlap.
+//
+// For online serving (trace-driven request streams over a shared executor
+// with a concurrent, evicting PlanStore), see flo::ServeLoop:
+//   auto store = std::make_shared<flo::PlanStore>(/*capacity=*/64);
+//   engine.UseSharedPlanStore(store);
+//   flo::ServeLoop loop(&engine);
+//   flo::ServeReport report = loop.Run(trace);
 #ifndef SRC_CORE_FLASHOVERLAP_H_
 #define SRC_CORE_FLASHOVERLAP_H_
 
@@ -44,5 +51,9 @@
 #include "src/gemm/tile.h"
 #include "src/gemm/wave.h"
 #include "src/hw/cluster.h"
+#include "src/serve/request_queue.h"
+#include "src/serve/request_source.h"
+#include "src/serve/serve_loop.h"
+#include "src/serve/serve_stats.h"
 
 #endif  // SRC_CORE_FLASHOVERLAP_H_

@@ -15,26 +15,46 @@ OverlapEngine::OverlapEngine(ClusterSpec cluster, TunerConfig tuner_config,
       planner_(&tuner_, &plan_store_),
       executor_(std::move(cluster)) {}
 
+void OverlapEngine::UseSharedPlanStore(std::shared_ptr<PlanStore> store) {
+  FLO_CHECK(store != nullptr);
+  shared_store_ = std::move(store);
+  store_ = shared_store_.get();
+  planner_ = OverlapPlanner(&tuner_, store_);
+}
+
 OverlapRun OverlapEngine::Execute(const ScenarioSpec& spec) {
   const EngineOptions& effective = spec.options.has_value() ? *spec.options : options_;
   const std::vector<GemmShape> shapes = spec.RankShapes(cluster_.gpu_count);
-  const ExecutionPlan& plan = planner_.Plan(spec);
+  bool cache_hit = false;
+  // Against a shared store another engine may evict concurrently, so take
+  // the plan by value (copied under the store's lock) instead of holding a
+  // reference into the map.
+  ExecutionPlan owned;
+  const ExecutionPlan* plan;
+  if (shared_store_ != nullptr) {
+    owned = planner_.PlanByValue(spec, &cache_hit);
+    plan = &owned;
+  } else {
+    plan = &planner_.Plan(spec, &cache_hit);
+  }
   std::vector<GemmConfig> configs;
   configs.reserve(shapes.size());
   for (const GemmShape& shape : shapes) {
     configs.push_back(tuner_.GemmConfigFor(shape));
   }
   const uint64_t seed =
-      executor_.CaseSeed(shapes[0], spec.primitive, plan.partition, effective.seed_salt);
+      executor_.CaseSeed(shapes[0], spec.primitive, plan->partition, effective.seed_salt);
   if (spec.kind == ScenarioKind::kNonOverlap) {
     OverlapRun run;
-    run.partition = plan.partition;
-    run.total_us = executor_.ExecuteSequential(plan, configs, effective, seed);
-    run.predicted_us = plan.predicted_non_overlap_us;
+    run.partition = plan->partition;
+    run.total_us = executor_.ExecuteSequential(*plan, configs, effective, seed);
+    run.predicted_us = plan->predicted_non_overlap_us;
+    run.plan_cache_hit = cache_hit;
     return run;
   }
-  OverlapRun run = executor_.ExecuteOverlap(plan, configs, effective, seed);
-  run.predicted_us = plan.predicted_us;
+  OverlapRun run = executor_.ExecuteOverlap(*plan, configs, effective, seed);
+  run.predicted_us = plan->predicted_us;
+  run.plan_cache_hit = cache_hit;
   return run;
 }
 

@@ -14,6 +14,7 @@
 #ifndef SRC_CORE_OVERLAP_ENGINE_H_
 #define SRC_CORE_OVERLAP_ENGINE_H_
 
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -38,10 +39,20 @@ class OverlapEngine {
 
   Tuner& tuner() { return tuner_; }
   OverlapPlanner& planner() { return planner_; }
-  PlanStore& plan_store() { return plan_store_; }
+  // The active store: the engine-owned one, or the shared one after
+  // UseSharedPlanStore.
+  PlanStore& plan_store() { return *store_; }
   ScheduleExecutor& executor() { return executor_; }
   const ClusterSpec& cluster() const { return cluster_; }
   const EngineOptions& options() const { return options_; }
+
+  // Shared-store mode (the paper's plans are "cached and reusable across
+  // serving processes"): repoints the planner at an external, possibly
+  // capacity-bounded PlanStore so several engines/serving loops reuse each
+  // other's plans. Cross-engine reuse only happens between identical
+  // deployments — the canonical key covers cluster and tuner config.
+  // Resets planner stats (they described the old store).
+  void UseSharedPlanStore(std::shared_ptr<PlanStore> store);
 
   // Executes one scenario end to end: plan (cached) then schedule. For
   // ScenarioKind::kNonOverlap only `total_us`, `predicted_us` and
@@ -77,6 +88,8 @@ class OverlapEngine {
   EngineOptions options_;
   Tuner tuner_;
   PlanStore plan_store_;
+  std::shared_ptr<PlanStore> shared_store_;  // set by UseSharedPlanStore
+  PlanStore* store_ = &plan_store_;          // the store planner_ memoizes into
   OverlapPlanner planner_;
   ScheduleExecutor executor_;
 };

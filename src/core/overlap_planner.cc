@@ -52,14 +52,33 @@ uint64_t OverlapPlanner::CanonicalKey(const ScenarioSpec& spec) const {
   return hash.value();
 }
 
-const ExecutionPlan& OverlapPlanner::Plan(const ScenarioSpec& spec) {
+void OverlapPlanner::RecordLookup(bool hit, bool* cache_hit) {
+  (hit ? stats_.cache_hits : stats_.cache_misses) += 1;
+  if (cache_hit != nullptr) {
+    *cache_hit = hit;
+  }
+}
+
+const ExecutionPlan& OverlapPlanner::Plan(const ScenarioSpec& spec, bool* cache_hit) {
   const uint64_t key = CanonicalKey(spec);
   if (const ExecutionPlan* cached = store_->Find(key)) {
-    ++stats_.cache_hits;
+    RecordLookup(true, cache_hit);
     return *cached;
   }
-  ++stats_.cache_misses;
+  RecordLookup(false, cache_hit);
   return store_->Put(key, Build(spec));
+}
+
+ExecutionPlan OverlapPlanner::PlanByValue(const ScenarioSpec& spec, bool* cache_hit) {
+  const uint64_t key = CanonicalKey(spec);
+  if (std::optional<ExecutionPlan> cached = store_->FindCopy(key)) {
+    RecordLookup(true, cache_hit);
+    return *std::move(cached);
+  }
+  RecordLookup(false, cache_hit);
+  ExecutionPlan built = Build(spec);
+  store_->Put(key, built);
+  return built;
 }
 
 ExecutionPlan OverlapPlanner::Build(const ScenarioSpec& spec) {

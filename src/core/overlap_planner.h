@@ -35,13 +35,23 @@ class OverlapPlanner {
   uint64_t CanonicalKey(const ScenarioSpec& spec) const;
 
   // Returns the memoized plan, building (and caching) it on first use.
-  // The reference is stable for the PlanStore's lifetime.
-  const ExecutionPlan& Plan(const ScenarioSpec& spec);
+  // The reference is stable until the store evicts the entry (so: consume
+  // it before planning anything else against a capacity-bounded store).
+  // `cache_hit`, when non-null, reports whether the plan was served from
+  // the store — per-spec visibility for batch sweeps and serving loops.
+  const ExecutionPlan& Plan(const ScenarioSpec& spec, bool* cache_hit = nullptr);
+
+  // Value-returning variant for shared stores: the copy is taken under the
+  // store's lock (PlanStore::FindCopy), so it stays valid even if another
+  // engine concurrently evicts the entry. The engine uses this whenever a
+  // shared PlanStore is attached.
+  ExecutionPlan PlanByValue(const ScenarioSpec& spec, bool* cache_hit = nullptr);
 
   const PlannerStats& stats() const { return stats_; }
   void ResetStats() { stats_ = PlannerStats{}; }
 
  private:
+  void RecordLookup(bool hit, bool* cache_hit);
   ExecutionPlan Build(const ScenarioSpec& spec);
   ExecutionPlan BuildNonOverlap(const ScenarioSpec& spec);
   ExecutionPlan BuildBalancedOverlap(const ScenarioSpec& spec);

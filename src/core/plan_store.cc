@@ -5,6 +5,8 @@
 #include <sstream>
 
 #include "src/util/check.h"
+#include "src/util/parse.h"
+#include "src/util/table.h"
 
 namespace flo {
 namespace {
@@ -25,15 +27,11 @@ std::optional<WavePartition> PartitionFromCsv(const std::string& text) {
   std::stringstream stream(text);
   std::string token;
   while (std::getline(stream, token, ',')) {
-    try {
-      const int value = std::stoi(token);
-      if (value <= 0) {
-        return std::nullopt;
-      }
-      partition.group_sizes.push_back(value);
-    } catch (...) {
+    const auto value = TryParseInt(token);
+    if (!value || *value <= 0) {
       return std::nullopt;
     }
+    partition.group_sizes.push_back(*value);
   }
   if (partition.group_sizes.empty()) {
     return std::nullopt;
@@ -93,13 +91,138 @@ std::optional<std::vector<StoredPlan>> ParsePlans(const std::string& text) {
   return plans;
 }
 
+PlanStore::PlanStore(const PlanStore& other) {
+  std::lock_guard<std::mutex> lock(other.mu_);
+  capacity_ = other.capacity_;
+  plans_ = other.plans_;
+  last_use_ = other.last_use_;
+  use_clock_ = other.use_clock_;
+  stats_ = other.stats_;
+}
+
+PlanStore::PlanStore(PlanStore&& other) noexcept {
+  std::lock_guard<std::mutex> lock(other.mu_);
+  capacity_ = other.capacity_;
+  plans_ = std::move(other.plans_);
+  last_use_ = std::move(other.last_use_);
+  use_clock_ = other.use_clock_;
+  stats_ = other.stats_;
+}
+
+PlanStore& PlanStore::operator=(const PlanStore& other) {
+  if (this == &other) {
+    return *this;
+  }
+  PlanStore copy(other);
+  std::lock_guard<std::mutex> lock(mu_);
+  capacity_ = copy.capacity_;
+  plans_ = std::move(copy.plans_);
+  last_use_ = std::move(copy.last_use_);
+  use_clock_ = copy.use_clock_;
+  stats_ = copy.stats_;
+  return *this;
+}
+
+PlanStore& PlanStore::operator=(PlanStore&& other) noexcept {
+  if (this == &other) {
+    return *this;
+  }
+  std::scoped_lock lock(mu_, other.mu_);
+  capacity_ = other.capacity_;
+  plans_ = std::move(other.plans_);
+  last_use_ = std::move(other.last_use_);
+  use_clock_ = other.use_clock_;
+  stats_ = other.stats_;
+  return *this;
+}
+
+void PlanStore::TouchLocked(uint64_t key) const { last_use_[key] = ++use_clock_; }
+
+void PlanStore::EnforceCapacityLocked() {
+  while (capacity_ != 0 && plans_.size() > capacity_) {
+    auto victim = last_use_.begin();
+    for (auto it = last_use_.begin(); it != last_use_.end(); ++it) {
+      if (it->second < victim->second) {
+        victim = it;
+      }
+    }
+    plans_.erase(victim->first);
+    last_use_.erase(victim);
+    ++stats_.evictions;
+  }
+}
+
 const ExecutionPlan* PlanStore::Find(uint64_t key) const {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = plans_.find(key);
-  return it == plans_.end() ? nullptr : &it->second;
+  if (it == plans_.end()) {
+    ++stats_.misses;
+    return nullptr;
+  }
+  ++stats_.hits;
+  TouchLocked(key);
+  return &it->second;
+}
+
+std::optional<ExecutionPlan> PlanStore::FindCopy(uint64_t key) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = plans_.find(key);
+  if (it == plans_.end()) {
+    ++stats_.misses;
+    return std::nullopt;
+  }
+  ++stats_.hits;
+  TouchLocked(key);
+  return it->second;
 }
 
 const ExecutionPlan& PlanStore::Put(uint64_t key, ExecutionPlan plan) {
-  return plans_.insert_or_assign(key, std::move(plan)).first->second;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = plans_.insert_or_assign(key, std::move(plan));
+  TouchLocked(key);
+  if (inserted) {
+    // The fresh entry holds the max use tick, so eviction can never pick
+    // it: the returned reference stays valid.
+    EnforceCapacityLocked();
+  }
+  return it->second;
+}
+
+bool PlanStore::Contains(uint64_t key) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return plans_.count(key) != 0;
+}
+
+size_t PlanStore::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return plans_.size();
+}
+
+void PlanStore::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  plans_.clear();
+  last_use_.clear();
+}
+
+size_t PlanStore::capacity() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return capacity_;
+}
+
+void PlanStore::set_capacity(size_t capacity) {
+  std::lock_guard<std::mutex> lock(mu_);
+  capacity_ = capacity;
+  EnforceCapacityLocked();
+}
+
+PlanStoreStats PlanStore::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void PlanStore::ResetStats() {
+  std::lock_guard<std::mutex> lock(mu_);
+  stats_ = PlanStoreStats{};
 }
 
 namespace {
@@ -109,33 +232,16 @@ std::optional<std::vector<int>> IntsFromCsv(const std::string& text) {
   std::stringstream stream(text);
   std::string token;
   while (std::getline(stream, token, ',')) {
-    try {
-      values.push_back(std::stoi(token));
-    } catch (...) {
+    const auto value = TryParseInt(token);
+    if (!value) {
       return std::nullopt;
     }
+    values.push_back(*value);
   }
   if (values.empty()) {
     return std::nullopt;
   }
   return values;
-}
-
-std::optional<ScenarioKind> KindFromName(const std::string& name) {
-  if (name == "Overlap") {
-    return ScenarioKind::kOverlap;
-  }
-  if (name == "NonOverlap") {
-    return ScenarioKind::kNonOverlap;
-  }
-  return std::nullopt;
-}
-
-// %.17g round-trips a double exactly through strtod.
-std::string DoubleToken(double value) {
-  char buffer[64];
-  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
-  return buffer;
 }
 
 std::string KeyToken(uint64_t key) {
@@ -178,12 +284,13 @@ bool StructurallyValid(const ExecutionPlan& plan) {
 }  // namespace
 
 std::string PlanStore::Serialize() const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::ostringstream out;
   out << "# FlashOverlap execution plans: keyed by canonical scenario hash\n";
   for (const auto& [key, plan] : plans_) {
     out << "plan " << KeyToken(key) << ' ' << ScenarioKindName(plan.kind) << ' '
         << CommPrimitiveName(plan.primitive) << ' ' << PartitionToCsv(plan.partition) << ' '
-        << DoubleToken(plan.predicted_us) << ' ' << DoubleToken(plan.predicted_non_overlap_us)
+        << FormatDoubleExact(plan.predicted_us) << ' ' << FormatDoubleExact(plan.predicted_non_overlap_us)
         << '\n';
     for (const auto& tiles : plan.group_tiles) {
       out << "tiles ";
@@ -193,8 +300,8 @@ std::string PlanStore::Serialize() const {
       out << "\n";
     }
     for (const auto& segment : plan.segments) {
-      out << "seg " << segment.group << ' ' << DoubleToken(segment.max_bytes) << ' '
-          << DoubleToken(segment.latency_us) << '\n';
+      out << "seg " << segment.group << ' ' << FormatDoubleExact(segment.max_bytes) << ' '
+          << FormatDoubleExact(segment.latency_us) << '\n';
     }
     out << "end\n";
   }
@@ -223,16 +330,24 @@ std::optional<PlanStore> PlanStore::Parse(const std::string& text) {
       std::string kind;
       std::string primitive;
       std::string partition;
-      if (!(fields >> key_hex >> kind >> primitive >> partition >> plan.predicted_us >>
-            plan.predicted_non_overlap_us)) {
+      std::string predicted;
+      std::string non_overlap;
+      if (!(fields >> key_hex >> kind >> primitive >> partition >> predicted >> non_overlap)) {
         return std::nullopt;
       }
-      try {
-        key = std::stoull(key_hex, nullptr, 16);
-      } catch (...) {
+      const auto parsed_key = TryParseHexU64(key_hex);
+      if (!parsed_key) {
         return std::nullopt;
       }
-      const auto parsed_kind = KindFromName(kind);
+      key = *parsed_key;
+      const auto parsed_predicted = TryParseDouble(predicted);
+      const auto parsed_non_overlap = TryParseDouble(non_overlap);
+      if (!parsed_predicted || !parsed_non_overlap) {
+        return std::nullopt;
+      }
+      plan.predicted_us = *parsed_predicted;
+      plan.predicted_non_overlap_us = *parsed_non_overlap;
+      const auto parsed_kind = TryScenarioKindFromName(kind);
       const auto parsed_primitive = TryCommPrimitiveFromName(primitive);
       const auto parsed_partition = PartitionFromCsv(partition);
       if (!parsed_kind || !parsed_primitive || !parsed_partition) {
@@ -253,11 +368,22 @@ std::optional<PlanStore> PlanStore::Parse(const std::string& text) {
       }
       plan.group_tiles.push_back(std::move(*tiles));
     } else if (tag == "seg") {
-      CommSegment segment;
-      if (!in_record ||
-          !(fields >> segment.group >> segment.max_bytes >> segment.latency_us)) {
+      std::string group;
+      std::string max_bytes;
+      std::string latency;
+      if (!in_record || !(fields >> group >> max_bytes >> latency)) {
         return std::nullopt;
       }
+      const auto parsed_group = TryParseInt(group);
+      const auto parsed_bytes = TryParseDouble(max_bytes);
+      const auto parsed_latency = TryParseDouble(latency);
+      if (!parsed_group || !parsed_bytes || !parsed_latency) {
+        return std::nullopt;
+      }
+      CommSegment segment;
+      segment.group = *parsed_group;
+      segment.max_bytes = *parsed_bytes;
+      segment.latency_us = *parsed_latency;
       plan.segments.push_back(segment);
     } else if (tag == "end") {
       if (!in_record || !StructurallyValid(plan)) {

@@ -19,6 +19,7 @@
 
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -50,10 +51,36 @@ std::optional<std::vector<StoredPlan>> ParsePlans(const std::string& text);
 bool SavePlansToFile(const std::vector<StoredPlan>& plans, const std::string& path);
 std::optional<std::vector<StoredPlan>> LoadPlansFromFile(const std::string& path);
 
+// Hit/miss counts from Find/FindCopy lookups, evictions from capacity
+// enforcement. Contains() is a peek and does not count.
+struct PlanStoreStats {
+  size_t hits = 0;
+  size_t misses = 0;
+  size_t evictions = 0;
+
+  double HitRate() const {
+    const size_t total = hits + misses;
+    return total == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(total);
+  }
+};
+
 // Keyed store of full ExecutionPlans. The key is the OverlapPlanner's
 // canonical scenario hash (scenario fields x cluster x tuner config), so a
 // store survives process restarts only between identical deployments —
 // exactly the paper's "prepare once, serve many" contract.
+//
+// Capacity: an optional cap on the number of resident plans; exceeding it
+// evicts the least-recently-used entry (lookups and inserts count as use).
+// 0 means unbounded. Capacity is a runtime knob, not part of the
+// serialized format.
+//
+// Concurrency: every member is guarded by an internal mutex, so one store
+// can be shared by multiple serving loops (the paper's plans are "cached
+// and reusable across serving processes"). Find/Put return references into
+// the store that stay valid only until the entry is evicted — within one
+// thread that is fine (the plan is consumed immediately); across threads
+// use FindCopy. plans() exposes the underlying map and is only safe while
+// no other thread mutates the store.
 //
 // Text format (multi-line records):
 //   plan <key-hex> <kind> <primitive> <partition-csv> <predicted> <non_overlap>
@@ -62,13 +89,33 @@ std::optional<std::vector<StoredPlan>> LoadPlansFromFile(const std::string& path
 //   end
 class PlanStore {
  public:
-  // nullptr when absent.
+  PlanStore() = default;
+  explicit PlanStore(size_t capacity) : capacity_(capacity) {}
+
+  PlanStore(const PlanStore& other);
+  PlanStore(PlanStore&& other) noexcept;
+  PlanStore& operator=(const PlanStore& other);
+  PlanStore& operator=(PlanStore&& other) noexcept;
+
+  // nullptr when absent. Counts a hit/miss and refreshes LRU recency.
   const ExecutionPlan* Find(uint64_t key) const;
-  // Inserts or overwrites; returns the stored plan.
+  // Thread-safe lookup for shared-store use: returns a copy, so the result
+  // survives a concurrent eviction.
+  std::optional<ExecutionPlan> FindCopy(uint64_t key) const;
+  // Inserts or overwrites; returns the stored plan. May evict the
+  // least-recently-used *other* entry when over capacity.
   const ExecutionPlan& Put(uint64_t key, ExecutionPlan plan);
-  bool Contains(uint64_t key) const { return plans_.count(key) != 0; }
-  size_t size() const { return plans_.size(); }
-  void Clear() { plans_.clear(); }
+  // Peek: no stats, no recency update.
+  bool Contains(uint64_t key) const;
+  size_t size() const;
+  void Clear();
+
+  // 0 = unbounded. Shrinking below the current size evicts immediately.
+  size_t capacity() const;
+  void set_capacity(size_t capacity);
+
+  PlanStoreStats stats() const;
+  void ResetStats();
 
   const std::map<uint64_t, ExecutionPlan>& plans() const { return plans_; }
 
@@ -79,7 +126,19 @@ class PlanStore {
   static std::optional<PlanStore> LoadFromFile(const std::string& path);
 
  private:
+  void TouchLocked(uint64_t key) const;
+  // Evicts least-recently-used entries until size() <= capacity().
+  void EnforceCapacityLocked();
+
+  mutable std::mutex mu_;
+  size_t capacity_ = 0;
   std::map<uint64_t, ExecutionPlan> plans_;
+  // LRU bookkeeping: a monotonic use tick per key. Eviction takes the
+  // minimum — O(n), but stores hold at most thousands of plans and the
+  // flat layout keeps the class copyable (tests snapshot stores by value).
+  mutable std::map<uint64_t, uint64_t> last_use_;
+  mutable uint64_t use_clock_ = 0;
+  mutable PlanStoreStats stats_;
 };
 
 }  // namespace flo

@@ -16,6 +16,15 @@ const char* ScenarioKindName(ScenarioKind kind) {
   return "Unknown";
 }
 
+std::optional<ScenarioKind> TryScenarioKindFromName(const std::string& name) {
+  for (ScenarioKind kind : {ScenarioKind::kOverlap, ScenarioKind::kNonOverlap}) {
+    if (name == ScenarioKindName(kind)) {
+      return kind;
+    }
+  }
+  return std::nullopt;
+}
+
 std::vector<GemmShape> ScenarioSpec::RankShapes(int gpu_count) const {
   FLO_CHECK(!shapes.empty()) << "scenario has no shapes";
   if (shapes.size() == 1) {

@@ -32,6 +32,9 @@ enum class ScenarioKind {
 };
 
 const char* ScenarioKindName(ScenarioKind kind);
+// Inverse of ScenarioKindName; std::nullopt for unknown names. Shared by
+// every text parser (plan store, serving traces).
+std::optional<ScenarioKind> TryScenarioKindFromName(const std::string& name);
 
 struct ScenarioSpec {
   ScenarioKind kind = ScenarioKind::kOverlap;

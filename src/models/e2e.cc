@@ -6,7 +6,6 @@
 #include "src/util/check.h"
 
 namespace flo {
-namespace {
 
 // Imbalanced A2A: spread per-rank token counts around the mean with the
 // requested max/mean factor (deterministic ramp).
@@ -26,8 +25,6 @@ std::vector<GemmShape> ImbalancedShapes(const GemmShape& shape, int gpu_count,
   }
   return shapes;
 }
-
-}  // namespace
 
 E2eReport EvaluateWorkload(const Workload& workload) {
   OverlapEngine engine(workload.cluster);

@@ -27,6 +27,12 @@ struct E2eReport {
   double e2e_speedup = 1.0;
 };
 
+// Imbalanced A2A: spreads per-rank token counts around the mean with a
+// deterministic linear ramp; max/mean equals `imbalance`. Shared by the
+// e2e evaluation and the serving request source.
+std::vector<GemmShape> ImbalancedShapes(const GemmShape& shape, int gpu_count,
+                                        double imbalance);
+
 // Runs every op of the workload through the engine (overlap vs non-overlap)
 // and composes the end-to-end speedup using the workload's GEMM+X fraction.
 E2eReport EvaluateWorkload(const Workload& workload);

@@ -1,0 +1,83 @@
+#include "src/serve/request_queue.h"
+
+#include <utility>
+
+#include "src/util/check.h"
+
+namespace flo {
+
+RequestQueue::RequestQueue(Keyer keyer) : keyer_(std::move(keyer)) {
+  FLO_CHECK(keyer_ != nullptr);
+}
+
+void RequestQueue::Admit(ServeRequest request) {
+  const uint64_t key = keyer_(request.spec);
+  queues_[request.tenant].push_back(Pending{std::move(request), key});
+  ++size_;
+}
+
+size_t RequestQueue::TenantDepth(const std::string& tenant) const {
+  auto it = queues_.find(tenant);
+  return it == queues_.end() ? 0 : it->second.size();
+}
+
+std::vector<std::string> RequestQueue::Tenants() const {
+  std::vector<std::string> tenants;
+  tenants.reserve(queues_.size());
+  for (const auto& [tenant, queue] : queues_) {
+    tenants.push_back(tenant);
+  }
+  return tenants;
+}
+
+const std::string& RequestQueue::NextTenant() const {
+  FLO_CHECK(!empty());
+  // First non-empty tenant strictly after the last choice, wrapping.
+  auto it = queues_.upper_bound(last_tenant_);
+  for (size_t steps = 0; steps < 2 * queues_.size(); ++steps, ++it) {
+    if (it == queues_.end()) {
+      it = queues_.begin();
+    }
+    if (!it->second.empty()) {
+      return it->first;
+    }
+  }
+  FLO_CHECK(false) << "non-empty queue with no poppable tenant";
+  return last_tenant_;  // unreachable
+}
+
+uint64_t RequestQueue::PeekKey() const { return queues_.at(NextTenant()).front().key; }
+
+std::vector<ServeRequest> RequestQueue::PopBatch(int max_batch, uint64_t* batch_key) {
+  FLO_CHECK_GT(max_batch, 0);
+  std::vector<ServeRequest> batch;
+  if (empty()) {
+    return batch;
+  }
+  const std::string tenant = NextTenant();
+  last_tenant_ = tenant;
+  const uint64_t key = queues_[tenant].front().key;
+  if (batch_key != nullptr) {
+    *batch_key = key;
+  }
+  // The chosen tenant's consecutive same-key run first, then the other
+  // tenants' same-key head runs in rotation order.
+  auto drain = [&](std::deque<Pending>* queue) {
+    while (!queue->empty() && queue->front().key == key &&
+           batch.size() < static_cast<size_t>(max_batch)) {
+      batch.push_back(std::move(queue->front().request));
+      queue->pop_front();
+      --size_;
+    }
+  };
+  drain(&queues_[tenant]);
+  for (auto it = queues_.upper_bound(tenant); it != queues_.end(); ++it) {
+    drain(&it->second);
+  }
+  for (auto it = queues_.begin(); it != queues_.end() && it->first < tenant; ++it) {
+    drain(&it->second);
+  }
+  return batch;
+}
+
+}  // namespace flo

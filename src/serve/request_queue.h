@@ -1,0 +1,69 @@
+// Per-tenant admission queues with compatibility-batched popping.
+//
+// The serving scheduler admits every arriving request into its tenant's
+// FIFO and drains the queues round-robin so no tenant starves. A pop
+// returns a *batch*: the rotation tenant's head request defines a plan key
+// (the planner's canonical scenario hash), and the batch gathers the
+// consecutive same-key run at that tenant's head plus same-key runs at the
+// other tenants' heads, up to a size cap. Requests batched together share
+// one executor dispatch — and, by construction, one cached plan.
+#ifndef SRC_SERVE_REQUEST_QUEUE_H_
+#define SRC_SERVE_REQUEST_QUEUE_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/serve/request_source.h"
+
+namespace flo {
+
+class RequestQueue {
+ public:
+  // Maps a spec to its plan-compatibility key (typically
+  // OverlapPlanner::CanonicalKey). Keys are computed once, at admission.
+  using Keyer = std::function<uint64_t(const ScenarioSpec&)>;
+
+  explicit RequestQueue(Keyer keyer);
+
+  void Admit(ServeRequest request);
+
+  bool empty() const { return size_ == 0; }
+  size_t size() const { return size_; }
+  size_t TenantDepth(const std::string& tenant) const;
+  std::vector<std::string> Tenants() const;
+
+  // Pops the next batch (empty only when the queue is empty). Tenant
+  // rotation is deterministic: alphabetical order, resuming after the
+  // previously chosen tenant. `batch_key`, when non-null, receives the
+  // plan key the batch was formed around.
+  std::vector<ServeRequest> PopBatch(int max_batch, uint64_t* batch_key = nullptr);
+
+  // The plan key the next PopBatch would batch around, without popping or
+  // advancing the rotation (so a PopBatch right after returns a batch of
+  // exactly this key). Requires !empty(). Lets a scheduler decide lane
+  // routing before committing to the pop.
+  uint64_t PeekKey() const;
+
+ private:
+  struct Pending {
+    ServeRequest request;
+    uint64_t key = 0;
+  };
+
+  // The tenant whose head defines the next batch. Requires !empty().
+  const std::string& NextTenant() const;
+
+  Keyer keyer_;
+  // std::map keeps tenant iteration (and thus rotation) deterministic.
+  std::map<std::string, std::deque<Pending>> queues_;
+  std::string last_tenant_;
+  size_t size_ = 0;
+};
+
+}  // namespace flo
+
+#endif  // SRC_SERVE_REQUEST_QUEUE_H_

@@ -1,0 +1,79 @@
+// The online serving scheduler: drains a request trace through one shared
+// ScheduleExecutor on the simulated clock.
+//
+// Model: one executor lane (the cluster runs one overlapped scenario at a
+// time — the GEMM waves of a batch own the SM pool) plus one tuning lane.
+// Arriving requests are admitted into per-tenant queues (RequestQueue);
+// batches of plan-compatible requests are dispatched to the executor.
+// A batch whose plan is cold is routed to the tuning lane first, so
+// cold-plan tuning overlaps warm-plan execution instead of stalling it —
+// the serving-side payoff of the paper's reusable-plan design. With
+// overlap_tuning off, tuning happens inline on the executor lane (the
+// naive baseline).
+//
+// Cold-plan cost on the sim clock is a plan-build base charge plus a per
+// tuner search charge (measured via Tuner::search_count). Note the two
+// cache layers: evicting a plan from a capacity-bounded PlanStore re-pays
+// the base on the next request, but the expensive searches return only
+// when the engine's own Tuner cache (unbounded, per process) is also
+// cold — i.e. in a fresh serving process, which is exactly the situation
+// shared stores exist to rescue.
+#ifndef SRC_SERVE_SERVE_LOOP_H_
+#define SRC_SERVE_SERVE_LOOP_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/core/overlap_engine.h"
+#include "src/serve/request_source.h"
+#include "src/serve/serve_stats.h"
+
+namespace flo {
+
+struct ServeConfig {
+  // Max requests fused into one executor dispatch (they share a plan).
+  int max_batch = 4;
+  // Cold-plan tuning cost on the serving clock: base + per tuner search.
+  // A search stands for profiling candidate GEMM configs before runtime
+  // (paper Sec. 4.2.2), so it costs milliseconds, not microseconds.
+  double tune_base_us = 50.0;
+  double tune_per_search_us = 20000.0;
+  // Tune cold plans on the side lane while warm batches keep executing.
+  bool overlap_tuning = true;
+};
+
+struct ServeReport {
+  ServeStats stats;
+  SimTime makespan_us = 0.0;
+  size_t batches = 0;
+  // Batches whose plan was cold when they were formed.
+  size_t cold_batches = 0;
+  double executor_busy_us = 0.0;
+  double tuner_busy_us = 0.0;
+
+  double ThroughputPerSec() const {
+    return makespan_us > 0.0 ? static_cast<double>(stats.count()) / makespan_us * 1e6 : 0.0;
+  }
+};
+
+class ServeLoop {
+ public:
+  // The engine is borrowed and must outlive the loop. Point it at a shared
+  // PlanStore (OverlapEngine::UseSharedPlanStore) to serve warm from
+  // another loop's tuning work.
+  explicit ServeLoop(OverlapEngine* engine, ServeConfig config = {});
+
+  // Serves the trace to completion and returns the metrics. Deterministic:
+  // the same trace against the same engine state yields identical numbers.
+  ServeReport Run(std::vector<ServeRequest> requests);
+
+  const ServeConfig& config() const { return config_; }
+
+ private:
+  OverlapEngine* engine_;
+  ServeConfig config_;
+};
+
+}  // namespace flo
+
+#endif  // SRC_SERVE_SERVE_LOOP_H_

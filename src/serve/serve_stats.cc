@@ -1,0 +1,89 @@
+#include "src/serve/serve_stats.h"
+
+#include <utility>
+
+#include "src/util/check.h"
+#include "src/util/table.h"
+
+namespace flo {
+
+void ServeStats::Record(RequestRecord record) {
+  FLO_CHECK(!record.tenant.empty());
+  FLO_CHECK_GE(record.start_us, record.arrival_us);
+  FLO_CHECK_GE(record.finish_us, record.start_us);
+  by_tenant_[record.tenant].push_back(records_.size());
+  records_.push_back(std::move(record));
+}
+
+std::vector<std::string> ServeStats::Tenants() const {
+  std::vector<std::string> tenants;
+  tenants.reserve(by_tenant_.size());
+  for (const auto& [tenant, indices] : by_tenant_) {
+    tenants.push_back(tenant);
+  }
+  return tenants;
+}
+
+TenantSummary ServeStats::Summarize(const std::string& tenant) const {
+  TenantSummary summary;
+  summary.tenant = tenant;
+  auto it = by_tenant_.find(tenant);
+  FLO_CHECK(it != by_tenant_.end()) << "no records for tenant " << tenant;
+  std::vector<double> latencies;
+  latencies.reserve(it->second.size());
+  double queue_sum = 0.0;
+  double exec_sum = 0.0;
+  double batch_sum = 0.0;
+  size_t hits = 0;
+  for (const size_t index : it->second) {
+    const RequestRecord& record = records_[index];
+    latencies.push_back(record.LatencyUs());
+    queue_sum += record.QueueUs();
+    exec_sum += record.ExecUs();
+    batch_sum += record.batch_size;
+    hits += record.plan_cache_hit ? 1 : 0;
+  }
+  summary.requests = latencies.size();
+  const double n = static_cast<double>(latencies.size());
+  summary.mean_queue_us = queue_sum / n;
+  summary.mean_exec_us = exec_sum / n;
+  summary.mean_batch_size = batch_sum / n;
+  summary.cache_hit_rate = static_cast<double>(hits) / n;
+  summary.latency = SummarizePercentiles(std::move(latencies));
+  return summary;
+}
+
+std::vector<TenantSummary> ServeStats::SummarizeAll() const {
+  std::vector<TenantSummary> summaries;
+  for (const std::string& tenant : Tenants()) {
+    summaries.push_back(Summarize(tenant));
+  }
+  return summaries;
+}
+
+double ServeStats::CacheHitRate() const {
+  if (records_.empty()) {
+    return 0.0;
+  }
+  size_t hits = 0;
+  for (const RequestRecord& record : records_) {
+    hits += record.plan_cache_hit ? 1 : 0;
+  }
+  return static_cast<double>(hits) / static_cast<double>(records_.size());
+}
+
+CsvWriter ServeStats::ToCsv() const {
+  CsvWriter csv({"tenant", "requests", "latency_p50_us", "latency_p90_us", "latency_p95_us",
+                 "latency_p99_us", "mean_queue_us", "mean_exec_us", "cache_hit_rate",
+                 "mean_batch_size"});
+  for (const TenantSummary& s : SummarizeAll()) {
+    csv.AddRow({s.tenant, std::to_string(s.requests), FormatDouble(s.latency.p50, 3),
+                FormatDouble(s.latency.p90, 3), FormatDouble(s.latency.p95, 3),
+                FormatDouble(s.latency.p99, 3), FormatDouble(s.mean_queue_us, 3),
+                FormatDouble(s.mean_exec_us, 3), FormatDouble(s.cache_hit_rate, 4),
+                FormatDouble(s.mean_batch_size, 2)});
+  }
+  return csv;
+}
+
+}  // namespace flo

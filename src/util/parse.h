@@ -1,0 +1,24 @@
+// Strict numeric parsing for on-disk text formats (plan store, serving
+// traces): the whole field must be consumed or the parse fails —
+// std::stoi/stod stop at the first invalid character and would silently
+// accept trailing garbage like "12abc".
+#ifndef SRC_UTIL_PARSE_H_
+#define SRC_UTIL_PARSE_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace flo {
+
+std::optional<int> TryParseInt(const std::string& text);
+std::optional<int64_t> TryParseInt64(const std::string& text);
+std::optional<double> TryParseDouble(const std::string& text);
+
+// Bare hex digits only (1..16 of them): no sign, no "0x", no whitespace —
+// stricter than strtoull, which would wrap "-1" to 0xFFFFFFFFFFFFFFFF.
+std::optional<uint64_t> TryParseHexU64(const std::string& text);
+
+}  // namespace flo
+
+#endif  // SRC_UTIL_PARSE_H_

@@ -39,11 +39,12 @@ double GeoMean(const std::vector<double>& values) {
   return std::exp(log_sum / static_cast<double>(values.size()));
 }
 
-double Percentile(std::vector<double> values, double p) {
-  FLO_CHECK(!values.empty());
+namespace {
+
+// `values` must be sorted and non-empty.
+double PercentileOfSorted(const std::vector<double>& values, double p) {
   FLO_CHECK_GE(p, 0.0);
   FLO_CHECK_LE(p, 100.0);
-  std::sort(values.begin(), values.end());
   if (values.size() == 1) {
     return values[0];
   }
@@ -52,6 +53,25 @@ double Percentile(std::vector<double> values, double p) {
   const size_t hi = std::min(lo + 1, values.size() - 1);
   const double frac = rank - static_cast<double>(lo);
   return values[lo] + frac * (values[hi] - values[lo]);
+}
+
+}  // namespace
+
+double Percentile(std::vector<double> values, double p) {
+  FLO_CHECK(!values.empty());
+  std::sort(values.begin(), values.end());
+  return PercentileOfSorted(values, p);
+}
+
+PercentileSummary SummarizePercentiles(std::vector<double> values) {
+  FLO_CHECK(!values.empty());
+  std::sort(values.begin(), values.end());
+  PercentileSummary s;
+  s.p50 = PercentileOfSorted(values, 50.0);
+  s.p90 = PercentileOfSorted(values, 90.0);
+  s.p95 = PercentileOfSorted(values, 95.0);
+  s.p99 = PercentileOfSorted(values, 99.0);
+  return s;
 }
 
 std::vector<double> EmpiricalCdf(const std::vector<double>& samples,

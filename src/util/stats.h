@@ -25,6 +25,17 @@ double GeoMean(const std::vector<double>& values);
 // p in [0, 100]; linear interpolation between order statistics.
 double Percentile(std::vector<double> values, double p);
 
+// The serving-tail percentiles (SLO reporting), computed with one sort.
+struct PercentileSummary {
+  double p50 = 0.0;
+  double p90 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+};
+
+// Requires a non-empty sample set; same interpolation as Percentile.
+PercentileSummary SummarizePercentiles(std::vector<double> values);
+
 // Empirical CDF evaluated at the given thresholds: fraction of samples <= t.
 std::vector<double> EmpiricalCdf(const std::vector<double>& samples,
                                  const std::vector<double>& thresholds);

@@ -54,6 +54,12 @@ std::string FormatDouble(double value, int decimals) {
   return buffer;
 }
 
+std::string FormatDoubleExact(double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  return buffer;
+}
+
 std::string FormatBytes(double bytes) {
   const char* units[] = {"B", "KiB", "MiB", "GiB", "TiB"};
   int unit = 0;

@@ -31,6 +31,10 @@ class Table {
 // Formats a double with the given number of decimals (locale-independent).
 std::string FormatDouble(double value, int decimals);
 
+// %.17g: round-trips a double exactly through strtod. The convention for
+// every on-disk text format (plan store, serving traces).
+std::string FormatDoubleExact(double value);
+
 // Formats a byte count with binary units ("1.5 MiB").
 std::string FormatBytes(double bytes);
 

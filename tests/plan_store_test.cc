@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <thread>
+#include <vector>
 
 #include "src/core/plan_store.h"
 #include "src/core/tuner.h"
@@ -56,6 +58,132 @@ TEST(PlanStoreTest, FileRoundTrip) {
 
 TEST(PlanStoreTest, LoadFromMissingFileFails) {
   EXPECT_FALSE(LoadPlansFromFile("/nonexistent/flo_plans.txt").has_value());
+}
+
+// A minimal structurally valid ExecutionPlan (1 rank, 2 groups), keyed by
+// a marker value so evicted/surviving entries are distinguishable.
+ExecutionPlan MarkedPlan(int marker) {
+  ExecutionPlan plan;
+  plan.kind = ScenarioKind::kOverlap;
+  plan.primitive = CommPrimitive::kAllReduce;
+  plan.partition = WavePartition{{1, 2}};
+  plan.group_tiles = {{marker + 1, marker + 2}};
+  plan.segments = {CommSegment{0, 1024.0, 10.0}, CommSegment{1, 2048.0, 20.0}};
+  plan.predicted_us = marker;
+  return plan;
+}
+
+TEST(PlanStoreLruTest, CapacityEvictsLeastRecentlyUsed) {
+  PlanStore store(/*capacity=*/2);
+  store.Put(1, MarkedPlan(1));
+  store.Put(2, MarkedPlan(2));
+  ASSERT_NE(store.Find(1), nullptr);  // touch: key 2 is now the LRU entry
+  store.Put(3, MarkedPlan(3));
+  EXPECT_EQ(store.size(), 2u);
+  EXPECT_TRUE(store.Contains(1));
+  EXPECT_FALSE(store.Contains(2));
+  EXPECT_TRUE(store.Contains(3));
+  EXPECT_EQ(store.stats().evictions, 1u);
+}
+
+TEST(PlanStoreLruTest, StatsCountHitsAndMisses) {
+  PlanStore store;
+  store.Put(7, MarkedPlan(7));
+  EXPECT_NE(store.Find(7), nullptr);
+  EXPECT_EQ(store.Find(8), nullptr);
+  EXPECT_TRUE(store.FindCopy(7).has_value());
+  EXPECT_FALSE(store.FindCopy(9).has_value());
+  const PlanStoreStats stats = store.stats();
+  EXPECT_EQ(stats.hits, 2u);
+  EXPECT_EQ(stats.misses, 2u);
+  EXPECT_DOUBLE_EQ(stats.HitRate(), 0.5);
+  store.ResetStats();
+  EXPECT_EQ(store.stats().hits, 0u);
+  // Contains is a peek: no counting.
+  EXPECT_TRUE(store.Contains(7));
+  EXPECT_EQ(store.stats().hits + store.stats().misses, 0u);
+}
+
+TEST(PlanStoreLruTest, ShrinkingCapacityEvictsImmediately) {
+  PlanStore store;
+  for (int i = 0; i < 5; ++i) {
+    store.Put(i, MarkedPlan(i));
+  }
+  store.set_capacity(2);
+  EXPECT_EQ(store.size(), 2u);
+  EXPECT_EQ(store.stats().evictions, 3u);
+  // The two most recently inserted survive.
+  EXPECT_TRUE(store.Contains(3));
+  EXPECT_TRUE(store.Contains(4));
+}
+
+TEST(PlanStoreParseTest, TrailingGarbageInRecordFieldsRejected) {
+  PlanStore store;
+  store.Put(0xff, MarkedPlan(1));
+  const std::string good = store.Serialize();
+  ASSERT_TRUE(PlanStore::Parse(good).has_value());
+  // Corrupt one field at a time: hex key, predicted double, seg latency.
+  std::string bad_key = good;
+  bad_key.replace(bad_key.find("00000000000000ff"), 16, "00000000000000zz");
+  EXPECT_FALSE(PlanStore::Parse(bad_key).has_value());
+  std::string bad_double = good;
+  bad_double.replace(bad_double.find(" 1 "), 3, " 1garbage ");
+  EXPECT_FALSE(PlanStore::Parse(bad_double).has_value());
+  std::string bad_seg = good;
+  bad_seg.replace(bad_seg.find("seg 0"), 5, "seg 0x");
+  EXPECT_FALSE(PlanStore::Parse(bad_seg).has_value());
+}
+
+TEST(PlanStoreLruTest, EvictedThenRepopulatedStoreRoundTrips) {
+  PlanStore store(/*capacity=*/2);
+  store.Put(1, MarkedPlan(1));
+  store.Put(2, MarkedPlan(2));
+  store.Put(3, MarkedPlan(3));  // evicts key 1
+  ASSERT_FALSE(store.Contains(1));
+  store.Put(1, MarkedPlan(1));  // repopulate: evicts key 2
+  ASSERT_FALSE(store.Contains(2));
+
+  const auto parsed = PlanStore::Parse(store.Serialize());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->size(), 2u);
+  ASSERT_NE(parsed->Find(1), nullptr);
+  ASSERT_NE(parsed->Find(3), nullptr);
+  EXPECT_EQ(*parsed->Find(1), MarkedPlan(1));
+  EXPECT_EQ(*parsed->Find(3), MarkedPlan(3));
+  // The parsed store is unbounded until told otherwise; re-imposing the
+  // cap keeps behaving LRU-wise on the repopulated content.
+  EXPECT_EQ(parsed->capacity(), 0u);
+}
+
+TEST(PlanStoreLruTest, SharedStoreSurvivesConcurrentUse) {
+  PlanStore store(/*capacity=*/8);
+  constexpr int kThreads = 4;
+  constexpr int kOpsPerThread = 500;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&store, t] {
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        const uint64_t key = static_cast<uint64_t>((t * kOpsPerThread + i) % 16);
+        if (i % 3 == 0) {
+          store.Put(key, MarkedPlan(static_cast<int>(key)));
+        } else {
+          // FindCopy: safe against a concurrent eviction of the entry.
+          const auto plan = store.FindCopy(key);
+          if (plan.has_value()) {
+            EXPECT_EQ(plan->segments.size(), 2u);
+          }
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) {
+    thread.join();
+  }
+  EXPECT_LE(store.size(), 8u);
+  // Lookups per thread: every i with i % 3 != 0.
+  const size_t finds_per_thread = kOpsPerThread - (kOpsPerThread + 2) / 3;
+  const PlanStoreStats stats = store.stats();
+  EXPECT_EQ(stats.hits + stats.misses, kThreads * finds_per_thread);
 }
 
 TEST(TunerPersistenceTest, ExportImportRestoresCache) {

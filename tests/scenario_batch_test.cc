@@ -49,6 +49,9 @@ TEST(RunBatchTest, WarmSweepPerformsZeroTunerSearches) {
   ASSERT_EQ(cold.size(), warm.size());
   for (size_t i = 0; i < cold.size(); ++i) {
     EXPECT_DOUBLE_EQ(cold[i].total_us, warm[i].total_us) << "spec " << i;
+    // Per-spec cache behaviour is reported in the result struct itself.
+    EXPECT_FALSE(cold[i].plan_cache_hit) << "spec " << i;
+    EXPECT_TRUE(warm[i].plan_cache_hit) << "spec " << i;
   }
 }
 

@@ -5,6 +5,7 @@
 #include "src/util/check.h"
 #include "src/util/csv.h"
 #include "src/util/interp.h"
+#include "src/util/parse.h"
 #include "src/util/rng.h"
 #include "src/util/stats.h"
 #include "src/util/table.h"
@@ -127,6 +128,33 @@ TEST(StatsTest, PercentileEndpoints) {
   EXPECT_DOUBLE_EQ(Percentile(v, 50.0), 3.0);
 }
 
+TEST(StatsTest, SummarizePercentilesMatchesPercentile) {
+  std::vector<double> values;
+  for (int i = 1; i <= 200; ++i) {
+    values.push_back(201 - i);
+  }
+  const PercentileSummary s = SummarizePercentiles(values);
+  EXPECT_DOUBLE_EQ(s.p50, Percentile(values, 50.0));
+  EXPECT_DOUBLE_EQ(s.p90, Percentile(values, 90.0));
+  EXPECT_DOUBLE_EQ(s.p95, Percentile(values, 95.0));
+  EXPECT_DOUBLE_EQ(s.p99, Percentile(values, 99.0));
+  EXPECT_LE(s.p50, s.p90);
+  EXPECT_LE(s.p90, s.p95);
+  EXPECT_LE(s.p95, s.p99);
+}
+
+TEST(StatsTest, SummarizePercentilesSingleValue) {
+  const PercentileSummary s = SummarizePercentiles({7.5});
+  EXPECT_DOUBLE_EQ(s.p50, 7.5);
+  EXPECT_DOUBLE_EQ(s.p90, 7.5);
+  EXPECT_DOUBLE_EQ(s.p95, 7.5);
+  EXPECT_DOUBLE_EQ(s.p99, 7.5);
+}
+
+TEST(StatsDeathTest, SummarizePercentilesRejectsEmpty) {
+  EXPECT_DEATH(SummarizePercentiles({}), "");
+}
+
 TEST(StatsTest, EmpiricalCdfMonotone) {
   const auto cdf = EmpiricalCdf({1.0, 2.0, 3.0, 4.0}, {0.5, 1.5, 2.5, 4.5});
   ASSERT_EQ(cdf.size(), 4u);
@@ -159,6 +187,37 @@ TEST(TableTest, FormatBytes) {
   EXPECT_EQ(FormatBytes(512), "512 B");
   EXPECT_EQ(FormatBytes(2048), "2.00 KiB");
   EXPECT_EQ(FormatBytes(3.5 * 1024 * 1024), "3.50 MiB");
+}
+
+TEST(ParseTest, TryParseIntConsumesWholeField) {
+  EXPECT_EQ(TryParseInt("42"), 42);
+  EXPECT_EQ(TryParseInt("-7"), -7);
+  EXPECT_FALSE(TryParseInt("12abc").has_value());
+  EXPECT_FALSE(TryParseInt("").has_value());
+  EXPECT_FALSE(TryParseInt("abc").has_value());
+}
+
+TEST(ParseTest, TryParseDoubleConsumesWholeField) {
+  EXPECT_DOUBLE_EQ(*TryParseDouble("1.5"), 1.5);
+  EXPECT_DOUBLE_EQ(*TryParseDouble("1e3"), 1000.0);
+  EXPECT_FALSE(TryParseDouble("1.0garbage").has_value());
+  EXPECT_FALSE(TryParseDouble("").has_value());
+}
+
+TEST(ParseTest, TryParseHexU64IsStrict) {
+  EXPECT_EQ(TryParseHexU64("ff"), 0xffull);
+  EXPECT_EQ(TryParseHexU64("00000000000000FF"), 0xffull);
+  EXPECT_EQ(TryParseHexU64("ffffffffffffffff"), 0xffffffffffffffffull);
+  EXPECT_FALSE(TryParseHexU64("").has_value());
+  EXPECT_FALSE(TryParseHexU64("-1").has_value());
+  EXPECT_FALSE(TryParseHexU64("0x10").has_value());
+  EXPECT_FALSE(TryParseHexU64(" ff").has_value());
+  EXPECT_FALSE(TryParseHexU64("11111111111111111").has_value());  // 17 digits
+}
+
+TEST(TableTest, FormatDoubleExactRoundTrips) {
+  const double value = 10000.0 / 3.0;
+  EXPECT_DOUBLE_EQ(*TryParseDouble(FormatDoubleExact(value)), value);
 }
 
 TEST(CsvTest, EscapesSpecialCharacters) {
