@@ -1,9 +1,13 @@
 #include "src/core/overlap_engine.h"
 
+#include <algorithm>
+#include <optional>
 #include <utility>
+#include <vector>
 
 #include "src/core/predictor.h"
 #include "src/util/check.h"
+#include "src/util/thread_pool.h"
 
 namespace flo {
 
@@ -59,12 +63,55 @@ OverlapRun OverlapEngine::Execute(const ScenarioSpec& spec) {
 }
 
 std::vector<OverlapRun> OverlapEngine::RunBatch(std::span<const ScenarioSpec> specs) {
+  if (options_.tune_threads > 1) {
+    PretuneParallel(specs, options_.tune_threads);
+  }
   std::vector<OverlapRun> runs;
   runs.reserve(specs.size());
   for (const ScenarioSpec& spec : specs) {
     runs.push_back(Execute(spec));
   }
   return runs;
+}
+
+std::vector<std::pair<GemmShape, CommPrimitive>> OverlapEngine::PretuneParallel(
+    std::span<const ScenarioSpec> specs, int threads) {
+  std::vector<std::pair<GemmShape, CommPrimitive>> requests;
+  for (const ScenarioSpec& spec : specs) {
+    if (store_->Contains(planner_.CanonicalKey(spec))) {
+      continue;  // the plan itself is warm; no search will happen
+    }
+    const std::optional<std::pair<GemmShape, CommPrimitive>> request =
+        planner_.TuningRequest(spec);
+    if (!request.has_value() || tuner_.Contains(request->first, request->second)) {
+      continue;
+    }
+    if (std::find(requests.begin(), requests.end(), *request) == requests.end()) {
+      requests.push_back(*request);
+    }
+  }
+  if (requests.empty()) {
+    return requests;
+  }
+  if (threads > 1 && requests.size() > 1) {
+    ThreadPool& pool = TunePool(std::min(threads, static_cast<int>(requests.size())));
+    for (const auto& request : requests) {
+      pool.Submit([this, request] { tuner_.Tune(request.first, request.second); });
+    }
+    pool.WaitIdle();
+  } else {
+    for (const auto& request : requests) {
+      tuner_.Tune(request.first, request.second);
+    }
+  }
+  return requests;
+}
+
+ThreadPool& OverlapEngine::TunePool(int threads) {
+  if (tune_pool_ == nullptr || tune_pool_->thread_count() < threads) {
+    tune_pool_ = std::make_unique<ThreadPool>(threads);
+  }
+  return *tune_pool_;
 }
 
 SimTime OverlapEngine::TheoreticalBest(const GemmShape& shape, CommPrimitive primitive) {

@@ -29,6 +29,7 @@
 #include "src/hw/cluster.h"
 #include "src/sim/event_queue.h"
 #include "src/sim/timeline.h"
+#include "src/util/thread_pool.h"
 
 namespace flo {
 
@@ -61,8 +62,23 @@ class OverlapEngine {
 
   // Sweeps many scenarios through the shared executor. Plans are reused
   // across calls via the PlanStore, so repeating a sweep performs zero
-  // tuner searches; planner().stats() exposes the hit/miss counts.
+  // tuner searches; planner().stats() exposes the hit/miss counts. With
+  // EngineOptions::tune_threads > 1 a cold sweep first runs every distinct
+  // predictive search on a worker pool (PretuneParallel), so tuning cost
+  // scales down with cores while results stay bit-identical.
   std::vector<OverlapRun> RunBatch(std::span<const ScenarioSpec> specs);
+
+  // Pre-warms the tuner cache for every spec whose plan is absent from the
+  // active store: collects the distinct (shape, primitive) searches those
+  // specs would trigger and runs them on `threads` workers (sequentially
+  // for threads <= 1 or a single request). Returns the claimed searches in
+  // spec order (first spec to need a search claims it) — callers charging
+  // tuning cost attribute from this list rather than re-deriving the
+  // decision. Safe against a shared PlanStore — the tuner single-flights
+  // concurrent searches per key, so plans are deterministic regardless of
+  // the thread count.
+  std::vector<std::pair<GemmShape, CommPrimitive>> PretuneParallel(
+      std::span<const ScenarioSpec> specs, int threads);
 
   // Perfect-overlap bound (Sec. 6.4).
   SimTime TheoreticalBest(const GemmShape& shape, CommPrimitive primitive);
@@ -84,6 +100,12 @@ class OverlapEngine {
   SimTime RunNonOverlapImbalanced(const std::vector<GemmShape>& shapes, CommPrimitive primitive);
 
  private:
+  // The persistent tuning pool, created lazily by the first parallel
+  // pretune and reused afterwards (grown if a later call asks for more
+  // workers) — per-call pool construction would cost more than the
+  // searches it parallelizes now that a B&B search is microseconds.
+  ThreadPool& TunePool(int threads);
+
   ClusterSpec cluster_;
   EngineOptions options_;
   Tuner tuner_;
@@ -92,6 +114,7 @@ class OverlapEngine {
   PlanStore* store_ = &plan_store_;          // the store planner_ memoizes into
   OverlapPlanner planner_;
   ScheduleExecutor executor_;
+  std::unique_ptr<ThreadPool> tune_pool_;
 };
 
 }  // namespace flo

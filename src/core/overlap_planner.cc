@@ -17,6 +17,14 @@ StableHash& MixDouble(StableHash& hash, double value) {
   return hash.Mix(std::bit_cast<uint64_t>(value));
 }
 
+// The imbalanced reference rank: tuning happens on the heaviest shape.
+// Shared by the build itself and TuningRequest, so pre-warmed searches
+// always match the search the build will perform.
+const GemmShape& HeaviestRank(const std::vector<GemmShape>& shapes) {
+  return *std::max_element(shapes.begin(), shapes.end(),
+                           [](const GemmShape& a, const GemmShape& b) { return a.m < b.m; });
+}
+
 }  // namespace
 
 OverlapPlanner::OverlapPlanner(Tuner* tuner, PlanStore* store)
@@ -49,7 +57,29 @@ uint64_t OverlapPlanner::CanonicalKey(const ScenarioSpec& spec) const {
   hash.Mix(config.s1).Mix(config.sp).Mix(config.max_candidates);
   hash.Mix(config.exhaustive ? 1 : 0);
   hash.Mix(config.element_size);
+  // The search implementation and its budget can change which partition
+  // wins (the branch-and-bound space is a superset of the truncated legacy
+  // enumeration), so they are plan-relevant.
+  hash.Mix(config.use_legacy_enumeration ? 1 : 0);
+  hash.Mix(config.search_max_nodes);
   return hash.value();
+}
+
+std::optional<std::pair<GemmShape, CommPrimitive>> OverlapPlanner::TuningRequest(
+    const ScenarioSpec& spec) const {
+  if (spec.shapes.empty() || spec.kind == ScenarioKind::kNonOverlap ||
+      spec.forced_partition.has_value()) {
+    return std::nullopt;
+  }
+  if (!spec.imbalanced()) {
+    // Balanced (and misconfigured-ablation) builds tune the broadcast
+    // shape.
+    return std::make_pair(spec.shapes[0], spec.primitive);
+  }
+  // Imbalanced builds tune on the heaviest rank. spec.shapes and the
+  // expanded RankShapes hold the same multiset, so the maximum agrees
+  // with BuildImbalancedOverlap's choice.
+  return std::make_pair(HeaviestRank(spec.shapes), spec.primitive);
 }
 
 void OverlapPlanner::RecordLookup(bool hit, bool* cache_hit) {
@@ -183,9 +213,7 @@ ExecutionPlan OverlapPlanner::BuildImbalancedOverlap(const ScenarioSpec& spec) {
   plan.kind = ScenarioKind::kOverlap;
   plan.primitive = spec.primitive;
   // Tune on the heaviest rank; every rank rescales to its own wave count.
-  const GemmShape& reference =
-      *std::max_element(shapes.begin(), shapes.end(),
-                        [](const GemmShape& a, const GemmShape& b) { return a.m < b.m; });
+  const GemmShape& reference = HeaviestRank(shapes);
   WavePartition base = spec.forced_partition.has_value()
                            ? *spec.forced_partition
                            : tuner_->Tune(reference, spec.primitive).partition;

@@ -12,6 +12,8 @@
 #define SRC_CORE_OVERLAP_PLANNER_H_
 
 #include <cstdint>
+#include <optional>
+#include <utility>
 
 #include "src/core/execution_plan.h"
 #include "src/core/plan_store.h"
@@ -33,6 +35,15 @@ class OverlapPlanner {
   // The plan-cache key: scenario fingerprint x cluster identity x tuner
   // configuration.
   uint64_t CanonicalKey(const ScenarioSpec& spec) const;
+
+  // The (shape, primitive) a Build for `spec` would send through
+  // Tuner::Tune, or std::nullopt when building the plan performs no
+  // predictive search (non-overlap scenarios, forced partitions). Batch
+  // sweeps and serving loops use this to pre-warm the tuner's cache in
+  // parallel — the expensive part of a cold plan — before building plans
+  // serially.
+  std::optional<std::pair<GemmShape, CommPrimitive>> TuningRequest(
+      const ScenarioSpec& spec) const;
 
   // Returns the memoized plan, building (and caching) it on first use.
   // The reference is stable until the store evicts the entry (so: consume

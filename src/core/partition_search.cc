@@ -1,0 +1,166 @@
+#include "src/core/partition_search.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "src/util/check.h"
+
+namespace flo {
+namespace {
+
+// How many non-dominated (t_p, t_m) prefixes to remember per assigned-wave
+// count. The sets stay tiny in practice (compute-bound regimes collapse to
+// a handful of points); the cap only bounds the workspace, overflow merely
+// forfeits some pruning, never correctness.
+constexpr size_t kDominanceCap = 64;
+
+// Relative slack applied to the lower bound before pruning on it. The
+// bound sums remaining compute as one multiply-add while real prefixes
+// accumulate it group by group, so the two can differ by a few ULPs; the
+// slack keeps the bound admissible despite that, at no practical cost in
+// pruning power.
+constexpr double kBoundSlack = 1e-9;
+
+}  // namespace
+
+PartitionSearchResult PartitionSearcher::Search(const GroupLatencyTable& table,
+                                                const PartitionSearchOptions& options) {
+  FLO_CHECK_GE(table.waves, 1);
+  table_ = &table;
+  options_ = options;
+  const int waves = table.waves;
+  const size_t size = static_cast<size_t>(waves) + 1;
+  if (path_.size() < size) {
+    path_.resize(size);
+    seed_path_.resize(size);
+    best_path_.resize(size);
+  }
+  if (dominance_.size() < size) {
+    dominance_.resize(size);
+    for (auto& set : dominance_) {
+      set.reserve(kDominanceCap);
+    }
+  }
+  for (int a = 0; a <= waves; ++a) {
+    dominance_[a].clear();
+  }
+  best_groups_ = 0;
+  best_us_ = std::numeric_limits<double>::infinity();
+  nodes_ = 0;
+  candidates_ = 0;
+  budget_exhausted_ = false;
+
+  if (options_.seed_safety_families) {
+    // Single-group fallback, then the equal-sized families. Cheap (O(T^2)
+    // table arithmetic total) and they hand the DFS a strong incumbent.
+    seed_path_[0] = waves;
+    ConsiderCandidate(seed_path_.data(), 1, table.single_group_us);
+    for (int body = 1; body < waves; ++body) {
+      int groups = 0;
+      int remaining = waves;
+      while (remaining > 0) {
+        const int take = std::min(body, remaining);
+        seed_path_[groups++] = take;
+        remaining -= take;
+      }
+      ConsiderCandidate(seed_path_.data(), groups,
+                        PredictLatencyWithTable(table, seed_path_.data(), groups));
+    }
+  }
+
+  Dfs(/*assigned=*/0, /*t_p=*/table.launch_overhead_us, /*t_m=*/0.0, /*depth=*/0);
+
+  PartitionSearchResult result;
+  FLO_CHECK_GE(best_groups_, 1) << "search produced no candidate";
+  result.partition.group_sizes.assign(best_path_.begin(), best_path_.begin() + best_groups_);
+  result.predicted_us = best_us_;
+  result.nodes_visited = nodes_;
+  result.candidates_evaluated = candidates_;
+  result.budget_exhausted = budget_exhausted_;
+  return result;
+}
+
+void PartitionSearcher::Dfs(int assigned, double t_p, double t_m, int depth) {
+  const int remaining = table_->waves - assigned;
+  const int max_take =
+      (depth == 0 && options_.bounded) ? std::min(options_.s1, remaining) : remaining;
+  for (int take = 1; take <= max_take; ++take) {
+    if (nodes_ >= options_.max_nodes) {
+      budget_exhausted_ = true;
+      return;
+    }
+    ++nodes_;
+    const double t_p_new = t_p + take * table_->wave_time_us;
+    if (take == remaining) {
+      // Closing group. The single-group partition follows the predictor's
+      // special case (full-width GEMM, sequential collective); any other
+      // closer commits the tail-adjusted final collective.
+      double latency;
+      if (depth == 0) {
+        latency = table_->single_group_us;
+      } else {
+        if (options_.bounded && take > options_.sp) {
+          continue;
+        }
+        latency = std::max(t_p_new, t_m) + table_->tail[take];
+      }
+      ++candidates_;
+      path_[depth] = take;
+      ConsiderCandidate(path_.data(), depth + 1, latency);
+      continue;
+    }
+    // Non-final group: its collective overlaps the next group's compute —
+    // committed here with t_p through this group, exactly as the
+    // group-by-group replay would.
+    const double t_m_new = std::max(t_p_new, t_m) + table_->full[take];
+    const int rest = remaining - take;
+    const int tail_cap = options_.bounded ? std::min(options_.sp, rest) : rest;
+    const double bound = std::max(t_m_new, t_p_new + rest * table_->wave_time_us) +
+                         table_->min_tail_prefix[tail_cap];
+    if (bound * (1.0 - kBoundSlack) > best_us_) {
+      continue;
+    }
+    if (DominatedOrRecord(assigned + take, t_p_new, t_m_new)) {
+      continue;
+    }
+    path_[depth] = take;
+    Dfs(assigned + take, t_p_new, t_m_new, depth + 1);
+    if (budget_exhausted_) {
+      return;
+    }
+  }
+}
+
+bool PartitionSearcher::DominatedOrRecord(int assigned, double t_p, double t_m) {
+  std::vector<DomPoint>& set = dominance_[assigned];
+  size_t keep = 0;
+  for (size_t i = 0; i < set.size(); ++i) {
+    if (set[i].t_p <= t_p && set[i].t_m <= t_m) {
+      return true;  // an earlier prefix is at least as good on both axes
+    }
+    if (!(t_p <= set[i].t_p && t_m <= set[i].t_m)) {
+      set[keep++] = set[i];  // survives: not dominated by the newcomer
+    }
+  }
+  set.resize(keep);
+  if (set.size() < kDominanceCap) {
+    set.push_back(DomPoint{t_p, t_m});
+  }
+  return false;
+}
+
+void PartitionSearcher::ConsiderCandidate(const int* sizes, int groups, double latency_us) {
+  if (latency_us > best_us_) {
+    return;
+  }
+  if (latency_us == best_us_ &&
+      !std::lexicographical_compare(sizes, sizes + groups, best_path_.data(),
+                                    best_path_.data() + best_groups_)) {
+    return;
+  }
+  best_us_ = latency_us;
+  best_groups_ = groups;
+  std::copy(sizes, sizes + groups, best_path_.begin());
+}
+
+}  // namespace flo

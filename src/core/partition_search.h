@@ -1,0 +1,105 @@
+// Fused branch-and-bound search over the wave-partition design space.
+//
+// The legacy tuner pipeline materializes up to 65536 candidate partitions
+// (std::set<std::vector<int>>), then evaluates each with heap-allocating
+// GroupTiles/Prediction vectors and a piecewise-linear curve lookup per
+// group. This module replaces that enumerate-then-evaluate split with a
+// single DFS over the partition tree that carries the predictor's
+// (t_p_acc, t_m_acc) recurrence incrementally:
+//
+//  - every node costs one multiply, one add, one max and one latency-table
+//    read (no curve evaluation, no allocation);
+//  - a prefix is cut when its optimistic lower bound — remaining waves at
+//    full compute rate plus the best-case final-group collective — already
+//    exceeds the incumbent;
+//  - a prefix is cut when an earlier prefix reached the same assigned-wave
+//    count with both accumulators no worse (dominance: latency is monotone
+//    in (t_p_acc, t_m_acc) for a fixed suffix).
+//
+// Both cuts are admissible, so the search is exact over its space: with
+// `bounded == false` it returns the same best partition and latency as
+// exhaustively scoring EnumerateAllPartitions. Ties are broken toward the
+// lexicographically smallest group-size vector, which makes the winner
+// independent of traversal details and bit-reproducible.
+#ifndef SRC_CORE_PARTITION_SEARCH_H_
+#define SRC_CORE_PARTITION_SEARCH_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "src/core/predictor.h"
+#include "src/core/wave_partition.h"
+
+namespace flo {
+
+struct PartitionSearchOptions {
+  // Pruning bounds (paper Sec. 4.1.4): first group <= s1, last group <= sp
+  // waves. Only consulted when `bounded`.
+  int s1 = 2;
+  int sp = 4;
+  // false: search the full 2^(T-1) composition space (the accuracy
+  // baseline); true: restrict to the (s1, sp)-bounded space plus the
+  // safety families below.
+  bool bounded = true;
+  // Score the single-group fallback and the equal-sized families first.
+  // They seed a strong incumbent for pruning and keep the bounded search a
+  // superset of the legacy EnumeratePruned candidate set.
+  bool seed_safety_families = true;
+  // Safety valve: give up refining (keeping the best found so far) after
+  // this many group extensions. The safety seeds guarantee a valid result
+  // even on immediate exhaustion.
+  size_t max_nodes = static_cast<size_t>(1) << 24;
+};
+
+struct PartitionSearchResult {
+  WavePartition partition;
+  double predicted_us = 0.0;
+  // Group extensions examined (the B&B analogue of "candidates": each is
+  // one O(1) step of incremental evaluation).
+  size_t nodes_visited = 0;
+  // Complete partitions whose final latency was scored.
+  size_t candidates_evaluated = 0;
+  bool budget_exhausted = false;
+};
+
+// Reusable searcher: the DFS path, incumbent buffers and per-wave-count
+// dominance sets are preallocated members, so steady-state searches make
+// zero heap allocations per candidate (and, after the first search at a
+// given wave count, zero allocations per search apart from the returned
+// partition).
+class PartitionSearcher {
+ public:
+  PartitionSearcher() = default;
+
+  // Exact best partition for the setup `table` was built from.
+  PartitionSearchResult Search(const GroupLatencyTable& table,
+                               const PartitionSearchOptions& options);
+
+ private:
+  struct DomPoint {
+    double t_p;
+    double t_m;
+  };
+
+  void Dfs(int assigned, double t_p, double t_m, int depth);
+  // Records (t_p, t_m) at `assigned` waves; true if an earlier recorded
+  // point dominates it (prune).
+  bool DominatedOrRecord(int assigned, double t_p, double t_m);
+  void ConsiderCandidate(const int* sizes, int groups, double latency_us);
+
+  const GroupLatencyTable* table_ = nullptr;
+  PartitionSearchOptions options_;
+  std::vector<int> path_;
+  std::vector<int> seed_path_;
+  std::vector<int> best_path_;
+  int best_groups_ = 0;
+  double best_us_ = 0.0;
+  std::vector<std::vector<DomPoint>> dominance_;
+  size_t nodes_ = 0;
+  size_t candidates_ = 0;
+  bool budget_exhausted_ = false;
+};
+
+}  // namespace flo
+
+#endif  // SRC_CORE_PARTITION_SEARCH_H_

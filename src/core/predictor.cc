@@ -1,6 +1,7 @@
 #include "src/core/predictor.h"
 
 #include <algorithm>
+#include <limits>
 
 #include "src/util/check.h"
 
@@ -76,6 +77,64 @@ Prediction PredictOverlapLatency(const PredictorSetup& setup, const WavePartitio
   prediction.group_comm_us.push_back(t_last);
   prediction.latency_us = t_m_acc;
   return prediction;
+}
+
+GroupLatencyTable BuildGroupLatencyTable(const PredictorSetup& setup) {
+  GroupLatencyTable table;
+  table.waves = setup.EffectiveWaveCount();
+  table.width = std::max(1, setup.gpu.sm_count - setup.comm_sm_count);
+  table.tail_tiles = setup.gemm.tile_count - (table.waves - 1) * table.width;
+  FLO_CHECK_GE(table.tail_tiles, 1);
+  FLO_CHECK_LE(table.tail_tiles, table.width);
+  table.wave_time_us = setup.gemm.wave_time_us;
+  table.launch_overhead_us = setup.gpu.kernel_launch_overhead_us;
+  table.full.assign(static_cast<size_t>(table.waves) + 1, 0.0);
+  table.tail.assign(static_cast<size_t>(table.waves) + 1, 0.0);
+  table.min_tail_prefix.assign(static_cast<size_t>(table.waves) + 1,
+                               std::numeric_limits<double>::infinity());
+  // Payloads grow monotonically in w, so one cursor per family resolves
+  // every lookup without a binary search.
+  size_t full_hint = 0;
+  size_t tail_hint = 0;
+  for (int w = 1; w <= table.waves; ++w) {
+    if (w < table.waves) {
+      // A group of w full waves; groups holding the tail wave use tail[].
+      table.full[w] =
+          setup.latency_curve.Eval(setup.GroupBytes(w * table.width), &full_hint);
+    }
+    const int tail_group_tiles = (w - 1) * table.width + table.tail_tiles;
+    table.tail[w] = setup.latency_curve.Eval(setup.GroupBytes(tail_group_tiles), &tail_hint);
+    table.min_tail_prefix[w] = std::min(table.min_tail_prefix[w - 1], table.tail[w]);
+  }
+  table.single_group_us =
+      setup.gemm.duration_us + setup.latency_curve.Eval(setup.GroupBytes(setup.gemm.tile_count));
+  return table;
+}
+
+double PredictLatencyWithTable(const GroupLatencyTable& table, const WavePartition& partition) {
+  FLO_CHECK_EQ(partition.TotalWaves(), table.waves);
+  return PredictLatencyWithTable(table, partition.group_sizes.data(),
+                                 partition.group_count());
+}
+
+double PredictLatencyWithTable(const GroupLatencyTable& table, const int* group_sizes,
+                               int groups) {
+  FLO_CHECK_GE(groups, 1);
+  if (groups == 1) {
+    return table.single_group_us;
+  }
+  // Identical operation sequence to PredictOverlapLatency, with the curve
+  // lookups replaced by table reads.
+  double t_p_acc = table.launch_overhead_us;
+  double t_m_acc = 0.0;
+  for (int i = 0; i < groups; ++i) {
+    if (i > 0) {
+      t_m_acc = std::max(t_p_acc, t_m_acc) + table.full[group_sizes[i - 1]];
+    }
+    t_p_acc += group_sizes[i] * table.wave_time_us;
+  }
+  t_m_acc = std::max(t_p_acc, t_m_acc) + table.tail[group_sizes[groups - 1]];
+  return t_m_acc;
 }
 
 Prediction PredictOverlapLatencyMultiRank(const std::vector<PredictorSetup>& setups,

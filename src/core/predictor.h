@@ -48,6 +48,51 @@ struct Prediction {
 // Alg. 1 core: predicted latency of the overlapped execution.
 Prediction PredictOverlapLatency(const PredictorSetup& setup, const WavePartition& partition);
 
+// Precomputed per-group-wave-count latencies for one PredictorSetup.
+//
+// Under the greedy tile assignment of GroupTiles only O(T) distinct group
+// payloads exist: a group of w waves holds w*width tiles unless it contains
+// the final (tail-adjusted) wave, in which case it holds
+// (w-1)*width + tail tiles. Tabulating both families once per setup makes
+// every candidate evaluation pure arithmetic — Curve::Eval leaves the
+// search's inner loop entirely. Entries are bit-identical to what
+// PredictOverlapLatency would compute for the same group.
+struct GroupLatencyTable {
+  int waves = 0;            // effective wave count T
+  int width = 0;            // tiles per full wave (usable SMs)
+  int tail_tiles = 0;       // tiles of the final wave, in [1, width]
+  double wave_time_us = 0.0;
+  double launch_overhead_us = 0.0;
+  // full[w]: collective latency of a group of w full waves (w in 1..T-1;
+  // index 0 unused). tail[w]: latency of a group of w waves whose last wave
+  // is the tail wave (w in 1..T; index 0 unused).
+  std::vector<double> full;
+  std::vector<double> tail;
+  // min_tail_prefix[w] = min(tail[1..w]) — the best-case final-group
+  // collective used by the branch-and-bound lower bound.
+  std::vector<double> min_tail_prefix;
+  // The single-group special case of PredictOverlapLatency: full-width
+  // GEMM followed by one collective of the whole output.
+  double single_group_us = 0.0;
+};
+
+// Builds the table for `setup` with O(T) curve lookups (monotone, so the
+// curve's segment-cursor fast path applies).
+GroupLatencyTable BuildGroupLatencyTable(const PredictorSetup& setup);
+
+// Table-driven replay of the PredictOverlapLatency recurrence. Performs
+// the identical floating-point operation sequence, so the result is
+// bit-identical to PredictOverlapLatency(setup, partition).latency_us for
+// the setup the table was built from. No heap allocation.
+double PredictLatencyWithTable(const GroupLatencyTable& table, const WavePartition& partition);
+
+// Raw-composition core of the above (group sizes as a pointer/length pair,
+// summing to table.waves). The single home of the table-driven operation
+// sequence — the branch-and-bound search scores its seed compositions
+// through this, so the bit-identical contract lives in exactly one body.
+double PredictLatencyWithTable(const GroupLatencyTable& table, const int* group_sizes,
+                               int groups);
+
 // Multi-rank extension for imbalanced All-to-All (Sec. 4.2.2): accumulated
 // latencies take the max across ranks at every synchronization point.
 Prediction PredictOverlapLatencyMultiRank(const std::vector<PredictorSetup>& setups,

@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <utility>
 
+#include "src/core/partition_search.h"
 #include "src/gemm/gemm_model.h"
 #include "src/util/check.h"
 #include "src/util/logging.h"
@@ -16,20 +18,22 @@ Tuner::Tuner(ClusterSpec cluster, TunerConfig config)
       cost_model_(cluster_.link, cluster_.gpu_count) {
   FLO_CHECK_GE(config_.s1, 1);
   FLO_CHECK_GE(config_.sp, 1);
+  FLO_CHECK_GE(config_.search_max_nodes, 1);
 }
 
 const GemmConfig& Tuner::GemmConfigFor(const GemmShape& shape) {
-  const std::string key = shape.ToString();
-  auto it = gemm_cache_.find(key);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gemm_cache_.find(shape);
   if (it == gemm_cache_.end()) {
     GemmModel model(cluster_.gpu);
-    it = gemm_cache_.emplace(key, model.Configure(shape)).first;
+    it = gemm_cache_.emplace(shape, model.Configure(shape)).first;
   }
   return it->second;
 }
 
 const Curve& Tuner::LatencyCurveFor(CommPrimitive primitive) {
   const int key = static_cast<int>(primitive);
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = curve_cache_.find(key);
   if (it == curve_cache_.end()) {
     // Dense log-spaced sampling from 64 KiB to 4 GiB covers every group
@@ -56,17 +60,111 @@ PredictorSetup Tuner::MakeSetup(const GemmShape& shape, CommPrimitive primitive)
 
 const TunedPlan& Tuner::Tune(const GemmShape& shape, CommPrimitive primitive) {
   const Key key{shape.m, shape.n, shape.k, static_cast<int>(primitive)};
-  auto it = plan_cache_.find(key);
-  if (it == plan_cache_.end()) {
-    it = plan_cache_.emplace(key, Search(shape, primitive)).first;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    for (;;) {
+      auto it = plan_cache_.find(key);
+      if (it != plan_cache_.end()) {
+        return it->second;
+      }
+      if (searches_in_flight_.insert(key).second) {
+        break;  // this thread owns the search for `key`
+      }
+      // Another thread is searching this key: wait for it rather than
+      // duplicating the work (keeps search_count deterministic under any
+      // thread count).
+      search_done_.wait(lock);
+    }
+  }
+  TunedPlan plan;
+  try {
+    plan = Search(shape, primitive);
+  } catch (...) {
+    // Release the single-flight claim, or every later Tune of this key
+    // would wait forever on a search that no longer exists.
+    std::lock_guard<std::mutex> lock(mu_);
+    searches_in_flight_.erase(key);
+    search_done_.notify_all();
+    throw;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  // No overwrite: if a concurrent ImportPlans installed this key first,
+  // keep its node — waiters may already hold a reference to it.
+  const TunedPlan& cached = StorePlanLocked(key, std::move(plan), /*overwrite=*/false);
+  searches_in_flight_.erase(key);
+  search_done_.notify_all();
+  return cached;
+}
+
+bool Tuner::Contains(const GemmShape& shape, CommPrimitive primitive) const {
+  const Key key{shape.m, shape.n, shape.k, static_cast<int>(primitive)};
+  std::lock_guard<std::mutex> lock(mu_);
+  return plan_cache_.count(key) != 0;
+}
+
+size_t Tuner::cache_size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return plan_cache_.size();
+}
+
+const TunedPlan& Tuner::StorePlanLocked(const Key& key, TunedPlan plan, bool overwrite) {
+  auto [it, inserted] = plan_cache_.try_emplace(key, std::move(plan));
+  if (inserted) {
+    nearest_index_[std::get<3>(key)].push_back(
+        IndexEntry{std::log2(static_cast<double>(std::get<0>(key))),
+                   std::log2(static_cast<double>(std::get<1>(key))),
+                   std::log2(static_cast<double>(std::get<2>(key))), key, &it->second});
+  } else if (overwrite) {
+    // Mutates the node in place (index pointers stay valid). Only the
+    // warm-start path asks for this; see the ImportPlans contract.
+    it->second = std::move(plan);
   }
   return it->second;
 }
 
 TunedPlan Tuner::Search(const GemmShape& shape, CommPrimitive primitive) {
-  ++search_count_;
-  PredictorSetup setup = MakeSetup(shape, primitive);
+  search_count_.fetch_add(1, std::memory_order_relaxed);
+  const PredictorSetup setup = MakeSetup(shape, primitive);
   const int waves = setup.EffectiveWaveCount();
+  TunedPlan plan = config_.use_legacy_enumeration ? SearchLegacy(setup, waves)
+                                                  : SearchBranchAndBound(setup, waves);
+  FLO_LOG(kDebug) << "tuned " << shape.ToString() << " + " << CommPrimitiveName(primitive)
+                  << ": partition " << plan.partition.ToString() << ", predicted "
+                  << plan.predicted_us << " us over " << plan.candidates_evaluated
+                  << " candidates (" << plan.search_nodes << " nodes)";
+  return plan;
+}
+
+TunedPlan Tuner::SearchBranchAndBound(const PredictorSetup& setup, int waves) const {
+  const GroupLatencyTable table = BuildGroupLatencyTable(setup);
+  PartitionSearchOptions options;
+  options.s1 = config_.s1;
+  options.sp = config_.sp;
+  // The exhaustive config searches the full 2^(T-1) space for modest T,
+  // exactly like the legacy EnumerateAllPartitions baseline.
+  options.bounded = !(config_.exhaustive && waves <= 20);
+  options.max_nodes = static_cast<size_t>(config_.search_max_nodes);
+  // One workspace per thread: the pool's parallel cold searches each reuse
+  // their own preallocated buffers across searches.
+  static thread_local PartitionSearcher searcher;
+  const PartitionSearchResult result = searcher.Search(table, options);
+  if (result.budget_exhausted) {
+    FLO_LOG(kWarning) << "branch-and-bound search hit the " << config_.search_max_nodes
+                      << "-node budget at " << waves << " waves; best-so-far plan kept";
+  }
+  TunedPlan plan;
+  plan.gemm = setup.gemm;
+  plan.effective_waves = waves;
+  plan.partition = result.partition;
+  plan.predicted_us = result.predicted_us;
+  plan.predicted_non_overlap_us = PredictNonOverlapLatency(setup);
+  plan.candidates_evaluated = static_cast<int>(
+      std::min<size_t>(result.candidates_evaluated, std::numeric_limits<int>::max()));
+  plan.search_nodes = result.nodes_visited;
+  return plan;
+}
+
+TunedPlan Tuner::SearchLegacy(const PredictorSetup& setup, int waves) const {
   std::vector<WavePartition> candidates;
   if (config_.exhaustive && waves <= 20) {
     candidates = EnumerateAllPartitions(waves);
@@ -89,14 +187,11 @@ TunedPlan Tuner::Search(const GemmShape& shape, CommPrimitive primitive) {
     }
   }
   plan.candidates_evaluated = static_cast<int>(candidates.size());
-  FLO_LOG(kDebug) << "tuned " << shape.ToString() << " + " << CommPrimitiveName(primitive)
-                  << ": partition " << plan.partition.ToString() << ", predicted "
-                  << plan.predicted_us << " us over " << plan.candidates_evaluated
-                  << " candidates";
   return plan;
 }
 
 std::vector<StoredPlan> Tuner::ExportPlans() const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::vector<StoredPlan> plans;
   plans.reserve(plan_cache_.size());
   for (const auto& [key, plan] : plan_cache_) {
@@ -133,33 +228,46 @@ int Tuner::ImportPlans(const std::vector<StoredPlan>& plans) {
     plan.candidates_evaluated = 1;
     const Key key{stored.shape.m, stored.shape.n, stored.shape.k,
                   static_cast<int>(stored.primitive)};
-    plan_cache_[key] = std::move(plan);
+    std::lock_guard<std::mutex> lock(mu_);
+    StorePlanLocked(key, std::move(plan), /*overwrite=*/true);
     ++accepted;
   }
   return accepted;
 }
 
 TunedPlan Tuner::TuneNearest(const GemmShape& shape, CommPrimitive primitive) {
-  // Only consider cached plans for the same primitive.
-  const TunedPlan* nearest = nullptr;
-  double best_distance = std::numeric_limits<double>::infinity();
-  for (const auto& [key, plan] : plan_cache_) {
-    if (std::get<3>(key) != static_cast<int>(primitive)) {
-      continue;
-    }
-    const double dm = std::log2(static_cast<double>(shape.m)) -
-                      std::log2(static_cast<double>(std::get<0>(key)));
-    const double dn = std::log2(static_cast<double>(shape.n)) -
-                      std::log2(static_cast<double>(std::get<1>(key)));
-    const double dk = std::log2(static_cast<double>(shape.k)) -
-                      std::log2(static_cast<double>(std::get<2>(key)));
-    const double distance = dm * dm + dn * dn + dk * dk;
-    if (distance < best_distance) {
-      best_distance = distance;
-      nearest = &plan;
+  // Only consider cached plans for the same primitive, via the
+  // per-primitive index (log-extents precomputed at insert time).
+  WavePartition nearest_partition;
+  bool found = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto index_it = nearest_index_.find(static_cast<int>(primitive));
+    if (index_it != nearest_index_.end() && !index_it->second.empty()) {
+      const double qm = std::log2(static_cast<double>(shape.m));
+      const double qn = std::log2(static_cast<double>(shape.n));
+      const double qk = std::log2(static_cast<double>(shape.k));
+      double best_distance = std::numeric_limits<double>::infinity();
+      const IndexEntry* nearest = nullptr;
+      for (const IndexEntry& entry : index_it->second) {
+        const double dm = qm - entry.log_m;
+        const double dn = qn - entry.log_n;
+        const double dk = qk - entry.log_k;
+        const double distance = dm * dm + dn * dn + dk * dk;
+        // Key tie-break: index order is pool-completion order under
+        // parallel tuning, so distance alone would be nondeterministic
+        // for equidistant neighbours.
+        if (distance < best_distance ||
+            (distance == best_distance && nearest != nullptr && entry.key < nearest->key)) {
+          best_distance = distance;
+          nearest = &entry;
+        }
+      }
+      nearest_partition = nearest->plan->partition;
+      found = true;
     }
   }
-  if (nearest == nullptr) {
+  if (!found) {
     return Tune(shape, primitive);
   }
   // Rescale the neighbour's partition to this shape's wave count and
@@ -168,7 +276,7 @@ TunedPlan Tuner::TuneNearest(const GemmShape& shape, CommPrimitive primitive) {
   TunedPlan plan;
   plan.gemm = setup.gemm;
   plan.effective_waves = setup.EffectiveWaveCount();
-  plan.partition = ScalePartition(nearest->partition, plan.effective_waves);
+  plan.partition = ScalePartition(nearest_partition, plan.effective_waves);
   plan.predicted_us = PredictOverlapLatency(setup, plan.partition).latency_us;
   plan.predicted_non_overlap_us = PredictNonOverlapLatency(setup);
   plan.candidates_evaluated = 1;

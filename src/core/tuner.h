@@ -2,16 +2,36 @@
 //
 // Offline (once per deployment): derive GEMM configurations, sample the
 // communication latency curve, determine the collective's SM footprint.
-// Online (once per new GEMM size): enumerate the pruned wave-group design
-// space and pick the candidate with the lowest predicted latency. Results
-// are cached; unseen sizes can be served by nearest-neighbour matching so
-// dynamic workloads (LLM inference) never pay search latency in-band.
+// Online (once per new GEMM size): search the wave-group design space for
+// the candidate with the lowest predicted latency. The default search is
+// the fused branch-and-bound walk of src/core/partition_search.h over a
+// precomputed per-group-wave-count latency table; the legacy
+// enumerate-then-evaluate pipeline survives behind
+// TunerConfig::use_legacy_enumeration as the accuracy/performance baseline.
+// Results are cached; unseen sizes can be served by nearest-neighbour
+// matching so dynamic workloads (LLM inference) never pay search latency
+// in-band.
+//
+// Concurrency: every public method is thread-safe. Cache lookups take a
+// short critical section; a cache-missing Tune releases the lock for the
+// search itself and single-flights concurrent requests for the same key,
+// so a thread pool can drive many cold searches for distinct keys in
+// parallel (each key is searched exactly once, keeping search_count and
+// the cached plans deterministic regardless of thread count). One
+// exception: ImportPlans overwrites already-cached plans in place, so it
+// must not run while another thread holds a reference to a plan of the
+// same key — it is a warm-start operation, meant to run before serving.
 #ifndef SRC_CORE_TUNER_H_
 #define SRC_CORE_TUNER_H_
 
+#include <atomic>
+#include <condition_variable>
 #include <map>
+#include <mutex>
 #include <optional>
+#include <set>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "src/comm/cost_model.h"
@@ -31,6 +51,13 @@ struct TunerConfig {
   // Sec. 6.5); only viable for modest T.
   bool exhaustive = false;
   int element_size = 2;
+  // Use the pre-branch-and-bound enumerate-then-evaluate pipeline
+  // (EnumeratePruned/EnumerateAllPartitions + per-candidate prediction).
+  // Kept as the differential-testing and benchmarking baseline.
+  bool use_legacy_enumeration = false;
+  // Node budget for the branch-and-bound search (group extensions); on
+  // exhaustion the best plan found so far is returned.
+  int search_max_nodes = 1 << 24;
 };
 
 struct TunedPlan {
@@ -40,6 +67,8 @@ struct TunedPlan {
   GemmConfig gemm;
   int effective_waves = 0;
   int candidates_evaluated = 0;
+  // Branch-and-bound group extensions examined (0 for the legacy path).
+  size_t search_nodes = 0;
 };
 
 class Tuner {
@@ -51,6 +80,8 @@ class Tuner {
   const CommCostModel& cost_model() const { return cost_model_; }
 
   // --- Offline stage artifacts (computed lazily, cached) ---
+  // Returned references stay valid for the tuner's lifetime (node-based
+  // containers; entries are never erased).
   const GemmConfig& GemmConfigFor(const GemmShape& shape);
   const Curve& LatencyCurveFor(CommPrimitive primitive);
   int CommSmCount() const { return cluster_.link.comm_sm_count; }
@@ -58,19 +89,25 @@ class Tuner {
 
   // --- Online stage ---
   // Searches the (pruned or exhaustive) space for `shape` and caches the
-  // result.
+  // result. Concurrent calls for the same key wait on one search.
   const TunedPlan& Tune(const GemmShape& shape, CommPrimitive primitive);
 
+  // True when a Tune for this key would be served from the cache. A peek:
+  // no search, no stats. (An in-flight search does not count — the plan is
+  // visible only once cached.)
+  bool Contains(const GemmShape& shape, CommPrimitive primitive) const;
+
   // Serves an unseen size from the cache by nearest-neighbour matching on
-  // log-scale (M, N, K) distance; falls back to Tune when the cache is
-  // empty. The returned plan is rescaled to the query's wave count.
+  // log-scale (M, N, K) distance, via a per-primitive index of cached
+  // plans; falls back to Tune when no plan of the primitive is cached. The
+  // returned plan is rescaled to the query's wave count.
   TunedPlan TuneNearest(const GemmShape& shape, CommPrimitive primitive);
 
-  size_t cache_size() const { return plan_cache_.size(); }
+  size_t cache_size() const;
 
   // Number of predictive searches actually executed (cache misses). Batch
   // callers use this to demonstrate that warm sweeps never search in-band.
-  size_t search_count() const { return search_count_; }
+  size_t search_count() const { return search_count_.load(std::memory_order_relaxed); }
 
   // Snapshot of the plan cache, for persistence via src/core/plan_store.h.
   std::vector<StoredPlan> ExportPlans() const;
@@ -78,20 +115,47 @@ class Tuner {
   // Installs pre-searched plans into the cache (deployment warm start);
   // returns the number of plans accepted. Plans whose partition does not
   // cover the shape's effective wave count on this cluster are rescaled.
+  // Overwrites existing entries in place — run it before handing the
+  // tuner to concurrent users (see the class comment).
   int ImportPlans(const std::vector<StoredPlan>& plans);
 
  private:
   using Key = std::tuple<int64_t, int64_t, int64_t, int>;
 
+  // Nearest-neighbour index entry: precomputed log-extents of a cached
+  // plan. Pointers reference plan_cache_ nodes (stable; never erased).
+  // The key breaks distance ties, so TuneNearest is deterministic even
+  // though parallel tuning appends entries in pool-completion order.
+  struct IndexEntry {
+    double log_m;
+    double log_n;
+    double log_k;
+    Key key;
+    const TunedPlan* plan;
+  };
+
   TunedPlan Search(const GemmShape& shape, CommPrimitive primitive);
+  TunedPlan SearchLegacy(const PredictorSetup& setup, int waves) const;
+  TunedPlan SearchBranchAndBound(const PredictorSetup& setup, int waves) const;
+  // Caches a plan and keeps the per-primitive nearest-neighbour index in
+  // sync; an existing entry is kept untouched unless `overwrite` (which
+  // mutates the node in place — ImportPlans only). Returns the cached
+  // node.
+  const TunedPlan& StorePlanLocked(const Key& key, TunedPlan plan, bool overwrite);
 
   ClusterSpec cluster_;
   TunerConfig config_;
   CommCostModel cost_model_;
-  std::map<std::string, GemmConfig> gemm_cache_;
+
+  mutable std::mutex mu_;
+  std::condition_variable search_done_;
+  std::set<Key> searches_in_flight_;
+  std::unordered_map<GemmShape, GemmConfig, GemmShapeHash> gemm_cache_;
   std::map<int, Curve> curve_cache_;
   std::map<Key, TunedPlan> plan_cache_;
-  size_t search_count_ = 0;
+  // primitive -> index over the cached plans of that primitive.
+  std::map<int, std::vector<IndexEntry>> nearest_index_;
+  std::atomic<size_t> search_count_ = 0;
 };
 
 }  // namespace flo

@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "src/util/check.h"
+#include "src/util/logging.h"
 
 namespace flo {
 
@@ -85,12 +86,12 @@ std::vector<WavePartition> EnumerateAllPartitions(int wave_count) {
 
 namespace {
 
-void EnumeratePrunedRecursive(int remaining, int s1, int sp, bool is_first,
+// Returns true when the max_candidates cap forced it to abandon part of
+// the space (every abandoned subtree holds at least one admissible
+// partition — a 1-wave closer is always within the sp bound).
+bool EnumeratePrunedRecursive(int remaining, int s1, int sp, bool is_first,
                               std::vector<int>* current, std::vector<WavePartition>* out,
                               int max_candidates) {
-  if (static_cast<int>(out->size()) >= max_candidates) {
-    return;
-  }
   const int limit = is_first ? s1 : remaining;
   for (int take = 1; take <= std::min(limit, remaining); ++take) {
     if (take == remaining) {
@@ -99,16 +100,27 @@ void EnumeratePrunedRecursive(int remaining, int s1, int sp, bool is_first,
       if (!is_first && take > sp) {
         continue;
       }
+      if (static_cast<int>(out->size()) >= max_candidates) {
+        return true;
+      }
       current->push_back(take);
       out->push_back(WavePartition{*current});
       current->pop_back();
       continue;
     }
+    if (static_cast<int>(out->size()) >= max_candidates) {
+      return true;
+    }
     current->push_back(take);
-    EnumeratePrunedRecursive(remaining - take, s1, sp, /*is_first=*/false, current, out,
-                             max_candidates);
+    const bool truncated = EnumeratePrunedRecursive(remaining - take, s1, sp,
+                                                    /*is_first=*/false, current, out,
+                                                    max_candidates);
     current->pop_back();
+    if (truncated) {
+      return true;
+    }
   }
+  return false;
 }
 
 }  // namespace
@@ -119,22 +131,33 @@ std::vector<WavePartition> EnumeratePruned(int wave_count, int s1, int sp, int m
   FLO_CHECK_GE(sp, 1);
   FLO_CHECK_GE(max_candidates, 1);
   std::set<std::vector<int>> unique;
+  // Insurance seeds, tracked separately so a max_candidates overflow can
+  // never evict them from the emitted set (the lexicographic order of
+  // `unique` would otherwise silently drop e.g. the single-group
+  // partition, whose vector {T} sorts last).
+  std::set<std::vector<int>> seeds;
   // The single-group partition (communicate everything at the end) is
   // always admissible: it is the graceful "don't overlap" fallback that
   // guarantees the tuned plan never predicts worse than sequential
   // execution, even on links where any segmentation loses.
-  unique.insert(WavePartition::SingleGroup(wave_count).group_sizes);
+  seeds.insert(WavePartition::SingleGroup(wave_count).group_sizes);
   // Equal-sized partitions for every group size: cheap insurance for
   // cliff-heavy links where the head bound would otherwise exclude the
   // few-large-groups optima.
   for (int body = 1; body <= wave_count; ++body) {
-    unique.insert(WavePartition::EqualSized(wave_count, body).group_sizes);
+    seeds.insert(WavePartition::EqualSized(wave_count, body).group_sizes);
   }
-  if (wave_count <= 22) {
+  unique.insert(seeds.begin(), seeds.end());
+  bool recursion_truncated = false;
+  // Up to 36 waves the recursive enumeration is affordable: it terminates
+  // at max_candidates, and with seed retention below a truncated space is
+  // still safe. Beyond that even reaching the cap costs real time per
+  // search, so very deep GEMMs use the structured family instead.
+  if (wave_count <= 36) {
     std::vector<WavePartition> pruned;
     std::vector<int> current;
-    EnumeratePrunedRecursive(wave_count, s1, sp, /*is_first=*/true, &current, &pruned,
-                             max_candidates);
+    recursion_truncated = EnumeratePrunedRecursive(wave_count, s1, sp, /*is_first=*/true,
+                                                   &current, &pruned, max_candidates);
     for (const auto& p : pruned) {
       unique.insert(p.group_sizes);
     }
@@ -163,11 +186,41 @@ std::vector<WavePartition> EnumeratePruned(int wave_count, int s1, int sp, int m
     }
   }
   std::vector<WavePartition> result;
-  for (const auto& sizes : unique) {
-    if (static_cast<int>(result.size()) >= max_candidates) {
-      break;
+  result.reserve(std::min<size_t>(unique.size(), max_candidates));
+  if (static_cast<int>(unique.size()) > max_candidates) {
+    // Over the cap: emit every seed first (single-group before the
+    // equal-sized families, so it survives even a cap smaller than the
+    // seed count), then fill lexicographically.
+    result.push_back(WavePartition::SingleGroup(wave_count));
+    for (const auto& sizes : seeds) {
+      if (static_cast<int>(result.size()) >= max_candidates) {
+        break;
+      }
+      if (sizes != result.front().group_sizes) {
+        result.push_back(WavePartition{sizes});
+      }
     }
-    result.push_back(WavePartition{sizes});
+    for (const auto& sizes : unique) {
+      if (static_cast<int>(result.size()) >= max_candidates) {
+        break;
+      }
+      if (seeds.count(sizes) == 0) {
+        result.push_back(WavePartition{sizes});
+      }
+    }
+    FLO_LOG(kWarning) << "EnumeratePruned(" << wave_count << ", s1=" << s1 << ", sp=" << sp
+                      << ") dropped " << unique.size() - result.size()
+                      << " candidates over the max_candidates=" << max_candidates
+                      << " cap (insurance seeds retained)";
+  } else {
+    for (const auto& sizes : unique) {
+      result.push_back(WavePartition{sizes});
+    }
+    if (recursion_truncated) {
+      FLO_LOG(kWarning) << "EnumeratePruned(" << wave_count << ", s1=" << s1 << ", sp=" << sp
+                        << ") stopped enumerating at the max_candidates=" << max_candidates
+                        << " cap; the pruned space was not fully explored";
+    }
   }
   return result;
 }

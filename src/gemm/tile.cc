@@ -13,6 +13,19 @@ std::string GemmShape::ToString() const {
   return out.str();
 }
 
+size_t GemmShapeHash::operator()(const GemmShape& shape) const {
+  // splitmix64-style mixing of the three extents.
+  uint64_t hash = 0x9E3779B97F4A7C15ull;
+  for (uint64_t v : {static_cast<uint64_t>(shape.m), static_cast<uint64_t>(shape.n),
+                     static_cast<uint64_t>(shape.k)}) {
+    v += 0x9E3779B97F4A7C15ull;
+    v = (v ^ (v >> 30)) * 0xBF58476D1CE4E5B9ull;
+    v = (v ^ (v >> 27)) * 0x94D049BB133111EBull;
+    hash ^= (v ^ (v >> 31)) + 0x9E3779B97F4A7C15ull + (hash << 6) + (hash >> 2);
+  }
+  return static_cast<size_t>(hash);
+}
+
 TileGrid::TileGrid(GemmShape shape, TileShape tile) : shape_(shape), tile_(tile) {
   FLO_CHECK_GT(shape.m, 0);
   FLO_CHECK_GT(shape.n, 0);

@@ -27,6 +27,12 @@ struct GemmShape {
   bool operator==(const GemmShape&) const = default;
 };
 
+// Hash functor so GemmShape can key std::unordered_map directly (the
+// tuner's offline-artifact caches) instead of going through ToString().
+struct GemmShapeHash {
+  size_t operator()(const GemmShape& shape) const;
+};
+
 struct TileShape {
   int m = 0;
   int n = 0;

@@ -5,6 +5,7 @@
 #include <functional>
 #include <set>
 #include <utility>
+#include <vector>
 
 #include "src/serve/request_queue.h"
 #include "src/sim/event_queue.h"
@@ -41,7 +42,8 @@ ServeReport ServeLoop::Run(std::vector<ServeRequest> requests) {
   RequestQueue queue(
       [this](const ScenarioSpec& spec) { return engine_->planner().CanonicalKey(spec); });
   bool executor_free = true;
-  bool tuner_free = true;
+  const int tuner_lanes = std::max(1, config_.tuner_lanes);
+  int tuners_busy = 0;
   std::deque<Batch> ready;      // tuned batches awaiting the executor
   std::deque<Batch> tune_wait;  // cold batches awaiting the tuning lane
   // Keys whose plan is in the store but whose simulated tuning has not
@@ -77,10 +79,20 @@ ServeReport ServeLoop::Run(std::vector<ServeRequest> requests) {
     return config_.tune_base_us + config_.tune_per_search_us * static_cast<double>(searches);
   };
 
-  auto start_tuning = [&](Batch batch) {
-    tuner_free = false;
+  auto finish_tuning_at = [&](Batch batch, double cost) {
+    report.tuner_busy_us += cost;
     const uint64_t key = batch.key;
-    tuning_keys.insert(key);
+    events.Push(now + cost, [&, key, batch = std::move(batch)]() mutable {
+      --tuners_busy;
+      tuning_keys.erase(key);
+      ready.push_back(std::move(batch));
+      dispatch();
+    });
+  };
+
+  auto start_tuning = [&](Batch batch) {
+    ++tuners_busy;
+    tuning_keys.insert(batch.key);
     // Build and cache the plan now; its cost lands on the tuning lane, so
     // the executor keeps serving warm batches meanwhile. By-value: against
     // a shared store, Plan()'s reference could dangle under concurrent
@@ -88,13 +100,39 @@ ServeReport ServeLoop::Run(std::vector<ServeRequest> requests) {
     const size_t searches_before = engine_->tuner().search_count();
     engine_->planner().PlanByValue(batch.requests.front().spec);
     const double cost = tune_cost_us(engine_->tuner().search_count() - searches_before);
-    report.tuner_busy_us += cost;
-    events.Push(now + cost, [&, key, batch = std::move(batch)]() mutable {
-      tuner_free = true;
-      tuning_keys.erase(key);
-      ready.push_back(std::move(batch));
-      dispatch();
-    });
+    finish_tuning_at(std::move(batch), cost);
+  };
+
+  // Multi-lane start: the distinct predictive searches behind `group` run
+  // together on a real worker pool (the parallel cold-tuning lane); each
+  // simulated lane is then charged the searches its own batch was missing.
+  // The charge is decided before the pool runs, so the timeline is
+  // deterministic regardless of worker scheduling.
+  auto start_tuning_group = [&](std::vector<Batch> group) {
+    std::vector<ScenarioSpec> specs;
+    specs.reserve(group.size());
+    for (const Batch& batch : group) {
+      specs.push_back(batch.requests.front().spec);
+    }
+    // PretuneParallel reports which searches it claimed (first spec to
+    // need one wins); each lane is charged exactly its batch's claim.
+    auto claimed = engine_->PretuneParallel(specs, static_cast<int>(group.size()));
+    for (size_t i = 0; i < group.size(); ++i) {
+      size_t searches = 0;
+      const auto request = engine_->planner().TuningRequest(specs[i]);
+      if (request.has_value()) {
+        const auto it = std::find(claimed.begin(), claimed.end(), *request);
+        if (it != claimed.end()) {
+          claimed.erase(it);
+          searches = 1;
+        }
+      }
+      ++tuners_busy;
+      tuning_keys.insert(group[i].key);
+      // The searches are warm now; this builds and caches the plan.
+      engine_->planner().PlanByValue(specs[i]);
+      finish_tuning_at(std::move(group[i]), tune_cost_us(searches));
+    }
   };
 
   auto execute_batch = [&](Batch batch) {
@@ -156,19 +194,51 @@ ServeReport ServeLoop::Run(std::vector<ServeRequest> requests) {
         ++it;
       }
     }
-    if (tuner_free && !tune_wait.empty()) {
-      Batch batch = std::move(tune_wait.front());
-      tune_wait.pop_front();
-      start_tuning(std::move(batch));
-    }
-    // Feed the idle tuning lane straight from the queue: a cold batch at
+    // Feed idle tuning lanes: gather distinct-key cold batches — from the
+    // waiting room first, then straight from the queue (a cold batch at
     // the rotation head must start tuning even while the executor is busy
-    // with a warm batch — that concurrency is the point of the side lane.
-    if (config_.overlap_tuning && tuner_free && !queue.empty() && !is_warm(queue.PeekKey())) {
-      Batch batch;
-      batch.requests = queue.PopBatch(config_.max_batch, &batch.key);
-      batch.tuned = true;
-      start_tuning(std::move(batch));
+    // with a warm batch; that concurrency is the point of the side lane).
+    // Batches gathered in one round start together so their searches share
+    // the worker pool.
+    std::vector<Batch> starting;
+    auto key_busy = [&](uint64_t key) {
+      if (tuning_keys.count(key) != 0) {
+        return true;
+      }
+      for (const Batch& batch : starting) {
+        if (batch.key == key) {
+          return true;
+        }
+      }
+      return false;
+    };
+    while (tuners_busy + static_cast<int>(starting.size()) < tuner_lanes) {
+      bool picked = false;
+      for (auto it = tune_wait.begin(); it != tune_wait.end(); ++it) {
+        if (!key_busy(it->key)) {
+          starting.push_back(std::move(*it));
+          tune_wait.erase(it);
+          picked = true;
+          break;
+        }
+      }
+      if (picked) {
+        continue;
+      }
+      if (config_.overlap_tuning && !queue.empty() && !is_warm(queue.PeekKey()) &&
+          !key_busy(queue.PeekKey())) {
+        Batch batch;
+        batch.requests = queue.PopBatch(config_.max_batch, &batch.key);
+        batch.tuned = true;
+        starting.push_back(std::move(batch));
+        continue;
+      }
+      break;
+    }
+    if (starting.size() == 1) {
+      start_tuning(std::move(starting.front()));
+    } else if (!starting.empty()) {
+      start_tuning_group(std::move(starting));
     }
     while (executor_free) {
       if (!ready.empty()) {
@@ -184,7 +254,7 @@ ServeReport ServeLoop::Run(std::vector<ServeRequest> requests) {
       batch.requests = queue.PopBatch(config_.max_batch, &batch.key);
       if (config_.overlap_tuning && !is_warm(batch.key)) {
         batch.tuned = true;  // it will wait on the cold-plan path
-        if (tuner_free) {
+        if (tuners_busy < tuner_lanes && tuning_keys.count(batch.key) == 0) {
           start_tuning(std::move(batch));
         } else {
           merge_or_park(&tune_wait, std::move(batch));

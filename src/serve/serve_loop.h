@@ -40,6 +40,14 @@ struct ServeConfig {
   double tune_per_search_us = 20000.0;
   // Tune cold plans on the side lane while warm batches keep executing.
   bool overlap_tuning = true;
+  // Concurrent cold-tuning lanes. With > 1 lanes, distinct cold plan keys
+  // tune in parallel: on the simulated clock each lane is busy for its own
+  // batch's cost, and when several lanes start in the same dispatch round
+  // the underlying predictive searches run on a real worker pool
+  // (OverlapEngine::PretuneParallel) against the engine's — possibly
+  // shared — PlanStore. Plans are deterministic regardless of the lane
+  // count; only the timeline changes.
+  int tuner_lanes = 1;
 };
 
 struct ServeReport {

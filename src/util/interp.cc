@@ -32,6 +32,50 @@ double Curve::Eval(double x) const {
   return prev->second + t * (it->second - prev->second);
 }
 
+double Curve::Eval(double x, size_t* hint) const {
+  FLO_CHECK(!points_.empty());
+  if (x <= points_.front().first) {
+    return points_.front().second;
+  }
+  if (x >= points_.back().first) {
+    return points_.back().second;
+  }
+  // Invariant for interior x: points_[i-1].x < x <= points_[i].x. Start
+  // from the cached segment; a monotone caller lands on it within a few
+  // steps, anything else (stale hint in either direction) falls back to
+  // the binary search.
+  size_t i = (hint != nullptr) ? *hint : 0;
+  if (i < 1 || i >= points_.size()) {
+    i = 1;
+  }
+  bool resolved = false;
+  if (points_[i].first < x) {
+    for (int step = 0; step < 4; ++step) {
+      ++i;  // bounded: x < points_.back().x guarantees a stopper
+      if (points_[i].first >= x) {
+        resolved = true;
+        break;
+      }
+    }
+  } else {
+    resolved = points_[i - 1].first < x;
+  }
+  if (!resolved) {
+    auto it = std::lower_bound(points_.begin(), points_.end(), x,
+                               [](const std::pair<double, double>& p, double v) {
+                                 return p.first < v;
+                               });
+    i = static_cast<size_t>(it - points_.begin());
+  }
+  if (hint != nullptr) {
+    *hint = i;
+  }
+  const std::pair<double, double>& prev = points_[i - 1];
+  const std::pair<double, double>& next = points_[i];
+  const double t = (x - prev.first) / (next.first - prev.first);
+  return prev.second + t * (next.second - prev.second);
+}
+
 double Curve::min_x() const {
   FLO_CHECK(!points_.empty());
   return points_.front().first;

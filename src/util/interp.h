@@ -24,6 +24,15 @@ class Curve {
   // Linear interpolation at x; clamps outside the sampled range.
   double Eval(double x) const;
 
+  // Monotone-query fast path: `*hint` caches the segment index of the last
+  // hit so a caller walking x in increasing order (the tuner's latency
+  // table precompute, the legacy evaluator's group sweep) resolves most
+  // queries with one or two comparisons instead of a binary search. The
+  // caller owns the cursor (initialize to 0); results are bit-identical to
+  // Eval for any cursor value — a stale hint only costs the fallback
+  // binary search.
+  double Eval(double x, size_t* hint) const;
+
   bool empty() const { return points_.empty(); }
   size_t size() const { return points_.size(); }
   const std::vector<std::pair<double, double>>& points() const { return points_; }

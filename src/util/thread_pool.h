@@ -1,0 +1,58 @@
+// A small fixed-size worker pool for cold-path parallelism.
+//
+// The tuner's predictive searches are embarrassingly parallel across
+// distinct (shape, primitive) keys: batch cold sweeps and the serving
+// loop's cold-tuning lane submit one search per key and wait for the set.
+// This pool is deliberately minimal — fixed thread count, FIFO queue,
+// blocking WaitIdle — because tuning parallelism is coarse (milliseconds
+// per task) and determinism matters more than scheduling cleverness.
+#ifndef SRC_UTIL_THREAD_POOL_H_
+#define SRC_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace flo {
+
+class ThreadPool {
+ public:
+  // Spawns `threads` workers (clamped to >= 1).
+  explicit ThreadPool(int threads);
+  // Drains the queue, then joins every worker.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int thread_count() const { return static_cast<int>(workers_.size()); }
+
+  // Enqueues a task. Tasks must not submit further tasks to the same pool
+  // from within WaitIdle-observed work (no nested fan-out).
+  void Submit(std::function<void()> task);
+
+  // Blocks until every submitted task has finished executing. If any task
+  // threw, rethrows the first captured exception here (matching what the
+  // caller would have seen running the tasks sequentially).
+  void WaitIdle();
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable work_available_;
+  std::condition_variable idle_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  int in_flight_ = 0;
+  bool shutdown_ = false;
+  std::exception_ptr first_exception_;
+};
+
+}  // namespace flo
+
+#endif  // SRC_UTIL_THREAD_POOL_H_

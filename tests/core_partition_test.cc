@@ -90,6 +90,33 @@ TEST(EnumeratePrunedTest, ContainsEveryAdmissiblePartition) {
   }
 }
 
+TEST(EnumeratePrunedTest, SeedsSurviveMaxCandidatesTruncation) {
+  // 22 waves overflows any small cap; the lexicographically-last
+  // single-group seed {22} and the equal-sized families must still be
+  // emitted (they are the insurance against cliff-heavy links).
+  const int waves = 22;
+  const auto candidates = EnumeratePruned(waves, 2, 4, /*max_candidates=*/64);
+  EXPECT_EQ(candidates.size(), 64u);
+  std::set<std::vector<int>> emitted;
+  for (const auto& p : candidates) {
+    EXPECT_TRUE(p.Valid(waves)) << p.ToString();
+    emitted.insert(p.group_sizes);
+  }
+  EXPECT_TRUE(emitted.count(WavePartition::SingleGroup(waves).group_sizes))
+      << "single-group fallback dropped by truncation";
+  for (int body = 1; body <= waves; ++body) {
+    EXPECT_TRUE(emitted.count(WavePartition::EqualSized(waves, body).group_sizes))
+        << "equal-sized body=" << body << " dropped by truncation";
+  }
+}
+
+TEST(EnumeratePrunedTest, SingleGroupSurvivesEvenTinyCaps) {
+  const auto candidates = EnumeratePruned(22, 2, 4, /*max_candidates=*/3);
+  ASSERT_FALSE(candidates.empty());
+  EXPECT_LE(candidates.size(), 3u);
+  EXPECT_EQ(candidates.front().group_sizes, WavePartition::SingleGroup(22).group_sizes);
+}
+
 TEST(EnumeratePrunedTest, LargeWaveCountsFallBackToStructuredFamily) {
   const auto candidates = EnumeratePruned(64, 2, 4, 512);
   EXPECT_FALSE(candidates.empty());

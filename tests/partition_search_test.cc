@@ -1,0 +1,239 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+#include "src/core/overlap_engine.h"
+#include "src/core/partition_search.h"
+#include "src/core/predictor.h"
+#include "src/core/tuner.h"
+#include "src/core/wave_partition.h"
+#include "src/serve/request_source.h"
+#include "src/serve/serve_loop.h"
+
+namespace flo {
+namespace {
+
+constexpr CommPrimitive kAllPrimitives[] = {
+    CommPrimitive::kAllReduce,
+    CommPrimitive::kReduceScatter,
+    CommPrimitive::kAllGather,
+    CommPrimitive::kAllToAll,
+};
+
+// A synthetic setup with an exact effective wave count: `waves - 1` full
+// waves plus a tail wave whose tile count is derived from `tail_seed`.
+// `wave_time_us` steers the compute/communication balance (small =>
+// comm-bound, large => compute-bound with its large tie plateaus).
+PredictorSetup MakeSyntheticSetup(int waves, int tail_seed, double wave_time_us,
+                                  CommPrimitive primitive) {
+  const ClusterSpec cluster = MakeA800Cluster(4);
+  Tuner tuner(cluster);
+  PredictorSetup setup;
+  setup.gpu = cluster.gpu;
+  setup.primitive = primitive;
+  setup.latency_curve = tuner.LatencyCurveFor(primitive);
+  setup.comm_sm_count = cluster.link.comm_sm_count;
+  setup.element_size = 2;
+  const int width = std::max(1, setup.gpu.sm_count - setup.comm_sm_count);
+  const int tail_tiles = 1 + tail_seed % width;
+  setup.gemm.tile = TileShape{128, 128};
+  setup.gemm.tile_count = (waves - 1) * width + tail_tiles;
+  setup.gemm.wave_time_us = wave_time_us;
+  setup.gemm.duration_us =
+      waves * wave_time_us + setup.gpu.kernel_launch_overhead_us;
+  EXPECT_EQ(setup.EffectiveWaveCount(), waves);
+  return setup;
+}
+
+struct ExhaustiveBest {
+  WavePartition partition;
+  double latency_us = std::numeric_limits<double>::infinity();
+};
+
+// The reference the branch-and-bound must match bit-for-bit: score every
+// member of the full 2^(T-1) space with the legacy evaluator, breaking
+// latency ties toward the lexicographically smallest group-size vector.
+ExhaustiveBest ScoreExhaustively(const PredictorSetup& setup, int waves) {
+  ExhaustiveBest best;
+  for (const WavePartition& candidate : EnumerateAllPartitions(waves)) {
+    const double latency = PredictOverlapLatency(setup, candidate).latency_us;
+    if (latency < best.latency_us ||
+        (latency == best.latency_us &&
+         std::lexicographical_compare(candidate.group_sizes.begin(),
+                                      candidate.group_sizes.end(),
+                                      best.partition.group_sizes.begin(),
+                                      best.partition.group_sizes.end()))) {
+      best.partition = candidate;
+      best.latency_us = latency;
+    }
+  }
+  return best;
+}
+
+TEST(GroupLatencyTableTest, MatchesLegacyEvaluatorBitExactly) {
+  for (const CommPrimitive primitive : kAllPrimitives) {
+    const PredictorSetup setup = MakeSyntheticSetup(14, 30, 4.0, primitive);
+    const GroupLatencyTable table = BuildGroupLatencyTable(setup);
+    // Every partition of the full space: table-driven replay must equal
+    // the legacy evaluator bit for bit, single-group special case
+    // included.
+    for (const WavePartition& candidate : EnumerateAllPartitions(14)) {
+      ASSERT_EQ(PredictLatencyWithTable(table, candidate),
+                PredictOverlapLatency(setup, candidate).latency_us)
+          << candidate.ToString() << " " << CommPrimitiveName(primitive);
+    }
+  }
+}
+
+// Acceptance gate: the fused branch-and-bound returns the same best
+// partition and the bit-identical predicted latency as exhaustively
+// scoring EnumerateAllPartitions — for every wave count <= 20 on
+// All-Reduce and for all four primitives on the smaller counts.
+TEST(PartitionSearchTest, MatchesExhaustiveEnumerationBitExactly) {
+  PartitionSearcher searcher;
+  PartitionSearchOptions options;
+  options.bounded = false;
+  const double wave_times[] = {0.6, 5.0, 60.0};
+  for (const CommPrimitive primitive : kAllPrimitives) {
+    const int max_waves = primitive == CommPrimitive::kAllReduce ? 20 : 16;
+    for (int waves = 1; waves <= max_waves; ++waves) {
+      const double wave_time = wave_times[waves % 3];
+      const PredictorSetup setup =
+          MakeSyntheticSetup(waves, waves * 37, wave_time, primitive);
+      const ExhaustiveBest expected = ScoreExhaustively(setup, waves);
+      const GroupLatencyTable table = BuildGroupLatencyTable(setup);
+      const PartitionSearchResult result = searcher.Search(table, options);
+      ASSERT_EQ(result.predicted_us, expected.latency_us)
+          << "waves=" << waves << " primitive=" << CommPrimitiveName(primitive);
+      ASSERT_EQ(result.partition.group_sizes, expected.partition.group_sizes)
+          << "waves=" << waves << " primitive=" << CommPrimitiveName(primitive)
+          << " got " << result.partition.ToString() << " want "
+          << expected.partition.ToString();
+      EXPECT_FALSE(result.budget_exhausted);
+    }
+  }
+}
+
+TEST(PartitionSearchTest, PrunesFarFewerNodesThanTheFullSpace) {
+  PartitionSearcher searcher;
+  PartitionSearchOptions options;
+  options.bounded = false;
+  const PredictorSetup setup =
+      MakeSyntheticSetup(20, 40, 5.0, CommPrimitive::kAllReduce);
+  const GroupLatencyTable table = BuildGroupLatencyTable(setup);
+  const PartitionSearchResult result = searcher.Search(table, options);
+  // The full tree has ~2^20 extensions; the bound + dominance cuts must
+  // remove the overwhelming majority while staying exact.
+  EXPECT_LT(result.nodes_visited, (1u << 20) / 8);
+}
+
+TEST(PartitionSearchTest, BudgetExhaustionKeepsASeededValidPlan) {
+  PartitionSearcher searcher;
+  PartitionSearchOptions options;
+  options.max_nodes = 1;
+  const PredictorSetup setup =
+      MakeSyntheticSetup(12, 17, 5.0, CommPrimitive::kAllReduce);
+  const GroupLatencyTable table = BuildGroupLatencyTable(setup);
+  const PartitionSearchResult result = searcher.Search(table, options);
+  EXPECT_TRUE(result.budget_exhausted);
+  EXPECT_TRUE(result.partition.Valid(12));
+  EXPECT_GT(result.predicted_us, 0.0);
+  EXPECT_LE(result.predicted_us, table.single_group_us);
+}
+
+TEST(PartitionSearchTest, BoundedSearchNeverLosesToLegacyPrunedEnumeration) {
+  // The B&B's bounded space is a superset of the (possibly truncated)
+  // legacy candidate set, so its best prediction can only be equal or
+  // better — on every primitive and across shapes.
+  for (const CommPrimitive primitive : kAllPrimitives) {
+    for (int64_t m : {1024, 4096, 16384}) {
+      const GemmShape shape{m, 8192, 8192};
+      TunerConfig legacy_config;
+      legacy_config.use_legacy_enumeration = true;
+      Tuner legacy(Make4090Cluster(4), legacy_config);
+      Tuner modern(Make4090Cluster(4));
+      const TunedPlan& legacy_plan = legacy.Tune(shape, primitive);
+      const TunedPlan& modern_plan = modern.Tune(shape, primitive);
+      EXPECT_LE(modern_plan.predicted_us, legacy_plan.predicted_us)
+          << shape.ToString() << " " << CommPrimitiveName(primitive);
+      EXPECT_TRUE(modern_plan.partition.Valid(modern_plan.effective_waves));
+    }
+  }
+}
+
+std::vector<ScenarioSpec> DeterminismSpecs() {
+  std::vector<ScenarioSpec> specs;
+  for (int64_t m : {1024, 2048, 3072, 4096, 6144, 8192}) {
+    specs.push_back(ScenarioSpec::Overlap(GemmShape{m, 8192, 4096},
+                                          CommPrimitive::kAllReduce));
+    specs.push_back(ScenarioSpec::Overlap(GemmShape{m, 4096, 8192},
+                                          CommPrimitive::kReduceScatter));
+  }
+  return specs;
+}
+
+TEST(ParallelTuningTest, RunBatchPlansAreIdenticalAcrossThreadCounts) {
+  const std::vector<ScenarioSpec> specs = DeterminismSpecs();
+  EngineOptions serial_options{.jitter = false};
+  EngineOptions pooled_options{.jitter = false};
+  pooled_options.tune_threads = 4;
+  OverlapEngine serial(MakeA800Cluster(4), {}, serial_options);
+  OverlapEngine pooled(MakeA800Cluster(4), {}, pooled_options);
+  const std::vector<OverlapRun> serial_runs = serial.RunBatch(specs);
+  const std::vector<OverlapRun> pooled_runs = pooled.RunBatch(specs);
+  ASSERT_EQ(serial_runs.size(), pooled_runs.size());
+  for (size_t i = 0; i < serial_runs.size(); ++i) {
+    EXPECT_EQ(serial_runs[i].partition.group_sizes, pooled_runs[i].partition.group_sizes) << i;
+    EXPECT_EQ(serial_runs[i].predicted_us, pooled_runs[i].predicted_us) << i;
+    EXPECT_EQ(serial_runs[i].total_us, pooled_runs[i].total_us) << i;
+  }
+  // Single-flight keeps the search count exact — one search per distinct
+  // (shape, primitive) — no duplicated work under the pool.
+  EXPECT_EQ(serial.tuner().search_count(), pooled.tuner().search_count());
+  EXPECT_EQ(serial.tuner().ExportPlans(), pooled.tuner().ExportPlans());
+}
+
+TEST(ParallelTuningTest, PretuneParallelMakesTheBatchSearchFree) {
+  const std::vector<ScenarioSpec> specs = DeterminismSpecs();
+  OverlapEngine engine(MakeA800Cluster(4), {}, EngineOptions{.jitter = false});
+  const auto claimed = engine.PretuneParallel(specs, 4);
+  EXPECT_EQ(claimed.size(), specs.size());  // all distinct, all cold
+  const size_t after_pretune = engine.tuner().search_count();
+  EXPECT_EQ(after_pretune, claimed.size());
+  engine.RunBatch(specs);
+  EXPECT_EQ(engine.tuner().search_count(), after_pretune)
+      << "the sweep itself must not search after a pretune";
+  // A second pretune finds everything warm.
+  EXPECT_TRUE(engine.PretuneParallel(specs, 4).empty());
+}
+
+TEST(ParallelTuningTest, ServeLoopPlansAreIdenticalAcrossTunerLanes) {
+  const std::vector<ScenarioSpec> specs = DeterminismSpecs();
+  const auto arrivals = PoissonArrivals(/*mean_interarrival_us=*/300.0, /*count=*/48,
+                                        /*seed=*/7);
+  const std::vector<ServeRequest> trace = MakeRequestStream("tenant", specs, arrivals, 0);
+
+  ServeConfig single_lane;
+  ServeConfig quad_lane;
+  quad_lane.tuner_lanes = 4;
+
+  OverlapEngine engine_single(MakeA800Cluster(4), {}, EngineOptions{.jitter = false});
+  OverlapEngine engine_quad(MakeA800Cluster(4), {}, EngineOptions{.jitter = false});
+  ServeLoop loop_single(&engine_single, single_lane);
+  ServeLoop loop_quad(&engine_quad, quad_lane);
+  const ServeReport report_single = loop_single.Run(trace);
+  const ServeReport report_quad = loop_quad.Run(trace);
+
+  EXPECT_EQ(report_single.stats.count(), report_quad.stats.count());
+  // Identical plans regardless of lane count; only the timeline may move.
+  EXPECT_EQ(engine_single.tuner().ExportPlans(), engine_quad.tuner().ExportPlans());
+  EXPECT_EQ(engine_single.tuner().search_count(), engine_quad.tuner().search_count());
+  // With every key distinct and cold, extra lanes overlap more tuning, so
+  // total tuner-lane busy time is identical while makespan cannot explode.
+  EXPECT_EQ(report_single.cold_batches, report_quad.cold_batches);
+}
+
+}  // namespace
+}  // namespace flo

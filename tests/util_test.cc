@@ -104,6 +104,44 @@ TEST(CurveDeathTest, RejectsUnsortedPoints) {
   EXPECT_DEATH(Curve({{2.0, 1.0}, {1.0, 2.0}}), "strictly increasing");
 }
 
+TEST(CurveTest, HintedEvalAgreesWithBinarySearchOnRandomQueries) {
+  // The monotone fast path must be bit-identical to the plain binary
+  // search for any query pattern and any (possibly stale) cursor state.
+  Rng rng(0xC0FFEEu);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<std::pair<double, double>> points;
+    double x = rng.NextDouble(0.0, 10.0);
+    const int count = 2 + static_cast<int>(rng.NextBelow(60));
+    for (int i = 0; i < count; ++i) {
+      points.emplace_back(x, rng.NextDouble(-100.0, 100.0));
+      x += rng.NextDouble(0.1, 50.0);
+    }
+    const Curve curve(points);
+    size_t hint = rng.NextBelow(2 * count);  // start anywhere, even out of range
+    // Monotone sweep (the tuner's table-precompute pattern).
+    for (double q = curve.min_x() - 5.0; q <= curve.max_x() + 5.0; q += 0.37) {
+      ASSERT_EQ(curve.Eval(q, &hint), curve.Eval(q)) << "trial " << trial << " q=" << q;
+    }
+    // Random jumps: stale hints must still agree.
+    for (int i = 0; i < 200; ++i) {
+      const double q = rng.NextDouble(curve.min_x() - 10.0, curve.max_x() + 10.0);
+      ASSERT_EQ(curve.Eval(q, &hint), curve.Eval(q)) << "trial " << trial << " q=" << q;
+    }
+  }
+}
+
+TEST(CurveTest, HintedEvalHandlesSinglePointAndBoundaries) {
+  const Curve single({{2.0, 5.0}});
+  size_t hint = 7;
+  EXPECT_EQ(single.Eval(1.0, &hint), 5.0);
+  EXPECT_EQ(single.Eval(2.0, &hint), 5.0);
+  EXPECT_EQ(single.Eval(9.0, &hint), 5.0);
+  const Curve two({{1.0, 10.0}, {2.0, 20.0}});
+  hint = 999;
+  EXPECT_EQ(two.Eval(1.5, &hint), two.Eval(1.5));
+  EXPECT_EQ(hint, 1u);
+}
+
 TEST(StatsTest, SummaryBasics) {
   const Summary s = Summarize({1.0, 2.0, 3.0, 4.0});
   EXPECT_EQ(s.count, 4u);
