@@ -1,0 +1,257 @@
+// Multi-replica serving benchmark: throughput-latency curves vs replica
+// count and placement policy, on a mixed-tenant trace.
+//
+// Tenants: "llm" replays Llama3-70B inference ops under Poisson arrivals;
+// "moe" replays Mixtral imbalanced All-to-All ops under bursty arrivals.
+// The offered load is fixed above one executor's capacity, so a single
+// replica saturates and the fleet has to absorb the rest — the regime
+// where placement policy and plan shipping matter.
+//
+// Gates (nonzero exit for CI):
+//  - plan-affinity beats round-robin on global warm-hit rate AND total
+//    tuner searches (shipping off, 4 replicas);
+//  - with plan shipping, a 4-replica fleet performs <= N_keys searches
+//    (each distinct scenario tuned once fleet-wide);
+//  - bit-determinism: reruns identical; published plans identical at any
+//    replica count; reports identical at any host thread count.
+//
+// Usage: bench_cluster_bench [--smoke] [--history <file>]
+// Writes cluster_bench.csv and BENCH_cluster.json to the cwd; --history
+// appends the JSON as one compact line to the given trajectory file.
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/trajectory.h"
+#include "src/core/flashoverlap.h"
+#include "src/models/workloads.h"
+#include "src/util/csv.h"
+#include "src/util/table.h"
+
+namespace flo {
+namespace {
+
+struct TraceSetup {
+  ClusterSpec hardware;
+  std::vector<ServeRequest> trace;
+};
+
+// Mean simulated service time of the spec mix, measured on a scratch
+// engine so the benchmarked fleets start genuinely cold.
+double MeanServiceUs(const ClusterSpec& hardware, const std::vector<ScenarioSpec>& specs) {
+  OverlapEngine scratch(hardware, {}, EngineOptions{.jitter = false});
+  double total = 0.0;
+  for (const ScenarioSpec& spec : specs) {
+    total += scratch.Execute(spec).total_us;
+  }
+  return total / static_cast<double>(specs.size());
+}
+
+TraceSetup MakeTrace(bool smoke) {
+  const Workload llm = MakeLlama3Inference();
+  const Workload moe = MakeMixtralTraining();
+  const std::vector<ScenarioSpec> llm_specs = WorkloadSpecs(llm);
+  const std::vector<ScenarioSpec> moe_specs = WorkloadSpecs(moe);
+  // A chat tenant with per-conversation GEMM sizes widens the key space —
+  // the multi-tenant regime where plan placement actually matters.
+  std::vector<ScenarioSpec> chat_specs;
+  for (const int64_t m : {1024, 2048, 4096, 6144}) {
+    chat_specs.push_back(
+        ScenarioSpec::Overlap(GemmShape{m, 8192, 3584}, CommPrimitive::kReduceScatter));
+  }
+  const double llm_service_us = MeanServiceUs(llm.cluster, llm_specs);
+  const double moe_service_us = MeanServiceUs(llm.cluster, moe_specs);
+  const double chat_service_us = MeanServiceUs(llm.cluster, chat_specs);
+  // Each tenant offers ~0.55x of one executor's capacity: ~1.6x total, so
+  // a lone replica drowns and the fleet absorbs the overflow.
+  const int per_tenant = smoke ? 50 : 200;
+  const auto trace = MergeStreams(
+      {MakeRequestStream("llm", llm_specs,
+                         PoissonArrivals(llm_service_us / 0.55, per_tenant, 1), 0),
+       MakeRequestStream("moe", moe_specs,
+                         BurstyArrivals(moe_service_us / 0.55, 4.0, 8, per_tenant, 2),
+                         100000),
+       MakeRequestStream("chat", chat_specs,
+                         PoissonArrivals(chat_service_us / 0.55, per_tenant, 3), 200000)});
+  return TraceSetup{llm.cluster, trace};
+}
+
+FleetReport RunFleet(const TraceSetup& setup, int replicas, PlacementPolicy policy,
+                     bool ship_plans) {
+  ClusterConfig config;
+  config.replicas = replicas;
+  config.policy = policy;
+  config.ship_plans = ship_plans;
+  ServingCluster fleet(setup.hardware, config, {}, EngineOptions{.jitter = false});
+  return fleet.Run(setup.trace);
+}
+
+void AddRow(CsvWriter* csv, Table* table, int replicas, PlacementPolicy policy,
+            bool ship_plans, const FleetReport& report) {
+  const PercentileSummary latency = report.stats.LatencyPercentiles();
+  csv->AddRow({std::to_string(replicas), PlacementPolicyName(policy),
+               ship_plans ? "1" : "0", std::to_string(report.stats.count()),
+               FormatDouble(report.ThroughputPerSec(), 2), FormatDouble(latency.p50, 1),
+               FormatDouble(latency.p99, 1), FormatDouble(report.WarmHitRate(), 4),
+               std::to_string(report.total_searches), std::to_string(report.distinct_keys),
+               std::to_string(report.shipping.shipped)});
+  table->AddRow({std::to_string(replicas), PlacementPolicyName(policy),
+                 ship_plans ? "on" : "off", FormatDouble(report.ThroughputPerSec(), 1),
+                 FormatDouble(latency.p50, 0), FormatDouble(latency.p99, 0),
+                 FormatDouble(100.0 * report.WarmHitRate(), 1),
+                 std::to_string(report.total_searches)});
+}
+
+bool SameTimeline(const FleetReport& a, const FleetReport& b) {
+  if (a.makespan_us != b.makespan_us || a.stats.count() != b.stats.count() ||
+      a.total_searches != b.total_searches) {
+    return false;
+  }
+  for (size_t i = 0; i < a.stats.count(); ++i) {
+    if (a.stats.records()[i].finish_us != b.stats.records()[i].finish_us ||
+        a.stats.records()[i].plan_cache_hit != b.stats.records()[i].plan_cache_hit) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool Run(bool smoke, const std::string& history_path) {
+  const TraceSetup setup = MakeTrace(smoke);
+  std::printf("Serving cluster: %zu requests (llm Poisson + moe bursty), 8x A800\n\n",
+              setup.trace.size());
+  CsvWriter csv({"replicas", "policy", "ship_plans", "requests", "throughput_rps", "p50_us",
+                 "p99_us", "warm_hit_rate", "tuner_searches", "distinct_keys",
+                 "shipped_plans"});
+  Table table({"replicas", "policy", "ship", "req/s", "p50 us", "p99 us", "hit%", "searches"});
+
+  const std::vector<PlacementPolicy> policies = {
+      PlacementPolicy::kRoundRobin, PlacementPolicy::kLeastLoaded,
+      PlacementPolicy::kPlanAffinity};
+  // Policy comparison without shipping: routing alone must earn warmth.
+  FleetReport round_robin_4;
+  FleetReport affinity_4;
+  double throughput_1 = 0.0;
+  double throughput_4 = 0.0;
+  for (const int replicas : smoke ? std::vector<int>{1, 4} : std::vector<int>{1, 2, 4}) {
+    for (const PlacementPolicy policy : policies) {
+      const FleetReport report = RunFleet(setup, replicas, policy, /*ship_plans=*/false);
+      AddRow(&csv, &table, replicas, policy, false, report);
+      if (replicas == 4 && policy == PlacementPolicy::kRoundRobin) {
+        round_robin_4 = report;
+      }
+      if (replicas == 4 && policy == PlacementPolicy::kPlanAffinity) {
+        affinity_4 = report;
+      }
+      if (policy == PlacementPolicy::kPlanAffinity) {
+        if (replicas == 1) {
+          throughput_1 = report.ThroughputPerSec();
+        }
+        if (replicas == 4) {
+          throughput_4 = report.ThroughputPerSec();
+        }
+      }
+    }
+  }
+  // Shipping on: every policy's fleet pays each search once.
+  FleetReport shipped_4;
+  size_t max_shipped_searches = 0;
+  for (const PlacementPolicy policy : policies) {
+    const FleetReport report = RunFleet(setup, 4, policy, /*ship_plans=*/true);
+    AddRow(&csv, &table, 4, policy, true, report);
+    max_shipped_searches = std::max(max_shipped_searches, report.total_searches);
+    if (policy == PlacementPolicy::kPlanAffinity) {
+      shipped_4 = report;
+    }
+  }
+  std::printf("%s\n", table.Render().c_str());
+
+  // --- Determinism gates ---
+  const bool rerun_identical =
+      SameTimeline(shipped_4, RunFleet(setup, 4, PlacementPolicy::kPlanAffinity, true));
+  std::string snapshot;
+  bool plans_replica_invariant = true;
+  for (const int replicas : {1, 2, 4}) {
+    ServingCluster fleet(setup.hardware,
+                         ClusterConfig{.replicas = replicas,
+                                       .policy = PlacementPolicy::kPlanAffinity},
+                         {}, EngineOptions{.jitter = false});
+    fleet.Run(setup.trace);
+    const std::string serialized = fleet.shipper().SerializeSnapshot();
+    if (snapshot.empty()) {
+      snapshot = serialized;
+    } else if (serialized != snapshot) {
+      plans_replica_invariant = false;
+    }
+  }
+  ClusterConfig threaded;
+  threaded.replicas = 4;
+  threaded.serve.tuner_lanes = 2;
+  threaded.serve.tune_threads = 1;
+  ServingCluster fleet_1t(setup.hardware, threaded, {}, EngineOptions{.jitter = false});
+  const FleetReport report_1t = fleet_1t.Run(setup.trace);
+  threaded.serve.tune_threads = 8;
+  ServingCluster fleet_8t(setup.hardware, threaded, {}, EngineOptions{.jitter = false});
+  const bool thread_invariant = SameTimeline(report_1t, fleet_8t.Run(setup.trace));
+
+  const bool csv_ok = csv.WriteFile("cluster_bench.csv");
+  char json[2048];
+  std::snprintf(
+      json, sizeof(json),
+      "{\"bench\": \"cluster\", \"smoke\": %s, \"requests\": %zu, \"distinct_keys\": %zu, "
+      "\"throughput_rps_1\": %.2f, \"throughput_rps_4\": %.2f, "
+      "\"rr_warm_hit\": %.4f, \"affinity_warm_hit\": %.4f, "
+      "\"rr_searches\": %zu, \"affinity_searches\": %zu, "
+      "\"shipped_searches_max\": %zu, \"shipped_plans\": %zu, "
+      "\"duplicate_tunes_avoided\": %zu, \"p99_us_affinity_4\": %.1f, "
+      "\"rerun_identical\": %s, \"plans_replica_invariant\": %s, \"thread_invariant\": %s}",
+      smoke ? "true" : "false", setup.trace.size(), shipped_4.distinct_keys, throughput_1,
+      throughput_4, round_robin_4.WarmHitRate(), affinity_4.WarmHitRate(),
+      round_robin_4.total_searches, affinity_4.total_searches, max_shipped_searches,
+      shipped_4.shipping.shipped, shipped_4.shipping.duplicate_tunes_avoided,
+      shipped_4.stats.LatencyPercentiles().p99, rerun_identical ? "true" : "false",
+      plans_replica_invariant ? "true" : "false", thread_invariant ? "true" : "false");
+  FILE* out = std::fopen("BENCH_cluster.json", "w");
+  if (out != nullptr) {
+    std::fprintf(out, "%s\n", json);
+    std::fclose(out);
+  }
+  bool ok = csv_ok && out != nullptr && AppendTrajectoryPoint(history_path, json);
+  std::printf("\nfleet scaling: %.1f -> %.1f req/s (1 -> 4 replicas, plan-affinity)\n",
+              throughput_1, throughput_4);
+  std::printf("policy @4 replicas (no shipping): affinity hit %.1f%% / %zu searches vs "
+              "round-robin %.1f%% / %zu searches\n",
+              100.0 * affinity_4.WarmHitRate(), affinity_4.total_searches,
+              100.0 * round_robin_4.WarmHitRate(), round_robin_4.total_searches);
+  if (affinity_4.WarmHitRate() <= round_robin_4.WarmHitRate() ||
+      affinity_4.total_searches >= round_robin_4.total_searches) {
+    std::printf("FAIL: plan-affinity does not beat round-robin\n");
+    ok = false;
+  }
+  std::printf("plan shipping @4 replicas: <= %zu searches for %zu distinct keys "
+              "(%zu duplicate tunes avoided)\n",
+              max_shipped_searches, shipped_4.distinct_keys,
+              shipped_4.shipping.duplicate_tunes_avoided);
+  if (max_shipped_searches > shipped_4.distinct_keys) {
+    std::printf("FAIL: a shipped fleet re-paid a tuner search\n");
+    ok = false;
+  }
+  if (!rerun_identical || !plans_replica_invariant || !thread_invariant) {
+    std::printf("FAIL: determinism gate (rerun %d, replica-invariant plans %d, "
+                "thread-invariant %d)\n",
+                rerun_identical, plans_replica_invariant, thread_invariant);
+    ok = false;
+  }
+  std::printf("%s", csv_ok ? "series written to cluster_bench.csv + BENCH_cluster.json\n"
+                           : "FAILED to write cluster_bench.csv\n");
+  return ok;
+}
+
+}  // namespace
+}  // namespace flo
+
+int main(int argc, char** argv) {
+  const flo::BenchArgs args = flo::ParseBenchArgs(argc, argv);
+  return flo::Run(args.smoke, args.history) ? 0 : 1;
+}

@@ -8,10 +8,12 @@
 // count heap allocations, demonstrating that the steady-state B&B search
 // loop allocates nothing per candidate.
 //
-// Usage: bench_planner [--smoke]   (--smoke shrinks repetitions for CI).
-// Writes BENCH_planner.json (machine-readable, one object) to the cwd —
-// the first point of the repo's performance trajectory. Exits nonzero when
-// the >= 10x cold-search speedup gate fails.
+// Usage: bench_planner [--smoke] [--history <file>]   (--smoke shrinks
+// repetitions for CI). Writes BENCH_planner.json (machine-readable, one
+// object) to the cwd; --history appends the same JSON as one compact line
+// to the given trajectory file (CI appends to bench/history/ so the perf
+// trajectory accumulates in-tree instead of one artifact per run). Exits
+// nonzero when the >= 10x cold-search speedup gate fails.
 #include <algorithm>
 #include <atomic>
 #include <chrono>
@@ -21,6 +23,7 @@
 #include <string>
 #include <vector>
 
+#include "bench/trajectory.h"
 #include "src/core/flashoverlap.h"
 #include "src/util/table.h"
 
@@ -112,7 +115,7 @@ double TimeRunBatch(OverlapEngine* engine, const std::vector<ScenarioSpec>& spec
   return SecondsSince(start);
 }
 
-bool Run(bool smoke) {
+bool Run(bool smoke, const std::string& history_path) {
   const ClusterSpec cluster = MakeA800Cluster(8);
   // 30+ effective waves each (256x128 tiles, width = 104 usable SMs): the
   // regime where the legacy pipeline enumerates its full candidate cap per
@@ -168,38 +171,32 @@ bool Run(bool smoke) {
               "(%zu warm searches)\n",
               specs.size(), cold_us, pooled_cold_us, warm_us, warm_searches);
 
+  char line[1024];
+  std::snprintf(
+      line, sizeof(line),
+      "{\"bench\": \"planner\", \"smoke\": %s, \"effective_waves_min\": %d, "
+      "\"searches_per_path\": %zu, \"legacy_search_us\": %.3f, "
+      "\"legacy_candidates_per_sec\": %.0f, \"legacy_allocs_per_candidate\": %.4f, "
+      "\"bnb_search_us\": %.3f, \"bnb_searches_per_sec\": %.1f, \"bnb_nodes_per_sec\": %.0f, "
+      "\"bnb_allocs_per_node\": %.6f, \"speedup_vs_legacy\": %.2f, "
+      "\"runbatch_cold_us\": %.1f, \"runbatch_cold_pooled_us\": %.1f, "
+      "\"runbatch_warm_us\": %.1f, \"runbatch_specs\": %zu, \"warm_sweep_searches\": %zu}",
+      smoke ? "true" : "false", std::min(legacy.min_waves, bnb.min_waves), legacy.searches,
+      legacy_per_search_us, legacy.work_units / legacy.seconds,
+      static_cast<double>(legacy.allocations) / legacy.work_units, bnb_per_search_us,
+      bnb.searches / bnb.seconds, bnb.work_units / bnb.seconds, bnb_allocs_per_node, speedup,
+      cold_us, pooled_cold_us, warm_us, specs.size(), warm_searches);
   FILE* json = std::fopen("BENCH_planner.json", "w");
   if (json == nullptr) {
     std::printf("FAILED to open BENCH_planner.json\n");
     return false;
   }
-  std::fprintf(json,
-               "{\n"
-               "  \"bench\": \"planner\",\n"
-               "  \"smoke\": %s,\n"
-               "  \"effective_waves_min\": %d,\n"
-               "  \"searches_per_path\": %zu,\n"
-               "  \"legacy_search_us\": %.3f,\n"
-               "  \"legacy_candidates_per_sec\": %.0f,\n"
-               "  \"legacy_allocs_per_candidate\": %.4f,\n"
-               "  \"bnb_search_us\": %.3f,\n"
-               "  \"bnb_searches_per_sec\": %.1f,\n"
-               "  \"bnb_nodes_per_sec\": %.0f,\n"
-               "  \"bnb_allocs_per_node\": %.6f,\n"
-               "  \"speedup_vs_legacy\": %.2f,\n"
-               "  \"runbatch_cold_us\": %.1f,\n"
-               "  \"runbatch_cold_pooled_us\": %.1f,\n"
-               "  \"runbatch_warm_us\": %.1f,\n"
-               "  \"runbatch_specs\": %zu,\n"
-               "  \"warm_sweep_searches\": %zu\n"
-               "}\n",
-               smoke ? "true" : "false", std::min(legacy.min_waves, bnb.min_waves),
-               legacy.searches, legacy_per_search_us, legacy.work_units / legacy.seconds,
-               static_cast<double>(legacy.allocations) / legacy.work_units, bnb_per_search_us,
-               bnb.searches / bnb.seconds, bnb.work_units / bnb.seconds, bnb_allocs_per_node,
-               speedup, cold_us, pooled_cold_us, warm_us, specs.size(), warm_searches);
+  std::fprintf(json, "%s\n", line);
   std::fclose(json);
   std::printf("series written to BENCH_planner.json\n");
+  if (!AppendTrajectoryPoint(history_path, line)) {
+    return false;
+  }
 
   bool ok = true;
   if (std::min(legacy.min_waves, bnb.min_waves) < 30) {
@@ -227,6 +224,6 @@ bool Run(bool smoke) {
 }  // namespace flo
 
 int main(int argc, char** argv) {
-  const bool smoke = argc > 1 && std::string(argv[1]) == "--smoke";
-  return flo::Run(smoke) ? 0 : 1;
+  const flo::BenchArgs args = flo::ParseBenchArgs(argc, argv);
+  return flo::Run(args.smoke, args.history) ? 0 : 1;
 }

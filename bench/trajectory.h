@@ -1,0 +1,52 @@
+// Shared CLI and perf-trajectory plumbing for bench binaries.
+//
+// Every bench takes the same two flags — `--smoke` (shrink for CI) and
+// `--history <file>` (append the run's compact JSON point to the tracked
+// trajectory under bench/history/) — and must treat a failed append as a
+// bench failure: a silently dropped point defeats the history.
+#ifndef BENCH_TRAJECTORY_H_
+#define BENCH_TRAJECTORY_H_
+
+#include <cstdio>
+#include <string>
+
+namespace flo {
+
+struct BenchArgs {
+  bool smoke = false;
+  std::string history;  // empty = no trajectory append
+};
+
+inline BenchArgs ParseBenchArgs(int argc, char** argv) {
+  BenchArgs args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--smoke") {
+      args.smoke = true;
+    } else if (arg == "--history" && i + 1 < argc) {
+      args.history = argv[++i];
+    }
+  }
+  return args;
+}
+
+// Appends one compact JSON line to the trajectory file; no-op (true) when
+// no history path was given.
+inline bool AppendTrajectoryPoint(const std::string& history_path, const char* json_line) {
+  if (history_path.empty()) {
+    return true;
+  }
+  FILE* history = std::fopen(history_path.c_str(), "a");
+  if (history == nullptr) {
+    std::printf("FAILED to append to %s\n", history_path.c_str());
+    return false;
+  }
+  std::fprintf(history, "%s\n", json_line);
+  std::fclose(history);
+  std::printf("appended trajectory point to %s\n", history_path.c_str());
+  return true;
+}
+
+}  // namespace flo
+
+#endif  // BENCH_TRAJECTORY_H_

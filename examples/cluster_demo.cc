@@ -1,0 +1,111 @@
+// Serving-cluster quickstart: a replica fleet with plan-affinity routing,
+// plan shipping, and autoscaling on one simulated clock.
+//
+// Walkthrough:
+//   1. build a two-tenant trace (Poisson "chat" + bursty "batch");
+//   2. serve it on a 3-replica fleet: plan-affinity keeps each scenario
+//      on the replica that tuned it, and plan shipping publishes every
+//      freshly tuned plan to the peers — the fleet pays each distinct
+//      scenario's search exactly once;
+//   3. a burst mid-trace makes the autoscaler spawn a replica, which
+//      bootstraps warm from the published plans;
+//   4. save the fleet snapshot and warm-start a brand-new fleet from it —
+//      zero searches: the paper's "prepare once, serve many", fleet-wide.
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "src/core/flashoverlap.h"
+#include "src/util/table.h"
+
+namespace flo {
+namespace {
+
+void PrintFleet(const char* label, const FleetReport& report) {
+  Table table({"replica", "spawned us", "reqs", "p50 us", "p99 us", "hit%", "searches",
+               "plans"});
+  for (const ReplicaReport& replica : report.replicas) {
+    if (replica.serve.stats.count() == 0 && replica.tuner_searches == 0) {
+      continue;
+    }
+    const PercentileSummary latency = replica.serve.stats.LatencyPercentiles();
+    table.AddRow({std::to_string(replica.id), FormatDouble(replica.spawned_us, 0),
+                  std::to_string(replica.serve.stats.count()), FormatDouble(latency.p50, 1),
+                  FormatDouble(latency.p99, 1),
+                  FormatDouble(100.0 * replica.serve.stats.CacheHitRate(), 1),
+                  std::to_string(replica.tuner_searches),
+                  std::to_string(replica.plans_resident)});
+  }
+  std::printf(
+      "%s: %zu requests, %.1f req/s, warm-hit %.1f%%, %zu searches for %zu keys, "
+      "peak %d replicas\n%s\n",
+      label, report.stats.count(), report.ThroughputPerSec(), 100.0 * report.WarmHitRate(),
+      report.total_searches, report.distinct_keys, report.peak_replicas,
+      table.Render().c_str());
+}
+
+void Run() {
+  const ClusterSpec hardware = Make4090Cluster(4);
+  const CommPrimitive prim = CommPrimitive::kAllReduce;
+  const std::vector<ScenarioSpec> chat_specs = {
+      ScenarioSpec::Overlap(GemmShape{2048, 4096, 1024}, prim),
+      ScenarioSpec::Overlap(GemmShape{4096, 4096, 1024}, prim),
+  };
+  const std::vector<ScenarioSpec> batch_specs = {
+      ScenarioSpec::Overlap(GemmShape{8192, 4096, 2048}, prim),
+      ScenarioSpec::Overlap(GemmShape{8192, 8192, 2048}, prim),
+  };
+  const auto trace = MergeStreams(
+      {MakeRequestStream("chat", chat_specs, PoissonArrivals(3000.0, 120, 7), 0),
+       MakeRequestStream("batch", batch_specs, BurstyArrivals(6000.0, 4.0, 10, 60, 11),
+                         1000)});
+
+  ClusterConfig config;
+  config.replicas = 3;
+  config.policy = PlacementPolicy::kPlanAffinity;
+  config.ship_plans = true;
+  config.autoscale.enabled = true;
+  config.autoscale.min_replicas = 3;
+  config.autoscale.max_replicas = 6;
+  config.autoscale.check_interval_us = 30000.0;
+  config.autoscale.spawn_queue_per_replica = 3.0;
+
+  ServingCluster fleet(hardware, config, {}, EngineOptions{.jitter = false});
+  const FleetReport report = fleet.Run(trace);
+  PrintFleet("plan-affinity fleet", report);
+  const PlanShipperStats shipping = fleet.shipper().stats();
+  std::printf("plan shipping: %zu published, %zu copies shipped, %zu duplicate tunes avoided\n\n",
+              shipping.published, shipping.shipped, shipping.duplicate_tunes_avoided);
+  if (report.total_searches > report.distinct_keys) {
+    std::printf("FAILED: the fleet re-paid a tuner search\n");
+    std::exit(1);
+  }
+
+  // Fleet snapshot -> disk -> a brand-new fleet serves with zero searches.
+  const std::string path = "cluster_demo_plans.txt";
+  if (!fleet.SavePlans(path)) {
+    std::printf("FAILED to save the fleet snapshot\n");
+    std::exit(1);
+  }
+  ClusterConfig warm_config;
+  warm_config.replicas = 2;
+  ServingCluster warm_fleet(hardware, warm_config, {}, EngineOptions{.jitter = false});
+  const size_t loaded = warm_fleet.LoadPlans(path);
+  const FleetReport warm = warm_fleet.Run(trace);
+  PrintFleet("warm-started fleet", warm);
+  std::printf("warm start: %zu plans loaded from %s, %zu searches\n", loaded, path.c_str(),
+              warm.total_searches);
+  std::remove(path.c_str());
+  if (warm.total_searches != 0) {
+    std::printf("FAILED: the warm-started fleet searched\n");
+    std::exit(1);
+  }
+}
+
+}  // namespace
+}  // namespace flo
+
+int main() {
+  flo::Run();
+  return 0;
+}

@@ -1,0 +1,39 @@
+#include "src/cluster/autoscaler.h"
+
+#include "src/util/check.h"
+
+namespace flo {
+
+Autoscaler::Autoscaler(AutoscaleConfig config) : config_(config) {
+  FLO_CHECK_GE(config_.min_replicas, 1);
+  FLO_CHECK_GE(config_.max_replicas, config_.min_replicas);
+  FLO_CHECK_GT(config_.check_interval_us, 0.0);
+  FLO_CHECK_GE(config_.drain_after_calm_checks, 1);
+}
+
+Autoscaler::Decision Autoscaler::Evaluate(const Observation& observation) {
+  const int replicas = observation.accepting_replicas;
+  const double pending_per_replica =
+      replicas > 0 ? static_cast<double>(observation.pending_requests) / replicas : 0.0;
+  const bool queue_pressure = pending_per_replica > config_.spawn_queue_per_replica;
+  const bool slo_pressure =
+      config_.slo_p99_us > 0.0 && observation.recent_p99_us > config_.slo_p99_us;
+  if (queue_pressure || slo_pressure) {
+    calm_checks_ = 0;
+    return replicas < config_.max_replicas ? Decision::kSpawn : Decision::kHold;
+  }
+  const bool calm = pending_per_replica < config_.drain_queue_per_replica &&
+                    (config_.slo_p99_us <= 0.0 ||
+                     observation.recent_p99_us <= config_.slo_p99_us);
+  if (!calm) {
+    calm_checks_ = 0;
+    return Decision::kHold;
+  }
+  if (++calm_checks_ < config_.drain_after_calm_checks || replicas <= config_.min_replicas) {
+    return Decision::kHold;
+  }
+  calm_checks_ = 0;
+  return Decision::kDrain;
+}
+
+}  // namespace flo

@@ -1,0 +1,65 @@
+// Replica autoscaling on the simulated clock.
+//
+// The cluster evaluates the autoscaler at a fixed check interval; the
+// decision is a pure function of the observation plus a small hysteresis
+// counter, so fleets scale identically on every run (deterministic at any
+// replica count). Two pressure signals, either can trigger a spawn:
+//  - queue pressure: pending requests per accepting replica above the
+//    spawn threshold (the fleet is falling behind the arrival rate);
+//  - SLO pressure: the p99 latency of requests finished since the last
+//    check above the target (tails are already burning).
+// Draining needs calm on BOTH signals for `drain_after_calm_checks`
+// consecutive checks — scale-down is deliberately stickier than scale-up
+// so bursty traffic does not flap the fleet.
+#ifndef SRC_CLUSTER_AUTOSCALER_H_
+#define SRC_CLUSTER_AUTOSCALER_H_
+
+#include <cstddef>
+
+namespace flo {
+
+struct AutoscaleConfig {
+  bool enabled = false;
+  int min_replicas = 1;
+  int max_replicas = 8;
+  // Sim-clock period between evaluations.
+  double check_interval_us = 100000.0;
+  // Spawn when pending requests per accepting replica exceed this.
+  double spawn_queue_per_replica = 8.0;
+  // ...or when the recent p99 latency exceeds this (0 disables the SLO
+  // signal).
+  double slo_p99_us = 0.0;
+  // Drain when pending per replica fall below this and the SLO is met.
+  double drain_queue_per_replica = 1.0;
+  // Consecutive calm checks required before draining one replica.
+  int drain_after_calm_checks = 3;
+};
+
+class Autoscaler {
+ public:
+  enum class Decision { kHold, kSpawn, kDrain };
+
+  struct Observation {
+    int accepting_replicas = 0;
+    size_t pending_requests = 0;
+    // p99 latency of requests finished since the previous check; 0 when
+    // none finished.
+    double recent_p99_us = 0.0;
+  };
+
+  explicit Autoscaler(AutoscaleConfig config);
+
+  const AutoscaleConfig& config() const { return config_; }
+
+  // One check-interval evaluation. Deterministic: the decision depends
+  // only on the observation sequence.
+  Decision Evaluate(const Observation& observation);
+
+ private:
+  AutoscaleConfig config_;
+  int calm_checks_ = 0;
+};
+
+}  // namespace flo
+
+#endif  // SRC_CLUSTER_AUTOSCALER_H_

@@ -1,0 +1,84 @@
+// Request placement for the serving fleet: which replica gets the next
+// request.
+//
+// The router sees replicas only through snapshots (load, warmth) and is
+// deterministic: identical snapshot sequences produce identical
+// placements, with the lowest replica id breaking every tie. Three
+// policies:
+//  - round-robin: rotate over accepting replicas, load-blind;
+//  - least-loaded: minimize backlog cost — the executor's remaining busy
+//    time plus queue depth x predicted per-request cost;
+//  - plan-affinity: send a request to a replica whose PlanStore already
+//    holds its plan key warm (least-loaded among the warm ones), else to
+//    one already tuning the key (the request coalesces into the tuning
+//    window instead of re-paying the search), else to one with same-key
+//    requests still pending (the key's future home), else fall back to
+//    least-loaded — the cluster-scheduler locality heuristic with plan
+//    warmth as the locality signal.
+#ifndef SRC_CLUSTER_FLEET_ROUTER_H_
+#define SRC_CLUSTER_FLEET_ROUTER_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/sim/event_queue.h"
+
+namespace flo {
+
+enum class PlacementPolicy {
+  kRoundRobin,
+  kLeastLoaded,
+  kPlanAffinity,
+};
+
+const char* PlacementPolicyName(PlacementPolicy policy);
+// Inverse of PlacementPolicyName; std::nullopt for unknown names.
+std::optional<PlacementPolicy> TryPlacementPolicyFromName(const std::string& name);
+
+// What the router sees of one replica when placing a request with a given
+// plan key.
+struct ReplicaSnapshot {
+  int id = 0;
+  // Active and not draining: eligible for new placements.
+  bool accepting = true;
+  // Requests admitted but not yet dispatched to the executor.
+  size_t queued_requests = 0;
+  // Executor busy time remaining, in us (0 when the lane is free).
+  double busy_us = 0.0;
+  // Predicted cost of the queued backlog, in us (queue depth x estimated
+  // per-request service time).
+  double pending_cost_us = 0.0;
+  // The replica's PlanStore holds the request's plan key warm.
+  bool plan_warm = false;
+  // The replica is tuning the request's plan key right now.
+  bool plan_tuning = false;
+  // The replica holds pending requests of the same key (admitted, but the
+  // key is neither warm nor tuning yet): the key's future home.
+  bool plan_pending = false;
+};
+
+class FleetRouter {
+ public:
+  explicit FleetRouter(PlacementPolicy policy) : policy_(policy) {}
+
+  PlacementPolicy policy() const { return policy_; }
+
+  // Picks an accepting replica; -1 when none accepts. Deterministic.
+  int Place(const std::vector<ReplicaSnapshot>& replicas);
+
+ private:
+  int PlaceRoundRobin(const std::vector<ReplicaSnapshot>& replicas);
+  // Least backlog among `replicas` entries satisfying `pred`; -1 if none.
+  template <typename Pred>
+  static int LeastLoaded(const std::vector<ReplicaSnapshot>& replicas, Pred pred);
+
+  PlacementPolicy policy_;
+  // Round-robin rotation state: the id after which the scan resumes.
+  int last_placed_id_ = -1;
+};
+
+}  // namespace flo
+
+#endif  // SRC_CLUSTER_FLEET_ROUTER_H_

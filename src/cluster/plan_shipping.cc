@@ -1,0 +1,133 @@
+#include "src/cluster/plan_shipping.h"
+
+#include <utility>
+
+#include "src/util/check.h"
+
+namespace flo {
+
+void PlanShipper::ShipToLocked(uint64_t key, const std::string& record,
+                               Subscriber* subscriber) {
+  stats_.shipped += subscriber->store->ImportRecords(record);
+  if (subscriber->tuner != nullptr) {
+    const auto artifact = artifacts_.find(key);
+    if (artifact != artifacts_.end()) {
+      subscriber->tuner->ImportPlans({artifact->second});
+    }
+  }
+}
+
+void PlanShipper::Subscribe(int replica_id, std::shared_ptr<PlanStore> store, Tuner* tuner) {
+  FLO_CHECK(store != nullptr);
+  std::lock_guard<std::mutex> lock(mu_);
+  // Bootstrap: a late subscriber (autoscaler spawn) starts warm — both
+  // tiers — with every plan the fleet has already paid for.
+  stats_.shipped += store->ImportRecords(published_.Serialize());
+  if (tuner != nullptr && !artifacts_.empty()) {
+    std::vector<StoredPlan> artifacts;
+    artifacts.reserve(artifacts_.size());
+    for (const auto& [key, artifact] : artifacts_) {
+      artifacts.push_back(artifact);
+    }
+    tuner->ImportPlans(artifacts);
+  }
+  subscribers_[replica_id] = Subscriber{std::move(store), tuner};
+}
+
+void PlanShipper::Unsubscribe(int replica_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  subscribers_.erase(replica_id);
+}
+
+bool PlanShipper::BeginTuning(uint64_t key, int replica_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (const std::optional<std::string> record = published_.ExportRecord(key)) {
+    // Already tuned fleet-wide: re-ship into the caller (its bounded
+    // store evicted the copy) instead of letting it re-search.
+    const auto it = subscribers_.find(replica_id);
+    if (it != subscribers_.end()) {
+      ShipToLocked(key, *record, &it->second);
+    }
+    return true;
+  }
+  const auto [it, inserted] = in_flight_.try_emplace(key, replica_id);
+  if (inserted || it->second == replica_id) {
+    return true;
+  }
+  ++stats_.duplicate_tunes_avoided;
+  return false;
+}
+
+bool PlanShipper::Publish(uint64_t key, const PlanStore& source, const StoredPlan* artifact) {
+  const std::optional<std::string> record = source.ExportRecord(key);
+  std::lock_guard<std::mutex> lock(mu_);
+  // Release ownership unconditionally: if the owner's bounded store
+  // evicted the plan before the publish (nothing to export), a peer must
+  // be able to acquire the key and tune it, not stay parked forever.
+  in_flight_.erase(key);
+  if (!record.has_value()) {
+    return false;
+  }
+  // A re-publish (an evicted copy re-tuned at zero searches) refreshes
+  // the published set but is not a new plan and fans out nothing: peers
+  // that lost their copy re-fetch through BeginTuning.
+  const bool fresh = !published_.Contains(key);
+  if (published_.ImportRecords(*record) == 0) {
+    return false;
+  }
+  if (!fresh) {
+    return true;
+  }
+  if (artifact != nullptr) {
+    artifacts_[key] = *artifact;
+  }
+  ++stats_.published;
+  for (auto& [id, subscriber] : subscribers_) {
+    if (subscriber.store.get() == &source) {
+      continue;  // the owner already holds what it just tuned
+    }
+    ShipToLocked(key, *record, &subscriber);
+  }
+  return true;
+}
+
+std::string PlanShipper::SerializeSnapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return published_.Serialize();
+}
+
+bool PlanShipper::SaveSnapshot(const std::string& path) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return published_.SaveToFile(path);
+}
+
+size_t PlanShipper::ImportSnapshot(const std::string& text) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const size_t imported = published_.ImportRecords(text);
+  if (imported == 0) {
+    return 0;
+  }
+  // Ship only the records just imported — re-shipping the whole
+  // published set would churn the LRU order of bounded subscriber stores.
+  for (auto& [id, subscriber] : subscribers_) {
+    stats_.shipped += subscriber.store->ImportRecords(text);
+  }
+  return imported;
+}
+
+size_t PlanShipper::published_size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return published_.size();
+}
+
+bool PlanShipper::Published(uint64_t key) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return published_.Contains(key);
+}
+
+PlanShipperStats PlanShipper::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace flo

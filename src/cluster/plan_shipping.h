@@ -1,0 +1,109 @@
+// Plan shipping: the fleet pays each tuner search once.
+//
+// Replicas subscribe their PlanStores; when one replica finishes a cold
+// tune it publishes the plan and the shipper copies it into every peer
+// store — through PlanStore's record serialization, so what crosses a
+// replica boundary is exactly the bytes that would cross a process
+// boundary (shipping and on-disk warm starts share one layer; see
+// PlanStore::ExportRecord / ImportRecords).
+//
+// The shipper also single-flights searches fleet-wide: BeginTuning grants
+// each key to the first replica that asks; peers that lose the race park
+// their batches until the owner's plan arrives. A key whose plan is
+// already published is re-shipped on demand (a capacity-bounded store may
+// have evicted it), so losing a plan never re-pays its search.
+//
+// The published set doubles as the fleet snapshot: save it to disk and a
+// future cluster (or a replica spawned mid-run by the autoscaler) warm-
+// starts from it with zero searches.
+#ifndef SRC_CLUSTER_PLAN_SHIPPING_H_
+#define SRC_CLUSTER_PLAN_SHIPPING_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/core/plan_store.h"
+#include "src/core/tuner.h"
+
+namespace flo {
+
+struct PlanShipperStats {
+  // Plans published (one per key tuned anywhere in the fleet).
+  size_t published = 0;
+  // Plan copies delivered into subscriber stores (publishes, re-ships,
+  // and bootstrap deliveries).
+  size_t shipped = 0;
+  // BeginTuning calls denied because a peer owned the in-flight search —
+  // duplicate searches the fleet did not pay.
+  size_t duplicate_tunes_avoided = 0;
+};
+
+class PlanShipper {
+ public:
+  // Registers a replica's store (and optionally its tuner) as a shipment
+  // target and warm-starts both tiers with everything already published —
+  // a replica spawned mid-run starts warm. The tuner pointer is borrowed;
+  // the caller must Unsubscribe before destroying either.
+  void Subscribe(int replica_id, std::shared_ptr<PlanStore> store, Tuner* tuner = nullptr);
+  void Unsubscribe(int replica_id);
+
+  // Fleet-wide single-flight. Returns true when `replica_id` should tune
+  // `key` itself: it acquired ownership, or it already owns it. Returns
+  // false when a peer owns the in-flight search (park until the publish
+  // ships the plan). When the key is already published, the plan (both
+  // tiers) is re-shipped into the caller and the call returns true — the
+  // caller's "tune" then finds the store warm and costs no search.
+  bool BeginTuning(uint64_t key, int replica_id);
+
+  // Publishes `key`'s plan from `source` to every subscribed store and
+  // releases the in-flight ownership. `artifact`, when given, is the
+  // tuner-tier StoredPlan behind the key's search: it is delivered to
+  // peer tuners (and kept for late subscribers), so a bounded store that
+  // later evicts the shipped ExecutionPlan rebuilds it without re-paying
+  // the search. No-op (false) when `source` does not hold the key.
+  bool Publish(uint64_t key, const PlanStore& source, const StoredPlan* artifact = nullptr);
+
+  // The published set, serialized — the fleet snapshot for on-disk
+  // warm starts (feed it back via ImportSnapshot or
+  // PlanStore::ImportRecords).
+  std::string SerializeSnapshot() const;
+  bool SaveSnapshot(const std::string& path) const;
+  // Imports records into the published set and ships them to every
+  // subscriber; returns the number of plans imported (0 on malformed).
+  size_t ImportSnapshot(const std::string& text);
+
+  size_t published_size() const;
+  bool Published(uint64_t key) const;
+  PlanShipperStats stats() const;
+
+ private:
+  struct Subscriber {
+    std::shared_ptr<PlanStore> store;
+    Tuner* tuner = nullptr;
+  };
+
+  // Delivers `key`'s record (and tuner artifact, if kept) to one
+  // subscriber. Requires mu_.
+  void ShipToLocked(uint64_t key, const std::string& record, Subscriber* subscriber);
+
+  mutable std::mutex mu_;
+  // The authoritative published set (unbounded: one entry per distinct
+  // key the fleet ever tuned).
+  PlanStore published_;
+  // The tuner-tier artifact behind each published key's search. In-memory
+  // only: on-disk snapshots persist the ExecutionPlan tier, so a
+  // warm-started fleet with bounded stores re-pays at most one search per
+  // evicted key (see ROADMAP: two-tier snapshot persistence).
+  std::map<uint64_t, StoredPlan> artifacts_;
+  std::map<int, Subscriber> subscribers_;
+  std::map<uint64_t, int> in_flight_;  // key -> owning replica id
+  PlanShipperStats stats_;
+};
+
+}  // namespace flo
+
+#endif  // SRC_CLUSTER_PLAN_SHIPPING_H_

@@ -1,0 +1,299 @@
+#include "src/cluster/serving_cluster.h"
+
+#include <algorithm>
+#include <set>
+#include <utility>
+
+#include "src/util/check.h"
+#include "src/util/file.h"
+#include "src/util/stats.h"
+
+namespace flo {
+
+ServingCluster::ServingCluster(ClusterSpec hardware, ClusterConfig config,
+                               TunerConfig tuner_config, EngineOptions options)
+    : hardware_(hardware),
+      config_(config),
+      tuner_config_(tuner_config),
+      options_(options),
+      keyer_tuner_(hardware, tuner_config),
+      keyer_(&keyer_tuner_, &keyer_store_),
+      router_(config.policy) {
+  FLO_CHECK_GE(config_.replicas, 1);
+  FLO_CHECK_GT(config_.default_cost_estimate_us, 0.0);
+  if (config_.autoscale.enabled) {
+    FLO_CHECK_LE(config_.autoscale.min_replicas, config_.replicas);
+    FLO_CHECK_LE(config_.replicas, config_.autoscale.max_replicas);
+  }
+}
+
+Replica* ServingCluster::SpawnReplica(SimTime now) {
+  const int id = next_replica_id_++;
+  replicas_.push_back(std::make_unique<Replica>(id, hardware_, tuner_config_, options_,
+                                                config_.store_capacity, now));
+  Replica* replica = replicas_.back().get();
+  // Subscribing bootstraps the fresh store (and tuner) with every
+  // published plan: a replica spawned mid-burst starts warm — both tiers
+  // — instead of re-tuning the mix.
+  shipper_.Subscribe(id, replica->store(), &replica->engine().tuner());
+  replica->StartSession(config_.serve, &events_, HooksFor(replica));
+  ++spawns_;
+  int accepting = 0;
+  for (const auto& r : replicas_) {
+    accepting += r->accepting() ? 1 : 0;
+  }
+  peak_replicas_ = std::max(peak_replicas_, accepting);
+  return replica;
+}
+
+Replica* ServingCluster::FindReplica(int id) {
+  for (const auto& replica : replicas_) {
+    if (replica->id() == id) {
+      return replica.get();
+    }
+  }
+  return nullptr;
+}
+
+ServeSession::Hooks ServingCluster::HooksFor(Replica* replica) {
+  ServeSession::Hooks hooks;
+  if (config_.ship_plans) {
+    hooks.acquire_tuning = [this, replica](uint64_t key) {
+      return shipper_.BeginTuning(key, replica->id());
+    };
+    hooks.tuning_finished = [this, replica](uint64_t key, const ScenarioSpec& spec,
+                                            SimTime now) {
+      // Publish the plan together with the tuner-tier artifact behind its
+      // search (the spec's TuningRequest): if a bounded store later
+      // evicts the shipped ExecutionPlan, any replica rebuilds it from
+      // its own tuner cache instead of re-paying the search — the fleet
+      // really does pay each search once, at any store capacity.
+      const auto request = keyer_.TuningRequest(spec);
+      StoredPlan artifact;
+      const StoredPlan* artifact_ptr = nullptr;
+      if (request.has_value()) {
+        Tuner& owner = replica->engine().tuner();
+        if (owner.Contains(request->first, request->second)) {
+          const TunedPlan& tuned = owner.Tune(request->first, request->second);
+          artifact = StoredPlan{request->first, request->second, tuned.partition,
+                                tuned.predicted_us, tuned.predicted_non_overlap_us};
+          artifact_ptr = &artifact;
+        }
+      }
+      shipper_.Publish(key, *replica->store(), artifact_ptr);
+      // The shipped plan may unblock peers parked on this key.
+      DispatchAll(now);
+    };
+  }
+  hooks.request_finished = [this, replica](const RequestRecord& record, SimTime now) {
+    ++completed_requests_;
+    cost_sum_us_ += record.ExecUs() / static_cast<double>(std::max(1, record.batch_size));
+    ++cost_samples_;
+    if (config_.autoscale.enabled) {
+      // The SLO-pressure window; AutoscaleCheck drains it every interval.
+      recent_latencies_.push_back(record.LatencyUs());
+    }
+    MaybeRetire(replica, now);
+  };
+  return hooks;
+}
+
+double ServingCluster::CostEstimateUs() const {
+  return cost_samples_ > 0 ? cost_sum_us_ / static_cast<double>(cost_samples_)
+                           : config_.default_cost_estimate_us;
+}
+
+std::vector<ReplicaSnapshot> ServingCluster::Snapshots(uint64_t key, SimTime now) {
+  std::vector<ReplicaSnapshot> snapshots;
+  snapshots.reserve(replicas_.size());
+  const double cost_estimate = CostEstimateUs();
+  for (const auto& replica : replicas_) {
+    if (replica->retired() || replica->session() == nullptr) {
+      continue;
+    }
+    const ServeSession& session = *replica->session();
+    ReplicaSnapshot snapshot;
+    snapshot.id = replica->id();
+    snapshot.accepting = replica->accepting();
+    snapshot.queued_requests = session.pending_requests();
+    snapshot.busy_us = std::max(0.0, session.busy_until() - now);
+    snapshot.pending_cost_us =
+        static_cast<double>(snapshot.queued_requests) * cost_estimate;
+    snapshot.plan_tuning = session.IsTuningKey(key);
+    snapshot.plan_warm = replica->store()->Contains(key) && !snapshot.plan_tuning;
+    snapshot.plan_pending = session.PendingKeyCount(key) > 0;
+    snapshots.push_back(snapshot);
+  }
+  return snapshots;
+}
+
+void ServingCluster::PlaceRequest(ServeRequest request, SimTime now) {
+  const uint64_t key = keyer_.CanonicalKey(request.spec);
+  const int id = router_.Place(Snapshots(key, now));
+  FLO_CHECK(id != -1) << "no accepting replica (autoscaler drained below min?)";
+  Replica* replica = FindReplica(id);
+  FLO_CHECK(replica != nullptr);
+  replica->session()->Admit(std::move(request), now);
+}
+
+void ServingCluster::DispatchAll(SimTime now) {
+  for (const auto& replica : replicas_) {
+    if (!replica->retired() && replica->session() != nullptr) {
+      replica->session()->Dispatch(now);
+    }
+  }
+}
+
+void ServingCluster::MaybeRetire(Replica* replica, SimTime now) {
+  if (replica->draining() && !replica->retired() && replica->session()->idle()) {
+    replica->Retire(now);
+    shipper_.Unsubscribe(replica->id());
+    ++drains_;
+  }
+}
+
+void ServingCluster::AutoscaleCheck(SimTime now) {
+  Autoscaler::Observation observation;
+  size_t pending = 0;
+  Replica* youngest_accepting = nullptr;
+  for (const auto& replica : replicas_) {
+    if (replica->retired() || replica->session() == nullptr) {
+      continue;
+    }
+    pending += replica->session()->pending_requests();
+    if (replica->accepting()) {
+      ++observation.accepting_replicas;
+      youngest_accepting = replica.get();  // id order: last accepting wins
+    }
+    // A draining replica that went idle without a completion event (its
+    // backlog was empty at drain time) retires at the next checkpoint.
+    MaybeRetire(replica.get(), now);
+  }
+  observation.pending_requests = pending;
+  if (!recent_latencies_.empty()) {
+    observation.recent_p99_us = SummarizePercentiles(recent_latencies_).p99;
+    recent_latencies_.clear();
+  }
+  switch (autoscaler_->Evaluate(observation)) {
+    case Autoscaler::Decision::kSpawn:
+      SpawnReplica(now);
+      break;
+    case Autoscaler::Decision::kDrain:
+      if (youngest_accepting != nullptr) {
+        youngest_accepting->BeginDrain();
+        MaybeRetire(youngest_accepting, now);
+      }
+      break;
+    case Autoscaler::Decision::kHold:
+      break;
+  }
+  if (completed_requests_ < total_requests_) {
+    const SimTime next = now + autoscaler_->config().check_interval_us;
+    events_.Push(next, [this, next] { AutoscaleCheck(next); });
+  }
+}
+
+FleetReport ServingCluster::Run(std::vector<ServeRequest> requests) {
+  FLO_CHECK(events_.empty());
+  std::stable_sort(requests.begin(), requests.end(),
+                   [](const ServeRequest& a, const ServeRequest& b) {
+                     return a.arrival_us < b.arrival_us;
+                   });
+  // Per-run state. Engines/stores persist; sessions and reports reset.
+  // Only an enabled autoscaler is constructed (and config-validated): a
+  // zeroed-out disabled config must not abort the run.
+  autoscaler_ =
+      config_.autoscale.enabled ? std::make_unique<Autoscaler>(config_.autoscale) : nullptr;
+  total_requests_ = requests.size();
+  completed_requests_ = 0;
+  cost_sum_us_ = 0.0;
+  cost_samples_ = 0;
+  recent_latencies_.clear();
+  spawns_ = 0;
+  drains_ = 0;
+  peak_replicas_ = 0;
+  if (replicas_.empty()) {
+    for (int i = 0; i < config_.replicas; ++i) {
+      SpawnReplica(0.0);
+    }
+    spawns_ = 0;  // the initial fleet is not an autoscaling event
+  } else {
+    int accepting = 0;
+    for (const auto& replica : replicas_) {
+      if (replica->retired()) {
+        // Drop the prior run's session, or its report would be merged
+        // into this run's (the report covers this run only).
+        replica->ClearSession();
+      } else {
+        replica->StartSession(config_.serve, &events_, HooksFor(replica.get()));
+        accepting += replica->accepting() ? 1 : 0;
+      }
+    }
+    FLO_CHECK_GT(accepting, 0) << "every replica is retired";
+    peak_replicas_ = accepting;
+  }
+
+  FleetReport report;
+  std::set<uint64_t> keys;
+  for (const ServeRequest& request : requests) {
+    keys.insert(keyer_.CanonicalKey(request.spec));
+  }
+  report.distinct_keys = keys.size();
+
+  for (ServeRequest& request : requests) {
+    const SimTime arrival = request.arrival_us;
+    events_.Push(arrival, [this, arrival, request = std::move(request)]() mutable {
+      PlaceRequest(std::move(request), arrival);
+    });
+  }
+  if (config_.autoscale.enabled && total_requests_ > 0) {
+    const SimTime first = config_.autoscale.check_interval_us;
+    events_.Push(first, [this, first] { AutoscaleCheck(first); });
+  }
+  SimTime now = 0.0;
+  while (!events_.empty()) {
+    auto callback = events_.Pop(&now);
+    callback();
+  }
+  FLO_CHECK_EQ(completed_requests_, total_requests_);
+
+  for (const auto& replica : replicas_) {
+    ReplicaReport entry;
+    entry.id = replica->id();
+    entry.spawned_us = replica->spawned_us();
+    entry.retired_us = replica->retired_us();
+    entry.plans_resident = replica->store()->size();
+    if (replica->session() != nullptr) {
+      entry.serve = replica->session()->report();
+      entry.tuner_searches = replica->SearchesThisRun();
+      report.total_searches += entry.tuner_searches;
+      report.makespan_us = std::max(report.makespan_us, entry.serve.makespan_us);
+      for (const RequestRecord& record : entry.serve.stats.records()) {
+        report.stats.Record(record);
+      }
+    }
+    report.replicas.push_back(std::move(entry));
+  }
+  report.peak_replicas = peak_replicas_;
+  report.spawns = spawns_;
+  report.drains = drains_;
+  report.shipping = shipper_.stats();
+  return report;
+}
+
+bool ServingCluster::SavePlans(const std::string& path) const {
+  return shipper_.SaveSnapshot(path);
+}
+
+size_t ServingCluster::ImportPlans(const std::string& text) {
+  return shipper_.ImportSnapshot(text);
+}
+
+size_t ServingCluster::LoadPlans(const std::string& path) {
+  // ImportPlans validates the text (a malformed snapshot applies
+  // nothing), so the file is read raw and parsed exactly once.
+  const std::optional<std::string> text = ReadFileToString(path);
+  return text.has_value() ? ImportPlans(*text) : 0;
+}
+
+}  // namespace flo

@@ -1,0 +1,157 @@
+// The multi-replica serving cluster: N replica engines behind a
+// FleetRouter, on one shared simulated clock.
+//
+// Layering (the fleet analogue of ScenarioSpec -> Planner -> Executor):
+//   trace -> FleetRouter (placement) -> Replica ServeSessions (per-tenant
+//   queues, executor + tuning lanes) -> shared EventQueue
+// with two fleet-level services threaded through the session hooks:
+//   - PlanShipper: fleet-wide single-flight of tuner searches and
+//     publication of freshly tuned plans to every replica's PlanStore, so
+//     the fleet pays each distinct scenario's search exactly once (and a
+//     saved snapshot warm-starts the next process with zero searches);
+//   - Autoscaler: spawns/drains replicas from queue depth and SLO
+//     pressure at fixed sim-clock checkpoints, deterministically.
+//
+// Everything is deterministic: the same trace and config produce
+// bit-identical reports, plans are bit-identical at any replica count and
+// any host thread count, and replica counts only change the timeline.
+#ifndef SRC_CLUSTER_SERVING_CLUSTER_H_
+#define SRC_CLUSTER_SERVING_CLUSTER_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/cluster/autoscaler.h"
+#include "src/cluster/fleet_router.h"
+#include "src/cluster/plan_shipping.h"
+#include "src/cluster/replica.h"
+#include "src/core/overlap_engine.h"
+#include "src/serve/serve_loop.h"
+#include "src/serve/serve_stats.h"
+#include "src/sim/event_queue.h"
+
+namespace flo {
+
+struct ClusterConfig {
+  // Initial replica count (the autoscaler may move it within its bounds).
+  int replicas = 2;
+  PlacementPolicy policy = PlacementPolicy::kPlanAffinity;
+  // Per-replica serving knobs (lanes, batching, tuning costs).
+  ServeConfig serve;
+  // Publish freshly tuned plans to every peer store and single-flight
+  // searches fleet-wide. Off, every replica tunes its own copy of every
+  // key it serves — the baseline plan-affinity routing competes against.
+  bool ship_plans = true;
+  // Per-replica PlanStore capacity (0 = unbounded).
+  size_t store_capacity = 0;
+  AutoscaleConfig autoscale;
+  // Per-request service-cost estimate used for load balancing until
+  // completed requests calibrate the running mean.
+  double default_cost_estimate_us = 1000.0;
+};
+
+struct ReplicaReport {
+  int id = 0;
+  SimTime spawned_us = 0.0;
+  // -1 while the replica was still active at the end of the run.
+  SimTime retired_us = -1.0;
+  // Empty for replicas already retired before the run started.
+  ServeReport serve;
+  size_t tuner_searches = 0;
+  size_t plans_resident = 0;
+};
+
+struct FleetReport {
+  std::vector<ReplicaReport> replicas;
+  // Fleet-wide request records, merged in replica-id order.
+  ServeStats stats;
+  SimTime makespan_us = 0.0;
+  size_t total_searches = 0;
+  // Distinct plan keys in the served trace: with plan shipping on,
+  // total_searches <= distinct_keys (each scenario tuned once fleet-wide).
+  size_t distinct_keys = 0;
+  int peak_replicas = 0;
+  size_t spawns = 0;
+  size_t drains = 0;
+  PlanShipperStats shipping;
+
+  // Fraction of requests whose plan was warm on their replica at batch
+  // formation — the global warm-hit rate plan-affinity routing optimizes.
+  double WarmHitRate() const { return stats.CacheHitRate(); }
+  double ThroughputPerSec() const {
+    return makespan_us > 0.0 ? static_cast<double>(stats.count()) / makespan_us * 1e6 : 0.0;
+  }
+};
+
+class ServingCluster {
+ public:
+  explicit ServingCluster(ClusterSpec hardware, ClusterConfig config = {},
+                          TunerConfig tuner_config = {}, EngineOptions options = {});
+
+  // Serves the trace to completion. Replica engines and stores persist
+  // across calls (a second run of the same trace serves warm); the report
+  // covers this run only.
+  FleetReport Run(std::vector<ServeRequest> requests);
+
+  // Warm-start / persistence over the PlanShipper's published set:
+  // SavePlans writes the fleet snapshot; LoadPlans/ImportPlans publish a
+  // snapshot into every replica store (returning the plan count), so the
+  // next run performs zero searches for covered scenarios.
+  bool SavePlans(const std::string& path) const;
+  size_t LoadPlans(const std::string& path);
+  size_t ImportPlans(const std::string& text);
+
+  // The canonical plan key requests are routed by (replica-independent).
+  uint64_t KeyFor(const ScenarioSpec& spec) const { return keyer_.CanonicalKey(spec); }
+
+  const PlanShipper& shipper() const { return shipper_; }
+  const ClusterConfig& config() const { return config_; }
+  // All replicas ever spawned, in id order (including retired ones).
+  const std::vector<std::unique_ptr<Replica>>& replicas() const { return replicas_; }
+
+ private:
+  Replica* SpawnReplica(SimTime now);
+  Replica* FindReplica(int id);
+  ServeSession::Hooks HooksFor(Replica* replica);
+  std::vector<ReplicaSnapshot> Snapshots(uint64_t key, SimTime now);
+  void PlaceRequest(ServeRequest request, SimTime now);
+  void DispatchAll(SimTime now);
+  void MaybeRetire(Replica* replica, SimTime now);
+  void AutoscaleCheck(SimTime now);
+  double CostEstimateUs() const;
+
+  ClusterSpec hardware_;
+  ClusterConfig config_;
+  TunerConfig tuner_config_;
+  EngineOptions options_;
+
+  // Replica-independent plan keyer: CanonicalKey covers scenario x
+  // hardware x tuner config, so any identically configured planner agrees.
+  Tuner keyer_tuner_;
+  PlanStore keyer_store_;
+  OverlapPlanner keyer_;
+
+  FleetRouter router_;
+  PlanShipper shipper_;
+  EventQueue events_;
+  std::vector<std::unique_ptr<Replica>> replicas_;
+  int next_replica_id_ = 0;
+
+  // Per-run state (reset by Run).
+  std::unique_ptr<Autoscaler> autoscaler_;
+  size_t total_requests_ = 0;
+  size_t completed_requests_ = 0;
+  double cost_sum_us_ = 0.0;
+  size_t cost_samples_ = 0;
+  // Latencies of requests finished since the last autoscale check.
+  std::vector<double> recent_latencies_;
+  int peak_replicas_ = 0;
+  size_t spawns_ = 0;
+  size_t drains_ = 0;
+};
+
+}  // namespace flo
+
+#endif  // SRC_CLUSTER_SERVING_CLUSTER_H_

@@ -24,9 +24,20 @@
 //   engine.UseSharedPlanStore(store);
 //   flo::ServeLoop loop(&engine);
 //   flo::ServeReport report = loop.Run(trace);
+//
+// For a multi-replica serving fleet (plan-affinity routing, plan
+// shipping, autoscaling), see flo::ServingCluster:
+//   flo::ClusterConfig config{.replicas = 4};
+//   flo::ServingCluster fleet(cluster, config);
+//   flo::FleetReport fleet_report = fleet.Run(trace);
 #ifndef SRC_CORE_FLASHOVERLAP_H_
 #define SRC_CORE_FLASHOVERLAP_H_
 
+#include "src/cluster/autoscaler.h"
+#include "src/cluster/fleet_router.h"
+#include "src/cluster/plan_shipping.h"
+#include "src/cluster/replica.h"
+#include "src/cluster/serving_cluster.h"
 #include "src/comm/cost_model.h"
 #include "src/comm/functional.h"
 #include "src/comm/primitive.h"
@@ -54,6 +65,7 @@
 #include "src/serve/request_queue.h"
 #include "src/serve/request_source.h"
 #include "src/serve/serve_loop.h"
+#include "src/serve/serve_session.h"
 #include "src/serve/serve_stats.h"
 
 #endif  // SRC_CORE_FLASHOVERLAP_H_

@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "src/util/check.h"
+#include "src/util/file.h"
 #include "src/util/parse.h"
 #include "src/util/table.h"
 
@@ -281,6 +282,26 @@ bool StructurallyValid(const ExecutionPlan& plan) {
   return true;
 }
 
+// One multi-line record in the store's text format.
+void AppendRecord(std::ostringstream& out, uint64_t key, const ExecutionPlan& plan) {
+  out << "plan " << KeyToken(key) << ' ' << ScenarioKindName(plan.kind) << ' '
+      << CommPrimitiveName(plan.primitive) << ' ' << PartitionToCsv(plan.partition) << ' '
+      << FormatDoubleExact(plan.predicted_us) << ' ' << FormatDoubleExact(plan.predicted_non_overlap_us)
+      << '\n';
+  for (const auto& tiles : plan.group_tiles) {
+    out << "tiles ";
+    for (size_t g = 0; g < tiles.size(); ++g) {
+      out << (g == 0 ? "" : ",") << tiles[g];
+    }
+    out << "\n";
+  }
+  for (const auto& segment : plan.segments) {
+    out << "seg " << segment.group << ' ' << FormatDoubleExact(segment.max_bytes) << ' '
+        << FormatDoubleExact(segment.latency_us) << '\n';
+  }
+  out << "end\n";
+}
+
 }  // namespace
 
 std::string PlanStore::Serialize() const {
@@ -288,24 +309,34 @@ std::string PlanStore::Serialize() const {
   std::ostringstream out;
   out << "# FlashOverlap execution plans: keyed by canonical scenario hash\n";
   for (const auto& [key, plan] : plans_) {
-    out << "plan " << KeyToken(key) << ' ' << ScenarioKindName(plan.kind) << ' '
-        << CommPrimitiveName(plan.primitive) << ' ' << PartitionToCsv(plan.partition) << ' '
-        << FormatDoubleExact(plan.predicted_us) << ' ' << FormatDoubleExact(plan.predicted_non_overlap_us)
-        << '\n';
-    for (const auto& tiles : plan.group_tiles) {
-      out << "tiles ";
-      for (size_t g = 0; g < tiles.size(); ++g) {
-        out << (g == 0 ? "" : ",") << tiles[g];
-      }
-      out << "\n";
-    }
-    for (const auto& segment : plan.segments) {
-      out << "seg " << segment.group << ' ' << FormatDoubleExact(segment.max_bytes) << ' '
-          << FormatDoubleExact(segment.latency_us) << '\n';
-    }
-    out << "end\n";
+    AppendRecord(out, key, plan);
   }
   return out.str();
+}
+
+std::optional<std::string> PlanStore::ExportRecord(uint64_t key) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = plans_.find(key);
+  if (it == plans_.end()) {
+    return std::nullopt;
+  }
+  std::ostringstream out;
+  AppendRecord(out, key, it->second);
+  return out.str();
+}
+
+size_t PlanStore::ImportRecords(const std::string& text) {
+  // Parse into a scratch store first so a malformed shipment applies
+  // nothing (and holds no lock while parsing).
+  std::optional<PlanStore> parsed = Parse(text);
+  if (!parsed.has_value()) {
+    return 0;
+  }
+  const size_t imported = parsed->plans_.size();
+  for (auto& [key, plan] : parsed->plans_) {
+    Put(key, std::move(plan));
+  }
+  return imported;
 }
 
 std::optional<PlanStore> PlanStore::Parse(const std::string& text) {
@@ -412,13 +443,11 @@ bool PlanStore::SaveToFile(const std::string& path) const {
 }
 
 std::optional<PlanStore> PlanStore::LoadFromFile(const std::string& path) {
-  std::ifstream file(path);
-  if (!file) {
+  const std::optional<std::string> text = ReadFileToString(path);
+  if (!text.has_value()) {
     return std::nullopt;
   }
-  std::ostringstream buffer;
-  buffer << file.rdbuf();
-  return Parse(buffer.str());
+  return Parse(*text);
 }
 
 bool SavePlansToFile(const std::vector<StoredPlan>& plans, const std::string& path) {
@@ -431,13 +460,11 @@ bool SavePlansToFile(const std::vector<StoredPlan>& plans, const std::string& pa
 }
 
 std::optional<std::vector<StoredPlan>> LoadPlansFromFile(const std::string& path) {
-  std::ifstream file(path);
-  if (!file) {
+  const std::optional<std::string> text = ReadFileToString(path);
+  if (!text.has_value()) {
     return std::nullopt;
   }
-  std::ostringstream buffer;
-  buffer << file.rdbuf();
-  return ParsePlans(buffer.str());
+  return ParsePlans(*text);
 }
 
 }  // namespace flo

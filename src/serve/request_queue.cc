@@ -13,12 +13,18 @@ RequestQueue::RequestQueue(Keyer keyer) : keyer_(std::move(keyer)) {
 void RequestQueue::Admit(ServeRequest request) {
   const uint64_t key = keyer_(request.spec);
   queues_[request.tenant].push_back(Pending{std::move(request), key});
+  ++key_depth_[key];
   ++size_;
 }
 
 size_t RequestQueue::TenantDepth(const std::string& tenant) const {
   auto it = queues_.find(tenant);
   return it == queues_.end() ? 0 : it->second.size();
+}
+
+size_t RequestQueue::KeyDepth(uint64_t key) const {
+  auto it = key_depth_.find(key);
+  return it == key_depth_.end() ? 0 : it->second;
 }
 
 std::vector<std::string> RequestQueue::Tenants() const {
@@ -67,6 +73,9 @@ std::vector<ServeRequest> RequestQueue::PopBatch(int max_batch, uint64_t* batch_
            batch.size() < static_cast<size_t>(max_batch)) {
       batch.push_back(std::move(queue->front().request));
       queue->pop_front();
+      if (--key_depth_[key] == 0) {
+        key_depth_.erase(key);
+      }
       --size_;
     }
   };

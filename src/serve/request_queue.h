@@ -34,6 +34,9 @@ class RequestQueue {
   bool empty() const { return size_ == 0; }
   size_t size() const { return size_; }
   size_t TenantDepth(const std::string& tenant) const;
+  // Queued requests whose plan key is `key`, across every tenant — the
+  // affinity signal fleet routers use to keep a key's requests together.
+  size_t KeyDepth(uint64_t key) const;
   std::vector<std::string> Tenants() const;
 
   // Pops the next batch (empty only when the queue is empty). Tenant
@@ -60,6 +63,8 @@ class RequestQueue {
   Keyer keyer_;
   // std::map keeps tenant iteration (and thus rotation) deterministic.
   std::map<std::string, std::deque<Pending>> queues_;
+  // key -> queued request count, kept in sync by Admit/PopBatch.
+  std::map<uint64_t, size_t> key_depth_;
   std::string last_tenant_;
   size_t size_ = 0;
 };

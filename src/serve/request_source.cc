@@ -7,6 +7,7 @@
 
 #include "src/models/e2e.h"
 #include "src/util/check.h"
+#include "src/util/file.h"
 #include "src/util/parse.h"
 #include "src/util/rng.h"
 #include "src/util/table.h"
@@ -235,13 +236,11 @@ bool SaveTraceToFile(const std::vector<ServeRequest>& trace, const std::string& 
 }
 
 std::optional<std::vector<ServeRequest>> LoadTraceFromFile(const std::string& path) {
-  std::ifstream file(path);
-  if (!file) {
+  const std::optional<std::string> text = ReadFileToString(path);
+  if (!text.has_value()) {
     return std::nullopt;
   }
-  std::ostringstream buffer;
-  buffer << file.rdbuf();
-  return ParseTrace(buffer.str());
+  return ParseTrace(*text);
 }
 
 }  // namespace flo

@@ -1,35 +1,18 @@
 #include "src/serve/serve_loop.h"
 
 #include <algorithm>
-#include <deque>
-#include <functional>
-#include <set>
 #include <utility>
 #include <vector>
 
-#include "src/serve/request_queue.h"
+#include "src/serve/serve_session.h"
 #include "src/sim/event_queue.h"
 #include "src/util/check.h"
 
 namespace flo {
-namespace {
-
-struct Batch {
-  std::vector<ServeRequest> requests;
-  // The plan key the batch was formed around (from RequestQueue).
-  uint64_t key = 0;
-  // Routed through the cold-plan path: its requests waited on tuning.
-  bool tuned = false;
-};
-
-}  // namespace
 
 ServeLoop::ServeLoop(OverlapEngine* engine, ServeConfig config)
     : engine_(engine), config_(config) {
   FLO_CHECK(engine_ != nullptr);
-  FLO_CHECK_GT(config_.max_batch, 0);
-  FLO_CHECK_GE(config_.tune_base_us, 0.0);
-  FLO_CHECK_GE(config_.tune_per_search_us, 0.0);
 }
 
 ServeReport ServeLoop::Run(std::vector<ServeRequest> requests) {
@@ -37,246 +20,23 @@ ServeReport ServeLoop::Run(std::vector<ServeRequest> requests) {
                    [](const ServeRequest& a, const ServeRequest& b) {
                      return a.arrival_us < b.arrival_us;
                    });
-  ServeReport report;
+  // One session over a private event queue: the single-replica special
+  // case of the state machine (src/cluster drives many sessions on one
+  // shared queue).
   EventQueue events;
-  RequestQueue queue(
-      [this](const ScenarioSpec& spec) { return engine_->planner().CanonicalKey(spec); });
-  bool executor_free = true;
-  const int tuner_lanes = std::max(1, config_.tuner_lanes);
-  int tuners_busy = 0;
-  std::deque<Batch> ready;      // tuned batches awaiting the executor
-  std::deque<Batch> tune_wait;  // cold batches awaiting the tuning lane
-  // Keys whose plan is in the store but whose simulated tuning has not
-  // completed yet: they must not be treated as warm, or later same-key
-  // batches would execute before the tuning that produced their plan.
-  std::set<uint64_t> tuning_keys;
-  SimTime now = 0.0;
-
-  std::function<void()> dispatch;
-
-  auto is_warm = [&](uint64_t key) {
-    return engine_->plan_store().Contains(key) && tuning_keys.count(key) == 0;
-  };
-
-  // Batches parked in a lane are not frozen: a same-key batch joining the
-  // lane coalesces into an existing one up to max_batch, so requests
-  // arriving during a tuning window still get compatibility-batched.
-  auto merge_or_park = [&](std::deque<Batch>* lane, Batch batch) {
-    for (Batch& existing : *lane) {
-      if (existing.key == batch.key &&
-          existing.requests.size() + batch.requests.size() <=
-              static_cast<size_t>(config_.max_batch)) {
-        for (ServeRequest& request : batch.requests) {
-          existing.requests.push_back(std::move(request));
-        }
-        return;
-      }
-    }
-    lane->push_back(std::move(batch));
-  };
-
-  auto tune_cost_us = [this](size_t searches) {
-    return config_.tune_base_us + config_.tune_per_search_us * static_cast<double>(searches);
-  };
-
-  auto finish_tuning_at = [&](Batch batch, double cost) {
-    report.tuner_busy_us += cost;
-    const uint64_t key = batch.key;
-    events.Push(now + cost, [&, key, batch = std::move(batch)]() mutable {
-      --tuners_busy;
-      tuning_keys.erase(key);
-      ready.push_back(std::move(batch));
-      dispatch();
-    });
-  };
-
-  auto start_tuning = [&](Batch batch) {
-    ++tuners_busy;
-    tuning_keys.insert(batch.key);
-    // Build and cache the plan now; its cost lands on the tuning lane, so
-    // the executor keeps serving warm batches meanwhile. By-value: against
-    // a shared store, Plan()'s reference could dangle under concurrent
-    // eviction by another engine.
-    const size_t searches_before = engine_->tuner().search_count();
-    engine_->planner().PlanByValue(batch.requests.front().spec);
-    const double cost = tune_cost_us(engine_->tuner().search_count() - searches_before);
-    finish_tuning_at(std::move(batch), cost);
-  };
-
-  // Multi-lane start: the distinct predictive searches behind `group` run
-  // together on a real worker pool (the parallel cold-tuning lane); each
-  // simulated lane is then charged the searches its own batch was missing.
-  // The charge is decided before the pool runs, so the timeline is
-  // deterministic regardless of worker scheduling.
-  auto start_tuning_group = [&](std::vector<Batch> group) {
-    std::vector<ScenarioSpec> specs;
-    specs.reserve(group.size());
-    for (const Batch& batch : group) {
-      specs.push_back(batch.requests.front().spec);
-    }
-    // PretuneParallel reports which searches it claimed (first spec to
-    // need one wins); each lane is charged exactly its batch's claim.
-    auto claimed = engine_->PretuneParallel(specs, static_cast<int>(group.size()));
-    for (size_t i = 0; i < group.size(); ++i) {
-      size_t searches = 0;
-      const auto request = engine_->planner().TuningRequest(specs[i]);
-      if (request.has_value()) {
-        const auto it = std::find(claimed.begin(), claimed.end(), *request);
-        if (it != claimed.end()) {
-          claimed.erase(it);
-          searches = 1;
-        }
-      }
-      ++tuners_busy;
-      tuning_keys.insert(group[i].key);
-      // The searches are warm now; this builds and caches the plan.
-      engine_->planner().PlanByValue(specs[i]);
-      finish_tuning_at(std::move(group[i]), tune_cost_us(searches));
-    }
-  };
-
-  auto execute_batch = [&](Batch batch) {
-    executor_free = false;
-    ++report.batches;
-    // Hit/miss is a property of the batch's plan at dispatch time: if the
-    // plan was cold, every request of the batch waited on it — including
-    // the ones whose Execute hits the entry the first request just built.
-    const bool warm_at_dispatch = !batch.tuned && engine_->plan_store().Contains(batch.key);
-    const size_t searches_before = engine_->tuner().search_count();
-    // One canonical key means one spec, one seed, one deterministic
-    // schedule: simulate once and charge the service per request.
-    const OverlapRun run = engine_->Execute(batch.requests.front().spec);
-    double service_us = run.total_us * static_cast<double>(batch.requests.size());
-    const bool hit = warm_at_dispatch && run.plan_cache_hit;
-    const bool cold = !hit;
-    if (cold) {
-      ++report.cold_batches;
-    }
-    // A plan-cache miss inside Execute means the plan was rebuilt inline
-    // on the executor's critical path (overlap_tuning off, or evicted
-    // after tuning/dispatch): charge the plan-build base plus any
-    // searches the tuner's own cache no longer covered.
-    const size_t inline_searches = engine_->tuner().search_count() - searches_before;
-    if (!run.plan_cache_hit) {
-      service_us += tune_cost_us(inline_searches);
-    }
-    report.executor_busy_us += service_us;
-    const SimTime start = now;
-    const SimTime finish = now + service_us;
-    events.Push(finish, [&, batch = std::move(batch), hit, start, finish] {
-      for (const ServeRequest& request : batch.requests) {
-        RequestRecord record;
-        record.id = request.id;
-        record.tenant = request.tenant;
-        record.arrival_us = request.arrival_us;
-        record.start_us = start;
-        record.finish_us = finish;
-        record.plan_cache_hit = hit;
-        record.batch_size = static_cast<int>(batch.requests.size());
-        report.stats.Record(std::move(record));
-      }
-      report.makespan_us = std::max(report.makespan_us, finish);
-      executor_free = true;
-      dispatch();
-    });
-  };
-
-  dispatch = [&]() {
-    // Release batches whose key went warm (an earlier same-key batch
-    // finished tuning) from the waiting room first — even while the lane
-    // is busy with another key, or they would strand behind it with the
-    // executor idle.
-    for (auto it = tune_wait.begin(); it != tune_wait.end();) {
-      if (is_warm(it->key)) {
-        merge_or_park(&ready, std::move(*it));
-        it = tune_wait.erase(it);
-      } else {
-        ++it;
-      }
-    }
-    // Feed idle tuning lanes: gather distinct-key cold batches — from the
-    // waiting room first, then straight from the queue (a cold batch at
-    // the rotation head must start tuning even while the executor is busy
-    // with a warm batch; that concurrency is the point of the side lane).
-    // Batches gathered in one round start together so their searches share
-    // the worker pool.
-    std::vector<Batch> starting;
-    auto key_busy = [&](uint64_t key) {
-      if (tuning_keys.count(key) != 0) {
-        return true;
-      }
-      for (const Batch& batch : starting) {
-        if (batch.key == key) {
-          return true;
-        }
-      }
-      return false;
-    };
-    while (tuners_busy + static_cast<int>(starting.size()) < tuner_lanes) {
-      bool picked = false;
-      for (auto it = tune_wait.begin(); it != tune_wait.end(); ++it) {
-        if (!key_busy(it->key)) {
-          starting.push_back(std::move(*it));
-          tune_wait.erase(it);
-          picked = true;
-          break;
-        }
-      }
-      if (picked) {
-        continue;
-      }
-      if (config_.overlap_tuning && !queue.empty() && !is_warm(queue.PeekKey()) &&
-          !key_busy(queue.PeekKey())) {
-        Batch batch;
-        batch.requests = queue.PopBatch(config_.max_batch, &batch.key);
-        batch.tuned = true;
-        starting.push_back(std::move(batch));
-        continue;
-      }
-      break;
-    }
-    if (starting.size() == 1) {
-      start_tuning(std::move(starting.front()));
-    } else if (!starting.empty()) {
-      start_tuning_group(std::move(starting));
-    }
-    while (executor_free) {
-      if (!ready.empty()) {
-        Batch batch = std::move(ready.front());
-        ready.pop_front();
-        execute_batch(std::move(batch));
-        return;
-      }
-      if (queue.empty()) {
-        return;
-      }
-      Batch batch;
-      batch.requests = queue.PopBatch(config_.max_batch, &batch.key);
-      if (config_.overlap_tuning && !is_warm(batch.key)) {
-        batch.tuned = true;  // it will wait on the cold-plan path
-        if (tuners_busy < tuner_lanes && tuning_keys.count(batch.key) == 0) {
-          start_tuning(std::move(batch));
-        } else {
-          merge_or_park(&tune_wait, std::move(batch));
-        }
-        continue;  // a warm batch may be waiting behind the cold one
-      }
-      execute_batch(std::move(batch));
-    }
-  };
-
+  ServeSession session(engine_, config_, &events);
   for (ServeRequest& request : requests) {
     const SimTime arrival = request.arrival_us;
-    events.Push(arrival, [&, request = std::move(request)]() mutable {
-      queue.Admit(std::move(request));
-      dispatch();
+    events.Push(arrival, [&session, arrival, request = std::move(request)]() mutable {
+      session.Admit(std::move(request), arrival);
     });
   }
+  SimTime now = 0.0;
   while (!events.empty()) {
     auto callback = events.Pop(&now);
     callback();
   }
-  return report;
+  return session.report();
 }
 
 }  // namespace flo

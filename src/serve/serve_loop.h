@@ -48,6 +48,20 @@ struct ServeConfig {
   // shared — PlanStore. Plans are deterministic regardless of the lane
   // count; only the timeline changes.
   int tuner_lanes = 1;
+  // Adaptive lane sizing: ignore the static tuner_lanes and size the pool
+  // each dispatch round from the observed cold-key pressure — the number
+  // of distinct cold plan keys in flight, parked, or at the rotation head
+  // — clamped to [1, max_tuner_lanes]. A cold burst widens the pool, a
+  // warm steady state collapses it back to one lane. Plans stay
+  // deterministic (the lane count only moves tuning cost between lanes);
+  // ServeReport::tuner_lanes exposes the chosen pool size.
+  bool adaptive_tuner_lanes = false;
+  int max_tuner_lanes = 8;
+  // Worker threads for the parallel cold-tuning pool backing a multi-lane
+  // round (OverlapEngine::PretuneParallel). 0 = one worker per lane
+  // starting in the round. Never affects the simulated timeline: each
+  // lane's charge is decided before the pool runs.
+  int tune_threads = 0;
 };
 
 struct ServeReport {
@@ -58,6 +72,9 @@ struct ServeReport {
   size_t cold_batches = 0;
   double executor_busy_us = 0.0;
   double tuner_busy_us = 0.0;
+  // Peak cold-tuning lanes put to use — the chosen lane-pool size (under
+  // ServeConfig::adaptive_tuner_lanes, the pool the pressure demanded).
+  int tuner_lanes = 0;
 
   double ThroughputPerSec() const {
     return makespan_us > 0.0 ? static_cast<double>(stats.count()) / makespan_us * 1e6 : 0.0;

@@ -1,0 +1,334 @@
+#include "src/serve/serve_session.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/util/check.h"
+
+namespace flo {
+
+ServeSession::ServeSession(OverlapEngine* engine, ServeConfig config, EventQueue* events,
+                           Hooks hooks)
+    : engine_(engine),
+      config_(config),
+      events_(events),
+      hooks_(std::move(hooks)),
+      queue_([this](const ScenarioSpec& spec) { return engine_->planner().CanonicalKey(spec); }) {
+  FLO_CHECK(engine_ != nullptr);
+  FLO_CHECK(events_ != nullptr);
+  FLO_CHECK_GT(config_.max_batch, 0);
+  FLO_CHECK_GE(config_.tune_base_us, 0.0);
+  FLO_CHECK_GE(config_.tune_per_search_us, 0.0);
+  FLO_CHECK_GE(config_.max_tuner_lanes, 1);
+}
+
+void ServeSession::Admit(ServeRequest request, SimTime now) {
+  queue_.Admit(std::move(request));
+  Dispatch(now);
+}
+
+bool ServeSession::idle() const {
+  return queue_.empty() && ready_.empty() && tune_wait_.empty() && tuners_busy_ == 0 &&
+         executor_free_;
+}
+
+size_t ServeSession::PendingKeyCount(uint64_t key) const {
+  size_t pending = queue_.KeyDepth(key);
+  for (const Batch& batch : ready_) {
+    if (batch.key == key) {
+      pending += batch.requests.size();
+    }
+  }
+  for (const Batch& batch : tune_wait_) {
+    if (batch.key == key) {
+      pending += batch.requests.size();
+    }
+  }
+  return pending;
+}
+
+size_t ServeSession::pending_requests() const {
+  size_t pending = queue_.size() + tuning_requests_;
+  for (const Batch& batch : ready_) {
+    pending += batch.requests.size();
+  }
+  for (const Batch& batch : tune_wait_) {
+    pending += batch.requests.size();
+  }
+  return pending;
+}
+
+bool ServeSession::IsWarm(uint64_t key) const {
+  return engine_->plan_store().Contains(key) && tuning_keys_.count(key) == 0;
+}
+
+int ServeSession::TunerLaneTarget() const {
+  if (!config_.adaptive_tuner_lanes) {
+    return std::max(1, config_.tuner_lanes);
+  }
+  std::set<uint64_t> demand(tuning_keys_.begin(), tuning_keys_.end());
+  for (const Batch& batch : tune_wait_) {
+    demand.insert(batch.key);
+  }
+  if (!queue_.empty()) {
+    const uint64_t head = queue_.PeekKey();
+    if (!IsWarm(head)) {
+      demand.insert(head);
+    }
+  }
+  return std::clamp(static_cast<int>(demand.size()), 1, config_.max_tuner_lanes);
+}
+
+// Batches parked in a lane are not frozen: a same-key batch joining the
+// lane coalesces into an existing one up to max_batch, so requests
+// arriving during a tuning window still get compatibility-batched.
+void ServeSession::MergeOrPark(std::deque<Batch>* lane, Batch batch) {
+  for (Batch& existing : *lane) {
+    if (existing.key == batch.key &&
+        existing.requests.size() + batch.requests.size() <=
+            static_cast<size_t>(config_.max_batch)) {
+      for (ServeRequest& request : batch.requests) {
+        existing.requests.push_back(std::move(request));
+      }
+      return;
+    }
+  }
+  lane->push_back(std::move(batch));
+}
+
+double ServeSession::TuneCostUs(size_t searches) const {
+  return config_.tune_base_us + config_.tune_per_search_us * static_cast<double>(searches);
+}
+
+void ServeSession::FinishTuningAt(Batch batch, double cost, SimTime now) {
+  report_.tuner_busy_us += cost;
+  const uint64_t key = batch.key;
+  const SimTime finish = now + cost;
+  tuning_requests_ += batch.requests.size();
+  events_->Push(finish, [this, key, finish, batch = std::move(batch)]() mutable {
+    --tuners_busy_;
+    tuning_keys_.erase(key);
+    tuning_requests_ -= batch.requests.size();
+    const ScenarioSpec spec = batch.requests.front().spec;
+    ready_.push_back(std::move(batch));
+    Dispatch(finish);
+    if (hooks_.tuning_finished) {
+      hooks_.tuning_finished(key, spec, finish);
+    }
+  });
+}
+
+void ServeSession::StartTuning(Batch batch, SimTime now) {
+  ++tuners_busy_;
+  tuning_keys_.insert(batch.key);
+  // Build and cache the plan now; its cost lands on the tuning lane, so
+  // the executor keeps serving warm batches meanwhile. By-value: against
+  // a shared store, Plan()'s reference could dangle under concurrent
+  // eviction by another engine.
+  const size_t searches_before = engine_->tuner().search_count();
+  engine_->planner().PlanByValue(batch.requests.front().spec);
+  const double cost = TuneCostUs(engine_->tuner().search_count() - searches_before);
+  FinishTuningAt(std::move(batch), cost, now);
+}
+
+// Multi-lane start: the distinct predictive searches behind `group` run
+// together on a real worker pool (the parallel cold-tuning lane); each
+// simulated lane is then charged the searches its own batch was missing.
+// The charge is decided before the pool runs, so the timeline is
+// deterministic regardless of worker scheduling.
+void ServeSession::StartTuningGroup(std::vector<Batch> group, SimTime now) {
+  std::vector<ScenarioSpec> specs;
+  specs.reserve(group.size());
+  for (const Batch& batch : group) {
+    specs.push_back(batch.requests.front().spec);
+  }
+  // PretuneParallel reports which searches it claimed (first spec to
+  // need one wins); each lane is charged exactly its batch's claim.
+  const int threads = config_.tune_threads > 0 ? config_.tune_threads
+                                               : static_cast<int>(group.size());
+  auto claimed = engine_->PretuneParallel(specs, threads);
+  for (size_t i = 0; i < group.size(); ++i) {
+    size_t searches = 0;
+    const auto request = engine_->planner().TuningRequest(specs[i]);
+    if (request.has_value()) {
+      const auto it = std::find(claimed.begin(), claimed.end(), *request);
+      if (it != claimed.end()) {
+        claimed.erase(it);
+        searches = 1;
+      }
+    }
+    ++tuners_busy_;
+    tuning_keys_.insert(group[i].key);
+    // The searches are warm now; this builds and caches the plan.
+    engine_->planner().PlanByValue(specs[i]);
+    FinishTuningAt(std::move(group[i]), TuneCostUs(searches), now);
+  }
+}
+
+void ServeSession::ExecuteBatch(Batch batch, SimTime now) {
+  executor_free_ = false;
+  ++report_.batches;
+  // Hit/miss is a property of the batch's plan at dispatch time: if the
+  // plan was cold, every request of the batch waited on it — including
+  // the ones whose Execute hits the entry the first request just built.
+  const bool warm_at_dispatch = !batch.tuned && engine_->plan_store().Contains(batch.key);
+  const size_t searches_before = engine_->tuner().search_count();
+  // One canonical key means one spec, one seed, one deterministic
+  // schedule: simulate once and charge the service per request.
+  const OverlapRun run = engine_->Execute(batch.requests.front().spec);
+  double service_us = run.total_us * static_cast<double>(batch.requests.size());
+  const bool hit = warm_at_dispatch && run.plan_cache_hit;
+  const bool cold = !hit;
+  if (cold) {
+    ++report_.cold_batches;
+  }
+  // A plan-cache miss inside Execute means the plan was rebuilt inline
+  // on the executor's critical path (overlap_tuning off, or evicted
+  // after tuning/dispatch): charge the plan-build base plus any
+  // searches the tuner's own cache no longer covered.
+  const size_t inline_searches = engine_->tuner().search_count() - searches_before;
+  if (!run.plan_cache_hit) {
+    service_us += TuneCostUs(inline_searches);
+  }
+  report_.executor_busy_us += service_us;
+  const SimTime start = now;
+  const SimTime finish = now + service_us;
+  busy_until_ = finish;
+  events_->Push(finish, [this, batch = std::move(batch), hit, start, finish] {
+    std::vector<RequestRecord> finished;
+    if (hooks_.request_finished) {
+      finished.reserve(batch.requests.size());
+    }
+    for (const ServeRequest& request : batch.requests) {
+      RequestRecord record;
+      record.id = request.id;
+      record.tenant = request.tenant;
+      record.arrival_us = request.arrival_us;
+      record.start_us = start;
+      record.finish_us = finish;
+      record.plan_cache_hit = hit;
+      record.batch_size = static_cast<int>(batch.requests.size());
+      if (hooks_.request_finished) {
+        finished.push_back(record);
+      }
+      report_.stats.Record(std::move(record));
+    }
+    report_.makespan_us = std::max(report_.makespan_us, finish);
+    executor_free_ = true;
+    Dispatch(finish);
+    for (const RequestRecord& record : finished) {
+      hooks_.request_finished(record, finish);
+    }
+  });
+}
+
+void ServeSession::Dispatch(SimTime now) {
+  // Release batches whose key went warm (an earlier same-key batch
+  // finished tuning, or a peer shipped the plan into the store) from the
+  // waiting room first — even while the lane is busy with another key, or
+  // they would strand behind it with the executor idle.
+  for (auto it = tune_wait_.begin(); it != tune_wait_.end();) {
+    if (IsWarm(it->key)) {
+      MergeOrPark(&ready_, std::move(*it));
+      it = tune_wait_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  // Feed idle tuning lanes: gather distinct-key cold batches — from the
+  // waiting room first, then straight from the queue (a cold batch at
+  // the rotation head must start tuning even while the executor is busy
+  // with a warm batch; that concurrency is the point of the side lane).
+  // Batches gathered in one round start together so their searches share
+  // the worker pool.
+  const int tuner_lanes = TunerLaneTarget();
+  std::vector<Batch> starting;
+  // Keys the fleet vetoed this round (a peer owns the in-flight search);
+  // their batches park until the shipped plan turns the key warm.
+  std::set<uint64_t> vetoed;
+  auto key_busy = [&](uint64_t key) {
+    if (tuning_keys_.count(key) != 0) {
+      return true;
+    }
+    for (const Batch& batch : starting) {
+      if (batch.key == key) {
+        return true;
+      }
+    }
+    return false;
+  };
+  auto acquire = [&](uint64_t key) {
+    if (!hooks_.acquire_tuning || hooks_.acquire_tuning(key)) {
+      return true;
+    }
+    vetoed.insert(key);
+    return false;
+  };
+  while (tuners_busy_ + static_cast<int>(starting.size()) < tuner_lanes) {
+    bool picked = false;
+    for (auto it = tune_wait_.begin(); it != tune_wait_.end(); ++it) {
+      if (!key_busy(it->key) && vetoed.count(it->key) == 0 && acquire(it->key)) {
+        starting.push_back(std::move(*it));
+        tune_wait_.erase(it);
+        picked = true;
+        break;
+      }
+    }
+    if (picked) {
+      continue;
+    }
+    if (config_.overlap_tuning && !queue_.empty() && !IsWarm(queue_.PeekKey()) &&
+        !key_busy(queue_.PeekKey()) && vetoed.count(queue_.PeekKey()) == 0) {
+      if (acquire(queue_.PeekKey())) {
+        Batch batch;
+        batch.requests = queue_.PopBatch(config_.max_batch, &batch.key);
+        batch.tuned = true;
+        starting.push_back(std::move(batch));
+        continue;
+      }
+      // Vetoed head: move it off the queue so warm work behind it keeps
+      // flowing; it waits for the peer's plan like any parked cold batch.
+      Batch batch;
+      batch.requests = queue_.PopBatch(config_.max_batch, &batch.key);
+      batch.tuned = true;
+      MergeOrPark(&tune_wait_, std::move(batch));
+      continue;
+    }
+    break;
+  }
+  // The chosen lane-pool size, for ServeReport: the lanes this round put
+  // to use (adaptive mode grows it with cold-key pressure).
+  report_.tuner_lanes =
+      std::max(report_.tuner_lanes, tuners_busy_ + static_cast<int>(starting.size()));
+  if (starting.size() == 1) {
+    StartTuning(std::move(starting.front()), now);
+  } else if (!starting.empty()) {
+    StartTuningGroup(std::move(starting), now);
+  }
+  while (executor_free_) {
+    if (!ready_.empty()) {
+      Batch batch = std::move(ready_.front());
+      ready_.pop_front();
+      ExecuteBatch(std::move(batch), now);
+      return;
+    }
+    if (queue_.empty()) {
+      return;
+    }
+    Batch batch;
+    batch.requests = queue_.PopBatch(config_.max_batch, &batch.key);
+    if (config_.overlap_tuning && !IsWarm(batch.key)) {
+      batch.tuned = true;  // it will wait on the cold-plan path
+      if (tuners_busy_ < tuner_lanes && tuning_keys_.count(batch.key) == 0 &&
+          vetoed.count(batch.key) == 0 && acquire(batch.key)) {
+        StartTuning(std::move(batch), now);
+      } else {
+        MergeOrPark(&tune_wait_, std::move(batch));
+      }
+      continue;  // a warm batch may be waiting behind the cold one
+    }
+    ExecuteBatch(std::move(batch), now);
+  }
+}
+
+}  // namespace flo

@@ -1,0 +1,127 @@
+// The per-engine serving state machine, extracted from ServeLoop so an
+// external scheduler can drive many of them on one shared event queue —
+// the fleet of src/cluster/ runs one session per replica engine.
+//
+// A session owns one replica's serving state: the per-tenant admission
+// queue, one executor lane, and the cold-tuning lanes. It is driven from
+// outside: the owner pushes Admit calls (a router deciding placement) and
+// the session schedules its own continuation events on the borrowed
+// EventQueue. ServeLoop wraps exactly one session over a private queue —
+// the single-replica special case.
+//
+// Hooks let a fleet coordinate across sessions without the session
+// knowing about the fleet: acquire_tuning gates cold tunes (fleet-wide
+// single-flight — a vetoed batch parks until its key turns warm, e.g.
+// when a peer ships the plan into this session's store), tuning_finished
+// announces a freshly cached plan (the publish point for plan shipping),
+// request_finished streams completions (autoscaling signals).
+#ifndef SRC_SERVE_SERVE_SESSION_H_
+#define SRC_SERVE_SERVE_SESSION_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <set>
+#include <vector>
+
+#include "src/core/overlap_engine.h"
+#include "src/serve/request_queue.h"
+#include "src/serve/request_source.h"
+#include "src/serve/serve_loop.h"
+#include "src/serve/serve_stats.h"
+#include "src/sim/event_queue.h"
+
+namespace flo {
+
+class ServeSession {
+ public:
+  struct Hooks {
+    // Called once before a cold batch's key starts tuning here. Return
+    // false to veto (another replica owns the in-flight search); the batch
+    // parks until the key turns warm in this session's store. Absent =
+    // always granted.
+    std::function<bool(uint64_t key)> acquire_tuning;
+    // Called when a key's simulated tuning completes and its plan is
+    // cached in the engine's store — the publish point for plan shipping.
+    // `spec` is the scenario the batch was tuned for (the key's preimage,
+    // so a shipper can also export the tuner-tier artifact).
+    std::function<void(uint64_t key, const ScenarioSpec& spec, SimTime now)> tuning_finished;
+    // Called for every request as its batch completes.
+    std::function<void(const RequestRecord& record, SimTime now)> request_finished;
+  };
+
+  // The engine and event queue are borrowed and must outlive the session.
+  ServeSession(OverlapEngine* engine, ServeConfig config, EventQueue* events,
+               Hooks hooks = {});
+
+  // Admits one request and dispatches. `now` is the caller's simulated
+  // time (the request's arrival as seen by this session).
+  void Admit(ServeRequest request, SimTime now);
+
+  // Re-evaluates every lane. Idempotent; owners call it after anything
+  // that may unblock work (e.g. a peer shipped a plan into the store).
+  void Dispatch(SimTime now);
+
+  // No queued work, no tuning in flight, executor free. The session may
+  // still receive Admit calls afterwards.
+  bool idle() const;
+  // Requests admitted but not yet dispatched to the executor.
+  size_t pending_requests() const;
+  // Executor busy horizon (<= now when the lane is free).
+  SimTime busy_until() const { return busy_until_; }
+  bool IsTuningKey(uint64_t key) const { return tuning_keys_.count(key) != 0; }
+  // Pending requests (queued, ready, or parked) batched around `key` —
+  // the affinity signal for keys admitted but not yet tuning or warm.
+  size_t PendingKeyCount(uint64_t key) const;
+
+  OverlapEngine& engine() { return *engine_; }
+  const ServeConfig& config() const { return config_; }
+  const ServeReport& report() const { return report_; }
+  ServeReport& report() { return report_; }
+
+ private:
+  struct Batch {
+    std::vector<ServeRequest> requests;
+    // The plan key the batch was formed around (from RequestQueue).
+    uint64_t key = 0;
+    // Routed through the cold-plan path: its requests waited on tuning.
+    bool tuned = false;
+  };
+
+  bool IsWarm(uint64_t key) const;
+  // The cold-tuning lane-pool size for this dispatch round: the static
+  // config, or — adaptive mode — the observed cold-key pressure (distinct
+  // cold keys in flight, parked, or at the rotation head), clamped to
+  // [1, max_tuner_lanes].
+  int TunerLaneTarget() const;
+  void MergeOrPark(std::deque<Batch>* lane, Batch batch);
+  double TuneCostUs(size_t searches) const;
+  void FinishTuningAt(Batch batch, double cost, SimTime now);
+  void StartTuning(Batch batch, SimTime now);
+  void StartTuningGroup(std::vector<Batch> group, SimTime now);
+  void ExecuteBatch(Batch batch, SimTime now);
+
+  OverlapEngine* engine_;
+  ServeConfig config_;
+  EventQueue* events_;
+  Hooks hooks_;
+
+  RequestQueue queue_;
+  std::deque<Batch> ready_;      // tuned batches awaiting the executor
+  std::deque<Batch> tune_wait_;  // cold batches awaiting a tuning lane
+  // Keys whose plan is in the store but whose simulated tuning has not
+  // completed yet: they must not be treated as warm, or later same-key
+  // batches would execute before the tuning that produced their plan.
+  std::set<uint64_t> tuning_keys_;
+  // Requests riding batches currently on a tuning lane (the batches live
+  // in their finish events, not in a deque) — still pending work.
+  size_t tuning_requests_ = 0;
+  bool executor_free_ = true;
+  int tuners_busy_ = 0;
+  SimTime busy_until_ = 0.0;
+  ServeReport report_;
+};
+
+}  // namespace flo
+
+#endif  // SRC_SERVE_SERVE_SESSION_H_

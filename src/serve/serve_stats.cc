@@ -61,6 +61,18 @@ std::vector<TenantSummary> ServeStats::SummarizeAll() const {
   return summaries;
 }
 
+PercentileSummary ServeStats::LatencyPercentiles() const {
+  if (records_.empty()) {
+    return PercentileSummary{};
+  }
+  std::vector<double> latencies;
+  latencies.reserve(records_.size());
+  for (const RequestRecord& record : records_) {
+    latencies.push_back(record.LatencyUs());
+  }
+  return SummarizePercentiles(std::move(latencies));
+}
+
 double ServeStats::CacheHitRate() const {
   if (records_.empty()) {
     return 0.0;

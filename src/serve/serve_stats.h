@@ -58,6 +58,11 @@ class ServeStats {
   // Fraction of requests whose plan was warm; 0 when empty.
   double CacheHitRate() const;
 
+  // End-to-end latency percentiles over every record (all tenants);
+  // all-zero when empty. Benches and demos aggregate with this so the
+  // latency definition lives in one place.
+  PercentileSummary LatencyPercentiles() const;
+
   // One row per tenant: requests, p50/p90/p95/p99 latency, mean queue and
   // exec time, hit rate, mean batch size.
   CsvWriter ToCsv() const;

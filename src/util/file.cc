@@ -1,0 +1,21 @@
+#include "src/util/file.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace flo {
+
+std::optional<std::string> ReadFileToString(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) {
+    return std::nullopt;
+  }
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  if (file.bad()) {
+    return std::nullopt;
+  }
+  return buffer.str();
+}
+
+}  // namespace flo

@@ -1,0 +1,16 @@
+// Small file helpers shared by the on-disk text formats (plan stores,
+// serving traces, fleet snapshots).
+#ifndef SRC_UTIL_FILE_H_
+#define SRC_UTIL_FILE_H_
+
+#include <optional>
+#include <string>
+
+namespace flo {
+
+// Whole-file read; std::nullopt when the file cannot be opened or read.
+std::optional<std::string> ReadFileToString(const std::string& path);
+
+}  // namespace flo
+
+#endif  // SRC_UTIL_FILE_H_

@@ -1,0 +1,458 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/cluster/autoscaler.h"
+#include "src/cluster/fleet_router.h"
+#include "src/cluster/plan_shipping.h"
+#include "src/cluster/serving_cluster.h"
+#include "src/core/overlap_engine.h"
+#include "src/serve/request_source.h"
+#include "src/serve/serve_loop.h"
+
+namespace flo {
+namespace {
+
+// --- FleetRouter ------------------------------------------------------------
+
+ReplicaSnapshot Snap(int id, double busy = 0.0, double pending = 0.0, bool warm = false,
+                     bool tuning = false, bool accepting = true) {
+  ReplicaSnapshot snapshot;
+  snapshot.id = id;
+  snapshot.accepting = accepting;
+  snapshot.busy_us = busy;
+  snapshot.pending_cost_us = pending;
+  snapshot.plan_warm = warm;
+  snapshot.plan_tuning = tuning;
+  return snapshot;
+}
+
+TEST(FleetRouterTest, RoundRobinCyclesAcceptingReplicasOnly) {
+  FleetRouter router(PlacementPolicy::kRoundRobin);
+  const std::vector<ReplicaSnapshot> replicas = {
+      Snap(0), Snap(1, 0, 0, false, false, /*accepting=*/false), Snap(2), Snap(5)};
+  std::vector<int> placements;
+  for (int i = 0; i < 6; ++i) {
+    placements.push_back(router.Place(replicas));
+  }
+  EXPECT_EQ(placements, (std::vector<int>{0, 2, 5, 0, 2, 5}));
+}
+
+TEST(FleetRouterTest, RoundRobinSurvivesFleetChanges) {
+  FleetRouter router(PlacementPolicy::kRoundRobin);
+  EXPECT_EQ(router.Place({Snap(0), Snap(1)}), 0);
+  // Replica 2 spawns: the rotation continues after the last placement.
+  EXPECT_EQ(router.Place({Snap(0), Snap(1), Snap(2)}), 1);
+  // Replica 2 drains before its first turn: wrap to the lowest id.
+  EXPECT_EQ(router.Place({Snap(0), Snap(1), Snap(2, 0, 0, false, false, false)}), 0);
+  EXPECT_EQ(router.Place({}), -1);
+}
+
+TEST(FleetRouterTest, LeastLoadedMinimizesBacklogCost) {
+  FleetRouter router(PlacementPolicy::kLeastLoaded);
+  // Backlog = executor busy remaining + queued predicted cost.
+  EXPECT_EQ(router.Place({Snap(0, 100.0, 50.0), Snap(1, 20.0, 40.0), Snap(2, 90.0, 0.0)}), 1);
+  // Ties break to the lowest id.
+  EXPECT_EQ(router.Place({Snap(0, 10.0, 0.0), Snap(1, 0.0, 10.0)}), 0);
+}
+
+TEST(FleetRouterTest, PlanAffinityPrefersWarmThenTuningThenLoad) {
+  FleetRouter router(PlacementPolicy::kPlanAffinity);
+  // Warm beats lighter-loaded cold replicas.
+  EXPECT_EQ(router.Place({Snap(0, 0.0, 0.0), Snap(1, 500.0, 0.0, /*warm=*/true)}), 1);
+  // Least-loaded among several warm replicas.
+  EXPECT_EQ(router.Place({Snap(0, 500.0, 0.0, true), Snap(1, 100.0, 0.0, true), Snap(2)}), 1);
+  // No warm replica: join the one already tuning the key (coalesce into
+  // the open tuning window).
+  EXPECT_EQ(router.Place({Snap(0), Snap(1, 300.0, 0.0, false, /*tuning=*/true)}), 1);
+  // No warm or tuning replica: follow pending same-key requests (the
+  // key's future home), so a key never splits across replicas.
+  ReplicaSnapshot pending = Snap(2, 400.0);
+  pending.plan_pending = true;
+  EXPECT_EQ(router.Place({Snap(0), Snap(1), pending}), 2);
+  // Universal cold: plain least-loaded fallback.
+  EXPECT_EQ(router.Place({Snap(0, 50.0), Snap(1, 10.0)}), 1);
+  // A draining warm replica is never chosen.
+  EXPECT_EQ(router.Place({Snap(0), Snap(1, 0.0, 0.0, true, false, /*accepting=*/false)}), 0);
+}
+
+TEST(FleetRouterTest, PolicyNamesRoundTrip) {
+  for (const PlacementPolicy policy :
+       {PlacementPolicy::kRoundRobin, PlacementPolicy::kLeastLoaded,
+        PlacementPolicy::kPlanAffinity}) {
+    EXPECT_EQ(TryPlacementPolicyFromName(PlacementPolicyName(policy)), policy);
+  }
+  EXPECT_FALSE(TryPlacementPolicyFromName("Sideways").has_value());
+}
+
+// --- PlanShipper ------------------------------------------------------------
+
+ExecutionPlan MarkedPlan(int marker) {
+  ExecutionPlan plan;
+  plan.kind = ScenarioKind::kOverlap;
+  plan.primitive = CommPrimitive::kAllReduce;
+  plan.partition = WavePartition{{1, 2}};
+  plan.group_tiles = {{marker + 1, marker + 2}};
+  plan.segments = {CommSegment{0, 1024.0, 10.0}, CommSegment{1, 2048.0, 20.0}};
+  plan.predicted_us = marker;
+  return plan;
+}
+
+TEST(PlanShipperTest, PublishShipsBitIdenticalCopiesToAllPeers) {
+  PlanShipper shipper;
+  auto a = std::make_shared<PlanStore>();
+  auto b = std::make_shared<PlanStore>();
+  shipper.Subscribe(0, a);
+  shipper.Subscribe(1, b);
+  a->Put(42, MarkedPlan(7));
+  ASSERT_TRUE(shipper.Publish(42, *a));
+  // The shipped copy is the serialization round-trip of the original.
+  ASSERT_TRUE(b->Contains(42));
+  EXPECT_EQ(*a->ExportRecord(42), *b->ExportRecord(42));
+  EXPECT_EQ(*b->FindCopy(42), MarkedPlan(7));
+  EXPECT_EQ(shipper.stats().published, 1u);
+  EXPECT_TRUE(shipper.Published(42));
+  EXPECT_FALSE(shipper.Publish(43, *a));  // absent from the source
+}
+
+TEST(PlanShipperTest, BeginTuningSingleFlightsAcrossTheFleet) {
+  PlanShipper shipper;
+  auto a = std::make_shared<PlanStore>();
+  auto b = std::make_shared<PlanStore>();
+  shipper.Subscribe(0, a);
+  shipper.Subscribe(1, b);
+  EXPECT_TRUE(shipper.BeginTuning(42, 0));   // replica 0 owns the search
+  EXPECT_TRUE(shipper.BeginTuning(42, 0));   // re-asking is idempotent
+  EXPECT_FALSE(shipper.BeginTuning(42, 1));  // replica 1 must wait
+  EXPECT_EQ(shipper.stats().duplicate_tunes_avoided, 1u);
+  a->Put(42, MarkedPlan(1));
+  shipper.Publish(42, *a);
+  // Published: a later BeginTuning re-ships instead of granting a search
+  // (replica 1's bounded store may have evicted the copy meanwhile).
+  b->Clear();
+  EXPECT_TRUE(shipper.BeginTuning(42, 1));
+  EXPECT_TRUE(b->Contains(42));
+}
+
+TEST(PlanShipperTest, LateSubscriberBootstrapsFromThePublishedSet) {
+  PlanShipper shipper;
+  auto a = std::make_shared<PlanStore>();
+  shipper.Subscribe(0, a);
+  a->Put(1, MarkedPlan(1));
+  a->Put(2, MarkedPlan(2));
+  shipper.Publish(1, *a);
+  shipper.Publish(2, *a);
+  auto late = std::make_shared<PlanStore>();
+  shipper.Subscribe(7, late);
+  EXPECT_EQ(late->size(), 2u);
+  EXPECT_EQ(*late->FindCopy(2), MarkedPlan(2));
+}
+
+TEST(PlanShipperTest, TunerTierArtifactsReachPeersAndLateSubscribers) {
+  const GemmShape shape{4096, 8192, 4096};
+  PlanShipper shipper;
+  auto a = std::make_shared<PlanStore>();
+  auto b = std::make_shared<PlanStore>();
+  Tuner tuner_a(MakeA800Cluster(4));
+  Tuner tuner_b(MakeA800Cluster(4));
+  shipper.Subscribe(0, a, &tuner_a);
+  shipper.Subscribe(1, b, &tuner_b);
+  const TunedPlan& tuned = tuner_a.Tune(shape, CommPrimitive::kAllReduce);
+  const StoredPlan artifact{shape, CommPrimitive::kAllReduce, tuned.partition,
+                            tuned.predicted_us, tuned.predicted_non_overlap_us};
+  a->Put(9, MarkedPlan(9));
+  ASSERT_TRUE(shipper.Publish(9, *a, &artifact));
+  // The peer's tuner holds the search result: even if its store evicts
+  // the shipped plan, rebuilding it costs zero searches.
+  EXPECT_TRUE(tuner_b.Contains(shape, CommPrimitive::kAllReduce));
+  EXPECT_EQ(tuner_b.search_count(), 0u);
+  // A replica spawned after the publish bootstraps both tiers.
+  auto late = std::make_shared<PlanStore>();
+  Tuner tuner_late(MakeA800Cluster(4));
+  shipper.Subscribe(2, late, &tuner_late);
+  EXPECT_TRUE(late->Contains(9));
+  EXPECT_TRUE(tuner_late.Contains(shape, CommPrimitive::kAllReduce));
+  // A re-ship after eviction restores both tiers too.
+  b->Clear();
+  EXPECT_TRUE(shipper.BeginTuning(9, 1));
+  EXPECT_TRUE(b->Contains(9));
+  EXPECT_EQ(tuner_b.search_count(), 0u);
+}
+
+TEST(PlanShipperTest, SnapshotRoundTripsThroughImport) {
+  PlanShipper shipper;
+  auto a = std::make_shared<PlanStore>();
+  shipper.Subscribe(0, a);
+  a->Put(5, MarkedPlan(5));
+  shipper.Publish(5, *a);
+  const std::string snapshot = shipper.SerializeSnapshot();
+
+  PlanShipper other;
+  auto b = std::make_shared<PlanStore>();
+  other.Subscribe(0, b);
+  EXPECT_EQ(other.ImportSnapshot(snapshot), 1u);
+  EXPECT_TRUE(other.Published(5));
+  EXPECT_TRUE(b->Contains(5));
+  EXPECT_EQ(other.SerializeSnapshot(), snapshot);
+  EXPECT_EQ(other.ImportSnapshot("plan garbage\n"), 0u);
+}
+
+// --- Autoscaler -------------------------------------------------------------
+
+TEST(AutoscalerTest, SpawnsOnQueuePressure) {
+  AutoscaleConfig config;
+  config.enabled = true;
+  config.max_replicas = 3;
+  config.spawn_queue_per_replica = 4.0;
+  Autoscaler scaler(config);
+  EXPECT_EQ(scaler.Evaluate({2, 4, 0.0}), Autoscaler::Decision::kHold);
+  EXPECT_EQ(scaler.Evaluate({2, 20, 0.0}), Autoscaler::Decision::kSpawn);
+  // At the ceiling the pressure is acknowledged but no replica spawns.
+  EXPECT_EQ(scaler.Evaluate({3, 30, 0.0}), Autoscaler::Decision::kHold);
+}
+
+TEST(AutoscalerTest, SpawnsOnSloPressureAlone) {
+  AutoscaleConfig config;
+  config.enabled = true;
+  config.slo_p99_us = 1000.0;
+  Autoscaler scaler(config);
+  // Queue looks calm but the tail is burning.
+  EXPECT_EQ(scaler.Evaluate({1, 0, 5000.0}), Autoscaler::Decision::kSpawn);
+  EXPECT_EQ(scaler.Evaluate({1, 0, 500.0}), Autoscaler::Decision::kHold);
+}
+
+TEST(AutoscalerTest, DrainsOnlyAfterConsecutiveCalmChecks) {
+  AutoscaleConfig config;
+  config.enabled = true;
+  config.drain_queue_per_replica = 2.0;
+  config.drain_after_calm_checks = 3;
+  Autoscaler scaler(config);
+  EXPECT_EQ(scaler.Evaluate({3, 0, 0.0}), Autoscaler::Decision::kHold);
+  EXPECT_EQ(scaler.Evaluate({3, 0, 0.0}), Autoscaler::Decision::kHold);
+  // A busy check resets the calm streak.
+  EXPECT_EQ(scaler.Evaluate({3, 40, 0.0}), Autoscaler::Decision::kSpawn);
+  EXPECT_EQ(scaler.Evaluate({4, 0, 0.0}), Autoscaler::Decision::kHold);
+  EXPECT_EQ(scaler.Evaluate({4, 0, 0.0}), Autoscaler::Decision::kHold);
+  EXPECT_EQ(scaler.Evaluate({4, 0, 0.0}), Autoscaler::Decision::kDrain);
+  // Never below the floor.
+  Autoscaler floor(config);
+  EXPECT_EQ(floor.Evaluate({1, 0, 0.0}), Autoscaler::Decision::kHold);
+  EXPECT_EQ(floor.Evaluate({1, 0, 0.0}), Autoscaler::Decision::kHold);
+  EXPECT_EQ(floor.Evaluate({1, 0, 0.0}), Autoscaler::Decision::kHold);
+}
+
+// --- ServingCluster ---------------------------------------------------------
+
+ScenarioSpec SmallSpec(int64_t m) {
+  return ScenarioSpec::Overlap(GemmShape{m, 2048, 1024}, CommPrimitive::kAllReduce);
+}
+
+// A two-tenant mix over `keys` distinct specs, dense enough that every
+// replica of a small fleet sees every key under round-robin.
+std::vector<ServeRequest> MixedTrace(int keys, int per_tenant) {
+  std::vector<ScenarioSpec> specs;
+  for (int k = 0; k < keys; ++k) {
+    specs.push_back(SmallSpec(1024 + 512 * k));
+  }
+  return MergeStreams(
+      {MakeRequestStream("llm", specs, PoissonArrivals(800.0, per_tenant, 3), 0),
+       MakeRequestStream("moe", specs, BurstyArrivals(1600.0, 4.0, 6, per_tenant, 5), 100000)});
+}
+
+FleetReport RunFleet(const ClusterConfig& config, const std::vector<ServeRequest>& trace) {
+  ServingCluster fleet(Make4090Cluster(4), config, {}, EngineOptions{.jitter = false});
+  return fleet.Run(trace);
+}
+
+TEST(ServingClusterTest, SingleReplicaMatchesServeLoopBitForBit) {
+  const auto trace = MixedTrace(3, 20);
+  ClusterConfig config;
+  config.replicas = 1;
+  config.ship_plans = false;
+  const FleetReport fleet = RunFleet(config, trace);
+
+  OverlapEngine engine(Make4090Cluster(4), {}, EngineOptions{.jitter = false});
+  const ServeReport solo = ServeLoop(&engine).Run(trace);
+  EXPECT_DOUBLE_EQ(fleet.makespan_us, solo.makespan_us);
+  ASSERT_EQ(fleet.stats.count(), solo.stats.count());
+  for (size_t i = 0; i < solo.stats.count(); ++i) {
+    EXPECT_DOUBLE_EQ(fleet.stats.records()[i].finish_us, solo.stats.records()[i].finish_us);
+    EXPECT_EQ(fleet.stats.records()[i].plan_cache_hit, solo.stats.records()[i].plan_cache_hit);
+  }
+  EXPECT_EQ(fleet.total_searches, engine.tuner().search_count());
+}
+
+TEST(ServingClusterTest, PlanAffinityBeatsRoundRobinWithoutShipping) {
+  const auto trace = MixedTrace(4, 60);
+  ClusterConfig config;
+  config.replicas = 4;
+  config.ship_plans = false;
+
+  config.policy = PlacementPolicy::kRoundRobin;
+  const FleetReport round_robin = RunFleet(config, trace);
+  config.policy = PlacementPolicy::kPlanAffinity;
+  const FleetReport affinity = RunFleet(config, trace);
+
+  ASSERT_EQ(affinity.stats.count(), trace.size());
+  ASSERT_EQ(round_robin.stats.count(), trace.size());
+  // Affinity keeps every key on the replica that tuned it: one search per
+  // key fleet-wide. Round-robin spreads each key over all four replicas,
+  // so each re-tunes it.
+  EXPECT_EQ(affinity.total_searches, affinity.distinct_keys);
+  EXPECT_GT(round_robin.total_searches, round_robin.distinct_keys);
+  EXPECT_GT(affinity.WarmHitRate(), round_robin.WarmHitRate());
+}
+
+TEST(ServingClusterTest, PlanShippingCapsFleetSearchesAtDistinctKeys) {
+  const auto trace = MixedTrace(4, 60);
+  for (const PlacementPolicy policy :
+       {PlacementPolicy::kRoundRobin, PlacementPolicy::kPlanAffinity}) {
+    ClusterConfig config;
+    config.replicas = 4;
+    config.policy = policy;
+    config.ship_plans = true;
+    const FleetReport report = RunFleet(config, trace);
+    ASSERT_EQ(report.stats.count(), trace.size());
+    // The fleet pays each distinct scenario's search exactly once.
+    EXPECT_LE(report.total_searches, report.distinct_keys) << PlacementPolicyName(policy);
+    EXPECT_EQ(report.shipping.published, report.distinct_keys);
+    // Every publish reached the other three replicas.
+    EXPECT_GE(report.shipping.shipped, 3 * report.distinct_keys);
+  }
+}
+
+TEST(ServingClusterTest, ReportsAreDeterministicAndPlansReplicaCountInvariant) {
+  const auto trace = MixedTrace(3, 40);
+  ClusterConfig config;
+  config.replicas = 4;
+  const FleetReport a = RunFleet(config, trace);
+  const FleetReport b = RunFleet(config, trace);
+  EXPECT_DOUBLE_EQ(a.makespan_us, b.makespan_us);
+  ASSERT_EQ(a.stats.count(), b.stats.count());
+  for (size_t i = 0; i < a.stats.count(); ++i) {
+    EXPECT_DOUBLE_EQ(a.stats.records()[i].finish_us, b.stats.records()[i].finish_us);
+  }
+
+  // The published plans are bit-identical at any replica count: the
+  // snapshot depends only on the scenario mix and deployment.
+  std::string snapshot;
+  for (const int replicas : {1, 2, 4}) {
+    ClusterConfig sized;
+    sized.replicas = replicas;
+    ServingCluster fleet(Make4090Cluster(4), sized, {}, EngineOptions{.jitter = false});
+    fleet.Run(trace);
+    const std::string serialized = fleet.shipper().SerializeSnapshot();
+    if (snapshot.empty()) {
+      snapshot = serialized;
+    }
+    EXPECT_EQ(serialized, snapshot) << replicas << " replicas";
+  }
+}
+
+TEST(ServingClusterTest, HostThreadCountNeverChangesTheRun) {
+  const auto trace = MixedTrace(4, 40);
+  ClusterConfig config;
+  config.replicas = 2;
+  config.serve.tuner_lanes = 2;  // multi-lane rounds exercise the pool
+  config.serve.tune_threads = 1;
+  const FleetReport sequential = RunFleet(config, trace);
+  config.serve.tune_threads = 8;
+  const FleetReport pooled = RunFleet(config, trace);
+  EXPECT_DOUBLE_EQ(sequential.makespan_us, pooled.makespan_us);
+  EXPECT_EQ(sequential.total_searches, pooled.total_searches);
+  ASSERT_EQ(sequential.stats.count(), pooled.stats.count());
+  for (size_t i = 0; i < sequential.stats.count(); ++i) {
+    EXPECT_DOUBLE_EQ(sequential.stats.records()[i].finish_us,
+                     pooled.stats.records()[i].finish_us);
+  }
+}
+
+TEST(ServingClusterTest, AutoscalerSpawnsUnderBurstAndDrainsInTheCalm) {
+  // A hard burst at t=0 followed by a long sparse tail: the fleet must
+  // widen for the burst and give the capacity back during the tail.
+  std::vector<ServeRequest> trace;
+  int64_t id = 0;
+  for (int i = 0; i < 60; ++i) {
+    trace.push_back({id++, "burst", static_cast<double>(i), SmallSpec(1024 + 512 * (i % 3))});
+  }
+  for (int i = 0; i < 12; ++i) {
+    trace.push_back({id++, "tail", 2.0e6 + 400000.0 * i, SmallSpec(1024)});
+  }
+  ClusterConfig config;
+  config.replicas = 1;
+  config.autoscale.enabled = true;
+  config.autoscale.min_replicas = 1;
+  config.autoscale.max_replicas = 4;
+  config.autoscale.check_interval_us = 20000.0;
+  config.autoscale.spawn_queue_per_replica = 4.0;
+  config.autoscale.drain_queue_per_replica = 1.0;
+  config.autoscale.drain_after_calm_checks = 3;
+  const FleetReport report = RunFleet(config, trace);
+  ASSERT_EQ(report.stats.count(), trace.size());
+  EXPECT_GT(report.peak_replicas, 1);
+  EXPECT_GT(report.spawns, 0u);
+  EXPECT_GT(report.drains, 0u);
+  for (const ReplicaReport& replica : report.replicas) {
+    if (replica.retired_us >= 0.0) {
+      EXPECT_GT(replica.retired_us, replica.spawned_us);
+    }
+  }
+  // Deterministic at any scale: the same burst scales the same way twice.
+  const FleetReport again = RunFleet(config, trace);
+  EXPECT_EQ(report.spawns, again.spawns);
+  EXPECT_EQ(report.drains, again.drains);
+  EXPECT_DOUBLE_EQ(report.makespan_us, again.makespan_us);
+
+  // A second run on the same (shrunken) fleet reports that run only: no
+  // stale requests, searches, or makespan leak from retired replicas'
+  // first-run sessions, and the warm stores serve without searching.
+  ServingCluster fleet(Make4090Cluster(4), config, {}, EngineOptions{.jitter = false});
+  const FleetReport first = fleet.Run(trace);
+  ASSERT_GT(first.drains, 0u);
+  const FleetReport second = fleet.Run(trace);
+  EXPECT_EQ(second.stats.count(), trace.size());
+  EXPECT_EQ(second.total_searches, 0u);
+  // The sparse tail's last arrival dominates the makespan in both runs;
+  // the warm run can only be at least as fast.
+  EXPECT_LE(second.makespan_us, first.makespan_us);
+}
+
+TEST(ServingClusterTest, SavedSnapshotWarmStartsAFreshFleet) {
+  const auto trace = MixedTrace(3, 30);
+  const std::string path = ::testing::TempDir() + "/fleet_plans.txt";
+  ClusterConfig config;
+  config.replicas = 2;
+  {
+    ServingCluster fleet(Make4090Cluster(4), config, {}, EngineOptions{.jitter = false});
+    const FleetReport cold = fleet.Run(trace);
+    EXPECT_GT(cold.total_searches, 0u);
+    ASSERT_TRUE(fleet.SavePlans(path));
+  }
+  ServingCluster warm_fleet(Make4090Cluster(4), config, {}, EngineOptions{.jitter = false});
+  ASSERT_GT(warm_fleet.LoadPlans(path), 0u);
+  const FleetReport warm = warm_fleet.Run(trace);
+  EXPECT_EQ(warm.total_searches, 0u);
+  EXPECT_DOUBLE_EQ(warm.WarmHitRate(), 1.0);
+  std::remove(path.c_str());
+}
+
+TEST(ServingClusterTest, BoundedStoresChurnButTheFleetStillServes) {
+  const auto trace = MixedTrace(4, 30);
+  ClusterConfig config;
+  config.replicas = 2;
+  config.store_capacity = 1;  // every publish evicts something
+  const FleetReport report = RunFleet(config, trace);
+  ASSERT_EQ(report.stats.count(), trace.size());
+  // Eviction re-pays shipping (re-ships) but never a duplicate search.
+  EXPECT_LE(report.total_searches, report.distinct_keys);
+  for (const ReplicaReport& replica : report.replicas) {
+    EXPECT_LE(replica.plans_resident, 1u);
+  }
+}
+
+}  // namespace
+}  // namespace flo

@@ -186,6 +186,95 @@ TEST(PlanStoreLruTest, SharedStoreSurvivesConcurrentUse) {
   EXPECT_EQ(stats.hits + stats.misses, kThreads * finds_per_thread);
 }
 
+TEST(PlanStoreRecordTest, ExportImportRoundTripsBitIdentically) {
+  PlanStore source;
+  source.Put(0xabc, MarkedPlan(3));
+  source.Put(0xdef, MarkedPlan(4));
+  const auto record = source.ExportRecord(0xabc);
+  ASSERT_TRUE(record.has_value());
+  EXPECT_FALSE(source.ExportRecord(0x123).has_value());
+
+  PlanStore target;
+  EXPECT_EQ(target.ImportRecords(*record), 1u);
+  EXPECT_EQ(target.size(), 1u);
+  EXPECT_EQ(*target.FindCopy(0xabc), MarkedPlan(3));
+  // The re-exported record is the same bytes: shipping a plan twice (or
+  // through a file) never drifts.
+  EXPECT_EQ(*target.ExportRecord(0xabc), *record);
+  // Malformed shipments apply nothing.
+  EXPECT_EQ(target.ImportRecords("plan zz\n"), 0u);
+  EXPECT_EQ(target.size(), 1u);
+  // Multi-record import (a fleet snapshot) lands every plan.
+  PlanStore bulk;
+  EXPECT_EQ(bulk.ImportRecords(source.Serialize()), 2u);
+  EXPECT_EQ(bulk.size(), 2u);
+}
+
+TEST(PlanStoreRecordTest, FindAndFindCopyAgreeAcrossSnapshotRoundTrip) {
+  PlanStore store;
+  for (int i = 0; i < 4; ++i) {
+    store.Put(100 + i, MarkedPlan(i));
+  }
+  const std::string snapshot = store.Serialize();
+  const auto restored = PlanStore::Parse(snapshot);
+  ASSERT_TRUE(restored.has_value());
+  for (int i = 0; i < 4; ++i) {
+    const uint64_t key = 100 + i;
+    // Find and FindCopy agree with each other...
+    const ExecutionPlan* by_ref = store.Find(key);
+    ASSERT_NE(by_ref, nullptr);
+    EXPECT_EQ(*by_ref, *store.FindCopy(key));
+    // ...and with the save/load round-trip, bit for bit.
+    const ExecutionPlan* restored_ref = restored->Find(key);
+    ASSERT_NE(restored_ref, nullptr);
+    EXPECT_EQ(*restored_ref, *by_ref);
+    EXPECT_EQ(*restored->FindCopy(key), *by_ref);
+  }
+  // A second round-trip is byte-stable.
+  EXPECT_EQ(restored->Serialize(), snapshot);
+}
+
+TEST(PlanStoreLruTest, ConcurrentPublishAndEvictionChurn) {
+  // Multi-replica churn: publisher threads ship records into a bounded
+  // store (plan shipping's ImportRecords path) while reader threads take
+  // copies — racing publishes against LRU evictions.
+  PlanStore store(/*capacity=*/4);
+  std::vector<std::string> records;
+  for (int i = 0; i < 16; ++i) {
+    PlanStore scratch;
+    scratch.Put(static_cast<uint64_t>(i), MarkedPlan(i));
+    records.push_back(*scratch.ExportRecord(static_cast<uint64_t>(i)));
+  }
+  constexpr int kThreads = 4;
+  constexpr int kOpsPerThread = 400;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        const int slot = (t * kOpsPerThread + i) % 16;
+        if (t % 2 == 0) {
+          EXPECT_EQ(store.ImportRecords(records[slot]), 1u);
+        } else {
+          const auto plan = store.FindCopy(static_cast<uint64_t>(slot));
+          if (plan.has_value()) {
+            // A copy taken under the lock is never a torn shipment.
+            EXPECT_EQ(*plan, MarkedPlan(slot));
+          }
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) {
+    thread.join();
+  }
+  EXPECT_LE(store.size(), 4u);
+  EXPECT_GT(store.stats().evictions, 0u);
+  // Whatever survived the churn still round-trips bit-identically.
+  const auto parsed = PlanStore::Parse(store.Serialize());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->Serialize(), store.Serialize());
+}
+
 TEST(TunerPersistenceTest, ExportImportRestoresCache) {
   Tuner source(MakeA800Cluster(4));
   source.Tune(GemmShape{4096, 8192, 4096}, CommPrimitive::kAllReduce);

@@ -415,6 +415,56 @@ TEST(ServeLoopTest, OverlapTuningMovesColdCostOffTheExecutor) {
   EXPECT_FALSE(record.plan_cache_hit);
 }
 
+TEST(ServeLoopTest, AdaptiveTunerLanesWidenUnderColdBursts) {
+  // Four distinct cold keys arrive together: with one static lane they
+  // tune serially; adaptive sizing widens the pool to the observed
+  // cold-key pressure and collapses back afterwards.
+  std::vector<ServeRequest> trace;
+  for (int64_t i = 0; i < 4; ++i) {
+    trace.push_back({i, "t", 0.0, SmallSpec(1024 + 512 * i)});
+  }
+  ServeConfig narrow;
+  narrow.tuner_lanes = 1;
+  OverlapEngine narrow_engine(Make4090Cluster(4), {}, EngineOptions{.jitter = false});
+  const ServeReport serial = ServeLoop(&narrow_engine, narrow).Run(trace);
+
+  ServeConfig adaptive;
+  adaptive.adaptive_tuner_lanes = true;
+  adaptive.max_tuner_lanes = 4;
+  OverlapEngine adaptive_engine(Make4090Cluster(4), {}, EngineOptions{.jitter = false});
+  const ServeReport widened = ServeLoop(&adaptive_engine, adaptive).Run(trace);
+
+  ASSERT_EQ(widened.stats.count(), trace.size());
+  EXPECT_EQ(serial.tuner_lanes, 1);
+  EXPECT_EQ(widened.tuner_lanes, 4);  // the burst demanded the full pool
+  // Four tuning windows overlap instead of queueing.
+  EXPECT_LT(widened.makespan_us, serial.makespan_us);
+  // Lane sizing never changes what gets tuned, only when.
+  EXPECT_EQ(adaptive_engine.tuner().search_count(), narrow_engine.tuner().search_count());
+  EXPECT_EQ(adaptive_engine.plan_store().size(), narrow_engine.plan_store().size());
+  // The clamp is respected under wider bursts.
+  ServeConfig clamped;
+  clamped.adaptive_tuner_lanes = true;
+  clamped.max_tuner_lanes = 2;
+  OverlapEngine clamped_engine(Make4090Cluster(4), {}, EngineOptions{.jitter = false});
+  EXPECT_EQ(ServeLoop(&clamped_engine, clamped).Run(trace).tuner_lanes, 2);
+}
+
+TEST(ServeLoopTest, AdaptiveTunerLanesStayNarrowWithoutPressure) {
+  // One cold key at a time: pressure never exceeds a single lane.
+  std::vector<ServeRequest> trace;
+  for (int64_t i = 0; i < 6; ++i) {
+    trace.push_back({i, "t", 200000.0 * static_cast<double>(i), SmallSpec(1024 + 512 * (i % 2))});
+  }
+  ServeConfig adaptive;
+  adaptive.adaptive_tuner_lanes = true;
+  adaptive.max_tuner_lanes = 8;
+  OverlapEngine engine(Make4090Cluster(4), {}, EngineOptions{.jitter = false});
+  const ServeReport report = ServeLoop(&engine, adaptive).Run(trace);
+  ASSERT_EQ(report.stats.count(), trace.size());
+  EXPECT_EQ(report.tuner_lanes, 1);
+}
+
 TEST(ServeLoopTest, SharedWarmStoreServesWithoutSearches) {
   const auto trace = MergeStreams(
       {MakeRequestStream("a", {SmallSpec(1024), SmallSpec(2048)},
