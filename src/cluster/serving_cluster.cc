@@ -71,11 +71,14 @@ ServeSession::Hooks ServingCluster::HooksFor(Replica* replica) {
       const auto request = keyer_.TuningRequest(spec);
       StoredPlan artifact;
       const StoredPlan* artifact_ptr = nullptr;
-      if (request.has_value()) {
+      // Only balanced searches have a tuner-tier StoredPlan form;
+      // imbalanced multiset plans ship through the ExecutionPlan record
+      // alone (their search result is not a single-shape partition).
+      if (request.has_value() && request->shapes.size() == 1) {
         Tuner& owner = replica->engine().tuner();
-        if (owner.Contains(request->first, request->second)) {
-          const TunedPlan& tuned = owner.Tune(request->first, request->second);
-          artifact = StoredPlan{request->first, request->second, tuned.partition,
+        if (owner.Contains(request->shapes[0], request->primitive)) {
+          const TunedPlan& tuned = owner.Tune(request->shapes[0], request->primitive);
+          artifact = StoredPlan{request->shapes[0], request->primitive, tuned.partition,
                                 tuned.predicted_us, tuned.predicted_non_overlap_us};
           artifact_ptr = &artifact;
         }

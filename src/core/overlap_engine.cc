@@ -74,20 +74,31 @@ std::vector<OverlapRun> OverlapEngine::RunBatch(std::span<const ScenarioSpec> sp
   return runs;
 }
 
-std::vector<std::pair<GemmShape, CommPrimitive>> OverlapEngine::PretuneParallel(
+std::vector<PretuneRequest> OverlapEngine::PretuneParallel(
     std::span<const ScenarioSpec> specs, int threads) {
-  std::vector<std::pair<GemmShape, CommPrimitive>> requests;
+  const auto warm = [this](const PretuneRequest& request) {
+    return request.shapes.size() == 1
+               ? tuner_.Contains(request.shapes[0], request.primitive)
+               : tuner_.ContainsImbalanced(request.shapes, request.primitive);
+  };
+  const auto run = [this](const PretuneRequest& request) {
+    if (request.shapes.size() == 1) {
+      tuner_.Tune(request.shapes[0], request.primitive);
+    } else {
+      tuner_.TuneImbalanced(request.shapes, request.primitive);
+    }
+  };
+  std::vector<PretuneRequest> requests;
   for (const ScenarioSpec& spec : specs) {
     if (store_->Contains(planner_.CanonicalKey(spec))) {
       continue;  // the plan itself is warm; no search will happen
     }
-    const std::optional<std::pair<GemmShape, CommPrimitive>> request =
-        planner_.TuningRequest(spec);
-    if (!request.has_value() || tuner_.Contains(request->first, request->second)) {
+    std::optional<PretuneRequest> request = planner_.TuningRequest(spec);
+    if (!request.has_value() || warm(*request)) {
       continue;
     }
     if (std::find(requests.begin(), requests.end(), *request) == requests.end()) {
-      requests.push_back(*request);
+      requests.push_back(*std::move(request));
     }
   }
   if (requests.empty()) {
@@ -95,13 +106,13 @@ std::vector<std::pair<GemmShape, CommPrimitive>> OverlapEngine::PretuneParallel(
   }
   if (threads > 1 && requests.size() > 1) {
     ThreadPool& pool = TunePool(std::min(threads, static_cast<int>(requests.size())));
-    for (const auto& request : requests) {
-      pool.Submit([this, request] { tuner_.Tune(request.first, request.second); });
+    for (const PretuneRequest& request : requests) {
+      pool.Submit([&run, &request] { run(request); });
     }
     pool.WaitIdle();
   } else {
-    for (const auto& request : requests) {
-      tuner_.Tune(request.first, request.second);
+    for (const PretuneRequest& request : requests) {
+      run(request);
     }
   }
   return requests;

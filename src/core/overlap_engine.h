@@ -69,16 +69,17 @@ class OverlapEngine {
   std::vector<OverlapRun> RunBatch(std::span<const ScenarioSpec> specs);
 
   // Pre-warms the tuner cache for every spec whose plan is absent from the
-  // active store: collects the distinct (shape, primitive) searches those
-  // specs would trigger and runs them on `threads` workers (sequentially
-  // for threads <= 1 or a single request). Returns the claimed searches in
+  // active store: collects the distinct tuner searches those specs would
+  // trigger (balanced Tune or imbalanced TuneImbalanced, see
+  // PretuneRequest) and runs them on `threads` workers (sequentially for
+  // threads <= 1 or a single request). Returns the claimed searches in
   // spec order (first spec to need a search claims it) — callers charging
   // tuning cost attribute from this list rather than re-deriving the
   // decision. Safe against a shared PlanStore — the tuner single-flights
   // concurrent searches per key, so plans are deterministic regardless of
   // the thread count.
-  std::vector<std::pair<GemmShape, CommPrimitive>> PretuneParallel(
-      std::span<const ScenarioSpec> specs, int threads);
+  std::vector<PretuneRequest> PretuneParallel(std::span<const ScenarioSpec> specs,
+                                              int threads);
 
   // Perfect-overlap bound (Sec. 6.4).
   SimTime TheoreticalBest(const GemmShape& shape, CommPrimitive primitive);

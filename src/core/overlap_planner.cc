@@ -17,13 +17,16 @@ StableHash& MixDouble(StableHash& hash, double value) {
   return hash.Mix(std::bit_cast<uint64_t>(value));
 }
 
-// The imbalanced reference rank: tuning happens on the heaviest shape.
-// Shared by the build itself and TuningRequest, so pre-warmed searches
-// always match the search the build will perform.
+// The legacy imbalanced reference rank: the heuristic path tunes on the
+// heaviest shape. Shared by BuildImbalancedLegacy and TuningRequest, so
+// pre-warmed searches always match the search the build will perform.
 const GemmShape& HeaviestRank(const std::vector<GemmShape>& shapes) {
   return *std::max_element(shapes.begin(), shapes.end(),
                            [](const GemmShape& a, const GemmShape& b) { return a.m < b.m; });
 }
+
+// See CanonicalKey: bumped when imbalanced plan construction changes.
+constexpr int kImbalancedPlanVersion = 2;
 
 }  // namespace
 
@@ -62,11 +65,19 @@ uint64_t OverlapPlanner::CanonicalKey(const ScenarioSpec& spec) const {
   // enumeration), so they are plan-relevant.
   hash.Mix(config.use_legacy_enumeration ? 1 : 0);
   hash.Mix(config.search_max_nodes);
+  if (spec.imbalanced()) {
+    // Imbalanced planning-algorithm version: bumped when imbalanced plan
+    // construction changes (v2: joint multi-rank search), so stale
+    // on-disk stores and shipped records from older deployments never
+    // serve plans the current planner would not build. Scoped to
+    // imbalanced specs — balanced plans are byte-identical across the
+    // change, so their warm starts stay valid.
+    hash.Mix(kImbalancedPlanVersion);
+  }
   return hash.value();
 }
 
-std::optional<std::pair<GemmShape, CommPrimitive>> OverlapPlanner::TuningRequest(
-    const ScenarioSpec& spec) const {
+std::optional<PretuneRequest> OverlapPlanner::TuningRequest(const ScenarioSpec& spec) const {
   if (spec.shapes.empty() || spec.kind == ScenarioKind::kNonOverlap ||
       spec.forced_partition.has_value()) {
     return std::nullopt;
@@ -74,12 +85,18 @@ std::optional<std::pair<GemmShape, CommPrimitive>> OverlapPlanner::TuningRequest
   if (!spec.imbalanced()) {
     // Balanced (and misconfigured-ablation) builds tune the broadcast
     // shape.
-    return std::make_pair(spec.shapes[0], spec.primitive);
+    return PretuneRequest{{spec.shapes[0]}, spec.primitive};
   }
-  // Imbalanced builds tune on the heaviest rank. spec.shapes and the
-  // expanded RankShapes hold the same multiset, so the maximum agrees
-  // with BuildImbalancedOverlap's choice.
-  return std::make_pair(HeaviestRank(spec.shapes), spec.primitive);
+  if (tuner_->config().use_legacy_enumeration) {
+    // The legacy heuristic tunes on the heaviest rank only. spec.shapes
+    // and the expanded RankShapes hold the same multiset, so the maximum
+    // agrees with BuildImbalancedLegacy's choice.
+    return PretuneRequest{{HeaviestRank(spec.shapes)}, spec.primitive};
+  }
+  // Joint search, keyed by the canonical rank-shape multiset — the same
+  // ordering TuneImbalanced keys on (one shared home), so pre-warming one
+  // spec never mis-warms another that shares only its heaviest rank.
+  return PretuneRequest{Tuner::CanonicalShapeMultiset(spec.shapes), spec.primitive};
 }
 
 void OverlapPlanner::RecordLookup(bool hit, bool* cache_hit) {
@@ -209,6 +226,38 @@ ExecutionPlan OverlapPlanner::BuildBalancedOverlap(const ScenarioSpec& spec) {
 ExecutionPlan OverlapPlanner::BuildImbalancedOverlap(const ScenarioSpec& spec) {
   const int n = tuner_->cluster().gpu_count;
   const std::vector<GemmShape> shapes = spec.RankShapes(n);
+  if (spec.forced_partition.has_value() || tuner_->config().use_legacy_enumeration) {
+    // Forced partitions bypass every search; the legacy config keeps the
+    // tune-heaviest-then-rescale heuristic as the comparison baseline.
+    return BuildImbalancedLegacy(spec, shapes);
+  }
+  // Joint multi-rank search (fused branch-and-bound over per-rank latency
+  // tables): the cached base composition already encodes the rendezvous
+  // gating — when no segmentation wins, the single-group base degenerates
+  // to sequential execution.
+  const TunedMultiRankPlan& tuned = tuner_->TuneImbalanced(shapes, spec.primitive);
+  ExecutionPlan plan;
+  plan.kind = ScenarioKind::kOverlap;
+  plan.primitive = spec.primitive;
+  plan.partition = tuned.base;
+  plan.predicted_us = tuned.predicted_us;
+  plan.predicted_non_overlap_us = tuned.predicted_non_overlap_us;
+  // Per-rank counting targets follow the exact projected groupings the
+  // search scored, not a proportional tile split.
+  plan.group_tiles.reserve(shapes.size());
+  for (const GemmShape& shape : shapes) {
+    PredictorSetup setup = tuner_->MakeSetup(shape, spec.primitive);
+    const std::optional<WavePartition> projected =
+        ProjectPartition(tuned.base, tuned.base_waves, setup.EffectiveWaveCount());
+    FLO_CHECK(projected.has_value()) << "winning base must project onto every rank";
+    plan.group_tiles.push_back(setup.GroupTiles(*projected));
+  }
+  FillCommSegments(&plan, shapes);
+  return plan;
+}
+
+ExecutionPlan OverlapPlanner::BuildImbalancedLegacy(const ScenarioSpec& spec,
+                                                    const std::vector<GemmShape>& shapes) {
   ExecutionPlan plan;
   plan.kind = ScenarioKind::kOverlap;
   plan.primitive = spec.primitive;

@@ -27,6 +27,18 @@ struct PlannerStats {
   size_t cache_misses = 0;
 };
 
+// One pre-warmable tuner search: a single shape (balanced Tune) or the
+// canonical sorted rank-shape multiset (imbalanced TuneImbalanced). Keying
+// imbalanced requests by the full multiset — not the heaviest rank — keeps
+// two specs that share a heaviest rank but differ in light ranks from
+// colliding in the pre-tune lane.
+struct PretuneRequest {
+  std::vector<GemmShape> shapes;
+  CommPrimitive primitive = CommPrimitive::kAllReduce;
+
+  bool operator==(const PretuneRequest&) const = default;
+};
+
 class OverlapPlanner {
  public:
   // Both pointers are borrowed and must outlive the planner.
@@ -36,14 +48,13 @@ class OverlapPlanner {
   // configuration.
   uint64_t CanonicalKey(const ScenarioSpec& spec) const;
 
-  // The (shape, primitive) a Build for `spec` would send through
-  // Tuner::Tune, or std::nullopt when building the plan performs no
-  // predictive search (non-overlap scenarios, forced partitions). Batch
-  // sweeps and serving loops use this to pre-warm the tuner's cache in
-  // parallel — the expensive part of a cold plan — before building plans
-  // serially.
-  std::optional<std::pair<GemmShape, CommPrimitive>> TuningRequest(
-      const ScenarioSpec& spec) const;
+  // The tuner search a Build for `spec` would perform — a single-shape
+  // Tune or an imbalanced multiset TuneImbalanced — or std::nullopt when
+  // building the plan performs no predictive search (non-overlap
+  // scenarios, forced partitions). Batch sweeps and serving loops use this
+  // to pre-warm the tuner's cache in parallel — the expensive part of a
+  // cold plan — before building plans serially.
+  std::optional<PretuneRequest> TuningRequest(const ScenarioSpec& spec) const;
 
   // Returns the memoized plan, building (and caching) it on first use.
   // The reference is stable until the store evicts the entry (so: consume
@@ -67,6 +78,11 @@ class OverlapPlanner {
   ExecutionPlan BuildNonOverlap(const ScenarioSpec& spec);
   ExecutionPlan BuildBalancedOverlap(const ScenarioSpec& spec);
   ExecutionPlan BuildImbalancedOverlap(const ScenarioSpec& spec);
+  // The pre-joint-search heuristic (tune the heaviest rank, rescale,
+  // gate with one rendezvous replay) — the baseline behind
+  // TunerConfig::use_legacy_enumeration, also used for forced partitions.
+  ExecutionPlan BuildImbalancedLegacy(const ScenarioSpec& spec,
+                                      const std::vector<GemmShape>& shapes);
   // Fills plan->segments from group_tiles via the tuner's cost model.
   void FillCommSegments(ExecutionPlan* plan, const std::vector<GemmShape>& rank_shapes);
 

@@ -1,6 +1,7 @@
 #include "src/core/partition_search.h"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 
 #include "src/util/check.h"
@@ -20,6 +21,37 @@ constexpr size_t kDominanceCap = 64;
 // slack keeps the bound admissible despite that, at no practical cost in
 // pruning power.
 constexpr double kBoundSlack = 1e-9;
+
+// Shared incumbent update for both searchers: accept strict improvements,
+// break latency ties toward the lexicographically smallest group-size
+// vector. One body so the bit-reproducibility contract cannot diverge.
+void UpdateIncumbent(const int* sizes, int groups, double latency_us, double* best_us,
+                     int* best_groups, std::vector<int>* best_path) {
+  if (latency_us > *best_us) {
+    return;
+  }
+  if (latency_us == *best_us &&
+      !std::lexicographical_compare(sizes, sizes + groups, best_path->data(),
+                                    best_path->data() + *best_groups)) {
+    return;
+  }
+  *best_us = latency_us;
+  *best_groups = groups;
+  std::copy(sizes, sizes + groups, best_path->begin());
+}
+
+// Writes the equal-sized safety family with `body`-wave groups into
+// `path`, returning the group count (shared by both searchers' seeding).
+int FillEqualSized(int waves, int body, int* path) {
+  int groups = 0;
+  int remaining = waves;
+  while (remaining > 0) {
+    const int take = std::min(body, remaining);
+    path[groups++] = take;
+    remaining -= take;
+  }
+  return groups;
+}
 
 }  // namespace
 
@@ -56,13 +88,7 @@ PartitionSearchResult PartitionSearcher::Search(const GroupLatencyTable& table,
     seed_path_[0] = waves;
     ConsiderCandidate(seed_path_.data(), 1, table.single_group_us);
     for (int body = 1; body < waves; ++body) {
-      int groups = 0;
-      int remaining = waves;
-      while (remaining > 0) {
-        const int take = std::min(body, remaining);
-        seed_path_[groups++] = take;
-        remaining -= take;
-      }
+      const int groups = FillEqualSized(waves, body, seed_path_.data());
       ConsiderCandidate(seed_path_.data(), groups,
                         PredictLatencyWithTable(table, seed_path_.data(), groups));
     }
@@ -150,17 +176,238 @@ bool PartitionSearcher::DominatedOrRecord(int assigned, double t_p, double t_m) 
 }
 
 void PartitionSearcher::ConsiderCandidate(const int* sizes, int groups, double latency_us) {
-  if (latency_us > best_us_) {
-    return;
+  UpdateIncumbent(sizes, groups, latency_us, &best_us_, &best_groups_, &best_path_);
+}
+
+// --- MultiRankPartitionSearcher ---------------------------------------------
+
+MultiRankSearchResult MultiRankPartitionSearcher::Search(const MultiRankLatencyTable& tables,
+                                                         const PartitionSearchOptions& options,
+                                                         const WavePartition* seed) {
+  FLO_CHECK(!tables.ranks.empty());
+  FLO_CHECK_GE(tables.base_waves, 1);
+  for (const GroupLatencyTable& table : tables.ranks) {
+    FLO_CHECK_GE(table.waves, 1);
+    FLO_CHECK_LE(table.waves, tables.base_waves);
   }
-  if (latency_us == best_us_ &&
-      !std::lexicographical_compare(sizes, sizes + groups, best_path_.data(),
-                                    best_path_.data() + best_groups_)) {
-    return;
+  tables_ = &tables;
+  options_ = options;
+  rank_count_ = static_cast<int>(tables.ranks.size());
+  const int waves = tables.base_waves;
+  const size_t size = static_cast<size_t>(waves) + 1;
+  if (path_.size() < size) {
+    path_.resize(size);
+    seed_path_.resize(size);
+    best_path_.resize(size);
   }
-  best_us_ = latency_us;
-  best_groups_ = groups;
-  std::copy(sizes, sizes + groups, best_path_.begin());
+  const size_t state = size * static_cast<size_t>(rank_count_);
+  if (prev_.size() < state) {
+    prev_.resize(state);
+    t_p_.resize(state);
+  }
+  if (dominance_.size() < size) {
+    dominance_.resize(size);
+  }
+  for (size_t a = 0; a < size; ++a) {
+    dominance_[a].entries = 0;
+  }
+  best_groups_ = 0;
+  best_us_ = std::numeric_limits<double>::infinity();
+  nodes_ = 0;
+  candidates_ = 0;
+  budget_exhausted_ = false;
+  seed_path_[0] = waves;
+  single_group_us_ = PredictLatencyWithTableMultiRank(tables, seed_path_.data(), 1,
+                                                      &seed_scratch_);
+
+  if (options_.seed_safety_families) {
+    ConsiderCandidate(seed_path_.data(), 1, single_group_us_);
+    for (int body = 1; body < waves; ++body) {
+      ScoreSeed(seed_path_.data(), FillEqualSized(waves, body, seed_path_.data()));
+    }
+  }
+  if (seed != nullptr && !seed->group_sizes.empty()) {
+    FLO_CHECK_EQ(seed->TotalWaves(), waves);
+    std::copy(seed->group_sizes.begin(), seed->group_sizes.end(), seed_path_.begin());
+    ScoreSeed(seed_path_.data(), seed->group_count());
+  }
+
+  for (int r = 0; r < rank_count_; ++r) {
+    prev_[r] = 0;
+    t_p_[r] = tables.ranks[r].launch_overhead_us;
+  }
+  Dfs(/*cum=*/0, /*t_m=*/0.0, /*depth=*/0);
+
+  MultiRankSearchResult result;
+  FLO_CHECK_GE(best_groups_, 1) << "multi-rank search produced no candidate";
+  result.base.group_sizes.assign(best_path_.begin(), best_path_.begin() + best_groups_);
+  result.predicted_us = best_us_;
+  result.nodes_visited = nodes_;
+  result.candidates_evaluated = candidates_;
+  result.budget_exhausted = budget_exhausted_;
+  return result;
+}
+
+void MultiRankPartitionSearcher::Dfs(int cum, double t_m, int depth) {
+  const int remaining = tables_->base_waves - cum;
+  const int max_take =
+      (depth == 0 && options_.bounded) ? std::min(options_.s1, remaining) : remaining;
+  const int ranks = rank_count_;
+  const int* prev = prev_.data() + static_cast<size_t>(depth) * ranks;
+  const double* t_p = t_p_.data() + static_cast<size_t>(depth) * ranks;
+  int* prev_next = prev_.data() + static_cast<size_t>(depth + 1) * ranks;
+  double* t_p_next = t_p_.data() + static_cast<size_t>(depth + 1) * ranks;
+  for (int take = 1; take <= max_take; ++take) {
+    if (nodes_ >= options_.max_nodes) {
+      budget_exhausted_ = true;
+      return;
+    }
+    ++nodes_;
+    const int cum_new = cum + take;
+    if (take == remaining) {
+      // Closing group: every rank's projection is forced to its own final
+      // wave (feasible by the DFS invariant prev[r] < T_r).
+      double latency;
+      if (depth == 0) {
+        latency = single_group_us_;
+      } else {
+        if (options_.bounded && take > options_.sp) {
+          continue;
+        }
+        double ready = 0.0;
+        double comm = 0.0;
+        for (int r = 0; r < ranks; ++r) {
+          const GroupLatencyTable& table = tables_->ranks[r];
+          const int group = table.waves - prev[r];
+          const double tp = t_p[r] + group * table.wave_time_us;
+          ready = std::max(ready, tp);
+          comm = std::max(comm, table.tail[group]);
+        }
+        latency = std::max(ready, t_m) + comm;
+      }
+      ++candidates_;
+      path_[depth] = take;
+      ConsiderCandidate(path_.data(), depth + 1, latency);
+      continue;
+    }
+    // Non-final group: project each rank's boundary and commit the group's
+    // rendezvous collective with per-rank compute through this group,
+    // exactly as the full replay would.
+    bool infeasible = false;
+    double ready = 0.0;
+    double comm = 0.0;
+    for (int r = 0; r < ranks; ++r) {
+      const GroupLatencyTable& table = tables_->ranks[r];
+      const int boundary =
+          ProjectedBoundary(cum_new, tables_->base_waves, table.waves, prev[r]);
+      if (boundary >= table.waves) {
+        infeasible = true;
+        break;
+      }
+      const int group = boundary - prev[r];
+      const double tp = t_p[r] + group * table.wave_time_us;
+      prev_next[r] = boundary;
+      t_p_next[r] = tp;
+      ready = std::max(ready, tp);
+      comm = std::max(comm, table.full[group]);
+    }
+    if (infeasible) {
+      // Boundaries are monotone in the base prefix sum, so every larger
+      // non-final take is infeasible too; only the closing take survives.
+      if (max_take < remaining) {
+        break;
+      }
+      take = remaining - 1;
+      continue;
+    }
+    const double t_m_new = std::max(ready, t_m) + comm;
+    double bound_compute = 0.0;
+    double lb_tail = 0.0;
+    for (int r = 0; r < ranks; ++r) {
+      const GroupLatencyTable& table = tables_->ranks[r];
+      const int rest = table.waves - prev_next[r];
+      bound_compute = std::max(bound_compute, t_p_next[r] + rest * table.wave_time_us);
+      lb_tail = std::max(lb_tail, table.min_tail_prefix[rest]);
+    }
+    const double bound = std::max(t_m_new, bound_compute) + lb_tail;
+    if (bound * (1.0 - kBoundSlack) > best_us_) {
+      continue;
+    }
+    if (DominatedOrRecord(cum_new, prev_next, t_p_next, t_m_new)) {
+      continue;
+    }
+    path_[depth] = take;
+    Dfs(cum_new, t_m_new, depth + 1);
+    if (budget_exhausted_) {
+      return;
+    }
+  }
+}
+
+bool MultiRankPartitionSearcher::DominatedOrRecord(int cum, const int* prev,
+                                                   const double* t_p, double t_m) {
+  DomSet& set = dominance_[cum];
+  const size_t ranks = static_cast<size_t>(rank_count_);
+  const size_t vstride = ranks + 1;
+  size_t keep = 0;
+  for (size_t i = 0; i < set.entries; ++i) {
+    const int* entry_prev = set.prevs.data() + i * ranks;
+    const double* entry_vals = set.vals.data() + i * vstride;
+    if (std::equal(entry_prev, entry_prev + ranks, prev)) {
+      // Same per-rank boundaries => identical suffix behaviour; compare
+      // the accumulator vectors componentwise.
+      bool entry_dominates = entry_vals[ranks] <= t_m;
+      for (size_t r = 0; r < ranks && entry_dominates; ++r) {
+        entry_dominates = entry_vals[r] <= t_p[r];
+      }
+      if (entry_dominates) {
+        return true;
+      }
+      bool newcomer_dominates = t_m <= entry_vals[ranks];
+      for (size_t r = 0; r < ranks && newcomer_dominates; ++r) {
+        newcomer_dominates = t_p[r] <= entry_vals[r];
+      }
+      if (newcomer_dominates) {
+        continue;  // drop the entry; the newcomer is recorded below
+      }
+    }
+    if (keep != i) {
+      std::copy(entry_prev, entry_prev + ranks, set.prevs.data() + keep * ranks);
+      std::copy(entry_vals, entry_vals + vstride, set.vals.data() + keep * vstride);
+    }
+    ++keep;
+  }
+  set.entries = keep;
+  if (set.entries < kDominanceCap) {
+    // Guard each buffer by its own stride: a searcher reused across rank
+    // counts keeps buffers sized for the old stride, and prevs (stride R)
+    // outlasting vals (stride R+1) must not skip the vals resize.
+    if (set.prevs.size() < (set.entries + 1) * ranks) {
+      set.prevs.resize((set.entries + 1) * ranks);
+    }
+    if (set.vals.size() < (set.entries + 1) * vstride) {
+      set.vals.resize((set.entries + 1) * vstride);
+    }
+    std::copy(prev, prev + ranks, set.prevs.data() + set.entries * ranks);
+    std::copy(t_p, t_p + ranks, set.vals.data() + set.entries * vstride);
+    set.vals[set.entries * vstride + ranks] = t_m;
+    ++set.entries;
+  }
+  return false;
+}
+
+void MultiRankPartitionSearcher::ScoreSeed(const int* sizes, int groups) {
+  const double latency =
+      PredictLatencyWithTableMultiRank(*tables_, sizes, groups, &seed_scratch_);
+  if (!std::isfinite(latency)) {
+    return;  // projection infeasible for some rank; not a candidate
+  }
+  ConsiderCandidate(sizes, groups, latency);
+}
+
+void MultiRankPartitionSearcher::ConsiderCandidate(const int* sizes, int groups,
+                                                   double latency_us) {
+  UpdateIncumbent(sizes, groups, latency_us, &best_us_, &best_groups_, &best_path_);
 }
 
 }  // namespace flo

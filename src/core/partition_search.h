@@ -100,6 +100,81 @@ class PartitionSearcher {
   bool budget_exhausted_ = false;
 };
 
+struct MultiRankSearchResult {
+  // Best base composition (over MultiRankLatencyTable::base_waves); every
+  // rank executes its prefix-local projection (ProjectPartition).
+  WavePartition base;
+  double predicted_us = 0.0;
+  size_t nodes_visited = 0;
+  size_t candidates_evaluated = 0;
+  bool budget_exhausted = false;
+};
+
+// Fused multi-rank branch-and-bound for imbalanced All-to-All
+// (Sec. 4.2.2): walks the base composition space carrying per-rank
+// (boundary, t_p_acc) state plus the shared rendezvous t_m_acc — the
+// incremental form of PredictOverlapLatencyMultiRank, one table read and
+// one multiply-add-max per rank per node, no full-timeline replays.
+//
+// Pruning mirrors the single-rank searcher: an admissible lower bound
+// (each rank finishes its remaining waves at full compute rate, max across
+// ranks, plus the best-case final rendezvous collective) and per-wave-count
+// dominance over the per-rank accumulator vectors (comparable only at equal
+// per-rank boundaries — different boundaries imply different suffixes).
+// Ties break toward the lexicographically smallest base composition, so
+// with `bounded == false` the result is bit-identical (base AND latency) to
+// exhaustively scoring every projectable member of EnumerateAllPartitions
+// with PredictOverlapLatencyMultiRank.
+class MultiRankPartitionSearcher {
+ public:
+  MultiRankPartitionSearcher() = default;
+
+  // `seed`, when given, is scored first as the incumbent (skipped when its
+  // projection is infeasible). It must be a composition of
+  // `tables.base_waves` — e.g. the heaviest rank's single-rank plan.
+  MultiRankSearchResult Search(const MultiRankLatencyTable& tables,
+                               const PartitionSearchOptions& options,
+                               const WavePartition* seed = nullptr);
+
+ private:
+  void Dfs(int cum, double t_m, int depth);
+  // Records the per-rank (boundary, t_p) vector and t_m at `cum` assigned
+  // base waves; true if an earlier prefix with identical boundaries
+  // dominates it (all accumulators no worse => prune).
+  bool DominatedOrRecord(int cum, const int* prev, const double* t_p, double t_m);
+  void ConsiderCandidate(const int* sizes, int groups, double latency_us);
+  void ScoreSeed(const int* sizes, int groups);
+
+  const MultiRankLatencyTable* tables_ = nullptr;
+  PartitionSearchOptions options_;
+  int rank_count_ = 0;
+  std::vector<int> path_;
+  std::vector<int> seed_path_;
+  std::vector<int> best_path_;
+  int best_groups_ = 0;
+  double best_us_ = 0.0;
+  // Per-depth per-rank DFS state, stride rank_count_: row d holds the
+  // boundaries/accumulators after d groups.
+  std::vector<int> prev_;
+  std::vector<double> t_p_;
+  // Dominance entries per assigned-wave count, flattened: `prevs` holds
+  // rank_count_ boundaries per entry, `vals` holds rank_count_ t_p values
+  // plus t_m per entry.
+  struct DomSet {
+    std::vector<int> prevs;
+    std::vector<double> vals;
+    size_t entries = 0;
+  };
+  std::vector<DomSet> dominance_;
+  MultiRankScratch seed_scratch_;
+  // Rendezvous single-group latency, precomputed per Search (the depth-0
+  // closing candidate and the first safety seed share it).
+  double single_group_us_ = 0.0;
+  size_t nodes_ = 0;
+  size_t candidates_ = 0;
+  bool budget_exhausted_ = false;
+};
+
 }  // namespace flo
 
 #endif  // SRC_CORE_PARTITION_SEARCH_H_

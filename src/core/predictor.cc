@@ -88,6 +88,7 @@ GroupLatencyTable BuildGroupLatencyTable(const PredictorSetup& setup) {
   FLO_CHECK_LE(table.tail_tiles, table.width);
   table.wave_time_us = setup.gemm.wave_time_us;
   table.launch_overhead_us = setup.gpu.kernel_launch_overhead_us;
+  table.gemm_duration_us = setup.gemm.duration_us;
   table.full.assign(static_cast<size_t>(table.waves) + 1, 0.0);
   table.tail.assign(static_cast<size_t>(table.waves) + 1, 0.0);
   table.min_tail_prefix.assign(static_cast<size_t>(table.waves) + 1,
@@ -168,6 +169,22 @@ Prediction PredictOverlapLatencyMultiRank(const std::vector<PredictorSetup>& set
     }
     return worst;
   };
+  if (groups == 1) {
+    // The "don't overlap" fallback, mirroring the single-rank special
+    // case: nothing reserves comm SMs, every rank runs its full-width
+    // GEMM, and the rendezvous collective starts when the slowest rank
+    // arrives. With N identical ranks this reduces exactly to the
+    // single-rank single-group prediction.
+    double ready = 0.0;
+    for (const PredictorSetup& setup : setups) {
+      ready = std::max(ready, setup.gemm.duration_us);
+    }
+    const double comm = comm_time(0);
+    prediction.group_comp_us.push_back(ready);
+    prediction.group_comm_us.push_back(comm);
+    prediction.latency_us = ready + comm;
+    return prediction;
+  }
   for (int i = 0; i < groups; ++i) {
     if (i > 0) {
       const double ready = *std::max_element(t_p_acc.begin(), t_p_acc.end());
@@ -181,6 +198,84 @@ Prediction PredictOverlapLatencyMultiRank(const std::vector<PredictorSetup>& set
   t_m_acc = std::max(ready, t_m_acc) + comm_time(groups - 1);
   prediction.latency_us = t_m_acc;
   return prediction;
+}
+
+MultiRankLatencyTable BuildMultiRankLatencyTable(const std::vector<PredictorSetup>& setups) {
+  FLO_CHECK(!setups.empty());
+  MultiRankLatencyTable tables;
+  tables.ranks.reserve(setups.size());
+  for (const PredictorSetup& setup : setups) {
+    tables.ranks.push_back(BuildGroupLatencyTable(setup));
+    tables.base_waves = std::max(tables.base_waves, tables.ranks.back().waves);
+  }
+  return tables;
+}
+
+double PredictLatencyWithTableMultiRank(const MultiRankLatencyTable& tables,
+                                        const int* base_sizes, int groups,
+                                        MultiRankScratch* scratch) {
+  FLO_CHECK_GE(groups, 1);
+  const size_t ranks = tables.ranks.size();
+  if (groups == 1) {
+    // Rendezvous form of the single-group fallback: the slowest full-width
+    // GEMM, then the largest whole-output collective (tail[T] is the
+    // whole-output payload by construction).
+    double ready = 0.0;
+    double comm = 0.0;
+    for (size_t r = 0; r < ranks; ++r) {
+      const GroupLatencyTable& table = tables.ranks[r];
+      ready = std::max(ready, table.gemm_duration_us);
+      comm = std::max(comm, table.tail[table.waves]);
+    }
+    return ready + comm;
+  }
+  MultiRankScratch local;
+  if (scratch == nullptr) {
+    scratch = &local;
+  }
+  scratch->prev.assign(ranks, 0);
+  scratch->t_p.resize(ranks);
+  for (size_t r = 0; r < ranks; ++r) {
+    scratch->t_p[r] = tables.ranks[r].launch_overhead_us;
+  }
+  // Identical operation sequence to the rendezvous replay: every group
+  // extends each rank by its projected boundary, accumulates per-rank
+  // compute, and commits the group's collective at the cross-rank max.
+  double t_m = 0.0;
+  int cum = 0;
+  for (int g = 0; g < groups; ++g) {
+    cum += base_sizes[g];
+    const bool final_group = g == groups - 1;
+    double ready = 0.0;
+    double comm = 0.0;
+    for (size_t r = 0; r < ranks; ++r) {
+      const GroupLatencyTable& table = tables.ranks[r];
+      int boundary;
+      if (final_group) {
+        boundary = table.waves;
+      } else {
+        boundary = ProjectedBoundary(cum, tables.base_waves, table.waves, scratch->prev[r]);
+        if (boundary >= table.waves) {
+          return std::numeric_limits<double>::infinity();
+        }
+      }
+      const int size = boundary - scratch->prev[r];
+      scratch->prev[r] = boundary;
+      scratch->t_p[r] += size * table.wave_time_us;
+      ready = std::max(ready, scratch->t_p[r]);
+      comm = std::max(comm, final_group ? table.tail[size] : table.full[size]);
+    }
+    t_m = std::max(ready, t_m) + comm;
+  }
+  return t_m;
+}
+
+double PredictLatencyWithTableMultiRank(const MultiRankLatencyTable& tables,
+                                        const WavePartition& base,
+                                        MultiRankScratch* scratch) {
+  FLO_CHECK_EQ(base.TotalWaves(), tables.base_waves);
+  return PredictLatencyWithTableMultiRank(tables, base.group_sizes.data(),
+                                          base.group_count(), scratch);
 }
 
 double PredictNonOverlapLatency(const PredictorSetup& setup) {

@@ -63,6 +63,10 @@ struct GroupLatencyTable {
   int tail_tiles = 0;       // tiles of the final wave, in [1, width]
   double wave_time_us = 0.0;
   double launch_overhead_us = 0.0;
+  // Full-width GEMM duration (no SM reservation) — the multi-rank
+  // single-group rendezvous needs the per-rank compute and collective
+  // terms separately, where the single-rank path only needs their sum.
+  double gemm_duration_us = 0.0;
   // full[w]: collective latency of a group of w full waves (w in 1..T-1;
   // index 0 unused). tail[w]: latency of a group of w waves whose last wave
   // is the tail wave (w in 1..T; index 0 unused).
@@ -94,9 +98,44 @@ double PredictLatencyWithTable(const GroupLatencyTable& table, const int* group_
                                int groups);
 
 // Multi-rank extension for imbalanced All-to-All (Sec. 4.2.2): accumulated
-// latencies take the max across ranks at every synchronization point.
+// latencies take the max across ranks at every synchronization point. A
+// single-group partition set mirrors the single-rank "don't overlap"
+// fallback: every rank runs its full-width GEMM and the rendezvous
+// collective starts when the slowest rank arrives.
 Prediction PredictOverlapLatencyMultiRank(const std::vector<PredictorSetup>& setups,
                                           const std::vector<WavePartition>& partitions);
+
+// Per-rank latency tables for the fused multi-rank search: one
+// GroupLatencyTable per rank plus the shared base wave count (the max rank
+// wave count — the composition space the joint search walks; every rank's
+// partition is the prefix-local projection of one base composition, see
+// ProjectPartition).
+struct MultiRankLatencyTable {
+  std::vector<GroupLatencyTable> ranks;
+  int base_waves = 0;
+};
+
+MultiRankLatencyTable BuildMultiRankLatencyTable(const std::vector<PredictorSetup>& setups);
+
+// Reusable per-rank boundary/accumulator workspace; passing one makes
+// repeated scoring allocation-free.
+struct MultiRankScratch {
+  std::vector<int> prev;
+  std::vector<double> t_p;
+};
+
+// Incremental per-rank recurrence: table-driven replay of the multi-rank
+// rendezvous over the per-rank projections of the base composition.
+// Performs the identical floating-point operation sequence as
+// PredictOverlapLatencyMultiRank(setups, {ProjectPartition(base, ...)}) for
+// the setups the tables were built from, so the result is bit-identical.
+// Returns +infinity when the projection is infeasible for any rank.
+double PredictLatencyWithTableMultiRank(const MultiRankLatencyTable& tables,
+                                        const int* base_sizes, int groups,
+                                        MultiRankScratch* scratch = nullptr);
+double PredictLatencyWithTableMultiRank(const MultiRankLatencyTable& tables,
+                                        const WavePartition& base,
+                                        MultiRankScratch* scratch = nullptr);
 
 // Sequential (non-overlap) latency using the same artifacts.
 double PredictNonOverlapLatency(const PredictorSetup& setup);

@@ -173,7 +173,12 @@ void ScheduleExecutor::EnqueueWaveSchedulers(Simulator* sim, std::vector<RankSta
         "gemm", [sim, rng, state_ptr = &state, device, jitter, wave_jitter_amp,
                  launch_overhead](Simulator&, Stream::DoneFn done) {
           auto next_wave = std::make_shared<std::function<void()>>();
-          *next_wave = [sim, rng, state_ptr, device, jitter, wave_jitter_amp, next_wave,
+          // The recursive closure holds itself only weakly: ownership
+          // lives in the scheduled events (each wave event keeps the next
+          // one alive), so the last wave releases the function — and the
+          // captured `done` — instead of leaking a shared_ptr cycle.
+          *next_wave = [sim, rng, state_ptr, device, jitter, wave_jitter_amp,
+                        weak_self = std::weak_ptr<std::function<void()>>(next_wave),
                         done = std::move(done)]() {
             RankState& state = *state_ptr;
             if (state.tiles_done >= state.config.tile_count) {
@@ -184,7 +189,7 @@ void ScheduleExecutor::EnqueueWaveSchedulers(Simulator* sim, std::vector<RankSta
             const int take = std::min(width, state.config.tile_count - state.tiles_done);
             const double duration =
                 state.config.wave_time_us * JitterFactor(rng, jitter, wave_jitter_amp);
-            sim->Schedule(duration, [state_ptr, take, next_wave]() {
+            sim->Schedule(duration, [state_ptr, take, next_wave = weak_self.lock()]() {
               RankState& state = *state_ptr;
               for (int i = 0; i < take; ++i) {
                 const int slot = state.tiles_done + i;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <tuple>
 #include <utility>
 
 #include "src/core/partition_search.h"
@@ -100,6 +101,123 @@ bool Tuner::Contains(const GemmShape& shape, CommPrimitive primitive) const {
   const Key key{shape.m, shape.n, shape.k, static_cast<int>(primitive)};
   std::lock_guard<std::mutex> lock(mu_);
   return plan_cache_.count(key) != 0;
+}
+
+std::vector<GemmShape> Tuner::CanonicalShapeMultiset(std::vector<GemmShape> shapes) {
+  std::sort(shapes.begin(), shapes.end(), [](const GemmShape& a, const GemmShape& b) {
+    return std::tuple(a.m, a.n, a.k) < std::tuple(b.m, b.n, b.k);
+  });
+  return shapes;
+}
+
+Tuner::MultiKey Tuner::CanonicalMultiKey(const std::vector<GemmShape>& shapes,
+                                         CommPrimitive primitive) {
+  MultiKey key;
+  key.first.reserve(shapes.size());
+  for (const GemmShape& shape : CanonicalShapeMultiset(shapes)) {
+    key.first.push_back({shape.m, shape.n, shape.k});
+  }
+  key.second = static_cast<int>(primitive);
+  return key;
+}
+
+const TunedMultiRankPlan& Tuner::TuneImbalanced(const std::vector<GemmShape>& shapes,
+                                                CommPrimitive primitive) {
+  FLO_CHECK(!shapes.empty());
+  const MultiKey key = CanonicalMultiKey(shapes, primitive);
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    for (;;) {
+      auto it = imbalanced_cache_.find(key);
+      if (it != imbalanced_cache_.end()) {
+        return it->second;
+      }
+      if (imbalanced_in_flight_.insert(key).second) {
+        break;  // this thread owns the search for `key`
+      }
+      search_done_.wait(lock);
+    }
+  }
+  TunedMultiRankPlan plan;
+  try {
+    plan = SearchImbalanced(key, primitive);
+  } catch (...) {
+    std::lock_guard<std::mutex> lock(mu_);
+    imbalanced_in_flight_.erase(key);
+    search_done_.notify_all();
+    throw;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  const TunedMultiRankPlan& cached =
+      imbalanced_cache_.try_emplace(key, std::move(plan)).first->second;
+  imbalanced_in_flight_.erase(key);
+  search_done_.notify_all();
+  return cached;
+}
+
+bool Tuner::ContainsImbalanced(const std::vector<GemmShape>& shapes,
+                               CommPrimitive primitive) const {
+  const MultiKey key = CanonicalMultiKey(shapes, primitive);
+  std::lock_guard<std::mutex> lock(mu_);
+  return imbalanced_cache_.count(key) != 0;
+}
+
+size_t Tuner::imbalanced_cache_size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return imbalanced_cache_.size();
+}
+
+TunedMultiRankPlan Tuner::SearchImbalanced(const MultiKey& key, CommPrimitive primitive) {
+  search_count_.fetch_add(1, std::memory_order_relaxed);
+  // Duplicate ranks contribute identical accumulators under every
+  // cross-rank max, so the search runs over the deduplicated (sorted)
+  // shape set — bit-identical to replaying the full multiset.
+  std::vector<PredictorSetup> setups;
+  std::vector<double> non_overlap;
+  for (size_t i = 0; i < key.first.size(); ++i) {
+    if (i > 0 && key.first[i] == key.first[i - 1]) {
+      continue;
+    }
+    const GemmShape shape{key.first[i][0], key.first[i][1], key.first[i][2]};
+    setups.push_back(MakeSetup(shape, primitive));
+    non_overlap.push_back(PredictNonOverlapLatency(setups.back()));
+  }
+  const MultiRankLatencyTable tables = BuildMultiRankLatencyTable(setups);
+
+  PartitionSearchOptions options;
+  options.s1 = config_.s1;
+  options.sp = config_.sp;
+  options.bounded = !(config_.exhaustive && tables.base_waves <= 20);
+  options.max_nodes = static_cast<size_t>(config_.search_max_nodes);
+
+  // Seed the incumbent with the deepest rank's single-rank plan: the
+  // heaviest rank dominates the rendezvous, so its solo optimum is a
+  // strong starting bound. Searched directly on that rank's table — no
+  // Tune() call, so an imbalanced key costs exactly one counted search.
+  static thread_local PartitionSearcher rank_searcher;
+  static thread_local MultiRankPartitionSearcher searcher;
+  const GroupLatencyTable* deepest = &tables.ranks[0];
+  for (const GroupLatencyTable& table : tables.ranks) {
+    if (table.waves > deepest->waves) {
+      deepest = &table;
+    }
+  }
+  const WavePartition seed = rank_searcher.Search(*deepest, options).partition;
+  const MultiRankSearchResult result = searcher.Search(tables, options, &seed);
+  if (result.budget_exhausted) {
+    FLO_LOG(kWarning) << "multi-rank branch-and-bound hit the " << config_.search_max_nodes
+                      << "-node budget at " << tables.base_waves
+                      << " base waves; best-so-far plan kept";
+  }
+  TunedMultiRankPlan plan;
+  plan.base = result.base;
+  plan.base_waves = tables.base_waves;
+  plan.predicted_us = result.predicted_us;
+  plan.predicted_non_overlap_us = *std::max_element(non_overlap.begin(), non_overlap.end());
+  plan.candidates_evaluated = static_cast<int>(
+      std::min<size_t>(result.candidates_evaluated, std::numeric_limits<int>::max()));
+  plan.search_nodes = result.nodes_visited;
+  return plan;
 }
 
 size_t Tuner::cache_size() const {

@@ -24,6 +24,7 @@
 #ifndef SRC_CORE_TUNER_H_
 #define SRC_CORE_TUNER_H_
 
+#include <array>
 #include <atomic>
 #include <condition_variable>
 #include <map>
@@ -32,6 +33,7 @@
 #include <set>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "src/comm/cost_model.h"
@@ -71,6 +73,23 @@ struct TunedPlan {
   size_t search_nodes = 0;
 };
 
+// Result of the joint multi-rank search (imbalanced All-to-All,
+// Sec. 4.2.2): the best base composition over the deepest rank's wave
+// count; each rank executes its prefix-local projection (ProjectPartition).
+struct TunedMultiRankPlan {
+  WavePartition base;
+  // Rendezvous overlap latency of `base` (PredictOverlapLatencyMultiRank
+  // over the projected partitions — the search's table recurrence is
+  // bit-identical to that replay).
+  double predicted_us = 0.0;
+  // Sequential baseline: max over ranks of the per-rank non-overlap
+  // latency (GEMM + whole-payload collective).
+  double predicted_non_overlap_us = 0.0;
+  int base_waves = 0;
+  int candidates_evaluated = 0;
+  size_t search_nodes = 0;
+};
+
 class Tuner {
  public:
   explicit Tuner(ClusterSpec cluster, TunerConfig config = {});
@@ -97,6 +116,26 @@ class Tuner {
   // visible only once cached.)
   bool Contains(const GemmShape& shape, CommPrimitive primitive) const;
 
+  // Joint multi-rank search for an imbalanced per-rank shape set, cached
+  // and single-flighted like Tune. The key is the canonical rank-shape
+  // multiset (sorted), so rank order never splits the cache and two sets
+  // sharing a heaviest rank but differing light ranks never collide.
+  // Counts one predictive search per cache miss.
+  const TunedMultiRankPlan& TuneImbalanced(const std::vector<GemmShape>& shapes,
+                                           CommPrimitive primitive);
+
+  // Cache peek for TuneImbalanced, mirroring Contains.
+  bool ContainsImbalanced(const std::vector<GemmShape>& shapes,
+                          CommPrimitive primitive) const;
+
+  // Canonical sorted order of a rank-shape multiset — the single ordering
+  // home shared by the TuneImbalanced cache key and the planner's
+  // pre-tune requests (OverlapPlanner::TuningRequest), so the two can
+  // never drift apart and recreate the pre-tune mis-warm collision.
+  static std::vector<GemmShape> CanonicalShapeMultiset(std::vector<GemmShape> shapes);
+
+  size_t imbalanced_cache_size() const;
+
   // Serves an unseen size from the cache by nearest-neighbour matching on
   // log-scale (M, N, K) distance, via a per-primitive index of cached
   // plans; falls back to Tune when no plan of the primitive is cached. The
@@ -121,6 +160,11 @@ class Tuner {
 
  private:
   using Key = std::tuple<int64_t, int64_t, int64_t, int>;
+  // Canonical imbalanced key: sorted (m, n, k) multiset + primitive.
+  using MultiKey = std::pair<std::vector<std::array<int64_t, 3>>, int>;
+
+  static MultiKey CanonicalMultiKey(const std::vector<GemmShape>& shapes,
+                                    CommPrimitive primitive);
 
   // Nearest-neighbour index entry: precomputed log-extents of a cached
   // plan. Pointers reference plan_cache_ nodes (stable; never erased).
@@ -137,6 +181,9 @@ class Tuner {
   TunedPlan Search(const GemmShape& shape, CommPrimitive primitive);
   TunedPlan SearchLegacy(const PredictorSetup& setup, int waves) const;
   TunedPlan SearchBranchAndBound(const PredictorSetup& setup, int waves) const;
+  // The fused multi-rank search over the deduplicated shape set (the
+  // rendezvous max is unchanged by duplicate ranks).
+  TunedMultiRankPlan SearchImbalanced(const MultiKey& key, CommPrimitive primitive);
   // Caches a plan and keeps the per-primitive nearest-neighbour index in
   // sync; an existing entry is kept untouched unless `overwrite` (which
   // mutates the node in place — ImportPlans only). Returns the cached
@@ -150,9 +197,11 @@ class Tuner {
   mutable std::mutex mu_;
   std::condition_variable search_done_;
   std::set<Key> searches_in_flight_;
+  std::set<MultiKey> imbalanced_in_flight_;
   std::unordered_map<GemmShape, GemmConfig, GemmShapeHash> gemm_cache_;
   std::map<int, Curve> curve_cache_;
   std::map<Key, TunedPlan> plan_cache_;
+  std::map<MultiKey, TunedMultiRankPlan> imbalanced_cache_;
   // primitive -> index over the cached plans of that primitive.
   std::map<int, std::vector<IndexEntry>> nearest_index_;
   std::atomic<size_t> search_count_ = 0;

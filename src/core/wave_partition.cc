@@ -251,6 +251,33 @@ WavePartition ScalePartitionExact(const WavePartition& partition, int to_waves) 
   return scaled;
 }
 
+std::optional<WavePartition> ProjectPartition(const WavePartition& base, int from_waves,
+                                              int to_waves) {
+  FLO_CHECK_GE(to_waves, 1);
+  FLO_CHECK_EQ(base.TotalWaves(), from_waves);
+  const int groups = base.group_count();
+  WavePartition projected;
+  projected.group_sizes.resize(groups);
+  int previous = 0;
+  int cum = 0;
+  for (int g = 0; g < groups; ++g) {
+    cum += base.group_sizes[g];
+    int boundary;
+    if (g == groups - 1) {
+      boundary = to_waves;
+    } else {
+      boundary = ProjectedBoundary(cum, from_waves, to_waves, previous);
+      if (boundary >= to_waves) {
+        return std::nullopt;  // the rank's final wave must stay in the last group
+      }
+    }
+    projected.group_sizes[g] = boundary - previous;
+    previous = boundary;
+  }
+  FLO_CHECK(projected.Valid(to_waves));
+  return projected;
+}
+
 std::vector<int> SplitTilesByFractions(int total, const std::vector<double>& fractions) {
   const int groups = static_cast<int>(fractions.size());
   FLO_CHECK_GE(groups, 1);

@@ -7,6 +7,7 @@
 #ifndef SRC_CORE_WAVE_PARTITION_H_
 #define SRC_CORE_WAVE_PARTITION_H_
 
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -46,6 +47,28 @@ std::vector<WavePartition> EnumeratePruned(int wave_count, int s1, int sp,
 // Rescales a partition tuned for `from_waves` to a GEMM with `to_waves`
 // (used for All-to-All ranks with imbalanced token counts).
 WavePartition ScalePartition(const WavePartition& partition, int to_waves);
+
+// Prefix-local boundary of a projected partition: where a base prefix of
+// `cum` waves (out of `from_waves`) lands on a rank with `to_waves` waves,
+// given the rank's previous boundary. The single home of the rounding
+// expression shared by ProjectPartition and the fused multi-rank search —
+// the boundary depends only on the base prefix sum, never on later groups,
+// so the branch-and-bound can extend projections one group at a time.
+inline int ProjectedBoundary(int cum, int from_waves, int to_waves, int previous) {
+  const int scaled =
+      static_cast<int>(static_cast<double>(cum) * to_waves / from_waves + 0.5);
+  return scaled > previous + 1 ? scaled : previous + 1;
+}
+
+// Projects `base` (a composition of `from_waves`) onto a rank with
+// `to_waves` waves via ProjectedBoundary; the final boundary is forced to
+// `to_waves` so the projection keeps the group count exactly (collectives
+// are rendezvous calls). Returns std::nullopt when infeasible: an
+// intermediate boundary would already consume the rank's final wave,
+// leaving no wave for a later group — only possible when
+// base.group_count() approaches `to_waves`.
+std::optional<WavePartition> ProjectPartition(const WavePartition& base, int from_waves,
+                                              int to_waves);
 
 // Like ScalePartition but preserves the group count exactly (every group
 // keeps at least one wave). Collective calls are rendezvous operations, so

@@ -454,5 +454,63 @@ TEST(ServingClusterTest, BoundedStoresChurnButTheFleetStillServes) {
   }
 }
 
+// A trace mixing balanced keys with imbalanced All-to-All keys — including
+// two that share a heaviest rank but differ in light ranks, the pre-tune
+// collision case.
+std::vector<ServeRequest> MixedImbalancedTrace(int per_tenant) {
+  const GemmShape heavy{8192, 2048, 1024};
+  std::vector<ScenarioSpec> specs;
+  specs.push_back(SmallSpec(1024));
+  specs.push_back(SmallSpec(1536));
+  specs.push_back(ScenarioSpec::Imbalanced(
+      {heavy, GemmShape{1024, 2048, 1024}, GemmShape{1024, 2048, 1024},
+       GemmShape{1024, 2048, 1024}},
+      CommPrimitive::kAllToAll));
+  specs.push_back(ScenarioSpec::Imbalanced(
+      {heavy, GemmShape{4096, 2048, 1024}, GemmShape{4096, 2048, 1024},
+       GemmShape{4096, 2048, 1024}},
+      CommPrimitive::kAllToAll));
+  // Sparse relative to the 20 ms simulated search cost, so most requests
+  // land after their key's tuning window and can actually serve warm.
+  return MergeStreams(
+      {MakeRequestStream("llm", specs, PoissonArrivals(8000.0, per_tenant, 3), 0),
+       MakeRequestStream("moe", specs, BurstyArrivals(16000.0, 4.0, 6, per_tenant, 5),
+                         400000)});
+}
+
+TEST(ServingClusterTest, ImbalancedKeysShipWarmAndStayDeterministic) {
+  const auto trace = MixedImbalancedTrace(40);
+  ClusterConfig config;
+  config.replicas = 4;
+  config.policy = PlacementPolicy::kPlanAffinity;
+  config.ship_plans = true;
+  const FleetReport report = RunFleet(config, trace);
+  ASSERT_EQ(report.stats.count(), trace.size());
+  EXPECT_EQ(report.distinct_keys, 4u);
+  // Each key — the imbalanced multisets included — is searched at most
+  // once fleet-wide; shipped plans serve everyone else warm.
+  EXPECT_LE(report.total_searches, report.distinct_keys);
+  EXPECT_EQ(report.shipping.published, report.distinct_keys);
+  EXPECT_GT(report.WarmHitRate(), 0.8);
+
+  // Bit-deterministic across reruns.
+  const FleetReport again = RunFleet(config, trace);
+  EXPECT_DOUBLE_EQ(again.makespan_us, report.makespan_us);
+  EXPECT_EQ(again.total_searches, report.total_searches);
+  ASSERT_EQ(again.stats.count(), report.stats.count());
+  for (size_t i = 0; i < report.stats.count(); ++i) {
+    EXPECT_DOUBLE_EQ(again.stats.records()[i].finish_us,
+                     report.stats.records()[i].finish_us)
+        << i;
+  }
+
+  // Plan-affinity without shipping still pays each imbalanced key once:
+  // the router keeps every key on the replica that tuned it.
+  ClusterConfig affinity_only = config;
+  affinity_only.ship_plans = false;
+  const FleetReport affinity = RunFleet(affinity_only, trace);
+  EXPECT_EQ(affinity.total_searches, affinity.distinct_keys);
+}
+
 }  // namespace
 }  // namespace flo

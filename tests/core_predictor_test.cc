@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <vector>
+
 #include "src/comm/cost_model.h"
 #include "src/core/predictor.h"
 #include "src/gemm/gemm_model.h"
@@ -114,6 +117,87 @@ TEST(PredictorTest, MultiRankReducesToSingleRankWhenBalanced) {
   const auto multi = PredictOverlapLatencyMultiRank({setup, setup, setup, setup},
                                                     {partition, partition, partition, partition});
   EXPECT_NEAR(multi.latency_us, single.latency_us, 1e-6);
+}
+
+TEST(PredictorTest, MultiRankWithIdenticalRanksIsBitIdenticalToSingleRank) {
+  // N identical ranks rendezvous at their own pace: every cross-rank max
+  // degenerates and the prediction must equal the single-rank one bit for
+  // bit — the single-group fallback included.
+  const auto setup = MakeTestSetup(MakeA800Cluster(4), GemmShape{4096, 8192, 4096},
+                                   CommPrimitive::kAllToAll);
+  const int waves = setup.EffectiveWaveCount();
+  for (const WavePartition& partition :
+       {WavePartition::SingleGroup(waves), WavePartition::PerWave(waves),
+        WavePartition::EqualSized(waves, 2), WavePartition::EqualSized(waves, 5)}) {
+    const double single = PredictOverlapLatency(setup, partition).latency_us;
+    for (const int ranks : {2, 4, 8}) {
+      const auto multi = PredictOverlapLatencyMultiRank(
+          std::vector<PredictorSetup>(ranks, setup),
+          std::vector<WavePartition>(ranks, partition));
+      ASSERT_EQ(multi.latency_us, single)
+          << partition.ToString() << " at " << ranks << " ranks";
+    }
+  }
+}
+
+TEST(PredictorTest, MultiRankLatencyIsMonotoneWhenOneRankGrows) {
+  const auto cluster = MakeA800Cluster(4);
+  const auto heavy = MakeTestSetup(cluster, GemmShape{8192, 8192, 4096},
+                                   CommPrimitive::kAllToAll);
+  const int heavy_waves = heavy.EffectiveWaveCount();
+  // Few enough groups that the base projects onto the lightest variant.
+  for (const int groups : {1, 2, 3}) {
+    const WavePartition base =
+        WavePartition::EqualSized(heavy_waves, (heavy_waves + groups - 1) / groups);
+    double previous = 0.0;
+    for (const int64_t m : {1024, 2048, 4096, 6144, 8192}) {
+      const auto light =
+          MakeTestSetup(cluster, GemmShape{m, 8192, 4096}, CommPrimitive::kAllToAll);
+      const auto projected =
+          ProjectPartition(base, heavy_waves, light.EffectiveWaveCount());
+      ASSERT_TRUE(projected.has_value()) << "m=" << m << " groups=" << groups;
+      const double latency =
+          PredictOverlapLatencyMultiRank({heavy, light}, {base, *projected}).latency_us;
+      EXPECT_GE(latency, previous) << "m=" << m << " groups=" << groups;
+      previous = latency;
+    }
+  }
+}
+
+TEST(PredictorTest, IncrementalTableRecurrenceMatchesTheReplay) {
+  // Handwritten two-rank examples: the per-rank latency-table recurrence
+  // must reproduce the full rendezvous replay bit for bit over the
+  // projected partitions.
+  const auto cluster = MakeA800Cluster(4);
+  const auto heavy = MakeTestSetup(cluster, GemmShape{8192, 4096, 4096},
+                                   CommPrimitive::kAllToAll);
+  const auto light = MakeTestSetup(cluster, GemmShape{3072, 4096, 4096},
+                                   CommPrimitive::kAllToAll);
+  const MultiRankLatencyTable tables = BuildMultiRankLatencyTable({heavy, light});
+  const int base_waves = tables.base_waves;
+  ASSERT_EQ(base_waves, heavy.EffectiveWaveCount());
+  MultiRankScratch scratch;
+  std::vector<WavePartition> bases = {
+      WavePartition::SingleGroup(base_waves),
+      WavePartition::PerWave(base_waves),
+      WavePartition::EqualSized(base_waves, 2),
+      WavePartition::EqualSized(base_waves, 4),
+      WavePartition{{2, base_waves - 6, 3, 1}},
+      WavePartition{{1, 1, base_waves - 2}},
+  };
+  for (const WavePartition& base : bases) {
+    const double incremental = PredictLatencyWithTableMultiRank(tables, base, &scratch);
+    const auto light_projection =
+        ProjectPartition(base, base_waves, light.EffectiveWaveCount());
+    if (!light_projection.has_value()) {
+      EXPECT_TRUE(std::isinf(incremental)) << base.ToString();
+      continue;
+    }
+    const double replay =
+        PredictOverlapLatencyMultiRank({heavy, light}, {base, *light_projection})
+            .latency_us;
+    ASSERT_EQ(incremental, replay) << base.ToString();
+  }
 }
 
 TEST(PredictorTest, MultiRankFollowsTheSlowestRank) {

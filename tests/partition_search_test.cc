@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <limits>
+#include <optional>
+#include <utility>
 #include <vector>
 
 #include "src/core/overlap_engine.h"
@@ -11,6 +13,8 @@
 #include "src/core/wave_partition.h"
 #include "src/serve/request_source.h"
 #include "src/serve/serve_loop.h"
+#include "src/util/rng.h"
+#include "src/util/thread_pool.h"
 
 namespace flo {
 namespace {
@@ -161,6 +165,241 @@ TEST(PartitionSearchTest, BoundedSearchNeverLosesToLegacyPrunedEnumeration) {
       EXPECT_TRUE(modern_plan.partition.Valid(modern_plan.effective_waves));
     }
   }
+}
+
+// --- Multi-rank (imbalanced All-to-All) -------------------------------------
+
+// A per-rank synthetic setup sharing one sampled curve (ranks of one
+// rendezvous live on the same cluster and primitive).
+PredictorSetup MakeRankSetup(const ClusterSpec& cluster, const Curve& curve, int waves,
+                             int tail_seed, double wave_time_us, CommPrimitive primitive) {
+  PredictorSetup setup;
+  setup.gpu = cluster.gpu;
+  setup.primitive = primitive;
+  setup.latency_curve = curve;
+  setup.comm_sm_count = cluster.link.comm_sm_count;
+  setup.element_size = 2;
+  const int width = std::max(1, setup.gpu.sm_count - setup.comm_sm_count);
+  const int tail_tiles = 1 + tail_seed % width;
+  setup.gemm.tile = TileShape{128, 128};
+  setup.gemm.tile_count = (waves - 1) * width + tail_tiles;
+  setup.gemm.wave_time_us = wave_time_us;
+  setup.gemm.duration_us = waves * wave_time_us + setup.gpu.kernel_launch_overhead_us;
+  EXPECT_EQ(setup.EffectiveWaveCount(), waves);
+  return setup;
+}
+
+struct MultiRankBest {
+  WavePartition base;
+  double latency_us = std::numeric_limits<double>::infinity();
+  size_t replays = 0;
+};
+
+// The rendezvous-replay reference the fused multi-rank search must match
+// bit for bit: project every member of the full 2^(T-1) base space onto
+// each rank, score the projectable ones with the full multi-rank timeline
+// replay, break latency ties toward the lexicographically smallest base.
+MultiRankBest ScoreExhaustivelyMultiRank(const std::vector<PredictorSetup>& setups,
+                                         int base_waves) {
+  MultiRankBest best;
+  for (const WavePartition& base : EnumerateAllPartitions(base_waves)) {
+    std::vector<WavePartition> projected;
+    projected.reserve(setups.size());
+    bool feasible = true;
+    for (const PredictorSetup& setup : setups) {
+      std::optional<WavePartition> partition =
+          ProjectPartition(base, base_waves, setup.EffectiveWaveCount());
+      if (!partition.has_value()) {
+        feasible = false;
+        break;
+      }
+      projected.push_back(*std::move(partition));
+    }
+    if (!feasible) {
+      continue;
+    }
+    ++best.replays;
+    const double latency = PredictOverlapLatencyMultiRank(setups, projected).latency_us;
+    if (latency < best.latency_us ||
+        (latency == best.latency_us &&
+         std::lexicographical_compare(base.group_sizes.begin(), base.group_sizes.end(),
+                                      best.base.group_sizes.begin(),
+                                      best.base.group_sizes.end()))) {
+      best.base = base;
+      best.latency_us = latency;
+    }
+  }
+  return best;
+}
+
+// Acceptance gate (ISSUE 5): the fused multi-rank branch-and-bound returns
+// the same best base composition and the bit-identical predicted latency
+// as exhaustively scoring the rendezvous replay — every base wave count
+// <= 12 x {2, 4, 8} ranks x all four primitives.
+TEST(MultiRankPartitionSearchTest, MatchesExhaustiveRendezvousReplayBitExactly) {
+  const ClusterSpec cluster = MakeA800Cluster(4);
+  Tuner tuner(cluster);
+  MultiRankPartitionSearcher searcher;
+  PartitionSearchOptions options;
+  options.bounded = false;
+  const double wave_times[] = {0.8, 6.0, 45.0};
+  for (const CommPrimitive primitive : kAllPrimitives) {
+    const Curve& curve = tuner.LatencyCurveFor(primitive);
+    for (const int ranks : {2, 4, 8}) {
+      for (int base_waves = 1; base_waves <= 12; ++base_waves) {
+        std::vector<PredictorSetup> setups;
+        for (int r = 0; r < ranks; ++r) {
+          // Rank 0 is the deepest; lighter ranks shed waves and flip
+          // between compute- and comm-bound regimes.
+          const int waves = std::max(1, base_waves - r);
+          setups.push_back(MakeRankSetup(cluster, curve, waves, base_waves * 37 + r * 11,
+                                         wave_times[(base_waves + r) % 3], primitive));
+        }
+        const MultiRankBest expected = ScoreExhaustivelyMultiRank(setups, base_waves);
+        const MultiRankLatencyTable tables = BuildMultiRankLatencyTable(setups);
+        ASSERT_EQ(tables.base_waves, base_waves);
+        const MultiRankSearchResult result = searcher.Search(tables, options);
+        ASSERT_EQ(result.predicted_us, expected.latency_us)
+            << "base_waves=" << base_waves << " ranks=" << ranks
+            << " primitive=" << CommPrimitiveName(primitive);
+        ASSERT_EQ(result.base.group_sizes, expected.base.group_sizes)
+            << "base_waves=" << base_waves << " ranks=" << ranks
+            << " primitive=" << CommPrimitiveName(primitive) << " got "
+            << result.base.ToString() << " want " << expected.base.ToString();
+        EXPECT_FALSE(result.budget_exhausted);
+      }
+    }
+  }
+}
+
+TEST(MultiRankPartitionSearchTest, RandomizedImbalancedShapeSetsMatchTheReplay) {
+  const ClusterSpec cluster = MakeA800Cluster(4);
+  Tuner tuner(cluster);
+  MultiRankPartitionSearcher searcher;
+  PartitionSearchOptions options;
+  options.bounded = false;
+  Rng rng(20260726);
+  for (int trial = 0; trial < 12; ++trial) {
+    const CommPrimitive primitive = kAllPrimitives[trial % 4];
+    const Curve& curve = tuner.LatencyCurveFor(primitive);
+    const int ranks = 2 + static_cast<int>(rng.NextBelow(5));
+    const int base_waves = 4 + static_cast<int>(rng.NextBelow(9));  // 4..12
+    std::vector<PredictorSetup> setups;
+    for (int r = 0; r < ranks; ++r) {
+      // One rank pinned at the base depth; the rest draw uniformly.
+      const int waves =
+          r == 0 ? base_waves : 1 + static_cast<int>(rng.NextBelow(base_waves));
+      setups.push_back(MakeRankSetup(cluster, curve, waves,
+                                     static_cast<int>(rng.NextBelow(1000)),
+                                     rng.NextDouble(0.5, 50.0), primitive));
+    }
+    const MultiRankBest expected = ScoreExhaustivelyMultiRank(setups, base_waves);
+    const MultiRankSearchResult result =
+        searcher.Search(BuildMultiRankLatencyTable(setups), options);
+    ASSERT_EQ(result.predicted_us, expected.latency_us) << "trial " << trial;
+    ASSERT_EQ(result.base.group_sizes, expected.base.group_sizes)
+        << "trial " << trial << " got " << result.base.ToString() << " want "
+        << expected.base.ToString();
+  }
+}
+
+TEST(MultiRankPartitionSearchTest, ReuseAcrossShrinkingRankCountsStaysExact) {
+  // Regression (heap-buffer-overflow, caught under ASan): the dominance
+  // buffers are retained across searches and their strides differ (prevs:
+  // R ints, vals: R+1 doubles), so a searcher reused for FEWER ranks than
+  // a prior search must re-guard each buffer by its own stride. The old
+  // guard checked only prevs, and this seeded many-rank -> few-rank
+  // sequence reaches the window where prevs capacity suffices while a
+  // vals entry lands past its allocation (trial 2: a 6-rank base-22
+  // search followed by a 2-rank base-24 search).
+  const ClusterSpec cluster = MakeA800Cluster(4);
+  Tuner tuner(cluster);
+  const Curve& curve = tuner.LatencyCurveFor(CommPrimitive::kAllToAll);
+  PartitionSearchOptions options;
+  options.bounded = false;
+  Rng rng(7);
+  for (int trial = 0; trial < 3; ++trial) {
+    MultiRankPartitionSearcher reused;
+    for (int phase = 0; phase < 2; ++phase) {
+      const int base = 10 + static_cast<int>(rng.NextBelow(15));
+      const int ranks = phase == 0 ? 4 + static_cast<int>(rng.NextBelow(5))
+                                   : 2 + static_cast<int>(rng.NextBelow(2));
+      std::vector<PredictorSetup> setups;
+      for (int r = 0; r < ranks; ++r) {
+        const int waves = r == 0 ? base : 1 + static_cast<int>(rng.NextBelow(base));
+        setups.push_back(MakeRankSetup(cluster, curve, waves,
+                                       static_cast<int>(rng.NextBelow(1000)),
+                                       rng.NextDouble(0.3, 80.0),
+                                       CommPrimitive::kAllToAll));
+      }
+      const MultiRankLatencyTable tables = BuildMultiRankLatencyTable(setups);
+      const MultiRankSearchResult result = reused.Search(tables, options);
+      // A fresh searcher is the ground truth: buffer reuse must never
+      // change the winner (corrupted dominance entries would fabricate
+      // dominating prefixes and prune valid ones).
+      MultiRankPartitionSearcher fresh;
+      const MultiRankSearchResult expected = fresh.Search(tables, options);
+      ASSERT_EQ(result.predicted_us, expected.predicted_us)
+          << "trial " << trial << " phase " << phase;
+      ASSERT_EQ(result.base.group_sizes, expected.base.group_sizes)
+          << "trial " << trial << " phase " << phase;
+    }
+  }
+}
+
+TEST(MultiRankPartitionSearchTest, SeedOnlyTightensTheIncumbentNeverTheResult) {
+  // Searching with and without the heaviest-rank seed must return the
+  // identical winner (the seed is in-space); the seeded run can only visit
+  // fewer nodes.
+  const ClusterSpec cluster = MakeA800Cluster(4);
+  Tuner tuner(cluster);
+  const Curve& curve = tuner.LatencyCurveFor(CommPrimitive::kAllToAll);
+  std::vector<PredictorSetup> setups;
+  for (int r = 0; r < 4; ++r) {
+    setups.push_back(MakeRankSetup(cluster, curve, 12 - 2 * r, 17 + r, 4.0 + 3.0 * r,
+                                   CommPrimitive::kAllToAll));
+  }
+  const MultiRankLatencyTable tables = BuildMultiRankLatencyTable(setups);
+  PartitionSearchOptions options;
+  options.bounded = false;
+  MultiRankPartitionSearcher searcher;
+  const MultiRankSearchResult unseeded = searcher.Search(tables, options);
+  PartitionSearcher rank_searcher;
+  const WavePartition seed = rank_searcher.Search(tables.ranks[0], options).partition;
+  const MultiRankSearchResult seeded = searcher.Search(tables, options, &seed);
+  EXPECT_EQ(seeded.predicted_us, unseeded.predicted_us);
+  EXPECT_EQ(seeded.base.group_sizes, unseeded.base.group_sizes);
+  EXPECT_LE(seeded.nodes_visited, unseeded.nodes_visited);
+}
+
+TEST(MultiRankTuningTest, TuneImbalancedIsSingleFlightedAndDeterministic) {
+  const std::vector<GemmShape> shapes{
+      GemmShape{8192, 4096, 2048}, GemmShape{6144, 4096, 2048},
+      GemmShape{4096, 4096, 2048}, GemmShape{2048, 4096, 2048}};
+  Tuner serial(MakeA800Cluster(4));
+  const TunedMultiRankPlan plan = serial.TuneImbalanced(shapes, CommPrimitive::kAllToAll);
+  EXPECT_EQ(serial.search_count(), 1u);
+  EXPECT_TRUE(serial.ContainsImbalanced(shapes, CommPrimitive::kAllToAll));
+
+  Tuner pooled(MakeA800Cluster(4));
+  ThreadPool pool(4);
+  for (int i = 0; i < 8; ++i) {
+    pool.Submit([&pooled, &shapes] {
+      pooled.TuneImbalanced(shapes, CommPrimitive::kAllToAll);
+    });
+  }
+  pool.WaitIdle();
+  EXPECT_EQ(pooled.search_count(), 1u) << "concurrent same-key tunes must single-flight";
+  const TunedMultiRankPlan& concurrent =
+      pooled.TuneImbalanced(shapes, CommPrimitive::kAllToAll);
+  EXPECT_EQ(concurrent.base.group_sizes, plan.base.group_sizes);
+  EXPECT_EQ(concurrent.predicted_us, plan.predicted_us);
+
+  // Rank order is execution detail: a permuted multiset is the same key.
+  std::vector<GemmShape> permuted{shapes[2], shapes[0], shapes[3], shapes[1]};
+  EXPECT_TRUE(pooled.ContainsImbalanced(permuted, CommPrimitive::kAllToAll));
+  pooled.TuneImbalanced(permuted, CommPrimitive::kAllToAll);
+  EXPECT_EQ(pooled.search_count(), 1u);
 }
 
 std::vector<ScenarioSpec> DeterminismSpecs() {

@@ -92,6 +92,37 @@ TEST(RunBatchTest, MixedScenarioKindsShareOneBatch) {
   EXPECT_LT(runs[3].total_us, runs[4].total_us);
 }
 
+TEST(PretuneImbalancedTest, SpecsSharingAHeaviestRankDoNotCollide) {
+  // Regression: TuningRequest used to reduce an imbalanced spec to its
+  // heaviest rank, so these two specs collided in the pre-tune lane and
+  // the second was mis-warmed (its plan still searched in-band). Keyed by
+  // the canonical rank-shape multiset they are distinct searches.
+  OverlapEngine engine(MakeA800Cluster(4), {}, NoJitter());
+  const GemmShape heavy{16384, 8192, 1024};
+  const std::vector<ScenarioSpec> specs{
+      ScenarioSpec::Imbalanced({heavy, GemmShape{2048, 8192, 1024},
+                                GemmShape{2048, 8192, 1024}, GemmShape{2048, 8192, 1024}},
+                               CommPrimitive::kAllToAll),
+      ScenarioSpec::Imbalanced({heavy, GemmShape{8192, 8192, 1024},
+                                GemmShape{8192, 8192, 1024}, GemmShape{8192, 8192, 1024}},
+                               CommPrimitive::kAllToAll),
+  };
+  const auto claimed = engine.PretuneParallel(specs, 2);
+  EXPECT_EQ(claimed.size(), 2u) << "distinct light ranks must claim distinct searches";
+  const size_t after_pretune = engine.tuner().search_count();
+  EXPECT_EQ(after_pretune, 2u);
+  engine.RunBatch(specs);
+  EXPECT_EQ(engine.tuner().search_count(), after_pretune)
+      << "both plans must build from the pre-warmed searches";
+  // Re-pretuning finds everything warm; rank order never splits the key.
+  EXPECT_TRUE(engine.PretuneParallel(specs, 2).empty());
+  const ScenarioSpec reordered = ScenarioSpec::Imbalanced(
+      {GemmShape{2048, 8192, 1024}, heavy, GemmShape{2048, 8192, 1024},
+       GemmShape{2048, 8192, 1024}},
+      CommPrimitive::kAllToAll);
+  EXPECT_TRUE(engine.PretuneParallel({&reordered, 1}, 1).empty());
+}
+
 TEST(PlanCacheKeyTest, DistinctScenariosGetDistinctKeys) {
   OverlapEngine engine(MakeA800Cluster(4), {}, NoJitter());
   OverlapPlanner& planner = engine.planner();

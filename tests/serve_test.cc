@@ -503,5 +503,52 @@ TEST(ServeLoopTest, CapacityOnePlanStoreChurnsButServes) {
   EXPECT_EQ(report.cold_batches, 10u);  // nothing survives long enough to hit
 }
 
+TEST(ServeLoopTest, MixedImbalancedTraceWarmsAndRerunsBitIdentically) {
+  // Balanced keys and two imbalanced keys sharing a heaviest rank: each of
+  // the four keys pays exactly one search (the imbalanced pair must not
+  // collide in the tuning lane), later requests serve warm, and a rerun is
+  // bit-identical.
+  const GemmShape heavy{8192, 2048, 1024};
+  const std::vector<ScenarioSpec> specs{
+      SmallSpec(1024),
+      SmallSpec(2048),
+      ScenarioSpec::Imbalanced({heavy, GemmShape{1024, 2048, 1024},
+                                GemmShape{1024, 2048, 1024}, GemmShape{1024, 2048, 1024}},
+                               CommPrimitive::kAllToAll),
+      ScenarioSpec::Imbalanced({heavy, GemmShape{4096, 2048, 1024},
+                                GemmShape{4096, 2048, 1024}, GemmShape{4096, 2048, 1024}},
+                               CommPrimitive::kAllToAll),
+  };
+  const auto trace =
+      MakeRequestStream("mix", specs, PoissonArrivals(20000.0, 32, 11), 0);
+  const auto run = [&trace](size_t* searches) {
+    OverlapEngine engine(Make4090Cluster(4), {}, EngineOptions{.jitter = false});
+    const ServeReport report = ServeLoop(&engine).Run(trace);
+    *searches = engine.tuner().search_count();
+    return report;
+  };
+  size_t searches_a = 0;
+  const ServeReport a = run(&searches_a);
+  ASSERT_EQ(a.stats.count(), trace.size());
+  EXPECT_EQ(searches_a, specs.size()) << "one search per key, imbalanced included";
+  // Once each key tuned, everything serves from the plan store.
+  size_t warm_hits = 0;
+  for (const auto& record : a.stats.records()) {
+    warm_hits += record.plan_cache_hit ? 1 : 0;
+  }
+  EXPECT_GE(warm_hits, trace.size() - 2 * specs.size());
+  EXPECT_GT(warm_hits, trace.size() / 2);
+
+  size_t searches_b = 0;
+  const ServeReport b = run(&searches_b);
+  EXPECT_EQ(searches_b, searches_a);
+  EXPECT_DOUBLE_EQ(b.makespan_us, a.makespan_us);
+  ASSERT_EQ(b.stats.count(), a.stats.count());
+  for (size_t i = 0; i < a.stats.count(); ++i) {
+    EXPECT_DOUBLE_EQ(b.stats.records()[i].finish_us, a.stats.records()[i].finish_us) << i;
+    EXPECT_EQ(b.stats.records()[i].plan_cache_hit, a.stats.records()[i].plan_cache_hit) << i;
+  }
+}
+
 }  // namespace
 }  // namespace flo
