@@ -15,10 +15,12 @@
 //  - bit-determinism: reruns identical; published plans identical at any
 //    replica count; reports identical at any host thread count.
 //
-// Usage: bench_cluster_bench [--smoke] [--history <file>]
+// Usage: bench_cluster_bench [--smoke] [--history <file>] [--requests N]
 // Writes cluster_bench.csv and BENCH_cluster.json to the cwd; --history
-// appends the JSON as one compact line to the given trajectory file.
+// appends the JSON as one compact line to the given trajectory file;
+// --requests overrides the total request count (split across tenants).
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -48,7 +50,7 @@ double MeanServiceUs(const ClusterSpec& hardware, const std::vector<ScenarioSpec
   return total / static_cast<double>(specs.size());
 }
 
-TraceSetup MakeTrace(bool smoke) {
+TraceSetup MakeTrace(bool smoke, int64_t requests_override) {
   const Workload llm = MakeLlama3Inference();
   const Workload moe = MakeMixtralTraining();
   const std::vector<ScenarioSpec> llm_specs = WorkloadSpecs(llm);
@@ -65,7 +67,8 @@ TraceSetup MakeTrace(bool smoke) {
   const double chat_service_us = MeanServiceUs(llm.cluster, chat_specs);
   // Each tenant offers ~0.55x of one executor's capacity: ~1.6x total, so
   // a lone replica drowns and the fleet absorbs the overflow.
-  const int per_tenant = smoke ? 50 : 200;
+  const int per_tenant = requests_override > 0 ? static_cast<int>(requests_override / 3)
+                                               : (smoke ? 50 : 200);
   const auto trace = MergeStreams(
       {MakeRequestStream("llm", llm_specs,
                          PoissonArrivals(llm_service_us / 0.55, per_tenant, 1), 0),
@@ -117,10 +120,12 @@ bool SameTimeline(const FleetReport& a, const FleetReport& b) {
   return true;
 }
 
-bool Run(bool smoke, const std::string& history_path) {
-  const TraceSetup setup = MakeTrace(smoke);
+bool Run(bool smoke, const std::string& history_path, int64_t requests_override) {
+  const TraceSetup setup = MakeTrace(smoke, requests_override);
   std::printf("Serving cluster: %zu requests (llm Poisson + moe bursty), 8x A800\n\n",
               setup.trace.size());
+  const auto wall_start = std::chrono::steady_clock::now();
+  uint64_t total_events = 0;
   CsvWriter csv({"replicas", "policy", "ship_plans", "requests", "throughput_rps", "p50_us",
                  "p99_us", "warm_hit_rate", "tuner_searches", "distinct_keys",
                  "shipped_plans"});
@@ -137,6 +142,7 @@ bool Run(bool smoke, const std::string& history_path) {
   for (const int replicas : smoke ? std::vector<int>{1, 4} : std::vector<int>{1, 2, 4}) {
     for (const PlacementPolicy policy : policies) {
       const FleetReport report = RunFleet(setup, replicas, policy, /*ship_plans=*/false);
+      total_events += report.events;
       AddRow(&csv, &table, replicas, policy, false, report);
       if (replicas == 4 && policy == PlacementPolicy::kRoundRobin) {
         round_robin_4 = report;
@@ -159,6 +165,7 @@ bool Run(bool smoke, const std::string& history_path) {
   size_t max_shipped_searches = 0;
   for (const PlacementPolicy policy : policies) {
     const FleetReport report = RunFleet(setup, 4, policy, /*ship_plans=*/true);
+    total_events += report.events;
     AddRow(&csv, &table, 4, policy, true, report);
     max_shipped_searches = std::max(max_shipped_searches, report.total_searches);
     if (policy == PlacementPolicy::kPlanAffinity) {
@@ -166,6 +173,11 @@ bool Run(bool smoke, const std::string& history_path) {
     }
   }
   std::printf("%s\n", table.Render().c_str());
+  const double sweep_wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start).count();
+  std::printf("event core: %llu events across the sweep in %.3f s wall (%.0f events/s)\n",
+              static_cast<unsigned long long>(total_events), sweep_wall_s,
+              sweep_wall_s > 0.0 ? static_cast<double>(total_events) / sweep_wall_s : 0.0);
 
   // --- Determinism gates ---
   const bool rerun_identical =
@@ -253,5 +265,5 @@ bool Run(bool smoke, const std::string& history_path) {
 
 int main(int argc, char** argv) {
   const flo::BenchArgs args = flo::ParseBenchArgs(argc, argv);
-  return flo::Run(args.smoke, args.history) ? 0 : 1;
+  return flo::Run(args.smoke, args.history, args.requests) ? 0 : 1;
 }

@@ -8,13 +8,16 @@
 // PlanStore (warm steady state). On a repeating trace the warm hit rate
 // must exceed 90%: the serving-side payoff of reusable plans.
 //
-// Usage: bench_serve_throughput [--smoke]   (--smoke shrinks the sweep
-// for CI). Writes serve_throughput.csv next to the binary's cwd.
+// Usage: bench_serve_throughput [--smoke] [--requests N]   (--smoke
+// shrinks the sweep for CI; --requests overrides the per-tenant request
+// count). Writes serve_throughput.csv next to the binary's cwd.
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <string>
 #include <vector>
 
+#include "bench/trajectory.h"
 #include "src/core/flashoverlap.h"
 #include "src/models/workloads.h"
 #include "src/util/csv.h"
@@ -59,7 +62,7 @@ void PrintReport(const char* phase, const ServeReport& report) {
 }
 
 // False when the warm-cache hit-rate target is missed (nonzero exit for CI).
-bool Run(bool smoke) {
+bool Run(bool smoke, int64_t requests_override) {
   std::printf("Online serving: two tenants on one shared executor, 8x A800\n");
   const Workload llm = MakeLlama3Inference();
   const Workload moe = MakeMixtralTraining();
@@ -71,7 +74,8 @@ bool Run(bool smoke) {
   const double moe_service_us = MeanServiceUs(cluster, moe_specs);
   std::printf("mean service: llm %.0f us, moe %.0f us\n\n", llm_service_us, moe_service_us);
 
-  const int per_tenant = smoke ? 40 : 200;
+  const int per_tenant = requests_override > 0 ? static_cast<int>(requests_override / 2)
+                                               : (smoke ? 40 : 200);
   const std::vector<double> utilizations = smoke ? std::vector<double>{0.8}
                                                  : std::vector<double>{0.5, 0.8, 1.2};
   CsvWriter csv({"phase", "utilization", "tenant", "requests", "p50_us", "p90_us", "p95_us",
@@ -90,10 +94,16 @@ bool Run(bool smoke) {
     OverlapEngine engine(cluster, {}, EngineOptions{.jitter = false});
     ServeLoop loop(&engine);
     std::printf("--- utilization %.2f (%d reqs/tenant) ---\n", utilization, per_tenant);
+    const auto wall_start = std::chrono::steady_clock::now();
     const ServeReport cold = loop.Run(trace);
     PrintReport("cold", cold);
     const ServeReport warm = loop.Run(trace);
     PrintReport("warm", warm);
+    const double wall_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start).count();
+    const double events = static_cast<double>(cold.events + warm.events);
+    std::printf("event core: %.0f events in %.3f s wall (%.0f events/s)\n", events, wall_s,
+                wall_s > 0.0 ? events / wall_s : 0.0);
     AddRows(&csv, "cold", utilization, cold);
     AddRows(&csv, "warm", utilization, warm);
     min_warm_hit_rate = std::min(min_warm_hit_rate, warm.stats.CacheHitRate());
@@ -114,6 +124,6 @@ bool Run(bool smoke) {
 }  // namespace flo
 
 int main(int argc, char** argv) {
-  const bool smoke = argc > 1 && std::string(argv[1]) == "--smoke";
-  return flo::Run(smoke) ? 0 : 1;
+  const flo::BenchArgs args = flo::ParseBenchArgs(argc, argv);
+  return flo::Run(args.smoke, args.requests) ? 0 : 1;
 }

@@ -1,20 +1,24 @@
 // Shared CLI and perf-trajectory plumbing for bench binaries.
 //
-// Every bench takes the same two flags — `--smoke` (shrink for CI) and
+// Every bench takes the same flags — `--smoke` (shrink for CI),
 // `--history <file>` (append the run's compact JSON point to the tracked
-// trajectory under bench/history/) — and must treat a failed append as a
-// bench failure: a silently dropped point defeats the history.
+// trajectory under bench/history/), and `--requests N` (scale the served
+// request count where the bench supports it) — and must treat a failed
+// append as a bench failure: a silently dropped point defeats the history.
 #ifndef BENCH_TRAJECTORY_H_
 #define BENCH_TRAJECTORY_H_
 
+#include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 
 namespace flo {
 
 struct BenchArgs {
   bool smoke = false;
-  std::string history;  // empty = no trajectory append
+  std::string history;   // empty = no trajectory append
+  int64_t requests = 0;  // 0 = the bench's default scale
 };
 
 inline BenchArgs ParseBenchArgs(int argc, char** argv) {
@@ -25,6 +29,8 @@ inline BenchArgs ParseBenchArgs(int argc, char** argv) {
       args.smoke = true;
     } else if (arg == "--history" && i + 1 < argc) {
       args.history = argv[++i];
+    } else if (arg == "--requests" && i + 1 < argc) {
+      args.requests = std::atoll(argv[++i]);
     }
   }
   return args;

@@ -15,11 +15,11 @@ Replica::Replica(int id, const ClusterSpec& cluster, const TunerConfig& tuner_co
   engine_.UseSharedPlanStore(store_);
 }
 
-void Replica::StartSession(const ServeConfig& config, EventQueue* events,
+void Replica::StartSession(const ServeConfig& config, EventLoop* events,
                            ServeSession::Hooks hooks) {
   FLO_CHECK(!retired_);
   searches_at_session_start_ = engine_.tuner().search_count();
-  session_ = std::make_unique<ServeSession>(&engine_, config, events, std::move(hooks));
+  session_ = std::make_unique<ServeSession>(&engine_, config, events, std::move(hooks), id_);
 }
 
 size_t Replica::SearchesThisRun() {

@@ -13,7 +13,7 @@
 
 #include "src/core/overlap_engine.h"
 #include "src/serve/serve_session.h"
-#include "src/sim/event_queue.h"
+#include "src/sim/event_loop.h"
 
 namespace flo {
 
@@ -29,10 +29,11 @@ class Replica {
   OverlapEngine& engine() { return engine_; }
   const std::shared_ptr<PlanStore>& store() const { return store_; }
 
-  // Starts a fresh session (fresh report) for one cluster run. Also
-  // snapshots the engine's tuner search count so per-run search totals
-  // subtract work from earlier runs.
-  void StartSession(const ServeConfig& config, EventQueue* events,
+  // Starts a fresh session (fresh report) for one cluster run; the
+  // session's event records carry this replica's id. Also snapshots the
+  // engine's tuner search count so per-run search totals subtract work
+  // from earlier runs.
+  void StartSession(const ServeConfig& config, EventLoop* events,
                     ServeSession::Hooks hooks);
   // Drops the previous run's session so its report cannot leak into a
   // later run (retired replicas are skipped by StartSession).

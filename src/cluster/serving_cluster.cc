@@ -1,9 +1,9 @@
 #include "src/cluster/serving_cluster.h"
 
 #include <algorithm>
-#include <set>
 #include <utility>
 
+#include "src/serve/request_cursor.h"
 #include "src/util/check.h"
 #include "src/util/file.h"
 #include "src/util/stats.h"
@@ -18,13 +18,16 @@ ServingCluster::ServingCluster(ClusterSpec hardware, ClusterConfig config,
       options_(options),
       keyer_tuner_(hardware, tuner_config),
       keyer_(&keyer_tuner_, &keyer_store_),
-      router_(config.policy) {
+      router_(config.policy),
+      events_(config.serve.legacy_event_heap) {
   FLO_CHECK_GE(config_.replicas, 1);
   FLO_CHECK_GT(config_.default_cost_estimate_us, 0.0);
   if (config_.autoscale.enabled) {
     FLO_CHECK_LE(config_.autoscale.min_replicas, config_.replicas);
     FLO_CHECK_LE(config_.replicas, config_.autoscale.max_replicas);
   }
+  autoscale_handler_ = events_.RegisterHandler(
+      [this](const EventRecord&, SimTime now) { AutoscaleCheck(now); });
 }
 
 Replica* ServingCluster::SpawnReplica(SimTime now) {
@@ -106,8 +109,9 @@ double ServingCluster::CostEstimateUs() const {
                            : config_.default_cost_estimate_us;
 }
 
-std::vector<ReplicaSnapshot> ServingCluster::Snapshots(uint64_t key, SimTime now) {
-  std::vector<ReplicaSnapshot> snapshots;
+const std::vector<ReplicaSnapshot>& ServingCluster::Snapshots(uint64_t key, SimTime now) {
+  std::vector<ReplicaSnapshot>& snapshots = snapshot_scratch_;
+  snapshots.clear();
   snapshots.reserve(replicas_.size());
   const double cost_estimate = CostEstimateUs();
   for (const auto& replica : replicas_) {
@@ -132,6 +136,7 @@ std::vector<ReplicaSnapshot> ServingCluster::Snapshots(uint64_t key, SimTime now
 
 void ServingCluster::PlaceRequest(ServeRequest request, SimTime now) {
   const uint64_t key = keyer_.CanonicalKey(request.spec);
+  run_keys_.insert(key);
   const int id = router_.Place(Snapshots(key, now));
   FLO_CHECK(id != -1) << "no accepting replica (autoscaler drained below min?)";
   Replica* replica = FindReplica(id);
@@ -190,31 +195,41 @@ void ServingCluster::AutoscaleCheck(SimTime now) {
     case Autoscaler::Decision::kHold:
       break;
   }
-  if (completed_requests_ < total_requests_) {
-    const SimTime next = now + autoscaler_->config().check_interval_us;
-    events_.Push(next, [this, next] { AutoscaleCheck(next); });
+  // Continue while served work remains — completions outstanding, or
+  // arrivals the pump has not pulled from the cursor yet.
+  if (completed_requests_ < pump_->admitted() || !pump_->done()) {
+    EventRecord record;
+    record.type = EventType::kAutoscaleCheck;
+    record.handler = autoscale_handler_;
+    events_.Push(now + autoscaler_->config().check_interval_us, record);
   }
 }
 
 FleetReport ServingCluster::Run(std::vector<ServeRequest> requests) {
+  // VectorCursor stable-sorts by arrival, reproducing the historical
+  // materialize-then-sort admission order exactly.
+  VectorCursor cursor(std::move(requests));
+  return Run(&cursor);
+}
+
+FleetReport ServingCluster::Run(RequestCursor* cursor) {
+  FLO_CHECK(cursor != nullptr);
   FLO_CHECK(events_.empty());
-  std::stable_sort(requests.begin(), requests.end(),
-                   [](const ServeRequest& a, const ServeRequest& b) {
-                     return a.arrival_us < b.arrival_us;
-                   });
   // Per-run state. Engines/stores persist; sessions and reports reset.
   // Only an enabled autoscaler is constructed (and config-validated): a
   // zeroed-out disabled config must not abort the run.
   autoscaler_ =
       config_.autoscale.enabled ? std::make_unique<Autoscaler>(config_.autoscale) : nullptr;
-  total_requests_ = requests.size();
+  total_requests_ = 0;
   completed_requests_ = 0;
   cost_sum_us_ = 0.0;
   cost_samples_ = 0;
   recent_latencies_.clear();
+  run_keys_.clear();
   spawns_ = 0;
   drains_ = 0;
   peak_replicas_ = 0;
+  const uint64_t events_before = events_.dispatched();
   if (replicas_.empty()) {
     for (int i = 0; i < config_.replicas; ++i) {
       SpawnReplica(0.0);
@@ -236,30 +251,27 @@ FleetReport ServingCluster::Run(std::vector<ServeRequest> requests) {
     peak_replicas_ = accepting;
   }
 
-  FleetReport report;
-  std::set<uint64_t> keys;
-  for (const ServeRequest& request : requests) {
-    keys.insert(keyer_.CanonicalKey(request.spec));
+  // Streamed admission: one arrival in flight; each firing places the
+  // request and pulls the next from the cursor.
+  ArrivalPump pump(cursor, &events_, [this](ServeRequest request, SimTime now) {
+    ++total_requests_;
+    PlaceRequest(std::move(request), now);
+  });
+  pump_ = &pump;
+  if (config_.autoscale.enabled && !pump.done()) {
+    EventRecord record;
+    record.type = EventType::kAutoscaleCheck;
+    record.handler = autoscale_handler_;
+    events_.Push(config_.autoscale.check_interval_us, record);
   }
-  report.distinct_keys = keys.size();
-
-  for (ServeRequest& request : requests) {
-    const SimTime arrival = request.arrival_us;
-    events_.Push(arrival, [this, arrival, request = std::move(request)]() mutable {
-      PlaceRequest(std::move(request), arrival);
-    });
-  }
-  if (config_.autoscale.enabled && total_requests_ > 0) {
-    const SimTime first = config_.autoscale.check_interval_us;
-    events_.Push(first, [this, first] { AutoscaleCheck(first); });
-  }
-  SimTime now = 0.0;
-  while (!events_.empty()) {
-    auto callback = events_.Pop(&now);
-    callback();
-  }
+  events_.RunToCompletion();
+  pump_ = nullptr;
+  FLO_CHECK(pump.done()) << "arrival pump stalled mid-trace";
   FLO_CHECK_EQ(completed_requests_, total_requests_);
 
+  FleetReport report;
+  report.distinct_keys = run_keys_.size();
+  report.events = events_.dispatched() - events_before;
   for (const auto& replica : replicas_) {
     ReplicaReport entry;
     entry.id = replica->id();

@@ -2,8 +2,9 @@
 // FleetRouter, on one shared simulated clock.
 //
 // Layering (the fleet analogue of ScenarioSpec -> Planner -> Executor):
-//   trace -> FleetRouter (placement) -> Replica ServeSessions (per-tenant
-//   queues, executor + tuning lanes) -> shared EventQueue
+//   trace -> RequestCursor/ArrivalPump (streamed admission) -> FleetRouter
+//   (placement) -> Replica ServeSessions (per-tenant queues, executor +
+//   tuning lanes) -> shared EventLoop (typed records, calendar queue)
 // with two fleet-level services threaded through the session hooks:
 //   - PlanShipper: fleet-wide single-flight of tuner searches and
 //     publication of freshly tuned plans to every replica's PlanStore, so
@@ -20,6 +21,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -30,9 +32,12 @@
 #include "src/core/overlap_engine.h"
 #include "src/serve/serve_loop.h"
 #include "src/serve/serve_stats.h"
-#include "src/sim/event_queue.h"
+#include "src/sim/event_loop.h"
 
 namespace flo {
+
+class ArrivalPump;
+class RequestCursor;
 
 struct ClusterConfig {
   // Initial replica count (the autoscaler may move it within its bounds).
@@ -76,6 +81,9 @@ struct FleetReport {
   size_t spawns = 0;
   size_t drains = 0;
   PlanShipperStats shipping;
+  // Events dispatched by the shared loop during this run (arrivals,
+  // batch/tuning completions, autoscale checkpoints).
+  uint64_t events = 0;
 
   // Fraction of requests whose plan was warm on their replica at batch
   // formation — the global warm-hit rate plan-affinity routing optimizes.
@@ -94,6 +102,11 @@ class ServingCluster {
   // across calls (a second run of the same trace serves warm); the report
   // covers this run only.
   FleetReport Run(std::vector<ServeRequest> requests);
+
+  // Streaming form: requests are pulled from the cursor as simulated time
+  // advances, so fleet memory stays O(pending) instead of O(trace) — the
+  // path million-request runs take. The vector overload wraps this.
+  FleetReport Run(RequestCursor* cursor);
 
   // Warm-start / persistence over the PlanShipper's published set:
   // SavePlans writes the fleet snapshot; LoadPlans/ImportPlans publish a
@@ -115,7 +128,9 @@ class ServingCluster {
   Replica* SpawnReplica(SimTime now);
   Replica* FindReplica(int id);
   ServeSession::Hooks HooksFor(Replica* replica);
-  std::vector<ReplicaSnapshot> Snapshots(uint64_t key, SimTime now);
+  // Returns a reference to snapshot_scratch_, rebuilt for this call: one
+  // router decision per arrival must not cost a vector allocation.
+  const std::vector<ReplicaSnapshot>& Snapshots(uint64_t key, SimTime now);
   void PlaceRequest(ServeRequest request, SimTime now);
   void DispatchAll(SimTime now);
   void MaybeRetire(Replica* replica, SimTime now);
@@ -135,18 +150,26 @@ class ServingCluster {
 
   FleetRouter router_;
   PlanShipper shipper_;
-  EventQueue events_;
+  EventLoop events_;
+  // Typed-event target for autoscale checkpoints (registered once).
+  uint32_t autoscale_handler_ = 0;
   std::vector<std::unique_ptr<Replica>> replicas_;
   int next_replica_id_ = 0;
 
   // Per-run state (reset by Run).
   std::unique_ptr<Autoscaler> autoscaler_;
+  // The run's arrival pump; the autoscaler's continuation condition reads
+  // its admitted()/done() because a streamed trace has no known size.
+  ArrivalPump* pump_ = nullptr;
   size_t total_requests_ = 0;
   size_t completed_requests_ = 0;
   double cost_sum_us_ = 0.0;
   size_t cost_samples_ = 0;
   // Latencies of requests finished since the last autoscale check.
   std::vector<double> recent_latencies_;
+  // Distinct plan keys seen by PlaceRequest this run.
+  std::set<uint64_t> run_keys_;
+  std::vector<ReplicaSnapshot> snapshot_scratch_;
   int peak_replicas_ = 0;
   size_t spawns_ = 0;
   size_t drains_ = 0;

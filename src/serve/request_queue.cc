@@ -1,7 +1,9 @@
 #include "src/serve/request_queue.h"
 
+#include <algorithm>
 #include <utility>
 
+#include "src/serve/tenant_registry.h"
 #include "src/util/check.h"
 
 namespace flo {
@@ -10,68 +12,107 @@ RequestQueue::RequestQueue(Keyer keyer) : keyer_(std::move(keyer)) {
   FLO_CHECK(keyer_ != nullptr);
 }
 
+RequestQueue::Lane& RequestQueue::LaneFor(ServeRequest* request) {
+  if (request->tenant_id == 0) {
+    request->tenant_id = InternTenant(request->tenant);  // hand-built request
+  }
+  const auto it = lanes_by_id_.find(request->tenant_id);
+  if (it != lanes_by_id_.end()) {
+    return *it->second;
+  }
+  auto lane = std::make_unique<Lane>();
+  lane->tenant = request->tenant;
+  Lane* raw = lane.get();
+  // Sorted insert keeps rotation alphabetical; new tenants are rare.
+  const auto pos = std::lower_bound(
+      lanes_.begin(), lanes_.end(), lane,
+      [](const std::unique_ptr<Lane>& a, const std::unique_ptr<Lane>& b) {
+        return a->tenant < b->tenant;
+      });
+  lanes_.insert(pos, std::move(lane));
+  lanes_by_id_.emplace(request->tenant_id, raw);
+  return *raw;
+}
+
 void RequestQueue::Admit(ServeRequest request) {
   const uint64_t key = keyer_(request.spec);
-  queues_[request.tenant].push_back(Pending{std::move(request), key});
+  Lane& lane = LaneFor(&request);
+  lane.queue.push_back(Pending{std::move(request), key});
   ++key_depth_[key];
   ++size_;
 }
 
 size_t RequestQueue::TenantDepth(const std::string& tenant) const {
-  auto it = queues_.find(tenant);
-  return it == queues_.end() ? 0 : it->second.size();
+  const auto it = std::lower_bound(
+      lanes_.begin(), lanes_.end(), tenant,
+      [](const std::unique_ptr<Lane>& lane, const std::string& name) {
+        return lane->tenant < name;
+      });
+  return it != lanes_.end() && (*it)->tenant == tenant ? (*it)->queue.size() : 0;
 }
 
 size_t RequestQueue::KeyDepth(uint64_t key) const {
-  auto it = key_depth_.find(key);
+  const auto it = key_depth_.find(key);
   return it == key_depth_.end() ? 0 : it->second;
 }
 
 std::vector<std::string> RequestQueue::Tenants() const {
   std::vector<std::string> tenants;
-  tenants.reserve(queues_.size());
-  for (const auto& [tenant, queue] : queues_) {
-    tenants.push_back(tenant);
+  tenants.reserve(lanes_.size());
+  for (const std::unique_ptr<Lane>& lane : lanes_) {
+    tenants.push_back(lane->tenant);
   }
   return tenants;
 }
 
-const std::string& RequestQueue::NextTenant() const {
+size_t RequestQueue::NextLaneIndex() const {
   FLO_CHECK(!empty());
-  // First non-empty tenant strictly after the last choice, wrapping.
-  auto it = queues_.upper_bound(last_tenant_);
-  for (size_t steps = 0; steps < 2 * queues_.size(); ++steps, ++it) {
-    if (it == queues_.end()) {
-      it = queues_.begin();
-    }
-    if (!it->second.empty()) {
-      return it->first;
+  // First non-empty lane strictly after the last choice, wrapping.
+  const auto start = std::upper_bound(
+      lanes_.begin(), lanes_.end(), last_tenant_,
+      [](const std::string& name, const std::unique_ptr<Lane>& lane) {
+        return name < lane->tenant;
+      });
+  const size_t first = static_cast<size_t>(start - lanes_.begin());
+  for (size_t step = 0; step < lanes_.size(); ++step) {
+    const size_t index = (first + step) % lanes_.size();
+    if (!lanes_[index]->queue.empty()) {
+      return index;
     }
   }
   FLO_CHECK(false) << "non-empty queue with no poppable tenant";
-  return last_tenant_;  // unreachable
+  return 0;  // unreachable
 }
 
-uint64_t RequestQueue::PeekKey() const { return queues_.at(NextTenant()).front().key; }
+uint64_t RequestQueue::PeekKey() const {
+  return lanes_[NextLaneIndex()]->queue.front().key;
+}
 
 std::vector<ServeRequest> RequestQueue::PopBatch(int max_batch, uint64_t* batch_key) {
-  FLO_CHECK_GT(max_batch, 0);
   std::vector<ServeRequest> batch;
-  if (empty()) {
-    return batch;
-  }
-  const std::string tenant = NextTenant();
-  last_tenant_ = tenant;
-  const uint64_t key = queues_[tenant].front().key;
+  const uint64_t key = PopBatchInto(max_batch, &batch);
   if (batch_key != nullptr) {
     *batch_key = key;
   }
+  return batch;
+}
+
+uint64_t RequestQueue::PopBatchInto(int max_batch, std::vector<ServeRequest>* out) {
+  FLO_CHECK_GT(max_batch, 0);
+  FLO_CHECK(out != nullptr);
+  out->clear();
+  if (empty()) {
+    return 0;
+  }
+  const size_t chosen = NextLaneIndex();
+  last_tenant_ = lanes_[chosen]->tenant;
+  const uint64_t key = lanes_[chosen]->queue.front().key;
   // The chosen tenant's consecutive same-key run first, then the other
   // tenants' same-key head runs in rotation order.
   auto drain = [&](std::deque<Pending>* queue) {
     while (!queue->empty() && queue->front().key == key &&
-           batch.size() < static_cast<size_t>(max_batch)) {
-      batch.push_back(std::move(queue->front().request));
+           out->size() < static_cast<size_t>(max_batch)) {
+      out->push_back(std::move(queue->front().request));
       queue->pop_front();
       if (--key_depth_[key] == 0) {
         key_depth_.erase(key);
@@ -79,14 +120,14 @@ std::vector<ServeRequest> RequestQueue::PopBatch(int max_batch, uint64_t* batch_
       --size_;
     }
   };
-  drain(&queues_[tenant]);
-  for (auto it = queues_.upper_bound(tenant); it != queues_.end(); ++it) {
-    drain(&it->second);
+  drain(&lanes_[chosen]->queue);
+  for (size_t i = chosen + 1; i < lanes_.size(); ++i) {
+    drain(&lanes_[i]->queue);
   }
-  for (auto it = queues_.begin(); it != queues_.end() && it->first < tenant; ++it) {
-    drain(&it->second);
+  for (size_t i = 0; i < chosen; ++i) {
+    drain(&lanes_[i]->queue);
   }
-  return batch;
+  return key;
 }
 
 }  // namespace flo

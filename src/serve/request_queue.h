@@ -7,14 +7,20 @@
 // consecutive same-key run at that tenant's head plus same-key runs at the
 // other tenants' heads, up to a size cap. Requests batched together share
 // one executor dispatch — and, by construction, one cached plan.
+//
+// Admission is integer-keyed: lanes are found by interned tenant id (one
+// hash of a uint32 per request) while rotation order remains alphabetical
+// by tenant name — bit-identical to the historical std::map<std::string>
+// iteration, without its per-request string compares.
 #ifndef SRC_SERVE_REQUEST_QUEUE_H_
 #define SRC_SERVE_REQUEST_QUEUE_H_
 
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <map>
+#include <memory>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "src/serve/request_source.h"
@@ -45,6 +51,11 @@ class RequestQueue {
   // plan key the batch was formed around.
   std::vector<ServeRequest> PopBatch(int max_batch, uint64_t* batch_key = nullptr);
 
+  // Allocation-reusing form: appends the batch into *out (cleared first,
+  // capacity kept) and returns the batch's plan key (0 when empty) — the
+  // hot-path variant ServeSession's pooled batches use.
+  uint64_t PopBatchInto(int max_batch, std::vector<ServeRequest>* out);
+
   // The plan key the next PopBatch would batch around, without popping or
   // advancing the rotation (so a PopBatch right after returns a batch of
   // exactly this key). Requires !empty(). Lets a scheduler decide lane
@@ -56,15 +67,24 @@ class RequestQueue {
     ServeRequest request;
     uint64_t key = 0;
   };
+  struct Lane {
+    std::string tenant;
+    std::deque<Pending> queue;
+  };
 
-  // The tenant whose head defines the next batch. Requires !empty().
-  const std::string& NextTenant() const;
+  // The lane for a request's tenant, interning and creating on demand.
+  Lane& LaneFor(ServeRequest* request);
+  // Index of the lane whose head defines the next batch. Requires !empty().
+  size_t NextLaneIndex() const;
 
   Keyer keyer_;
-  // std::map keeps tenant iteration (and thus rotation) deterministic.
-  std::map<std::string, std::deque<Pending>> queues_;
+  // Sorted by tenant name; unique_ptr keeps Lane addresses stable across
+  // the (rare) sorted insert of a new tenant.
+  std::vector<std::unique_ptr<Lane>> lanes_;
+  // Interned tenant id -> lane: the per-request fast path.
+  std::unordered_map<uint32_t, Lane*> lanes_by_id_;
   // key -> queued request count, kept in sync by Admit/PopBatch.
-  std::map<uint64_t, size_t> key_depth_;
+  std::unordered_map<uint64_t, size_t> key_depth_;
   std::string last_tenant_;
   size_t size_ = 0;
 };

@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "src/models/e2e.h"
+#include "src/serve/tenant_registry.h"
 #include "src/util/check.h"
 #include "src/util/file.h"
 #include "src/util/parse.h"
@@ -31,40 +32,61 @@ void CheckTenantName(const std::string& tenant) {
 
 }  // namespace
 
-std::vector<SimTime> PoissonArrivals(double mean_interarrival_us, int count, uint64_t seed) {
+ArrivalProcess::ArrivalProcess(double in_burst_mean_us, double idle_mean_us, int burst_len,
+                               uint64_t seed)
+    : rng_(seed),
+      in_burst_mean_us_(in_burst_mean_us),
+      idle_mean_us_(idle_mean_us),
+      burst_len_(burst_len) {}
+
+ArrivalProcess ArrivalProcess::Poisson(double mean_interarrival_us, uint64_t seed) {
   FLO_CHECK_GT(mean_interarrival_us, 0.0);
-  FLO_CHECK_GE(count, 0);
-  Rng rng(seed);
-  std::vector<SimTime> arrivals;
-  arrivals.reserve(count);
-  SimTime t = 0.0;
-  for (int i = 0; i < count; ++i) {
-    t += ExponentialGap(&rng, mean_interarrival_us);
-    arrivals.push_back(t);
-  }
-  return arrivals;
+  // Poisson is the degenerate burst: every arrival is a burst head with
+  // the plain mean gap (bit-identical to the historical generator).
+  return ArrivalProcess(mean_interarrival_us, mean_interarrival_us, 1, seed);
 }
 
-std::vector<SimTime> BurstyArrivals(double mean_interarrival_us, double burstiness,
-                                    int burst_len, int count, uint64_t seed) {
+ArrivalProcess ArrivalProcess::Bursty(double mean_interarrival_us, double burstiness,
+                                      int burst_len, uint64_t seed) {
   FLO_CHECK_GT(mean_interarrival_us, 0.0);
   FLO_CHECK_GE(burstiness, 1.0);
   FLO_CHECK_GT(burst_len, 0);
-  FLO_CHECK_GE(count, 0);
-  Rng rng(seed);
   const double in_burst_mean = mean_interarrival_us / burstiness;
   // Per burst of `burst_len` arrivals, the expected total must stay
   // burst_len * mean: one idle gap absorbs what the burst_len - 1 short
   // gaps (plus its own slot) save.
   const double idle_mean =
       mean_interarrival_us + (burst_len - 1) * (mean_interarrival_us - in_burst_mean);
+  return ArrivalProcess(in_burst_mean, idle_mean, burst_len, seed);
+}
+
+SimTime ArrivalProcess::Next() {
+  const bool burst_head = index_ % burst_len_ == 0;
+  ++index_;
+  t_ += ExponentialGap(&rng_, burst_head ? idle_mean_us_ : in_burst_mean_us_);
+  return t_;
+}
+
+std::vector<SimTime> PoissonArrivals(double mean_interarrival_us, int count, uint64_t seed) {
+  FLO_CHECK_GE(count, 0);
+  ArrivalProcess process = ArrivalProcess::Poisson(mean_interarrival_us, seed);
   std::vector<SimTime> arrivals;
   arrivals.reserve(count);
-  SimTime t = 0.0;
   for (int i = 0; i < count; ++i) {
-    const bool burst_head = i % burst_len == 0;
-    t += ExponentialGap(&rng, burst_head ? idle_mean : in_burst_mean);
-    arrivals.push_back(t);
+    arrivals.push_back(process.Next());
+  }
+  return arrivals;
+}
+
+std::vector<SimTime> BurstyArrivals(double mean_interarrival_us, double burstiness,
+                                    int burst_len, int count, uint64_t seed) {
+  FLO_CHECK_GE(count, 0);
+  ArrivalProcess process =
+      ArrivalProcess::Bursty(mean_interarrival_us, burstiness, burst_len, seed);
+  std::vector<SimTime> arrivals;
+  arrivals.reserve(count);
+  for (int i = 0; i < count; ++i) {
+    arrivals.push_back(process.Next());
   }
   return arrivals;
 }
@@ -91,12 +113,14 @@ std::vector<ServeRequest> MakeRequestStream(const std::string& tenant,
                                             int64_t first_id) {
   FLO_CHECK(!specs.empty());
   CheckTenantName(tenant);
+  const uint32_t tenant_id = InternTenant(tenant);
   std::vector<ServeRequest> stream;
   stream.reserve(arrivals.size());
   for (size_t i = 0; i < arrivals.size(); ++i) {
     ServeRequest request;
     request.id = first_id + static_cast<int64_t>(i);
     request.tenant = tenant;
+    request.tenant_id = tenant_id;
     request.arrival_us = arrivals[i];
     request.spec = specs[i % specs.size()];
     stream.push_back(std::move(request));
@@ -167,61 +191,77 @@ std::optional<GemmShape> ShapeFromToken(const std::string& token) {
 
 }  // namespace
 
+TraceLineResult ParseTraceLine(std::string line, ServeRequest* out) {
+  FLO_CHECK(out != nullptr);
+  if (!line.empty() && line.back() == '\r') {
+    line.pop_back();  // tolerate CRLF trace files
+  }
+  if (line.empty() || line[0] == '#' || line.rfind("arrival_us,", 0) == 0) {
+    return TraceLineResult::kSkip;
+  }
+  std::stringstream fields(line);
+  std::string arrival, tenant, kind, primitive, extra_tiles, shapes;
+  if (!std::getline(fields, arrival, ',') || !std::getline(fields, tenant, ',') ||
+      !std::getline(fields, kind, ',') || !std::getline(fields, primitive, ',') ||
+      !std::getline(fields, extra_tiles, ',') || !std::getline(fields, shapes)) {
+    return TraceLineResult::kError;
+  }
+  ServeRequest request;
+  request.tenant = tenant;
+  const auto parsed_arrival = TryParseDouble(arrival);
+  const auto parsed_extra_tiles = TryParseInt(extra_tiles);
+  if (!parsed_arrival || !parsed_extra_tiles) {
+    return TraceLineResult::kError;
+  }
+  request.arrival_us = *parsed_arrival;
+  request.spec.extra_tiles = *parsed_extra_tiles;
+  // The same constraints SerializeTrace enforces, so a loaded trace
+  // always re-serializes.
+  if (!std::isfinite(request.arrival_us) || request.arrival_us < 0.0 ||
+      request.spec.extra_tiles < 0 || tenant.empty() || tenant[0] == '#') {
+    return TraceLineResult::kError;
+  }
+  const auto parsed_kind = TryScenarioKindFromName(kind);
+  const auto parsed_primitive = TryCommPrimitiveFromName(primitive);
+  if (!parsed_kind || !parsed_primitive) {
+    return TraceLineResult::kError;
+  }
+  request.spec.kind = *parsed_kind;
+  request.spec.primitive = *parsed_primitive;
+  std::stringstream shape_stream(shapes);
+  std::string token;
+  while (std::getline(shape_stream, token, ';')) {
+    const auto shape = ShapeFromToken(token);
+    if (!shape) {
+      return TraceLineResult::kError;
+    }
+    request.spec.shapes.push_back(*shape);
+  }
+  if (request.spec.shapes.empty()) {
+    return TraceLineResult::kError;
+  }
+  request.tenant_id = InternTenant(request.tenant);
+  *out = std::move(request);
+  return TraceLineResult::kRequest;
+}
+
 std::optional<std::vector<ServeRequest>> ParseTrace(const std::string& text) {
   std::vector<ServeRequest> trace;
   std::stringstream stream(text);
   std::string line;
   int64_t next_id = 0;
   while (std::getline(stream, line)) {
-    if (!line.empty() && line.back() == '\r') {
-      line.pop_back();  // tolerate CRLF trace files
-    }
-    if (line.empty() || line[0] == '#' || line.rfind("arrival_us,", 0) == 0) {
-      continue;
-    }
-    std::stringstream fields(line);
-    std::string arrival, tenant, kind, primitive, extra_tiles, shapes;
-    if (!std::getline(fields, arrival, ',') || !std::getline(fields, tenant, ',') ||
-        !std::getline(fields, kind, ',') || !std::getline(fields, primitive, ',') ||
-        !std::getline(fields, extra_tiles, ',') || !std::getline(fields, shapes)) {
-      return std::nullopt;
-    }
     ServeRequest request;
-    request.id = next_id++;
-    request.tenant = tenant;
-    const auto parsed_arrival = TryParseDouble(arrival);
-    const auto parsed_extra_tiles = TryParseInt(extra_tiles);
-    if (!parsed_arrival || !parsed_extra_tiles) {
-      return std::nullopt;
-    }
-    request.arrival_us = *parsed_arrival;
-    request.spec.extra_tiles = *parsed_extra_tiles;
-    // The same constraints SerializeTrace enforces, so a loaded trace
-    // always re-serializes.
-    if (!std::isfinite(request.arrival_us) || request.arrival_us < 0.0 ||
-        request.spec.extra_tiles < 0 || tenant.empty() || tenant[0] == '#') {
-      return std::nullopt;
-    }
-    const auto parsed_kind = TryScenarioKindFromName(kind);
-    const auto parsed_primitive = TryCommPrimitiveFromName(primitive);
-    if (!parsed_kind || !parsed_primitive) {
-      return std::nullopt;
-    }
-    request.spec.kind = *parsed_kind;
-    request.spec.primitive = *parsed_primitive;
-    std::stringstream shape_stream(shapes);
-    std::string token;
-    while (std::getline(shape_stream, token, ';')) {
-      const auto shape = ShapeFromToken(token);
-      if (!shape) {
+    switch (ParseTraceLine(std::move(line), &request)) {
+      case TraceLineResult::kSkip:
+        break;
+      case TraceLineResult::kError:
         return std::nullopt;
-      }
-      request.spec.shapes.push_back(*shape);
+      case TraceLineResult::kRequest:
+        request.id = next_id++;
+        trace.push_back(std::move(request));
+        break;
     }
-    if (request.spec.shapes.empty()) {
-      return std::nullopt;
-    }
-    trace.push_back(std::move(request));
   }
   return trace;
 }

@@ -18,6 +18,7 @@
 #include "src/core/scenario.h"
 #include "src/models/workloads.h"
 #include "src/sim/event_queue.h"
+#include "src/util/rng.h"
 
 namespace flo {
 
@@ -26,6 +27,35 @@ struct ServeRequest {
   std::string tenant;
   SimTime arrival_us = 0.0;
   ScenarioSpec spec;
+  // Interned tenant id (TenantRegistry). 0 = unresolved; admission interns
+  // lazily, so hand-built requests may leave it unset. Appended last so
+  // positional brace initializers of the four fields above keep working.
+  uint32_t tenant_id = 0;
+};
+
+// Streaming arrival-time generator: the pull-based form of the batch
+// generators below, emitting one arrival per Next() call. Bit-identical to
+// PoissonArrivals/BurstyArrivals under the same parameters and seed (those
+// are now materialized through this class).
+class ArrivalProcess {
+ public:
+  static ArrivalProcess Poisson(double mean_interarrival_us, uint64_t seed);
+  static ArrivalProcess Bursty(double mean_interarrival_us, double burstiness,
+                               int burst_len, uint64_t seed);
+
+  // The next arrival time; strictly nondecreasing across calls.
+  SimTime Next();
+
+ private:
+  ArrivalProcess(double in_burst_mean_us, double idle_mean_us, int burst_len,
+                 uint64_t seed);
+
+  Rng rng_;
+  double in_burst_mean_us_;
+  double idle_mean_us_;
+  int burst_len_;
+  int64_t index_ = 0;
+  SimTime t_ = 0.0;
 };
 
 // Poisson process: iid exponential inter-arrivals with the given mean.
@@ -64,6 +94,14 @@ std::vector<ServeRequest> MergeStreams(std::vector<std::vector<ServeRequest>> st
 // imbalanced specs). Forced partitions and per-scenario options are not
 // part of the trace — a trace carries the declarative workload only.
 std::string SerializeTrace(const std::vector<ServeRequest>& trace);
+
+// One line of the trace format, for line-at-a-time streaming parses
+// (TraceFileCursor) and the whole-text ParseTrace alike. kSkip covers
+// blank lines, comments, the header, and CRLF artifacts; the caller
+// assigns ids.
+enum class TraceLineResult { kRequest, kSkip, kError };
+TraceLineResult ParseTraceLine(std::string line, ServeRequest* out);
+
 // Returns std::nullopt on any malformed line; ids are reassigned
 // sequentially in file order.
 std::optional<std::vector<ServeRequest>> ParseTrace(const std::string& text);

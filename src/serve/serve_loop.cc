@@ -1,11 +1,11 @@
 #include "src/serve/serve_loop.h"
 
-#include <algorithm>
 #include <utility>
 #include <vector>
 
+#include "src/serve/request_cursor.h"
 #include "src/serve/serve_session.h"
-#include "src/sim/event_queue.h"
+#include "src/sim/event_loop.h"
 #include "src/util/check.h"
 
 namespace flo {
@@ -16,27 +16,27 @@ ServeLoop::ServeLoop(OverlapEngine* engine, ServeConfig config)
 }
 
 ServeReport ServeLoop::Run(std::vector<ServeRequest> requests) {
-  std::stable_sort(requests.begin(), requests.end(),
-                   [](const ServeRequest& a, const ServeRequest& b) {
-                     return a.arrival_us < b.arrival_us;
-                   });
-  // One session over a private event queue: the single-replica special
+  // VectorCursor stable-sorts by arrival, so the streamed admission order
+  // matches the historical materialize-everything loop exactly.
+  VectorCursor cursor(std::move(requests));
+  return Run(&cursor);
+}
+
+ServeReport ServeLoop::Run(RequestCursor* cursor) {
+  FLO_CHECK(cursor != nullptr);
+  // One session over a private event loop: the single-replica special
   // case of the state machine (src/cluster drives many sessions on one
-  // shared queue).
-  EventQueue events;
+  // shared loop).
+  EventLoop events(config_.legacy_event_heap);
   ServeSession session(engine_, config_, &events);
-  for (ServeRequest& request : requests) {
-    const SimTime arrival = request.arrival_us;
-    events.Push(arrival, [&session, arrival, request = std::move(request)]() mutable {
-      session.Admit(std::move(request), arrival);
-    });
-  }
-  SimTime now = 0.0;
-  while (!events.empty()) {
-    auto callback = events.Pop(&now);
-    callback();
-  }
-  return session.report();
+  ArrivalPump pump(cursor, &events,
+                   [&session](ServeRequest request, SimTime now) {
+                     session.Admit(std::move(request), now);
+                   });
+  events.RunToCompletion();
+  ServeReport report = session.report();
+  report.events = events.dispatched();
+  return report;
 }
 
 }  // namespace flo

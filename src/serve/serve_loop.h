@@ -30,6 +30,8 @@
 
 namespace flo {
 
+class RequestCursor;
+
 struct ServeConfig {
   // Max requests fused into one executor dispatch (they share a plan).
   int max_batch = 4;
@@ -62,6 +64,15 @@ struct ServeConfig {
   // starting in the round. Never affects the simulated timeline: each
   // lane's charge is decided before the pool runs.
   int tune_threads = 0;
+  // Drive the run through the legacy std::function binary heap instead of
+  // the typed calendar queue. Timelines are bit-identical either way; the
+  // flag exists as the differential baseline sim_bench and the event-core
+  // tests pin the fast path against.
+  bool legacy_event_heap = false;
+  // Memoize deterministic schedule replays per spec fingerprint
+  // (OverlapEngine::ExecuteMemoized). Plan-store lookups, hit/miss stats,
+  // and reports are unchanged; repeat specs skip the simulation itself.
+  bool memoize_runs = true;
 };
 
 struct ServeReport {
@@ -75,6 +86,8 @@ struct ServeReport {
   // Peak cold-tuning lanes put to use — the chosen lane-pool size (under
   // ServeConfig::adaptive_tuner_lanes, the pool the pressure demanded).
   int tuner_lanes = 0;
+  // Events dispatched by the run's event loop (arrivals + internal).
+  uint64_t events = 0;
 
   double ThroughputPerSec() const {
     return makespan_us > 0.0 ? static_cast<double>(stats.count()) / makespan_us * 1e6 : 0.0;
@@ -91,6 +104,11 @@ class ServeLoop {
   // Serves the trace to completion and returns the metrics. Deterministic:
   // the same trace against the same engine state yields identical numbers.
   ServeReport Run(std::vector<ServeRequest> requests);
+
+  // Streaming form: pulls requests from the cursor as simulated time
+  // advances (one arrival in flight at a time), so memory stays
+  // O(pending) instead of O(trace). The vector overload wraps this.
+  ServeReport Run(RequestCursor* cursor);
 
   const ServeConfig& config() const { return config_; }
 

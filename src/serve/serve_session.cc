@@ -7,12 +7,13 @@
 
 namespace flo {
 
-ServeSession::ServeSession(OverlapEngine* engine, ServeConfig config, EventQueue* events,
-                           Hooks hooks)
+ServeSession::ServeSession(OverlapEngine* engine, ServeConfig config, EventLoop* events,
+                           Hooks hooks, int replica_id)
     : engine_(engine),
       config_(config),
       events_(events),
       hooks_(std::move(hooks)),
+      replica_id_(replica_id),
       queue_([this](const ScenarioSpec& spec) { return engine_->planner().CanonicalKey(spec); }) {
   FLO_CHECK(engine_ != nullptr);
   FLO_CHECK(events_ != nullptr);
@@ -20,9 +21,14 @@ ServeSession::ServeSession(OverlapEngine* engine, ServeConfig config, EventQueue
   FLO_CHECK_GE(config_.tune_base_us, 0.0);
   FLO_CHECK_GE(config_.tune_per_search_us, 0.0);
   FLO_CHECK_GE(config_.max_tuner_lanes, 1);
+  tuning_handler_ = events_->RegisterHandler(
+      [this](const EventRecord& record, SimTime now) { OnTuningFinished(record, now); });
+  finish_handler_ = events_->RegisterHandler(
+      [this](const EventRecord& record, SimTime now) { OnBatchFinished(record, now); });
 }
 
 void ServeSession::Admit(ServeRequest request, SimTime now) {
+  ++pending_requests_;
   queue_.Admit(std::move(request));
   Dispatch(now);
 }
@@ -34,28 +40,37 @@ bool ServeSession::idle() const {
 
 size_t ServeSession::PendingKeyCount(uint64_t key) const {
   size_t pending = queue_.KeyDepth(key);
-  for (const Batch& batch : ready_) {
-    if (batch.key == key) {
-      pending += batch.requests.size();
+  for (const uint32_t s : ready_) {
+    if (batch_pool_[s].key == key) {
+      pending += batch_pool_[s].requests.size();
     }
   }
-  for (const Batch& batch : tune_wait_) {
-    if (batch.key == key) {
-      pending += batch.requests.size();
+  for (const uint32_t s : tune_wait_) {
+    if (batch_pool_[s].key == key) {
+      pending += batch_pool_[s].requests.size();
     }
   }
   return pending;
 }
 
-size_t ServeSession::pending_requests() const {
-  size_t pending = queue_.size() + tuning_requests_;
-  for (const Batch& batch : ready_) {
-    pending += batch.requests.size();
+uint32_t ServeSession::AcquireSlot() {
+  if (!free_slots_.empty()) {
+    const uint32_t s = free_slots_.back();
+    free_slots_.pop_back();
+    return s;
   }
-  for (const Batch& batch : tune_wait_) {
-    pending += batch.requests.size();
-  }
-  return pending;
+  batch_pool_.emplace_back();
+  return static_cast<uint32_t>(batch_pool_.size() - 1);
+}
+
+void ServeSession::ReleaseSlot(uint32_t slot) {
+  Batch& batch = batch_pool_[slot];
+  batch.requests.clear();  // keeps capacity: the pooling that matters
+  batch.key = 0;
+  batch.tuned = false;
+  batch.exec_start = 0.0;
+  batch.exec_hit = false;
+  free_slots_.push_back(slot);
 }
 
 bool ServeSession::IsWarm(uint64_t key) const {
@@ -67,8 +82,8 @@ int ServeSession::TunerLaneTarget() const {
     return std::max(1, config_.tuner_lanes);
   }
   std::set<uint64_t> demand(tuning_keys_.begin(), tuning_keys_.end());
-  for (const Batch& batch : tune_wait_) {
-    demand.insert(batch.key);
+  for (const uint32_t s : tune_wait_) {
+    demand.insert(batch_pool_[s].key);
   }
   if (!queue_.empty()) {
     const uint64_t head = queue_.PeekKey();
@@ -82,53 +97,67 @@ int ServeSession::TunerLaneTarget() const {
 // Batches parked in a lane are not frozen: a same-key batch joining the
 // lane coalesces into an existing one up to max_batch, so requests
 // arriving during a tuning window still get compatibility-batched.
-void ServeSession::MergeOrPark(std::deque<Batch>* lane, Batch batch) {
-  for (Batch& existing : *lane) {
-    if (existing.key == batch.key &&
-        existing.requests.size() + batch.requests.size() <=
+void ServeSession::MergeOrPark(Lane* lane, uint32_t batch_slot) {
+  Batch& incoming = batch_pool_[batch_slot];
+  for (const uint32_t s : *lane) {
+    Batch& existing = batch_pool_[s];
+    if (existing.key == incoming.key &&
+        existing.requests.size() + incoming.requests.size() <=
             static_cast<size_t>(config_.max_batch)) {
-      for (ServeRequest& request : batch.requests) {
+      for (ServeRequest& request : incoming.requests) {
         existing.requests.push_back(std::move(request));
       }
+      ReleaseSlot(batch_slot);
       return;
     }
   }
-  lane->push_back(std::move(batch));
+  lane->push_back(batch_slot);
 }
 
 double ServeSession::TuneCostUs(size_t searches) const {
   return config_.tune_base_us + config_.tune_per_search_us * static_cast<double>(searches);
 }
 
-void ServeSession::FinishTuningAt(Batch batch, double cost, SimTime now) {
+void ServeSession::FinishTuningAt(uint32_t batch_slot, double cost, SimTime now) {
   report_.tuner_busy_us += cost;
-  const uint64_t key = batch.key;
-  const SimTime finish = now + cost;
+  Batch& batch = batch_pool_[batch_slot];
   tuning_requests_ += batch.requests.size();
-  events_->Push(finish, [this, key, finish, batch = std::move(batch)]() mutable {
-    --tuners_busy_;
-    tuning_keys_.erase(key);
-    tuning_requests_ -= batch.requests.size();
-    const ScenarioSpec spec = batch.requests.front().spec;
-    ready_.push_back(std::move(batch));
-    Dispatch(finish);
-    if (hooks_.tuning_finished) {
-      hooks_.tuning_finished(key, spec, finish);
-    }
-  });
+  EventRecord record;
+  record.type = EventType::kTuningFinished;
+  record.key = batch.key;
+  record.handler = tuning_handler_;
+  record.slot = batch_slot;
+  record.replica = replica_id_;
+  events_->Push(now + cost, record);
 }
 
-void ServeSession::StartTuning(Batch batch, SimTime now) {
+void ServeSession::OnTuningFinished(const EventRecord& record, SimTime now) {
+  const uint32_t batch_slot = record.slot;
+  const uint64_t key = record.key;
+  FLO_CHECK_EQ(batch_pool_[batch_slot].key, key);
+  --tuners_busy_;
+  tuning_keys_.erase(key);
+  tuning_requests_ -= batch_pool_[batch_slot].requests.size();
+  // Copied out: Dispatch below may execute and recycle the slot.
+  const ScenarioSpec spec = batch_pool_[batch_slot].requests.front().spec;
+  ready_.push_back(batch_slot);
+  Dispatch(now);
+  if (hooks_.tuning_finished) {
+    hooks_.tuning_finished(key, spec, now);
+  }
+}
+
+void ServeSession::StartTuning(uint32_t batch_slot, SimTime now) {
   ++tuners_busy_;
-  tuning_keys_.insert(batch.key);
+  tuning_keys_.insert(batch_pool_[batch_slot].key);
   // Build and cache the plan now; its cost lands on the tuning lane, so
   // the executor keeps serving warm batches meanwhile. By-value: against
   // a shared store, Plan()'s reference could dangle under concurrent
   // eviction by another engine.
   const size_t searches_before = engine_->tuner().search_count();
-  engine_->planner().PlanByValue(batch.requests.front().spec);
+  engine_->planner().PlanByValue(batch_pool_[batch_slot].requests.front().spec);
   const double cost = TuneCostUs(engine_->tuner().search_count() - searches_before);
-  FinishTuningAt(std::move(batch), cost, now);
+  FinishTuningAt(batch_slot, cost, now);
 }
 
 // Multi-lane start: the distinct predictive searches behind `group` run
@@ -136,11 +165,11 @@ void ServeSession::StartTuning(Batch batch, SimTime now) {
 // simulated lane is then charged the searches its own batch was missing.
 // The charge is decided before the pool runs, so the timeline is
 // deterministic regardless of worker scheduling.
-void ServeSession::StartTuningGroup(std::vector<Batch> group, SimTime now) {
+void ServeSession::StartTuningGroup(std::vector<uint32_t> group, SimTime now) {
   std::vector<ScenarioSpec> specs;
   specs.reserve(group.size());
-  for (const Batch& batch : group) {
-    specs.push_back(batch.requests.front().spec);
+  for (const uint32_t s : group) {
+    specs.push_back(batch_pool_[s].requests.front().spec);
   }
   // PretuneParallel reports which searches it claimed (first spec to
   // need one wins); each lane is charged exactly its batch's claim.
@@ -158,24 +187,30 @@ void ServeSession::StartTuningGroup(std::vector<Batch> group, SimTime now) {
       }
     }
     ++tuners_busy_;
-    tuning_keys_.insert(group[i].key);
+    tuning_keys_.insert(batch_pool_[group[i]].key);
     // The searches are warm now; this builds and caches the plan.
     engine_->planner().PlanByValue(specs[i]);
-    FinishTuningAt(std::move(group[i]), TuneCostUs(searches), now);
+    FinishTuningAt(group[i], TuneCostUs(searches), now);
   }
 }
 
-void ServeSession::ExecuteBatch(Batch batch, SimTime now) {
+void ServeSession::ExecuteBatch(uint32_t batch_slot, SimTime now) {
+  Batch& batch = batch_pool_[batch_slot];
   executor_free_ = false;
   ++report_.batches;
+  pending_requests_ -= batch.requests.size();
   // Hit/miss is a property of the batch's plan at dispatch time: if the
   // plan was cold, every request of the batch waited on it — including
   // the ones whose Execute hits the entry the first request just built.
   const bool warm_at_dispatch = !batch.tuned && engine_->plan_store().Contains(batch.key);
   const size_t searches_before = engine_->tuner().search_count();
   // One canonical key means one spec, one seed, one deterministic
-  // schedule: simulate once and charge the service per request.
-  const OverlapRun run = engine_->Execute(batch.requests.front().spec);
+  // schedule: simulate once and charge the service per request. Fleet
+  // runs replay the same spec thousands of times, so the deterministic
+  // replay itself is memoized (the store lookup still happens per call).
+  const OverlapRun run = config_.memoize_runs
+                             ? engine_->ExecuteMemoized(batch.requests.front().spec)
+                             : engine_->Execute(batch.requests.front().spec);
   double service_us = run.total_us * static_cast<double>(batch.requests.size());
   const bool hit = warm_at_dispatch && run.plan_cache_hit;
   const bool cold = !hit;
@@ -191,35 +226,52 @@ void ServeSession::ExecuteBatch(Batch batch, SimTime now) {
     service_us += TuneCostUs(inline_searches);
   }
   report_.executor_busy_us += service_us;
-  const SimTime start = now;
   const SimTime finish = now + service_us;
   busy_until_ = finish;
-  events_->Push(finish, [this, batch = std::move(batch), hit, start, finish] {
-    std::vector<RequestRecord> finished;
+  batch.exec_start = now;
+  batch.exec_hit = hit;
+  EventRecord record;
+  record.type = EventType::kBatchFinished;
+  record.key = batch.key;
+  record.handler = finish_handler_;
+  record.slot = batch_slot;
+  record.replica = replica_id_;
+  events_->Push(finish, record);
+}
+
+void ServeSession::OnBatchFinished(const EventRecord& record, SimTime now) {
+  const uint32_t batch_slot = record.slot;
+  Batch& batch = batch_pool_[batch_slot];
+  const SimTime start = batch.exec_start;
+  const SimTime finish = now;
+  const bool hit = batch.exec_hit;
+  const int batch_size = static_cast<int>(batch.requests.size());
+  finished_scratch_.clear();
+  for (ServeRequest& request : batch.requests) {
+    RequestRecord finished;
+    finished.id = request.id;
+    finished.tenant = std::move(request.tenant);
+    finished.tenant_id = request.tenant_id;
+    finished.arrival_us = request.arrival_us;
+    finished.start_us = start;
+    finished.finish_us = finish;
+    finished.plan_cache_hit = hit;
+    finished.batch_size = batch_size;
     if (hooks_.request_finished) {
-      finished.reserve(batch.requests.size());
+      finished_scratch_.push_back(finished);
     }
-    for (const ServeRequest& request : batch.requests) {
-      RequestRecord record;
-      record.id = request.id;
-      record.tenant = request.tenant;
-      record.arrival_us = request.arrival_us;
-      record.start_us = start;
-      record.finish_us = finish;
-      record.plan_cache_hit = hit;
-      record.batch_size = static_cast<int>(batch.requests.size());
-      if (hooks_.request_finished) {
-        finished.push_back(record);
-      }
-      report_.stats.Record(std::move(record));
-    }
-    report_.makespan_us = std::max(report_.makespan_us, finish);
-    executor_free_ = true;
-    Dispatch(finish);
-    for (const RequestRecord& record : finished) {
-      hooks_.request_finished(record, finish);
-    }
-  });
+    report_.stats.Record(std::move(finished));
+  }
+  report_.makespan_us = std::max(report_.makespan_us, finish);
+  ReleaseSlot(batch_slot);
+  executor_free_ = true;
+  Dispatch(now);
+  // finished_scratch_ is only written above; Dispatch and the hooks never
+  // touch it (OnBatchFinished cannot re-enter — one executor event in
+  // flight at a time).
+  for (const RequestRecord& finished : finished_scratch_) {
+    hooks_.request_finished(finished, now);
+  }
 }
 
 void ServeSession::Dispatch(SimTime now) {
@@ -227,12 +279,13 @@ void ServeSession::Dispatch(SimTime now) {
   // finished tuning, or a peer shipped the plan into the store) from the
   // waiting room first — even while the lane is busy with another key, or
   // they would strand behind it with the executor idle.
-  for (auto it = tune_wait_.begin(); it != tune_wait_.end();) {
-    if (IsWarm(it->key)) {
-      MergeOrPark(&ready_, std::move(*it));
-      it = tune_wait_.erase(it);
+  for (size_t i = 0; i < tune_wait_.size();) {
+    const uint32_t s = tune_wait_[i];
+    if (IsWarm(batch_pool_[s].key)) {
+      tune_wait_.erase(tune_wait_.begin() + static_cast<Lane::difference_type>(i));
+      MergeOrPark(&ready_, s);
     } else {
-      ++it;
+      ++i;
     }
   }
   // Feed idle tuning lanes: gather distinct-key cold batches — from the
@@ -242,7 +295,7 @@ void ServeSession::Dispatch(SimTime now) {
   // Batches gathered in one round start together so their searches share
   // the worker pool.
   const int tuner_lanes = TunerLaneTarget();
-  std::vector<Batch> starting;
+  std::vector<uint32_t> starting;
   // Keys the fleet vetoed this round (a peer owns the in-flight search);
   // their batches park until the shipped plan turns the key warm.
   std::set<uint64_t> vetoed;
@@ -250,8 +303,8 @@ void ServeSession::Dispatch(SimTime now) {
     if (tuning_keys_.count(key) != 0) {
       return true;
     }
-    for (const Batch& batch : starting) {
-      if (batch.key == key) {
+    for (const uint32_t s : starting) {
+      if (batch_pool_[s].key == key) {
         return true;
       }
     }
@@ -266,10 +319,11 @@ void ServeSession::Dispatch(SimTime now) {
   };
   while (tuners_busy_ + static_cast<int>(starting.size()) < tuner_lanes) {
     bool picked = false;
-    for (auto it = tune_wait_.begin(); it != tune_wait_.end(); ++it) {
-      if (!key_busy(it->key) && vetoed.count(it->key) == 0 && acquire(it->key)) {
-        starting.push_back(std::move(*it));
-        tune_wait_.erase(it);
+    for (size_t i = 0; i < tune_wait_.size(); ++i) {
+      const uint64_t key = batch_pool_[tune_wait_[i]].key;
+      if (!key_busy(key) && vetoed.count(key) == 0 && acquire(key)) {
+        starting.push_back(tune_wait_[i]);
+        tune_wait_.erase(tune_wait_.begin() + static_cast<Lane::difference_type>(i));
         picked = true;
         break;
       }
@@ -280,18 +334,18 @@ void ServeSession::Dispatch(SimTime now) {
     if (config_.overlap_tuning && !queue_.empty() && !IsWarm(queue_.PeekKey()) &&
         !key_busy(queue_.PeekKey()) && vetoed.count(queue_.PeekKey()) == 0) {
       if (acquire(queue_.PeekKey())) {
-        Batch batch;
-        batch.requests = queue_.PopBatch(config_.max_batch, &batch.key);
-        batch.tuned = true;
-        starting.push_back(std::move(batch));
+        const uint32_t s = AcquireSlot();
+        batch_pool_[s].key = queue_.PopBatchInto(config_.max_batch, &batch_pool_[s].requests);
+        batch_pool_[s].tuned = true;
+        starting.push_back(s);
         continue;
       }
       // Vetoed head: move it off the queue so warm work behind it keeps
       // flowing; it waits for the peer's plan like any parked cold batch.
-      Batch batch;
-      batch.requests = queue_.PopBatch(config_.max_batch, &batch.key);
-      batch.tuned = true;
-      MergeOrPark(&tune_wait_, std::move(batch));
+      const uint32_t s = AcquireSlot();
+      batch_pool_[s].key = queue_.PopBatchInto(config_.max_batch, &batch_pool_[s].requests);
+      batch_pool_[s].tuned = true;
+      MergeOrPark(&tune_wait_, s);
       continue;
     }
     break;
@@ -301,33 +355,33 @@ void ServeSession::Dispatch(SimTime now) {
   report_.tuner_lanes =
       std::max(report_.tuner_lanes, tuners_busy_ + static_cast<int>(starting.size()));
   if (starting.size() == 1) {
-    StartTuning(std::move(starting.front()), now);
+    StartTuning(starting.front(), now);
   } else if (!starting.empty()) {
     StartTuningGroup(std::move(starting), now);
   }
   while (executor_free_) {
     if (!ready_.empty()) {
-      Batch batch = std::move(ready_.front());
+      const uint32_t s = ready_.front();
       ready_.pop_front();
-      ExecuteBatch(std::move(batch), now);
+      ExecuteBatch(s, now);
       return;
     }
     if (queue_.empty()) {
       return;
     }
-    Batch batch;
-    batch.requests = queue_.PopBatch(config_.max_batch, &batch.key);
-    if (config_.overlap_tuning && !IsWarm(batch.key)) {
-      batch.tuned = true;  // it will wait on the cold-plan path
-      if (tuners_busy_ < tuner_lanes && tuning_keys_.count(batch.key) == 0 &&
-          vetoed.count(batch.key) == 0 && acquire(batch.key)) {
-        StartTuning(std::move(batch), now);
+    const uint32_t s = AcquireSlot();
+    batch_pool_[s].key = queue_.PopBatchInto(config_.max_batch, &batch_pool_[s].requests);
+    if (config_.overlap_tuning && !IsWarm(batch_pool_[s].key)) {
+      batch_pool_[s].tuned = true;  // it will wait on the cold-plan path
+      if (tuners_busy_ < tuner_lanes && tuning_keys_.count(batch_pool_[s].key) == 0 &&
+          vetoed.count(batch_pool_[s].key) == 0 && acquire(batch_pool_[s].key)) {
+        StartTuning(s, now);
       } else {
-        MergeOrPark(&tune_wait_, std::move(batch));
+        MergeOrPark(&tune_wait_, s);
       }
       continue;  // a warm batch may be waiting behind the cold one
     }
-    ExecuteBatch(std::move(batch), now);
+    ExecuteBatch(s, now);
   }
 }
 

@@ -1,13 +1,14 @@
 // The per-engine serving state machine, extracted from ServeLoop so an
-// external scheduler can drive many of them on one shared event queue —
+// external scheduler can drive many of them on one shared event loop —
 // the fleet of src/cluster/ runs one session per replica engine.
 //
 // A session owns one replica's serving state: the per-tenant admission
 // queue, one executor lane, and the cold-tuning lanes. It is driven from
 // outside: the owner pushes Admit calls (a router deciding placement) and
 // the session schedules its own continuation events on the borrowed
-// EventQueue. ServeLoop wraps exactly one session over a private queue —
-// the single-replica special case.
+// EventLoop — typed records dispatched to handlers the session registers
+// at construction, not per-event closures. ServeLoop wraps exactly one
+// session over a private loop — the single-replica special case.
 //
 // Hooks let a fleet coordinate across sessions without the session
 // knowing about the fleet: acquire_tuning gates cold tunes (fleet-wide
@@ -29,7 +30,7 @@
 #include "src/serve/request_source.h"
 #include "src/serve/serve_loop.h"
 #include "src/serve/serve_stats.h"
-#include "src/sim/event_queue.h"
+#include "src/sim/event_loop.h"
 
 namespace flo {
 
@@ -50,9 +51,12 @@ class ServeSession {
     std::function<void(const RequestRecord& record, SimTime now)> request_finished;
   };
 
-  // The engine and event queue are borrowed and must outlive the session.
-  ServeSession(OverlapEngine* engine, ServeConfig config, EventQueue* events,
-               Hooks hooks = {});
+  // The engine and event loop are borrowed and must outlive the session;
+  // the session must outlive the drain of any events it scheduled (its
+  // handlers live here). `replica_id` tags the session's event records
+  // (-1 for standalone sessions).
+  ServeSession(OverlapEngine* engine, ServeConfig config, EventLoop* events,
+               Hooks hooks = {}, int replica_id = -1);
 
   // Admits one request and dispatches. `now` is the caller's simulated
   // time (the request's arrival as seen by this session).
@@ -65,8 +69,9 @@ class ServeSession {
   // No queued work, no tuning in flight, executor free. The session may
   // still receive Admit calls afterwards.
   bool idle() const;
-  // Requests admitted but not yet dispatched to the executor.
-  size_t pending_requests() const;
+  // Requests admitted but not yet dispatched to the executor. O(1): a
+  // counter maintained by Admit/ExecuteBatch, not a lane scan.
+  size_t pending_requests() const { return pending_requests_; }
   // Executor busy horizon (<= now when the lane is free).
   SimTime busy_until() const { return busy_until_; }
   bool IsTuningKey(uint64_t key) const { return tuning_keys_.count(key) != 0; }
@@ -86,7 +91,17 @@ class ServeSession {
     uint64_t key = 0;
     // Routed through the cold-plan path: its requests waited on tuning.
     bool tuned = false;
+    // Execution context, set by ExecuteBatch for the finish event.
+    SimTime exec_start = 0.0;
+    bool exec_hit = false;
   };
+  // Lanes hold slots into the batch pool: batches (and their request
+  // vectors) are recycled instead of allocated per dispatch.
+  using Lane = std::deque<uint32_t>;
+
+  uint32_t AcquireSlot();
+  void ReleaseSlot(uint32_t slot);
+  Batch& slot(uint32_t s) { return batch_pool_[s]; }
 
   bool IsWarm(uint64_t key) const;
   // The cold-tuning lane-pool size for this dispatch round: the static
@@ -94,31 +109,42 @@ class ServeSession {
   // cold keys in flight, parked, or at the rotation head), clamped to
   // [1, max_tuner_lanes].
   int TunerLaneTarget() const;
-  void MergeOrPark(std::deque<Batch>* lane, Batch batch);
+  void MergeOrPark(Lane* lane, uint32_t batch_slot);
   double TuneCostUs(size_t searches) const;
-  void FinishTuningAt(Batch batch, double cost, SimTime now);
-  void StartTuning(Batch batch, SimTime now);
-  void StartTuningGroup(std::vector<Batch> group, SimTime now);
-  void ExecuteBatch(Batch batch, SimTime now);
+  void FinishTuningAt(uint32_t batch_slot, double cost, SimTime now);
+  void StartTuning(uint32_t batch_slot, SimTime now);
+  void StartTuningGroup(std::vector<uint32_t> group, SimTime now);
+  void ExecuteBatch(uint32_t batch_slot, SimTime now);
+  // Typed-event handlers (EventType::kTuningFinished / kBatchFinished).
+  void OnTuningFinished(const EventRecord& record, SimTime now);
+  void OnBatchFinished(const EventRecord& record, SimTime now);
 
   OverlapEngine* engine_;
   ServeConfig config_;
-  EventQueue* events_;
+  EventLoop* events_;
   Hooks hooks_;
+  int replica_id_;
+  uint32_t tuning_handler_ = 0;
+  uint32_t finish_handler_ = 0;
 
   RequestQueue queue_;
-  std::deque<Batch> ready_;      // tuned batches awaiting the executor
-  std::deque<Batch> tune_wait_;  // cold batches awaiting a tuning lane
+  Lane ready_;      // tuned batches awaiting the executor
+  Lane tune_wait_;  // cold batches awaiting a tuning lane
+  std::vector<Batch> batch_pool_;
+  std::vector<uint32_t> free_slots_;
   // Keys whose plan is in the store but whose simulated tuning has not
   // completed yet: they must not be treated as warm, or later same-key
   // batches would execute before the tuning that produced their plan.
   std::set<uint64_t> tuning_keys_;
   // Requests riding batches currently on a tuning lane (the batches live
-  // in their finish events, not in a deque) — still pending work.
+  // in their finish events' slots, not in a lane) — still pending work.
   size_t tuning_requests_ = 0;
+  size_t pending_requests_ = 0;
   bool executor_free_ = true;
   int tuners_busy_ = 0;
   SimTime busy_until_ = 0.0;
+  // Scratch for OnBatchFinished's hook fan-out; reused across events.
+  std::vector<RequestRecord> finished_scratch_;
   ServeReport report_;
 };
 

@@ -1,7 +1,9 @@
 #include "src/serve/serve_stats.h"
 
+#include <algorithm>
 #include <utility>
 
+#include "src/serve/tenant_registry.h"
 #include "src/util/check.h"
 #include "src/util/table.h"
 
@@ -11,23 +13,28 @@ void ServeStats::Record(RequestRecord record) {
   FLO_CHECK(!record.tenant.empty());
   FLO_CHECK_GE(record.start_us, record.arrival_us);
   FLO_CHECK_GE(record.finish_us, record.start_us);
-  by_tenant_[record.tenant].push_back(records_.size());
+  if (record.tenant_id == 0) {
+    record.tenant_id = InternTenant(record.tenant);  // hand-built record
+  }
+  by_tenant_[record.tenant_id].push_back(records_.size());
   records_.push_back(std::move(record));
 }
 
 std::vector<std::string> ServeStats::Tenants() const {
   std::vector<std::string> tenants;
   tenants.reserve(by_tenant_.size());
-  for (const auto& [tenant, indices] : by_tenant_) {
-    tenants.push_back(tenant);
+  for (const auto& [tenant_id, indices] : by_tenant_) {
+    tenants.push_back(TenantNameOf(tenant_id));
   }
+  // by_tenant_ is unordered; name order keeps reports deterministic.
+  std::sort(tenants.begin(), tenants.end());
   return tenants;
 }
 
 TenantSummary ServeStats::Summarize(const std::string& tenant) const {
   TenantSummary summary;
   summary.tenant = tenant;
-  auto it = by_tenant_.find(tenant);
+  auto it = by_tenant_.find(InternTenant(tenant));
   FLO_CHECK(it != by_tenant_.end()) << "no records for tenant " << tenant;
   std::vector<double> latencies;
   latencies.reserve(it->second.size());

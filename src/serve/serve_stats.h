@@ -5,8 +5,8 @@
 #define SRC_SERVE_SERVE_STATS_H_
 
 #include <cstdint>
-#include <map>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "src/sim/event_queue.h"
@@ -27,6 +27,10 @@ struct RequestRecord {
   // eventual Execute hits the freshly tuned entry).
   bool plan_cache_hit = false;
   int batch_size = 1;
+  // Interned tenant id (TenantRegistry); 0 = unresolved, interned lazily
+  // by ServeStats::Record. Appended last so positional initializers of
+  // the fields above keep working.
+  uint32_t tenant_id = 0;
 
   double QueueUs() const { return start_us - arrival_us; }
   double ExecUs() const { return finish_us - start_us; }
@@ -71,7 +75,9 @@ class ServeStats {
   std::vector<RequestRecord> records_;
   // Indices into records_ grouped at Record() time, so per-tenant
   // summaries are one scan instead of a full-vector pass per tenant.
-  std::map<std::string, std::vector<size_t>> by_tenant_;
+  // Keyed by interned tenant id — an integer hash per record instead of a
+  // string hash/compare; Tenants() restores name order at query time.
+  std::unordered_map<uint32_t, std::vector<size_t>> by_tenant_;
 };
 
 }  // namespace flo

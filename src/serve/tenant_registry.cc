@@ -1,0 +1,49 @@
+#include "src/serve/tenant_registry.h"
+
+#include <deque>
+#include <mutex>
+#include <unordered_map>
+
+#include "src/util/check.h"
+
+namespace flo {
+namespace {
+
+struct Registry {
+  std::mutex mutex;
+  // names[0] is the reserved "unresolved" slot so valid ids start at 1.
+  // A deque so returned references stay valid as the registry grows.
+  std::deque<std::string> names{""};
+  std::unordered_map<std::string, uint32_t> ids;
+};
+
+Registry& GlobalRegistry() {
+  static Registry* registry = new Registry();  // leaked: process lifetime
+  return *registry;
+}
+
+}  // namespace
+
+uint32_t InternTenant(const std::string& name) {
+  FLO_CHECK(!name.empty());
+  Registry& registry = GlobalRegistry();
+  std::lock_guard<std::mutex> lock(registry.mutex);
+  const auto it = registry.ids.find(name);
+  if (it != registry.ids.end()) {
+    return it->second;
+  }
+  const uint32_t id = static_cast<uint32_t>(registry.names.size());
+  registry.names.push_back(name);
+  registry.ids.emplace(name, id);
+  return id;
+}
+
+const std::string& TenantNameOf(uint32_t id) {
+  Registry& registry = GlobalRegistry();
+  std::lock_guard<std::mutex> lock(registry.mutex);
+  FLO_CHECK_GT(id, 0u);
+  FLO_CHECK_LT(id, registry.names.size());
+  return registry.names[id];
+}
+
+}  // namespace flo

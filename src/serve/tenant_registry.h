@@ -1,0 +1,29 @@
+// Process-wide tenant-name interning for the serving hot path.
+//
+// Admission used to key per-tenant structures by std::string, paying a
+// string hash/compare (and often a copy) per request. Interning maps each
+// distinct tenant name to a small dense id once, at request-creation time;
+// the admission path then works in integer ids. Id 0 is reserved for
+// "unresolved": requests built by hand (tests, ad-hoc demos) carry 0 and
+// are lazily interned on first admission, so the fast path never needs a
+// string lookup and the slow path never needs caller cooperation.
+#ifndef SRC_SERVE_TENANT_REGISTRY_H_
+#define SRC_SERVE_TENANT_REGISTRY_H_
+
+#include <cstdint>
+#include <string>
+
+namespace flo {
+
+// Returns the stable id (>= 1) for a tenant name, interning it on first
+// use. Thread-safe; ids are stable for the process lifetime. Note the ids
+// depend on interning order and must never be used for ordering decisions
+// — deterministic code orders tenants by name (see RequestQueue).
+uint32_t InternTenant(const std::string& name);
+
+// Name for an interned id. Requires a valid id (from InternTenant).
+const std::string& TenantNameOf(uint32_t id);
+
+}  // namespace flo
+
+#endif  // SRC_SERVE_TENANT_REGISTRY_H_

@@ -1,0 +1,103 @@
+#include "src/sim/calendar_queue.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/util/check.h"
+
+namespace flo {
+namespace {
+
+// Floor on the derived bucket width. At microsecond timescales this keeps
+// time / width comfortably inside uint64 while still allowing very dense
+// event populations.
+constexpr double kMinWidth = 1e-9;
+
+}  // namespace
+
+CalendarQueue::CalendarQueue() : buckets_(kMinBuckets), mask_(kMinBuckets - 1) {}
+
+CalendarEntry CalendarQueue::PopOverflow() {
+  // Nothing due within a year of the scan origin: the width is mis-tuned
+  // for the live population (too narrow for its gaps). Take the direct
+  // minimum, then retune the day width to the gap that overflowed the year
+  // so subsequent pops land within a probe or two again. Without this,
+  // sparse steady states (a handful of in-flight events) pay a full year
+  // scan plus a direct scan on every single pop.
+  const SimTime origin = last_time_;
+  const CalendarEntry entry = PopDirect();
+  const double gap = entry.time - origin;
+  if (gap > width_) {
+    width_ = gap;
+    inv_width_ = 1.0 / width_;
+    Redistribute(buckets_.size());
+  }
+  return entry;
+}
+
+CalendarEntry CalendarQueue::PopDirect() {
+  size_t best_bucket = buckets_.size();
+  size_t best_index = 0;
+  for (size_t b = 0; b < buckets_.size(); ++b) {
+    for (size_t i = 0; i < buckets_[b].size(); ++i) {
+      const CalendarEntry& e = buckets_[b][i];
+      if (best_bucket == buckets_.size()) {
+        best_bucket = b;
+        best_index = i;
+        continue;
+      }
+      const CalendarEntry& best = buckets_[best_bucket][best_index];
+      if (e.time < best.time || (e.time == best.time && e.order < best.order)) {
+        best_bucket = b;
+        best_index = i;
+      }
+    }
+  }
+  FLO_CHECK_LT(best_bucket, buckets_.size());
+  std::vector<CalendarEntry>& bucket = buckets_[best_bucket];
+  CalendarEntry entry = bucket[best_index];
+  bucket[best_index] = bucket.back();
+  bucket.pop_back();
+  last_time_ = entry.time;
+  scan_vday_ = entry.vday;
+  --size_;
+  return entry;
+}
+
+void CalendarQueue::Rebuild(size_t bucket_count) {
+  if (size_ > 0) {
+    // One bucket per live event across the live time span: the classic
+    // calendar-queue sizing rule. Deterministic — derived from content only.
+    bool seen = false;
+    SimTime lo = 0.0;
+    SimTime hi = 0.0;
+    for (const std::vector<CalendarEntry>& bucket : buckets_) {
+      for (const CalendarEntry& e : bucket) {
+        lo = seen ? std::min(lo, e.time) : e.time;
+        hi = seen ? std::max(hi, e.time) : e.time;
+        seen = true;
+      }
+    }
+    width_ = std::max((hi - lo) / static_cast<double>(size_), kMinWidth);
+    inv_width_ = 1.0 / width_;
+  }
+  Redistribute(bucket_count);
+}
+
+void CalendarQueue::Redistribute(size_t bucket_count) {
+  scratch_.clear();
+  scratch_.reserve(size_);
+  for (std::vector<CalendarEntry>& bucket : buckets_) {
+    scratch_.insert(scratch_.end(), bucket.begin(), bucket.end());
+    bucket.clear();
+  }
+  buckets_.resize(bucket_count);
+  mask_ = bucket_count - 1;
+  for (CalendarEntry& e : scratch_) {
+    e.vday = VirtualBucket(e.time);
+    buckets_[e.vday & mask_].push_back(e);
+  }
+  scan_vday_ = VirtualBucket(last_time_);
+}
+
+}  // namespace flo

@@ -1,0 +1,67 @@
+#include "src/sim/event_loop.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/util/check.h"
+
+namespace flo {
+
+namespace {
+// Reserved handler id used by PushCall to dispatch pooled closures.
+constexpr uint32_t kCallHandler = 0;
+}  // namespace
+
+EventLoop::EventLoop(bool legacy_heap) : legacy_(legacy_heap) {
+  // Handler 0: run a pooled closure and recycle its slot.
+  RegisterHandler([this](const EventRecord& record, SimTime) {
+    std::function<void()> call = std::move(calls_[record.slot]);
+    calls_[record.slot] = nullptr;
+    free_calls_.push_back(record.slot);
+    call();
+  });
+}
+
+void EventLoop::PushLegacy(SimTime time, uint64_t order, const EventRecord& record) {
+  // Faithful reproduction of the old cost model: one std::function per
+  // event, captures too big for the small-buffer optimization.
+  heap_.push_back(LegacyEntry{time, order, [this, record](SimTime now) {
+                                const HandlerSlot& slot = handlers_[record.handler];
+                                slot.invoke(slot.ctx, record, now);
+                              }});
+  std::push_heap(heap_.begin(), heap_.end(), LegacyLater{});
+}
+
+bool EventLoop::RunOneLegacy(SimTime* now) {
+  if (heap_.empty()) {
+    return false;
+  }
+  std::pop_heap(heap_.begin(), heap_.end(), LegacyLater{});
+  LegacyEntry entry = std::move(heap_.back());
+  heap_.pop_back();
+  *now = entry.time;
+  floor_ = entry.time;
+  floor_armed_ = !heap_.empty();
+  ++dispatched_;
+  entry.thunk(entry.time);
+  return true;
+}
+
+void EventLoop::PushCall(SimTime time, std::function<void()> call) {
+  FLO_CHECK(call != nullptr);
+  uint32_t slot;
+  if (!free_calls_.empty()) {
+    slot = free_calls_.back();
+    free_calls_.pop_back();
+    calls_[slot] = std::move(call);
+  } else {
+    slot = static_cast<uint32_t>(calls_.size());
+    calls_.push_back(std::move(call));
+  }
+  EventRecord record;
+  record.handler = kCallHandler;
+  record.slot = slot;
+  Push(time, record);
+}
+
+}  // namespace flo

@@ -1,5 +1,6 @@
 #include "src/sim/event_queue.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "src/util/check.h"
@@ -8,23 +9,22 @@ namespace flo {
 
 void EventQueue::Push(SimTime time, std::function<void()> callback) {
   FLO_CHECK(callback != nullptr);
-  heap_.push(Entry{time, next_sequence_++, std::move(callback)});
+  heap_.push_back(Entry{time, next_sequence_++, std::move(callback)});
+  std::push_heap(heap_.begin(), heap_.end(), Later{});
 }
 
 SimTime EventQueue::NextTime() const {
   FLO_CHECK(!heap_.empty());
-  return heap_.top().time;
+  return heap_.front().time;
 }
 
 std::function<void()> EventQueue::Pop(SimTime* time) {
   FLO_CHECK(!heap_.empty());
-  // priority_queue::top() is const; the callback is moved out via const_cast
-  // which is safe because the entry is popped immediately after.
-  auto& top = const_cast<Entry&>(heap_.top());
-  *time = top.time;
-  std::function<void()> callback = std::move(top.callback);
-  heap_.pop();
-  return callback;
+  std::pop_heap(heap_.begin(), heap_.end(), Later{});
+  Entry entry = std::move(heap_.back());
+  heap_.pop_back();
+  *time = entry.time;
+  return std::move(entry.callback);
 }
 
 }  // namespace flo

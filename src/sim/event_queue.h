@@ -4,7 +4,6 @@
 
 #include <cstdint>
 #include <functional>
-#include <queue>
 #include <vector>
 
 namespace flo {
@@ -44,7 +43,11 @@ class EventQueue {
     }
   };
 
-  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  // A plain vector managed with std::push_heap/std::pop_heap rather than
+  // std::priority_queue: pop_heap moves the top to back(), which lets Pop
+  // move the callback out without the const_cast that priority_queue::top()
+  // (const reference only) used to force.
+  std::vector<Entry> heap_;
   uint64_t next_sequence_ = 0;
 };
 

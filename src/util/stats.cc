@@ -7,38 +7,6 @@
 
 namespace flo {
 
-Summary Summarize(const std::vector<double>& values) {
-  FLO_CHECK(!values.empty());
-  Summary s;
-  s.count = values.size();
-  s.min = values.front();
-  s.max = values.front();
-  double sum = 0.0;
-  for (double v : values) {
-    sum += v;
-    s.min = std::min(s.min, v);
-    s.max = std::max(s.max, v);
-  }
-  s.mean = sum / static_cast<double>(values.size());
-  double sq = 0.0;
-  for (double v : values) {
-    sq += (v - s.mean) * (v - s.mean);
-  }
-  s.stddev = values.size() > 1 ? std::sqrt(sq / static_cast<double>(values.size() - 1)) : 0.0;
-  s.median = Percentile(values, 50.0);
-  return s;
-}
-
-double GeoMean(const std::vector<double>& values) {
-  FLO_CHECK(!values.empty());
-  double log_sum = 0.0;
-  for (double v : values) {
-    FLO_CHECK_GT(v, 0.0);
-    log_sum += std::log(v);
-  }
-  return std::exp(log_sum / static_cast<double>(values.size()));
-}
-
 namespace {
 
 // `values` must be sorted and non-empty.
@@ -56,6 +24,39 @@ double PercentileOfSorted(const std::vector<double>& values, double p) {
 }
 
 }  // namespace
+
+Summary Summarize(const std::vector<double>& values) {
+  FLO_CHECK(!values.empty());
+  Summary s;
+  s.count = values.size();
+  double sum = 0.0;
+  for (double v : values) {
+    sum += v;
+  }
+  s.mean = sum / static_cast<double>(values.size());
+  double sq = 0.0;
+  for (double v : values) {
+    sq += (v - s.mean) * (v - s.mean);
+  }
+  s.stddev = values.size() > 1 ? std::sqrt(sq / static_cast<double>(values.size() - 1)) : 0.0;
+  // One sorted copy serves min, max, and median.
+  std::vector<double> sorted = values;
+  std::sort(sorted.begin(), sorted.end());
+  s.min = sorted.front();
+  s.max = sorted.back();
+  s.median = PercentileOfSorted(sorted, 50.0);
+  return s;
+}
+
+double GeoMean(const std::vector<double>& values) {
+  FLO_CHECK(!values.empty());
+  double log_sum = 0.0;
+  for (double v : values) {
+    FLO_CHECK_GT(v, 0.0);
+    log_sum += std::log(v);
+  }
+  return std::exp(log_sum / static_cast<double>(values.size()));
+}
 
 double Percentile(std::vector<double> values, double p) {
   FLO_CHECK(!values.empty());

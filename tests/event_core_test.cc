@@ -1,0 +1,429 @@
+// The discrete-event core and streaming ingestion, pinned against the
+// legacy implementations: FIFO stability, calendar-vs-heap agreement on
+// randomized schedules, streaming-vs-materialized serving equivalence,
+// and cross-backend bit identity of serve and fleet reports.
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/cluster/serving_cluster.h"
+#include "src/core/overlap_engine.h"
+#include "src/models/workloads.h"
+#include "src/serve/request_cursor.h"
+#include "src/serve/request_source.h"
+#include "src/serve/serve_loop.h"
+#include "src/sim/calendar_queue.h"
+#include "src/sim/event_loop.h"
+#include "src/util/rng.h"
+#include "src/util/stats.h"
+
+namespace flo {
+namespace {
+
+// --- Event-loop ordering ---------------------------------------------------
+
+TEST(EventLoopTest, EqualTimestampsDispatchInPushOrderOnBothBackends) {
+  for (const bool legacy : {false, true}) {
+    EventLoop loop(legacy);
+    std::vector<uint64_t> order;
+    const uint32_t handler = loop.RegisterHandler(
+        [&order](const EventRecord& record, SimTime) { order.push_back(record.key); });
+    for (uint64_t i = 0; i < 100; ++i) {
+      EventRecord record;
+      record.handler = handler;
+      record.key = i;
+      loop.Push(42.0, record);
+    }
+    loop.RunToCompletion();
+    ASSERT_EQ(order.size(), 100u) << "legacy=" << legacy;
+    for (uint64_t i = 0; i < order.size(); ++i) {
+      EXPECT_EQ(order[i], i) << "legacy=" << legacy;
+    }
+  }
+}
+
+TEST(EventLoopTest, ArrivalsWinEqualTimeTiesAgainstInternalEvents) {
+  // The legacy engine materialized all arrivals first, giving them the
+  // lowest sequence numbers; the band scheme must reproduce that even
+  // when the arrival is pushed *after* the internal event.
+  for (const bool legacy : {false, true}) {
+    EventLoop loop(legacy);
+    std::vector<std::string> order;
+    const uint32_t internal = loop.RegisterHandler(
+        [&order](const EventRecord&, SimTime) { order.push_back("internal"); });
+    const uint32_t arrival = loop.RegisterHandler(
+        [&order](const EventRecord&, SimTime) { order.push_back("arrival"); });
+    EventRecord internal_record;
+    internal_record.type = EventType::kBatchFinished;
+    internal_record.handler = internal;
+    loop.Push(10.0, internal_record);
+    EventRecord arrival_record;
+    arrival_record.type = EventType::kArrival;
+    arrival_record.handler = arrival;
+    loop.Push(10.0, arrival_record);
+    loop.RunToCompletion();
+    ASSERT_EQ(order.size(), 2u);
+    EXPECT_EQ(order[0], "arrival") << "legacy=" << legacy;
+    EXPECT_EQ(order[1], "internal") << "legacy=" << legacy;
+  }
+}
+
+TEST(EventLoopTest, OutOfOrderPushesBeforeFirstDispatchAreLegal) {
+  // The cluster schedules its first autoscale checkpoint after the pump
+  // staged a later-timed arrival; both must dispatch, earliest first.
+  for (const bool legacy : {false, true}) {
+    EventLoop loop(legacy);
+    std::vector<double> times;
+    const uint32_t handler = loop.RegisterHandler(
+        [&times](const EventRecord&, SimTime now) { times.push_back(now); });
+    EventRecord record;
+    record.handler = handler;
+    loop.Push(30000.0, record);
+    loop.Push(20000.0, record);  // earlier than an already queued event
+    loop.RunToCompletion();
+    ASSERT_EQ(times.size(), 2u);
+    EXPECT_EQ(times[0], 20000.0) << "legacy=" << legacy;
+    EXPECT_EQ(times[1], 30000.0) << "legacy=" << legacy;
+  }
+}
+
+TEST(EventLoopTest, DrainedLoopAcceptsEarlierTimesForTheNextRun) {
+  for (const bool legacy : {false, true}) {
+    EventLoop loop(legacy);
+    int fired = 0;
+    const uint32_t handler =
+        loop.RegisterHandler([&fired](const EventRecord&, SimTime) { ++fired; });
+    EventRecord record;
+    record.handler = handler;
+    loop.Push(1e9, record);
+    loop.RunToCompletion();
+    loop.Push(1.0, record);  // a fresh run starts earlier than the last one ended
+    loop.RunToCompletion();
+    EXPECT_EQ(fired, 2) << "legacy=" << legacy;
+    EXPECT_EQ(loop.dispatched(), 2u) << "legacy=" << legacy;
+  }
+}
+
+TEST(EventLoopTest, PushCallPoolsAndRecyclesClosureSlots) {
+  EventLoop loop;
+  std::vector<int> order;
+  for (int round = 0; round < 3; ++round) {
+    for (int i = 0; i < 4; ++i) {
+      loop.PushCall(static_cast<double>(round * 10 + i),
+                    [&order, round, i] { order.push_back(round * 10 + i); });
+    }
+    loop.RunToCompletion();
+  }
+  ASSERT_EQ(order.size(), 12u);
+  EXPECT_TRUE(std::is_sorted(order.begin(), order.end()));
+}
+
+TEST(CalendarQueueTest, RandomizedPushPopMatchesSortedReference) {
+  Rng rng(20260807);
+  CalendarQueue queue;
+  // Reference: a sorted multiset of (time, order) pairs.
+  std::set<std::pair<double, uint64_t>> reference;
+  uint64_t next_order = 0;
+  double floor = 0.0;
+  for (int step = 0; step < 20000; ++step) {
+    const bool push = reference.empty() || rng.NextDouble() < 0.55;
+    if (push) {
+      // Times at coarse granularity so equal timestamps actually occur.
+      const double time = floor + std::floor(rng.NextDouble() * 50.0);
+      queue.Push(time, next_order, EventRecord{});
+      reference.emplace(time, next_order);
+      ++next_order;
+    } else {
+      const CalendarEntry popped = queue.PopMin();
+      const auto expected = *reference.begin();
+      reference.erase(reference.begin());
+      ASSERT_EQ(popped.time, expected.first) << "step " << step;
+      ASSERT_EQ(popped.order, expected.second) << "step " << step;
+      floor = popped.time;
+    }
+  }
+  while (!reference.empty()) {
+    const CalendarEntry popped = queue.PopMin();
+    const auto expected = *reference.begin();
+    reference.erase(reference.begin());
+    ASSERT_EQ(popped.time, expected.first);
+    ASSERT_EQ(popped.order, expected.second);
+  }
+  EXPECT_TRUE(queue.empty());
+}
+
+TEST(EventLoopTest, BackendsDispatchIdenticalRandomSchedules) {
+  for (const uint64_t seed : {1ull, 7ull, 99ull}) {
+    std::vector<std::pair<double, uint64_t>> sequences[2];
+    for (const bool legacy : {false, true}) {
+      Rng rng(seed);
+      EventLoop loop(legacy);
+      auto& sequence = sequences[legacy ? 1 : 0];
+      const uint32_t handler =
+          loop.RegisterHandler([&sequence](const EventRecord& record, SimTime now) {
+            sequence.emplace_back(now, record.key);
+          });
+      double now = 0.0;
+      uint64_t key = 0;
+      for (int step = 0; step < 5000; ++step) {
+        if (loop.empty() || rng.NextDouble() < 0.6) {
+          EventRecord record;
+          record.type = rng.NextDouble() < 0.3 ? EventType::kArrival : EventType::kGeneric;
+          record.handler = handler;
+          record.key = key++;
+          loop.Push(now + std::floor(rng.NextDouble() * 20.0), record);
+        } else {
+          loop.RunOne(&now);
+        }
+      }
+      loop.RunToCompletion();
+    }
+    EXPECT_EQ(sequences[0], sequences[1]) << "seed " << seed;
+  }
+}
+
+// --- Streaming cursors -----------------------------------------------------
+
+TEST(ArrivalProcessTest, MatchesBatchGeneratorsBitwise) {
+  ArrivalProcess poisson = ArrivalProcess::Poisson(800.0, 17);
+  const std::vector<SimTime> poisson_batch = PoissonArrivals(800.0, 300, 17);
+  for (const SimTime expected : poisson_batch) {
+    EXPECT_EQ(poisson.Next(), expected);
+  }
+  ArrivalProcess bursty = ArrivalProcess::Bursty(1000.0, 4.0, 8, 23);
+  const std::vector<SimTime> bursty_batch = BurstyArrivals(1000.0, 4.0, 8, 300, 23);
+  for (const SimTime expected : bursty_batch) {
+    EXPECT_EQ(bursty.Next(), expected);
+  }
+}
+
+std::vector<ScenarioSpec> SmallSpecs() {
+  return {
+      ScenarioSpec::Overlap(GemmShape{1024, 1024, 512}, CommPrimitive::kAllReduce),
+      ScenarioSpec::Overlap(GemmShape{2048, 1024, 512}, CommPrimitive::kAllReduce),
+  };
+}
+
+TEST(RequestCursorTest, SyntheticCursorMatchesMakeRequestStream) {
+  const std::vector<ScenarioSpec> specs = SmallSpecs();
+  const auto stream =
+      MakeRequestStream("llm", specs, PoissonArrivals(500.0, 120, 5), 1000);
+  SyntheticCursor cursor("llm", specs, ArrivalProcess::Poisson(500.0, 5), 120, 1000);
+  for (const ServeRequest& expected : stream) {
+    const auto request = cursor.Next();
+    ASSERT_TRUE(request.has_value());
+    EXPECT_EQ(request->id, expected.id);
+    EXPECT_EQ(request->tenant, expected.tenant);
+    EXPECT_EQ(request->arrival_us, expected.arrival_us);
+    EXPECT_EQ(request->spec, expected.spec);
+  }
+  EXPECT_FALSE(cursor.Next().has_value());
+}
+
+TEST(RequestCursorTest, MergeCursorMatchesMergeStreams) {
+  const std::vector<ScenarioSpec> specs = SmallSpecs();
+  // Overlapping arrival times, including exact ties across streams.
+  const auto stream_a = MakeRequestStream("a", specs, {10.0, 20.0, 20.0, 30.0}, 0);
+  const auto stream_b = MakeRequestStream("b", specs, {10.0, 20.0, 25.0}, 100);
+  const auto merged = MergeStreams({stream_a, stream_b});
+  VectorCursor cursor_a(stream_a);
+  VectorCursor cursor_b(stream_b);
+  MergeCursor merge({&cursor_a, &cursor_b});
+  for (const ServeRequest& expected : merged) {
+    const auto request = merge.Next();
+    ASSERT_TRUE(request.has_value());
+    EXPECT_EQ(request->id, expected.id);
+    EXPECT_EQ(request->tenant, expected.tenant);
+    EXPECT_EQ(request->arrival_us, expected.arrival_us);
+  }
+  EXPECT_FALSE(merge.Next().has_value());
+}
+
+TEST(RequestCursorTest, TraceFileCursorMatchesLoadTraceFromFile) {
+  std::vector<ServeRequest> trace;
+  trace.push_back({0, "llm", 10.5,
+                   ScenarioSpec::Overlap(GemmShape{4096, 8192, 1024},
+                                         CommPrimitive::kReduceScatter)});
+  trace.push_back({1, "moe", 40.25,
+                   ScenarioSpec::Imbalanced(
+                       {GemmShape{1024, 512, 256}, GemmShape{2048, 512, 256}},
+                       CommPrimitive::kAllToAll)});
+  const std::string path = ::testing::TempDir() + "/event_core_trace.csv";
+  ASSERT_TRUE(SaveTraceToFile(trace, path));
+  const auto loaded = LoadTraceFromFile(path);
+  ASSERT_TRUE(loaded.has_value());
+  TraceFileCursor cursor(path);
+  for (const ServeRequest& expected : *loaded) {
+    const auto request = cursor.Next();
+    ASSERT_TRUE(request.has_value());
+    EXPECT_EQ(request->id, expected.id);
+    EXPECT_EQ(request->tenant, expected.tenant);
+    EXPECT_EQ(request->arrival_us, expected.arrival_us);
+    EXPECT_EQ(request->spec, expected.spec);
+  }
+  EXPECT_FALSE(cursor.Next().has_value());
+  EXPECT_TRUE(cursor.ok());
+  std::remove(path.c_str());
+}
+
+TEST(RequestCursorTest, TraceFileCursorRejectsMalformedLines) {
+  const std::string path = ::testing::TempDir() + "/event_core_bad_trace.csv";
+  std::ofstream file(path);
+  file << "10.0,llm,Overlap,AllReduce,0,128x128x128\n";
+  file << "not a trace line\n";
+  file.close();
+  TraceFileCursor cursor(path);
+  EXPECT_TRUE(cursor.Next().has_value());  // first line is valid
+  EXPECT_FALSE(cursor.Next().has_value());
+  EXPECT_FALSE(cursor.ok());  // rejected, not exhausted
+  // LoadTraceFromFile rejects the whole file the same way.
+  EXPECT_FALSE(LoadTraceFromFile(path).has_value());
+  std::remove(path.c_str());
+}
+
+TEST(RequestCursorTest, MissingTraceFileSetsOkFalse) {
+  TraceFileCursor cursor(::testing::TempDir() + "/does_not_exist.csv");
+  EXPECT_FALSE(cursor.Next().has_value());
+  EXPECT_FALSE(cursor.ok());
+}
+
+// --- Serving equivalence and cross-backend bit identity --------------------
+
+std::vector<ServeRequest> SmallTrace(int per_tenant) {
+  const std::vector<ScenarioSpec> specs = SmallSpecs();
+  return MergeStreams(
+      {MakeRequestStream("llm", specs, PoissonArrivals(400.0, per_tenant, 1), 0),
+       MakeRequestStream("moe", specs, BurstyArrivals(600.0, 4.0, 8, per_tenant, 2),
+                         100000)});
+}
+
+bool SameServeReport(const ServeReport& a, const ServeReport& b) {
+  if (a.makespan_us != b.makespan_us || a.stats.count() != b.stats.count() ||
+      a.batches != b.batches || a.cold_batches != b.cold_batches ||
+      a.executor_busy_us != b.executor_busy_us || a.tuner_busy_us != b.tuner_busy_us ||
+      a.events != b.events) {
+    return false;
+  }
+  for (size_t i = 0; i < a.stats.count(); ++i) {
+    const RequestRecord& ra = a.stats.records()[i];
+    const RequestRecord& rb = b.stats.records()[i];
+    if (ra.id != rb.id || ra.tenant != rb.tenant || ra.arrival_us != rb.arrival_us ||
+        ra.start_us != rb.start_us || ra.finish_us != rb.finish_us ||
+        ra.plan_cache_hit != rb.plan_cache_hit || ra.batch_size != rb.batch_size) {
+      return false;
+    }
+  }
+  return true;
+}
+
+ServeReport RunServe(const std::vector<ServeRequest>& trace, bool legacy_heap,
+                     bool memoize) {
+  OverlapEngine engine(Make4090Cluster(2), {}, EngineOptions{.jitter = false});
+  ServeConfig config;
+  config.legacy_event_heap = legacy_heap;
+  config.memoize_runs = memoize;
+  ServeLoop loop(&engine, config);
+  return loop.Run(trace);
+}
+
+TEST(EventCoreIdentityTest, ServeReportsBitIdenticalAcrossBackendsAndMemoization) {
+  const auto trace = SmallTrace(40);
+  const ServeReport baseline = RunServe(trace, /*legacy_heap=*/true, /*memoize=*/false);
+  EXPECT_TRUE(SameServeReport(baseline, RunServe(trace, false, false)));
+  EXPECT_TRUE(SameServeReport(baseline, RunServe(trace, false, true)));
+  EXPECT_TRUE(SameServeReport(baseline, RunServe(trace, true, true)));
+  EXPECT_GT(baseline.events, 0u);
+}
+
+TEST(EventCoreIdentityTest, StreamingCursorRunMatchesVectorRun) {
+  const std::vector<ScenarioSpec> specs = SmallSpecs();
+  const auto vector_trace = MergeStreams(
+      {MakeRequestStream("llm", specs, PoissonArrivals(400.0, 50, 1), 0),
+       MakeRequestStream("moe", specs, BurstyArrivals(600.0, 4.0, 8, 50, 2), 100000)});
+  OverlapEngine vector_engine(Make4090Cluster(2), {}, EngineOptions{.jitter = false});
+  ServeLoop vector_loop(&vector_engine);
+  const ServeReport vector_report = vector_loop.Run(vector_trace);
+
+  SyntheticCursor llm("llm", specs, ArrivalProcess::Poisson(400.0, 1), 50, 0);
+  SyntheticCursor moe("moe", specs, ArrivalProcess::Bursty(600.0, 4.0, 8, 2), 50, 100000);
+  MergeCursor merged({&llm, &moe});
+  OverlapEngine cursor_engine(Make4090Cluster(2), {}, EngineOptions{.jitter = false});
+  ServeLoop cursor_loop(&cursor_engine);
+  const ServeReport cursor_report = cursor_loop.Run(&merged);
+
+  EXPECT_TRUE(SameServeReport(vector_report, cursor_report));
+}
+
+bool SameFleetReport(const FleetReport& a, const FleetReport& b) {
+  if (a.makespan_us != b.makespan_us || a.stats.count() != b.stats.count() ||
+      a.total_searches != b.total_searches || a.distinct_keys != b.distinct_keys ||
+      a.events != b.events || a.spawns != b.spawns || a.drains != b.drains ||
+      a.peak_replicas != b.peak_replicas) {
+    return false;
+  }
+  for (size_t i = 0; i < a.stats.count(); ++i) {
+    const RequestRecord& ra = a.stats.records()[i];
+    const RequestRecord& rb = b.stats.records()[i];
+    if (ra.id != rb.id || ra.tenant != rb.tenant || ra.arrival_us != rb.arrival_us ||
+        ra.start_us != rb.start_us || ra.finish_us != rb.finish_us ||
+        ra.plan_cache_hit != rb.plan_cache_hit || ra.batch_size != rb.batch_size) {
+      return false;
+    }
+  }
+  return true;
+}
+
+FleetReport RunFleet(const std::vector<ServeRequest>& trace, bool legacy_heap,
+                     bool autoscale) {
+  ClusterConfig config;
+  config.replicas = 2;
+  config.serve.legacy_event_heap = legacy_heap;
+  if (autoscale) {
+    config.autoscale.enabled = true;
+    config.autoscale.min_replicas = 1;
+    config.autoscale.max_replicas = 5;
+    config.autoscale.check_interval_us = 20000.0;
+    config.autoscale.spawn_queue_per_replica = 2.0;
+  }
+  ServingCluster fleet(Make4090Cluster(2), config, {}, EngineOptions{.jitter = false});
+  return fleet.Run(trace);
+}
+
+TEST(EventCoreIdentityTest, FleetReportsBitIdenticalAcrossBackends) {
+  const auto trace = SmallTrace(40);
+  const FleetReport baseline = RunFleet(trace, /*legacy_heap=*/true, /*autoscale=*/false);
+  EXPECT_TRUE(SameFleetReport(baseline, RunFleet(trace, false, false)));
+  EXPECT_GT(baseline.events, 0u);
+}
+
+TEST(EventCoreIdentityTest, AutoscalingFleetBitIdenticalAcrossBackends) {
+  const auto trace = SmallTrace(60);
+  const FleetReport with_heap = RunFleet(trace, /*legacy_heap=*/true, /*autoscale=*/true);
+  const FleetReport with_calendar = RunFleet(trace, false, true);
+  EXPECT_TRUE(SameFleetReport(with_heap, with_calendar));
+}
+
+// --- Stats satellite -------------------------------------------------------
+
+TEST(StatsTest, SummarizeMedianMatchesPercentile) {
+  Rng rng(11);
+  std::vector<double> values;
+  for (int i = 0; i < 1001; ++i) {
+    values.push_back(rng.NextDouble() * 1000.0);
+  }
+  const Summary summary = Summarize(values);
+  EXPECT_DOUBLE_EQ(summary.median, Percentile(values, 50.0));
+  EXPECT_DOUBLE_EQ(summary.min, *std::min_element(values.begin(), values.end()));
+  EXPECT_DOUBLE_EQ(summary.max, *std::max_element(values.begin(), values.end()));
+}
+
+}  // namespace
+}  // namespace flo
