@@ -15,10 +15,11 @@
 //  - bit-determinism: reruns identical; published plans identical at any
 //    replica count; reports identical at any host thread count.
 //
-// Usage: bench_cluster_bench [--smoke] [--history <file>] [--requests N]
+// Usage: bench_cluster_bench [--smoke] [--history <file>] [--requests N] [--quiet]
 // Writes cluster_bench.csv and BENCH_cluster.json to the cwd; --history
 // appends the JSON as one compact line to the given trajectory file;
-// --requests overrides the total request count (split across tenants).
+// --requests overrides the total request count (split across tenants);
+// --quiet drops the progress narration (gate verdicts still print).
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
@@ -120,10 +121,12 @@ bool SameTimeline(const FleetReport& a, const FleetReport& b) {
   return true;
 }
 
-bool Run(bool smoke, const std::string& history_path, int64_t requests_override) {
-  const TraceSetup setup = MakeTrace(smoke, requests_override);
-  std::printf("Serving cluster: %zu requests (llm Poisson + moe bursty), 8x A800\n\n",
-              setup.trace.size());
+bool Run(const BenchArgs& args) {
+  const bool smoke = args.smoke;
+  const bool quiet = args.quiet;
+  const TraceSetup setup = MakeTrace(smoke, args.requests);
+  Narrate(quiet, "Serving cluster: %zu requests (llm Poisson + moe bursty), 8x A800\n\n",
+          setup.trace.size());
   const auto wall_start = std::chrono::steady_clock::now();
   uint64_t total_events = 0;
   CsvWriter csv({"replicas", "policy", "ship_plans", "requests", "throughput_rps", "p50_us",
@@ -172,12 +175,13 @@ bool Run(bool smoke, const std::string& history_path, int64_t requests_override)
       shipped_4 = report;
     }
   }
-  std::printf("%s\n", table.Render().c_str());
+  Narrate(quiet, "%s\n", table.Render().c_str());
   const double sweep_wall_s =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start).count();
-  std::printf("event core: %llu events across the sweep in %.3f s wall (%.0f events/s)\n",
-              static_cast<unsigned long long>(total_events), sweep_wall_s,
-              sweep_wall_s > 0.0 ? static_cast<double>(total_events) / sweep_wall_s : 0.0);
+  Narrate(quiet,
+          "event core: %llu events across the sweep in %.3f s wall (%.0f events/s)\n",
+          static_cast<unsigned long long>(total_events), sweep_wall_s,
+          sweep_wall_s > 0.0 ? static_cast<double>(total_events) / sweep_wall_s : 0.0);
 
   // --- Determinism gates ---
   const bool rerun_identical =
@@ -229,22 +233,24 @@ bool Run(bool smoke, const std::string& history_path, int64_t requests_override)
     std::fprintf(out, "%s\n", json);
     std::fclose(out);
   }
-  bool ok = csv_ok && out != nullptr && AppendTrajectoryPoint(history_path, json);
-  std::printf("\nfleet scaling: %.1f -> %.1f req/s (1 -> 4 replicas, plan-affinity)\n",
-              throughput_1, throughput_4);
-  std::printf("policy @4 replicas (no shipping): affinity hit %.1f%% / %zu searches vs "
-              "round-robin %.1f%% / %zu searches\n",
-              100.0 * affinity_4.WarmHitRate(), affinity_4.total_searches,
-              100.0 * round_robin_4.WarmHitRate(), round_robin_4.total_searches);
+  bool ok = csv_ok && out != nullptr && AppendTrajectoryPoint(args.history, json);
+  Narrate(quiet, "\nfleet scaling: %.1f -> %.1f req/s (1 -> 4 replicas, plan-affinity)\n",
+          throughput_1, throughput_4);
+  Narrate(quiet,
+          "policy @4 replicas (no shipping): affinity hit %.1f%% / %zu searches vs "
+          "round-robin %.1f%% / %zu searches\n",
+          100.0 * affinity_4.WarmHitRate(), affinity_4.total_searches,
+          100.0 * round_robin_4.WarmHitRate(), round_robin_4.total_searches);
   if (affinity_4.WarmHitRate() <= round_robin_4.WarmHitRate() ||
       affinity_4.total_searches >= round_robin_4.total_searches) {
     std::printf("FAIL: plan-affinity does not beat round-robin\n");
     ok = false;
   }
-  std::printf("plan shipping @4 replicas: <= %zu searches for %zu distinct keys "
-              "(%zu duplicate tunes avoided)\n",
-              max_shipped_searches, shipped_4.distinct_keys,
-              shipped_4.shipping.duplicate_tunes_avoided);
+  Narrate(quiet,
+          "plan shipping @4 replicas: <= %zu searches for %zu distinct keys "
+          "(%zu duplicate tunes avoided)\n",
+          max_shipped_searches, shipped_4.distinct_keys,
+          shipped_4.shipping.duplicate_tunes_avoided);
   if (max_shipped_searches > shipped_4.distinct_keys) {
     std::printf("FAIL: a shipped fleet re-paid a tuner search\n");
     ok = false;
@@ -255,8 +261,11 @@ bool Run(bool smoke, const std::string& history_path, int64_t requests_override)
                 rerun_identical, plans_replica_invariant, thread_invariant);
     ok = false;
   }
-  std::printf("%s", csv_ok ? "series written to cluster_bench.csv + BENCH_cluster.json\n"
-                           : "FAILED to write cluster_bench.csv\n");
+  if (csv_ok) {
+    Narrate(quiet, "series written to cluster_bench.csv + BENCH_cluster.json\n");
+  } else {
+    std::printf("FAILED to write cluster_bench.csv\n");
+  }
   return ok;
 }
 
@@ -264,6 +273,5 @@ bool Run(bool smoke, const std::string& history_path, int64_t requests_override)
 }  // namespace flo
 
 int main(int argc, char** argv) {
-  const flo::BenchArgs args = flo::ParseBenchArgs(argc, argv);
-  return flo::Run(args.smoke, args.history, args.requests) ? 0 : 1;
+  return flo::Run(flo::ParseBenchArgs(argc, argv)) ? 0 : 1;
 }

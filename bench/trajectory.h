@@ -2,22 +2,32 @@
 //
 // Every bench takes the same flags — `--smoke` (shrink for CI),
 // `--history <file>` (append the run's compact JSON point to the tracked
-// trajectory under bench/history/), and `--requests N` (scale the served
-// request count where the bench supports it) — and must treat a failed
-// append as a bench failure: a silently dropped point defeats the history.
+// trajectory under bench/history/), `--requests N` (scale the served
+// request count where the bench supports it), and `--quiet` (suppress
+// ad-hoc progress narration; gate verdicts and FAIL lines always print) —
+// and must treat a failed append as a bench failure: a silently dropped
+// point defeats the history. Benches that export observability artifacts
+// additionally take `--trace <file>` / `--metrics <file>`.
 #ifndef BENCH_TRAJECTORY_H_
 #define BENCH_TRAJECTORY_H_
 
+#include <cstdarg>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <vector>
+
+#include "src/obs/metrics.h"
 
 namespace flo {
 
 struct BenchArgs {
   bool smoke = false;
+  bool quiet = false;    // drop progress narration, keep verdicts
   std::string history;   // empty = no trajectory append
+  std::string trace;     // empty = no Chrome trace export
+  std::string metrics;   // empty = no metrics time-series export
   int64_t requests = 0;  // 0 = the bench's default scale
 };
 
@@ -27,13 +37,45 @@ inline BenchArgs ParseBenchArgs(int argc, char** argv) {
     const std::string arg = argv[i];
     if (arg == "--smoke") {
       args.smoke = true;
+    } else if (arg == "--quiet") {
+      args.quiet = true;
     } else if (arg == "--history" && i + 1 < argc) {
       args.history = argv[++i];
+    } else if (arg == "--trace" && i + 1 < argc) {
+      args.trace = argv[++i];
+    } else if (arg == "--metrics" && i + 1 < argc) {
+      args.metrics = argv[++i];
     } else if (arg == "--requests" && i + 1 < argc) {
       args.requests = std::atoll(argv[++i]);
     }
   }
   return args;
+}
+
+// Progress narration: printf that `--quiet` silences. Gate verdicts and
+// FAIL lines must keep using printf directly so CI logs always show why a
+// bench exited nonzero.
+inline void Narrate(bool quiet, const char* format, ...) {
+  if (quiet) {
+    return;
+  }
+  va_list args;
+  va_start(args, format);
+  std::vfprintf(stdout, format, args);
+  va_end(args);
+}
+
+// The bench-side percentile entry point: routes through the observability
+// histogram's exact-sample mode so benches, serving stats, and metrics
+// snapshots all share one interpolation (util/stats PercentileOfSorted —
+// on an odd sample count the p50 is exactly the middle element).
+inline PercentileSummary BenchPercentiles(const std::vector<double>& samples) {
+  Histogram histogram;
+  histogram.EnableExactSamples();
+  for (const double sample : samples) {
+    histogram.Observe(sample);
+  }
+  return histogram.Percentiles();
 }
 
 // Appends one compact JSON line to the trajectory file; no-op (true) when

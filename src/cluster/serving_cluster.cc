@@ -3,12 +3,33 @@
 #include <algorithm>
 #include <utility>
 
+#include "src/obs/obs_plane.h"
 #include "src/serve/request_cursor.h"
 #include "src/util/check.h"
 #include "src/util/file.h"
 #include "src/util/stats.h"
 
 namespace flo {
+
+namespace {
+
+// Fleet-scope instant (autoscaler decisions, replica lifecycle): one
+// branch when the plane is absent or disabled.
+void EmitFleetInstant(ObsPlane* obs, SpanKind kind, SimTime now, uint64_t id, uint64_t arg) {
+  if (obs == nullptr || !obs->enabled()) {
+    return;
+  }
+  SpanRecord span;
+  span.kind = kind;
+  span.start_us = now;
+  span.end_us = now;
+  span.id = id;
+  span.arg = arg;
+  span.replica = -1;
+  obs->Emit(span);
+}
+
+}  // namespace
 
 ServingCluster::ServingCluster(ClusterSpec hardware, ClusterConfig config,
                                TunerConfig tuner_config, EngineOptions options)
@@ -41,6 +62,8 @@ Replica* ServingCluster::SpawnReplica(SimTime now) {
   shipper_.Subscribe(id, replica->store(), &replica->engine().tuner());
   replica->StartSession(config_.serve, &events_, HooksFor(replica));
   ++spawns_;
+  EmitFleetInstant(config_.serve.obs, SpanKind::kReplicaSpawn, now,
+                   static_cast<uint64_t>(id), 0);
   int accepting = 0;
   for (const auto& r : replicas_) {
     accepting += r->accepting() ? 1 : 0;
@@ -87,6 +110,8 @@ ServeSession::Hooks ServingCluster::HooksFor(Replica* replica) {
         }
       }
       shipper_.Publish(key, *replica->store(), artifact_ptr);
+      EmitFleetInstant(config_.serve.obs, SpanKind::kPlanShip, now, key,
+                       static_cast<uint64_t>(replica->id()));
       // The shipped plan may unblock peers parked on this key.
       DispatchAll(now);
     };
@@ -157,6 +182,8 @@ void ServingCluster::MaybeRetire(Replica* replica, SimTime now) {
     replica->Retire(now);
     shipper_.Unsubscribe(replica->id());
     ++drains_;
+    EmitFleetInstant(config_.serve.obs, SpanKind::kReplicaRetire, now,
+                     static_cast<uint64_t>(replica->id()), 0);
   }
 }
 
@@ -182,12 +209,19 @@ void ServingCluster::AutoscaleCheck(SimTime now) {
     observation.recent_p99_us = SummarizePercentiles(recent_latencies_).p99;
     recent_latencies_.clear();
   }
-  switch (autoscaler_->Evaluate(observation)) {
+  const Autoscaler::Decision decision = autoscaler_->Evaluate(observation);
+  EmitFleetInstant(config_.serve.obs, SpanKind::kAutoscale, now, observation.pending_requests,
+                   decision == Autoscaler::Decision::kSpawn   ? 1
+                   : decision == Autoscaler::Decision::kDrain ? 2
+                                                              : 0);
+  switch (decision) {
     case Autoscaler::Decision::kSpawn:
       SpawnReplica(now);
       break;
     case Autoscaler::Decision::kDrain:
       if (youngest_accepting != nullptr) {
+        EmitFleetInstant(config_.serve.obs, SpanKind::kReplicaDrain, now,
+                         static_cast<uint64_t>(youngest_accepting->id()), 0);
         youngest_accepting->BeginDrain();
         MaybeRetire(youngest_accepting, now);
       }
@@ -229,6 +263,39 @@ FleetReport ServingCluster::Run(RequestCursor* cursor) {
   spawns_ = 0;
   drains_ = 0;
   peak_replicas_ = 0;
+  ObsPlane* obs = config_.serve.obs;
+  const bool observing = obs != nullptr && obs->enabled();
+  if (observing) {
+    obs->BeginRun();
+    // Fleet-aggregated mirror: sum tuner/store totals over every replica
+    // ever spawned, so the shared gauges describe the fleet, not the
+    // last-polled engine.
+    obs->AddPoller([this, obs](MetricsRegistry& registry) {
+      size_t searches = 0;
+      PlanStoreStats stores;
+      size_t resident = 0;
+      int accepting = 0;
+      for (const auto& replica : replicas_) {
+        searches += replica->engine().tuner().search_count();
+        const PlanStoreStats stats = replica->store()->stats();
+        stores.hits += stats.hits;
+        stores.misses += stats.misses;
+        stores.evictions += stats.evictions;
+        resident += replica->store()->size();
+        accepting += (!replica->retired() && replica->accepting()) ? 1 : 0;
+      }
+      registry.Set(obs->ids().tuner_searches_total, static_cast<double>(searches));
+      registry.Set(obs->ids().store_hits, static_cast<double>(stores.hits));
+      registry.Set(obs->ids().store_misses, static_cast<double>(stores.misses));
+      registry.Set(obs->ids().store_evictions, static_cast<double>(stores.evictions));
+      registry.Set(obs->ids().plans_resident, static_cast<double>(resident));
+      registry.Set(obs->ids().replicas_accepting, static_cast<double>(accepting));
+    });
+    obs->AttachLoop(&events_);
+  } else {
+    // The shared loop persists across runs; drop any previous run's tap.
+    events_.SetTap(nullptr, nullptr);
+  }
   const uint64_t events_before = events_.dispatched();
   if (replicas_.empty()) {
     for (int i = 0; i < config_.replicas; ++i) {
@@ -293,6 +360,9 @@ FleetReport ServingCluster::Run(RequestCursor* cursor) {
   report.spawns = spawns_;
   report.drains = drains_;
   report.shipping = shipper_.stats();
+  if (observing) {
+    obs->FinishRun(report.makespan_us);
+  }
   return report;
 }
 

@@ -162,6 +162,11 @@ SimTime OverlapEngine::TheoreticalBest(const GemmShape& shape, CommPrimitive pri
   return TheoreticalOverlapLatency(setup);
 }
 
+void OverlapEngine::ExportMetrics(MetricsRegistry* registry) const {
+  tuner_.ExportMetrics(registry);
+  store_->ExportMetrics(registry);
+}
+
 // --- DEPRECATED shims ---
 
 OverlapRun OverlapEngine::RunOverlap(const GemmShape& shape, CommPrimitive primitive,

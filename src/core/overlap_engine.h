@@ -96,6 +96,11 @@ class OverlapEngine {
   // Perfect-overlap bound (Sec. 6.4).
   SimTime TheoreticalBest(const GemmShape& shape, CommPrimitive primitive);
 
+  // Observability mirror: exports the tuner's and the active plan
+  // store's totals into registry gauges — the checkpoint-poller body
+  // serving layers register on an attached ObsPlane.
+  void ExportMetrics(MetricsRegistry* registry) const;
+
   // --- DEPRECATED shims over ScenarioSpec/Execute ---
 
   // DEPRECATED: use Execute(ScenarioSpec::Overlap(...)).

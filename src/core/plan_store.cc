@@ -4,6 +4,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "src/obs/metrics.h"
 #include "src/util/check.h"
 #include "src/util/file.h"
 #include "src/util/parse.h"
@@ -224,6 +225,15 @@ PlanStoreStats PlanStore::stats() const {
 void PlanStore::ResetStats() {
   std::lock_guard<std::mutex> lock(mu_);
   stats_ = PlanStoreStats{};
+}
+
+void PlanStore::ExportMetrics(MetricsRegistry* registry) const {
+  const PlanStoreStats snapshot = stats();
+  registry->Set(registry->Gauge("plan_store.hits"), static_cast<double>(snapshot.hits));
+  registry->Set(registry->Gauge("plan_store.misses"), static_cast<double>(snapshot.misses));
+  registry->Set(registry->Gauge("plan_store.evictions"),
+                static_cast<double>(snapshot.evictions));
+  registry->Set(registry->Gauge("plan_store.resident"), static_cast<double>(size()));
 }
 
 namespace {

@@ -31,6 +31,8 @@
 
 namespace flo {
 
+class MetricsRegistry;
+
 struct StoredPlan {
   GemmShape shape;
   CommPrimitive primitive = CommPrimitive::kAllReduce;
@@ -116,6 +118,13 @@ class PlanStore {
 
   PlanStoreStats stats() const;
   void ResetStats();
+
+  // Observability mirror: writes the store's lookup totals and resident
+  // plan count into registry gauges ("plan_store.hits", ".misses",
+  // ".evictions", ".resident"). Registration is name-idempotent, so every
+  // export lands on one shared column set; serving layers call this from
+  // their checkpoint pollers.
+  void ExportMetrics(MetricsRegistry* registry) const;
 
   const std::map<uint64_t, ExecutionPlan>& plans() const { return plans_; }
 

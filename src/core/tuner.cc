@@ -8,6 +8,7 @@
 
 #include "src/core/partition_search.h"
 #include "src/gemm/gemm_model.h"
+#include "src/obs/metrics.h"
 #include "src/util/check.h"
 #include "src/util/logging.h"
 
@@ -223,6 +224,11 @@ TunedMultiRankPlan Tuner::SearchImbalanced(const MultiKey& key, CommPrimitive pr
 size_t Tuner::cache_size() const {
   std::lock_guard<std::mutex> lock(mu_);
   return plan_cache_.size();
+}
+
+void Tuner::ExportMetrics(MetricsRegistry* registry) const {
+  registry->Set(registry->Gauge("tuner.searches_total"), static_cast<double>(search_count()));
+  registry->Set(registry->Gauge("tuner.plans_cached"), static_cast<double>(cache_size()));
 }
 
 const TunedPlan& Tuner::StorePlanLocked(const Key& key, TunedPlan plan, bool overwrite) {

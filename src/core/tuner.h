@@ -148,6 +148,11 @@ class Tuner {
   // callers use this to demonstrate that warm sweeps never search in-band.
   size_t search_count() const { return search_count_.load(std::memory_order_relaxed); }
 
+  // Observability mirror: writes the tuner's totals into registry gauges
+  // ("tuner.searches_total", "tuner.plans_cached"). Name-idempotent, so
+  // checkpoint pollers re-export onto the same columns every interval.
+  void ExportMetrics(MetricsRegistry* registry) const;
+
   // Snapshot of the plan cache, for persistence via src/core/plan_store.h.
   std::vector<StoredPlan> ExportPlans() const;
 

@@ -1,0 +1,198 @@
+#include "src/obs/metrics.h"
+
+#include <algorithm>
+#include <sstream>
+#include <utility>
+
+#include "src/util/check.h"
+#include "src/util/table.h"
+
+namespace flo {
+namespace {
+
+std::vector<double> DefaultBounds() {
+  // Serving latencies: 100us .. 10s in decade/half-decade steps.
+  return {100.0, 316.0, 1e3, 3160.0, 1e4, 31600.0, 1e5, 316000.0, 1e6, 3.16e6, 1e7};
+}
+
+}  // namespace
+
+Histogram::Histogram() : Histogram(DefaultBounds()) {}
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  for (size_t i = 1; i < bounds_.size(); ++i) {
+    FLO_CHECK_LT(bounds_[i - 1], bounds_[i]) << "histogram bounds must ascend";
+  }
+  buckets_.assign(bounds_.size() + 1, 0);
+}
+
+double Histogram::ApproxPercentile(double p) const {
+  FLO_CHECK_GT(count_, 0u);
+  FLO_CHECK_GE(p, 0.0);
+  FLO_CHECK_LE(p, 100.0);
+  const double target = p / 100.0 * static_cast<double>(count_);
+  uint64_t seen = 0;
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    if (static_cast<double>(seen + buckets_[i]) >= target) {
+      const double lo = i == 0 ? 0.0 : bounds_[i - 1];
+      // Overflow bucket: no upper bound — report its lower edge.
+      if (i == bounds_.size()) {
+        return lo;
+      }
+      const double hi = bounds_[i];
+      const double into =
+          buckets_[i] == 0 ? 0.0
+                           : (target - static_cast<double>(seen)) / static_cast<double>(buckets_[i]);
+      return lo + into * (hi - lo);
+    }
+    seen += buckets_[i];
+  }
+  return bounds_.empty() ? 0.0 : bounds_.back();
+}
+
+double Histogram::ExactPercentile(double p) const {
+  FLO_CHECK(exact_samples_) << "exact percentiles need EnableExactSamples()";
+  FLO_CHECK_GT(count_, 0u);
+  if (!sorted_valid_) {
+    sorted_ = samples_;
+    std::sort(sorted_.begin(), sorted_.end());
+    sorted_valid_ = true;
+  }
+  return PercentileOfSorted(sorted_, p);
+}
+
+PercentileSummary Histogram::Percentiles() const {
+  PercentileSummary summary;
+  summary.p50 = ExactPercentile(50.0);
+  summary.p90 = ExactPercentile(90.0);
+  summary.p95 = ExactPercentile(95.0);
+  summary.p99 = ExactPercentile(99.0);
+  return summary;
+}
+
+void Histogram::Clear() {
+  buckets_.assign(buckets_.size(), 0);
+  count_ = 0;
+  sum_ = 0.0;
+  samples_.clear();
+  sorted_.clear();
+  sorted_valid_ = false;
+}
+
+MetricsRegistry::Id MetricsRegistry::Counter(const std::string& name) {
+  const auto it = counter_ids_.find(name);
+  if (it != counter_ids_.end()) {
+    return it->second;
+  }
+  const Id id = static_cast<Id>(counters_.size());
+  counter_ids_.emplace(name, id);
+  counters_.push_back(0);
+  return id;
+}
+
+MetricsRegistry::Id MetricsRegistry::Gauge(const std::string& name) {
+  const auto it = gauge_ids_.find(name);
+  if (it != gauge_ids_.end()) {
+    return it->second;
+  }
+  const Id id = static_cast<Id>(gauges_.size());
+  gauge_ids_.emplace(name, id);
+  gauges_.push_back(0.0);
+  return id;
+}
+
+MetricsRegistry::Id MetricsRegistry::Histo(const std::string& name, std::vector<double> bounds,
+                                           bool exact_samples) {
+  const auto it = histogram_ids_.find(name);
+  if (it != histogram_ids_.end()) {
+    return it->second;
+  }
+  const Id id = static_cast<Id>(histograms_.size());
+  histogram_ids_.emplace(name, id);
+  histograms_.push_back(bounds.empty() ? Histogram() : Histogram(std::move(bounds)));
+  if (exact_samples) {
+    histograms_.back().EnableExactSamples();
+  }
+  return id;
+}
+
+void MetricsRegistry::Checkpoint(SimTime now) {
+  Row row;
+  row.time_us = now;
+  row.counters = counters_;
+  row.gauges = gauges_;
+  rows_.push_back(std::move(row));
+}
+
+CsvWriter MetricsRegistry::TimeSeriesCsv() const {
+  std::vector<std::string> header{"time_us"};
+  for (const auto& [name, id] : counter_ids_) {
+    header.push_back(name);
+  }
+  for (const auto& [name, id] : gauge_ids_) {
+    header.push_back(name);
+  }
+  CsvWriter csv(std::move(header));
+  for (const Row& row : rows_) {
+    std::vector<std::string> cells{FormatDoubleExact(row.time_us)};
+    // Metrics registered after this row was taken backfill as zero.
+    for (const auto& [name, id] : counter_ids_) {
+      cells.push_back(std::to_string(id < row.counters.size() ? row.counters[id] : 0));
+    }
+    for (const auto& [name, id] : gauge_ids_) {
+      cells.push_back(FormatDoubleExact(id < row.gauges.size() ? row.gauges[id] : 0.0));
+    }
+    csv.AddRow(std::move(cells));
+  }
+  return csv;
+}
+
+std::string MetricsRegistry::SnapshotJson() const {
+  std::ostringstream out;
+  out << "{";
+  bool first = true;
+  auto key = [&](const std::string& name) -> std::ostringstream& {
+    if (!first) {
+      out << ",";
+    }
+    first = false;
+    out << "\"" << name << "\":";
+    return out;
+  };
+  for (const auto& [name, id] : counter_ids_) {
+    key(name) << counters_[id];
+  }
+  for (const auto& [name, id] : gauge_ids_) {
+    key(name) << FormatDoubleExact(gauges_[id]);
+  }
+  for (const auto& [name, id] : histogram_ids_) {
+    const Histogram& histogram = histograms_[id];
+    key(name) << "{\"count\":" << histogram.count()
+              << ",\"sum\":" << FormatDoubleExact(histogram.sum()) << ",\"buckets\":[";
+    for (size_t i = 0; i < histogram.buckets().size(); ++i) {
+      out << (i > 0 ? "," : "") << histogram.buckets()[i];
+    }
+    out << "]";
+    if (histogram.count() > 0) {
+      const double p50 = histogram.exact_samples() ? histogram.ExactPercentile(50.0)
+                                                   : histogram.ApproxPercentile(50.0);
+      const double p99 = histogram.exact_samples() ? histogram.ExactPercentile(99.0)
+                                                   : histogram.ApproxPercentile(99.0);
+      out << ",\"p50\":" << FormatDoubleExact(p50) << ",\"p99\":" << FormatDoubleExact(p99);
+    }
+    out << "}";
+  }
+  out << "}";
+  return out.str();
+}
+
+void MetricsRegistry::ResetValues() {
+  std::fill(counters_.begin(), counters_.end(), 0);
+  std::fill(gauges_.begin(), gauges_.end(), 0.0);
+  for (Histogram& histogram : histograms_) {
+    histogram.Clear();
+  }
+  rows_.clear();
+}
+
+}  // namespace flo

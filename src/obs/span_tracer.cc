@@ -1,0 +1,69 @@
+#include "src/obs/span_tracer.h"
+
+#include "src/util/check.h"
+
+namespace flo {
+
+const char* SpanKindName(SpanKind kind) {
+  switch (kind) {
+    case SpanKind::kRequest:
+      return "request";
+    case SpanKind::kQueue:
+      return "queue";
+    case SpanKind::kExecute:
+      return "execute";
+    case SpanKind::kTune:
+      return "tune";
+    case SpanKind::kBnbSearch:
+      return "bnb_search";
+    case SpanKind::kPlanHit:
+      return "plan_hit";
+    case SpanKind::kPlanMiss:
+      return "plan_miss";
+    case SpanKind::kPlanShip:
+      return "plan_ship";
+    case SpanKind::kAutoscale:
+      return "autoscale";
+    case SpanKind::kReplicaSpawn:
+      return "replica_spawn";
+    case SpanKind::kReplicaDrain:
+      return "replica_drain";
+    case SpanKind::kReplicaRetire:
+      return "replica_retire";
+    case SpanKind::kCount:
+      break;
+  }
+  return "?";
+}
+
+SpanTracer::SpanTracer(size_t ring_capacity) : capacity_(ring_capacity) {
+  FLO_CHECK_GT(capacity_, 0u);
+}
+
+std::vector<SpanRecord> SpanTracer::TrackSpans(size_t track) const {
+  FLO_CHECK_LT(track, tracks_.size());
+  const Ring& ring = tracks_[track];
+  std::vector<SpanRecord> spans;
+  spans.reserve(ring.buffer.size());
+  if (ring.next <= capacity_) {
+    spans = ring.buffer;
+  } else {
+    // The ring wrapped: oldest retained span sits at the write cursor.
+    const size_t start = ring.next % capacity_;
+    for (size_t i = 0; i < capacity_; ++i) {
+      spans.push_back(ring.buffer[(start + i) % capacity_]);
+    }
+  }
+  return spans;
+}
+
+void SpanTracer::Clear() {
+  for (Ring& ring : tracks_) {
+    ring.buffer.clear();
+    ring.next = 0;
+  }
+  emitted_ = 0;
+  dropped_ = 0;
+}
+
+}  // namespace flo

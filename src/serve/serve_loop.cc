@@ -3,6 +3,7 @@
 #include <utility>
 #include <vector>
 
+#include "src/obs/obs_plane.h"
 #include "src/serve/request_cursor.h"
 #include "src/serve/serve_session.h"
 #include "src/sim/event_loop.h"
@@ -28,6 +29,16 @@ ServeReport ServeLoop::Run(RequestCursor* cursor) {
   // case of the state machine (src/cluster drives many sessions on one
   // shared loop).
   EventLoop events(config_.legacy_event_heap);
+  ObsPlane* obs = config_.obs;
+  const bool observing = obs != nullptr && obs->enabled();
+  if (observing) {
+    obs->BeginRun();
+    obs->AddPoller([obs, engine = engine_](MetricsRegistry& registry) {
+      engine->ExportMetrics(&registry);
+      registry.Set(obs->ids().replicas_accepting, 1.0);
+    });
+    obs->AttachLoop(&events);
+  }
   ServeSession session(engine_, config_, &events);
   ArrivalPump pump(cursor, &events,
                    [&session](ServeRequest request, SimTime now) {
@@ -36,6 +47,9 @@ ServeReport ServeLoop::Run(RequestCursor* cursor) {
   events.RunToCompletion();
   ServeReport report = session.report();
   report.events = events.dispatched();
+  if (observing) {
+    obs->FinishRun(report.makespan_us);
+  }
   return report;
 }
 

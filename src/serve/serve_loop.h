@@ -30,6 +30,7 @@
 
 namespace flo {
 
+class ObsPlane;
 class RequestCursor;
 
 struct ServeConfig {
@@ -73,6 +74,12 @@ struct ServeConfig {
   // (OverlapEngine::ExecuteMemoized). Plan-store lookups, hit/miss stats,
   // and reports are unchanged; repeat specs skip the simulation itself.
   bool memoize_runs = true;
+  // Observability plane (src/obs): request-lifecycle span tracing, metrics
+  // checkpoints, and the flight recorder. Borrowed; must outlive the run.
+  // nullptr (the default) — and a plane with ObsConfig::enabled false —
+  // leave every timeline, report, and random draw bit-identical to a
+  // build without observability.
+  ObsPlane* obs = nullptr;
 };
 
 struct ServeReport {

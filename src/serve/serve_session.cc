@@ -3,9 +3,20 @@
 #include <algorithm>
 #include <utility>
 
+#include "src/obs/obs_plane.h"
 #include "src/util/check.h"
 
 namespace flo {
+
+namespace {
+
+// One observability guard per emission site: a null plane or a disabled
+// one costs a single branch.
+inline bool Observing(const ServeConfig& config) {
+  return config.obs != nullptr && config.obs->enabled();
+}
+
+}  // namespace
 
 ServeSession::ServeSession(OverlapEngine* engine, ServeConfig config, EventLoop* events,
                            Hooks hooks, int replica_id)
@@ -118,10 +129,28 @@ double ServeSession::TuneCostUs(size_t searches) const {
   return config_.tune_base_us + config_.tune_per_search_us * static_cast<double>(searches);
 }
 
-void ServeSession::FinishTuningAt(uint32_t batch_slot, double cost, SimTime now) {
+void ServeSession::FinishTuningAt(uint32_t batch_slot, double cost, size_t searches,
+                                  SimTime now) {
   report_.tuner_busy_us += cost;
   Batch& batch = batch_pool_[batch_slot];
   tuning_requests_ += batch.requests.size();
+  if (Observing(config_)) {
+    SpanRecord span;
+    span.kind = SpanKind::kTune;
+    span.start_us = now;
+    span.end_us = now + cost;
+    span.id = batch.key;
+    span.arg = searches;
+    span.replica = replica_id_;
+    config_.obs->Emit(span);
+    if (searches > 0) {
+      // The predictive searches behind this tune, as a planner-internal
+      // instant at the moment they were charged.
+      span.kind = SpanKind::kBnbSearch;
+      span.end_us = now;
+      config_.obs->Emit(span);
+    }
+  }
   EventRecord record;
   record.type = EventType::kTuningFinished;
   record.key = batch.key;
@@ -156,8 +185,8 @@ void ServeSession::StartTuning(uint32_t batch_slot, SimTime now) {
   // eviction by another engine.
   const size_t searches_before = engine_->tuner().search_count();
   engine_->planner().PlanByValue(batch_pool_[batch_slot].requests.front().spec);
-  const double cost = TuneCostUs(engine_->tuner().search_count() - searches_before);
-  FinishTuningAt(batch_slot, cost, now);
+  const size_t searches = engine_->tuner().search_count() - searches_before;
+  FinishTuningAt(batch_slot, TuneCostUs(searches), searches, now);
 }
 
 // Multi-lane start: the distinct predictive searches behind `group` run
@@ -190,7 +219,7 @@ void ServeSession::StartTuningGroup(std::vector<uint32_t> group, SimTime now) {
     tuning_keys_.insert(batch_pool_[group[i]].key);
     // The searches are warm now; this builds and caches the plan.
     engine_->planner().PlanByValue(specs[i]);
-    FinishTuningAt(group[i], TuneCostUs(searches), now);
+    FinishTuningAt(group[i], TuneCostUs(searches), searches, now);
   }
 }
 
@@ -230,6 +259,18 @@ void ServeSession::ExecuteBatch(uint32_t batch_slot, SimTime now) {
   busy_until_ = finish;
   batch.exec_start = now;
   batch.exec_hit = hit;
+  if (Observing(config_)) {
+    // Plan-store outcome at dispatch time, as an instant on this replica.
+    SpanRecord span;
+    span.kind = hit ? SpanKind::kPlanHit : SpanKind::kPlanMiss;
+    span.start_us = now;
+    span.end_us = now;
+    span.id = batch.key;
+    span.arg = batch.requests.size();
+    span.replica = replica_id_;
+    span.flags = hit ? 1 : 0;
+    config_.obs->Emit(span);
+  }
   EventRecord record;
   record.type = EventType::kBatchFinished;
   record.key = batch.key;
@@ -246,6 +287,33 @@ void ServeSession::OnBatchFinished(const EventRecord& record, SimTime now) {
   const SimTime finish = now;
   const bool hit = batch.exec_hit;
   const int batch_size = static_cast<int>(batch.requests.size());
+  if (Observing(config_)) {
+    ObsPlane& obs = *config_.obs;
+    SpanRecord span;
+    span.replica = replica_id_;
+    span.flags = hit ? 1 : 0;
+    span.kind = SpanKind::kExecute;
+    span.start_us = start;
+    span.end_us = finish;
+    span.id = batch.key;
+    span.arg = batch.requests.size();
+    obs.Emit(span);
+    // Per-request lifecycle spans: the request's full arrival->completion
+    // interval, then its queueing prefix (same id, so the trace viewer
+    // nests queue inside request).
+    span.arg = static_cast<uint64_t>(batch_size);
+    for (const ServeRequest& request : batch.requests) {
+      span.id = static_cast<uint64_t>(request.id);
+      span.tenant = request.tenant_id;
+      span.kind = SpanKind::kRequest;
+      span.start_us = request.arrival_us;
+      span.end_us = finish;
+      obs.Emit(span);
+      span.kind = SpanKind::kQueue;
+      span.end_us = start;
+      obs.Emit(span);
+    }
+  }
   finished_scratch_.clear();
   for (ServeRequest& request : batch.requests) {
     RequestRecord finished;

@@ -111,7 +111,7 @@ class ServeSession {
   int TunerLaneTarget() const;
   void MergeOrPark(Lane* lane, uint32_t batch_slot);
   double TuneCostUs(size_t searches) const;
-  void FinishTuningAt(uint32_t batch_slot, double cost, SimTime now);
+  void FinishTuningAt(uint32_t batch_slot, double cost, size_t searches, SimTime now);
   void StartTuning(uint32_t batch_slot, SimTime now);
   void StartTuningGroup(std::vector<uint32_t> group, SimTime now);
   void ExecuteBatch(uint32_t batch_slot, SimTime now);

@@ -3,11 +3,29 @@
 #include <algorithm>
 #include <utility>
 
+#include "src/obs/metrics.h"
 #include "src/serve/tenant_registry.h"
 #include "src/util/check.h"
 #include "src/util/table.h"
 
 namespace flo {
+
+namespace {
+
+// The single percentile path: latencies stream through an exact-sample
+// obs Histogram whose Percentiles() delegates to util/stats' one
+// interpolation — histogram-p50 of an odd sample count is the exact
+// median by construction.
+PercentileSummary LatencySummary(const std::vector<double>& latencies) {
+  Histogram histogram;
+  histogram.EnableExactSamples();
+  for (const double latency : latencies) {
+    histogram.Observe(latency);
+  }
+  return histogram.Percentiles();
+}
+
+}  // namespace
 
 void ServeStats::Record(RequestRecord record) {
   FLO_CHECK(!record.tenant.empty());
@@ -56,7 +74,7 @@ TenantSummary ServeStats::Summarize(const std::string& tenant) const {
   summary.mean_exec_us = exec_sum / n;
   summary.mean_batch_size = batch_sum / n;
   summary.cache_hit_rate = static_cast<double>(hits) / n;
-  summary.latency = SummarizePercentiles(std::move(latencies));
+  summary.latency = LatencySummary(latencies);
   return summary;
 }
 
@@ -77,7 +95,7 @@ PercentileSummary ServeStats::LatencyPercentiles() const {
   for (const RequestRecord& record : records_) {
     latencies.push_back(record.LatencyUs());
   }
-  return SummarizePercentiles(std::move(latencies));
+  return LatencySummary(latencies);
 }
 
 double ServeStats::CacheHitRate() const {

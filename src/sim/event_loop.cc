@@ -26,6 +26,9 @@ void EventLoop::PushLegacy(SimTime time, uint64_t order, const EventRecord& reco
   // Faithful reproduction of the old cost model: one std::function per
   // event, captures too big for the small-buffer optimization.
   heap_.push_back(LegacyEntry{time, order, [this, record](SimTime now) {
+                                if (tap_ != nullptr) {
+                                  tap_(tap_ctx_, record, now);
+                                }
                                 const HandlerSlot& slot = handlers_[record.handler];
                                 slot.invoke(slot.ctx, record, now);
                               }});

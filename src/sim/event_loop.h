@@ -70,6 +70,19 @@ class EventLoop {
   // closure through a pooled slot. Hot paths should use typed records.
   void PushCall(SimTime time, std::function<void()> call);
 
+  // Observation tap: called for every dispatched event, just before its
+  // handler, with the record and the event time. The tap observes only — it
+  // is not an event, does not advance time, and does not count toward
+  // dispatched(), so attaching one cannot perturb the simulation. Used by
+  // the observability plane (flight recorder, metrics checkpoints). Pass
+  // nullptr to detach. Raw fn-pointer + ctx to keep the disabled cost at
+  // one predictable branch per event.
+  using TapFn = void (*)(void* ctx, const EventRecord& record, SimTime now);
+  void SetTap(TapFn tap, void* ctx) {
+    tap_ = tap;
+    tap_ctx_ = ctx;
+  }
+
   // Dispatches the earliest event. Returns false when the queue is empty,
   // otherwise stores the event time in *now.
   bool RunOne(SimTime* now) {
@@ -84,6 +97,9 @@ class EventLoop {
     floor_ = entry.time;
     floor_armed_ = !calendar_.empty();
     ++dispatched_;
+    if (tap_ != nullptr) {
+      tap_(tap_ctx_, entry.record, entry.time);
+    }
     const HandlerSlot& slot = handlers_[entry.record.handler];
     slot.invoke(slot.ctx, entry.record, entry.time);
     return true;
@@ -107,6 +123,9 @@ class EventLoop {
       floor_ = entry.time;
       floor_armed_ = !calendar_.empty();
       ++dispatched_;
+      if (tap_ != nullptr) {
+        tap_(tap_ctx_, entry.record, entry.time);
+      }
       const HandlerSlot& slot = handlers_[entry.record.handler];
       slot.invoke(slot.ctx, entry.record, entry.time);
       last = entry.time;
@@ -169,6 +188,8 @@ class EventLoop {
   // one loop can serve back-to-back runs — pushes are time-order free.
   SimTime floor_ = 0.0;
   bool floor_armed_ = false;
+  TapFn tap_ = nullptr;
+  void* tap_ctx_ = nullptr;
 };
 
 }  // namespace flo

@@ -1,12 +1,23 @@
 // Chrome-trace (about://tracing, Perfetto) export of simulated timelines.
 //
-// Every span becomes a complete ("X") event; tracks are (pid=0,
-// tid=track index). Load the emitted JSON in Perfetto to see the GEMM
-// waves, signal kernels and collectives interleave exactly as in the
-// paper's Fig. 5 timeline.
+// Two layers:
+//  - ChromeTraceBuilder: an incremental emitter of the Chrome trace-event
+//    JSON array format (complete "X" spans, nestable async "b"/"e" pairs,
+//    instant "i" events, process/thread metadata). The observability plane
+//    (src/obs) uses it to export request-lifecycle spans for a whole
+//    serving fleet; timestamps are microseconds, matching SimTime, and are
+//    formatted with FormatDoubleExact so identical simulations produce
+//    byte-identical files.
+//  - ChromeTraceJson/WriteChromeTrace: the original per-Timeline export
+//    (every TaskSpan becomes a complete event; tracks are (pid=0, tid=track
+//    index)), now built on the builder. Load the emitted JSON in Perfetto
+//    to see the GEMM waves, signal kernels and collectives interleave
+//    exactly as in the paper's Fig. 5 timeline.
 #ifndef SRC_SIM_TRACE_EXPORT_H_
 #define SRC_SIM_TRACE_EXPORT_H_
 
+#include <cstdint>
+#include <sstream>
 #include <string>
 #include <utility>
 #include <vector>
@@ -14,6 +25,66 @@
 #include "src/sim/timeline.h"
 
 namespace flo {
+
+// One "args" entry for a trace event. `value` is raw JSON (a bare number,
+// "true", or an already-quoted string) so numeric args stay numeric in the
+// viewer.
+struct TraceArg {
+  std::string key;
+  std::string value;
+
+  // Convenience constructors for the common value shapes.
+  static TraceArg Num(std::string key, double value);
+  static TraceArg Int(std::string key, int64_t value);
+  static TraceArg Str(std::string key, const std::string& value);
+  static TraceArg Bool(std::string key, bool value);
+};
+
+class ChromeTraceBuilder {
+ public:
+  ChromeTraceBuilder();
+
+  // Metadata: names shown by the viewer for a process / thread track.
+  void ProcessName(int64_t pid, const std::string& name);
+  void ThreadName(int64_t pid, int64_t tid, const std::string& name);
+
+  // Complete event ("X"): a span with an explicit duration.
+  void Complete(int64_t pid, int64_t tid, const std::string& name, double ts_us,
+                double dur_us, const std::vector<TraceArg>& args = {});
+
+  // Nestable async pair ("b"/"e"): spans that may overlap others on the
+  // same process; the viewer groups them by (category, id) and nests
+  // same-id pairs.
+  void AsyncBegin(int64_t pid, const std::string& category, uint64_t id,
+                  const std::string& name, double ts_us,
+                  const std::vector<TraceArg>& args = {});
+  void AsyncEnd(int64_t pid, const std::string& category, uint64_t id,
+                const std::string& name, double ts_us);
+
+  // Instant event ("i", process scope).
+  void Instant(int64_t pid, int64_t tid, const std::string& name, double ts_us,
+               const std::vector<TraceArg>& args = {});
+
+  // Serializes to {"traceEvents":[...]}. The builder may keep being
+  // appended to afterwards.
+  std::string Json() const;
+  // Writes Json() to a file; returns false on I/O failure.
+  bool WriteFile(const std::string& path) const;
+
+  size_t event_count() const { return events_; }
+
+ private:
+  // Opens one event object with the shared fields and returns the stream.
+  std::ostringstream& Begin(const char* ph, int64_t pid, const std::string& name,
+                            double ts_us);
+  void AppendArgs(const std::vector<TraceArg>& args);
+
+  std::ostringstream out_;
+  size_t events_ = 0;
+};
+
+// Escapes a string for embedding inside a JSON string literal.
+std::string EscapeJsonString(const std::string& text);
 
 struct TraceTrack {
   std::string name;

@@ -2,12 +2,70 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <mutex>
+#include <vector>
 
 namespace flo {
+namespace {
+
+struct DumpEntry {
+  int handle = 0;
+  CheckDumpFn fn = nullptr;
+  void* ctx = nullptr;
+};
+
+std::mutex& DumpMutex() {
+  static std::mutex mu;
+  return mu;
+}
+
+std::vector<DumpEntry>& Dumps() {
+  static std::vector<DumpEntry> dumps;
+  return dumps;
+}
+
+int g_next_handle = 1;
+
+// A dump that itself trips a check must not recurse into the dump list.
+thread_local bool g_dumping = false;
+
+}  // namespace
+
+int AddCheckFailureDump(CheckDumpFn fn, void* ctx) {
+  std::lock_guard<std::mutex> lock(DumpMutex());
+  const int handle = g_next_handle++;
+  Dumps().push_back(DumpEntry{handle, fn, ctx});
+  return handle;
+}
+
+void RemoveCheckFailureDump(int handle) {
+  std::lock_guard<std::mutex> lock(DumpMutex());
+  std::vector<DumpEntry>& dumps = Dumps();
+  for (size_t i = 0; i < dumps.size(); ++i) {
+    if (dumps[i].handle == handle) {
+      dumps.erase(dumps.begin() + static_cast<ptrdiff_t>(i));
+      return;
+    }
+  }
+}
 
 void CheckFailed(const char* file, int line, const char* expr, const std::string& message) {
   std::fprintf(stderr, "FLO_CHECK failed at %s:%d: %s %s\n", file, line, expr, message.c_str());
   std::fflush(stderr);
+  if (!g_dumping) {
+    g_dumping = true;
+    // Copy under the lock, run without it: a dump may log (which takes
+    // other locks) and must not deadlock against a concurrent register.
+    std::vector<DumpEntry> dumps;
+    {
+      std::lock_guard<std::mutex> lock(DumpMutex());
+      dumps = Dumps();
+    }
+    for (const DumpEntry& dump : dumps) {
+      dump.fn(dump.ctx);
+    }
+    std::fflush(stderr);
+  }
   std::abort();
 }
 

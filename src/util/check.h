@@ -2,6 +2,11 @@
 //
 // FLO_CHECK aborts on violation in all build types; these guard programmer
 // errors and internal invariants, never recoverable runtime conditions.
+//
+// Post-mortem dumps: components holding useful crash context (e.g. the
+// observability flight recorder's last-N event ring) can register a dump
+// callback; CheckFailed runs every registered dump after printing the
+// failure and before aborting, so the context lands next to the message.
 #ifndef SRC_UTIL_CHECK_H_
 #define SRC_UTIL_CHECK_H_
 
@@ -13,6 +18,13 @@ namespace flo {
 // Aborts the process with a formatted message. Never returns.
 [[noreturn]] void CheckFailed(const char* file, int line, const char* expr,
                               const std::string& message);
+
+// Registers a dump callback run by CheckFailed (after the failure message,
+// before abort). Returns a handle for RemoveCheckFailureDump. Dumps run in
+// registration order; a dump that itself fails a check does not recurse.
+using CheckDumpFn = void (*)(void* ctx);
+int AddCheckFailureDump(CheckDumpFn fn, void* ctx);
+void RemoveCheckFailureDump(int handle);
 
 namespace check_internal {
 

@@ -1,11 +1,26 @@
 #include "src/util/logging.h"
 
+#include <atomic>
 #include <cstdio>
+#include <cstdlib>
+#include <mutex>
 
 namespace flo {
 namespace {
 
-LogLevel g_level = LogLevel::kInfo;
+// Sentinel "unset": the first read applies FLO_LOG_LEVEL, after which the
+// value is always a valid LogLevel. Relaxed is enough — the level is a
+// filter, not a synchronization point.
+constexpr int kLevelUnset = -1;
+std::atomic<int> g_level{kLevelUnset};
+
+std::mutex& SinkMutex() {
+  static std::mutex mu;
+  return mu;
+}
+
+LogSinkFn g_sink = nullptr;
+void* g_sink_ctx = nullptr;
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -21,13 +36,65 @@ const char* LevelName(LogLevel level) {
   return "?";
 }
 
+LogLevel LevelFromEnv() {
+  LogLevel level = LogLevel::kInfo;
+  const char* env = std::getenv("FLO_LOG_LEVEL");
+  if (env != nullptr && !ParseLogLevel(env, &level)) {
+    std::fprintf(stderr, "[WARN logging] unrecognized FLO_LOG_LEVEL '%s'; using info\n", env);
+  }
+  return level;
+}
+
 }  // namespace
 
-void SetLogLevel(LogLevel level) { g_level = level; }
+bool ParseLogLevel(const std::string& text, LogLevel* level) {
+  std::string lower;
+  lower.reserve(text.size());
+  for (char c : text) {
+    lower += static_cast<char>(c >= 'A' && c <= 'Z' ? c - 'A' + 'a' : c);
+  }
+  if (lower == "debug" || lower == "0") {
+    *level = LogLevel::kDebug;
+  } else if (lower == "info" || lower == "1") {
+    *level = LogLevel::kInfo;
+  } else if (lower == "warning" || lower == "warn" || lower == "2") {
+    *level = LogLevel::kWarning;
+  } else if (lower == "error" || lower == "3") {
+    *level = LogLevel::kError;
+  } else {
+    return false;
+  }
+  return true;
+}
 
-LogLevel GetLogLevel() { return g_level; }
+void SetLogLevel(LogLevel level) {
+  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+LogLevel GetLogLevel() {
+  int level = g_level.load(std::memory_order_relaxed);
+  if (level == kLevelUnset) {
+    // First use: apply the environment. Racing first readers both compute
+    // the same value, so the exchange is idempotent.
+    level = static_cast<int>(LevelFromEnv());
+    int expected = kLevelUnset;
+    g_level.compare_exchange_strong(expected, level, std::memory_order_relaxed);
+  }
+  return static_cast<LogLevel>(level);
+}
+
+void SetLogSink(LogSinkFn sink, void* ctx) {
+  std::lock_guard<std::mutex> lock(SinkMutex());
+  g_sink = sink;
+  g_sink_ctx = ctx;
+}
 
 void LogMessage(LogLevel level, const char* file, int line, const std::string& message) {
+  std::lock_guard<std::mutex> lock(SinkMutex());
+  if (g_sink != nullptr) {
+    g_sink(level, file, line, message, g_sink_ctx);
+    return;
+  }
   std::fprintf(stderr, "[%s %s:%d] %s\n", LevelName(level), file, line, message.c_str());
 }
 

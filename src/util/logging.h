@@ -1,8 +1,13 @@
 // Minimal leveled logger used by the library and tools.
 //
-// Logging is off by default at DEBUG level; tools flip the level from the
-// command line. Not thread-safe by design: the simulator is single-threaded
-// and tools log from the main thread only.
+// The minimum level defaults to kInfo and can be overridden without a
+// recompile through the FLO_LOG_LEVEL environment variable (debug / info /
+// warning / error, or 0-3), read once at first use; tools can still flip
+// it from the command line via SetLogLevel. The level check is a relaxed
+// atomic load, so hot-path FLO_LOG(kDebug) statements (e.g. in the tuner's
+// search) cost one branch when filtered. Emission is serialized behind a
+// mutex — worker pools (parallel pretuning lanes) can log without
+// interleaving bytes on stderr — and can be redirected to a custom sink.
 #ifndef SRC_UTIL_LOGGING_H_
 #define SRC_UTIL_LOGGING_H_
 
@@ -18,11 +23,23 @@ enum class LogLevel : int {
   kError = 3,
 };
 
-// Global minimum level; messages below it are dropped.
+// Global minimum level; messages below it are dropped. The first
+// GetLogLevel (or filtered FLO_LOG) applies FLO_LOG_LEVEL from the
+// environment; SetLogLevel overrides it for the rest of the process.
 void SetLogLevel(LogLevel level);
 LogLevel GetLogLevel();
 
-// Emits one formatted line to stderr.
+// Parses a level name ("debug", "INFO", "2", ...); returns false and
+// leaves *level untouched on unrecognized input.
+bool ParseLogLevel(const std::string& text, LogLevel* level);
+
+// Redirects emission. The sink runs under the logging mutex (one message
+// at a time); pass nullptr to restore the stderr default.
+using LogSinkFn = void (*)(LogLevel level, const char* file, int line,
+                           const std::string& message, void* ctx);
+void SetLogSink(LogSinkFn sink, void* ctx);
+
+// Emits one formatted line through the current sink. Thread-safe.
 void LogMessage(LogLevel level, const char* file, int line, const std::string& message);
 
 namespace log_internal {

@@ -7,9 +7,6 @@
 
 namespace flo {
 
-namespace {
-
-// `values` must be sorted and non-empty.
 double PercentileOfSorted(const std::vector<double>& values, double p) {
   FLO_CHECK_GE(p, 0.0);
   FLO_CHECK_LE(p, 100.0);
@@ -22,8 +19,6 @@ double PercentileOfSorted(const std::vector<double>& values, double p) {
   const double frac = rank - static_cast<double>(lo);
   return values[lo] + frac * (values[hi] - values[lo]);
 }
-
-}  // namespace
 
 Summary Summarize(const std::vector<double>& values) {
   FLO_CHECK(!values.empty());

@@ -25,6 +25,12 @@ double GeoMean(const std::vector<double>& values);
 // p in [0, 100]; linear interpolation between order statistics.
 double Percentile(std::vector<double> values, double p);
 
+// Same interpolation over an already-sorted non-empty sample set — the
+// single percentile definition every consumer (benches, serving stats,
+// obs histograms) shares. On an odd-sized sample, p=50 is the exact
+// middle element.
+double PercentileOfSorted(const std::vector<double>& values, double p);
+
 // The serving-tail percentiles (SLO reporting), computed with one sort.
 struct PercentileSummary {
   double p50 = 0.0;

@@ -1,0 +1,112 @@
+#!/usr/bin/env python3
+"""Validate an exported trace against the Chrome trace-event format.
+
+Stdlib-only (CI runs it with a bare python3): checks the JSON object
+format and the per-event fields ui.perfetto.dev / chrome://tracing rely
+on, so a schema regression in src/sim/trace_export.cc fails the test job
+instead of silently producing a trace the viewer rejects.
+
+Usage: validate_trace.py trace.json [trace2.json ...]
+"""
+
+import json
+import sys
+
+# Phases the exporter is allowed to emit (trace-event spec, subset we use):
+# M metadata, X complete, b/e nestable async begin/end, i instant.
+KNOWN_PHASES = {"M", "X", "b", "e", "i"}
+
+
+def fail(path, index, message):
+    print(f"{path}: event {index}: {message}", file=sys.stderr)
+    return 1
+
+
+def validate(path):
+    errors = 0
+    with open(path, "r", encoding="utf-8") as handle:
+        try:
+            doc = json.load(handle)
+        except json.JSONDecodeError as error:
+            print(f"{path}: not valid JSON: {error}", file=sys.stderr)
+            return 1
+
+    if not isinstance(doc, dict) or "traceEvents" not in doc:
+        print(f"{path}: expected JSON-object format with a traceEvents array",
+              file=sys.stderr)
+        return 1
+    events = doc["traceEvents"]
+    if not isinstance(events, list) or not events:
+        print(f"{path}: traceEvents must be a non-empty array", file=sys.stderr)
+        return 1
+
+    open_async = {}  # (cat, id, pid) -> begin ts, for b/e pairing
+    for index, event in enumerate(events):
+        if not isinstance(event, dict):
+            errors += fail(path, index, "event is not an object")
+            continue
+        phase = event.get("ph")
+        if phase not in KNOWN_PHASES:
+            errors += fail(path, index, f"unknown phase {phase!r}")
+            continue
+        for field in ("name", "pid"):
+            if field not in event:
+                errors += fail(path, index, f"missing {field!r}")
+        if not isinstance(event.get("pid"), int):
+            errors += fail(path, index, "pid must be an integer")
+
+        if phase == "M":
+            if event.get("name") not in ("process_name", "thread_name", "process_sort_index"):
+                errors += fail(path, index, f"unexpected metadata {event.get('name')!r}")
+            if "args" not in event:
+                errors += fail(path, index, "metadata event without args")
+            continue
+
+        ts = event.get("ts")
+        if not isinstance(ts, (int, float)) or ts < 0:
+            errors += fail(path, index, f"bad ts {ts!r}")
+        if phase == "X":
+            dur = event.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                errors += fail(path, index, f"complete event with bad dur {dur!r}")
+            if "tid" not in event:
+                errors += fail(path, index, "complete event without tid")
+        elif phase in ("b", "e"):
+            if "id" not in event or "cat" not in event:
+                errors += fail(path, index, "nestable async event needs id and cat")
+            else:
+                key = (event["cat"], event["id"], event["pid"])
+                if phase == "b":
+                    open_async.setdefault(key, []).append(ts)
+                else:
+                    begins = open_async.get(key)
+                    if not begins:
+                        errors += fail(path, index, f"async end without begin {key}")
+                    elif isinstance(ts, (int, float)) and ts < begins[-1]:
+                        errors += fail(path, index, f"async end before begin {key}")
+                    else:
+                        begins.pop()
+        elif phase == "i":
+            if event.get("s") not in ("g", "p", "t", None):
+                errors += fail(path, index, f"instant with bad scope {event.get('s')!r}")
+
+    unclosed = sum(len(begins) for begins in open_async.values() if begins)
+    if unclosed:
+        print(f"{path}: {unclosed} async begin(s) without a matching end",
+              file=sys.stderr)
+        errors += unclosed
+
+    if errors == 0:
+        print(f"{path}: OK ({len(events)} events)")
+    return errors
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    return 1 if sum(validate(path) for path in argv[1:]) else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
