@@ -15,10 +15,17 @@
 //  - bit-determinism: reruns identical; published plans identical at any
 //    replica count; reports identical at any host thread count.
 //
-// Usage: bench_cluster_bench [--smoke] [--history <file>] [--requests N] [--quiet]
+//  - chaos: under the default fault dose (1 crash + 1 straggler per 64
+//    replicas, seeded via --faults), every request still completes, the
+//    chaos p99 stays within 3x the fault-free p99, and the faulted run
+//    is itself bit-deterministic.
+//
+// Usage: bench_cluster_bench [--smoke] [--history <file>] [--requests N]
+//                            [--faults <seed>] [--quiet]
 // Writes cluster_bench.csv and BENCH_cluster.json to the cwd; --history
 // appends the JSON as one compact line to the given trajectory file;
 // --requests overrides the total request count (split across tenants);
+// --faults reseeds the chaos schedule (default 1);
 // --quiet drops the progress narration (gate verdicts still print).
 #include <algorithm>
 #include <chrono>
@@ -211,8 +218,41 @@ bool Run(const BenchArgs& args) {
   ServingCluster fleet_8t(setup.hardware, threaded, {}, EngineOptions{.jitter = false});
   const bool thread_invariant = SameTimeline(report_1t, fleet_8t.Run(setup.trace));
 
+  // --- Chaos gates ---
+  // Default dose: 1 crash + 1 straggler per 64 replicas (at least one
+  // each), seeded from --faults and expanded over the fault-free
+  // makespan. The fleet must still complete every request, keep the p99
+  // within 3x of fault-free, and stay bit-deterministic under faults.
+  ClusterConfig chaos_config;
+  chaos_config.replicas = 4;
+  chaos_config.policy = PlacementPolicy::kPlanAffinity;
+  chaos_config.faults.seed = args.fault_seed;
+  chaos_config.faults.horizon_us = shipped_4.makespan_us;
+  chaos_config.faults.crashes = std::max(1, chaos_config.replicas / 64);
+  chaos_config.faults.slowdowns = std::max(1, chaos_config.replicas / 64);
+  ServingCluster chaos_fleet(setup.hardware, chaos_config, {}, EngineOptions{.jitter = false});
+  const FleetReport chaos = chaos_fleet.Run(setup.trace);
+  total_events += chaos.events;
+  const double fault_free_p99 = shipped_4.stats.LatencyPercentiles().p99;
+  const double chaos_p99 = chaos.stats.LatencyPercentiles().p99;
+  const bool chaos_complete = chaos.stats.count() == setup.trace.size();
+  const bool chaos_p99_ok = chaos_p99 <= 3.0 * fault_free_p99;
+  ServingCluster chaos_again(setup.hardware, chaos_config, {}, EngineOptions{.jitter = false});
+  const FleetReport chaos_rerun = chaos_again.Run(setup.trace);
+  const bool chaos_deterministic =
+      SameTimeline(chaos, chaos_rerun) &&
+      chaos.fault.requests_requeued == chaos_rerun.fault.requests_requeued &&
+      chaos.fault.requests_retried == chaos_rerun.fault.requests_retried &&
+      chaos.fault.placement_stalls == chaos_rerun.fault.placement_stalls &&
+      chaos.fault.ship_drops == chaos_rerun.fault.ship_drops;
+  const double chaos_retry_rate =
+      static_cast<double>(chaos.fault.requests_retried) /
+      static_cast<double>(setup.trace.size());
+  const double chaos_makespan_overhead =
+      shipped_4.makespan_us > 0.0 ? chaos.makespan_us / shipped_4.makespan_us : 0.0;
+
   const bool csv_ok = csv.WriteFile("cluster_bench.csv");
-  char json[2048];
+  char json[3072];
   std::snprintf(
       json, sizeof(json),
       "{\"bench\": \"cluster\", \"smoke\": %s, \"requests\": %zu, \"distinct_keys\": %zu, "
@@ -221,13 +261,21 @@ bool Run(const BenchArgs& args) {
       "\"rr_searches\": %zu, \"affinity_searches\": %zu, "
       "\"shipped_searches_max\": %zu, \"shipped_plans\": %zu, "
       "\"duplicate_tunes_avoided\": %zu, \"p99_us_affinity_4\": %.1f, "
-      "\"rerun_identical\": %s, \"plans_replica_invariant\": %s, \"thread_invariant\": %s}",
+      "\"rerun_identical\": %s, \"plans_replica_invariant\": %s, \"thread_invariant\": %s, "
+      "\"fault_seed\": %llu, \"fault_injects\": %zu, \"fault_p99_us\": %.1f, "
+      "\"fault_retry_rate\": %.4f, \"fault_makespan_overhead\": %.4f, "
+      "\"fault_requeued\": %zu, \"fault_restarts\": %zu, \"fault_completed\": %s, "
+      "\"fault_rerun_identical\": %s}",
       smoke ? "true" : "false", setup.trace.size(), shipped_4.distinct_keys, throughput_1,
       throughput_4, round_robin_4.WarmHitRate(), affinity_4.WarmHitRate(),
       round_robin_4.total_searches, affinity_4.total_searches, max_shipped_searches,
       shipped_4.shipping.shipped, shipped_4.shipping.duplicate_tunes_avoided,
       shipped_4.stats.LatencyPercentiles().p99, rerun_identical ? "true" : "false",
-      plans_replica_invariant ? "true" : "false", thread_invariant ? "true" : "false");
+      plans_replica_invariant ? "true" : "false", thread_invariant ? "true" : "false",
+      static_cast<unsigned long long>(args.fault_seed), chaos.fault.injected_total(),
+      chaos_p99, chaos_retry_rate, chaos_makespan_overhead, chaos.fault.requests_requeued,
+      chaos.fault.replica_restarts, chaos_complete ? "true" : "false",
+      chaos_deterministic ? "true" : "false");
   FILE* out = std::fopen("BENCH_cluster.json", "w");
   if (out != nullptr) {
     std::fprintf(out, "%s\n", json);
@@ -259,6 +307,26 @@ bool Run(const BenchArgs& args) {
     std::printf("FAIL: determinism gate (rerun %d, replica-invariant plans %d, "
                 "thread-invariant %d)\n",
                 rerun_identical, plans_replica_invariant, thread_invariant);
+    ok = false;
+  }
+  Narrate(quiet,
+          "chaos (seed %llu): %zu faults, %zu requeued, p99 %.0f us vs %.0f fault-free "
+          "(%.2fx), makespan %.2fx\n",
+          static_cast<unsigned long long>(args.fault_seed), chaos.fault.injected_total(),
+          chaos.fault.requests_requeued, chaos_p99, fault_free_p99,
+          fault_free_p99 > 0.0 ? chaos_p99 / fault_free_p99 : 0.0, chaos_makespan_overhead);
+  if (!chaos_complete) {
+    std::printf("FAIL: chaos run dropped requests (%zu of %zu completed)\n",
+                chaos.stats.count(), setup.trace.size());
+    ok = false;
+  }
+  if (!chaos_p99_ok) {
+    std::printf("FAIL: chaos p99 %.0f us exceeds 3x fault-free p99 %.0f us\n", chaos_p99,
+                fault_free_p99);
+    ok = false;
+  }
+  if (!chaos_deterministic) {
+    std::printf("FAIL: faulted run is not bit-deterministic across reruns\n");
     ok = false;
   }
   if (csv_ok) {

@@ -7,7 +7,8 @@
 // ad-hoc progress narration; gate verdicts and FAIL lines always print) —
 // and must treat a failed append as a bench failure: a silently dropped
 // point defeats the history. Benches that export observability artifacts
-// additionally take `--trace <file>` / `--metrics <file>`.
+// additionally take `--trace <file>` / `--metrics <file>`; benches with a
+// chaos section take `--faults <seed>` to reseed the fault schedule.
 #ifndef BENCH_TRAJECTORY_H_
 #define BENCH_TRAJECTORY_H_
 
@@ -29,6 +30,9 @@ struct BenchArgs {
   std::string trace;     // empty = no Chrome trace export
   std::string metrics;   // empty = no metrics time-series export
   int64_t requests = 0;  // 0 = the bench's default scale
+  // Seed for benches with a fault-injection (chaos) section; the section
+  // runs either way, the seed just picks the schedule it expands.
+  uint64_t fault_seed = 1;
 };
 
 inline BenchArgs ParseBenchArgs(int argc, char** argv) {
@@ -47,6 +51,8 @@ inline BenchArgs ParseBenchArgs(int argc, char** argv) {
       args.metrics = argv[++i];
     } else if (arg == "--requests" && i + 1 < argc) {
       args.requests = std::atoll(argv[++i]);
+    } else if (arg == "--faults" && i + 1 < argc) {
+      args.fault_seed = static_cast<uint64_t>(std::atoll(argv[++i]));
     }
   }
   return args;

@@ -32,6 +32,11 @@ int FleetRouter::LeastLoaded(const std::vector<ReplicaSnapshot>& replicas, Pred 
   int best = -1;
   double best_load = 0.0;
   for (const ReplicaSnapshot& replica : replicas) {
+    // INVARIANT: `accepting` gates every affinity tier, including the
+    // warm-plan winner — a draining, retired, or unhealthy replica must
+    // never receive a placement, no matter how attractive its plan cache
+    // looks (cluster_test pins this). Snapshots() additionally excludes
+    // retired replicas at the source.
     if (!replica.accepting || !pred(replica)) {
       continue;
     }

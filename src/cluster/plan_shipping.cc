@@ -17,12 +17,14 @@ void PlanShipper::ShipToLocked(uint64_t key, const std::string& record,
   }
 }
 
-void PlanShipper::Subscribe(int replica_id, std::shared_ptr<PlanStore> store, Tuner* tuner) {
+size_t PlanShipper::Subscribe(int replica_id, std::shared_ptr<PlanStore> store,
+                              Tuner* tuner) {
   FLO_CHECK(store != nullptr);
   std::lock_guard<std::mutex> lock(mu_);
   // Bootstrap: a late subscriber (autoscaler spawn) starts warm — both
   // tiers — with every plan the fleet has already paid for.
-  stats_.shipped += store->ImportRecords(published_.Serialize());
+  const size_t bootstrapped = store->ImportRecords(published_.Serialize());
+  stats_.shipped += bootstrapped;
   if (tuner != nullptr && !artifacts_.empty()) {
     std::vector<StoredPlan> artifacts;
     artifacts.reserve(artifacts_.size());
@@ -32,11 +34,39 @@ void PlanShipper::Subscribe(int replica_id, std::shared_ptr<PlanStore> store, Tu
     tuner->ImportPlans(artifacts);
   }
   subscribers_[replica_id] = Subscriber{std::move(store), tuner};
+  return bootstrapped;
 }
 
 void PlanShipper::Unsubscribe(int replica_id) {
   std::lock_guard<std::mutex> lock(mu_);
   subscribers_.erase(replica_id);
+}
+
+size_t PlanShipper::ReleaseReplica(int replica_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t released = 0;
+  for (auto it = in_flight_.begin(); it != in_flight_.end();) {
+    if (it->second == replica_id) {
+      it = in_flight_.erase(it);
+      ++released;
+    } else {
+      ++it;
+    }
+  }
+  return released;
+}
+
+void PlanShipper::AbandonTuning(uint64_t key, int replica_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = in_flight_.find(key);
+  if (it != in_flight_.end() && it->second == replica_id) {
+    in_flight_.erase(it);
+  }
+}
+
+void PlanShipper::SetDropFilter(DropFilter filter) {
+  std::lock_guard<std::mutex> lock(mu_);
+  drop_filter_ = std::move(filter);
 }
 
 bool PlanShipper::BeginTuning(uint64_t key, int replica_id) {
@@ -85,6 +115,13 @@ bool PlanShipper::Publish(uint64_t key, const PlanStore& source, const StoredPla
   for (auto& [id, subscriber] : subscribers_) {
     if (subscriber.store.get() == &source) {
       continue;  // the owner already holds what it just tuned
+    }
+    if (drop_filter_ && drop_filter_(key, id)) {
+      // Injected shipping loss: the delivery vanishes. The victim's
+      // parked batches re-acquire through BeginTuning, whose re-ship
+      // pull is not filtered.
+      ++stats_.ship_drops;
+      continue;
     }
     ShipToLocked(key, *record, &subscriber);
   }

@@ -20,6 +20,7 @@
 #define SRC_CLUSTER_PLAN_SHIPPING_H_
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -40,16 +41,38 @@ struct PlanShipperStats {
   // BeginTuning calls denied because a peer owned the in-flight search —
   // duplicate searches the fleet did not pay.
   size_t duplicate_tunes_avoided = 0;
+  // Publish fan-out deliveries suppressed by an injected shipping-loss
+  // window (src/fault). The victims recover through the BeginTuning
+  // re-ship pull path, which the filter never touches.
+  size_t ship_drops = 0;
 };
 
 class PlanShipper {
  public:
   // Registers a replica's store (and optionally its tuner) as a shipment
   // target and warm-starts both tiers with everything already published —
-  // a replica spawned mid-run starts warm. The tuner pointer is borrowed;
-  // the caller must Unsubscribe before destroying either.
-  void Subscribe(int replica_id, std::shared_ptr<PlanStore> store, Tuner* tuner = nullptr);
+  // a replica spawned mid-run starts warm. Returns the number of plans
+  // bootstrapped into the store (a restarting crashed replica reports
+  // this as its re-warm count). The tuner pointer is borrowed; the caller
+  // must Unsubscribe before destroying either.
+  size_t Subscribe(int replica_id, std::shared_ptr<PlanStore> store, Tuner* tuner = nullptr);
   void Unsubscribe(int replica_id);
+
+  // Crash teardown: releases every in-flight search `replica_id` owns, so
+  // the keys are acquirable again (the crashed replica will never publish
+  // them). Returns the number released.
+  size_t ReleaseReplica(int replica_id);
+  // Aborted-search release for one key (injected tuner fault): the owner
+  // gives the key up without publishing. No-op unless `replica_id` owns it.
+  void AbandonTuning(uint64_t key, int replica_id);
+
+  // Shipping-loss injection (src/fault): while set, a Publish fan-out
+  // delivery to (key, replica) is dropped when the filter returns true.
+  // Only the push path is filtered — BeginTuning re-ships, Subscribe
+  // bootstraps, and ImportSnapshot stay reliable, which is exactly the
+  // recovery path a dropped victim falls back to. nullptr clears.
+  using DropFilter = std::function<bool(uint64_t key, int replica_id)>;
+  void SetDropFilter(DropFilter filter);
 
   // Fleet-wide single-flight. Returns true when `replica_id` should tune
   // `key` itself: it acquired ownership, or it already owns it. Returns
@@ -101,6 +124,7 @@ class PlanShipper {
   std::map<uint64_t, StoredPlan> artifacts_;
   std::map<int, Subscriber> subscribers_;
   std::map<uint64_t, int> in_flight_;  // key -> owning replica id
+  DropFilter drop_filter_;
   PlanShipperStats stats_;
 };
 

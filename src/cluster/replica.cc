@@ -19,6 +19,7 @@ void Replica::StartSession(const ServeConfig& config, EventLoop* events,
                            ServeSession::Hooks hooks) {
   FLO_CHECK(!retired_);
   searches_at_session_start_ = engine_.tuner().search_count();
+  health_ = Health::kHealthy;  // injected faults do not leak across runs
   session_ = std::make_unique<ServeSession>(&engine_, config, events, std::move(hooks), id_);
 }
 

@@ -19,6 +19,12 @@ namespace flo {
 
 class Replica {
  public:
+  // Fault-injection health (src/fault). Only a healthy replica accepts
+  // placements; crashed and hung replicas are also stalled (their session
+  // dispatches nothing), stragglers keep executing at a cost multiplier
+  // but are unroutable until the window ends.
+  enum class Health { kHealthy, kCrashed, kHung, kStraggling };
+
   Replica(int id, const ClusterSpec& cluster, const TunerConfig& tuner_config,
           const EngineOptions& options, size_t store_capacity, SimTime spawned_at);
 
@@ -43,9 +49,13 @@ class Replica {
   // Searches this replica performed since StartSession.
   size_t SearchesThisRun();
 
-  bool accepting() const { return !draining_ && !retired_; }
+  bool accepting() const {
+    return !draining_ && !retired_ && health_ == Health::kHealthy;
+  }
   bool draining() const { return draining_; }
   bool retired() const { return retired_; }
+  Health health() const { return health_; }
+  void SetHealth(Health health) { health_ = health; }
   void BeginDrain() { draining_ = true; }
   void Retire(SimTime now);
 
@@ -61,6 +71,7 @@ class Replica {
   size_t searches_at_session_start_ = 0;
   bool draining_ = false;
   bool retired_ = false;
+  Health health_ = Health::kHealthy;
   SimTime spawned_us_ = 0.0;
   SimTime retired_us_ = -1.0;
 };

@@ -7,6 +7,8 @@
 #include "src/serve/request_cursor.h"
 #include "src/util/check.h"
 #include "src/util/file.h"
+#include "src/util/logging.h"
+#include "src/util/rng.h"
 #include "src/util/stats.h"
 
 namespace flo {
@@ -29,6 +31,20 @@ void EmitFleetInstant(ObsPlane* obs, SpanKind kind, SimTime now, uint64_t id, ui
   obs->Emit(span);
 }
 
+// Requeue backoff: base * 2^(attempt-1) (capped at 10 doublings, no
+// std::pow — libm rounding is not a determinism bet) plus seeded jitter
+// in [0, jitter) that is a pure function of (seed, request id, attempt).
+double RequeueBackoffUs(const FaultConfig& faults, int64_t request_id, int attempt) {
+  double backoff = faults.retry_backoff_base_us;
+  const int doublings = std::min(attempt, 10) - 1;
+  for (int i = 0; i < doublings; ++i) {
+    backoff *= 2.0;
+  }
+  const double jitter =
+      Rng(StableHash().Mix(faults.seed).Mix(request_id).Mix(attempt).value()).NextDouble();
+  return backoff + faults.retry_backoff_jitter_us * jitter;
+}
+
 }  // namespace
 
 ServingCluster::ServingCluster(ClusterSpec hardware, ClusterConfig config,
@@ -49,6 +65,8 @@ ServingCluster::ServingCluster(ClusterSpec hardware, ClusterConfig config,
   }
   autoscale_handler_ = events_.RegisterHandler(
       [this](const EventRecord&, SimTime now) { AutoscaleCheck(now); });
+  fault_handler_ = events_.RegisterHandler(
+      [this](const EventRecord& record, SimTime now) { OnFaultEvent(record, now); });
 }
 
 Replica* ServingCluster::SpawnReplica(SimTime now) {
@@ -61,6 +79,10 @@ Replica* ServingCluster::SpawnReplica(SimTime now) {
   // — instead of re-tuning the mix.
   shipper_.Subscribe(id, replica->store(), &replica->engine().tuner());
   replica->StartSession(config_.serve, &events_, HooksFor(replica));
+  replica->session()->SetFaultPolicy(
+      ServeSession::FaultPolicy{config_.faults.tuner_retry_budget,
+                                config_.faults.retry_backoff_base_us,
+                                config_.faults.retry_backoff_jitter_us, config_.faults.seed});
   ++spawns_;
   EmitFleetInstant(config_.serve.obs, SpanKind::kReplicaSpawn, now,
                    static_cast<uint64_t>(id), 0);
@@ -116,6 +138,15 @@ ServeSession::Hooks ServingCluster::HooksFor(Replica* replica) {
       DispatchAll(now);
     };
   }
+  hooks.tuning_aborted = [this, replica](uint64_t key, SimTime now) {
+    // The aborted search will not publish: release the fleet-wide
+    // single-flight ownership so a peer (or this replica's retry) can
+    // re-acquire the key, then wake anyone parked on it.
+    if (config_.ship_plans) {
+      shipper_.AbandonTuning(key, replica->id());
+    }
+    DispatchAll(now);
+  };
   hooks.request_finished = [this, replica](const RequestRecord& record, SimTime now) {
     ++completed_requests_;
     cost_sum_us_ += record.ExecUs() / static_cast<double>(std::max(1, record.batch_size));
@@ -163,7 +194,16 @@ void ServingCluster::PlaceRequest(ServeRequest request, SimTime now) {
   const uint64_t key = keyer_.CanonicalKey(request.spec);
   run_keys_.insert(key);
   const int id = router_.Place(Snapshots(key, now));
-  FLO_CHECK(id != -1) << "no accepting replica (autoscaler drained below min?)";
+  if (id == -1) {
+    // Every replica is down or draining. Under fault injection that is a
+    // transient (health restores are already scheduled): park the arrival
+    // in the requeue pool and try again after the base backoff. Without
+    // faults it is a configuration error, as before.
+    FLO_CHECK(faults_active_) << "no accepting replica (autoscaler drained below min?)";
+    ++fault_report_.placement_stalls;
+    PushRequeue(std::move(request), now + config_.faults.retry_backoff_base_us);
+    return;
+  }
   Replica* replica = FindReplica(id);
   FLO_CHECK(replica != nullptr);
   replica->session()->Admit(std::move(request), now);
@@ -263,6 +303,23 @@ FleetReport ServingCluster::Run(RequestCursor* cursor) {
   spawns_ = 0;
   drains_ = 0;
   peak_replicas_ = 0;
+  // Fault plane: a scripted override wins; otherwise an enabled config
+  // expands into a seeded schedule against the configured replica count.
+  if (!schedule_override_.empty()) {
+    active_schedule_ = schedule_override_;
+  } else if (config_.faults.enabled()) {
+    FLO_CHECK_GT(config_.faults.horizon_us, 0.0)
+        << "FaultConfig::horizon_us must be set to generate a schedule";
+    active_schedule_ = FaultSchedule::FromConfig(config_.faults, config_.replicas);
+  } else {
+    active_schedule_ = FaultSchedule();
+  }
+  faults_active_ = !active_schedule_.empty();
+  fault_report_ = FaultReport{};
+  fault_report_.enabled = faults_active_;
+  requeue_pool_.clear();
+  requeue_free_.clear();
+  ship_drops_baseline_ = shipper_.stats().ship_drops;
   ObsPlane* obs = config_.serve.obs;
   const bool observing = obs != nullptr && obs->enabled();
   if (observing) {
@@ -311,6 +368,9 @@ FleetReport ServingCluster::Run(RequestCursor* cursor) {
         replica->ClearSession();
       } else {
         replica->StartSession(config_.serve, &events_, HooksFor(replica.get()));
+        replica->session()->SetFaultPolicy(ServeSession::FaultPolicy{
+            config_.faults.tuner_retry_budget, config_.faults.retry_backoff_base_us,
+            config_.faults.retry_backoff_jitter_us, config_.faults.seed});
         accepting += replica->accepting() ? 1 : 0;
       }
     }
@@ -325,6 +385,16 @@ FleetReport ServingCluster::Run(RequestCursor* cursor) {
     PlaceRequest(std::move(request), now);
   });
   pump_ = &pump;
+  // Every injection is scheduled before dispatch begins (pushes are
+  // order-free until the first RunOne), indexed into active_schedule_.
+  for (size_t i = 0; i < active_schedule_.size(); ++i) {
+    EventRecord record;
+    record.type = EventType::kFaultInject;
+    record.handler = fault_handler_;
+    record.slot = static_cast<uint32_t>(i);
+    record.replica = active_schedule_.events()[i].replica;
+    events_.Push(active_schedule_.events()[i].time_us, record);
+  }
   if (config_.autoscale.enabled && !pump.done()) {
     EventRecord record;
     record.type = EventType::kAutoscaleCheck;
@@ -360,10 +430,269 @@ FleetReport ServingCluster::Run(RequestCursor* cursor) {
   report.spawns = spawns_;
   report.drains = drains_;
   report.shipping = shipper_.stats();
+  for (const ReplicaReport& entry : report.replicas) {
+    fault_report_.tuner_retries += entry.serve.tuner_retries;
+    fault_report_.requests_degraded += entry.serve.degraded_requests;
+  }
+  fault_report_.ship_drops = shipper_.stats().ship_drops - ship_drops_baseline_;
+  report.fault = fault_report_;
   if (observing) {
     obs->FinishRun(report.makespan_us);
   }
   return report;
+}
+
+void ServingCluster::SetFaultSchedule(FaultSchedule schedule) {
+  schedule_override_ = std::move(schedule);
+}
+
+void ServingCluster::OnFaultEvent(const EventRecord& record, SimTime now) {
+  switch (record.type) {
+    case EventType::kFaultInject:
+      ApplyFault(active_schedule_.events()[record.slot], now);
+      break;
+    case EventType::kRequeue:
+      OnRequeue(record, now);
+      break;
+    case EventType::kHealthRestore:
+      OnHealthRestore(record, now);
+      break;
+    case EventType::kHangDetect:
+      OnHangDetect(record, now);
+      break;
+    default:
+      FLO_CHECK(false) << "unexpected fault-plane event type";
+  }
+}
+
+void ServingCluster::ApplyFault(const FaultEvent& event, SimTime now) {
+  ObsPlane* obs = config_.serve.obs;
+  auto push_restore = [&](FaultKind kind, int replica_id, double delay) {
+    EventRecord restore;
+    restore.type = EventType::kHealthRestore;
+    restore.key = static_cast<uint64_t>(kind);
+    restore.handler = fault_handler_;
+    restore.replica = replica_id;
+    events_.Push(now + delay, restore);
+  };
+  if (event.kind == FaultKind::kShipLoss) {
+    ++fault_report_.injected_ship_loss_windows;
+    EmitFleetInstant(obs, SpanKind::kFaultInject, now, static_cast<uint64_t>(event.replica),
+                     static_cast<uint64_t>(event.kind));
+    // Per-(key, peer) drop decisions are a pure hash of (seed, window
+    // index, key, peer): deterministic, and independent of delivery
+    // order. Overlapping windows share the filter slot — the last one
+    // to open wins, the first to close clears.
+    const uint64_t salt =
+        StableHash()
+            .Mix(config_.faults.seed)
+            .Mix(static_cast<uint64_t>(fault_report_.injected_ship_loss_windows))
+            .value();
+    const double fraction = event.magnitude;
+    shipper_.SetDropFilter([salt, fraction](uint64_t key, int replica_id) {
+      return Rng(StableHash().Mix(salt).Mix(key).Mix(replica_id).value()).NextDouble() <
+             fraction;
+    });
+    push_restore(FaultKind::kShipLoss, -1, event.duration_us);
+    return;
+  }
+  Replica* replica = FindReplica(event.replica);
+  if (replica == nullptr || replica->retired() || replica->session() == nullptr) {
+    return;  // deterministic skip: the target is gone
+  }
+  ServeSession* session = replica->session();
+  const uint64_t id = static_cast<uint64_t>(replica->id());
+  switch (event.kind) {
+    case FaultKind::kCrash: {
+      if (replica->health() != Replica::Health::kHealthy) {
+        return;  // already failing: one fault at a time per replica
+      }
+      ++fault_report_.injected_crashes;
+      EmitFleetInstant(obs, SpanKind::kFaultCrash, now, id,
+                       static_cast<uint64_t>(event.duration_us));
+      replica->SetHealth(Replica::Health::kCrashed);
+      session->SetStalled(true);
+      // Teardown: evacuate the backlog, lose the store, release every
+      // in-flight search the dead replica owned, and leave the shipper's
+      // subscriber list (the restart re-subscribes, which re-warms).
+      RequeueFrom(replica, now);
+      replica->store()->Clear();
+      shipper_.ReleaseReplica(replica->id());
+      shipper_.Unsubscribe(replica->id());
+      DispatchAll(now);  // peers may acquire the released keys now
+      push_restore(FaultKind::kCrash, replica->id(), event.duration_us);
+      break;
+    }
+    case FaultKind::kHang: {
+      if (replica->health() != Replica::Health::kHealthy) {
+        return;
+      }
+      ++fault_report_.injected_hangs;
+      EmitFleetInstant(obs, SpanKind::kFaultInject, now, id,
+                       static_cast<uint64_t>(event.kind));
+      replica->SetHealth(Replica::Health::kHung);
+      session->SetStalled(true);
+      // The detection deadline comes from the recovery policy, not the
+      // event: a hang shorter than the deadline resolves invisibly.
+      EventRecord detect;
+      detect.type = EventType::kHangDetect;
+      detect.handler = fault_handler_;
+      detect.replica = replica->id();
+      events_.Push(now + config_.faults.hang_detect_us, detect);
+      push_restore(FaultKind::kHang, replica->id(), event.duration_us);
+      break;
+    }
+    case FaultKind::kSlowdown: {
+      if (replica->health() != Replica::Health::kHealthy) {
+        return;
+      }
+      ++fault_report_.injected_slowdowns;
+      EmitFleetInstant(obs, SpanKind::kFaultInject, now, id,
+                       static_cast<uint64_t>(event.kind));
+      // The straggler keeps executing (slowly) but is unroutable until
+      // the window closes.
+      replica->SetHealth(Replica::Health::kStraggling);
+      session->SetCostMultiplier(event.magnitude);
+      push_restore(FaultKind::kSlowdown, replica->id(), event.duration_us);
+      break;
+    }
+    case FaultKind::kTunerFail: {
+      ++fault_report_.injected_tuner_failures;
+      EmitFleetInstant(obs, SpanKind::kFaultInject, now, id,
+                       static_cast<uint64_t>(event.kind));
+      session->FailInFlightTuning();
+      break;
+    }
+    case FaultKind::kShipLoss:
+    case FaultKind::kCount:
+      FLO_CHECK(false) << "unreachable fault kind";
+  }
+}
+
+void ServingCluster::OnHealthRestore(const EventRecord& record, SimTime now) {
+  const FaultKind kind = static_cast<FaultKind>(record.key);
+  if (kind == FaultKind::kShipLoss) {
+    shipper_.SetDropFilter(nullptr);
+    return;
+  }
+  Replica* replica = FindReplica(record.replica);
+  if (replica == nullptr || replica->retired() || replica->session() == nullptr) {
+    return;  // crashed + draining replicas may retire before the restore
+  }
+  switch (kind) {
+    case FaultKind::kCrash:
+      if (replica->health() != Replica::Health::kCrashed) {
+        return;
+      }
+      // Restart: re-subscribe re-warms the empty store (and tuner tier)
+      // from everything the fleet has published — the paper's "prepare
+      // once, serve many" contract doubling as crash recovery.
+      fault_report_.plans_rewarmed += shipper_.Subscribe(
+          replica->id(), replica->store(), &replica->engine().tuner());
+      ++fault_report_.replica_restarts;
+      replica->SetHealth(Replica::Health::kHealthy);
+      replica->session()->SetStalled(false);
+      replica->session()->Dispatch(now);
+      break;
+    case FaultKind::kHang:
+      if (replica->health() != Replica::Health::kHung) {
+        return;
+      }
+      replica->SetHealth(Replica::Health::kHealthy);
+      replica->session()->SetStalled(false);
+      replica->session()->Dispatch(now);
+      break;
+    case FaultKind::kSlowdown:
+      if (replica->health() != Replica::Health::kStraggling) {
+        return;
+      }
+      replica->SetHealth(Replica::Health::kHealthy);
+      replica->session()->SetCostMultiplier(1.0);
+      replica->session()->Dispatch(now);
+      break;
+    case FaultKind::kTunerFail:
+    case FaultKind::kShipLoss:
+    case FaultKind::kCount:
+      FLO_CHECK(false) << "unreachable restore kind";
+  }
+}
+
+void ServingCluster::OnHangDetect(const EventRecord& record, SimTime now) {
+  Replica* replica = FindReplica(record.replica);
+  if (replica == nullptr || replica->retired() || replica->session() == nullptr ||
+      replica->health() != Replica::Health::kHung) {
+    return;  // the hang resolved before the deadline
+  }
+  // Deadline missed: pull the backlog (and cancel its in-flight
+  // searches, which will never publish) and reschedule it elsewhere.
+  RequeueFrom(replica, now);
+  shipper_.ReleaseReplica(replica->id());
+  DispatchAll(now);
+}
+
+void ServingCluster::RequeueFrom(Replica* replica, SimTime now) {
+  requeue_scratch_.clear();
+  const size_t evacuated = replica->session()->ExtractPending(&requeue_scratch_);
+  if (evacuated == 0) {
+    return;
+  }
+  fault_report_.requests_requeued += evacuated;
+  EmitFleetInstant(config_.serve.obs, SpanKind::kFaultRequeue, now,
+                   static_cast<uint64_t>(replica->id()), evacuated);
+  for (ServeRequest& request : requeue_scratch_) {
+    ++request.retries;
+    if (request.retries > config_.faults.retry_budget) {
+      // The budget bounds backoff growth and flags the report; it never
+      // sheds the request — every admitted request completes.
+      if (fault_report_.retry_budget_exhausted == 0) {
+        FLO_LOG(kWarning) << "request " << request.id << " exceeded the retry budget ("
+                          << config_.faults.retry_budget << "); requeueing anyway";
+      }
+      ++fault_report_.retry_budget_exhausted;
+    }
+    const double backoff = RequeueBackoffUs(config_.faults, request.id, request.retries);
+    PushRequeue(std::move(request), now + backoff);
+  }
+  requeue_scratch_.clear();
+}
+
+void ServingCluster::PushRequeue(ServeRequest request, SimTime at) {
+  uint32_t slot;
+  if (!requeue_free_.empty()) {
+    slot = requeue_free_.back();
+    requeue_free_.pop_back();
+    requeue_pool_[slot] = std::move(request);
+  } else {
+    slot = static_cast<uint32_t>(requeue_pool_.size());
+    requeue_pool_.push_back(std::move(request));
+  }
+  EventRecord record;
+  record.type = EventType::kRequeue;
+  record.key = static_cast<uint64_t>(requeue_pool_[slot].id);
+  record.handler = fault_handler_;
+  record.slot = slot;
+  events_.Push(at, record);
+}
+
+void ServingCluster::OnRequeue(const EventRecord& record, SimTime now) {
+  ServeRequest request = std::move(requeue_pool_[record.slot]);
+  requeue_free_.push_back(record.slot);
+  const uint64_t key = keyer_.CanonicalKey(request.spec);
+  const int id = router_.Place(Snapshots(key, now));
+  if (id == -1) {
+    // Nothing routable right now (every replica down or draining).
+    // Health restores are already on the clock, so back off at the base
+    // interval without charging another retry.
+    ++fault_report_.placement_stalls;
+    PushRequeue(std::move(request), now + config_.faults.retry_backoff_base_us);
+    return;
+  }
+  ++fault_report_.requests_retried;
+  EmitFleetInstant(config_.serve.obs, SpanKind::kFaultRetry, now,
+                   static_cast<uint64_t>(request.id), static_cast<uint64_t>(request.retries));
+  Replica* replica = FindReplica(id);
+  FLO_CHECK(replica != nullptr);
+  replica->session()->Admit(std::move(request), now);
 }
 
 bool ServingCluster::SavePlans(const std::string& path) const {
@@ -378,7 +707,16 @@ size_t ServingCluster::LoadPlans(const std::string& path) {
   // ImportPlans validates the text (a malformed snapshot applies
   // nothing), so the file is read raw and parsed exactly once.
   const std::optional<std::string> text = ReadFileToString(path);
-  return text.has_value() ? ImportPlans(*text) : 0;
+  if (!text.has_value()) {
+    FLO_LOG(kError) << "plan snapshot unreadable: " << path;
+    return 0;
+  }
+  const size_t imported = ImportPlans(*text);
+  if (imported == 0) {
+    FLO_LOG(kError) << "plan snapshot rejected (malformed or empty): " << path
+                    << " (" << text->size() << " bytes); no store was touched";
+  }
+  return imported;
 }
 
 }  // namespace flo

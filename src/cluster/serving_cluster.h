@@ -30,6 +30,8 @@
 #include "src/cluster/plan_shipping.h"
 #include "src/cluster/replica.h"
 #include "src/core/overlap_engine.h"
+#include "src/fault/fault_config.h"
+#include "src/fault/fault_schedule.h"
 #include "src/serve/serve_loop.h"
 #include "src/serve/serve_stats.h"
 #include "src/sim/event_loop.h"
@@ -55,6 +57,11 @@ struct ClusterConfig {
   // Per-request service-cost estimate used for load balancing until
   // completed requests calibrate the running mean.
   double default_cost_estimate_us = 1000.0;
+  // Deterministic fault injection (src/fault): the seed expands into a
+  // FaultSchedule at Run time. Disabled (the default) injects nothing
+  // and leaves runs bit-identical to a fault-free build. An explicit
+  // SetFaultSchedule overrides the generated one.
+  FaultConfig faults;
 };
 
 struct ReplicaReport {
@@ -84,6 +91,9 @@ struct FleetReport {
   // Events dispatched by the shared loop during this run (arrivals,
   // batch/tuning completions, autoscale checkpoints).
   uint64_t events = 0;
+  // Fault injection and recovery for this run (enabled false when the
+  // run injected nothing).
+  FaultReport fault;
 
   // Fraction of requests whose plan was warm on their replica at batch
   // formation — the global warm-hit rate plan-affinity routing optimizes.
@@ -119,6 +129,12 @@ class ServingCluster {
   // The canonical plan key requests are routed by (replica-independent).
   uint64_t KeyFor(const ScenarioSpec& spec) const { return keyer_.CanonicalKey(spec); }
 
+  // Pins an explicit fault schedule (scripted chaos, e.g. from
+  // FaultSchedule::ParseCsv) for subsequent Runs, overriding the one
+  // ClusterConfig::faults would generate. An empty schedule clears the
+  // override.
+  void SetFaultSchedule(FaultSchedule schedule);
+
   const PlanShipper& shipper() const { return shipper_; }
   const ClusterConfig& config() const { return config_; }
   // All replicas ever spawned, in id order (including retired ones).
@@ -137,6 +153,20 @@ class ServingCluster {
   void AutoscaleCheck(SimTime now);
   double CostEstimateUs() const;
 
+  // Fault plane (src/fault). OnFaultEvent is the single typed-event
+  // target for kFaultInject / kRequeue / kHealthRestore / kHangDetect;
+  // the helpers below implement each arm.
+  void OnFaultEvent(const EventRecord& record, SimTime now);
+  void ApplyFault(const FaultEvent& event, SimTime now);
+  void OnRequeue(const EventRecord& record, SimTime now);
+  void OnHealthRestore(const EventRecord& record, SimTime now);
+  void OnHangDetect(const EventRecord& record, SimTime now);
+  // Evacuates every pending request off `replica` and schedules each for
+  // re-placement after its deterministic backoff.
+  void RequeueFrom(Replica* replica, SimTime now);
+  // Parks one request in the requeue pool and schedules its kRequeue.
+  void PushRequeue(ServeRequest request, SimTime at);
+
   ClusterSpec hardware_;
   ClusterConfig config_;
   TunerConfig tuner_config_;
@@ -151,8 +181,10 @@ class ServingCluster {
   FleetRouter router_;
   PlanShipper shipper_;
   EventLoop events_;
-  // Typed-event target for autoscale checkpoints (registered once).
+  // Typed-event targets for autoscale checkpoints and fault-plane events
+  // (registered once).
   uint32_t autoscale_handler_ = 0;
+  uint32_t fault_handler_ = 0;
   std::vector<std::unique_ptr<Replica>> replicas_;
   int next_replica_id_ = 0;
 
@@ -173,6 +205,22 @@ class ServingCluster {
   int peak_replicas_ = 0;
   size_t spawns_ = 0;
   size_t drains_ = 0;
+
+  // Fault plane (per-run unless noted). The scripted override persists
+  // across runs; active_schedule_ is rebuilt by Run.
+  FaultSchedule schedule_override_;
+  FaultSchedule active_schedule_;
+  bool faults_active_ = false;
+  FaultReport fault_report_;
+  // Requests awaiting their kRequeue firing, pooled so the 24-byte event
+  // record can carry a slot index instead of the request.
+  std::vector<ServeRequest> requeue_pool_;
+  std::vector<uint32_t> requeue_free_;
+  // Scratch for RequeueFrom's evacuations; reused across events.
+  std::vector<ServeRequest> requeue_scratch_;
+  // shipper_ stats are cumulative across runs; this run's ship_drops are
+  // reported as a delta from the Run-start baseline.
+  size_t ship_drops_baseline_ = 0;
 };
 
 }  // namespace flo

@@ -7,6 +7,7 @@
 #include "src/obs/metrics.h"
 #include "src/util/check.h"
 #include "src/util/file.h"
+#include "src/util/logging.h"
 #include "src/util/parse.h"
 #include "src/util/table.h"
 
@@ -195,6 +196,12 @@ bool PlanStore::Contains(uint64_t key) const {
   return plans_.count(key) != 0;
 }
 
+bool PlanStore::Erase(uint64_t key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  last_use_.erase(key);
+  return plans_.erase(key) != 0;
+}
+
 size_t PlanStore::size() const {
   std::lock_guard<std::mutex> lock(mu_);
   return plans_.size();
@@ -321,6 +328,11 @@ std::string PlanStore::Serialize() const {
   for (const auto& [key, plan] : plans_) {
     AppendRecord(out, key, plan);
   }
+  // Trailing record-count footer. Syntactically a comment (older parsers
+  // skip it); Parse validates it when present, so a snapshot truncated at
+  // a record boundary — every record intact, some missing — is rejected
+  // whole instead of silently importing a subset.
+  out << "# count " << plans_.size() << '\n';
   return out.str();
 }
 
@@ -340,6 +352,8 @@ size_t PlanStore::ImportRecords(const std::string& text) {
   // nothing (and holds no lock while parsing).
   std::optional<PlanStore> parsed = Parse(text);
   if (!parsed.has_value()) {
+    FLO_LOG(kError) << "plan import rejected: malformed or truncated record text ("
+                    << text.size() << " bytes); store untouched";
     return 0;
   }
   const size_t imported = parsed->plans_.size();
@@ -355,9 +369,22 @@ std::optional<PlanStore> PlanStore::Parse(const std::string& text) {
   std::string line;
   bool in_record = false;
   uint64_t key = 0;
+  size_t records = 0;
+  // Declared record count from a "# count N" footer, when one is present
+  // (snapshots written by Serialize carry it; hand-written record text and
+  // single-record shipments need not).
+  std::optional<size_t> declared_count;
   ExecutionPlan plan;
   while (std::getline(stream, line)) {
     if (line.empty() || line[0] == '#') {
+      constexpr const char kCountTag[] = "# count ";
+      if (line.rfind(kCountTag, 0) == 0) {
+        const auto parsed = TryParseInt(line.substr(sizeof(kCountTag) - 1));
+        if (!parsed || *parsed < 0) {
+          return std::nullopt;
+        }
+        declared_count = static_cast<size_t>(*parsed);
+      }
       continue;
     }
     std::stringstream fields(line);
@@ -431,6 +458,7 @@ std::optional<PlanStore> PlanStore::Parse(const std::string& text) {
         return std::nullopt;
       }
       store.Put(key, std::move(plan));
+      ++records;
       plan = ExecutionPlan{};
       in_record = false;
     } else {
@@ -438,6 +466,11 @@ std::optional<PlanStore> PlanStore::Parse(const std::string& text) {
     }
   }
   if (in_record) {
+    return std::nullopt;
+  }
+  if (declared_count.has_value() && records != *declared_count) {
+    // Truncated at a record boundary (or padded): the byte stream is
+    // incomplete even though every surviving record parsed.
     return std::nullopt;
   }
   return store;

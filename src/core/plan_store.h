@@ -109,6 +109,10 @@ class PlanStore {
   const ExecutionPlan& Put(uint64_t key, ExecutionPlan plan);
   // Peek: no stats, no recency update.
   bool Contains(uint64_t key) const;
+  // Drops one entry (no eviction stats: this is an explicit discard, e.g.
+  // an aborted tuner search invalidating the plan it cached). False when
+  // absent.
+  bool Erase(uint64_t key);
   size_t size() const;
   void Clear();
 

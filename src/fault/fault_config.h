@@ -1,0 +1,128 @@
+// Typed fault kinds, the seeded chaos configuration, and the recovery
+// report the serving fleet produces under injection.
+//
+// The fault plane is deterministic by construction: a FaultConfig seed
+// expands into a fixed FaultSchedule (src/fault/fault_schedule.h), every
+// injection and recovery action runs on the shared EventLoop's sim clock,
+// and all jitter is derived from stable hashes — so a given seed yields
+// bit-identical FleetReports (including the FaultReport below) across
+// reruns, host thread counts, and event-loop backends. A zero-fault
+// config schedules nothing and leaves every run bit-identical to a build
+// that never had the plane.
+#ifndef SRC_FAULT_FAULT_CONFIG_H_
+#define SRC_FAULT_FAULT_CONFIG_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace flo {
+
+// The injectable fault taxonomy (Slurm's NODE_FAIL / drain / health-check
+// shapes, mapped onto the simulated serving fleet).
+enum class FaultKind : uint8_t {
+  // Replica dies: session torn down (queued and in-flight requests
+  // requeued through the router), PlanStore contents lost; the replica
+  // restarts after a delay and re-warms from the shipper's published set.
+  kCrash = 0,
+  // Executor stalls: no new dispatches until the window ends. If the
+  // stall outlives the detection deadline, pending work is requeued the
+  // way a deadline-missed request would be.
+  kHang,
+  // Straggler: every batch on the replica costs `magnitude`x for the
+  // window; the replica is drained from routing (unroutable) until the
+  // window ends, like Slurm draining an unhealthy node.
+  kSlowdown,
+  // Every cold tuner search in flight on the replica aborts when it
+  // completes: the plan is discarded and the batch retries with
+  // exponential backoff, degrading to the single-group safety plan when
+  // the retry budget exhausts.
+  kTunerFail,
+  // Shipping loss window: freshly published plans fail to reach a
+  // deterministic `magnitude` fraction of peers. Victims recover through
+  // the existing re-ship pull path (BeginTuning against a published key),
+  // never by re-paying the search.
+  kShipLoss,
+  kCount,
+};
+
+const char* FaultKindName(FaultKind kind);
+
+// Seeded chaos shape plus the recovery policy knobs. `enabled()` false
+// (the default) injects nothing and perturbs nothing.
+struct FaultConfig {
+  uint64_t seed = 1;
+  // Injection times are drawn uniformly over (0, horizon_us); pick the
+  // rough makespan of the fault-free run.
+  double horizon_us = 0.0;
+  // Faults per kind in the generated schedule.
+  int crashes = 0;
+  int hangs = 0;
+  int slowdowns = 0;
+  int tuner_failures = 0;
+  int ship_loss_windows = 0;
+  // Per-kind windows and magnitudes.
+  double crash_restart_us = 5000.0;       // crash -> restart delay
+  double hang_window_us = 4000.0;         // stall duration
+  double hang_detect_us = 1500.0;         // deadline before pending work requeues
+  double slowdown_window_us = 8000.0;     // straggler window
+  double slowdown_multiplier = 3.0;       // execution-cost multiplier
+  double ship_loss_window_us = 5000.0;    // drop-filter window
+  double ship_loss_fraction = 0.5;        // per-(key, peer) drop probability
+  // Recovery policy: requeued requests back off exponentially
+  // (base * 2^(retries-1) + seeded jitter) and are flagged once they
+  // exceed the budget (the run still completes them — the budget bounds
+  // the backoff growth and feeds the report, it does not shed load).
+  int retry_budget = 5;
+  double retry_backoff_base_us = 200.0;
+  double retry_backoff_jitter_us = 50.0;
+  // Cold searches aborted by kTunerFail retry at most this many times
+  // before the batch serves the single-group safety plan instead.
+  int tuner_retry_budget = 2;
+
+  bool enabled() const {
+    return crashes > 0 || hangs > 0 || slowdowns > 0 || tuner_failures > 0 ||
+           ship_loss_windows > 0;
+  }
+};
+
+// The fault section of a FleetReport: injections performed and the
+// recovery work they triggered. All counters are per run and
+// deterministic for a fixed schedule.
+struct FaultReport {
+  bool enabled = false;
+  // Injections actually applied (an event targeting a retired or already
+  // unhealthy replica is skipped, deterministically).
+  size_t injected_crashes = 0;
+  size_t injected_hangs = 0;
+  size_t injected_slowdowns = 0;
+  size_t injected_tuner_failures = 0;
+  size_t injected_ship_loss_windows = 0;
+  // Recovery: requests pulled off a failed replica and rescheduled.
+  size_t requests_requeued = 0;
+  // Requeued requests successfully re-placed through the router.
+  size_t requests_retried = 0;
+  // Requests whose retry count exceeded the budget (still served).
+  size_t retry_budget_exhausted = 0;
+  // Requeue firings that found no routable replica and backed off again.
+  size_t placement_stalls = 0;
+  // Requests served on the single-group safety plan after tuner retries
+  // exhausted their budget.
+  size_t requests_degraded = 0;
+  // Aborted cold searches re-parked for a backoff retry.
+  size_t tuner_retries = 0;
+  // Plans re-imported into a restarted replica's store from the
+  // shipper's published set.
+  size_t plans_rewarmed = 0;
+  size_t replica_restarts = 0;
+  // Plan shipments suppressed by kShipLoss windows (this run).
+  size_t ship_drops = 0;
+
+  size_t injected_total() const {
+    return injected_crashes + injected_hangs + injected_slowdowns +
+           injected_tuner_failures + injected_ship_loss_windows;
+  }
+};
+
+}  // namespace flo
+
+#endif  // SRC_FAULT_FAULT_CONFIG_H_

@@ -17,6 +17,16 @@ const char* EventTypeName(EventType type) {
       return "tuning_finished";
     case EventType::kAutoscaleCheck:
       return "autoscale_check";
+    case EventType::kFaultInject:
+      return "fault_inject";
+    case EventType::kRequeue:
+      return "requeue";
+    case EventType::kHealthRestore:
+      return "health_restore";
+    case EventType::kHangDetect:
+      return "hang_detect";
+    case EventType::kRetryKick:
+      return "retry_kick";
   }
   return "?";
 }

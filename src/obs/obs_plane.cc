@@ -27,6 +27,10 @@ ObsPlane::ObsPlane(ObsConfig config)
   ids_.replica_drains = registry_.Counter("fleet.replica_drains");
   ids_.replica_retires = registry_.Counter("fleet.replica_retires");
   ids_.events = registry_.Counter("sim.events");
+  ids_.fault_injects = registry_.Counter("fault.injects");
+  ids_.requests_requeued = registry_.Counter("fault.requests_requeued");
+  ids_.requests_retried = registry_.Counter("fault.requests_retried");
+  ids_.requests_degraded = registry_.Counter("fault.requests_degraded");
   ids_.latency_us = registry_.Histo("serve.latency_us");
   ids_.queue_us = registry_.Histo("serve.queue_us");
   ids_.tuner_searches_total = registry_.Gauge("tuner.searches_total");
@@ -151,6 +155,19 @@ void ObsPlane::Emit(const SpanRecord& span) {
       break;
     case SpanKind::kReplicaRetire:
       registry_.Add(ids_.replica_retires);
+      break;
+    case SpanKind::kFaultCrash:
+    case SpanKind::kFaultInject:
+      registry_.Add(ids_.fault_injects);
+      break;
+    case SpanKind::kFaultRequeue:
+      registry_.Add(ids_.requests_requeued, span.arg);
+      break;
+    case SpanKind::kFaultRetry:
+      registry_.Add(ids_.requests_retried);
+      break;
+    case SpanKind::kFaultDegraded:
+      registry_.Add(ids_.requests_degraded, span.arg);
       break;
     case SpanKind::kCount:
       FLO_CHECK(false) << "kCount is not an emittable span kind";

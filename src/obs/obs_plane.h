@@ -93,6 +93,11 @@ class ObsPlane {
     MetricsRegistry::Id replica_drains = 0;
     MetricsRegistry::Id replica_retires = 0;
     MetricsRegistry::Id events = 0;
+    // Fault plane (src/fault): injections and recovery actions.
+    MetricsRegistry::Id fault_injects = 0;
+    MetricsRegistry::Id requests_requeued = 0;
+    MetricsRegistry::Id requests_retried = 0;
+    MetricsRegistry::Id requests_degraded = 0;
     MetricsRegistry::Id latency_us = 0;  // histogram
     MetricsRegistry::Id queue_us = 0;    // histogram
     // Poller-fed gauges (mirrors of externally owned totals).

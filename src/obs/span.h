@@ -28,6 +28,12 @@ enum class SpanKind : uint8_t {
   kReplicaSpawn,   // id = replica id
   kReplicaDrain,   // id = replica id
   kReplicaRetire,  // id = replica id
+  // Fault plane (instants). id = replica id unless noted.
+  kFaultCrash,     // a crash injection landed (arg = restart delay, us)
+  kFaultInject,    // any other injection (arg = FaultKind)
+  kFaultRequeue,   // requests pulled off a failed replica (arg = count)
+  kFaultRetry,     // a requeued request re-placed (id = request id)
+  kFaultDegraded,  // batch fell back to the safety plan (id = key, arg = requests)
   kCount,
 };
 

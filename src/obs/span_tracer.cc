@@ -30,6 +30,16 @@ const char* SpanKindName(SpanKind kind) {
       return "replica_drain";
     case SpanKind::kReplicaRetire:
       return "replica_retire";
+    case SpanKind::kFaultCrash:
+      return "fault/crash";
+    case SpanKind::kFaultInject:
+      return "fault/inject";
+    case SpanKind::kFaultRequeue:
+      return "fault/requeue";
+    case SpanKind::kFaultRetry:
+      return "fault/retry";
+    case SpanKind::kFaultDegraded:
+      return "fault/degraded";
     case SpanKind::kCount:
       break;
   }

@@ -88,6 +88,21 @@ uint64_t RequestQueue::PeekKey() const {
   return lanes_[NextLaneIndex()]->queue.front().key;
 }
 
+size_t RequestQueue::DrainInto(std::vector<ServeRequest>* out) {
+  FLO_CHECK(out != nullptr);
+  size_t drained = 0;
+  for (const std::unique_ptr<Lane>& lane : lanes_) {
+    while (!lane->queue.empty()) {
+      out->push_back(std::move(lane->queue.front().request));
+      lane->queue.pop_front();
+      ++drained;
+    }
+  }
+  key_depth_.clear();
+  size_ = 0;
+  return drained;
+}
+
 std::vector<ServeRequest> RequestQueue::PopBatch(int max_batch, uint64_t* batch_key) {
   std::vector<ServeRequest> batch;
   const uint64_t key = PopBatchInto(max_batch, &batch);

@@ -62,6 +62,12 @@ class RequestQueue {
   // routing before committing to the pop.
   uint64_t PeekKey() const;
 
+  // Moves every queued request into *out (appended in lane order, FIFO
+  // within a lane) and empties the queue. Deterministic: lane order is
+  // alphabetical by tenant. Fault recovery uses this to evacuate a failed
+  // replica's backlog for re-placement. Returns the number drained.
+  size_t DrainInto(std::vector<ServeRequest>* out);
+
  private:
   struct Pending {
     ServeRequest request;

@@ -31,6 +31,9 @@ struct ServeRequest {
   // lazily, so hand-built requests may leave it unset. Appended last so
   // positional brace initializers of the four fields above keep working.
   uint32_t tenant_id = 0;
+  // Times this request was requeued off a failed replica (src/fault
+  // recovery); 0 on first placement. Appended last, like tenant_id.
+  int retries = 0;
 };
 
 // Streaming arrival-time generator: the pull-based form of the batch

@@ -95,6 +95,12 @@ struct ServeReport {
   int tuner_lanes = 0;
   // Events dispatched by the run's event loop (arrivals + internal).
   uint64_t events = 0;
+  // Fault recovery (src/fault): cold searches that were failed by an
+  // injected tuner-lane fault and re-attempted with backoff, and requests
+  // served on the single-group safety plan after the retry budget ran out.
+  // Both zero on fault-free runs.
+  size_t tuner_retries = 0;
+  size_t degraded_requests = 0;
 
   double ThroughputPerSec() const {
     return makespan_us > 0.0 ? static_cast<double>(stats.count()) / makespan_us * 1e6 : 0.0;

@@ -5,6 +5,7 @@
 
 #include "src/obs/obs_plane.h"
 #include "src/util/check.h"
+#include "src/util/rng.h"
 
 namespace flo {
 
@@ -14,6 +15,24 @@ namespace {
 // one costs a single branch.
 inline bool Observing(const ServeConfig& config) {
   return config.obs != nullptr && config.obs->enabled();
+}
+
+// Seeded jitter in [0, 1) for retry backoff: a pure function of (seed,
+// key, attempt), so the timeline is bit-identical across reruns and
+// independent of evaluation order.
+double JitterFraction(uint64_t seed, uint64_t key, int attempt) {
+  return Rng(StableHash().Mix(seed).Mix(key).Mix(attempt).value()).NextDouble();
+}
+
+// base * 2^(attempt-1) without std::pow (whose libm rounding is not a
+// determinism bet worth making); attempts clamp at 10 doublings.
+double BackoffUs(double base, int attempt) {
+  double backoff = base;
+  const int doublings = std::min(attempt, 10) - 1;
+  for (int i = 0; i < doublings; ++i) {
+    backoff *= 2.0;
+  }
+  return backoff;
 }
 
 }  // namespace
@@ -36,6 +55,8 @@ ServeSession::ServeSession(OverlapEngine* engine, ServeConfig config, EventLoop*
       [this](const EventRecord& record, SimTime now) { OnTuningFinished(record, now); });
   finish_handler_ = events_->RegisterHandler(
       [this](const EventRecord& record, SimTime now) { OnBatchFinished(record, now); });
+  retry_handler_ = events_->RegisterHandler(
+      [this](const EventRecord&, SimTime now) { Dispatch(now); });
 }
 
 void ServeSession::Admit(ServeRequest request, SimTime now) {
@@ -81,6 +102,12 @@ void ServeSession::ReleaseSlot(uint32_t slot) {
   batch.tuned = false;
   batch.exec_start = 0.0;
   batch.exec_hit = false;
+  batch.cancelled = false;
+  batch.degraded = false;
+  batch.tune_failed = false;
+  batch.tune_retries = 0;
+  batch.not_before_us = 0.0;
+  batch.charged_searches = 0;
   free_slots_.push_back(slot);
 }
 
@@ -134,6 +161,10 @@ void ServeSession::FinishTuningAt(uint32_t batch_slot, double cost, size_t searc
   report_.tuner_busy_us += cost;
   Batch& batch = batch_pool_[batch_slot];
   tuning_requests_ += batch.requests.size();
+  // Remember the charge so a retry after an injected abort re-pays it
+  // even though the tuner's own cache is warm by then.
+  batch.charged_searches = std::max(batch.charged_searches, searches);
+  tuning_slots_.push_back(batch_slot);
   if (Observing(config_)) {
     SpanRecord span;
     span.kind = SpanKind::kTune;
@@ -165,6 +196,19 @@ void ServeSession::OnTuningFinished(const EventRecord& record, SimTime now) {
   const uint64_t key = record.key;
   FLO_CHECK_EQ(batch_pool_[batch_slot].key, key);
   --tuners_busy_;
+  tuning_slots_.erase(std::find(tuning_slots_.begin(), tuning_slots_.end(), batch_slot));
+  if (batch_pool_[batch_slot].cancelled) {
+    // The batch was evacuated (replica crash): its requests are gone and
+    // the extraction already settled tuning_keys_/tuning_requests_. The
+    // stale finish event just returns the slot.
+    ReleaseSlot(batch_slot);
+    Dispatch(now);
+    return;
+  }
+  if (batch_pool_[batch_slot].tune_failed) {
+    AbortTuning(batch_slot, key, now);
+    return;
+  }
   tuning_keys_.erase(key);
   tuning_requests_ -= batch_pool_[batch_slot].requests.size();
   // Copied out: Dispatch below may execute and recycle the slot.
@@ -176,6 +220,121 @@ void ServeSession::OnTuningFinished(const EventRecord& record, SimTime now) {
   }
 }
 
+void ServeSession::AbortTuning(uint32_t batch_slot, uint64_t key, SimTime now) {
+  Batch& batch = batch_pool_[batch_slot];
+  tuning_keys_.erase(key);
+  tuning_requests_ -= batch.requests.size();
+  batch.tune_failed = false;
+  ++batch.tune_retries;
+  // Discard the poisoned plan so the key reads cold again; the tuner's
+  // own cache keeps its references valid, and charged_searches re-pays
+  // the simulated cost on the retry.
+  engine_->plan_store().Erase(key);
+  if (batch.tune_retries > fault_policy_.tuner_retry_budget) {
+    // Budget exhausted: serve the batch on the single-group safety plan
+    // instead of retrying forever.
+    batch.degraded = true;
+    if (Observing(config_)) {
+      SpanRecord span;
+      span.kind = SpanKind::kFaultDegraded;
+      span.start_us = now;
+      span.end_us = now;
+      span.id = key;
+      span.arg = batch.requests.size();
+      span.replica = replica_id_;
+      config_.obs->Emit(span);
+    }
+    ready_.push_back(batch_slot);
+  } else {
+    ++report_.tuner_retries;
+    const double backoff =
+        BackoffUs(fault_policy_.retry_backoff_base_us, batch.tune_retries) +
+        fault_policy_.retry_backoff_jitter_us *
+            JitterFraction(fault_policy_.seed, key, batch.tune_retries);
+    batch.not_before_us = now + backoff;
+    // Plain park (merging into a same-key waiter would lose the retry
+    // state); the kick re-runs Dispatch at expiry.
+    tune_wait_.push_back(batch_slot);
+    EventRecord kick;
+    kick.type = EventType::kRetryKick;
+    kick.key = key;
+    kick.handler = retry_handler_;
+    kick.slot = batch_slot;
+    kick.replica = replica_id_;
+    events_->Push(batch.not_before_us, kick);
+  }
+  if (hooks_.tuning_aborted) {
+    hooks_.tuning_aborted(key, now);
+  }
+  Dispatch(now);
+}
+
+size_t ServeSession::FailInFlightTuning() {
+  size_t failed = 0;
+  for (const uint32_t s : tuning_slots_) {
+    Batch& batch = batch_pool_[s];
+    if (!batch.cancelled && !batch.tune_failed) {
+      batch.tune_failed = true;
+      ++failed;
+    }
+  }
+  return failed;
+}
+
+size_t ServeSession::ExtractPending(std::vector<ServeRequest>* out) {
+  FLO_CHECK(out != nullptr);
+  size_t extracted = 0;
+  auto evacuate = [&](uint32_t s, bool counted_pending) {
+    Batch& batch = batch_pool_[s];
+    for (ServeRequest& request : batch.requests) {
+      out->push_back(std::move(request));
+      ++extracted;
+      if (counted_pending) {
+        FLO_CHECK_GT(pending_requests_, 0u);
+        --pending_requests_;
+      }
+    }
+    batch.requests.clear();
+  };
+  // Executor: the batch keeps running as a cancelled no-op (its service
+  // time already elapsed on this replica's clock); its requests restart
+  // elsewhere. ExecuteBatch already took them out of pending_requests_.
+  if (executing_slot_ >= 0) {
+    Batch& batch = batch_pool_[static_cast<uint32_t>(executing_slot_)];
+    batch.cancelled = true;
+    evacuate(static_cast<uint32_t>(executing_slot_), /*counted_pending=*/false);
+  }
+  // Ready and parked batches: their slots free immediately.
+  for (const uint32_t s : ready_) {
+    evacuate(s, /*counted_pending=*/true);
+    ReleaseSlot(s);
+  }
+  ready_.clear();
+  for (const uint32_t s : tune_wait_) {
+    evacuate(s, /*counted_pending=*/true);
+    ReleaseSlot(s);
+  }
+  tune_wait_.clear();
+  // Tuning slots: the search is cancelled but the finish event still
+  // holds the slot — it releases when the stale event fires.
+  for (const uint32_t s : tuning_slots_) {
+    Batch& batch = batch_pool_[s];
+    if (batch.cancelled) {
+      continue;  // already evacuated by an earlier crash
+    }
+    tuning_requests_ -= batch.requests.size();
+    tuning_keys_.erase(batch.key);
+    batch.cancelled = true;
+    evacuate(s, /*counted_pending=*/true);
+  }
+  // Admission queue last: lane order, FIFO within a lane.
+  const size_t drained = queue_.DrainInto(out);
+  FLO_CHECK_GE(pending_requests_, drained);
+  pending_requests_ -= drained;
+  extracted += drained;
+  return extracted;
+}
+
 void ServeSession::StartTuning(uint32_t batch_slot, SimTime now) {
   ++tuners_busy_;
   tuning_keys_.insert(batch_pool_[batch_slot].key);
@@ -185,7 +344,8 @@ void ServeSession::StartTuning(uint32_t batch_slot, SimTime now) {
   // eviction by another engine.
   const size_t searches_before = engine_->tuner().search_count();
   engine_->planner().PlanByValue(batch_pool_[batch_slot].requests.front().spec);
-  const size_t searches = engine_->tuner().search_count() - searches_before;
+  const size_t searches = std::max(engine_->tuner().search_count() - searches_before,
+                                   batch_pool_[batch_slot].charged_searches);
   FinishTuningAt(batch_slot, TuneCostUs(searches), searches, now);
 }
 
@@ -215,6 +375,7 @@ void ServeSession::StartTuningGroup(std::vector<uint32_t> group, SimTime now) {
         searches = 1;
       }
     }
+    searches = std::max(searches, batch_pool_[group[i]].charged_searches);
     ++tuners_busy_;
     tuning_keys_.insert(batch_pool_[group[i]].key);
     // The searches are warm now; this builds and caches the plan.
@@ -226,6 +387,7 @@ void ServeSession::StartTuningGroup(std::vector<uint32_t> group, SimTime now) {
 void ServeSession::ExecuteBatch(uint32_t batch_slot, SimTime now) {
   Batch& batch = batch_pool_[batch_slot];
   executor_free_ = false;
+  executing_slot_ = batch_slot;
   ++report_.batches;
   pending_requests_ -= batch.requests.size();
   // Hit/miss is a property of the batch's plan at dispatch time: if the
@@ -233,13 +395,22 @@ void ServeSession::ExecuteBatch(uint32_t batch_slot, SimTime now) {
   // the ones whose Execute hits the entry the first request just built.
   const bool warm_at_dispatch = !batch.tuned && engine_->plan_store().Contains(batch.key);
   const size_t searches_before = engine_->tuner().search_count();
+  // A degraded batch (tuner retry budget exhausted) runs the search-free
+  // single-group safety plan: forced partition, no extra tiles — slower,
+  // but it needs no tuning. The forced spec has its own canonical
+  // fingerprint, so the memo and plan store never confuse it with the
+  // real plan.
+  ScenarioSpec spec = batch.requests.front().spec;
+  if (batch.degraded) {
+    spec.extra_tiles = 0;
+    spec.forced_partition = WavePartition::SingleGroup(1);
+  }
   // One canonical key means one spec, one seed, one deterministic
   // schedule: simulate once and charge the service per request. Fleet
   // runs replay the same spec thousands of times, so the deterministic
   // replay itself is memoized (the store lookup still happens per call).
-  const OverlapRun run = config_.memoize_runs
-                             ? engine_->ExecuteMemoized(batch.requests.front().spec)
-                             : engine_->Execute(batch.requests.front().spec);
+  const OverlapRun run =
+      config_.memoize_runs ? engine_->ExecuteMemoized(spec) : engine_->Execute(spec);
   double service_us = run.total_us * static_cast<double>(batch.requests.size());
   const bool hit = warm_at_dispatch && run.plan_cache_hit;
   const bool cold = !hit;
@@ -253,6 +424,9 @@ void ServeSession::ExecuteBatch(uint32_t batch_slot, SimTime now) {
   const size_t inline_searches = engine_->tuner().search_count() - searches_before;
   if (!run.plan_cache_hit) {
     service_us += TuneCostUs(inline_searches);
+  }
+  if (cost_multiplier_ != 1.0) {
+    service_us *= cost_multiplier_;  // straggler injection (src/fault)
   }
   report_.executor_busy_us += service_us;
   const SimTime finish = now + service_us;
@@ -283,6 +457,16 @@ void ServeSession::ExecuteBatch(uint32_t batch_slot, SimTime now) {
 void ServeSession::OnBatchFinished(const EventRecord& record, SimTime now) {
   const uint32_t batch_slot = record.slot;
   Batch& batch = batch_pool_[batch_slot];
+  executing_slot_ = -1;
+  if (batch.cancelled) {
+    // The replica crashed mid-batch: its requests were evacuated and will
+    // complete elsewhere. No stats, no spans, no hooks — just free the
+    // lane.
+    ReleaseSlot(batch_slot);
+    executor_free_ = true;
+    Dispatch(now);
+    return;
+  }
   const SimTime start = batch.exec_start;
   const SimTime finish = now;
   const bool hit = batch.exec_hit;
@@ -325,10 +509,15 @@ void ServeSession::OnBatchFinished(const EventRecord& record, SimTime now) {
     finished.finish_us = finish;
     finished.plan_cache_hit = hit;
     finished.batch_size = batch_size;
+    finished.retries = request.retries;
+    finished.degraded = batch.degraded;
     if (hooks_.request_finished) {
       finished_scratch_.push_back(finished);
     }
     report_.stats.Record(std::move(finished));
+  }
+  if (batch.degraded) {
+    report_.degraded_requests += batch.requests.size();
   }
   report_.makespan_us = std::max(report_.makespan_us, finish);
   ReleaseSlot(batch_slot);
@@ -343,6 +532,9 @@ void ServeSession::OnBatchFinished(const EventRecord& record, SimTime now) {
 }
 
 void ServeSession::Dispatch(SimTime now) {
+  if (stalled_) {
+    return;  // crashed or hung replica: nothing starts until restored
+  }
   // Release batches whose key went warm (an earlier same-key batch
   // finished tuning, or a peer shipped the plan into the store) from the
   // waiting room first — even while the lane is busy with another key, or
@@ -389,6 +581,9 @@ void ServeSession::Dispatch(SimTime now) {
     bool picked = false;
     for (size_t i = 0; i < tune_wait_.size(); ++i) {
       const uint64_t key = batch_pool_[tune_wait_[i]].key;
+      if (batch_pool_[tune_wait_[i]].not_before_us > now) {
+        continue;  // retry backoff still running (src/fault)
+      }
       if (!key_busy(key) && vetoed.count(key) == 0 && acquire(key)) {
         starting.push_back(tune_wait_[i]);
         tune_wait_.erase(tune_wait_.begin() + static_cast<Lane::difference_type>(i));

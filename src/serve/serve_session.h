@@ -49,6 +49,25 @@ class ServeSession {
     std::function<void(uint64_t key, const ScenarioSpec& spec, SimTime now)> tuning_finished;
     // Called for every request as its batch completes.
     std::function<void(const RequestRecord& record, SimTime now)> request_finished;
+    // Called when an in-flight cold tune aborts (injected tuner-lane
+    // fault): the plan was discarded and the key will retry with backoff
+    // or degrade. A fleet releases its single-flight ownership here so a
+    // peer may pick the search up.
+    std::function<void(uint64_t key, SimTime now)> tuning_aborted;
+  };
+
+  // Retry/backoff knobs for injected tuner-lane faults (src/fault). The
+  // defaults mirror FaultConfig; a fleet pushes its config through
+  // SetFaultPolicy before the run.
+  struct FaultPolicy {
+    // Aborted searches re-attempted per key before degrading to the
+    // single-group safety plan.
+    int tuner_retry_budget = 2;
+    // Deterministic exponential backoff between attempts: base doubles
+    // per retry, plus seeded jitter in [0, jitter).
+    double retry_backoff_base_us = 200.0;
+    double retry_backoff_jitter_us = 50.0;
+    uint64_t seed = 1;
   };
 
   // The engine and event loop are borrowed and must outlive the session;
@@ -84,6 +103,29 @@ class ServeSession {
   const ServeReport& report() const { return report_; }
   ServeReport& report() { return report_; }
 
+  // --- Fault-injection surface (src/fault) ---------------------------
+  // A stalled session freezes its dispatch loop: admitted work queues but
+  // nothing starts (crashed or hung replica). In-flight finish events
+  // still fire; their batches are cancelled via ExtractPending first.
+  void SetStalled(bool stalled) { stalled_ = stalled; }
+  bool stalled() const { return stalled_; }
+  // Straggler injection: every executor service time is scaled by this
+  // factor (1.0 = healthy). Applies to batches dispatched while set.
+  void SetCostMultiplier(double multiplier) { cost_multiplier_ = multiplier; }
+  void SetFaultPolicy(FaultPolicy policy) { fault_policy_ = policy; }
+  // Marks every in-flight cold tune failed: when its finish event fires
+  // the plan is discarded and the key retries with backoff (or degrades
+  // past the budget). Returns the number of searches failed.
+  size_t FailInFlightTuning();
+  // Evacuates every request that has not started executing — the
+  // admission queue, ready and parked batches, and batches riding tuning
+  // lanes (their searches are cancelled) — into *out for re-placement
+  // elsewhere. Requests already on the executor are cancelled too: their
+  // batch completes as a no-op and the requests ride out with the rest.
+  // Returns the number extracted. Deterministic order: executor batch,
+  // ready lane, tune-wait lane, tuning slots, then queue lanes.
+  size_t ExtractPending(std::vector<ServeRequest>* out);
+
  private:
   struct Batch {
     std::vector<ServeRequest> requests;
@@ -94,6 +136,20 @@ class ServeSession {
     // Execution context, set by ExecuteBatch for the finish event.
     SimTime exec_start = 0.0;
     bool exec_hit = false;
+    // Fault-recovery state (src/fault). A cancelled batch's requests were
+    // evacuated (replica crash); its pending finish event completes as a
+    // no-op and releases the slot. tune_failed marks an in-flight search
+    // an injected fault aborted; tune_retries counts the re-attempts.
+    // not_before_us keeps a retrying batch off the tuning lanes until its
+    // backoff expires. degraded routes execution to the single-group
+    // safety plan. charged_searches remembers the simulated search charge
+    // so a retry (tuner cache now warm) re-pays the original cost.
+    bool cancelled = false;
+    bool degraded = false;
+    bool tune_failed = false;
+    int tune_retries = 0;
+    SimTime not_before_us = 0.0;
+    size_t charged_searches = 0;
   };
   // Lanes hold slots into the batch pool: batches (and their request
   // vectors) are recycled instead of allocated per dispatch.
@@ -115,9 +171,15 @@ class ServeSession {
   void StartTuning(uint32_t batch_slot, SimTime now);
   void StartTuningGroup(std::vector<uint32_t> group, SimTime now);
   void ExecuteBatch(uint32_t batch_slot, SimTime now);
-  // Typed-event handlers (EventType::kTuningFinished / kBatchFinished).
+  // Typed-event handlers (EventType::kTuningFinished / kBatchFinished /
+  // kRetryKick — the latter just re-runs Dispatch when a retrying
+  // batch's backoff expires).
   void OnTuningFinished(const EventRecord& record, SimTime now);
   void OnBatchFinished(const EventRecord& record, SimTime now);
+  // OnTuningFinished tail for a tune_failed slot: discard the plan,
+  // requeue the batch with deterministic backoff, or degrade it past the
+  // retry budget.
+  void AbortTuning(uint32_t batch_slot, uint64_t key, SimTime now);
 
   OverlapEngine* engine_;
   ServeConfig config_;
@@ -126,6 +188,7 @@ class ServeSession {
   int replica_id_;
   uint32_t tuning_handler_ = 0;
   uint32_t finish_handler_ = 0;
+  uint32_t retry_handler_ = 0;
 
   RequestQueue queue_;
   Lane ready_;      // tuned batches awaiting the executor
@@ -143,6 +206,14 @@ class ServeSession {
   bool executor_free_ = true;
   int tuners_busy_ = 0;
   SimTime busy_until_ = 0.0;
+  // Slots riding tuning lanes right now (their finish events are in
+  // flight) — the set FailInFlightTuning and ExtractPending walk.
+  std::vector<uint32_t> tuning_slots_;
+  // Slot on the executor (-1 = free), so a crash can cancel it.
+  int64_t executing_slot_ = -1;
+  bool stalled_ = false;
+  double cost_multiplier_ = 1.0;
+  FaultPolicy fault_policy_;
   // Scratch for OnBatchFinished's hook fan-out; reused across events.
   std::vector<RequestRecord> finished_scratch_;
   ServeReport report_;

@@ -34,6 +34,13 @@ void ServeStats::Record(RequestRecord record) {
   if (record.tenant_id == 0) {
     record.tenant_id = InternTenant(record.tenant);  // hand-built record
   }
+  if (record.retries > 0) {
+    ++retried_requests_;
+    total_retries_ += static_cast<size_t>(record.retries);
+  }
+  if (record.degraded) {
+    ++degraded_requests_;
+  }
   by_tenant_[record.tenant_id].push_back(records_.size());
   records_.push_back(std::move(record));
 }

@@ -31,6 +31,12 @@ struct RequestRecord {
   // by ServeStats::Record. Appended last so positional initializers of
   // the fields above keep working.
   uint32_t tenant_id = 0;
+  // Fault-recovery provenance (src/fault): how many times the request was
+  // requeued off a failed replica before completing, and whether it was
+  // served on the single-group safety plan after tuner retries exhausted.
+  // Appended last, like tenant_id.
+  int retries = 0;
+  bool degraded = false;
 
   double QueueUs() const { return start_us - arrival_us; }
   double ExecUs() const { return finish_us - start_us; }
@@ -55,6 +61,13 @@ class ServeStats {
   const std::vector<RequestRecord>& records() const { return records_; }
   std::vector<std::string> Tenants() const;
 
+  // Fault-recovery aggregates, maintained at Record() time: requests that
+  // completed after >= 1 requeue, their summed retry count, and requests
+  // served degraded. All zero on fault-free runs.
+  size_t retried_requests() const { return retried_requests_; }
+  size_t total_retries() const { return total_retries_; }
+  size_t degraded_requests() const { return degraded_requests_; }
+
   // Requires at least one record for the tenant.
   TenantSummary Summarize(const std::string& tenant) const;
   std::vector<TenantSummary> SummarizeAll() const;
@@ -73,6 +86,9 @@ class ServeStats {
 
  private:
   std::vector<RequestRecord> records_;
+  size_t retried_requests_ = 0;
+  size_t total_retries_ = 0;
+  size_t degraded_requests_ = 0;
   // Indices into records_ grouped at Record() time, so per-tenant
   // summaries are one scan instead of a full-vector pass per tenant.
   // Keyed by interned tenant id — an integer hash per record instead of a

@@ -19,6 +19,15 @@ enum class EventType : uint8_t {
   kBatchFinished,
   kTuningFinished,
   kAutoscaleCheck,
+  // Fault plane (src/fault + src/cluster): a scheduled injection firing,
+  // a requeued request re-entering the router, a failed replica's health
+  // restoring, the hang-detection deadline, and a backoff-retry wake-up
+  // for an aborted cold tune.
+  kFaultInject,
+  kRequeue,
+  kHealthRestore,
+  kHangDetect,
+  kRetryKick,
 };
 
 // One scheduled event. The payload is deliberately tiny: a canonical key

@@ -80,6 +80,38 @@ TEST(FleetRouterTest, PlanAffinityPrefersWarmThenTuningThenLoad) {
   EXPECT_EQ(router.Place({Snap(0), Snap(1, 0.0, 0.0, true, false, /*accepting=*/false)}), 0);
 }
 
+TEST(FleetRouterTest, NonAcceptingReplicaNeverWinsAnyAffinityTier) {
+  // `accepting` covers draining replicas and fault-plane health states
+  // (crashed, hung, straggling); retired replicas never even reach the
+  // router — Snapshots() drops them at the source. Whatever the reason,
+  // a non-accepting replica must lose every tier, warm plan or not.
+  FleetRouter router(PlacementPolicy::kPlanAffinity);
+  // Warm tier: the warm winner is draining — fall through to a cold peer.
+  EXPECT_EQ(router.Place({Snap(0, 500.0),
+                          Snap(1, 0.0, 0.0, /*warm=*/true, false, /*accepting=*/false)}),
+            0);
+  // Tuning tier: the open tuning window is on a non-accepting replica.
+  EXPECT_EQ(router.Place({Snap(0, 500.0),
+                          Snap(1, 0.0, 0.0, false, /*tuning=*/true, /*accepting=*/false)}),
+            0);
+  // Pending tier: same-key pending requests on a non-accepting replica
+  // do not pull new placements onto it.
+  ReplicaSnapshot pending = Snap(1);
+  pending.plan_pending = true;
+  pending.accepting = false;
+  EXPECT_EQ(router.Place({Snap(0, 500.0), pending}), 0);
+  // Nothing accepting at all: the router reports failure instead of
+  // placing onto a doomed replica.
+  EXPECT_EQ(router.Place({Snap(0, 0.0, 0.0, true, false, /*accepting=*/false),
+                          Snap(1, 0.0, 0.0, false, false, /*accepting=*/false)}),
+            -1);
+  // Same contract for the non-affinity policies.
+  FleetRouter least(PlacementPolicy::kLeastLoaded);
+  EXPECT_EQ(least.Place({Snap(0, 0.0, 0.0, false, false, /*accepting=*/false)}), -1);
+  FleetRouter rr(PlacementPolicy::kRoundRobin);
+  EXPECT_EQ(rr.Place({Snap(0, 0.0, 0.0, false, false, /*accepting=*/false)}), -1);
+}
+
 TEST(FleetRouterTest, PolicyNamesRoundTrip) {
   for (const PlacementPolicy policy :
        {PlacementPolicy::kRoundRobin, PlacementPolicy::kLeastLoaded,
@@ -419,6 +451,44 @@ TEST(ServingClusterTest, AutoscalerSpawnsUnderBurstAndDrainsInTheCalm) {
   // The sparse tail's last arrival dominates the makespan in both runs;
   // the warm run can only be at least as fast.
   EXPECT_LE(second.makespan_us, first.makespan_us);
+}
+
+TEST(ServingClusterTest, DrainRacingColdTuningStillPublishesEveryKey) {
+  // A cold burst wide enough to spawn extra replicas, then a calm tail
+  // that drains them while ~20ms cold searches may still be in flight on
+  // the draining replicas. The drain must not lose those searches: every
+  // key the run touched ends up in the published set (the draining
+  // owner finishes and publishes, or a peer re-acquires and tunes), the
+  // tail serves warm, and the fleet still pays at most one search per
+  // distinct key.
+  std::vector<ServeRequest> trace;
+  int64_t id = 0;
+  for (int i = 0; i < 48; ++i) {
+    trace.push_back({id++, "burst", static_cast<double>(i), SmallSpec(1024 + 512 * (i % 6))});
+  }
+  for (int i = 0; i < 12; ++i) {
+    trace.push_back({id++, "tail", 1.5e6 + 400000.0 * i, SmallSpec(1024 + 512 * (i % 6))});
+  }
+  ClusterConfig config;
+  config.replicas = 1;
+  config.ship_plans = true;
+  config.autoscale.enabled = true;
+  config.autoscale.min_replicas = 1;
+  config.autoscale.max_replicas = 4;
+  config.autoscale.check_interval_us = 10000.0;
+  config.autoscale.spawn_queue_per_replica = 4.0;
+  config.autoscale.drain_queue_per_replica = 1.0;
+  config.autoscale.drain_after_calm_checks = 2;
+  ServingCluster fleet(Make4090Cluster(4), config, {}, EngineOptions{.jitter = false});
+  const FleetReport report = fleet.Run(trace);
+  ASSERT_EQ(report.stats.count(), trace.size());
+  EXPECT_GT(report.spawns, 0u);
+  EXPECT_GT(report.drains, 0u);
+  EXPECT_LE(report.total_searches, report.distinct_keys);
+  for (int k = 0; k < 6; ++k) {
+    EXPECT_TRUE(fleet.shipper().Published(fleet.KeyFor(SmallSpec(1024 + 512 * k))))
+        << "key " << k << " lost to a drained replica";
+  }
 }
 
 TEST(ServingClusterTest, SavedSnapshotWarmStartsAFreshFleet) {

@@ -1,0 +1,339 @@
+// Fault-injection plane tests: schedule generation/round-trips, zero-fault
+// bit-identity, seeded-chaos determinism across thread counts and event
+// backends, and the per-kind recovery paths (crash requeue + re-warm,
+// straggler windows, tuner-fail retry/degrade, shipping-loss pull
+// recovery).
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/cluster/serving_cluster.h"
+#include "src/fault/fault_config.h"
+#include "src/fault/fault_schedule.h"
+#include "src/hw/cluster.h"
+#include "src/serve/request_source.h"
+
+namespace flo {
+namespace {
+
+// --- FaultSchedule ----------------------------------------------------------
+
+TEST(FaultScheduleTest, FromConfigIsSeededAndShaped) {
+  FaultConfig config;
+  config.seed = 7;
+  config.horizon_us = 50000.0;
+  config.crashes = 2;
+  config.hangs = 1;
+  config.slowdowns = 3;
+  config.tuner_failures = 1;
+  config.ship_loss_windows = 1;
+  const FaultSchedule schedule = FaultSchedule::FromConfig(config, 4);
+  EXPECT_EQ(schedule.size(), 8u);
+  int crashes = 0;
+  for (const FaultEvent& event : schedule.events()) {
+    EXPECT_GT(event.time_us, 0.0);
+    EXPECT_LT(event.time_us, config.horizon_us);
+    EXPECT_GE(event.replica, 0);
+    EXPECT_LT(event.replica, 4);
+    if (event.kind != FaultKind::kTunerFail) {
+      EXPECT_GT(event.duration_us, 0.0);  // tuner faults are instantaneous
+    }
+    crashes += event.kind == FaultKind::kCrash ? 1 : 0;
+  }
+  EXPECT_EQ(crashes, 2);
+  // Same seed, same schedule; different seed, different schedule.
+  EXPECT_EQ(FaultSchedule::FromConfig(config, 4).events(), schedule.events());
+  FaultConfig other = config;
+  other.seed = 8;
+  EXPECT_NE(FaultSchedule::FromConfig(other, 4).events(), schedule.events());
+}
+
+TEST(FaultScheduleTest, CsvRoundTripsAndRejectsMalformed) {
+  FaultConfig config;
+  config.horizon_us = 20000.0;
+  config.crashes = 1;
+  config.slowdowns = 2;
+  config.ship_loss_windows = 1;
+  const FaultSchedule schedule = FaultSchedule::FromConfig(config, 3);
+  const auto parsed = FaultSchedule::ParseCsv(schedule.ToCsv());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->events(), schedule.events());
+
+  EXPECT_FALSE(FaultSchedule::ParseCsv("1000,not_a_kind,0,500,1.0").has_value());
+  EXPECT_FALSE(FaultSchedule::ParseCsv("oops,crash,0,500,1.0").has_value());
+  EXPECT_FALSE(FaultSchedule::ParseCsv("1000,crash,0").has_value());
+  // Comments and blank lines are fine; an empty text is an empty schedule.
+  const auto empty = FaultSchedule::ParseCsv("# nothing here\n\n");
+  ASSERT_TRUE(empty.has_value());
+  EXPECT_TRUE(empty->empty());
+}
+
+// --- Fleet under injection --------------------------------------------------
+
+ScenarioSpec SmallSpec(int64_t m) {
+  return ScenarioSpec::Overlap(GemmShape{m, 2048, 1024}, CommPrimitive::kAllReduce);
+}
+
+std::vector<ServeRequest> MixedTrace(int keys, int per_tenant) {
+  std::vector<ScenarioSpec> specs;
+  for (int k = 0; k < keys; ++k) {
+    specs.push_back(SmallSpec(1024 + 512 * k));
+  }
+  return MergeStreams(
+      {MakeRequestStream("llm", specs, PoissonArrivals(800.0, per_tenant, 3), 0),
+       MakeRequestStream("moe", specs, BurstyArrivals(1600.0, 4.0, 6, per_tenant, 5), 100000)});
+}
+
+FleetReport RunFleet(const ClusterConfig& config, const std::vector<ServeRequest>& trace,
+                     const FaultSchedule* schedule = nullptr) {
+  ServingCluster fleet(Make4090Cluster(4), config, {}, EngineOptions{.jitter = false});
+  if (schedule != nullptr) {
+    fleet.SetFaultSchedule(*schedule);
+  }
+  return fleet.Run(trace);
+}
+
+void ExpectSameFaultReport(const FaultReport& a, const FaultReport& b) {
+  EXPECT_EQ(a.enabled, b.enabled);
+  EXPECT_EQ(a.injected_crashes, b.injected_crashes);
+  EXPECT_EQ(a.injected_hangs, b.injected_hangs);
+  EXPECT_EQ(a.injected_slowdowns, b.injected_slowdowns);
+  EXPECT_EQ(a.injected_tuner_failures, b.injected_tuner_failures);
+  EXPECT_EQ(a.injected_ship_loss_windows, b.injected_ship_loss_windows);
+  EXPECT_EQ(a.requests_requeued, b.requests_requeued);
+  EXPECT_EQ(a.requests_retried, b.requests_retried);
+  EXPECT_EQ(a.retry_budget_exhausted, b.retry_budget_exhausted);
+  EXPECT_EQ(a.placement_stalls, b.placement_stalls);
+  EXPECT_EQ(a.requests_degraded, b.requests_degraded);
+  EXPECT_EQ(a.tuner_retries, b.tuner_retries);
+  EXPECT_EQ(a.plans_rewarmed, b.plans_rewarmed);
+  EXPECT_EQ(a.replica_restarts, b.replica_restarts);
+  EXPECT_EQ(a.ship_drops, b.ship_drops);
+}
+
+void ExpectSameRecords(const FleetReport& a, const FleetReport& b) {
+  ASSERT_EQ(a.stats.count(), b.stats.count());
+  for (size_t i = 0; i < a.stats.count(); ++i) {
+    EXPECT_EQ(a.stats.records()[i].id, b.stats.records()[i].id) << i;
+    EXPECT_DOUBLE_EQ(a.stats.records()[i].finish_us, b.stats.records()[i].finish_us) << i;
+    EXPECT_EQ(a.stats.records()[i].retries, b.stats.records()[i].retries) << i;
+    EXPECT_EQ(a.stats.records()[i].degraded, b.stats.records()[i].degraded) << i;
+  }
+}
+
+TEST(FaultInjectionTest, ZeroFaultConfigInjectsNothingAndStaysDeterministic) {
+  const auto trace = MixedTrace(3, 20);
+  ClusterConfig config;
+  config.replicas = 2;
+  const FleetReport report = RunFleet(config, trace);
+  EXPECT_FALSE(report.fault.enabled);
+  EXPECT_EQ(report.fault.injected_total(), 0u);
+  EXPECT_EQ(report.fault.requests_requeued, 0u);
+  EXPECT_EQ(report.fault.requests_degraded, 0u);
+  EXPECT_EQ(report.stats.retried_requests(), 0u);
+  EXPECT_EQ(report.stats.degraded_requests(), 0u);
+  ASSERT_EQ(report.stats.count(), trace.size());
+  const FleetReport again = RunFleet(config, trace);
+  EXPECT_DOUBLE_EQ(again.makespan_us, report.makespan_us);
+  ExpectSameRecords(report, again);
+}
+
+TEST(FaultInjectionTest, SeededChaosIsBitIdenticalAcrossThreadsAndBackends) {
+  const auto trace = MixedTrace(4, 40);
+  ClusterConfig config;
+  config.replicas = 4;
+  config.serve.tuner_lanes = 2;
+  config.faults.seed = 42;
+  config.faults.horizon_us = 40000.0;
+  config.faults.crashes = 1;
+  config.faults.hangs = 1;
+  config.faults.slowdowns = 1;
+  config.faults.tuner_failures = 1;
+  config.faults.ship_loss_windows = 1;
+
+  const FleetReport base = RunFleet(config, trace);
+  EXPECT_TRUE(base.fault.enabled);
+  EXPECT_GT(base.fault.injected_total(), 0u);
+  ASSERT_EQ(base.stats.count(), trace.size());
+
+  // Rerun, more tuning threads, legacy event heap: all bit-identical.
+  ClusterConfig threads = config;
+  threads.serve.tune_threads = 8;
+  ClusterConfig heap = config;
+  heap.serve.legacy_event_heap = true;
+  for (const ClusterConfig& variant : {config, threads, heap}) {
+    const FleetReport report = RunFleet(variant, trace);
+    EXPECT_DOUBLE_EQ(report.makespan_us, base.makespan_us);
+    EXPECT_EQ(report.total_searches, base.total_searches);
+    ExpectSameFaultReport(report.fault, base.fault);
+    ExpectSameRecords(report, base);
+  }
+}
+
+TEST(FaultInjectionTest, CrashRequeuesBacklogAndRewarmsFromPublishedSet) {
+  const auto trace = MixedTrace(4, 40);
+  ClusterConfig config;
+  config.replicas = 2;
+  config.ship_plans = true;
+  config.faults.crashes = 1;  // marks the run fault-active
+  config.faults.horizon_us = 40000.0;
+  // Scripted: replica 0 crashes after the first cold searches have
+  // published (~20ms each), so the restart has a set to re-warm from.
+  FaultSchedule schedule;
+  schedule.Add(FaultEvent{30000.0, FaultKind::kCrash, 0, 8000.0, 0.0});
+  const FleetReport report = RunFleet(config, trace, &schedule);
+
+  ASSERT_EQ(report.stats.count(), trace.size());  // nothing dropped
+  EXPECT_EQ(report.fault.injected_crashes, 1u);
+  EXPECT_EQ(report.fault.replica_restarts, 1u);
+  EXPECT_GT(report.fault.requests_requeued, 0u);
+  // Every evacuated request was re-placed (possibly after stalls).
+  EXPECT_GE(report.fault.requests_retried, report.fault.requests_requeued);
+  // The restart re-warmed the emptied store from the published set.
+  EXPECT_GT(report.fault.plans_rewarmed, 0u);
+  // Completed records carry their retry provenance.
+  EXPECT_EQ(report.stats.retried_requests(), report.fault.requests_requeued);
+
+  // Deterministic under rerun.
+  const FleetReport again = RunFleet(config, trace, &schedule);
+  EXPECT_DOUBLE_EQ(again.makespan_us, report.makespan_us);
+  ExpectSameFaultReport(again.fault, report.fault);
+  ExpectSameRecords(report, again);
+}
+
+TEST(FaultInjectionTest, SimultaneousCrashOfEveryReplicaStillCompletesEverything) {
+  const auto trace = MixedTrace(2, 30);
+  ClusterConfig config;
+  config.replicas = 2;
+  config.faults.crashes = 2;
+  config.faults.horizon_us = 40000.0;
+  FaultSchedule schedule;
+  schedule.Add(FaultEvent{5000.0, FaultKind::kCrash, 0, 4000.0, 0.0});
+  schedule.Add(FaultEvent{5000.0, FaultKind::kCrash, 1, 4000.0, 0.0});
+  const FleetReport report = RunFleet(config, trace, &schedule);
+  ASSERT_EQ(report.stats.count(), trace.size());
+  EXPECT_EQ(report.fault.injected_crashes, 2u);
+  // Arrivals and requeues during the blackout found no routable replica
+  // and backed off until the restores landed.
+  EXPECT_GT(report.fault.placement_stalls, 0u);
+}
+
+TEST(FaultInjectionTest, StragglerWindowSlowsServiceThenRecovers) {
+  const auto trace = MixedTrace(3, 30);
+  ClusterConfig config;
+  config.replicas = 2;
+  const FleetReport baseline = RunFleet(config, trace);
+
+  ClusterConfig chaos = config;
+  chaos.faults.slowdowns = 1;
+  chaos.faults.horizon_us = 30000.0;
+  FaultSchedule schedule;
+  schedule.Add(FaultEvent{2000.0, FaultKind::kSlowdown, 0, 15000.0, 4.0});
+  const FleetReport report = RunFleet(chaos, trace, &schedule);
+  ASSERT_EQ(report.stats.count(), trace.size());
+  EXPECT_EQ(report.fault.injected_slowdowns, 1u);
+  // The window really perturbed the timeline (4x service cost on replica
+  // 0 for 15ms), and the perturbation is itself deterministic.
+  bool any_shift = false;
+  ASSERT_EQ(report.stats.count(), baseline.stats.count());
+  for (size_t i = 0; i < report.stats.count(); ++i) {
+    any_shift |= report.stats.records()[i].finish_us != baseline.stats.records()[i].finish_us;
+  }
+  EXPECT_TRUE(any_shift);
+  const FleetReport again = RunFleet(chaos, trace, &schedule);
+  EXPECT_DOUBLE_EQ(again.makespan_us, report.makespan_us);
+  ExpectSameRecords(report, again);
+}
+
+TEST(FaultInjectionTest, HangPastDeadlineRequeuesPendingWork) {
+  const auto trace = MixedTrace(3, 30);
+  ClusterConfig config;
+  config.replicas = 2;
+  config.faults.hangs = 1;
+  config.faults.horizon_us = 30000.0;
+  config.faults.hang_detect_us = 1000.0;
+  FaultSchedule schedule;
+  schedule.Add(FaultEvent{4000.0, FaultKind::kHang, 0, 8000.0, 0.0});
+  const FleetReport report = RunFleet(config, trace, &schedule);
+  ASSERT_EQ(report.stats.count(), trace.size());
+  EXPECT_EQ(report.fault.injected_hangs, 1u);
+  // The stall outlived the detection deadline, so the backlog moved.
+  EXPECT_GT(report.fault.requests_requeued, 0u);
+}
+
+TEST(FaultInjectionTest, TunerFaultAbortsSearchAndRetriesWithBackoff) {
+  // One cold key, one replica: the fault lands while the initial ~20ms
+  // search is in flight, aborting it; the batch retries after its
+  // deterministic backoff and the key still ends up tuned exactly once
+  // more (charged again, so the fault is visible in tuner busy time).
+  std::vector<ScenarioSpec> specs = {SmallSpec(4096)};
+  const auto trace =
+      MakeRequestStream("llm", specs, PoissonArrivals(500.0, 12, 3), 0);
+  ClusterConfig config;
+  config.replicas = 1;
+  config.faults.tuner_failures = 1;
+  config.faults.horizon_us = 80000.0;
+  FaultSchedule schedule;
+  schedule.Add(FaultEvent{5000.0, FaultKind::kTunerFail, 0, 0.0, 0.0});
+  const FleetReport report = RunFleet(config, trace, &schedule);
+  ASSERT_EQ(report.stats.count(), trace.size());
+  EXPECT_EQ(report.fault.injected_tuner_failures, 1u);
+  EXPECT_GE(report.fault.tuner_retries, 1u);
+  EXPECT_EQ(report.fault.requests_degraded, 0u);  // within budget
+
+  // Deterministic under rerun.
+  const FleetReport again = RunFleet(config, trace, &schedule);
+  ExpectSameFaultReport(again.fault, report.fault);
+  ExpectSameRecords(report, again);
+}
+
+TEST(FaultInjectionTest, TunerFaultPastBudgetDegradesToSafetyPlan) {
+  // With a zero retry budget the first abort immediately degrades the
+  // batch: it serves on the search-free single-group safety plan instead
+  // of retrying, and its records carry the degraded mark.
+  std::vector<ScenarioSpec> specs = {SmallSpec(4096)};
+  const auto trace =
+      MakeRequestStream("llm", specs, PoissonArrivals(500.0, 12, 3), 0);
+  ClusterConfig config;
+  config.replicas = 1;
+  config.faults.tuner_failures = 1;
+  config.faults.horizon_us = 80000.0;
+  config.faults.tuner_retry_budget = 0;
+  FaultSchedule schedule;
+  schedule.Add(FaultEvent{5000.0, FaultKind::kTunerFail, 0, 0.0, 0.0});
+  const FleetReport report = RunFleet(config, trace, &schedule);
+  ASSERT_EQ(report.stats.count(), trace.size());
+  EXPECT_EQ(report.fault.injected_tuner_failures, 1u);
+  EXPECT_EQ(report.fault.tuner_retries, 0u);
+  EXPECT_GT(report.fault.requests_degraded, 0u);
+  EXPECT_EQ(report.stats.degraded_requests(), report.fault.requests_degraded);
+
+  // Deterministic under rerun.
+  const FleetReport again = RunFleet(config, trace, &schedule);
+  ExpectSameFaultReport(again.fault, report.fault);
+  ExpectSameRecords(report, again);
+}
+
+TEST(FaultInjectionTest, ShipLossRecoversThroughPullPathWithoutExtraSearches) {
+  const auto trace = MixedTrace(4, 40);
+  ClusterConfig config;
+  config.replicas = 4;
+  config.policy = PlacementPolicy::kRoundRobin;  // every replica needs every key
+  config.ship_plans = true;
+  config.faults.ship_loss_windows = 1;
+  config.faults.horizon_us = 40000.0;
+  FaultSchedule schedule;
+  // Every publish fan-out delivery is dropped for the whole run.
+  schedule.Add(FaultEvent{1.0, FaultKind::kShipLoss, -1, 1e9, 1.0});
+  const FleetReport report = RunFleet(config, trace, &schedule);
+  ASSERT_EQ(report.stats.count(), trace.size());
+  EXPECT_EQ(report.fault.injected_ship_loss_windows, 1u);
+  EXPECT_GT(report.fault.ship_drops, 0u);
+  // Victims recover by pulling the published plan, never by re-searching.
+  EXPECT_LE(report.total_searches, report.distinct_keys);
+}
+
+}  // namespace
+}  // namespace flo

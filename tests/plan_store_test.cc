@@ -234,6 +234,57 @@ TEST(PlanStoreRecordTest, FindAndFindCopyAgreeAcrossSnapshotRoundTrip) {
   EXPECT_EQ(restored->Serialize(), snapshot);
 }
 
+TEST(PlanStoreRecordTest, EraseDiscardsWithoutCountingEviction) {
+  PlanStore store;
+  store.Put(1, MarkedPlan(0));
+  store.Put(2, MarkedPlan(1));
+  EXPECT_TRUE(store.Erase(1));
+  EXPECT_FALSE(store.Erase(1));  // already gone
+  EXPECT_EQ(store.size(), 1u);
+  EXPECT_EQ(store.Find(1), nullptr);
+  EXPECT_NE(store.Find(2), nullptr);
+  // An explicit discard is not capacity pressure.
+  EXPECT_EQ(store.stats().evictions, 0u);
+}
+
+TEST(PlanStoreRecordTest, SnapshotTruncatedAtRecordBoundaryRejectedWhole) {
+  PlanStore store;
+  for (int i = 0; i < 3; ++i) {
+    store.Put(100 + i, MarkedPlan(i));
+  }
+  const std::string snapshot = store.Serialize();
+  // Drop the last full record but keep the count footer: every surviving
+  // line parses cleanly, yet the declared count no longer matches — the
+  // exact corruption a partial write or download leaves behind.
+  const size_t last_record = snapshot.rfind("\nplan ");
+  const size_t footer = snapshot.rfind("# count");
+  ASSERT_NE(last_record, std::string::npos);
+  ASSERT_NE(footer, std::string::npos);
+  ASSERT_LT(last_record, footer);
+  const std::string truncated =
+      snapshot.substr(0, last_record + 1) + snapshot.substr(footer);
+  EXPECT_FALSE(PlanStore::Parse(truncated).has_value());
+
+  // The rejection is atomic: an import of the corrupt text applies
+  // nothing to a live store.
+  PlanStore target;
+  target.Put(999, MarkedPlan(9));
+  EXPECT_EQ(target.ImportRecords(truncated), 0u);
+  EXPECT_EQ(target.size(), 1u);
+  EXPECT_NE(target.Find(999), nullptr);
+
+  // Mid-record truncation (no footer survives) is caught by the open
+  // record itself.
+  const std::string mid = snapshot.substr(0, last_record + 10);
+  EXPECT_FALSE(PlanStore::Parse(mid).has_value());
+  // A record-boundary cut with the footer also gone is the one shape the
+  // format cannot distinguish from a smaller snapshot — the footer exists
+  // precisely to close that hole in files Serialize wrote.
+  const auto parsed = PlanStore::Parse(snapshot);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->size(), 3u);
+}
+
 TEST(PlanStoreLruTest, ConcurrentPublishAndEvictionChurn) {
   // Multi-replica churn: publisher threads ship records into a bounded
   // store (plan shipping's ImportRecords path) while reader threads take
