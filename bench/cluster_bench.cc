@@ -20,12 +20,22 @@
 //    chaos p99 stays within 3x the fault-free p99, and the faulted run
 //    is itself bit-deterministic.
 //
+//  - sched (--sched 0 skips): on a bursty multi-tenant trace with a cold
+//    key mid-run, the fleet scheduler's fair share + backfill cut the
+//    victim tenant's p99 by >= 10% vs FIFO with zero head delays and
+//    at least one backfill; sched-off configs are bit-identical to the
+//    FIFO run, and sched-on runs are bit-identical across reruns, tune
+//    thread counts, and event backends.
+//
 // Usage: bench_cluster_bench [--smoke] [--history <file>] [--requests N]
-//                            [--faults <seed>] [--quiet]
+//                            [--faults <seed>] [--sched 0|1]
+//                            [--trace <file>] [--quiet]
 // Writes cluster_bench.csv and BENCH_cluster.json to the cwd; --history
 // appends the JSON as one compact line to the given trajectory file;
 // --requests overrides the total request count (split across tenants);
 // --faults reseeds the chaos schedule (default 1);
+// --trace exports the sched section's run as a Chrome trace (the input
+// tools/attribute_slo.py consumes);
 // --quiet drops the progress narration (gate verdicts still print).
 #include <algorithm>
 #include <chrono>
@@ -36,6 +46,7 @@
 #include "bench/trajectory.h"
 #include "src/core/flashoverlap.h"
 #include "src/models/workloads.h"
+#include "src/obs/obs_plane.h"
 #include "src/util/csv.h"
 #include "src/util/table.h"
 
@@ -112,6 +123,52 @@ void AddRow(CsvWriter* csv, Table* table, int replicas, PlacementPolicy policy,
                  FormatDouble(latency.p50, 0), FormatDouble(latency.p99, 0),
                  FormatDouble(100.0 * report.WarmHitRate(), 1),
                  std::to_string(report.total_searches)});
+}
+
+// --- Fleet-scheduler section (src/sched) ------------------------------------
+
+// A bursty multi-tenant trace on one contended executor: an adversary
+// floods the shared warm key, a light victim trickles the same key, a
+// steady tenant supplies warm filler work, and a newcomer's cold key
+// arrives mid-run so its ~20ms search opens backfill windows.
+std::vector<ServeRequest> MakeSchedTrace(bool smoke) {
+  const int scale = smoke ? 1 : 2;
+  const std::vector<ScenarioSpec> shared = {
+      ScenarioSpec::Overlap(GemmShape{1024, 2048, 1024}, CommPrimitive::kAllReduce)};
+  const std::vector<ScenarioSpec> cold = {
+      ScenarioSpec::Overlap(GemmShape{4096, 2048, 1024}, CommPrimitive::kAllReduce)};
+  return MergeStreams(
+      {MakeRequestStream("steady", shared, PoissonArrivals(600.0, 80 * scale, 3), 0),
+       MakeRequestStream("adversary", shared,
+                         BurstyArrivals(120.0, 8.0, 16, 240 * scale, 11), 30000),
+       MakeRequestStream("victim", shared, PoissonArrivals(4000.0, 24 * scale, 13), 30000),
+       MakeRequestStream("newcomer", cold, PoissonArrivals(2000.0, 6 * scale, 7), 30000)});
+}
+
+FleetReport RunSchedFleet(const ClusterSpec& hardware,
+                          const std::vector<ServeRequest>& trace, bool sched_on,
+                          int tune_threads, bool legacy_heap, ObsPlane* obs = nullptr) {
+  ClusterConfig config;
+  config.replicas = 1;
+  config.sched.enabled = sched_on;
+  // The trace deliberately builds a deep backlog; with the default 100ms
+  // starvation backstop every queued request would age past it and the
+  // ordering would degenerate to FIFO-by-age. Keep usage shares in force.
+  config.sched.starvation_age_us = 1.0e6;
+  if (tune_threads > 0) {
+    config.serve.tune_threads = tune_threads;
+  }
+  config.serve.legacy_event_heap = legacy_heap;
+  config.serve.obs = obs;
+  ServingCluster fleet(hardware, config, {}, EngineOptions{.jitter = false});
+  return fleet.Run(trace);
+}
+
+bool SameSchedOutcomes(const SchedReport& a, const SchedReport& b) {
+  return a.backfills == b.backfills && a.reserves == b.reserves &&
+         a.reserve_idle_us == b.reserve_idle_us && a.head_delays == b.head_delays &&
+         a.preempt_scans == b.preempt_scans &&
+         a.preempted_requests == b.preempted_requests && a.shed_requests == b.shed_requests;
 }
 
 bool SameTimeline(const FleetReport& a, const FleetReport& b) {
@@ -251,8 +308,72 @@ bool Run(const BenchArgs& args) {
   const double chaos_makespan_overhead =
       shipped_4.makespan_us > 0.0 ? chaos.makespan_us / shipped_4.makespan_us : 0.0;
 
+  // --- Sched gates ---
+  // One contended replica, an adversarial tenant, and a mid-run cold key:
+  // fair share must protect the victim's p99 and backfill must fill the
+  // tuning window without ever delaying the head batch.
+  FleetReport sched_fifo;
+  FleetReport sched_fair;
+  double sched_victim_p99_fifo = 0.0;
+  double sched_victim_p99_fair = 0.0;
+  double sched_gain = 0.0;
+  bool sched_complete = true;
+  bool sched_off_identical = true;
+  bool sched_deterministic = true;
+  size_t sched_trace_size = 0;
+  if (args.sched) {
+    const std::vector<ServeRequest> sched_trace = MakeSchedTrace(smoke);
+    sched_trace_size = sched_trace.size();
+    sched_fifo = RunSchedFleet(setup.hardware, sched_trace, /*sched_on=*/false, 0, false);
+    sched_fair = RunSchedFleet(setup.hardware, sched_trace, /*sched_on=*/true, 0, false);
+    total_events += sched_fifo.events + sched_fair.events;
+    sched_victim_p99_fifo = sched_fifo.stats.Summarize("victim").latency.p99;
+    sched_victim_p99_fair = sched_fair.stats.Summarize("victim").latency.p99;
+    sched_gain = sched_victim_p99_fifo > 0.0
+                     ? 1.0 - sched_victim_p99_fair / sched_victim_p99_fifo
+                     : 0.0;
+    sched_complete = sched_fair.stats.count() == sched_trace.size() &&
+                     sched_fifo.stats.count() == sched_trace.size();
+    // A disabled SchedConfig with every knob tweaked must still be
+    // bit-identical to the FIFO run — off means off.
+    {
+      ClusterConfig off;
+      off.replicas = 1;
+      off.sched.enabled = false;
+      off.sched.share_half_life_us = 1.0;
+      off.sched.backfill_slack = 99.0;
+      off.sched.starvation_age_us = 1.0;
+      ServingCluster off_fleet(setup.hardware, off, {}, EngineOptions{.jitter = false});
+      sched_off_identical = SameTimeline(sched_fifo, off_fleet.Run(sched_trace));
+    }
+    // Sched-on timelines and counters must survive reruns, host tune
+    // threads, and the legacy event backend byte-for-byte.
+    for (const auto& [threads, legacy] :
+         std::vector<std::pair<int, bool>>{{0, false}, {8, false}, {0, true}}) {
+      const FleetReport variant =
+          RunSchedFleet(setup.hardware, sched_trace, /*sched_on=*/true, threads, legacy);
+      if (!SameTimeline(sched_fair, variant) ||
+          !SameSchedOutcomes(sched_fair.sched, variant.sched)) {
+        sched_deterministic = false;
+      }
+    }
+    if (!args.trace.empty()) {
+      ObsConfig obs_config;
+      obs_config.enabled = true;
+      obs_config.checkpoint_interval_us = 100000.0;
+      ObsPlane obs(obs_config);
+      RunSchedFleet(setup.hardware, sched_trace, /*sched_on=*/true, 0, false, &obs);
+      if (!obs.WriteTrace(args.trace)) {
+        std::printf("FAILED to write Chrome trace to %s\n", args.trace.c_str());
+        sched_complete = false;
+      } else {
+        Narrate(quiet, "sched trace written to %s\n", args.trace.c_str());
+      }
+    }
+  }
+
   const bool csv_ok = csv.WriteFile("cluster_bench.csv");
-  char json[3072];
+  char json[4096];
   std::snprintf(
       json, sizeof(json),
       "{\"bench\": \"cluster\", \"smoke\": %s, \"requests\": %zu, \"distinct_keys\": %zu, "
@@ -265,7 +386,12 @@ bool Run(const BenchArgs& args) {
       "\"fault_seed\": %llu, \"fault_injects\": %zu, \"fault_p99_us\": %.1f, "
       "\"fault_retry_rate\": %.4f, \"fault_makespan_overhead\": %.4f, "
       "\"fault_requeued\": %zu, \"fault_restarts\": %zu, \"fault_completed\": %s, "
-      "\"fault_rerun_identical\": %s}",
+      "\"fault_rerun_identical\": %s, "
+      "\"sched_section\": %s, \"sched_backfills\": %zu, \"sched_head_delays\": %zu, "
+      "\"sched_reserve_idle_us\": %.1f, \"sched_preempted\": %zu, "
+      "\"sched_victim_p99_fifo_us\": %.1f, \"sched_victim_p99_us\": %.1f, "
+      "\"sched_p99_gain\": %.4f, \"sched_off_identical\": %s, "
+      "\"sched_rerun_identical\": %s}",
       smoke ? "true" : "false", setup.trace.size(), shipped_4.distinct_keys, throughput_1,
       throughput_4, round_robin_4.WarmHitRate(), affinity_4.WarmHitRate(),
       round_robin_4.total_searches, affinity_4.total_searches, max_shipped_searches,
@@ -275,7 +401,11 @@ bool Run(const BenchArgs& args) {
       static_cast<unsigned long long>(args.fault_seed), chaos.fault.injected_total(),
       chaos_p99, chaos_retry_rate, chaos_makespan_overhead, chaos.fault.requests_requeued,
       chaos.fault.replica_restarts, chaos_complete ? "true" : "false",
-      chaos_deterministic ? "true" : "false");
+      chaos_deterministic ? "true" : "false", args.sched ? "true" : "false",
+      sched_fair.sched.backfills, sched_fair.sched.head_delays,
+      sched_fair.sched.reserve_idle_us, sched_fair.sched.preempted_requests,
+      sched_victim_p99_fifo, sched_victim_p99_fair, sched_gain,
+      sched_off_identical ? "true" : "false", sched_deterministic ? "true" : "false");
   FILE* out = std::fopen("BENCH_cluster.json", "w");
   if (out != nullptr) {
     std::fprintf(out, "%s\n", json);
@@ -328,6 +458,43 @@ bool Run(const BenchArgs& args) {
   if (!chaos_deterministic) {
     std::printf("FAIL: faulted run is not bit-deterministic across reruns\n");
     ok = false;
+  }
+  if (args.sched) {
+    Narrate(quiet,
+            "sched: victim p99 %.0f us FIFO -> %.0f us fair (%.1f%% gain), "
+            "%zu backfills, %zu head delays, %.0f us reserved idle, %zu preempted\n",
+            sched_victim_p99_fifo, sched_victim_p99_fair, 100.0 * sched_gain,
+            sched_fair.sched.backfills, sched_fair.sched.head_delays,
+            sched_fair.sched.reserve_idle_us, sched_fair.sched.preempted_requests);
+    if (sched_gain < 0.10) {
+      std::printf("FAIL: sched victim p99 gain %.1f%% below 10%% (FIFO %.0f us, "
+                  "fair %.0f us)\n",
+                  100.0 * sched_gain, sched_victim_p99_fifo, sched_victim_p99_fair);
+      ok = false;
+    }
+    if (sched_fair.sched.backfills == 0) {
+      std::printf("FAIL: sched run performed no backfills\n");
+      ok = false;
+    }
+    if (sched_fair.sched.head_delays != 0) {
+      std::printf("FAIL: backfill delayed %zu head batches\n",
+                  sched_fair.sched.head_delays);
+      ok = false;
+    }
+    if (!sched_complete) {
+      std::printf("FAIL: sched runs dropped requests (%zu FIFO / %zu fair of %zu)\n",
+                  sched_fifo.stats.count(), sched_fair.stats.count(), sched_trace_size);
+      ok = false;
+    }
+    if (!sched_off_identical) {
+      std::printf("FAIL: disabled SchedConfig is not bit-identical to FIFO\n");
+      ok = false;
+    }
+    if (!sched_deterministic) {
+      std::printf("FAIL: sched run is not bit-identical across reruns, tune threads, "
+                  "and event backends\n");
+      ok = false;
+    }
   }
   if (csv_ok) {
     Narrate(quiet, "series written to cluster_bench.csv + BENCH_cluster.json\n");

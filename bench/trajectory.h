@@ -8,7 +8,8 @@
 // and must treat a failed append as a bench failure: a silently dropped
 // point defeats the history. Benches that export observability artifacts
 // additionally take `--trace <file>` / `--metrics <file>`; benches with a
-// chaos section take `--faults <seed>` to reseed the fault schedule.
+// chaos section take `--faults <seed>` to reseed the fault schedule;
+// benches with a fleet-scheduler section take `--sched 0|1` to skip/run it.
 #ifndef BENCH_TRAJECTORY_H_
 #define BENCH_TRAJECTORY_H_
 
@@ -33,6 +34,9 @@ struct BenchArgs {
   // Seed for benches with a fault-injection (chaos) section; the section
   // runs either way, the seed just picks the schedule it expands.
   uint64_t fault_seed = 1;
+  // Benches with a fleet-scheduler section run it by default; `--sched 0`
+  // skips it (its gates and sched_* trajectory fields report zeros).
+  bool sched = true;
 };
 
 inline BenchArgs ParseBenchArgs(int argc, char** argv) {
@@ -53,6 +57,8 @@ inline BenchArgs ParseBenchArgs(int argc, char** argv) {
       args.requests = std::atoll(argv[++i]);
     } else if (arg == "--faults" && i + 1 < argc) {
       args.fault_seed = static_cast<uint64_t>(std::atoll(argv[++i]));
+    } else if (arg == "--sched" && i + 1 < argc) {
+      args.sched = std::atoi(argv[++i]) != 0;
     }
   }
   return args;

@@ -49,13 +49,14 @@ int FleetRouter::LeastLoaded(const std::vector<ReplicaSnapshot>& replicas, Pred 
   return best;
 }
 
-int FleetRouter::PlaceRoundRobin(const std::vector<ReplicaSnapshot>& replicas) {
+int FleetRouter::PlaceRoundRobin(const std::vector<ReplicaSnapshot>& replicas,
+                                 int avoid_id) {
   // Rotate by id so the cycle survives spawns and drains: the next
   // accepting id after the previous placement, wrapping to the lowest.
   int next = -1;
   int lowest = -1;
   for (const ReplicaSnapshot& replica : replicas) {
-    if (!replica.accepting) {
+    if (!replica.accepting || replica.id == avoid_id) {
       continue;
     }
     if (lowest == -1 || replica.id < lowest) {
@@ -68,25 +69,29 @@ int FleetRouter::PlaceRoundRobin(const std::vector<ReplicaSnapshot>& replicas) {
   return next != -1 ? next : lowest;
 }
 
-int FleetRouter::Place(const std::vector<ReplicaSnapshot>& replicas) {
+int FleetRouter::Place(const std::vector<ReplicaSnapshot>& replicas, int avoid_id) {
+  const auto allowed = [avoid_id](const ReplicaSnapshot& r) { return r.id != avoid_id; };
   int placed = -1;
   switch (policy_) {
     case PlacementPolicy::kRoundRobin:
-      placed = PlaceRoundRobin(replicas);
+      placed = PlaceRoundRobin(replicas, avoid_id);
       break;
     case PlacementPolicy::kLeastLoaded:
-      placed = LeastLoaded(replicas, [](const ReplicaSnapshot&) { return true; });
+      placed = LeastLoaded(replicas, allowed);
       break;
     case PlacementPolicy::kPlanAffinity:
-      placed = LeastLoaded(replicas, [](const ReplicaSnapshot& r) { return r.plan_warm; });
+      placed = LeastLoaded(
+          replicas, [&](const ReplicaSnapshot& r) { return allowed(r) && r.plan_warm; });
       if (placed == -1) {
-        placed = LeastLoaded(replicas, [](const ReplicaSnapshot& r) { return r.plan_tuning; });
+        placed = LeastLoaded(
+            replicas, [&](const ReplicaSnapshot& r) { return allowed(r) && r.plan_tuning; });
       }
       if (placed == -1) {
-        placed = LeastLoaded(replicas, [](const ReplicaSnapshot& r) { return r.plan_pending; });
+        placed = LeastLoaded(
+            replicas, [&](const ReplicaSnapshot& r) { return allowed(r) && r.plan_pending; });
       }
       if (placed == -1) {
-        placed = LeastLoaded(replicas, [](const ReplicaSnapshot&) { return true; });
+        placed = LeastLoaded(replicas, allowed);
       }
       break;
   }

@@ -66,10 +66,13 @@ class FleetRouter {
   PlacementPolicy policy() const { return policy_; }
 
   // Picks an accepting replica; -1 when none accepts. Deterministic.
-  int Place(const std::vector<ReplicaSnapshot>& replicas);
+  // `avoid_id` (when >= 0) excludes one replica from every tier — the
+  // preemptive-requeue path re-places work pulled off an overloaded
+  // replica and must not hand it straight back.
+  int Place(const std::vector<ReplicaSnapshot>& replicas, int avoid_id = -1);
 
  private:
-  int PlaceRoundRobin(const std::vector<ReplicaSnapshot>& replicas);
+  int PlaceRoundRobin(const std::vector<ReplicaSnapshot>& replicas, int avoid_id);
   // Least backlog among `replicas` entries satisfying `pred`; -1 if none.
   template <typename Pred>
   static int LeastLoaded(const std::vector<ReplicaSnapshot>& replicas, Pred pred);

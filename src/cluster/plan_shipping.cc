@@ -1,5 +1,6 @@
 #include "src/cluster/plan_shipping.h"
 
+#include <fstream>
 #include <utility>
 
 #include "src/util/check.h"
@@ -130,24 +131,51 @@ bool PlanShipper::Publish(uint64_t key, const PlanStore& source, const StoredPla
 
 std::string PlanShipper::SerializeSnapshot() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return published_.Serialize();
+  std::string out = published_.Serialize();
+  // Tuner tier rides along as '#tuner' comment lines: plan-tier parsers
+  // skip them, so the combined file stays loadable by PlanStore::Parse.
+  std::vector<std::pair<uint64_t, StoredPlan>> artifacts(artifacts_.begin(),
+                                                         artifacts_.end());
+  out += SerializeTunerTier(artifacts);
+  return out;
 }
 
 bool PlanShipper::SaveSnapshot(const std::string& path) const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return published_.SaveToFile(path);
+  std::ofstream file(path);
+  if (!file) {
+    return false;
+  }
+  file << SerializeSnapshot();
+  return static_cast<bool>(file);
 }
 
 size_t PlanShipper::ImportSnapshot(const std::string& text) {
   std::lock_guard<std::mutex> lock(mu_);
+  // Tuner tier first: a malformed tier rejects the snapshot whole, before
+  // any plan-tier record lands in the published set.
+  auto tuner_tier = ParseTunerTier(text);
+  if (!tuner_tier.has_value()) {
+    return 0;
+  }
   const size_t imported = published_.ImportRecords(text);
   if (imported == 0) {
     return 0;
+  }
+  std::vector<StoredPlan> artifacts;
+  artifacts.reserve(tuner_tier->size());
+  for (const auto& [key, artifact] : *tuner_tier) {
+    artifacts.push_back(artifact);
+  }
+  for (auto& [key, artifact] : *tuner_tier) {
+    artifacts_[key] = std::move(artifact);
   }
   // Ship only the records just imported — re-shipping the whole
   // published set would churn the LRU order of bounded subscriber stores.
   for (auto& [id, subscriber] : subscribers_) {
     stats_.shipped += subscriber.store->ImportRecords(text);
+    if (subscriber.tuner != nullptr && !artifacts.empty()) {
+      subscriber.tuner->ImportPlans(artifacts);
+    }
   }
   return imported;
 }

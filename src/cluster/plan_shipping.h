@@ -92,11 +92,15 @@ class PlanShipper {
 
   // The published set, serialized — the fleet snapshot for on-disk
   // warm starts (feed it back via ImportSnapshot or
-  // PlanStore::ImportRecords).
+  // PlanStore::ImportRecords). Two tiers in one file: the ExecutionPlan
+  // records, then the tuner-tier StoredPlan artifacts as '#tuner' lines
+  // (comments to plan-tier parsers, so old readers load the plan tier
+  // unchanged and old snapshots import as an empty tuner tier).
   std::string SerializeSnapshot() const;
   bool SaveSnapshot(const std::string& path) const;
-  // Imports records into the published set and ships them to every
-  // subscriber; returns the number of plans imported (0 on malformed).
+  // Imports both tiers into the published set and ships them to every
+  // subscriber (stores and tuners); returns the number of plans imported
+  // (0 on malformed text in either tier — nothing is applied).
   size_t ImportSnapshot(const std::string& text);
 
   size_t published_size() const;
@@ -117,10 +121,10 @@ class PlanShipper {
   // The authoritative published set (unbounded: one entry per distinct
   // key the fleet ever tuned).
   PlanStore published_;
-  // The tuner-tier artifact behind each published key's search. In-memory
-  // only: on-disk snapshots persist the ExecutionPlan tier, so a
-  // warm-started fleet with bounded stores re-pays at most one search per
-  // evicted key (see ROADMAP: two-tier snapshot persistence).
+  // The tuner-tier artifact behind each published key's search. Persisted
+  // alongside the plan tier by SerializeSnapshot, so a warm-started fleet
+  // with bounded stores rebuilds evicted ExecutionPlans from the tuner
+  // cache instead of re-paying the search.
   std::map<uint64_t, StoredPlan> artifacts_;
   std::map<int, Subscriber> subscribers_;
   std::map<uint64_t, int> in_flight_;  // key -> owning replica id

@@ -67,6 +67,14 @@ ServingCluster::ServingCluster(ClusterSpec hardware, ClusterConfig config,
       [this](const EventRecord&, SimTime now) { AutoscaleCheck(now); });
   fault_handler_ = events_.RegisterHandler(
       [this](const EventRecord& record, SimTime now) { OnFaultEvent(record, now); });
+  sched_handler_ = events_.RegisterHandler(
+      [this](const EventRecord&, SimTime now) { SchedCheck(now); });
+  if (config_.sched.enabled) {
+    scheduler_ = std::make_unique<FleetScheduler>(config_.sched);
+    // Every session spawned from config_.serve consults the one fleet
+    // scheduler: per-tenant shares are fleet-wide state, not per-replica.
+    config_.serve.sched = scheduler_.get();
+  }
 }
 
 Replica* ServingCluster::SpawnReplica(SimTime now) {
@@ -147,6 +155,17 @@ ServeSession::Hooks ServingCluster::HooksFor(Replica* replica) {
     }
     DispatchAll(now);
   };
+  if (scheduler_ != nullptr) {
+    hooks.request_shed = [this, replica](const ServeRequest& request, SimTime now) {
+      // An SLO-shed retry leaves the run through here instead of
+      // request_finished: it counts toward run completion (the admission
+      // invariant still balances) but never reaches an executor.
+      (void)request;
+      ++completed_requests_;
+      ++fault_report_.requests_shed;
+      MaybeRetire(replica, now);
+    };
+  }
   hooks.request_finished = [this, replica](const RequestRecord& record, SimTime now) {
     ++completed_requests_;
     cost_sum_us_ += record.ExecUs() / static_cast<double>(std::max(1, record.batch_size));
@@ -320,6 +339,11 @@ FleetReport ServingCluster::Run(RequestCursor* cursor) {
   requeue_pool_.clear();
   requeue_free_.clear();
   ship_drops_baseline_ = shipper_.stats().ship_drops;
+  sched_preempt_scans_ = 0;
+  sched_preempted_ = 0;
+  if (scheduler_ != nullptr) {
+    scheduler_->ResetRunState();
+  }
   ObsPlane* obs = config_.serve.obs;
   const bool observing = obs != nullptr && obs->enabled();
   if (observing) {
@@ -401,6 +425,12 @@ FleetReport ServingCluster::Run(RequestCursor* cursor) {
     record.handler = autoscale_handler_;
     events_.Push(config_.autoscale.check_interval_us, record);
   }
+  if (scheduler_ != nullptr && config_.sched.preempt_requeue && !pump.done()) {
+    EventRecord record;
+    record.type = EventType::kSchedCheck;
+    record.handler = sched_handler_;
+    events_.Push(config_.sched.preempt_interval_us, record);
+  }
   events_.RunToCompletion();
   pump_ = nullptr;
   FLO_CHECK(pump.done()) << "arrival pump stalled mid-trace";
@@ -436,6 +466,16 @@ FleetReport ServingCluster::Run(RequestCursor* cursor) {
   }
   fault_report_.ship_drops = shipper_.stats().ship_drops - ship_drops_baseline_;
   report.fault = fault_report_;
+  report.sched.enabled = scheduler_ != nullptr;
+  report.sched.preempt_scans = sched_preempt_scans_;
+  report.sched.preempted_requests = sched_preempted_;
+  for (const ReplicaReport& entry : report.replicas) {
+    report.sched.backfills += entry.serve.backfills;
+    report.sched.reserves += entry.serve.sched_reserves;
+    report.sched.reserve_idle_us += entry.serve.reserve_idle_us;
+    report.sched.head_delays += entry.serve.head_delays;
+    report.sched.shed_requests += entry.serve.shed_requests;
+  }
   if (observing) {
     obs->FinishRun(report.makespan_us);
   }
@@ -693,6 +733,77 @@ void ServingCluster::OnRequeue(const EventRecord& record, SimTime now) {
   Replica* replica = FindReplica(id);
   FLO_CHECK(replica != nullptr);
   replica->session()->Admit(std::move(request), now);
+}
+
+void ServingCluster::SchedCheck(SimTime now) {
+  ++sched_preempt_scans_;
+  const SchedConfig& sched = config_.sched;
+  // Mean queue depth over accepting healthy replicas, for the overload
+  // test. Draining/straggling replicas are preemption victims regardless
+  // of depth, so they stay out of the baseline.
+  size_t accepting = 0;
+  size_t accepting_queued = 0;
+  for (const auto& replica : replicas_) {
+    if (replica->retired() || replica->session() == nullptr || !replica->accepting() ||
+        replica->health() != Replica::Health::kHealthy) {
+      continue;
+    }
+    ++accepting;
+    accepting_queued += replica->session()->pending_requests();
+  }
+  for (const auto& replica : replicas_) {
+    if (replica->retired() || replica->session() == nullptr) {
+      continue;
+    }
+    // Crashed and hung replicas belong to the fault plane's requeue path;
+    // double-evacuating them would double-count recovery work.
+    const Replica::Health health = replica->health();
+    if (health == Replica::Health::kCrashed || health == Replica::Health::kHung) {
+      continue;
+    }
+    const size_t queued = replica->session()->pending_requests();
+    bool victim = replica->draining() || health == Replica::Health::kStraggling;
+    if (!victim && accepting >= 2 && replica->accepting() &&
+        queued >= static_cast<size_t>(sched.overload_min_queue)) {
+      // Overloaded relative to its peers: strictly above overload_factor
+      // times the mean depth of the *other* accepting replicas.
+      const double peer_mean = static_cast<double>(accepting_queued - queued) /
+                               static_cast<double>(accepting - 1);
+      victim = static_cast<double>(queued) > sched.overload_factor * peer_mean;
+    }
+    if (!victim) {
+      continue;
+    }
+    preempt_scratch_.clear();
+    const size_t pulled = replica->session()->ExtractQueued(&preempt_scratch_);
+    if (pulled == 0) {
+      MaybeRetire(replica.get(), now);
+      continue;
+    }
+    sched_preempted_ += pulled;
+    EmitFleetInstant(config_.serve.obs, SpanKind::kSchedPreempt, now,
+                     static_cast<uint64_t>(replica->id()), pulled);
+    for (ServeRequest& request : preempt_scratch_) {
+      const uint64_t key = keyer_.CanonicalKey(request.spec);
+      const int id = router_.Place(Snapshots(key, now), replica->id());
+      Replica* target = id != -1 ? FindReplica(id) : nullptr;
+      if (target == nullptr) {
+        // Nowhere better: hand the request straight back. Not a retry —
+        // preemption is a placement revision, not a failure.
+        target = replica.get();
+      }
+      target->session()->Admit(std::move(request), now);
+    }
+    preempt_scratch_.clear();
+    MaybeRetire(replica.get(), now);
+  }
+  // Re-arm while served work remains, like the autoscale checkpoint.
+  if (completed_requests_ < pump_->admitted() || !pump_->done()) {
+    EventRecord record;
+    record.type = EventType::kSchedCheck;
+    record.handler = sched_handler_;
+    events_.Push(now + sched.preempt_interval_us, record);
+  }
 }
 
 bool ServingCluster::SavePlans(const std::string& path) const {

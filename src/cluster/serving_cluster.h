@@ -32,6 +32,8 @@
 #include "src/core/overlap_engine.h"
 #include "src/fault/fault_config.h"
 #include "src/fault/fault_schedule.h"
+#include "src/sched/fleet_scheduler.h"
+#include "src/sched/sched_config.h"
 #include "src/serve/serve_loop.h"
 #include "src/serve/serve_stats.h"
 #include "src/sim/event_loop.h"
@@ -62,6 +64,11 @@ struct ClusterConfig {
   // and leaves runs bit-identical to a fault-free build. An explicit
   // SetFaultSchedule overrides the generated one.
   FaultConfig faults;
+  // Fleet scheduler (src/sched): fair-share lane ordering, latency-
+  // predicted backfill, and preemptive requeue. Disabled (the default)
+  // constructs no scheduler and leaves runs bit-identical to a pre-sched
+  // build.
+  SchedConfig sched;
 };
 
 struct ReplicaReport {
@@ -94,6 +101,9 @@ struct FleetReport {
   // Fault injection and recovery for this run (enabled false when the
   // run injected nothing).
   FaultReport fault;
+  // Fleet-scheduler outcomes for this run (enabled false when the
+  // scheduler was off).
+  SchedReport sched;
 
   // Fraction of requests whose plan was warm on their replica at batch
   // formation — the global warm-hit rate plan-affinity routing optimizes.
@@ -152,6 +162,10 @@ class ServingCluster {
   void MaybeRetire(Replica* replica, SimTime now);
   void AutoscaleCheck(SimTime now);
   double CostEstimateUs() const;
+  // Preemptive-requeue scan (src/sched): pulls not-yet-dispatched
+  // requests off draining, straggling, or overloaded replicas and
+  // re-places them through the router, then re-arms itself.
+  void SchedCheck(SimTime now);
 
   // Fault plane (src/fault). OnFaultEvent is the single typed-event
   // target for kFaultInject / kRequeue / kHealthRestore / kHangDetect;
@@ -181,10 +195,14 @@ class ServingCluster {
   FleetRouter router_;
   PlanShipper shipper_;
   EventLoop events_;
-  // Typed-event targets for autoscale checkpoints and fault-plane events
-  // (registered once).
+  // Constructed only when ClusterConfig::sched enables it; every session
+  // borrows it through ServeConfig::sched. Null = scheduler off.
+  std::unique_ptr<FleetScheduler> scheduler_;
+  // Typed-event targets for autoscale checkpoints, fault-plane events,
+  // and scheduler preempt scans (registered once).
   uint32_t autoscale_handler_ = 0;
   uint32_t fault_handler_ = 0;
+  uint32_t sched_handler_ = 0;
   std::vector<std::unique_ptr<Replica>> replicas_;
   int next_replica_id_ = 0;
 
@@ -221,6 +239,12 @@ class ServingCluster {
   // shipper_ stats are cumulative across runs; this run's ship_drops are
   // reported as a delta from the Run-start baseline.
   size_t ship_drops_baseline_ = 0;
+  // Scheduler per-run counters (the per-replica counters live in each
+  // session's ServeReport and are aggregated at report time).
+  size_t sched_preempt_scans_ = 0;
+  size_t sched_preempted_ = 0;
+  // Scratch for SchedCheck's evacuations; reused across scans.
+  std::vector<ServeRequest> preempt_scratch_;
 };
 
 }  // namespace flo

@@ -196,6 +196,15 @@ bool PlanStore::Contains(uint64_t key) const {
   return plans_.count(key) != 0;
 }
 
+std::optional<double> PlanStore::PeekPredictedUs(uint64_t key) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = plans_.find(key);
+  if (it == plans_.end()) {
+    return std::nullopt;
+  }
+  return it->second.predicted_us;
+}
+
 bool PlanStore::Erase(uint64_t key) {
   std::lock_guard<std::mutex> lock(mu_);
   last_use_.erase(key);
@@ -508,6 +517,72 @@ std::optional<std::vector<StoredPlan>> LoadPlansFromFile(const std::string& path
     return std::nullopt;
   }
   return ParsePlans(*text);
+}
+
+std::string SerializeTunerTier(const std::vector<std::pair<uint64_t, StoredPlan>>& plans) {
+  std::ostringstream out;
+  for (const auto& [key, plan] : plans) {
+    out << "#tuner " << KeyToken(key) << ' ' << plan.shape.m << ' ' << plan.shape.n << ' '
+        << plan.shape.k << ' ' << CommPrimitiveName(plan.primitive) << ' '
+        << PartitionToCsv(plan.partition) << ' ' << FormatDoubleExact(plan.predicted_us)
+        << ' ' << FormatDoubleExact(plan.predicted_non_overlap_us) << '\n';
+  }
+  out << "#tuner-count " << plans.size() << '\n';
+  return out.str();
+}
+
+std::optional<std::vector<std::pair<uint64_t, StoredPlan>>> ParseTunerTier(
+    const std::string& text) {
+  std::vector<std::pair<uint64_t, StoredPlan>> plans;
+  std::stringstream stream(text);
+  std::string line;
+  std::optional<size_t> declared_count;
+  constexpr const char kRecordTag[] = "#tuner ";
+  constexpr const char kCountTag[] = "#tuner-count ";
+  while (std::getline(stream, line)) {
+    if (line.rfind(kCountTag, 0) == 0) {
+      const auto parsed = TryParseInt(line.substr(sizeof(kCountTag) - 1));
+      if (!parsed || *parsed < 0) {
+        return std::nullopt;
+      }
+      declared_count = static_cast<size_t>(*parsed);
+      continue;
+    }
+    if (line.rfind(kRecordTag, 0) != 0) {
+      continue;  // plan-tier record or ordinary comment
+    }
+    std::stringstream fields(line.substr(sizeof(kRecordTag) - 1));
+    std::string key_hex;
+    StoredPlan plan;
+    std::string primitive;
+    std::string partition;
+    std::string predicted;
+    std::string non_overlap;
+    if (!(fields >> key_hex >> plan.shape.m >> plan.shape.n >> plan.shape.k >> primitive >>
+          partition >> predicted >> non_overlap)) {
+      return std::nullopt;
+    }
+    const auto parsed_key = TryParseHexU64(key_hex);
+    if (!parsed_key || plan.shape.m <= 0 || plan.shape.n <= 0 || plan.shape.k <= 0) {
+      return std::nullopt;
+    }
+    const auto parsed_primitive = TryCommPrimitiveFromName(primitive);
+    auto parsed_partition = PartitionFromCsv(partition);
+    const auto parsed_predicted = TryParseDouble(predicted);
+    const auto parsed_non_overlap = TryParseDouble(non_overlap);
+    if (!parsed_primitive || !parsed_partition || !parsed_predicted || !parsed_non_overlap) {
+      return std::nullopt;
+    }
+    plan.primitive = *parsed_primitive;
+    plan.partition = std::move(*parsed_partition);
+    plan.predicted_us = *parsed_predicted;
+    plan.predicted_non_overlap_us = *parsed_non_overlap;
+    plans.emplace_back(*parsed_key, std::move(plan));
+  }
+  if (declared_count.has_value() && plans.size() != *declared_count) {
+    return std::nullopt;
+  }
+  return plans;
 }
 
 }  // namespace flo

@@ -22,6 +22,7 @@
 #include <mutex>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/comm/primitive.h"
@@ -52,6 +53,21 @@ std::optional<std::vector<StoredPlan>> ParsePlans(const std::string& text);
 // File helpers; return false on I/O failure.
 bool SavePlansToFile(const std::vector<StoredPlan>& plans, const std::string& path);
 std::optional<std::vector<StoredPlan>> LoadPlansFromFile(const std::string& path);
+
+// The tuner-tier section of a two-tier snapshot: keyed StoredPlans
+// carried in the same file as a PlanStore's ExecutionPlan records.
+// Every line is '#'-prefixed, so PlanStore::Parse reads a combined file
+// unchanged (the tier is comments to the plan-tier parser) and old
+// single-tier files parse as an empty tuner tier:
+//   #tuner <key-hex> <m> <n> <k> <primitive> <partition-csv> <pred> <non_overlap>
+//   #tuner-count N
+// The count footer rejects truncated files whole, like "# count".
+std::string SerializeTunerTier(const std::vector<std::pair<uint64_t, StoredPlan>>& plans);
+// Extracts the tuner tier from snapshot text: empty vector when the
+// text carries none, std::nullopt on a malformed line or count-footer
+// mismatch.
+std::optional<std::vector<std::pair<uint64_t, StoredPlan>>> ParseTunerTier(
+    const std::string& text);
 
 // Hit/miss counts from Find/FindCopy lookups, evictions from capacity
 // enforcement. Contains() is a peek and does not count.
@@ -109,6 +125,10 @@ class PlanStore {
   const ExecutionPlan& Put(uint64_t key, ExecutionPlan plan);
   // Peek: no stats, no recency update.
   bool Contains(uint64_t key) const;
+  // The stored plan's predicted end-to-end latency, as a peek: no stats,
+  // no recency update — the fleet scheduler's backfill fit-checks call
+  // this per dispatch and must not perturb hit rates or LRU order.
+  std::optional<double> PeekPredictedUs(uint64_t key) const;
   // Drops one entry (no eviction stats: this is an explicit discard, e.g.
   // an aborted tuner search invalidating the plan it cached). False when
   // absent.

@@ -116,6 +116,12 @@ struct FaultReport {
   size_t replica_restarts = 0;
   // Plan shipments suppressed by kShipLoss windows (this run).
   size_t ship_drops = 0;
+  // SLO-aware shed (src/sched, slo_shed knob): retries dropped at the
+  // degrade point because the tenant's p99 was already past its SLO —
+  // serving a safety-plan batch would only burn capacity the tenant's
+  // latency target cannot be saved by. Shed requests complete the run
+  // accounting but never reach an executor.
+  size_t requests_shed = 0;
 
   size_t injected_total() const {
     return injected_crashes + injected_hangs + injected_slowdowns +

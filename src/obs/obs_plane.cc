@@ -31,6 +31,10 @@ ObsPlane::ObsPlane(ObsConfig config)
   ids_.requests_requeued = registry_.Counter("fault.requests_requeued");
   ids_.requests_retried = registry_.Counter("fault.requests_retried");
   ids_.requests_degraded = registry_.Counter("fault.requests_degraded");
+  ids_.sched_backfills = registry_.Counter("sched.backfills");
+  ids_.sched_reserves = registry_.Counter("sched.reserves");
+  ids_.sched_preempted = registry_.Counter("sched.requests_preempted");
+  ids_.sched_shed = registry_.Counter("sched.requests_shed");
   ids_.latency_us = registry_.Histo("serve.latency_us");
   ids_.queue_us = registry_.Histo("serve.queue_us");
   ids_.tuner_searches_total = registry_.Gauge("tuner.searches_total");
@@ -169,6 +173,18 @@ void ObsPlane::Emit(const SpanRecord& span) {
     case SpanKind::kFaultDegraded:
       registry_.Add(ids_.requests_degraded, span.arg);
       break;
+    case SpanKind::kSchedBackfill:
+      registry_.Add(ids_.sched_backfills);
+      break;
+    case SpanKind::kSchedReserve:
+      registry_.Add(ids_.sched_reserves);
+      break;
+    case SpanKind::kSchedPreempt:
+      registry_.Add(ids_.sched_preempted, span.arg);
+      break;
+    case SpanKind::kSchedShed:
+      registry_.Add(ids_.sched_shed);
+      break;
     case SpanKind::kCount:
       FLO_CHECK(false) << "kCount is not an emittable span kind";
   }
@@ -201,6 +217,13 @@ std::string ObsPlane::TraceJson() const {
           builder.AsyncBegin(pid, "tune", span.id, name, span.start_us,
                              {TraceArg::Int("searches", static_cast<int64_t>(span.arg))});
           builder.AsyncEnd(pid, "tune", span.id, name, span.end_us);
+          break;
+        case SpanKind::kSchedReserve:
+          // Executor-reservation holds are real intervals (one at a time
+          // per replica): async on a "sched" track so SLO attribution
+          // can overlap them against request queueing.
+          builder.AsyncBegin(pid, "sched", span.id, name, span.start_us, {});
+          builder.AsyncEnd(pid, "sched", span.id, name, span.end_us);
           break;
         case SpanKind::kRequest:
         case SpanKind::kQueue: {

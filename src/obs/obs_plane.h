@@ -98,6 +98,12 @@ class ObsPlane {
     MetricsRegistry::Id requests_requeued = 0;
     MetricsRegistry::Id requests_retried = 0;
     MetricsRegistry::Id requests_degraded = 0;
+    // Fleet scheduler (src/sched): backfill, reservation, preemption,
+    // and SLO-shed outcomes.
+    MetricsRegistry::Id sched_backfills = 0;
+    MetricsRegistry::Id sched_reserves = 0;
+    MetricsRegistry::Id sched_preempted = 0;
+    MetricsRegistry::Id sched_shed = 0;
     MetricsRegistry::Id latency_us = 0;  // histogram
     MetricsRegistry::Id queue_us = 0;    // histogram
     // Poller-fed gauges (mirrors of externally owned totals).

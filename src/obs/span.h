@@ -34,6 +34,11 @@ enum class SpanKind : uint8_t {
   kFaultRequeue,   // requests pulled off a failed replica (arg = count)
   kFaultRetry,     // a requeued request re-placed (id = request id)
   kFaultDegraded,  // batch fell back to the safety plan (id = key, arg = requests)
+  // Fleet scheduler (src/sched).
+  kSchedBackfill,  // warm batch slotted into a tuning window (id = key, arg = size)
+  kSchedReserve,   // executor held idle for a blocked head (interval; id = key)
+  kSchedPreempt,   // queued requests pulled off a replica (id = replica, arg = count)
+  kSchedShed,      // degraded-mode request shed over a blown SLO (id = request id)
   kCount,
 };
 

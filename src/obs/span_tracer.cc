@@ -40,6 +40,14 @@ const char* SpanKindName(SpanKind kind) {
       return "fault/retry";
     case SpanKind::kFaultDegraded:
       return "fault/degraded";
+    case SpanKind::kSchedBackfill:
+      return "sched/backfill";
+    case SpanKind::kSchedReserve:
+      return "sched/reserve";
+    case SpanKind::kSchedPreempt:
+      return "sched/preempt";
+    case SpanKind::kSchedShed:
+      return "sched/shed";
     case SpanKind::kCount:
       break;
   }

@@ -1,0 +1,140 @@
+#include "src/sched/fleet_scheduler.h"
+
+#include <string>
+
+#include "src/serve/tenant_registry.h"
+#include "src/util/check.h"
+
+namespace flo {
+namespace {
+
+// Whole half-life periods elapsed since the anchor, capped so the
+// halving loop stays O(1); past 64 periods the share underflows to
+// zero anyway.
+int DecayPeriods(SimTime anchor_us, SimTime now, double half_life_us) {
+  if (half_life_us <= 0.0 || now <= anchor_us) {
+    return 0;
+  }
+  const double periods = (now - anchor_us) / half_life_us;
+  return periods >= 64.0 ? 64 : static_cast<int>(periods);
+}
+
+// Repeated halving instead of std::pow/exp2: libm rounding is not
+// bit-stable across toolchains, 0.5 multiplication is.
+double Halve(double value, int periods) {
+  for (int i = 0; i < periods; ++i) {
+    value *= 0.5;
+  }
+  return value;
+}
+
+}  // namespace
+
+FleetScheduler::Priority FleetScheduler::KeyFor(uint32_t tenant_id, SimTime arrival_us,
+                                                SimTime now) const {
+  Priority priority;
+  priority.arrival_us = arrival_us;
+  priority.usage_us = UsageAt(tenant_id, now);
+  priority.starving =
+      config_.starvation_age_us > 0.0 && now - arrival_us >= config_.starvation_age_us;
+  return priority;
+}
+
+bool FleetScheduler::Before(const Priority& a, const Priority& b) {
+  if (a.starving != b.starving) {
+    return a.starving;
+  }
+  if (a.starving) {
+    return a.arrival_us < b.arrival_us;  // oldest starving request first
+  }
+  if (a.usage_us != b.usage_us) {
+    return a.usage_us < b.usage_us;  // lightest tenant first
+  }
+  return a.arrival_us < b.arrival_us;
+}
+
+size_t FleetScheduler::PickLane(const std::vector<RequestQueue::LaneHead>& heads,
+                                SimTime now) const {
+  FLO_CHECK(!heads.empty());
+  size_t best = 0;
+  Priority best_priority = KeyFor(heads[0].tenant_id, heads[0].arrival_us, now);
+  for (size_t i = 1; i < heads.size(); ++i) {
+    const Priority priority = KeyFor(heads[i].tenant_id, heads[i].arrival_us, now);
+    if (Before(priority, best_priority)) {
+      best = i;
+      best_priority = priority;
+    }
+  }
+  return best;
+}
+
+FleetScheduler::TenantShare& FleetScheduler::ShareFor(uint32_t tenant_id) {
+  FLO_CHECK_GT(tenant_id, 0u);
+  if (tenant_id >= shares_.size()) {
+    shares_.resize(tenant_id + 1);
+  }
+  TenantShare& share = shares_[tenant_id];
+  if (!share.registered) {
+    const std::string& tenant = TenantNameOf(tenant_id);
+    share.usage_gauge = registry_.Gauge("sched.usage_us." + tenant);
+    share.latency_histo = registry_.Histo("sched.latency_us." + tenant);
+    share.registered = true;
+  }
+  return share;
+}
+
+void FleetScheduler::Charge(uint32_t tenant_id, double cost_us, SimTime now) {
+  TenantShare& share = ShareFor(tenant_id);
+  const int periods = DecayPeriods(share.anchor_us, now, config_.share_half_life_us);
+  if (periods >= 64) {
+    share.usage_us = 0.0;
+    share.anchor_us = now;
+  } else if (periods > 0) {
+    share.usage_us = Halve(share.usage_us, periods);
+    share.anchor_us += periods * config_.share_half_life_us;
+  }
+  share.usage_us += cost_us;
+  registry_.Set(share.usage_gauge, share.usage_us);
+}
+
+double FleetScheduler::UsageAt(uint32_t tenant_id, SimTime now) const {
+  if (tenant_id >= shares_.size()) {
+    return 0.0;
+  }
+  const TenantShare& share = shares_[tenant_id];
+  if (!share.registered || share.usage_us <= 0.0) {
+    return 0.0;
+  }
+  const int periods = DecayPeriods(share.anchor_us, now, config_.share_half_life_us);
+  // At the cap the share is zero by definition, matching Charge's fold.
+  return periods >= 64 ? 0.0 : Halve(share.usage_us, periods);
+}
+
+void FleetScheduler::ObserveLatency(uint32_t tenant_id, double latency_us) {
+  registry_.Observe(ShareFor(tenant_id).latency_histo, latency_us);
+}
+
+double FleetScheduler::TenantP99Us(uint32_t tenant_id) const {
+  if (tenant_id >= shares_.size() || !shares_[tenant_id].registered) {
+    return 0.0;
+  }
+  const Histogram& histogram = registry_.histogram(shares_[tenant_id].latency_histo);
+  return histogram.count() == 0 ? 0.0 : histogram.ApproxPercentile(0.99);
+}
+
+bool FleetScheduler::TenantSloBlown(uint32_t tenant_id) const {
+  return config_.slo_shed && config_.slo_p99_us > 0.0 &&
+         TenantP99Us(tenant_id) > config_.slo_p99_us;
+}
+
+bool FleetScheduler::BackfillFits(double predicted_service_us, double window_us) const {
+  return config_.backfill && window_us > 0.0 &&
+         predicted_service_us * config_.backfill_slack <= window_us;
+}
+
+void FleetScheduler::ResetRunState() {
+  shares_.clear();
+  registry_.ResetValues();
+}
+
+}  // namespace flo

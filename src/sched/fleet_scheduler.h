@@ -1,0 +1,103 @@
+// FleetScheduler: fleet-wide fair-share state plus the priority and
+// backfill decisions every replica's dispatch consults.
+//
+// One scheduler is shared by every session in a cluster (the way the
+// ObsPlane is), so tenant shares are fleet-wide: a tenant burning
+// executor time on replica 3 loses priority on replica 0 too. All
+// state lives in a live MetricsRegistry — per-tenant usage gauges and
+// latency histograms — updated at event-dispatch time on the sim
+// clock, so decisions are bit-deterministic across reruns, host tune
+// threads, and event-loop backends.
+//
+// Priority is Slurm-shaped: usage-decayed fair share first (lowest
+// served cost wins), request age as the tie-break, and a starvation
+// backstop that lifts any request older than `starvation_age_us` above
+// every non-starving batch. Tenant ids never order anything — interning
+// order is arrival-dependent — only usage, age, and (via the lane list)
+// alphabetical tenant order do.
+#ifndef SRC_SCHED_FLEET_SCHEDULER_H_
+#define SRC_SCHED_FLEET_SCHEDULER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/obs/metrics.h"
+#include "src/sched/sched_config.h"
+#include "src/serve/request_queue.h"
+#include "src/sim/event_queue.h"
+
+namespace flo {
+
+class FleetScheduler {
+ public:
+  explicit FleetScheduler(SchedConfig config) : config_(config) {}
+
+  bool enabled() const { return config_.enabled; }
+  const SchedConfig& config() const { return config_; }
+
+  // The deterministic priority key: starving requests first (oldest
+  // wins), then lowest decayed usage, then oldest arrival. Callers
+  // break remaining ties by their own deterministic scan order.
+  struct Priority {
+    bool starving = false;
+    double usage_us = 0.0;
+    SimTime arrival_us = 0.0;
+  };
+  Priority KeyFor(uint32_t tenant_id, SimTime arrival_us, SimTime now) const;
+  // True when `a` outranks `b`.
+  static bool Before(const Priority& a, const Priority& b);
+
+  // RequestQueue::LanePicker entry point: index (into `heads`) of the
+  // highest-priority lane head at `now`. Ties keep the first head in
+  // the presented (alphabetical-tenant) order.
+  size_t PickLane(const std::vector<RequestQueue::LaneHead>& heads, SimTime now) const;
+
+  // Charges `cost_us` of served predicted-cost to the tenant (once per
+  // request at batch dispatch), folding in half-life decay and
+  // mirroring the share into the live registry gauge.
+  void Charge(uint32_t tenant_id, double cost_us, SimTime now);
+  // The tenant's decayed usage as of `now`; 0 for never-charged tenants.
+  double UsageAt(uint32_t tenant_id, SimTime now) const;
+
+  // Completed-request latency feed for the SLO shed decision.
+  void ObserveLatency(uint32_t tenant_id, double latency_us);
+  // Approximate p99 over the tenant's observed latencies (0 when none).
+  double TenantP99Us(uint32_t tenant_id) const;
+  // True when slo_shed is armed and the tenant's p99 already exceeds
+  // the configured SLO — serving it degraded can no longer help.
+  bool TenantSloBlown(uint32_t tenant_id) const;
+
+  // True when a candidate with this predicted service time fits a
+  // tuning window of `window_us` with the configured slack.
+  bool BackfillFits(double predicted_service_us, double window_us) const;
+
+  // Clears shares and latency state between runs; registry metric
+  // registrations survive (ids are name-stable).
+  void ResetRunState();
+
+  // The live share state (sched.usage_us.<tenant> gauges,
+  // sched.latency_us.<tenant> histograms) — what the priority reads.
+  const MetricsRegistry& registry() const { return registry_; }
+
+ private:
+  struct TenantShare {
+    bool registered = false;
+    double usage_us = 0.0;
+    // Decay is folded in whole half-life periods; the anchor advances
+    // by whole periods so partial periods keep accumulating.
+    SimTime anchor_us = 0.0;
+    MetricsRegistry::Id usage_gauge = 0;
+    MetricsRegistry::Id latency_histo = 0;
+  };
+
+  TenantShare& ShareFor(uint32_t tenant_id);
+
+  SchedConfig config_;
+  MetricsRegistry registry_;
+  // Indexed by interned tenant id (dense, ids start at 1).
+  std::vector<TenantShare> shares_;
+};
+
+}  // namespace flo
+
+#endif  // SRC_SCHED_FLEET_SCHEDULER_H_

@@ -22,6 +22,7 @@ RequestQueue::Lane& RequestQueue::LaneFor(ServeRequest* request) {
   }
   auto lane = std::make_unique<Lane>();
   lane->tenant = request->tenant;
+  lane->tenant_id = request->tenant_id;
   Lane* raw = lane.get();
   // Sorted insert keeps rotation alphabetical; new tenants are rare.
   const auto pos = std::lower_bound(
@@ -67,6 +68,22 @@ std::vector<std::string> RequestQueue::Tenants() const {
 
 size_t RequestQueue::NextLaneIndex() const {
   FLO_CHECK(!empty());
+  if (picker_ != nullptr) {
+    heads_scratch_.clear();
+    for (size_t index = 0; index < lanes_.size(); ++index) {
+      const Lane& lane = *lanes_[index];
+      if (lane.queue.empty()) {
+        continue;
+      }
+      heads_scratch_.push_back(LaneHead{&lane.tenant, lane.tenant_id,
+                                        lane.queue.front().key,
+                                        lane.queue.front().request.arrival_us,
+                                        lane.queue.size(), index});
+    }
+    const size_t pick = picker_(heads_scratch_);
+    FLO_CHECK_LT(pick, heads_scratch_.size());
+    return heads_scratch_[pick].lane_index;
+  }
   // First non-empty lane strictly after the last choice, wrapping.
   const auto start = std::upper_bound(
       lanes_.begin(), lanes_.end(), last_tenant_,
@@ -86,6 +103,53 @@ size_t RequestQueue::NextLaneIndex() const {
 
 uint64_t RequestQueue::PeekKey() const {
   return lanes_[NextLaneIndex()]->queue.front().key;
+}
+
+RequestQueue::BatchPreview RequestQueue::PreviewBatch(int max_batch) const {
+  if (empty()) {
+    return BatchPreview{};
+  }
+  return PreviewAt(NextLaneIndex(), max_batch);
+}
+
+void RequestQueue::PreviewLanes(int max_batch, std::vector<BatchPreview>* out) const {
+  FLO_CHECK(out != nullptr);
+  out->clear();
+  for (size_t index = 0; index < lanes_.size(); ++index) {
+    if (!lanes_[index]->queue.empty()) {
+      out->push_back(PreviewAt(index, max_batch));
+    }
+  }
+}
+
+RequestQueue::BatchPreview RequestQueue::PreviewAt(size_t chosen, int max_batch) const {
+  FLO_CHECK_GT(max_batch, 0);
+  BatchPreview preview;
+  preview.key = lanes_[chosen]->queue.front().key;
+  preview.tenant_id = lanes_[chosen]->tenant_id;
+  const size_t cap = static_cast<size_t>(max_batch);
+  // Mirror PopBatchInto's gather — the chosen lane's same-key run, then
+  // the other lanes' same-key head runs in rotation order — by walking
+  // the deques without popping.
+  auto scan = [&](const std::deque<Pending>& queue) {
+    for (const Pending& pending : queue) {
+      if (pending.key != preview.key || preview.size >= cap) {
+        break;
+      }
+      if (preview.size == 0 || pending.request.arrival_us < preview.oldest_arrival_us) {
+        preview.oldest_arrival_us = pending.request.arrival_us;
+      }
+      ++preview.size;
+    }
+  };
+  scan(lanes_[chosen]->queue);
+  for (size_t i = chosen + 1; i < lanes_.size(); ++i) {
+    scan(lanes_[i]->queue);
+  }
+  for (size_t i = 0; i < chosen; ++i) {
+    scan(lanes_[i]->queue);
+  }
+  return preview;
 }
 
 size_t RequestQueue::DrainInto(std::vector<ServeRequest>* out) {
@@ -119,7 +183,24 @@ uint64_t RequestQueue::PopBatchInto(int max_batch, std::vector<ServeRequest>* ou
   if (empty()) {
     return 0;
   }
-  const size_t chosen = NextLaneIndex();
+  return PopAt(NextLaneIndex(), max_batch, out);
+}
+
+uint64_t RequestQueue::PopLaneBatchInto(uint32_t tenant_id, int max_batch,
+                                        std::vector<ServeRequest>* out) {
+  FLO_CHECK_GT(max_batch, 0);
+  FLO_CHECK(out != nullptr);
+  out->clear();
+  for (size_t index = 0; index < lanes_.size(); ++index) {
+    if (lanes_[index]->tenant_id == tenant_id && !lanes_[index]->queue.empty()) {
+      return PopAt(index, max_batch, out);
+    }
+  }
+  FLO_CHECK(false) << "no queued lane for tenant id " << tenant_id;
+  return 0;  // unreachable
+}
+
+uint64_t RequestQueue::PopAt(size_t chosen, int max_batch, std::vector<ServeRequest>* out) {
   last_tenant_ = lanes_[chosen]->tenant;
   const uint64_t key = lanes_[chosen]->queue.front().key;
   // The chosen tenant's consecutive same-key run first, then the other

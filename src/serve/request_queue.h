@@ -33,7 +33,28 @@ class RequestQueue {
   // OverlapPlanner::CanonicalKey). Keys are computed once, at admission.
   using Keyer = std::function<uint64_t(const ScenarioSpec&)>;
 
+  // A non-empty lane's head, as seen by a LanePicker: the oldest queued
+  // request's key and arrival plus the lane's identity and depth. Heads
+  // are presented in lane (alphabetical tenant) order.
+  struct LaneHead {
+    const std::string* tenant = nullptr;
+    uint32_t tenant_id = 0;
+    uint64_t key = 0;
+    SimTime arrival_us = 0.0;
+    size_t depth = 0;
+    size_t lane_index = 0;  // internal index, echoed back by the picker
+  };
+  // Ranks the non-empty lane heads and returns the index (into the
+  // presented vector) of the lane the next batch should form around.
+  // Installed by the fleet scheduler; when absent, lane choice is the
+  // historical round-robin rotation.
+  using LanePicker = std::function<size_t(const std::vector<LaneHead>&)>;
+
   explicit RequestQueue(Keyer keyer);
+
+  // Replaces round-robin rotation with scheduler-ranked lane choice for
+  // PeekKey/PopBatch/PreviewBatch. Pass nullptr to restore rotation.
+  void SetLanePicker(LanePicker picker) { picker_ = std::move(picker); }
 
   void Admit(ServeRequest request);
 
@@ -62,6 +83,31 @@ class RequestQueue {
   // routing before committing to the pop.
   uint64_t PeekKey() const;
 
+  // Exactly what the next PopBatchInto(max_batch, ...) would form —
+  // same key, same request count, and the batch's oldest arrival —
+  // without popping. size == 0 iff the queue is empty. Backfill uses
+  // this to fit-check a queue batch before committing to the pop.
+  struct BatchPreview {
+    uint64_t key = 0;
+    uint32_t tenant_id = 0;
+    size_t size = 0;
+    SimTime oldest_arrival_us = 0.0;
+  };
+  BatchPreview PreviewBatch(int max_batch) const;
+
+  // One preview per non-empty lane, in lane (alphabetical tenant) order:
+  // the batch a pop formed around that lane's head would gather. The
+  // backfill scan uses these to find warm fillers in lanes the ranked
+  // pick passes over (the top lane may be cold and blocked). *out is
+  // cleared first, capacity kept.
+  void PreviewLanes(int max_batch, std::vector<BatchPreview>* out) const;
+
+  // Pops the batch formed around `tenant_id`'s lane head — exactly what
+  // PreviewLanes reported for that lane. Requires a non-empty lane for
+  // the tenant. Returns the batch's plan key.
+  uint64_t PopLaneBatchInto(uint32_t tenant_id, int max_batch,
+                            std::vector<ServeRequest>* out);
+
   // Moves every queued request into *out (appended in lane order, FIFO
   // within a lane) and empties the queue. Deterministic: lane order is
   // alphabetical by tenant. Fault recovery uses this to evacuate a failed
@@ -75,6 +121,7 @@ class RequestQueue {
   };
   struct Lane {
     std::string tenant;
+    uint32_t tenant_id = 0;
     std::deque<Pending> queue;
   };
 
@@ -82,8 +129,15 @@ class RequestQueue {
   Lane& LaneFor(ServeRequest* request);
   // Index of the lane whose head defines the next batch. Requires !empty().
   size_t NextLaneIndex() const;
+  // The batch a pop formed around lane `chosen`'s head would gather.
+  BatchPreview PreviewAt(size_t chosen, int max_batch) const;
+  // Pops the batch formed around lane `chosen`'s head into *out.
+  uint64_t PopAt(size_t chosen, int max_batch, std::vector<ServeRequest>* out);
 
   Keyer keyer_;
+  LanePicker picker_;
+  // Scratch for building the picker's head list without reallocating.
+  mutable std::vector<LaneHead> heads_scratch_;
   // Sorted by tenant name; unique_ptr keeps Lane addresses stable across
   // the (rare) sorted insert of a new tenant.
   std::vector<std::unique_ptr<Lane>> lanes_;

@@ -30,6 +30,7 @@
 
 namespace flo {
 
+class FleetScheduler;
 class ObsPlane;
 class RequestCursor;
 
@@ -80,6 +81,12 @@ struct ServeConfig {
   // leave every timeline, report, and random draw bit-identical to a
   // build without observability.
   ObsPlane* obs = nullptr;
+  // Fleet scheduler (src/sched): fair-share priority over the tenant
+  // lanes, latency-predicted backfill into cold-tuning windows, and the
+  // SLO shed decision. Borrowed; must outlive the run. nullptr (the
+  // default) — and a scheduler whose SchedConfig::enabled is false —
+  // leave dispatch bit-identical to the pre-sched FIFO build.
+  FleetScheduler* sched = nullptr;
 };
 
 struct ServeReport {
@@ -101,6 +108,16 @@ struct ServeReport {
   // Both zero on fault-free runs.
   size_t tuner_retries = 0;
   size_t degraded_requests = 0;
+  // Fleet scheduling (src/sched), all zero with the scheduler off:
+  // warm batches backfilled into tuning windows, executor-idle
+  // reservations held for a blocked head (and their total idle time),
+  // backfills that overran a tuned head's start, and degraded-mode
+  // requests shed over a blown SLO.
+  size_t backfills = 0;
+  size_t sched_reserves = 0;
+  double reserve_idle_us = 0.0;
+  size_t head_delays = 0;
+  size_t shed_requests = 0;
 
   double ThroughputPerSec() const {
     return makespan_us > 0.0 ? static_cast<double>(stats.count()) / makespan_us * 1e6 : 0.0;

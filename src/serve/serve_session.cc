@@ -1,9 +1,11 @@
 #include "src/serve/serve_session.h"
 
 #include <algorithm>
+#include <limits>
 #include <utility>
 
 #include "src/obs/obs_plane.h"
+#include "src/sched/fleet_scheduler.h"
 #include "src/util/check.h"
 #include "src/util/rng.h"
 
@@ -57,6 +59,15 @@ ServeSession::ServeSession(OverlapEngine* engine, ServeConfig config, EventLoop*
       [this](const EventRecord& record, SimTime now) { OnBatchFinished(record, now); });
   retry_handler_ = events_->RegisterHandler(
       [this](const EventRecord&, SimTime now) { Dispatch(now); });
+  if (config_.sched != nullptr && config_.sched->enabled()) {
+    sched_ = config_.sched;
+    // Scheduler-ranked lane choice replaces round-robin rotation; the
+    // queue is clockless, so the picker reads the dispatch round's time
+    // from sched_now_.
+    queue_.SetLanePicker([this](const std::vector<RequestQueue::LaneHead>& heads) {
+      return sched_->PickLane(heads, sched_now_);
+    });
+  }
 }
 
 void ServeSession::Admit(ServeRequest request, SimTime now) {
@@ -108,11 +119,53 @@ void ServeSession::ReleaseSlot(uint32_t slot) {
   batch.tune_retries = 0;
   batch.not_before_us = 0.0;
   batch.charged_searches = 0;
+  batch.tenant_id = 0;
+  batch.oldest_arrival_us = 0.0;
+  batch.tune_eta_us = 0.0;
+  batch.backfilled = false;
   free_slots_.push_back(slot);
 }
 
 bool ServeSession::IsWarm(uint64_t key) const {
   return engine_->plan_store().Contains(key) && tuning_keys_.count(key) == 0;
+}
+
+uint64_t ServeSession::PopQueueBatch(uint32_t batch_slot) {
+  Batch& batch = batch_pool_[batch_slot];
+  batch.key = queue_.PopBatchInto(config_.max_batch, &batch.requests);
+  batch.tenant_id = batch.requests.front().tenant_id;
+  batch.oldest_arrival_us = batch.requests.front().arrival_us;
+  for (const ServeRequest& request : batch.requests) {
+    if (request.arrival_us < batch.oldest_arrival_us) {
+      batch.oldest_arrival_us = request.arrival_us;
+    }
+  }
+  return batch.key;
+}
+
+uint64_t ServeSession::PopQueueLaneBatch(uint32_t batch_slot, uint32_t tenant_id) {
+  Batch& batch = batch_pool_[batch_slot];
+  batch.key = queue_.PopLaneBatchInto(tenant_id, config_.max_batch, &batch.requests);
+  batch.tenant_id = batch.requests.front().tenant_id;
+  batch.oldest_arrival_us = batch.requests.front().arrival_us;
+  for (const ServeRequest& request : batch.requests) {
+    if (request.arrival_us < batch.oldest_arrival_us) {
+      batch.oldest_arrival_us = request.arrival_us;
+    }
+  }
+  return batch.key;
+}
+
+double ServeSession::PredictedServiceUs(const Batch& batch) const {
+  if (batch.degraded) {
+    // The safety plan's cost has no stored estimate; never backfill it.
+    return std::numeric_limits<double>::infinity();
+  }
+  const auto predicted = engine_->plan_store().PeekPredictedUs(batch.key);
+  if (!predicted.has_value()) {
+    return std::numeric_limits<double>::infinity();
+  }
+  return *predicted * static_cast<double>(batch.requests.size()) * cost_multiplier_;
 }
 
 int ServeSession::TunerLaneTarget() const {
@@ -145,6 +198,11 @@ void ServeSession::MergeOrPark(Lane* lane, uint32_t batch_slot) {
       for (ServeRequest& request : incoming.requests) {
         existing.requests.push_back(std::move(request));
       }
+      // Priority metadata follows the merged requests: the coalesced
+      // batch is as old as its oldest member.
+      if (incoming.oldest_arrival_us < existing.oldest_arrival_us) {
+        existing.oldest_arrival_us = incoming.oldest_arrival_us;
+      }
       ReleaseSlot(batch_slot);
       return;
     }
@@ -160,6 +218,7 @@ void ServeSession::FinishTuningAt(uint32_t batch_slot, double cost, size_t searc
                                   SimTime now) {
   report_.tuner_busy_us += cost;
   Batch& batch = batch_pool_[batch_slot];
+  batch.tune_eta_us = now + cost;  // the backfill window's far edge
   tuning_requests_ += batch.requests.size();
   // Remember the charge so a retry after an injected abort re-pays it
   // even though the tuner's own cache is warm by then.
@@ -211,6 +270,21 @@ void ServeSession::OnTuningFinished(const EventRecord& record, SimTime now) {
   }
   tuning_keys_.erase(key);
   tuning_requests_ -= batch_pool_[batch_slot].requests.size();
+  // Backfill audit: a lower-priority batch slotted into this batch's
+  // tuning window must be off the executor by the time the tune
+  // completes. Equal-time events dispatch the tune finish before the
+  // batch finish (FIFO seq order), so busy_until_ == now counts as an
+  // exact fit, not a delay.
+  if (sched_ != nullptr && executing_slot_ >= 0) {
+    const Batch& running = batch_pool_[static_cast<uint32_t>(executing_slot_)];
+    const Batch& tuned = batch_pool_[batch_slot];
+    if (running.backfilled && busy_until_ > now &&
+        FleetScheduler::Before(
+            sched_->KeyFor(tuned.tenant_id, tuned.oldest_arrival_us, now),
+            sched_->KeyFor(running.tenant_id, running.oldest_arrival_us, now))) {
+      ++report_.head_delays;
+    }
+  }
   // Copied out: Dispatch below may execute and recycle the slot.
   const ScenarioSpec spec = batch_pool_[batch_slot].requests.front().spec;
   ready_.push_back(batch_slot);
@@ -231,8 +305,46 @@ void ServeSession::AbortTuning(uint32_t batch_slot, uint64_t key, SimTime now) {
   // the simulated cost on the retry.
   engine_->plan_store().Erase(key);
   if (batch.tune_retries > fault_policy_.tuner_retry_budget) {
-    // Budget exhausted: serve the batch on the single-group safety plan
-    // instead of retrying forever.
+    // Budget exhausted: the batch is bound for the single-group safety
+    // plan. SLO-aware shed first (SchedConfig::slo_shed): requests of
+    // tenants whose p99 is already blown are dropped rather than served
+    // degraded — slow safety-plan work can no longer rescue their SLO
+    // and only queues more delay behind it.
+    if (sched_ != nullptr && sched_->config().slo_shed) {
+      size_t kept = 0;
+      for (ServeRequest& request : batch.requests) {
+        if (sched_->TenantSloBlown(request.tenant_id)) {
+          ++report_.shed_requests;
+          FLO_CHECK_GT(pending_requests_, 0u);
+          --pending_requests_;
+          if (Observing(config_)) {
+            SpanRecord span;
+            span.kind = SpanKind::kSchedShed;
+            span.start_us = now;
+            span.end_us = now;
+            span.id = static_cast<uint64_t>(request.id);
+            span.tenant = request.tenant_id;
+            span.replica = replica_id_;
+            config_.obs->Emit(span);
+          }
+          if (hooks_.request_shed) {
+            hooks_.request_shed(request, now);
+          }
+        } else {
+          batch.requests[kept++] = std::move(request);
+        }
+      }
+      batch.requests.resize(kept);
+    }
+    if (batch.requests.empty()) {
+      // Every request shed: nothing left to serve degraded.
+      ReleaseSlot(batch_slot);
+      if (hooks_.tuning_aborted) {
+        hooks_.tuning_aborted(key, now);
+      }
+      Dispatch(now);
+      return;
+    }
     batch.degraded = true;
     if (Observing(config_)) {
       SpanRecord span;
@@ -335,6 +447,26 @@ size_t ServeSession::ExtractPending(std::vector<ServeRequest>* out) {
   return extracted;
 }
 
+size_t ServeSession::ExtractQueued(std::vector<ServeRequest>* out) {
+  FLO_CHECK(out != nullptr);
+  const size_t drained = queue_.DrainInto(out);
+  FLO_CHECK_GE(pending_requests_, drained);
+  pending_requests_ -= drained;
+  return drained;
+}
+
+SimTime ServeSession::TuningEtaFor(uint64_t key) const {
+  SimTime eta = -1.0;
+  for (const uint32_t s : tuning_slots_) {
+    const Batch& batch = batch_pool_[s];
+    if (batch.key == key && !batch.cancelled &&
+        (eta < 0.0 || batch.tune_eta_us < eta)) {
+      eta = batch.tune_eta_us;
+    }
+  }
+  return eta;
+}
+
 void ServeSession::StartTuning(uint32_t batch_slot, SimTime now) {
   ++tuners_busy_;
   tuning_keys_.insert(batch_pool_[batch_slot].key);
@@ -386,6 +518,9 @@ void ServeSession::StartTuningGroup(std::vector<uint32_t> group, SimTime now) {
 
 void ServeSession::ExecuteBatch(uint32_t batch_slot, SimTime now) {
   Batch& batch = batch_pool_[batch_slot];
+  if (sched_ != nullptr) {
+    EndReservation(now);  // the executor is running again
+  }
   executor_free_ = false;
   executing_slot_ = batch_slot;
   ++report_.batches;
@@ -427,6 +562,13 @@ void ServeSession::ExecuteBatch(uint32_t batch_slot, SimTime now) {
   }
   if (cost_multiplier_ != 1.0) {
     service_us *= cost_multiplier_;  // straggler injection (src/fault)
+  }
+  if (sched_ != nullptr) {
+    // Fair share charges served predicted-cost per request at dispatch,
+    // on the shared fleet-wide scheduler.
+    for (const ServeRequest& request : batch.requests) {
+      sched_->Charge(request.tenant_id, run.total_us, now);
+    }
   }
   report_.executor_busy_us += service_us;
   const SimTime finish = now + service_us;
@@ -500,6 +642,10 @@ void ServeSession::OnBatchFinished(const EventRecord& record, SimTime now) {
   }
   finished_scratch_.clear();
   for (ServeRequest& request : batch.requests) {
+    if (sched_ != nullptr) {
+      // Completed-latency feed for the SLO shed decision.
+      sched_->ObserveLatency(request.tenant_id, finish - request.arrival_us);
+    }
     RequestRecord finished;
     finished.id = request.id;
     finished.tenant = std::move(request.tenant);
@@ -535,6 +681,7 @@ void ServeSession::Dispatch(SimTime now) {
   if (stalled_) {
     return;  // crashed or hung replica: nothing starts until restored
   }
+  sched_now_ = now;  // the lane picker's clock for this round
   // Release batches whose key went warm (an earlier same-key batch
   // finished tuning, or a peer shipped the plan into the store) from the
   // waiting room first — even while the lane is busy with another key, or
@@ -598,7 +745,7 @@ void ServeSession::Dispatch(SimTime now) {
         !key_busy(queue_.PeekKey()) && vetoed.count(queue_.PeekKey()) == 0) {
       if (acquire(queue_.PeekKey())) {
         const uint32_t s = AcquireSlot();
-        batch_pool_[s].key = queue_.PopBatchInto(config_.max_batch, &batch_pool_[s].requests);
+        PopQueueBatch(s);
         batch_pool_[s].tuned = true;
         starting.push_back(s);
         continue;
@@ -606,7 +753,7 @@ void ServeSession::Dispatch(SimTime now) {
       // Vetoed head: move it off the queue so warm work behind it keeps
       // flowing; it waits for the peer's plan like any parked cold batch.
       const uint32_t s = AcquireSlot();
-      batch_pool_[s].key = queue_.PopBatchInto(config_.max_batch, &batch_pool_[s].requests);
+      PopQueueBatch(s);
       batch_pool_[s].tuned = true;
       MergeOrPark(&tune_wait_, s);
       continue;
@@ -622,6 +769,10 @@ void ServeSession::Dispatch(SimTime now) {
   } else if (!starting.empty()) {
     StartTuningGroup(std::move(starting), now);
   }
+  if (sched_ != nullptr) {
+    DispatchExecutorSched(now, tuner_lanes, &vetoed);
+    return;
+  }
   while (executor_free_) {
     if (!ready_.empty()) {
       const uint32_t s = ready_.front();
@@ -633,7 +784,7 @@ void ServeSession::Dispatch(SimTime now) {
       return;
     }
     const uint32_t s = AcquireSlot();
-    batch_pool_[s].key = queue_.PopBatchInto(config_.max_batch, &batch_pool_[s].requests);
+    PopQueueBatch(s);
     if (config_.overlap_tuning && !IsWarm(batch_pool_[s].key)) {
       batch_pool_[s].tuned = true;  // it will wait on the cold-plan path
       if (tuners_busy_ < tuner_lanes && tuning_keys_.count(batch_pool_[s].key) == 0 &&
@@ -645,6 +796,213 @@ void ServeSession::Dispatch(SimTime now) {
       continue;  // a warm batch may be waiting behind the cold one
     }
     ExecuteBatch(s, now);
+  }
+}
+
+// The scheduler-ordered executor stage. Candidate units, each carrying a
+// priority key:
+//   ready batches        — can run immediately;
+//   the queue's preview  — what the next pop would form (warm or cold);
+//   tuning-lane batches  — blocked until their tune's ETA.
+// The highest-priority unit wins (ties: ready, then queue, then tuning,
+// then scan order — all deterministic). A winning tuning batch cannot
+// run, so the window until its ETA is backfilled with the best
+// lower-priority warm batch that provably fits (predicted service x
+// slack, against the ETA of every tuning batch that outranks the
+// candidate — the head job is never delayed); when nothing fits, the
+// executor idles reserved.
+void ServeSession::DispatchExecutorSched(SimTime now, int tuner_lanes,
+                                         std::set<uint64_t>* vetoed) {
+  auto acquire = [&](uint64_t key) {
+    if (!hooks_.acquire_tuning || hooks_.acquire_tuning(key)) {
+      return true;
+    }
+    vetoed->insert(key);
+    return false;
+  };
+  while (executor_free_) {
+    // Class 0 = ready, 1 = queue preview, 2 = blocked on tuning.
+    int best_class = -1;
+    size_t best_index = 0;
+    FleetScheduler::Priority best_priority;
+    auto offer = [&](int cls, size_t index, const FleetScheduler::Priority& priority) {
+      if (best_class == -1 || FleetScheduler::Before(priority, best_priority)) {
+        best_class = cls;
+        best_index = index;
+        best_priority = priority;
+      }
+    };
+    for (size_t i = 0; i < ready_.size(); ++i) {
+      const Batch& batch = batch_pool_[ready_[i]];
+      offer(0, i, sched_->KeyFor(batch.tenant_id, batch.oldest_arrival_us, now));
+    }
+    RequestQueue::BatchPreview preview;
+    if (!queue_.empty()) {
+      preview = queue_.PreviewBatch(config_.max_batch);
+      offer(1, 0, sched_->KeyFor(preview.tenant_id, preview.oldest_arrival_us, now));
+    }
+    for (size_t i = 0; i < tuning_slots_.size(); ++i) {
+      const Batch& batch = batch_pool_[tuning_slots_[i]];
+      if (batch.cancelled || batch.tune_failed) {
+        continue;  // will never reach ready
+      }
+      offer(2, i, sched_->KeyFor(batch.tenant_id, batch.oldest_arrival_us, now));
+    }
+    if (best_class == -1) {
+      return;  // nothing runnable or pending a known ETA
+    }
+    if (best_class == 0) {
+      const uint32_t s = ready_[best_index];
+      ready_.erase(ready_.begin() + static_cast<Lane::difference_type>(best_index));
+      ExecuteBatch(s, now);
+      return;
+    }
+    if (best_class == 1) {
+      const uint32_t s = AcquireSlot();
+      PopQueueBatch(s);
+      if (config_.overlap_tuning && !IsWarm(batch_pool_[s].key)) {
+        batch_pool_[s].tuned = true;
+        if (tuners_busy_ < tuner_lanes && tuning_keys_.count(batch_pool_[s].key) == 0 &&
+            vetoed->count(batch_pool_[s].key) == 0 && acquire(batch_pool_[s].key)) {
+          StartTuning(s, now);
+        } else {
+          MergeOrPark(&tune_wait_, s);
+        }
+        continue;  // re-rank: the next-best unit may run meanwhile
+      }
+      ExecuteBatch(s, now);
+      return;
+    }
+    // The head of the line is blocked on tuning: backfill its window or
+    // hold the executor for it. A candidate fits only against the
+    // earliest ETA among tuning batches that outrank it, so no tuned
+    // batch — this one or a later-finishing higher-priority one — is
+    // ever delayed by the backfill.
+    const Batch& blocked = batch_pool_[tuning_slots_[best_index]];
+    auto window_for = [&](const FleetScheduler::Priority& candidate) {
+      double window = std::numeric_limits<double>::infinity();
+      for (const uint32_t s : tuning_slots_) {
+        const Batch& tuning = batch_pool_[s];
+        if (tuning.cancelled || tuning.tune_failed) {
+          continue;
+        }
+        const FleetScheduler::Priority priority =
+            sched_->KeyFor(tuning.tenant_id, tuning.oldest_arrival_us, now);
+        if (FleetScheduler::Before(priority, candidate) &&
+            tuning.tune_eta_us - now < window) {
+          window = tuning.tune_eta_us - now;
+        }
+      }
+      return window;
+    };
+    int fill_class = -1;
+    size_t fill_index = 0;
+    uint32_t fill_tenant = 0;
+    FleetScheduler::Priority fill_priority;
+    if (sched_->config().backfill) {
+      for (size_t i = 0; i < ready_.size(); ++i) {
+        const Batch& batch = batch_pool_[ready_[i]];
+        const FleetScheduler::Priority priority =
+            sched_->KeyFor(batch.tenant_id, batch.oldest_arrival_us, now);
+        if (!sched_->BackfillFits(PredictedServiceUs(batch), window_for(priority))) {
+          continue;
+        }
+        if (fill_class == -1 || FleetScheduler::Before(priority, fill_priority)) {
+          fill_class = 0;
+          fill_index = i;
+          fill_priority = priority;
+        }
+      }
+      // Every lane's head batch is a filler candidate, not just the
+      // ranked pick's: the top lane is often the blocked tenant's own
+      // (cold, unpoppable), while warm work waits in lanes it outranks.
+      queue_.PreviewLanes(config_.max_batch, &lane_previews_);
+      for (const RequestQueue::BatchPreview& lane : lane_previews_) {
+        if (lane.size == 0 || !IsWarm(lane.key)) {
+          continue;
+        }
+        const FleetScheduler::Priority priority =
+            sched_->KeyFor(lane.tenant_id, lane.oldest_arrival_us, now);
+        const auto predicted = engine_->plan_store().PeekPredictedUs(lane.key);
+        if (predicted.has_value() &&
+            sched_->BackfillFits(
+                *predicted * static_cast<double>(lane.size) * cost_multiplier_,
+                window_for(priority)) &&
+            (fill_class == -1 || FleetScheduler::Before(priority, fill_priority))) {
+          fill_class = 1;
+          fill_tenant = lane.tenant_id;
+          fill_priority = priority;
+        }
+      }
+    }
+    if (fill_class == 0) {
+      const uint32_t s = ready_[fill_index];
+      ready_.erase(ready_.begin() + static_cast<Lane::difference_type>(fill_index));
+      batch_pool_[s].backfilled = true;
+      ++report_.backfills;
+      if (Observing(config_)) {
+        SpanRecord span;
+        span.kind = SpanKind::kSchedBackfill;
+        span.start_us = now;
+        span.end_us = now;
+        span.id = batch_pool_[s].key;
+        span.arg = batch_pool_[s].requests.size();
+        span.tenant = batch_pool_[s].tenant_id;
+        span.replica = replica_id_;
+        config_.obs->Emit(span);
+      }
+      ExecuteBatch(s, now);
+      return;
+    }
+    if (fill_class == 1) {
+      const uint32_t s = AcquireSlot();
+      // Exactly the previewed lane batch: same key, same size.
+      PopQueueLaneBatch(s, fill_tenant);
+      batch_pool_[s].backfilled = true;
+      ++report_.backfills;
+      if (Observing(config_)) {
+        SpanRecord span;
+        span.kind = SpanKind::kSchedBackfill;
+        span.start_us = now;
+        span.end_us = now;
+        span.id = batch_pool_[s].key;
+        span.arg = batch_pool_[s].requests.size();
+        span.tenant = batch_pool_[s].tenant_id;
+        span.replica = replica_id_;
+        config_.obs->Emit(span);
+      }
+      ExecuteBatch(s, now);
+      return;
+    }
+    BeginReservation(blocked.key, now);
+    return;
+  }
+}
+
+void ServeSession::BeginReservation(uint64_t key, SimTime now) {
+  if (reserving_) {
+    return;  // already held (possibly for an earlier blocked head)
+  }
+  reserving_ = true;
+  reserve_start_us_ = now;
+  reserve_key_ = key;
+  ++report_.sched_reserves;
+}
+
+void ServeSession::EndReservation(SimTime now) {
+  if (!reserving_) {
+    return;
+  }
+  reserving_ = false;
+  report_.reserve_idle_us += now - reserve_start_us_;
+  if (Observing(config_)) {
+    SpanRecord span;
+    span.kind = SpanKind::kSchedReserve;
+    span.start_us = reserve_start_us_;
+    span.end_us = now;
+    span.id = reserve_key_;
+    span.replica = replica_id_;
+    config_.obs->Emit(span);
   }
 }
 

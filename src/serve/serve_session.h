@@ -54,6 +54,11 @@ class ServeSession {
     // or degrade. A fleet releases its single-flight ownership here so a
     // peer may pick the search up.
     std::function<void(uint64_t key, SimTime now)> tuning_aborted;
+    // Called for every request the scheduler sheds at the degraded-mode
+    // boundary (SchedConfig::slo_shed): the request will never execute,
+    // and the owner must count it as settled. Only fires with a fleet
+    // scheduler attached.
+    std::function<void(const ServeRequest& request, SimTime now)> request_shed;
   };
 
   // Retry/backoff knobs for injected tuner-lane faults (src/fault). The
@@ -126,6 +131,17 @@ class ServeSession {
   // ready lane, tune-wait lane, tuning slots, then queue lanes.
   size_t ExtractPending(std::vector<ServeRequest>* out);
 
+  // --- Fleet-scheduling surface (src/sched) --------------------------
+  // Evacuates only the admission queue — requests never batched, tuned,
+  // or dispatched — into *out (lane order, FIFO within a lane) for
+  // preemptive re-placement through the router. Cheaper and safer than
+  // ExtractPending: in-flight tuning and ready batches stay put.
+  size_t ExtractQueued(std::vector<ServeRequest>* out);
+  // Expected completion of the in-flight tuning for `key` (the tuning
+  // lane's ETA); negative when the key is not tuning here. The backfill
+  // window every fit-check is measured against.
+  SimTime TuningEtaFor(uint64_t key) const;
+
  private:
   struct Batch {
     std::vector<ServeRequest> requests;
@@ -150,6 +166,15 @@ class ServeSession {
     int tune_retries = 0;
     SimTime not_before_us = 0.0;
     size_t charged_searches = 0;
+    // Fleet-scheduling metadata (src/sched), set at pop time: the
+    // tenant and oldest arrival behind the batch's priority key, the
+    // in-flight tune's expected completion (the backfill window), and
+    // whether the batch was slotted into another batch's tuning window
+    // (the head-delay audit flags it if it overruns).
+    uint32_t tenant_id = 0;
+    SimTime oldest_arrival_us = 0.0;
+    SimTime tune_eta_us = 0.0;
+    bool backfilled = false;
   };
   // Lanes hold slots into the batch pool: batches (and their request
   // vectors) are recycled instead of allocated per dispatch.
@@ -158,6 +183,25 @@ class ServeSession {
   uint32_t AcquireSlot();
   void ReleaseSlot(uint32_t slot);
   Batch& slot(uint32_t s) { return batch_pool_[s]; }
+
+  // Pops the queue's next batch into `batch_slot`, recording the
+  // priority metadata (tenant, oldest arrival) every pop site needs.
+  uint64_t PopQueueBatch(uint32_t batch_slot);
+  // Lane-targeted variant: pops the batch formed around `tenant_id`'s
+  // lane head (the backfill scan commits to a specific previewed lane,
+  // which may not be the ranked pick).
+  uint64_t PopQueueLaneBatch(uint32_t batch_slot, uint32_t tenant_id);
+  // Predicted executor service time for a warm batch, from the stored
+  // plan's estimate (no store stats, no LRU touch); +inf when the plan
+  // is missing or the batch is degraded — i.e. never backfillable.
+  double PredictedServiceUs(const Batch& batch) const;
+  // The scheduler-ordered executor stage: picks the highest-priority
+  // unit among ready batches, the queue's next batch, and
+  // tuning-blocked batches; backfills or reserves when the winner is
+  // still tuning. Replaces the FIFO executor loop when sched_ is set.
+  void DispatchExecutorSched(SimTime now, int tuner_lanes, std::set<uint64_t>* vetoed);
+  void BeginReservation(uint64_t key, SimTime now);
+  void EndReservation(SimTime now);
 
   bool IsWarm(uint64_t key) const;
   // The cold-tuning lane-pool size for this dispatch round: the static
@@ -214,8 +258,24 @@ class ServeSession {
   bool stalled_ = false;
   double cost_multiplier_ = 1.0;
   FaultPolicy fault_policy_;
+  // Fleet scheduler (src/sched): non-null only when ServeConfig::sched
+  // is set AND enabled, so every sched branch is one pointer test and a
+  // null scheduler is bit-identical to the pre-sched build.
+  FleetScheduler* sched_ = nullptr;
+  // The dispatch round's sim time, visible to the queue's lane picker
+  // (the queue itself is clockless).
+  SimTime sched_now_ = 0.0;
+  // Executor-reservation state: while the highest-priority batch is
+  // blocked on tuning and nothing fits its window, the executor idles
+  // "reserved"; the span and idle total are settled when it next runs.
+  bool reserving_ = false;
+  SimTime reserve_start_us_ = 0.0;
+  uint64_t reserve_key_ = 0;
   // Scratch for OnBatchFinished's hook fan-out; reused across events.
   std::vector<RequestRecord> finished_scratch_;
+  // Scratch for the backfill scan's per-lane previews; reused across
+  // dispatches.
+  std::vector<RequestQueue::BatchPreview> lane_previews_;
   ServeReport report_;
 };
 

@@ -28,6 +28,10 @@ enum class EventType : uint8_t {
   kHealthRestore,
   kHangDetect,
   kRetryKick,
+  // Fleet scheduler (src/sched): the periodic preemptive-requeue scan
+  // pulling not-yet-dispatched work off draining/straggling/overloaded
+  // replicas back through the router.
+  kSchedCheck,
 };
 
 // One scheduled event. The payload is deliberately tiny: a canonical key

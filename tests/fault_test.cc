@@ -111,6 +111,7 @@ void ExpectSameFaultReport(const FaultReport& a, const FaultReport& b) {
   EXPECT_EQ(a.plans_rewarmed, b.plans_rewarmed);
   EXPECT_EQ(a.replica_restarts, b.replica_restarts);
   EXPECT_EQ(a.ship_drops, b.ship_drops);
+  EXPECT_EQ(a.requests_shed, b.requests_shed);
 }
 
 void ExpectSameRecords(const FleetReport& a, const FleetReport& b) {
@@ -309,6 +310,50 @@ TEST(FaultInjectionTest, TunerFaultPastBudgetDegradesToSafetyPlan) {
   EXPECT_EQ(report.fault.tuner_retries, 0u);
   EXPECT_GT(report.fault.requests_degraded, 0u);
   EXPECT_EQ(report.stats.degraded_requests(), report.fault.requests_degraded);
+
+  // Deterministic under rerun.
+  const FleetReport again = RunFleet(config, trace, &schedule);
+  ExpectSameFaultReport(again.fault, report.fault);
+  ExpectSameRecords(report, again);
+}
+
+TEST(FaultInjectionTest, SloShedDropsBlownTenantsAtTheDegradePoint) {
+  // A first cold key's ~20ms search blows the tenant's 1ms SLO as soon
+  // as its batch completes. A second cold key's search is then aborted
+  // by a scripted tuner fault with a zero retry budget: at the degrade
+  // point the batch's requests belong to a tenant whose p99 is already
+  // past its SLO, so SLO-aware shed drops them instead of serving the
+  // safety plan. Shed requests are counted in the FaultReport, mirrored
+  // in the SchedReport, and never reach an executor.
+  const auto trace = MergeStreams(
+      {MakeRequestStream("llm", {SmallSpec(1024)}, PoissonArrivals(500.0, 12, 3), 0),
+       MakeRequestStream("llm", {SmallSpec(4096)}, PoissonArrivals(2000.0, 6, 7), 30000)});
+  ClusterConfig config;
+  config.replicas = 1;
+  config.sched.enabled = true;
+  config.sched.slo_shed = true;
+  config.sched.slo_p99_us = 1000.0;
+  config.faults.tuner_failures = 1;  // marks the run fault-active
+  config.faults.horizon_us = 80000.0;
+  config.faults.tuner_retry_budget = 0;
+  FaultSchedule schedule;
+  // Lands while the second key's search is in flight (started ~30ms).
+  schedule.Add(FaultEvent{32000.0, FaultKind::kTunerFail, 0, 0.0, 0.0});
+  const FleetReport report = RunFleet(config, trace, &schedule);
+
+  EXPECT_GT(report.fault.requests_shed, 0u);
+  EXPECT_EQ(report.sched.shed_requests, report.fault.requests_shed);
+  // Run accounting closes: every admitted request either completed with
+  // a record or was shed; shed ones never executed.
+  ASSERT_EQ(report.stats.count() + report.fault.requests_shed, trace.size());
+
+  // Without the shed knob the same chaos serves everything degraded.
+  ClusterConfig keep = config;
+  keep.sched.slo_shed = false;
+  const FleetReport degraded = RunFleet(keep, trace, &schedule);
+  ASSERT_EQ(degraded.stats.count(), trace.size());
+  EXPECT_EQ(degraded.fault.requests_shed, 0u);
+  EXPECT_GT(degraded.fault.requests_degraded, 0u);
 
   // Deterministic under rerun.
   const FleetReport again = RunFleet(config, trace, &schedule);

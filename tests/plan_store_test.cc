@@ -1,9 +1,13 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <memory>
+#include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
+#include "src/cluster/plan_shipping.h"
 #include "src/core/plan_store.h"
 #include "src/core/tuner.h"
 
@@ -324,6 +328,102 @@ TEST(PlanStoreLruTest, ConcurrentPublishAndEvictionChurn) {
   const auto parsed = PlanStore::Parse(store.Serialize());
   ASSERT_TRUE(parsed.has_value());
   EXPECT_EQ(parsed->Serialize(), store.Serialize());
+}
+
+// --- Two-tier snapshots (tuner-tier StoredPlans + plan-tier records) --------
+
+std::vector<std::pair<uint64_t, StoredPlan>> KeyedSamplePlans() {
+  const auto plans = SamplePlans();
+  return {{0xabc, plans[0]}, {0xdef123456789abcdULL, plans[1]}};
+}
+
+TEST(TunerTierTest, SerializeParseRoundTripsKeyedPlans) {
+  const auto keyed = KeyedSamplePlans();
+  const std::string text = SerializeTunerTier(keyed);
+  const auto parsed = ParseTunerTier(text);
+  ASSERT_TRUE(parsed.has_value());
+  ASSERT_EQ(parsed->size(), keyed.size());
+  for (size_t i = 0; i < keyed.size(); ++i) {
+    EXPECT_EQ((*parsed)[i].first, keyed[i].first);
+    EXPECT_EQ((*parsed)[i].second, keyed[i].second);
+  }
+  // A second round-trip is byte-stable.
+  EXPECT_EQ(SerializeTunerTier(*parsed), text);
+}
+
+TEST(TunerTierTest, CombinedSnapshotReadableByBothTierParsers) {
+  PlanStore store;
+  store.Put(0xabc, MarkedPlan(1));
+  store.Put(0xdef, MarkedPlan(2));
+  const std::string combined = store.Serialize() + SerializeTunerTier(KeyedSamplePlans());
+
+  // The plan-tier parser reads the combined file unchanged: every tuner
+  // line is '#'-prefixed, i.e. a comment to it.
+  const auto plans = PlanStore::Parse(combined);
+  ASSERT_TRUE(plans.has_value());
+  EXPECT_EQ(plans->size(), 2u);
+  EXPECT_EQ(*plans->FindCopy(0xabc), MarkedPlan(1));
+
+  // The tuner-tier parser finds its section in the same bytes.
+  const auto tier = ParseTunerTier(combined);
+  ASSERT_TRUE(tier.has_value());
+  EXPECT_EQ(tier->size(), 2u);
+
+  // An old single-tier snapshot reads as an empty tuner tier, not an
+  // error — forward compatibility for snapshots written before the tier.
+  const auto empty = ParseTunerTier(store.Serialize());
+  ASSERT_TRUE(empty.has_value());
+  EXPECT_TRUE(empty->empty());
+}
+
+TEST(TunerTierTest, MalformedTierOrCountMismatchRejectedWhole) {
+  const std::string good = SerializeTunerTier(KeyedSamplePlans());
+  // Corrupt the key hex.
+  std::string bad_key = good;
+  bad_key.replace(bad_key.find("0000000000000abc"), 16, "0000000000000azc");
+  EXPECT_FALSE(ParseTunerTier(bad_key).has_value());
+  // Unknown primitive.
+  std::string bad_prim = good;
+  bad_prim.replace(bad_prim.find("AllReduce"), 9, "Broadcast");
+  EXPECT_FALSE(ParseTunerTier(bad_prim).has_value());
+  // Drop the first record but keep the footer: the declared count no
+  // longer matches — the shape a truncated download leaves behind.
+  const size_t second = good.find("\n#tuner ");
+  ASSERT_NE(second, std::string::npos);
+  EXPECT_FALSE(ParseTunerTier(good.substr(second + 1)).has_value());
+}
+
+TEST(PlanShipperSnapshotTest, TwoTierSnapshotRoundTripsThroughImport) {
+  // Publish two keys with tuner-tier artifacts, snapshot, and import the
+  // snapshot into a second shipper with a subscribed store + tuner: the
+  // store re-warms from the plan tier, the tuner from the artifact tier.
+  PlanShipper source_shipper;
+  PlanStore source;
+  const auto keyed = KeyedSamplePlans();
+  source.Put(keyed[0].first, MarkedPlan(1));
+  source.Put(keyed[1].first, MarkedPlan(2));
+  ASSERT_TRUE(source_shipper.Publish(keyed[0].first, source, &keyed[0].second));
+  ASSERT_TRUE(source_shipper.Publish(keyed[1].first, source, &keyed[1].second));
+  const std::string snapshot = source_shipper.SerializeSnapshot();
+
+  PlanShipper target;
+  auto store = std::make_shared<PlanStore>();
+  Tuner tuner(MakeA800Cluster(4));
+  target.Subscribe(0, store, &tuner);
+  EXPECT_EQ(target.ImportSnapshot(snapshot), 2u);
+  EXPECT_TRUE(store->Contains(keyed[0].first));
+  EXPECT_TRUE(store->Contains(keyed[1].first));
+  EXPECT_EQ(tuner.cache_size(), 2u);
+  // The re-exported snapshot is the same bytes: shipping a fleet's
+  // published set through a file never drifts.
+  EXPECT_EQ(target.SerializeSnapshot(), snapshot);
+
+  // Malformed tuner tier rejects the whole import atomically.
+  std::string corrupt = snapshot;
+  corrupt.replace(corrupt.find("#tuner-count"), 13, "#tuner-count 9");
+  PlanShipper reject;
+  EXPECT_EQ(reject.ImportSnapshot(corrupt), 0u);
+  EXPECT_EQ(reject.published_size(), 0u);
 }
 
 TEST(TunerPersistenceTest, ExportImportRestoresCache) {

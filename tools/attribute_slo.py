@@ -1,0 +1,176 @@
+#!/usr/bin/env python3
+"""Attribute per-tenant p99 latency to lifecycle stages from a Chrome trace.
+
+Reads the Chrome-format trace the observability plane exports (sim_bench
+--trace, bench_cluster_bench --trace) and, for each tenant, splits the
+end-to-end latency of its slowest (>= p99) requests into four stages:
+
+  queue     - waiting in the ready lanes with the executor busy elsewhere
+  backfill  - queued while the executor sat idle under a sched/reserve
+              window for a tuning-blocked head batch (the wait the backfill
+              path exists to fill)
+  tune      - queued behind an in-flight tuner search with the executor
+              busy (not reserved)
+  execute   - dispatch to finish (the request span past the queue span)
+
+and reports which stage dominates. The split uses interval overlap against
+the tune ("tune" category) and reservation ("sched" category) async spans:
+backfill time is the queue interval's overlap with reservation windows,
+tune time is the remaining overlap with tuner searches, and the remainder
+is plain queueing.
+
+Usage: attribute_slo.py <trace.json> [--percentile 99]
+
+Exits nonzero on a malformed trace (missing events, unpaired spans) so CI
+can smoke it against a fresh export.
+"""
+
+import argparse
+import json
+import sys
+
+
+def merged(intervals):
+    """Sorted union of [start, end) intervals."""
+    out = []
+    for start, end in sorted(intervals):
+        if out and start <= out[-1][1]:
+            out[-1][1] = max(out[-1][1], end)
+        else:
+            out.append([start, end])
+    return out
+
+
+def overlap_us(start, end, union):
+    total = 0.0
+    for lo, hi in union:
+        if hi <= start:
+            continue
+        if lo >= end:
+            break
+        total += min(end, hi) - max(start, lo)
+    return total
+
+
+def percentile(sorted_values, pct):
+    """Linear interpolation between closest ranks (matches util/stats)."""
+    if not sorted_values:
+        return 0.0
+    rank = (pct / 100.0) * (len(sorted_values) - 1)
+    low = int(rank)
+    high = min(low + 1, len(sorted_values) - 1)
+    frac = rank - low
+    return sorted_values[low] * (1.0 - frac) + sorted_values[high] * frac
+
+
+def collect_async_spans(events):
+    """Pair ph=b/ph=e events by (cat, id, name) -> list of (start, end)."""
+    open_spans = {}
+    spans = {}
+    for event in events:
+        phase = event.get("ph")
+        if phase not in ("b", "e"):
+            continue
+        key = (event.get("cat"), event.get("id"), event.get("name"))
+        if phase == "b":
+            if key in open_spans:
+                raise ValueError(f"double-begin for async span {key}")
+            open_spans[key] = float(event["ts"])
+        else:
+            start = open_spans.pop(key, None)
+            if start is None:
+                raise ValueError(f"end without begin for async span {key}")
+            spans.setdefault(key, []).append((start, float(event["ts"])))
+    if open_spans:
+        raise ValueError(f"{len(open_spans)} async spans never ended")
+    return spans
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("trace", help="Chrome trace JSON (obs plane export)")
+    parser.add_argument("--percentile", type=float, default=99.0,
+                        help="tail percentile to attribute (default 99)")
+    args = parser.parse_args()
+
+    try:
+        with open(args.trace, encoding="utf-8") as handle:
+            trace = json.load(handle)
+    except (OSError, json.JSONDecodeError) as error:
+        print(f"ERROR: cannot read trace: {error}", file=sys.stderr)
+        return 1
+
+    events = trace.get("traceEvents") if isinstance(trace, dict) else trace
+    if not isinstance(events, list) or not events:
+        print("ERROR: trace has no traceEvents", file=sys.stderr)
+        return 1
+
+    try:
+        spans = collect_async_spans(events)
+    except ValueError as error:
+        print(f"ERROR: malformed trace: {error}", file=sys.stderr)
+        return 1
+
+    tune_union = merged(
+        [span for (cat, _, _), pairs in spans.items() if cat == "tune"
+         for span in pairs])
+    reserve_union = merged(
+        [span for (cat, _, _), pairs in spans.items() if cat == "sched"
+         for span in pairs])
+
+    # Per tenant per request id: the request span and its queue span.
+    requests = {}  # tenant -> id -> {"request": (b, e), "queue": (b, e)}
+    for (cat, span_id, name), pairs in spans.items():
+        if not cat or not cat.startswith("tenant:"):
+            continue
+        tenant = cat[len("tenant:"):]
+        for start, end in pairs:
+            slot = requests.setdefault(tenant, {}).setdefault(span_id, {})
+            if name in slot:
+                raise SystemExit(f"ERROR: duplicate {name} span for {cat}/{span_id}")
+            slot[name] = (start, end)
+    if not requests:
+        print("ERROR: trace has no tenant request spans", file=sys.stderr)
+        return 1
+
+    stages = ("queue", "backfill", "tune", "execute")
+    print(f"p{args.percentile:g} latency attribution by lifecycle stage:")
+    print(f"{'tenant':<12} {'reqs':>5} {'p99 us':>10} "
+          + " ".join(f"{s + ' us':>12}" for s in stages) + "  dominant")
+    for tenant in sorted(requests):
+        complete = {
+            rid: span for rid, span in requests[tenant].items()
+            if "request" in span and "queue" in span}
+        if not complete:
+            print(f"ERROR: tenant {tenant} has queue spans but no request "
+                  "spans (or vice versa)", file=sys.stderr)
+            return 1
+        latencies = sorted(
+            span["request"][1] - span["request"][0] for span in complete.values())
+        threshold = percentile(latencies, args.percentile)
+        totals = {stage: 0.0 for stage in stages}
+        tail = 0
+        for span in complete.values():
+            request_begin, request_end = span["request"]
+            if request_end - request_begin < threshold:
+                continue
+            tail += 1
+            queue_begin, queue_end = span["queue"]
+            tune = overlap_us(queue_begin, queue_end, tune_union)
+            reserve = overlap_us(queue_begin, queue_end, reserve_union)
+            backfill = reserve
+            tune_busy = max(0.0, tune - reserve)
+            totals["execute"] += request_end - queue_end
+            totals["tune"] += tune_busy
+            totals["backfill"] += backfill
+            totals["queue"] += max(
+                0.0, (queue_end - queue_begin) - tune_busy - backfill)
+        dominant = max(stages, key=lambda stage: totals[stage])
+        print(f"{tenant:<12} {len(complete):>5} {threshold:>10.0f} "
+              + " ".join(f"{totals[s] / tail:>12.0f}" for s in stages)
+              + f"  {dominant}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
