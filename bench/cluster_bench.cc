@@ -27,15 +27,24 @@
 //    FIFO run, and sched-on runs are bit-identical across reruns, tune
 //    thread counts, and event backends.
 //
+//  - prespawn (--prespawn 0 skips): on a scripted ramp burst, the
+//    predictive autoscaler absorbs the burst strictly faster than the
+//    reactive-only autoscaler (>= 1 pre-spawn fired, zero drains during
+//    the burst); predictive-off configs with every predictive knob
+//    tweaked are bit-identical to the reactive run, and predictive-on
+//    runs are bit-identical across reruns, tune thread counts, and
+//    event backends.
+//
 // Usage: bench_cluster_bench [--smoke] [--history <file>] [--requests N]
 //                            [--faults <seed>] [--sched 0|1]
-//                            [--trace <file>] [--quiet]
+//                            [--prespawn 0|1] [--trace <file>] [--quiet]
 // Writes cluster_bench.csv and BENCH_cluster.json to the cwd; --history
 // appends the JSON as one compact line to the given trajectory file;
 // --requests overrides the total request count (split across tenants);
 // --faults reseeds the chaos schedule (default 1);
 // --trace exports the sched section's run as a Chrome trace (the input
-// tools/attribute_slo.py consumes);
+// tools/attribute_slo.py consumes) and the prespawn section's burst run
+// to the same path with `_prespawn` inserted before the extension;
 // --quiet drops the progress narration (gate verdicts still print).
 #include <algorithm>
 #include <chrono>
@@ -183,6 +192,103 @@ bool SameTimeline(const FleetReport& a, const FleetReport& b) {
     }
   }
   return true;
+}
+
+// --- Predictive-autoscaling section (rate-estimate pre-spawn) ---------------
+
+// A scripted ramp burst on a warm shared key: a base tenant holds 0.3x of
+// one replica's capacity for the whole horizon, then a burst tenant ramps
+// 0.6x -> 2.0x across four check intervals and holds 2.0x for one more.
+// The ramp segments align with autoscale checkpoints, so the predictive
+// tier's rate samples see each segment exactly once.
+struct PrespawnSetup {
+  std::vector<ServeRequest> trace;
+  double check_interval_us = 0.0;
+  double burst_start_us = 0.0;
+  double service_us = 0.0;
+};
+
+PrespawnSetup MakePrespawnTrace(const ClusterSpec& hardware, bool smoke) {
+  const std::vector<ScenarioSpec> specs = {
+      ScenarioSpec::Overlap(GemmShape{1024, 2048, 1024}, CommPrimitive::kAllReduce)};
+  PrespawnSetup setup;
+  setup.service_us = MeanServiceUs(hardware, specs);
+  // capacity_per_replica requests fit in one check interval.
+  setup.check_interval_us = (smoke ? 20.0 : 50.0) * setup.service_us;
+  setup.burst_start_us = 4.0 * setup.check_interval_us;
+  // The trace ends one interval past the ramp peak, while a late-scaling
+  // fleet still owes backlog — the regime where time-to-absorb separates
+  // predictive from reactive scaling (a long plateau would let the
+  // reactive fleet catch up before arrivals stop and erase the signal).
+  const double horizon_us = setup.burst_start_us + 5.0 * setup.check_interval_us;
+  std::vector<SimTime> base;
+  for (double t = 0.0; t < horizon_us; t += setup.service_us / 0.3) {
+    base.push_back(t);
+  }
+  std::vector<SimTime> burst;
+  const double multipliers[5] = {0.6, 1.07, 1.53, 2.0, 2.0};
+  for (int segment = 0; segment < 5; ++segment) {
+    const double start = setup.burst_start_us + segment * setup.check_interval_us;
+    const double gap = setup.service_us / multipliers[segment];
+    for (double t = start; t < start + setup.check_interval_us; t += gap) {
+      burst.push_back(t);
+    }
+  }
+  setup.trace = MergeStreams({MakeRequestStream("base", specs, base, 0),
+                              MakeRequestStream("burst", specs, burst, 100000)});
+  return setup;
+}
+
+FleetReport RunPrespawnFleet(const ClusterSpec& hardware, const PrespawnSetup& setup,
+                             bool predictive, double headroom, int tune_threads,
+                             bool legacy_heap, ObsPlane* obs = nullptr) {
+  ClusterConfig config;
+  config.replicas = 1;
+  config.autoscale.enabled = true;
+  config.autoscale.min_replicas = 1;
+  config.autoscale.max_replicas = 6;
+  config.autoscale.check_interval_us = setup.check_interval_us;
+  // Queue pressure scaled to capacity (0.4 of an interval's worth of
+  // work), so smoke and full runs exercise the same scaling regime
+  // instead of the absolute default threshold getting easier to cross as
+  // the interval grows.
+  config.autoscale.spawn_queue_per_replica =
+      0.4 * setup.check_interval_us / setup.service_us;
+  config.autoscale.drain_after_calm_checks = 3;
+  config.autoscale.predictive = predictive;
+  config.autoscale.prespawn_headroom = headroom;
+  // A quarter-interval half-life: the rate sample at each checkpoint
+  // reflects the segment that just ran, not the one before it.
+  config.sched.share_half_life_us = setup.check_interval_us / 4.0;
+  // One request per dispatch: a replica's absorb rate is then exactly
+  // check_interval / service, the capacity model the ramp multipliers
+  // are calibrated against (batch fusion would let one replica swallow
+  // the whole ramp and the section would measure nothing).
+  config.serve.max_batch = 1;
+  // Free cold tuning: the shared key's ~20ms default tune would stall
+  // the fleet for several check intervals and the section would measure
+  // tuning, not scaling (the tuning regime is the sched section's job).
+  config.serve.tune_base_us = 0.0;
+  config.serve.tune_per_search_us = 0.0;
+  if (tune_threads > 0) {
+    config.serve.tune_threads = tune_threads;
+  }
+  config.serve.legacy_event_heap = legacy_heap;
+  config.serve.obs = obs;
+  ServingCluster fleet(hardware, config, {}, EngineOptions{.jitter = false});
+  return fleet.Run(setup.trace);
+}
+
+// Time from the burst's first arrival to the burst tenant's last finish —
+// the absorb time the predictive tier is supposed to cut.
+double BurstAbsorbUs(const FleetReport& report, double burst_start_us) {
+  double last_finish_us = burst_start_us;
+  for (const RequestRecord& record : report.stats.records()) {
+    if (record.tenant == "burst") {
+      last_finish_us = std::max(last_finish_us, record.finish_us);
+    }
+  }
+  return last_finish_us - burst_start_us;
 }
 
 bool Run(const BenchArgs& args) {
@@ -372,8 +478,67 @@ bool Run(const BenchArgs& args) {
     }
   }
 
+  // --- Prespawn gates ---
+  // A scripted ramp burst: the predictive tier must pre-spawn off the
+  // rate estimate and absorb the burst strictly faster than reactive-only
+  // scaling, without a single drain while the burst is in flight.
+  FleetReport prespawn_reactive;
+  FleetReport prespawn_predictive;
+  double prespawn_absorb_reactive_us = 0.0;
+  double prespawn_absorb_us = 0.0;
+  bool prespawn_complete = true;
+  bool prespawn_off_identical = true;
+  bool prespawn_deterministic = true;
+  if (args.prespawn) {
+    const PrespawnSetup pre = MakePrespawnTrace(setup.hardware, smoke);
+    prespawn_reactive =
+        RunPrespawnFleet(setup.hardware, pre, /*predictive=*/false, 1.0, 0, false);
+    prespawn_predictive =
+        RunPrespawnFleet(setup.hardware, pre, /*predictive=*/true, 1.0, 0, false);
+    total_events += prespawn_reactive.events + prespawn_predictive.events;
+    prespawn_absorb_reactive_us = BurstAbsorbUs(prespawn_reactive, pre.burst_start_us);
+    prespawn_absorb_us = BurstAbsorbUs(prespawn_predictive, pre.burst_start_us);
+    prespawn_complete = prespawn_reactive.stats.count() == pre.trace.size() &&
+                        prespawn_predictive.stats.count() == pre.trace.size();
+    // Predictive off with every predictive knob tweaked must stay
+    // bit-identical to the reactive run — off means off.
+    prespawn_off_identical = SameTimeline(
+        prespawn_reactive,
+        RunPrespawnFleet(setup.hardware, pre, /*predictive=*/false, 9.0, 0, false));
+    // Predictive-on timelines and the pre-spawn count must survive
+    // reruns, host tune threads, and the legacy event backend.
+    for (const auto& [threads, legacy] :
+         std::vector<std::pair<int, bool>>{{0, false}, {8, false}, {0, true}}) {
+      const FleetReport variant =
+          RunPrespawnFleet(setup.hardware, pre, /*predictive=*/true, 1.0, threads, legacy);
+      if (!SameTimeline(prespawn_predictive, variant) ||
+          variant.prespawns != prespawn_predictive.prespawns ||
+          variant.spawns != prespawn_predictive.spawns ||
+          variant.drains != prespawn_predictive.drains) {
+        prespawn_deterministic = false;
+      }
+    }
+    if (!args.trace.empty()) {
+      std::string prespawn_trace_path = args.trace;
+      const size_t dot = prespawn_trace_path.rfind('.');
+      prespawn_trace_path.insert(
+          dot == std::string::npos ? prespawn_trace_path.size() : dot, "_prespawn");
+      ObsConfig obs_config;
+      obs_config.enabled = true;
+      obs_config.checkpoint_interval_us = pre.check_interval_us;
+      ObsPlane obs(obs_config);
+      RunPrespawnFleet(setup.hardware, pre, /*predictive=*/true, 1.0, 0, false, &obs);
+      if (!obs.WriteTrace(prespawn_trace_path)) {
+        std::printf("FAILED to write Chrome trace to %s\n", prespawn_trace_path.c_str());
+        prespawn_complete = false;
+      } else {
+        Narrate(quiet, "prespawn trace written to %s\n", prespawn_trace_path.c_str());
+      }
+    }
+  }
+
   const bool csv_ok = csv.WriteFile("cluster_bench.csv");
-  char json[4096];
+  char json[6144];
   std::snprintf(
       json, sizeof(json),
       "{\"bench\": \"cluster\", \"smoke\": %s, \"requests\": %zu, \"distinct_keys\": %zu, "
@@ -391,7 +556,13 @@ bool Run(const BenchArgs& args) {
       "\"sched_reserve_idle_us\": %.1f, \"sched_preempted\": %zu, "
       "\"sched_victim_p99_fifo_us\": %.1f, \"sched_victim_p99_us\": %.1f, "
       "\"sched_p99_gain\": %.4f, \"sched_off_identical\": %s, "
-      "\"sched_rerun_identical\": %s}",
+      "\"sched_rerun_identical\": %s, "
+      "\"prespawn_section\": %s, \"prespawn_count\": %zu, "
+      "\"prespawn_spawns\": %zu, \"prespawn_drains\": %zu, "
+      "\"prespawn_peak_replicas\": %d, \"reactive_peak_replicas\": %d, "
+      "\"prespawn_absorb_us\": %.1f, \"reactive_absorb_us\": %.1f, "
+      "\"prespawn_absorb_gain\": %.4f, \"prespawn_off_identical\": %s, "
+      "\"prespawn_rerun_identical\": %s}",
       smoke ? "true" : "false", setup.trace.size(), shipped_4.distinct_keys, throughput_1,
       throughput_4, round_robin_4.WarmHitRate(), affinity_4.WarmHitRate(),
       round_robin_4.total_searches, affinity_4.total_searches, max_shipped_searches,
@@ -405,7 +576,16 @@ bool Run(const BenchArgs& args) {
       sched_fair.sched.backfills, sched_fair.sched.head_delays,
       sched_fair.sched.reserve_idle_us, sched_fair.sched.preempted_requests,
       sched_victim_p99_fifo, sched_victim_p99_fair, sched_gain,
-      sched_off_identical ? "true" : "false", sched_deterministic ? "true" : "false");
+      sched_off_identical ? "true" : "false", sched_deterministic ? "true" : "false",
+      args.prespawn ? "true" : "false", prespawn_predictive.prespawns,
+      prespawn_predictive.spawns, prespawn_predictive.drains,
+      prespawn_predictive.peak_replicas, prespawn_reactive.peak_replicas,
+      prespawn_absorb_us, prespawn_absorb_reactive_us,
+      prespawn_absorb_reactive_us > 0.0
+          ? 1.0 - prespawn_absorb_us / prespawn_absorb_reactive_us
+          : 0.0,
+      prespawn_off_identical ? "true" : "false",
+      prespawn_deterministic ? "true" : "false");
   FILE* out = std::fopen("BENCH_cluster.json", "w");
   if (out != nullptr) {
     std::fprintf(out, "%s\n", json);
@@ -493,6 +673,44 @@ bool Run(const BenchArgs& args) {
     if (!sched_deterministic) {
       std::printf("FAIL: sched run is not bit-identical across reruns, tune threads, "
                   "and event backends\n");
+      ok = false;
+    }
+  }
+  if (args.prespawn) {
+    Narrate(quiet,
+            "prespawn: burst absorbed in %.0f us predictive vs %.0f us reactive "
+            "(%zu pre-spawns, %zu drains, peak %d vs %d replicas)\n",
+            prespawn_absorb_us, prespawn_absorb_reactive_us,
+            prespawn_predictive.prespawns, prespawn_predictive.drains,
+            prespawn_predictive.peak_replicas, prespawn_reactive.peak_replicas);
+    if (prespawn_absorb_us >= prespawn_absorb_reactive_us) {
+      std::printf("FAIL: predictive autoscaling did not absorb the burst faster "
+                  "(%.0f us vs %.0f us reactive)\n",
+                  prespawn_absorb_us, prespawn_absorb_reactive_us);
+      ok = false;
+    }
+    if (prespawn_predictive.prespawns == 0) {
+      std::printf("FAIL: predictive run fired no pre-spawns\n");
+      ok = false;
+    }
+    if (prespawn_predictive.drains != 0) {
+      std::printf("FAIL: predictive run drained %zu replicas during the burst\n",
+                  prespawn_predictive.drains);
+      ok = false;
+    }
+    if (!prespawn_complete) {
+      std::printf("FAIL: prespawn runs dropped requests (%zu reactive / %zu predictive)\n",
+                  prespawn_reactive.stats.count(), prespawn_predictive.stats.count());
+      ok = false;
+    }
+    if (!prespawn_off_identical) {
+      std::printf("FAIL: predictive-off config is not bit-identical to the reactive "
+                  "autoscaler\n");
+      ok = false;
+    }
+    if (!prespawn_deterministic) {
+      std::printf("FAIL: predictive run is not bit-identical across reruns, tune "
+                  "threads, and event backends\n");
       ok = false;
     }
   }

@@ -9,7 +9,9 @@
 // point defeats the history. Benches that export observability artifacts
 // additionally take `--trace <file>` / `--metrics <file>`; benches with a
 // chaos section take `--faults <seed>` to reseed the fault schedule;
-// benches with a fleet-scheduler section take `--sched 0|1` to skip/run it.
+// benches with a fleet-scheduler section take `--sched 0|1` to skip/run it;
+// benches with a predictive-autoscaling section take `--prespawn 0|1`
+// likewise.
 #ifndef BENCH_TRAJECTORY_H_
 #define BENCH_TRAJECTORY_H_
 
@@ -37,6 +39,9 @@ struct BenchArgs {
   // Benches with a fleet-scheduler section run it by default; `--sched 0`
   // skips it (its gates and sched_* trajectory fields report zeros).
   bool sched = true;
+  // Benches with a predictive-autoscaling section run it by default;
+  // `--prespawn 0` skips it (gates and prespawn_* fields report zeros).
+  bool prespawn = true;
 };
 
 inline BenchArgs ParseBenchArgs(int argc, char** argv) {
@@ -59,6 +64,8 @@ inline BenchArgs ParseBenchArgs(int argc, char** argv) {
       args.fault_seed = static_cast<uint64_t>(std::atoll(argv[++i]));
     } else if (arg == "--sched" && i + 1 < argc) {
       args.sched = std::atoi(argv[++i]) != 0;
+    } else if (arg == "--prespawn" && i + 1 < argc) {
+      args.prespawn = std::atoi(argv[++i]) != 0;
     }
   }
   return args;

@@ -1,5 +1,7 @@
 #include "src/cluster/autoscaler.h"
 
+#include <algorithm>
+
 #include "src/util/check.h"
 
 namespace flo {
@@ -9,12 +11,22 @@ Autoscaler::Autoscaler(AutoscaleConfig config) : config_(config) {
   FLO_CHECK_GE(config_.max_replicas, config_.min_replicas);
   FLO_CHECK_GT(config_.check_interval_us, 0.0);
   FLO_CHECK_GE(config_.drain_after_calm_checks, 1);
+  if (config_.predictive) {
+    FLO_CHECK_GT(config_.prespawn_headroom, 0.0);
+  }
 }
 
 Autoscaler::Decision Autoscaler::Evaluate(const Observation& observation) {
   const int replicas = observation.accepting_replicas;
+  if (replicas <= 0) {
+    // Fault outage: nothing accepts, so per-replica pressure is
+    // undefined. Hold, and freeze the calm counter — an outage window
+    // must not count toward drain hysteresis (or a drain could fire the
+    // moment health restores), and it must not reset progress either.
+    return Decision::kHold;
+  }
   const double pending_per_replica =
-      replicas > 0 ? static_cast<double>(observation.pending_requests) / replicas : 0.0;
+      static_cast<double>(observation.pending_requests) / replicas;
   const bool queue_pressure = pending_per_replica > config_.spawn_queue_per_replica;
   const bool slo_pressure =
       config_.slo_p99_us > 0.0 && observation.recent_p99_us > config_.slo_p99_us;
@@ -22,9 +34,28 @@ Autoscaler::Decision Autoscaler::Evaluate(const Observation& observation) {
     calm_checks_ = 0;
     return replicas < config_.max_replicas ? Decision::kSpawn : Decision::kHold;
   }
-  const bool calm = pending_per_replica < config_.drain_queue_per_replica &&
-                    (config_.slo_p99_us <= 0.0 ||
-                     observation.recent_p99_us <= config_.slo_p99_us);
+  // Predictive tier: demand one interval ahead, linearly extrapolated.
+  const bool predictive =
+      config_.predictive && observation.capacity_per_replica > 0.0;
+  const double predicted_demand =
+      predictive ? std::max(0.0, observation.rate_estimate + observation.rate_trend) : 0.0;
+  const double capacity_headroom =
+      observation.capacity_per_replica * config_.prespawn_headroom;
+  if (predictive && predicted_demand > static_cast<double>(replicas) * capacity_headroom) {
+    // The estimate says the fleet is about to fall behind even though
+    // queues have not built yet: demand forming is not calm.
+    calm_checks_ = 0;
+    return replicas < config_.max_replicas ? Decision::kPrespawn : Decision::kHold;
+  }
+  bool calm = pending_per_replica < config_.drain_queue_per_replica &&
+              (config_.slo_p99_us <= 0.0 ||
+               observation.recent_p99_us <= config_.slo_p99_us);
+  if (calm && predictive) {
+    // Pre-drain guard: giving a replica back must leave enough capacity
+    // for the predicted demand, sustained over the same hysteresis
+    // window the reactive signals use.
+    calm = predicted_demand <= static_cast<double>(replicas - 1) * capacity_headroom;
+  }
   if (!calm) {
     calm_checks_ = 0;
     return Decision::kHold;

@@ -5,6 +5,7 @@
 
 #include "src/obs/obs_plane.h"
 #include "src/serve/request_cursor.h"
+#include "src/serve/tenant_registry.h"
 #include "src/util/check.h"
 #include "src/util/file.h"
 #include "src/util/logging.h"
@@ -69,10 +70,17 @@ ServingCluster::ServingCluster(ClusterSpec hardware, ClusterConfig config,
       [this](const EventRecord& record, SimTime now) { OnFaultEvent(record, now); });
   sched_handler_ = events_.RegisterHandler(
       [this](const EventRecord&, SimTime now) { SchedCheck(now); });
-  if (config_.sched.enabled) {
+  // The predictive autoscale tier reads arrival-rate estimates off the
+  // scheduler's decayed arrival accounts, so it needs the FleetScheduler
+  // constructed even when the sched plane itself is off.
+  if (config_.sched.enabled ||
+      (config_.autoscale.enabled && config_.autoscale.predictive)) {
     scheduler_ = std::make_unique<FleetScheduler>(config_.sched);
+  }
+  if (config_.sched.enabled) {
     // Every session spawned from config_.serve consults the one fleet
     // scheduler: per-tenant shares are fleet-wide state, not per-replica.
+    // (Predictive-only mode leaves this null: dispatch stays FIFO.)
     config_.serve.sched = scheduler_.get();
   }
 }
@@ -155,7 +163,7 @@ ServeSession::Hooks ServingCluster::HooksFor(Replica* replica) {
     }
     DispatchAll(now);
   };
-  if (scheduler_ != nullptr) {
+  if (config_.sched.enabled) {
     hooks.request_shed = [this, replica](const ServeRequest& request, SimTime now) {
       // An SLO-shed retry leaves the run through here instead of
       // request_finished: it counts toward run completion (the admission
@@ -212,6 +220,16 @@ const std::vector<ReplicaSnapshot>& ServingCluster::Snapshots(uint64_t key, SimT
 void ServingCluster::PlaceRequest(ServeRequest request, SimTime now) {
   const uint64_t key = keyer_.CanonicalKey(request.spec);
   run_keys_.insert(key);
+  if (scheduler_ != nullptr) {
+    // One arrival charge per admitted request (requeues and preemptive
+    // re-placements bypass this path on purpose — a placement revision
+    // is not new demand). Interning here matches RequestQueue::Admit's
+    // lazy interning order, arrivals being the first touch of a tenant.
+    if (request.tenant_id == 0) {
+      request.tenant_id = InternTenant(request.tenant);
+    }
+    scheduler_->ChargeArrival(request.tenant_id, now);
+  }
   const int id = router_.Place(Snapshots(key, now));
   if (id == -1) {
     // Every replica is down or draining. Under fault injection that is a
@@ -254,8 +272,11 @@ void ServingCluster::AutoscaleCheck(SimTime now) {
     if (replica->retired() || replica->session() == nullptr) {
       continue;
     }
-    pending += replica->session()->pending_requests();
     if (replica->accepting()) {
+      // Numerator and denominator cover the same set (the Observation
+      // invariant): backlogs on crashed/hung/draining replicas re-enter
+      // the signal when the requeue paths re-place them.
+      pending += replica->session()->pending_requests();
       ++observation.accepting_replicas;
       youngest_accepting = replica.get();  // id order: last accepting wins
     }
@@ -266,14 +287,44 @@ void ServingCluster::AutoscaleCheck(SimTime now) {
   observation.pending_requests = pending;
   if (!recent_latencies_.empty()) {
     observation.recent_p99_us = SummarizePercentiles(recent_latencies_).p99;
+    last_window_p99_us_ = observation.recent_p99_us;
     recent_latencies_.clear();
+  } else if (pending > 0) {
+    // Nothing finished this interval but work is still in flight (a
+    // straggler, a long cold tune): carry the previous window's p99
+    // forward so the SLO signal cannot read "calm" exactly when the
+    // fleet is stalled.
+    observation.recent_p99_us = last_window_p99_us_;
+  }
+  ObsPlane* obs = config_.serve.obs;
+  const bool observing = obs != nullptr && obs->enabled();
+  if (autoscaler_->config().predictive && scheduler_ != nullptr) {
+    const RateEstimate estimate =
+        scheduler_->SampleRate(now, autoscaler_->config().check_interval_us);
+    observation.rate_estimate = estimate.arrivals_per_interval;
+    observation.rate_trend = estimate.trend;
+    observation.capacity_per_replica =
+        autoscaler_->config().check_interval_us / CostEstimateUs();
+    if (observing) {
+      obs->metrics().Set(obs->ids().autoscale_rate_estimate,
+                         observation.rate_estimate);
+    }
   }
   const Autoscaler::Decision decision = autoscaler_->Evaluate(observation);
   EmitFleetInstant(config_.serve.obs, SpanKind::kAutoscale, now, observation.pending_requests,
-                   decision == Autoscaler::Decision::kSpawn   ? 1
-                   : decision == Autoscaler::Decision::kDrain ? 2
-                                                              : 0);
+                   decision == Autoscaler::Decision::kSpawn      ? 1
+                   : decision == Autoscaler::Decision::kDrain    ? 2
+                   : decision == Autoscaler::Decision::kPrespawn ? 3
+                                                                 : 0);
   switch (decision) {
+    case Autoscaler::Decision::kPrespawn:
+      ++prespawns_;
+      EmitFleetInstant(config_.serve.obs, SpanKind::kPrespawn, now,
+                       static_cast<uint64_t>(next_replica_id_),
+                       static_cast<uint64_t>(std::max(
+                           0.0, observation.rate_estimate + observation.rate_trend + 0.5)));
+      SpawnReplica(now);
+      break;
     case Autoscaler::Decision::kSpawn:
       SpawnReplica(now);
       break;
@@ -318,9 +369,11 @@ FleetReport ServingCluster::Run(RequestCursor* cursor) {
   cost_sum_us_ = 0.0;
   cost_samples_ = 0;
   recent_latencies_.clear();
+  last_window_p99_us_ = 0.0;
   run_keys_.clear();
   spawns_ = 0;
   drains_ = 0;
+  prespawns_ = 0;
   peak_replicas_ = 0;
   // Fault plane: a scripted override wins; otherwise an enabled config
   // expands into a seeded schedule against the configured replica count.
@@ -425,7 +478,7 @@ FleetReport ServingCluster::Run(RequestCursor* cursor) {
     record.handler = autoscale_handler_;
     events_.Push(config_.autoscale.check_interval_us, record);
   }
-  if (scheduler_ != nullptr && config_.sched.preempt_requeue && !pump.done()) {
+  if (config_.sched.enabled && config_.sched.preempt_requeue && !pump.done()) {
     EventRecord record;
     record.type = EventType::kSchedCheck;
     record.handler = sched_handler_;
@@ -459,6 +512,7 @@ FleetReport ServingCluster::Run(RequestCursor* cursor) {
   report.peak_replicas = peak_replicas_;
   report.spawns = spawns_;
   report.drains = drains_;
+  report.prespawns = prespawns_;
   report.shipping = shipper_.stats();
   for (const ReplicaReport& entry : report.replicas) {
     fault_report_.tuner_retries += entry.serve.tuner_retries;
@@ -466,7 +520,7 @@ FleetReport ServingCluster::Run(RequestCursor* cursor) {
   }
   fault_report_.ship_drops = shipper_.stats().ship_drops - ship_drops_baseline_;
   report.fault = fault_report_;
-  report.sched.enabled = scheduler_ != nullptr;
+  report.sched.enabled = config_.sched.enabled;
   report.sched.preempt_scans = sched_preempt_scans_;
   report.sched.preempted_requests = sched_preempted_;
   for (const ReplicaReport& entry : report.replicas) {

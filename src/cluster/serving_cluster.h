@@ -94,6 +94,9 @@ struct FleetReport {
   int peak_replicas = 0;
   size_t spawns = 0;
   size_t drains = 0;
+  // Spawns decided by the predictive rate-estimate tier alone (counted
+  // inside `spawns` too); 0 unless AutoscaleConfig::predictive.
+  size_t prespawns = 0;
   PlanShipperStats shipping;
   // Events dispatched by the shared loop during this run (arrivals,
   // batch/tuning completions, autoscale checkpoints).
@@ -195,8 +198,11 @@ class ServingCluster {
   FleetRouter router_;
   PlanShipper shipper_;
   EventLoop events_;
-  // Constructed only when ClusterConfig::sched enables it; every session
-  // borrows it through ServeConfig::sched. Null = scheduler off.
+  // Constructed when ClusterConfig::sched enables it (every session then
+  // borrows it through ServeConfig::sched) OR when the predictive
+  // autoscale tier needs its arrival accounts — in that second, sched-off
+  // mode the sessions never see it, so dispatch stays FIFO and only the
+  // rate estimate is read. Null = neither consumer active.
   std::unique_ptr<FleetScheduler> scheduler_;
   // Typed-event targets for autoscale checkpoints, fault-plane events,
   // and scheduler preempt scans (registered once).
@@ -217,12 +223,17 @@ class ServingCluster {
   size_t cost_samples_ = 0;
   // Latencies of requests finished since the last autoscale check.
   std::vector<double> recent_latencies_;
+  // The previous non-empty SLO window's p99, carried forward into
+  // checkpoints that completed nothing while work was pending: a fleet
+  // stalled behind a straggler or a long cold tune must not read as calm.
+  double last_window_p99_us_ = 0.0;
   // Distinct plan keys seen by PlaceRequest this run.
   std::set<uint64_t> run_keys_;
   std::vector<ReplicaSnapshot> snapshot_scratch_;
   int peak_replicas_ = 0;
   size_t spawns_ = 0;
   size_t drains_ = 0;
+  size_t prespawns_ = 0;
 
   // Fault plane (per-run unless noted). The scripted override persists
   // across runs; active_schedule_ is rebuilt by Run.

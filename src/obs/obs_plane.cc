@@ -23,6 +23,8 @@ ObsPlane::ObsPlane(ObsConfig config)
   ids_.autoscale_spawns = registry_.Counter("autoscale.spawns");
   ids_.autoscale_drains = registry_.Counter("autoscale.drains");
   ids_.autoscale_holds = registry_.Counter("autoscale.holds");
+  ids_.autoscale_prespawns = registry_.Counter("autoscale.prespawns");
+  ids_.autoscale_rate_estimate = registry_.Gauge("autoscale.rate_estimate");
   ids_.replica_spawns = registry_.Counter("fleet.replica_spawns");
   ids_.replica_drains = registry_.Counter("fleet.replica_drains");
   ids_.replica_retires = registry_.Counter("fleet.replica_retires");
@@ -184,6 +186,9 @@ void ObsPlane::Emit(const SpanRecord& span) {
       break;
     case SpanKind::kSchedShed:
       registry_.Add(ids_.sched_shed);
+      break;
+    case SpanKind::kPrespawn:
+      registry_.Add(ids_.autoscale_prespawns);
       break;
     case SpanKind::kCount:
       FLO_CHECK(false) << "kCount is not an emittable span kind";

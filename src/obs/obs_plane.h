@@ -89,6 +89,10 @@ class ObsPlane {
     MetricsRegistry::Id autoscale_spawns = 0;
     MetricsRegistry::Id autoscale_drains = 0;
     MetricsRegistry::Id autoscale_holds = 0;
+    MetricsRegistry::Id autoscale_prespawns = 0;
+    // Gauge: the predictive tier's sampled arrivals-per-interval
+    // estimate, set at each autoscale checkpoint (0 when reactive-only).
+    MetricsRegistry::Id autoscale_rate_estimate = 0;
     MetricsRegistry::Id replica_spawns = 0;
     MetricsRegistry::Id replica_drains = 0;
     MetricsRegistry::Id replica_retires = 0;

@@ -24,7 +24,7 @@ enum class SpanKind : uint8_t {
   kPlanMiss,   // batch paid the cold path (arg = batch size)
   kPlanShip,   // freshly tuned plan published to the fleet
   // Fleet events (instants; replica = -1 for fleet scope).
-  kAutoscale,      // arg = decision (0 hold, 1 spawn, 2 drain)
+  kAutoscale,      // arg = decision (0 hold, 1 spawn, 2 drain, 3 prespawn)
   kReplicaSpawn,   // id = replica id
   kReplicaDrain,   // id = replica id
   kReplicaRetire,  // id = replica id
@@ -39,6 +39,9 @@ enum class SpanKind : uint8_t {
   kSchedReserve,   // executor held idle for a blocked head (interval; id = key)
   kSchedPreempt,   // queued requests pulled off a replica (id = replica, arg = count)
   kSchedShed,      // degraded-mode request shed over a blown SLO (id = request id)
+  // Predictive autoscaling: a pre-spawn fired from the rate estimate
+  // (id = spawned replica id, arg = predicted next-interval demand).
+  kPrespawn,
   kCount,
 };
 

@@ -48,6 +48,8 @@ const char* SpanKindName(SpanKind kind) {
       return "sched/preempt";
     case SpanKind::kSchedShed:
       return "sched/shed";
+    case SpanKind::kPrespawn:
+      return "autoscale/prespawn";
     case SpanKind::kCount:
       break;
   }

@@ -28,6 +28,17 @@
 
 namespace flo {
 
+// Short-horizon arrival-rate estimate over the scheduler's decayed
+// arrival accounts, sampled at the autoscale checkpoint. Both fields are
+// in requests per `interval_us` (the sampling interval): the estimate is
+// the steady-state inversion of the decayed arrival mass, the trend is
+// the change since the previous sample — together they extrapolate the
+// next interval's demand one step ahead.
+struct RateEstimate {
+  double arrivals_per_interval = 0.0;
+  double trend = 0.0;
+};
+
 class FleetScheduler {
  public:
   explicit FleetScheduler(SchedConfig config) : config_(config) {}
@@ -59,6 +70,29 @@ class FleetScheduler {
   // The tenant's decayed usage as of `now`; 0 for never-charged tenants.
   double UsageAt(uint32_t tenant_id, SimTime now) const;
 
+  // Charges one arrival to the tenant's (and the fleet's) arrival
+  // account — the same libm-free halving over `share_half_life_us` the
+  // served-cost shares use, so a burst's arrival mass decays on the same
+  // clock its usage does. Charged once per admitted request, never for
+  // fault requeues or preemptive re-placements (those are placement
+  // revisions, not demand).
+  void ChargeArrival(uint32_t tenant_id, SimTime now);
+  // The tenant's decayed arrival mass as of `now`; 0 when never charged.
+  double ArrivalMassAt(uint32_t tenant_id, SimTime now) const;
+
+  // Samples the fleet-level arrival-rate estimate for the next
+  // `interval_us`, inverting the decayed arrival mass: decay folds in
+  // whole half-life quanta, so at a steady rate of r arrivals/us the
+  // after-fold mass is r * (half_life + d) where d = now - anchor is the
+  // un-decayed span — mass / (half_life + d) recovers r exactly at any
+  // sample phase, with plain arithmetic (no libm call — decisions stay
+  // bit-stable across toolchains). The trend is the difference from the
+  // previous sample, so callers can extrapolate a forming burst one
+  // interval ahead. Returns zeros when decay is disabled
+  // (share_half_life_us <= 0): an undecayed account is cumulative
+  // history, not a rate.
+  RateEstimate SampleRate(SimTime now, double interval_us);
+
   // Completed-request latency feed for the SLO shed decision.
   void ObserveLatency(uint32_t tenant_id, double latency_us);
   // Approximate p99 over the tenant's observed latencies (0 when none).
@@ -86,8 +120,13 @@ class FleetScheduler {
     // Decay is folded in whole half-life periods; the anchor advances
     // by whole periods so partial periods keep accumulating.
     SimTime anchor_us = 0.0;
+    // Arrival account: requests admitted, decayed like usage_us but on
+    // its own anchor (arrivals and dispatches happen at different times).
+    double arrival_mass = 0.0;
+    SimTime arrival_anchor_us = 0.0;
     MetricsRegistry::Id usage_gauge = 0;
     MetricsRegistry::Id latency_histo = 0;
+    MetricsRegistry::Id arrival_gauge = 0;
   };
 
   TenantShare& ShareFor(uint32_t tenant_id);
@@ -96,6 +135,12 @@ class FleetScheduler {
   MetricsRegistry registry_;
   // Indexed by interned tenant id (dense, ids start at 1).
   std::vector<TenantShare> shares_;
+  // Fleet-level arrival account (the per-tenant accounts' sum, folded on
+  // its own anchor) plus the previous SampleRate value for the trend.
+  double fleet_arrival_mass_ = 0.0;
+  SimTime fleet_arrival_anchor_us_ = 0.0;
+  double last_rate_per_interval_ = 0.0;
+  bool rate_sampled_ = false;
 };
 
 }  // namespace flo
